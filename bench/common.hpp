@@ -1,0 +1,57 @@
+// Shared scaffolding for the figure/table benches: the default "May 2023
+// week" scenario every experiment runs against, and small print helpers.
+//
+// Every bench is a stand-alone binary that takes no arguments, prints its
+// configuration (including seeds) and the rows/series of the corresponding
+// paper figure or table, and exits 0.  EXPERIMENTS.md records how each
+// output compares with the published numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "routing/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bgpintent::bench {
+
+/// The default evaluation scenario: a scaled-down Internet (paper: 75K
+/// ASes, 1.8K vantage points; here ~700 ASes, 60 VPs) with the same
+/// structural properties.
+inline routing::ScenarioConfig default_scenario_config(
+    std::uint64_t seed = 20230501) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = seed;
+  cfg.topology.tier1_count = 10;
+  cfg.topology.tier2_count = 80;
+  cfg.topology.stub_count = 600;
+  cfg.policy.seed = seed + 1;
+  cfg.workload_seed = seed + 2;
+  cfg.vantage_point_count = 150;
+  return cfg;
+}
+
+inline void print_banner(const char* title, const routing::ScenarioConfig& cfg) {
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "scenario: %u tier1 / %u tier2 / %u stub ASes, %u vantage points, "
+      "seeds topo=%llu policy=%llu workload=%llu\n\n",
+      cfg.topology.tier1_count, cfg.topology.tier2_count,
+      cfg.topology.stub_count, cfg.vantage_point_count,
+      static_cast<unsigned long long>(cfg.topology.seed),
+      static_cast<unsigned long long>(cfg.policy.seed),
+      static_cast<unsigned long long>(cfg.workload_seed));
+}
+
+/// Prints an empirical CDF as a fixed set of staircase rows.
+inline void print_cdf(const char* label, const util::EmpiricalCdf& cdf) {
+  std::printf("%s (n=%zu)\n", label, cdf.size());
+  util::TextTable table({"fraction", "value<="});
+  for (const double f : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0})
+    table.add_row({util::fixed(f, 2), util::fixed(cdf.quantile(f), 3)});
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace bgpintent::bench

@@ -1,0 +1,34 @@
+// §6 "Benefits of additional days of input BGP data": run the method on
+// 1..7 accumulated days.  Paper: accuracy stabilizes between 96.4% and
+// 96.6% with two or more days.  Shapes to match: small gain from day 1 to
+// day 2, flat afterwards; observed tuples keep growing slowly.
+#include "bench/common.hpp"
+
+using namespace bgpintent;
+
+int main() {
+  const auto cfg = bench::default_scenario_config();
+  bench::print_banner("eval_days — accuracy vs days of input data", cfg);
+  const auto scenario = routing::Scenario::build(cfg);
+
+  core::Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+
+  std::vector<bgp::RibEntry> accumulated;
+  util::TextTable table(
+      {"days", "RIB entries", "communities", "accuracy", "coverage"});
+  for (std::uint32_t day = 0; day < 7; ++day) {
+    const auto day_entries = scenario.day_entries(day);
+    accumulated.insert(accumulated.end(), day_entries.begin(),
+                       day_entries.end());
+    const auto result = pipeline.run(accumulated);
+    const auto eval = result.score(scenario.ground_truth());
+    table.add_row({std::to_string(day + 1), std::to_string(accumulated.size()),
+                   std::to_string(result.observations.community_count()),
+                   util::percent(eval.accuracy()),
+                   util::percent(eval.coverage())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(paper: stabilizes at 96.4–96.6%% with >= 2 days)\n");
+  return 0;
+}

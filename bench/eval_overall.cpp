@@ -1,0 +1,80 @@
+// §6 headline numbers: communities observed / classified / excluded, the
+// information-action split, and accuracy against the ground-truth
+// dictionary.  Paper (May 2023): 88,982 regular communities observed,
+// 78,480 classified (54,104 information + 24,376 action), 96.5% accuracy
+// over 6,259 dictionary-covered communities.  Shapes to match: most
+// observed communities classified, information majority, accuracy >> 90%.
+// Also prints the design-choice ablations called out in DESIGN.md §5.
+#include "bench/common.hpp"
+
+using namespace bgpintent;
+
+int main() {
+  const auto cfg = bench::default_scenario_config();
+  bench::print_banner("eval_overall — §6 headline numbers", cfg);
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  core::Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(entries);
+  const auto eval = result.score(scenario.ground_truth());
+  const auto& inference = result.inference;
+
+  const auto dict_counts = scenario.ground_truth().count_entries_by_intent();
+  std::printf("ground truth: %zu ASes, %zu info + %zu action patterns\n",
+              scenario.ground_truth().as_count(), dict_counts.information,
+              dict_counts.action);
+  std::printf("BGP data: %zu RIB entries, %zu unique paths\n\n", entries.size(),
+              result.observations.unique_path_count());
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"observed communities",
+                 std::to_string(result.observations.community_count())});
+  table.add_row({"classified", std::to_string(inference.classified_count())});
+  table.add_row({"  information", std::to_string(inference.information_count)});
+  table.add_row({"  action", std::to_string(inference.action_count)});
+  table.add_row({"excluded (private alpha)",
+                 std::to_string(inference.excluded_private)});
+  table.add_row({"excluded (never on-path, IXP)",
+                 std::to_string(inference.excluded_never_on_path)});
+  table.add_row({"clusters", std::to_string(inference.clusters.size())});
+  table.add_row({"dictionary-covered observed",
+                 std::to_string(eval.labeled_observed)});
+  table.add_row({"accuracy (paper: 96.5%)", util::percent(eval.accuracy())});
+  table.add_row({"coverage of labeled", util::percent(eval.coverage())});
+  table.add_row({"info misclassified as action",
+                 std::to_string(eval.info_as_action)});
+  table.add_row({"action misclassified as info",
+                 std::to_string(eval.action_as_info)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Ablations (DESIGN.md §5).
+  util::TextTable ablations({"variant", "accuracy", "classified"});
+  {
+    core::PipelineConfig no_sibling;
+    no_sibling.observation.sibling_aware = false;
+    core::Pipeline p(no_sibling);
+    p.set_org_map(&scenario.topology().orgs);
+    const auto r = p.run(entries);
+    const auto e = r.score(scenario.ground_truth());
+    ablations.add_row({"no sibling matching", util::percent(e.accuracy()),
+                       std::to_string(r.inference.classified_count())});
+  }
+  {
+    core::PipelineConfig mean_mode;
+    mean_mode.classifier.mean_of_ratios = true;
+    core::Pipeline p(mean_mode);
+    p.set_org_map(&scenario.topology().orgs);
+    const auto r = p.run(entries);
+    const auto e = r.score(scenario.ground_truth());
+    ablations.add_row({"mean-of-ratios cluster feature",
+                       util::percent(e.accuracy()),
+                       std::to_string(r.inference.classified_count())});
+  }
+  ablations.add_row({"default (sibling + pooled ratio)",
+                     util::percent(eval.accuracy()),
+                     std::to_string(inference.classified_count())});
+  std::printf("ablations:\n%s", ablations.render().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 10: accuracy and coverage as a function of the number of vantage
+// points, over repeated random VP subsets.  Paper: 50 experiments per
+// size; with 20 VPs the median accuracy stabilizes above 93% while
+// covering ~76.5% of the communities observed with all vantage points.
+// Shapes to match: rising-then-flat median accuracy, 10th percentile
+// catching up, coverage growing steadily with VP count.
+#include <algorithm>
+#include <unordered_set>
+
+#include "bench/common.hpp"
+#include "util/rng.hpp"
+
+using namespace bgpintent;
+
+int main() {
+  auto cfg = bench::default_scenario_config();
+  bench::print_banner("fig10 — accuracy vs number of vantage points", cfg);
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto& all_vps = scenario.vantage_points();
+
+  // Reference run with every vantage point (fixed ratio 160, gap 140).
+  // Routes are propagated once; VP subsets are filters over the full feed.
+  const auto full_entries = scenario.entries();
+  core::Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto full = pipeline.run(full_entries);
+  const double full_communities =
+      static_cast<double>(full.observations.community_count());
+  std::printf("full feed: %zu VPs, %zu communities, accuracy %s\n\n",
+              all_vps.size(), full.observations.community_count(),
+              util::percent(full.score(scenario.ground_truth()).accuracy())
+                  .c_str());
+
+  constexpr int kExperiments = 50;
+  util::Rng rng(4242);
+  util::TextTable table({"VPs", "p10 acc", "median acc", "p90 acc",
+                         "median coverage"});
+  for (const std::size_t count : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 30u, 45u,
+                                  60u}) {
+    if (count > all_vps.size()) break;
+    std::vector<double> accuracies;
+    std::vector<double> coverages;
+    for (int run = 0; run < kExperiments; ++run) {
+      std::unordered_set<bgp::Asn> subset;
+      for (const std::size_t idx : rng.sample_indices(all_vps.size(), count))
+        subset.insert(all_vps[idx]);
+      std::vector<bgp::RibEntry> entries;
+      for (const auto& entry : full_entries)
+        if (subset.contains(entry.vantage_point.asn)) entries.push_back(entry);
+      const auto result = pipeline.run(entries);
+      const auto eval = result.score(scenario.ground_truth());
+      accuracies.push_back(eval.accuracy());
+      coverages.push_back(
+          static_cast<double>(result.observations.community_count()) /
+          full_communities);
+    }
+    table.add_row({std::to_string(count),
+                   util::percent(util::percentile(accuracies, 10)),
+                   util::percent(util::median(accuracies)),
+                   util::percent(util::percentile(accuracies, 90)),
+                   util::percent(util::median(coverages))});
+  }
+  std::printf("%d experiments per row, fixed gap=140, ratio=160 "
+              "(paper: median accuracy >93%% and coverage ~76.5%% at 20 VPs)\n\n%s",
+              kExperiments, table.render().c_str());
+  return 0;
+}

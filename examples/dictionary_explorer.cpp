@@ -1,0 +1,72 @@
+// Looking-glass style route annotation: interpret the communities on a
+// route using the built-in dictionary of documented values (RFC well-known
+// communities + Arelion's published dictionary, as described in the paper).
+//
+//   ./examples/dictionary_explorer                 # annotate demo routes
+//   ./examples/dictionary_explorer 1299:2569 ...   # look up specific values
+#include <cstdio>
+
+#include "dict/builtin.hpp"
+
+using namespace bgpintent;
+
+namespace {
+
+void annotate(const dict::DictionaryStore& store, bgp::Community community) {
+  const dict::DictEntry* entry = store.lookup(community);
+  if (entry == nullptr) {
+    std::printf("  %-12s  (undocumented — run the inference pipeline for a "
+                "coarse label)\n",
+                community.to_string().c_str());
+    return;
+  }
+  std::printf("  %-12s  %-11s  %-20s  %s\n", community.to_string().c_str(),
+              std::string(dict::to_string(entry->intent())).c_str(),
+              std::string(dict::to_string(entry->category)).c_str(),
+              entry->description.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dict::DictionaryStore store = dict::builtin_dictionary();
+  std::printf("built-in dictionary: %zu ASes, %zu entries\n\n",
+              store.as_count(), store.entry_count());
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const auto community = bgp::Community::parse(argv[i]);
+      if (!community) {
+        std::fprintf(stderr, "error: '%s' is not alpha:beta\n", argv[i]);
+        return 1;
+      }
+      annotate(store, *community);
+    }
+    return 0;
+  }
+
+  // Demo: the route from Figure 1 of the paper, as a collector would see it.
+  struct DemoRoute {
+    const char* description;
+    const char* path;
+    std::vector<bgp::Community> communities;
+  };
+  const std::vector<DemoRoute> routes{
+      {"192.0.2.0/24 via Arelion (Figure 1 of the paper)",
+       "65269 7018 1299 64496",
+       {bgp::Community(1299, 2569), bgp::Community(1299, 35130)}},
+      {"203.0.113.0/24 blackholed at origin's request",
+       "65269 1299 64497",
+       {bgp::kBlackhole, bgp::Community(1299, 666)}},
+      {"198.51.100.0/24 with ROV state and graceful shutdown",
+       "65269 1299 64498",
+       {bgp::Community(1299, 430), bgp::kGracefulShutdown}},
+  };
+  for (const auto& route : routes) {
+    std::printf("route: %s\n  AS path: %s\n", route.description, route.path);
+    for (const bgp::Community community : route.communities)
+      annotate(store, community);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "bgp/asn.hpp"
+
+#include "util/strings.hpp"
+
+namespace bgpintent::bgp {
+
+std::string asn_to_string(Asn asn) { return std::to_string(asn); }
+
+std::optional<Asn> parse_asn(std::string_view text) noexcept {
+  return util::parse_u32(util::trim(text));
+}
+
+}  // namespace bgpintent::bgp

@@ -1,0 +1,58 @@
+// Autonomous System Number helpers.
+//
+// ASNs are plain 32-bit integers (RFC 6793 4-octet space).  Regular BGP
+// communities can only name 16-bit ASNs in their alpha field, so several
+// predicates distinguish the 16-bit sub-ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bgpintent::bgp {
+
+using Asn = std::uint32_t;
+
+/// AS_TRANS (RFC 6793): placeholder for 4-octet ASNs in 2-octet fields.
+inline constexpr Asn kAsTrans = 23456;
+
+/// True for 16-bit private-use ASNs 64512-65534 (RFC 6996).
+[[nodiscard]] constexpr bool is_private_asn16(Asn asn) noexcept {
+  return asn >= 64512 && asn <= 65534;
+}
+
+/// True for 32-bit private-use ASNs 4200000000-4294967294 (RFC 6996).
+[[nodiscard]] constexpr bool is_private_asn32(Asn asn) noexcept {
+  return asn >= 4200000000U && asn <= 4294967294U;
+}
+
+/// True for documentation ASNs 64496-64511 and 65536-65551 (RFC 5398).
+[[nodiscard]] constexpr bool is_documentation_asn(Asn asn) noexcept {
+  return (asn >= 64496 && asn <= 64511) || (asn >= 65536 && asn <= 65551);
+}
+
+/// True for ASN 0 and 65535 / 4294967295 (reserved, RFC 7607 / RFC 1930).
+[[nodiscard]] constexpr bool is_reserved_asn(Asn asn) noexcept {
+  return asn == 0 || asn == 65535 || asn == 4294967295U;
+}
+
+/// The paper excludes communities whose alpha is not a routable public
+/// 16-bit ASN: private, documentation, reserved, or AS_TRANS values cannot
+/// identify the operator that defined the community.
+[[nodiscard]] constexpr bool is_public_asn16(Asn asn) noexcept {
+  return asn > 0 && asn < 64496 && asn != kAsTrans;
+}
+
+/// True if the ASN fits in 16 bits (encodable in a 2-octet AS path).
+[[nodiscard]] constexpr bool fits_asn16(Asn asn) noexcept {
+  return asn <= 0xffff;
+}
+
+/// "asplain" decimal rendering (RFC 5396).
+[[nodiscard]] std::string asn_to_string(Asn asn);
+
+/// Parses asplain decimal; rejects trailing garbage and values > 2^32-1.
+[[nodiscard]] std::optional<Asn> parse_asn(std::string_view text) noexcept;
+
+}  // namespace bgpintent::bgp

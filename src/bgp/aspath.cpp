@@ -1,0 +1,164 @@
+#include "bgp/aspath.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::bgp {
+
+AsPath::AsPath(std::vector<Asn> sequence) {
+  if (!sequence.empty())
+    segments_.push_back(PathSegment{SegmentType::kSequence, std::move(sequence)});
+}
+
+AsPath::AsPath(std::vector<PathSegment> segments)
+    : segments_(std::move(segments)) {
+  std::erase_if(segments_,
+                [](const PathSegment& s) { return s.asns.empty(); });
+}
+
+std::size_t AsPath::length() const noexcept {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) n += seg.asns.size();
+  return n;
+}
+
+std::size_t AsPath::selection_length() const noexcept {
+  std::size_t n = 0;
+  for (const auto& seg : segments_)
+    n += seg.type == SegmentType::kSet ? 1 : seg.asns.size();
+  return n;
+}
+
+bool AsPath::contains(Asn asn) const noexcept {
+  for (const auto& seg : segments_)
+    for (Asn a : seg.asns)
+      if (a == asn) return true;
+  return false;
+}
+
+std::vector<Asn> AsPath::unique_asns() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_)
+    for (Asn a : seg.asns)
+      if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  return out;
+}
+
+std::optional<Asn> AsPath::first() const noexcept {
+  if (segments_.empty() || segments_.front().asns.empty()) return std::nullopt;
+  return segments_.front().asns.front();
+}
+
+std::optional<Asn> AsPath::origin() const noexcept {
+  if (segments_.empty()) return std::nullopt;
+  const PathSegment& last = segments_.back();
+  if (last.type != SegmentType::kSequence || last.asns.empty())
+    return std::nullopt;
+  return last.asns.back();
+}
+
+std::optional<Asn> AsPath::next_toward_origin(Asn asn) const noexcept {
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const auto& seg = segments_[s];
+    if (seg.type != SegmentType::kSequence) continue;
+    for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+      if (seg.asns[i] != asn) continue;
+      // Skip prepends of asn itself.
+      std::size_t j = i;
+      while (j < seg.asns.size() && seg.asns[j] == asn) ++j;
+      if (j < seg.asns.size()) return seg.asns[j];
+      // Next element is in the following segment.
+      if (s + 1 < segments_.size()) {
+        const auto& next = segments_[s + 1];
+        if (next.type == SegmentType::kSequence && !next.asns.empty())
+          return next.asns.front();
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+AsPath AsPath::prepended(Asn asn, std::size_t count) const {
+  AsPath out = *this;
+  if (count == 0) return out;
+  if (!out.segments_.empty() &&
+      out.segments_.front().type == SegmentType::kSequence) {
+    auto& front = out.segments_.front().asns;
+    front.insert(front.begin(), count, asn);
+  } else {
+    out.segments_.insert(
+        out.segments_.begin(),
+        PathSegment{SegmentType::kSequence, std::vector<Asn>(count, asn)});
+  }
+  return out;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (seg.type == SegmentType::kSequence) {
+      for (Asn a : seg.asns) {
+        if (!out.empty()) out += ' ';
+        out += std::to_string(a);
+      }
+    } else {
+      if (!out.empty()) out += ' ';
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    }
+  }
+  return out;
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<PathSegment> segments;
+  auto flush_seq = [&](std::vector<Asn>& seq) {
+    if (!seq.empty()) {
+      segments.push_back(PathSegment{SegmentType::kSequence, std::move(seq)});
+      seq.clear();
+    }
+  };
+  std::vector<Asn> seq;
+  for (std::string_view token : util::split_whitespace(text)) {
+    if (token.front() == '{') {
+      if (token.back() != '}' || token.size() < 3) return std::nullopt;
+      flush_seq(seq);
+      PathSegment set{SegmentType::kSet, {}};
+      for (auto member : util::split(token.substr(1, token.size() - 2), ',')) {
+        auto asn = parse_asn(member);
+        if (!asn) return std::nullopt;
+        set.asns.push_back(*asn);
+      }
+      if (set.asns.empty()) return std::nullopt;
+      segments.push_back(std::move(set));
+    } else {
+      auto asn = parse_asn(token);
+      if (!asn) return std::nullopt;
+      seq.push_back(*asn);
+    }
+  }
+  flush_seq(seq);
+  return AsPath(std::move(segments));
+}
+
+std::uint64_t AsPath::hash() const noexcept {
+  // FNV-1a over segment boundaries and ASNs; stable across runs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& seg : segments_) {
+    mix(static_cast<std::uint64_t>(seg.type) << 32 | seg.asns.size());
+    for (Asn a : seg.asns) mix(a);
+  }
+  return h;
+}
+
+}  // namespace bgpintent::bgp

@@ -1,0 +1,105 @@
+// AS_PATH attribute model.
+//
+// An AS path is a list of segments (RFC 4271 §4.3); we support AS_SEQUENCE
+// and AS_SET.  Paths are written collector-first: element 0 is the vantage
+// point's neighbor, the last element is (usually) the origin AS.
+//
+// AsPath is an immutable-ish value type with cheap equality/hashing so the
+// pipeline can count *unique* AS paths, which is the unit of measurement in
+// the paper's on-path:off-path ratios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/asn.hpp"
+
+namespace bgpintent::bgp {
+
+/// Segment kinds we model (CONFED segments are deliberately out of scope:
+/// they never appear in collector-facing eBGP paths).  Values match the
+/// RFC 4271 wire encoding: AS_SET = 1, AS_SEQUENCE = 2.
+enum class SegmentType : std::uint8_t { kSet = 1, kSequence = 2 };
+
+/// One AS_PATH segment.
+struct PathSegment {
+  SegmentType type = SegmentType::kSequence;
+  std::vector<Asn> asns;
+
+  friend bool operator==(const PathSegment&, const PathSegment&) = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+
+  /// Builds a single-sequence path (the overwhelmingly common case).
+  explicit AsPath(std::vector<Asn> sequence);
+
+  /// Builds from explicit segments.
+  explicit AsPath(std::vector<PathSegment> segments);
+
+  [[nodiscard]] const std::vector<PathSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// Number of ASN slots across all segments (prepends counted).
+  [[nodiscard]] std::size_t length() const noexcept;
+
+  /// Hop count as used for best-path selection: an AS_SET counts as one hop,
+  /// sequences count each (possibly prepended) slot.
+  [[nodiscard]] std::size_t selection_length() const noexcept;
+
+  /// True if `asn` appears anywhere in the path (any segment type).
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+
+  /// Distinct ASNs in path order (first occurrence), prepends collapsed.
+  [[nodiscard]] std::vector<Asn> unique_asns() const;
+
+  /// The first AS (vantage point's neighbor), if any.
+  [[nodiscard]] std::optional<Asn> first() const noexcept;
+
+  /// The origin AS: last ASN of the last AS_SEQUENCE; nullopt if the path
+  /// ends in an AS_SET (aggregated route) or is empty.
+  [[nodiscard]] std::optional<Asn> origin() const noexcept;
+
+  /// The AS that follows `asn` toward the origin, skipping prepends of
+  /// `asn` itself.  This is the neighbor that *sent* the route to `asn` —
+  /// the paper inspects its relationship with `asn` for the customer:peer
+  /// feature.  nullopt if `asn` is absent, is the origin, or the next
+  /// element is inside an AS_SET.
+  [[nodiscard]] std::optional<Asn> next_toward_origin(Asn asn) const noexcept;
+
+  /// Returns a copy with `asn` prepended `count` times at the front.
+  [[nodiscard]] AsPath prepended(Asn asn, std::size_t count) const;
+
+  /// "701 1299 64496" with sets rendered "{4,5}".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() form.  Rejects malformed sets/ASNs.
+  [[nodiscard]] static std::optional<AsPath> parse(std::string_view text);
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+  /// Stable 64-bit hash of the full segment structure.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  std::vector<PathSegment> segments_;
+};
+
+}  // namespace bgpintent::bgp
+
+template <>
+struct std::hash<bgpintent::bgp::AsPath> {
+  std::size_t operator()(const bgpintent::bgp::AsPath& path) const noexcept {
+    return static_cast<std::size_t>(path.hash());
+  }
+};

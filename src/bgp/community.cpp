@@ -1,0 +1,37 @@
+#include "bgp/community.hpp"
+
+#include "util/strings.hpp"
+
+namespace bgpintent::bgp {
+
+std::string Community::to_string() const {
+  return std::to_string(alpha()) + ":" + std::to_string(beta());
+}
+
+std::optional<Community> Community::parse(std::string_view text) noexcept {
+  const auto fields = util::split(util::trim(text), ':');
+  if (fields.size() != 2) return std::nullopt;
+  const auto alpha = util::parse_u32(fields[0]);
+  const auto beta = util::parse_u32(fields[1]);
+  if (!alpha || !beta || *alpha > 0xffff || *beta > 0xffff) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(*alpha),
+                   static_cast<std::uint16_t>(*beta));
+}
+
+std::string LargeCommunity::to_string() const {
+  return std::to_string(alpha_) + ":" + std::to_string(beta_) + ":" +
+         std::to_string(gamma_);
+}
+
+std::optional<LargeCommunity> LargeCommunity::parse(
+    std::string_view text) noexcept {
+  const auto fields = util::split(util::trim(text), ':');
+  if (fields.size() != 3) return std::nullopt;
+  const auto alpha = util::parse_u32(fields[0]);
+  const auto beta = util::parse_u32(fields[1]);
+  const auto gamma = util::parse_u32(fields[2]);
+  if (!alpha || !beta || !gamma) return std::nullopt;
+  return LargeCommunity(*alpha, *beta, *gamma);
+}
+
+}  // namespace bgpintent::bgp

@@ -1,0 +1,129 @@
+// BGP community attribute values.
+//
+// Community      — regular 32-bit community (RFC 1997), alpha:beta where
+//                  alpha is the 16-bit ASN that defines the meaning of the
+//                  16-bit beta.
+// LargeCommunity — 96-bit community (RFC 8092), alpha:beta:gamma with a
+//                  32-bit ASN alpha.
+//
+// Both are small value types with total ordering (by alpha, then beta[,
+// gamma]) and std::hash support so they can key maps and sets.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "bgp/asn.hpp"
+
+namespace bgpintent::bgp {
+
+/// Regular 32-bit BGP community (RFC 1997): alpha:beta.
+class Community {
+ public:
+  constexpr Community() noexcept = default;
+  constexpr Community(std::uint16_t alpha, std::uint16_t beta) noexcept
+      : value_(static_cast<std::uint32_t>(alpha) << 16 | beta) {}
+
+  /// From the 32-bit wire representation (alpha in the high 16 bits).
+  [[nodiscard]] static constexpr Community from_wire(std::uint32_t raw) noexcept {
+    Community c;
+    c.value_ = raw;
+    return c;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t alpha() const noexcept {
+    return static_cast<std::uint16_t>(value_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t beta() const noexcept {
+    return static_cast<std::uint16_t>(value_ & 0xffff);
+  }
+  [[nodiscard]] constexpr std::uint32_t wire() const noexcept { return value_; }
+
+  /// The AS that assigns meaning to this community.
+  [[nodiscard]] constexpr Asn owner() const noexcept { return alpha(); }
+
+  /// True for values in the reserved ranges 0:* and 65535:* (RFC 1997).
+  [[nodiscard]] constexpr bool is_reserved_range() const noexcept {
+    return alpha() == 0 || alpha() == 0xffff;
+  }
+
+  /// True if this is one of the IANA well-known communities (65535:*).
+  [[nodiscard]] constexpr bool is_well_known() const noexcept {
+    return alpha() == 0xffff;
+  }
+
+  /// "alpha:beta" decimal form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "alpha:beta"; both fields must be decimal and fit 16 bits.
+  [[nodiscard]] static std::optional<Community> parse(
+      std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Community, Community) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// Well-known communities (RFC 1997, RFC 3765, RFC 7999, RFC 8326).
+inline constexpr Community kNoExport = Community::from_wire(0xffffff01);
+inline constexpr Community kNoAdvertise = Community::from_wire(0xffffff02);
+inline constexpr Community kNoExportSubconfed = Community::from_wire(0xffffff03);
+inline constexpr Community kNoPeer = Community::from_wire(0xffffff04);
+inline constexpr Community kBlackhole = Community::from_wire(0xffff029a);
+inline constexpr Community kGracefulShutdown = Community::from_wire(0xffff0000);
+
+/// Large 96-bit BGP community (RFC 8092): alpha:beta:gamma.
+class LargeCommunity {
+ public:
+  constexpr LargeCommunity() noexcept = default;
+  constexpr LargeCommunity(std::uint32_t alpha, std::uint32_t beta,
+                           std::uint32_t gamma) noexcept
+      : alpha_(alpha), beta_(beta), gamma_(gamma) {}
+
+  [[nodiscard]] constexpr std::uint32_t alpha() const noexcept { return alpha_; }
+  [[nodiscard]] constexpr std::uint32_t beta() const noexcept { return beta_; }
+  [[nodiscard]] constexpr std::uint32_t gamma() const noexcept { return gamma_; }
+  [[nodiscard]] constexpr Asn owner() const noexcept { return alpha_; }
+
+  /// "alpha:beta:gamma" decimal form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "alpha:beta:gamma" decimal.
+  [[nodiscard]] static std::optional<LargeCommunity> parse(
+      std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(LargeCommunity,
+                                    LargeCommunity) noexcept = default;
+
+ private:
+  std::uint32_t alpha_ = 0;
+  std::uint32_t beta_ = 0;
+  std::uint32_t gamma_ = 0;
+};
+
+}  // namespace bgpintent::bgp
+
+template <>
+struct std::hash<bgpintent::bgp::Community> {
+  std::size_t operator()(bgpintent::bgp::Community c) const noexcept {
+    // Fibonacci scrambling; community values cluster densely in low betas.
+    return static_cast<std::size_t>(c.wire()) * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+template <>
+struct std::hash<bgpintent::bgp::LargeCommunity> {
+  std::size_t operator()(const bgpintent::bgp::LargeCommunity& c) const noexcept {
+    std::size_t h = static_cast<std::size_t>(c.alpha()) * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::size_t>(c.beta()) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+          (h >> 2));
+    h ^= (static_cast<std::size_t>(c.gamma()) + 0x9e3779b97f4a7c15ULL +
+          (h << 6) + (h >> 2));
+    return h;
+  }
+};

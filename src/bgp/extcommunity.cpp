@@ -1,0 +1,80 @@
+#include "bgp/extcommunity.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::bgp {
+
+ExtCommunity ExtCommunity::route_target(std::uint16_t asn,
+                                        std::uint32_t value) noexcept {
+  return from_wire(static_cast<std::uint64_t>(kTypeTwoOctetAs) << 56 |
+                   static_cast<std::uint64_t>(kSubtypeRouteTarget) << 48 |
+                   static_cast<std::uint64_t>(asn) << 32 | value);
+}
+
+ExtCommunity ExtCommunity::route_origin(std::uint16_t asn,
+                                        std::uint32_t value) noexcept {
+  return from_wire(static_cast<std::uint64_t>(kTypeTwoOctetAs) << 56 |
+                   static_cast<std::uint64_t>(kSubtypeRouteOrigin) << 48 |
+                   static_cast<std::uint64_t>(asn) << 32 | value);
+}
+
+ExtCommunity ExtCommunity::route_target4(std::uint32_t asn,
+                                         std::uint16_t value) noexcept {
+  return from_wire(static_cast<std::uint64_t>(kTypeFourOctetAs) << 56 |
+                   static_cast<std::uint64_t>(kSubtypeRouteTarget) << 48 |
+                   static_cast<std::uint64_t>(asn) << 16 | value);
+}
+
+std::string ExtCommunity::to_string() const {
+  if (base_type() == kTypeTwoOctetAs && subtype() == kSubtypeRouteTarget)
+    return "rt:" + std::to_string(as2()) + ":" + std::to_string(local4());
+  if (base_type() == kTypeTwoOctetAs && subtype() == kSubtypeRouteOrigin)
+    return "ro:" + std::to_string(as2()) + ":" + std::to_string(local4());
+  if (base_type() == kTypeFourOctetAs && subtype() == kSubtypeRouteTarget)
+    return "rt4:" + std::to_string(as4()) + ":" + std::to_string(local2());
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "ext:%016llx",
+                static_cast<unsigned long long>(value_));
+  return buf;
+}
+
+std::optional<ExtCommunity> ExtCommunity::parse(std::string_view text) noexcept {
+  text = util::trim(text);
+  const auto fields = util::split(text, ':');
+  if (fields.size() == 3 && (fields[0] == "rt" || fields[0] == "ro")) {
+    const auto asn = util::parse_u32(fields[1]);
+    const auto value = util::parse_u32(fields[2]);
+    if (!asn || !value || *asn > 0xffff) return std::nullopt;
+    return fields[0] == "rt"
+               ? route_target(static_cast<std::uint16_t>(*asn), *value)
+               : route_origin(static_cast<std::uint16_t>(*asn), *value);
+  }
+  if (fields.size() == 3 && fields[0] == "rt4") {
+    const auto asn = util::parse_u32(fields[1]);
+    const auto value = util::parse_u32(fields[2]);
+    if (!asn || !value || *value > 0xffff) return std::nullopt;
+    return route_target4(*asn, static_cast<std::uint16_t>(*value));
+  }
+  if (fields.size() == 2 && fields[0] == "ext") {
+    if (fields[1].size() != 16) return std::nullopt;
+    std::uint64_t raw = 0;
+    for (const char c : fields[1]) {
+      int digit;
+      if (c >= '0' && c <= '9')
+        digit = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = c - 'A' + 10;
+      else
+        return std::nullopt;
+      raw = raw << 4 | static_cast<std::uint64_t>(digit);
+    }
+    return from_wire(raw);
+  }
+  return std::nullopt;
+}
+
+}  // namespace bgpintent::bgp

@@ -1,0 +1,111 @@
+// Extended BGP communities (RFC 4360, RFC 5668).
+//
+// 64-bit values: type (with transitivity bit), subtype, and a 6-byte body
+// whose layout depends on the type.  We model the common kinds seen in
+// public BGP data — two-octet-AS specific, IPv4-address specific,
+// four-octet-AS specific (RFC 5668) and opaque — with the route-target /
+// route-origin subtypes spelled out.
+//
+// The intent-inference method operates on regular communities (the paper's
+// scope); extended communities are carried through the MRT layer so the
+// library round-trips real RouteViews data faithfully.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "bgp/asn.hpp"
+
+namespace bgpintent::bgp {
+
+class ExtCommunity {
+ public:
+  // High-order type octets (transitive variants).
+  static constexpr std::uint8_t kTypeTwoOctetAs = 0x00;
+  static constexpr std::uint8_t kTypeIpv4Address = 0x01;
+  static constexpr std::uint8_t kTypeFourOctetAs = 0x02;
+  static constexpr std::uint8_t kTypeOpaque = 0x03;
+  static constexpr std::uint8_t kNonTransitiveBit = 0x40;
+
+  // Common subtypes.
+  static constexpr std::uint8_t kSubtypeRouteTarget = 0x02;
+  static constexpr std::uint8_t kSubtypeRouteOrigin = 0x03;
+
+  constexpr ExtCommunity() noexcept = default;
+
+  /// From the 8-byte wire value (big-endian interpreted as u64).
+  [[nodiscard]] static constexpr ExtCommunity from_wire(
+      std::uint64_t raw) noexcept {
+    ExtCommunity c;
+    c.value_ = raw;
+    return c;
+  }
+
+  /// Two-octet-AS specific route target "rt:asn:value".
+  [[nodiscard]] static ExtCommunity route_target(std::uint16_t asn,
+                                                 std::uint32_t value) noexcept;
+  /// Two-octet-AS specific route origin "ro:asn:value".
+  [[nodiscard]] static ExtCommunity route_origin(std::uint16_t asn,
+                                                 std::uint32_t value) noexcept;
+  /// Four-octet-AS specific route target (RFC 5668).
+  [[nodiscard]] static ExtCommunity route_target4(std::uint32_t asn,
+                                                  std::uint16_t value) noexcept;
+
+  [[nodiscard]] constexpr std::uint64_t wire() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t type() const noexcept {
+    return static_cast<std::uint8_t>(value_ >> 56);
+  }
+  [[nodiscard]] constexpr std::uint8_t subtype() const noexcept {
+    return static_cast<std::uint8_t>(value_ >> 48);
+  }
+  /// Type with the transitivity bit masked off.
+  [[nodiscard]] constexpr std::uint8_t base_type() const noexcept {
+    return type() & static_cast<std::uint8_t>(~kNonTransitiveBit);
+  }
+  [[nodiscard]] constexpr bool is_transitive() const noexcept {
+    return (type() & kNonTransitiveBit) == 0;
+  }
+
+  /// For two-octet-AS specific: the AS number field.
+  [[nodiscard]] constexpr std::uint16_t as2() const noexcept {
+    return static_cast<std::uint16_t>(value_ >> 32);
+  }
+  /// For two-octet-AS specific: the 4-byte local value.
+  [[nodiscard]] constexpr std::uint32_t local4() const noexcept {
+    return static_cast<std::uint32_t>(value_);
+  }
+  /// For four-octet-AS specific: the AS number field.
+  [[nodiscard]] constexpr std::uint32_t as4() const noexcept {
+    return static_cast<std::uint32_t>(value_ >> 16);
+  }
+  /// For four-octet-AS specific: the 2-byte local value.
+  [[nodiscard]] constexpr std::uint16_t local2() const noexcept {
+    return static_cast<std::uint16_t>(value_);
+  }
+
+  /// "rt:64500:100", "ro:64500:7", "rt4:212483:9", or "ext:<16 hex>".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() forms.
+  [[nodiscard]] static std::optional<ExtCommunity> parse(
+      std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(ExtCommunity, ExtCommunity) noexcept =
+      default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace bgpintent::bgp
+
+template <>
+struct std::hash<bgpintent::bgp::ExtCommunity> {
+  std::size_t operator()(bgpintent::bgp::ExtCommunity c) const noexcept {
+    return static_cast<std::size_t>(c.wire() * 0x9e3779b97f4a7c15ULL);
+  }
+};

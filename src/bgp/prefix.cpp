@@ -1,0 +1,29 @@
+#include "bgp/prefix.hpp"
+
+#include "util/strings.hpp"
+
+namespace bgpintent::bgp {
+
+std::string Prefix::to_string() const {
+  return std::to_string(addr_ >> 24) + "." + std::to_string((addr_ >> 16) & 0xff) +
+         "." + std::to_string((addr_ >> 8) & 0xff) + "." +
+         std::to_string(addr_ & 0xff) + "/" + std::to_string(len_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = util::split(util::trim(text), '/');
+  if (slash.size() != 2) return std::nullopt;
+  const auto octets = util::split(slash[0], '.');
+  if (octets.size() != 4) return std::nullopt;
+  std::uint32_t addr = 0;
+  for (const auto octet : octets) {
+    const auto value = util::parse_u32(octet);
+    if (!value || *value > 255) return std::nullopt;
+    addr = addr << 8 | *value;
+  }
+  const auto len = util::parse_u32(slash[1]);
+  if (!len || *len > 32) return std::nullopt;
+  return Prefix(addr, static_cast<std::uint8_t>(*len));
+}
+
+}  // namespace bgpintent::bgp

@@ -1,0 +1,71 @@
+// IPv4 prefix value type.
+//
+// The reproduction (like the paper's regular-community analysis) works on
+// IPv4 unicast routes.  Prefixes are canonicalized: host bits beyond the
+// prefix length are zeroed on construction so equality and hashing behave.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bgpintent::bgp {
+
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// addr is host byte order; len in [0, 32].  Host bits are zeroed.
+  constexpr Prefix(std::uint32_t addr, std::uint8_t len) noexcept
+      : addr_(addr & mask_for(len)), len_(len > 32 ? 32 : len) {}
+
+  [[nodiscard]] constexpr std::uint32_t address() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return len_; }
+
+  /// Network mask for this prefix length, host byte order.
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return mask_for(len_);
+  }
+
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && (other.addr_ & mask()) == addr_;
+  }
+
+  /// True if the address (host byte order) falls inside the prefix.
+  [[nodiscard]] constexpr bool contains(std::uint32_t addr) const noexcept {
+    return (addr & mask()) == addr_;
+  }
+
+  /// "a.b.c.d/len".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "a.b.c.d/len"; rejects octets > 255, len > 32, junk.
+  /// Host bits are canonicalized (zeroed), matching the constructor.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_for(std::uint8_t len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - (len > 32 ? 32 : len));
+  }
+
+  std::uint32_t addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace bgpintent::bgp
+
+template <>
+struct std::hash<bgpintent::bgp::Prefix> {
+  std::size_t operator()(const bgpintent::bgp::Prefix& p) const noexcept {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(p.address()) << 8 | p.length();
+    return static_cast<std::size_t>(key * 0x9e3779b97f4a7c15ULL);
+  }
+};

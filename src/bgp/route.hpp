@@ -1,0 +1,77 @@
+// Route records as observed at a BGP vantage point, and the
+// (AS path, community) tuple that is the unit of input to the paper's
+// inference method (§4: "unique AS path and BGP Community tuples").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/extcommunity.hpp"
+#include "bgp/prefix.hpp"
+
+namespace bgpintent::bgp {
+
+/// BGP ORIGIN attribute (RFC 4271 §4.3).
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// A best route as dumped by a collector RIB or carried in an update.
+struct Route {
+  Prefix prefix;
+  AsPath path;
+  std::vector<Community> communities;
+  std::vector<LargeCommunity> large_communities;
+  std::vector<ExtCommunity> ext_communities;
+  std::uint32_t next_hop = 0;  // IPv4, host byte order
+  Origin origin_attr = Origin::kIgp;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+
+  /// True if the regular community list contains `c`.
+  [[nodiscard]] bool has_community(Community c) const noexcept;
+
+  /// Sorts and deduplicates both community lists (canonical form for
+  /// comparisons; BGP community order is not semantically meaningful).
+  void canonicalize_communities();
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// Identity of the collector peer (vantage point) that exported a route.
+struct VantagePointId {
+  Asn asn = 0;
+  std::uint32_t address = 0;  // peer IP, host byte order
+
+  friend auto operator<=>(const VantagePointId&, const VantagePointId&) = default;
+};
+
+/// One RIB row: which vantage point saw which route.
+struct RibEntry {
+  VantagePointId vantage_point;
+  Route route;
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+};
+
+/// The pipeline's unit of input.  The paper extracts unique
+/// (AS path, community) pairs from RIBs and updates; `count` tracks how
+/// many times the pair was seen (informational only — the method counts
+/// unique paths, not occurrences).
+struct PathCommunityTuple {
+  AsPath path;
+  Community community;
+  std::uint64_t count = 1;
+
+  friend bool operator==(const PathCommunityTuple&,
+                         const PathCommunityTuple&) = default;
+};
+
+/// Expands RIB entries into per-community tuples (one per (path, community)
+/// pair present on each route).
+[[nodiscard]] std::vector<PathCommunityTuple> tuples_from_entries(
+    const std::vector<RibEntry>& entries);
+
+}  // namespace bgpintent::bgp

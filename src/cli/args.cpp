@@ -1,0 +1,72 @@
+#include "cli/args.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::cli {
+
+std::optional<Args> Args::parse(int argc, char** argv, int start,
+                                const std::set<std::string>& value_options,
+                                const std::set<std::string>& flag_options) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    if (!token.starts_with("--")) {
+      args.positional_.emplace_back(token);
+      continue;
+    }
+    const std::string name(token.substr(2));
+    if (flag_options.contains(name)) {
+      args.flags_.insert(name);
+    } else if (value_options.contains(name)) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --%s requires a value\n", name.c_str());
+        return std::nullopt;
+      }
+      args.values_[name] = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown option --%s\n", name.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+bool Args::flag(std::string_view name) const noexcept {
+  return flags_.contains(name);
+}
+
+std::optional<std::string> Args::value(std::string_view name) const noexcept {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> Args::value_u64(
+    std::string_view name, std::uint64_t fallback) const noexcept {
+  const auto raw = value(name);
+  if (!raw) return fallback;
+  const auto parsed = util::parse_u64(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "error: --%.*s expects an unsigned integer\n",
+                 static_cast<int>(name.size()), name.data());
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<double> Args::value_double(std::string_view name,
+                                         double fallback) const noexcept {
+  const auto raw = value(name);
+  if (!raw) return fallback;
+  const auto parsed = util::parse_double(*raw);
+  if (!parsed) {
+    std::fprintf(stderr, "error: --%.*s expects a number\n",
+                 static_cast<int>(name.size()), name.data());
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace bgpintent::cli

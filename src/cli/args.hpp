@@ -1,0 +1,49 @@
+// Tiny command-line argument parser for the bgpintent CLI.
+//
+// Supports "--key value", "--flag", and positional arguments; unknown
+// options are an error.  Deliberately minimal — no subcommand registry,
+// no abbreviations — so behavior is obvious from the usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpintent::cli {
+
+class Args {
+ public:
+  /// Parses argv[start..argc).  `value_options` lists "--key value"
+  /// options, `flag_options` lists boolean "--flag" options.
+  /// Returns nullopt (after printing to stderr) on unknown or malformed
+  /// options.
+  [[nodiscard]] static std::optional<Args> parse(
+      int argc, char** argv, int start,
+      const std::set<std::string>& value_options,
+      const std::set<std::string>& flag_options);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] bool flag(std::string_view name) const noexcept;
+  [[nodiscard]] std::optional<std::string> value(
+      std::string_view name) const noexcept;
+
+  /// Typed access with defaults; prints to stderr and returns nullopt on a
+  /// malformed number.
+  [[nodiscard]] std::optional<std::uint64_t> value_u64(
+      std::string_view name, std::uint64_t fallback) const noexcept;
+  [[nodiscard]] std::optional<double> value_double(
+      std::string_view name, double fallback) const noexcept;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::set<std::string, std::less<>> flags_;
+};
+
+}  // namespace bgpintent::cli

@@ -1,0 +1,336 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "core/pipeline.hpp"
+#include "core/summarize.hpp"
+#include "dict/builtin.hpp"
+#include "mrt/mrt_file.hpp"
+#include "rel/asrank.hpp"
+#include "routing/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace bgpintent::cli {
+
+namespace {
+
+/// Reads RIB entries from every listed MRT file; returns nullopt on error.
+std::optional<std::vector<bgp::RibEntry>> load_mrt_files(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: at least one MRT file required\n");
+    return std::nullopt;
+  }
+  std::vector<bgp::RibEntry> entries;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return std::nullopt;
+    }
+    try {
+      auto file_entries = mrt::read_rib_entries(in);
+      entries.insert(entries.end(),
+                     std::make_move_iterator(file_entries.begin()),
+                     std::make_move_iterator(file_entries.end()));
+    } catch (const mrt::MrtError& error) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+      return std::nullopt;
+    }
+  }
+  return entries;
+}
+
+std::optional<dict::DictionaryStore> load_dictionary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open dictionary %s\n", path.c_str());
+    return std::nullopt;
+  }
+  dict::DictionaryStore store;
+  try {
+    store.load(in);
+  } catch (const util::ParseError& error) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+    return std::nullopt;
+  }
+  return store;
+}
+
+bool write_to(const std::optional<std::string>& path, auto&& writer) {
+  if (!path) {
+    writer(std::cout);
+    return true;
+  }
+  std::ofstream out(*path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+    return false;
+  }
+  writer(out);
+  return true;
+}
+
+}  // namespace
+
+int cmd_infer(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2,
+                                {"gap", "threshold", "out", "summary"},
+                                {"no-siblings", "mean-ratios"});
+  if (!args) return 2;
+  const auto gap = args->value_u64("gap", 140);
+  const auto threshold = args->value_double("threshold", 160.0);
+  if (!gap || !threshold) return 2;
+
+  const auto entries = load_mrt_files(args->positional());
+  if (!entries) return 1;
+
+  core::PipelineConfig cfg;
+  cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
+  cfg.classifier.ratio_threshold = *threshold;
+  cfg.classifier.mean_of_ratios = args->flag("mean-ratios");
+  cfg.observation.sibling_aware = !args->flag("no-siblings");
+  core::Pipeline pipeline(cfg);
+  const auto result = pipeline.run(*entries);
+
+  std::fprintf(stderr,
+               "%zu entries, %zu unique paths, %zu communities -> "
+               "%zu information / %zu action / %zu excluded\n",
+               entries->size(), result.observations.unique_path_count(),
+               result.observations.community_count(),
+               result.inference.information_count,
+               result.inference.action_count,
+               result.inference.excluded_private +
+                   result.inference.excluded_never_on_path);
+
+  const bool wrote = write_to(args->value("out"), [&](std::ostream& out) {
+    util::CsvWriter csv(out);
+    csv.write_row({"community", "intent", "on_path_paths", "off_path_paths"});
+    for (const auto& stats : result.observations.all())
+      csv.write_row({stats.community.to_string(),
+                     std::string(dict::to_string(
+                         result.inference.label_of(stats.community))),
+                     std::to_string(stats.on_path_paths),
+                     std::to_string(stats.off_path_paths)});
+  });
+  if (!wrote) return 1;
+
+  if (const auto summary_path = args->value("summary")) {
+    const auto summary =
+        core::summarize(result.observations, result.inference);
+    if (!write_to(summary_path, [&](std::ostream& out) {
+          core::write_summary(out, summary);
+        }))
+      return 1;
+    std::fprintf(stderr, "summary: %zu inferred dictionary entries -> %s\n",
+                 summary.size(), summary_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  const auto args = Args::parse(
+      argc, argv, 2,
+      {"seed", "tier1", "tier2", "stubs", "vantage-points", "out", "dict"},
+      {});
+  if (!args) return 2;
+  const auto seed = args->value_u64("seed", 20230501);
+  const auto tier1 = args->value_u64("tier1", 10);
+  const auto tier2 = args->value_u64("tier2", 80);
+  const auto stubs = args->value_u64("stubs", 600);
+  const auto vps = args->value_u64("vantage-points", 60);
+  if (!seed || !tier1 || !tier2 || !stubs || !vps) return 2;
+
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = *seed;
+  cfg.policy.seed = *seed + 1;
+  cfg.workload_seed = *seed + 2;
+  cfg.topology.tier1_count = static_cast<std::uint32_t>(*tier1);
+  cfg.topology.tier2_count = static_cast<std::uint32_t>(*tier2);
+  cfg.topology.stub_count = static_cast<std::uint32_t>(*stubs);
+  cfg.vantage_point_count = static_cast<std::uint32_t>(*vps);
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  const std::string out_path = args->value("out").value_or("rib.mrt");
+  {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    mrt::MrtWriter writer(out);
+    writer.write_rib_snapshot(entries, 0x7f000001, 1682899200);
+  }
+  std::fprintf(stderr, "wrote %zu RIB entries (%zu ASes, %zu VPs) to %s\n",
+               entries.size(), scenario.topology().graph.as_count(),
+               scenario.vantage_points().size(), out_path.c_str());
+
+  if (const auto dict_path = args->value("dict")) {
+    std::ofstream out(*dict_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", dict_path->c_str());
+      return 1;
+    }
+    scenario.ground_truth().save(out);
+    std::fprintf(stderr, "wrote ground-truth dictionary (%zu entries) to %s\n",
+                 scenario.ground_truth().entry_count(), dict_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_relationships(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {"out"}, {});
+  if (!args) return 2;
+  const auto entries = load_mrt_files(args->positional());
+  if (!entries) return 1;
+  std::vector<bgp::AsPath> paths;
+  paths.reserve(entries->size());
+  for (const auto& entry : *entries) paths.push_back(entry.route.path);
+  const auto dataset = rel::infer_relationships(paths);
+  std::fprintf(stderr, "inferred %zu links: %zu p2c, %zu p2p\n",
+               dataset.link_count(), dataset.p2c_count(), dataset.p2p_count());
+  if (!write_to(args->value("out"),
+                [&](std::ostream& out) { dataset.save(out); }))
+    return 1;
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  const auto args =
+      Args::parse(argc, argv, 2, {"dict", "gap", "threshold"}, {});
+  if (!args) return 2;
+  const auto dict_path = args->value("dict");
+  if (!dict_path) {
+    std::fprintf(stderr, "error: --dict <truth.dict> is required\n");
+    return 2;
+  }
+  const auto truth = load_dictionary(*dict_path);
+  if (!truth) return 1;
+  const auto gap = args->value_u64("gap", 140);
+  const auto threshold = args->value_double("threshold", 160.0);
+  if (!gap || !threshold) return 2;
+  const auto entries = load_mrt_files(args->positional());
+  if (!entries) return 1;
+
+  core::PipelineConfig cfg;
+  cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
+  cfg.classifier.ratio_threshold = *threshold;
+  core::Pipeline pipeline(cfg);
+  const auto result = pipeline.run(*entries);
+  const auto eval = result.score(*truth);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"labeled observed", std::to_string(eval.labeled_observed)});
+  table.add_row({"classified", std::to_string(eval.classified)});
+  table.add_row({"correct", std::to_string(eval.correct)});
+  table.add_row({"accuracy", util::percent(eval.accuracy())});
+  table.add_row({"coverage", util::percent(eval.coverage())});
+  table.add_row({"info as action", std::to_string(eval.info_as_action)});
+  table.add_row({"action as info", std::to_string(eval.action_as_info)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_annotate(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {"dict"}, {});
+  if (!args) return 2;
+  dict::DictionaryStore store;
+  if (const auto dict_path = args->value("dict")) {
+    auto loaded = load_dictionary(*dict_path);
+    if (!loaded) return 1;
+    store = std::move(*loaded);
+  } else {
+    store = dict::builtin_dictionary();
+  }
+  if (args->positional().empty()) {
+    std::fprintf(stderr, "error: pass community values like 1299:2569\n");
+    return 2;
+  }
+  for (const std::string& raw : args->positional()) {
+    const auto community = bgp::Community::parse(raw);
+    if (!community) {
+      std::fprintf(stderr, "error: '%s' is not alpha:beta\n", raw.c_str());
+      return 2;
+    }
+    const dict::DictEntry* entry = store.lookup(*community);
+    if (entry == nullptr)
+      std::printf("%-12s  unknown\n", community->to_string().c_str());
+    else
+      std::printf("%-12s  %-11s  %-20s  %s\n",
+                  community->to_string().c_str(),
+                  std::string(dict::to_string(entry->intent())).c_str(),
+                  std::string(dict::to_string(entry->category)).c_str(),
+                  entry->description.c_str());
+  }
+  return 0;
+}
+
+int cmd_mrt_info(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {}, {});
+  if (!args) return 2;
+  if (args->positional().empty()) {
+    std::fprintf(stderr, "error: at least one MRT file required\n");
+    return 2;
+  }
+  for (const std::string& path : args->positional()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::size_t records = 0;
+    std::size_t rib_rows = 0;
+    std::size_t updates = 0;
+    std::size_t bytes = 0;
+    try {
+      mrt::MrtReader reader(in);
+      mrt::MrtRecord record;
+      while (reader.next(record)) {
+        ++records;
+        bytes += 12 + record.body.size();
+        if (record.type == mrt::kTypeTableDumpV2 &&
+            record.subtype == mrt::kSubtypeRibIpv4Unicast)
+          ++rib_rows;
+        else if (record.type == mrt::kTypeBgp4mp)
+          ++updates;
+      }
+    } catch (const mrt::MrtError& error) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+      return 1;
+    }
+    std::printf("%s: %zu records (%zu RIB prefixes, %zu BGP4MP), %zu bytes\n",
+                path.c_str(), records, rib_rows, updates, bytes);
+  }
+  return 0;
+}
+
+int cmd_help() {
+  std::printf(
+      "bgpintent — coarse-grained inference of BGP community intent\n"
+      "\n"
+      "usage: bgpintent <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  infer <rib.mrt>...     classify communities from MRT input\n"
+      "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
+      "      [--out file.csv] [--summary file.dict]\n"
+      "  simulate               generate a synthetic collector RIB as MRT\n"
+      "      [--seed N] [--tier1 N] [--tier2 N] [--stubs N]\n"
+      "      [--vantage-points N] [--out rib.mrt] [--dict truth.dict]\n"
+      "  relationships <mrt>... infer AS relationships (CAIDA serial-1)\n"
+      "      [--out file]\n"
+      "  eval <rib.mrt>...      score against a ground-truth dictionary\n"
+      "      --dict truth.dict [--gap N] [--threshold R]\n"
+      "  annotate <a:b>...      explain community values [--dict file]\n"
+      "  mrt-info <file>...     MRT record statistics\n"
+      "  help                   this text\n");
+  return 0;
+}
+
+}  // namespace bgpintent::cli

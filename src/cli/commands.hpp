@@ -1,0 +1,34 @@
+// Subcommands of the bgpintent CLI.  Each takes already-parsed argv and
+// returns a process exit code.
+#pragma once
+
+namespace bgpintent::cli {
+
+/// `bgpintent infer <rib.mrt>...` — classify community intent from MRT
+/// input, write per-community CSV and optional dictionary summary.
+int cmd_infer(int argc, char** argv);
+
+/// `bgpintent simulate` — generate a synthetic Internet and write its
+/// collector RIB as MRT plus the ground-truth dictionary.
+int cmd_simulate(int argc, char** argv);
+
+/// `bgpintent relationships <rib.mrt>...` — infer AS relationships from
+/// the AS paths in MRT input (CAIDA serial-1 output).
+int cmd_relationships(int argc, char** argv);
+
+/// `bgpintent eval <rib.mrt> --dict truth.dict` — score inferences against
+/// a ground-truth dictionary.
+int cmd_eval(int argc, char** argv);
+
+/// `bgpintent annotate <community>...` — explain community values using a
+/// dictionary (built-in by default).
+int cmd_annotate(int argc, char** argv);
+
+/// `bgpintent mrt-info <file.mrt>...` — record/statistics summary of MRT
+/// files.
+int cmd_mrt_info(int argc, char** argv);
+
+/// Prints global usage.
+int cmd_help();
+
+}  // namespace bgpintent::cli

@@ -1,0 +1,24 @@
+// bgpintent CLI entry point.
+#include <cstdio>
+#include <cstring>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgpintent::cli;
+  if (argc < 2) return cmd_help();
+  const char* command = argv[1];
+  if (std::strcmp(command, "infer") == 0) return cmd_infer(argc, argv);
+  if (std::strcmp(command, "simulate") == 0) return cmd_simulate(argc, argv);
+  if (std::strcmp(command, "relationships") == 0)
+    return cmd_relationships(argc, argv);
+  if (std::strcmp(command, "eval") == 0) return cmd_eval(argc, argv);
+  if (std::strcmp(command, "annotate") == 0) return cmd_annotate(argc, argv);
+  if (std::strcmp(command, "mrt-info") == 0) return cmd_mrt_info(argc, argv);
+  if (std::strcmp(command, "help") == 0 ||
+      std::strcmp(command, "--help") == 0 || std::strcmp(command, "-h") == 0)
+    return cmd_help();
+  std::fprintf(stderr, "error: unknown command '%s' (try: bgpintent help)\n",
+               command);
+  return 2;
+}

@@ -1,0 +1,105 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bgp/asn.hpp"
+
+namespace bgpintent::core {
+
+Intent InferenceResult::label_of(Community community) const noexcept {
+  const auto it = labels.find(community);
+  return it == labels.end() ? Intent::kUnclassified : it->second;
+}
+
+namespace {
+
+/// Shared cluster walk for both classifiers.  `ratio_of` maps a community's
+/// stats to its feature ratio; `decide` labels the cluster.
+template <typename RatioFn, typename DecideFn>
+InferenceResult classify_impl(const ObservationIndex& observations,
+                              std::uint32_t min_gap, RatioFn ratio_of,
+                              DecideFn decide) {
+  InferenceResult result;
+  for (const std::uint16_t alpha : observations.alphas()) {
+    const auto betas = observations.observed_betas(alpha);
+    if (!bgp::is_public_asn16(alpha)) {
+      result.excluded_private += betas.size();
+      continue;
+    }
+    if (!observations.alpha_on_any_path(alpha)) {
+      result.excluded_never_on_path += betas.size();
+      continue;
+    }
+    for (Cluster& cluster : gap_cluster(alpha, betas, min_gap)) {
+      ClusterInference inference;
+      inference.pure_on = true;
+      inference.pure_off = true;
+      std::vector<double> ratios;
+      std::size_t pooled_on = 0;
+      std::size_t pooled_off = 0;
+      for (const std::uint16_t beta : cluster.betas) {
+        const CommunityStats* stats =
+            observations.find(Community(alpha, beta));
+        // Every observed beta has stats by construction.
+        ratios.push_back(ratio_of(*stats));
+        pooled_on += stats->on_path_paths;
+        pooled_off += stats->off_path_paths;
+        if (!stats->pure_on()) inference.pure_on = false;
+        if (!stats->pure_off()) inference.pure_off = false;
+      }
+      inference.mean_ratio =
+          ratios.empty()
+              ? 0.0
+              : std::accumulate(ratios.begin(), ratios.end(), 0.0) /
+                    static_cast<double>(ratios.size());
+      inference.pooled_ratio =
+          static_cast<double>(pooled_on) /
+          static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
+      inference.intent = decide(inference, pooled_on, pooled_off);
+      for (const std::uint16_t beta : cluster.betas) {
+        result.labels.emplace(Community(alpha, beta), inference.intent);
+        if (inference.intent == Intent::kInformation)
+          ++result.information_count;
+        else
+          ++result.action_count;
+      }
+      inference.cluster = std::move(cluster);
+      result.clusters.push_back(std::move(inference));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+InferenceResult classify(const ObservationIndex& observations,
+                         const ClassifierConfig& config) {
+  return classify_impl(
+      observations, config.min_gap,
+      [](const CommunityStats& stats) { return stats.on_off_ratio(); },
+      [&config](const ClusterInference& inference, std::size_t /*pooled_on*/,
+                std::size_t /*pooled_off*/) {
+        if (inference.pure_on) return Intent::kInformation;
+        if (inference.pure_off) return Intent::kAction;
+        return inference.decision_ratio(config.mean_of_ratios) >=
+                       config.ratio_threshold
+                   ? Intent::kInformation
+                   : Intent::kAction;
+      });
+}
+
+InferenceResult classify_customer_peer(const ObservationIndex& observations,
+                                       const CustomerPeerConfig& config) {
+  return classify_impl(
+      observations, config.min_gap,
+      [](const CommunityStats& stats) { return stats.customer_peer_ratio(); },
+      [&config](const ClusterInference& inference, std::size_t /*pooled_on*/,
+                std::size_t /*pooled_off*/) {
+        return inference.mean_ratio < config.ratio_threshold
+                   ? Intent::kInformation
+                   : Intent::kAction;
+      });
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,100 @@
+// The paper's coarse-grained intent classifier (§5.2).
+//
+// For every observed AS alpha: cluster its observed betas (gap clustering),
+// compute each cluster's on-path:off-path ratio (mean of its members'
+// ratios), and label the cluster — and every community in it — as
+//
+//   information  if never observed off-path, or ratio >= threshold (160:1)
+//   action       if never observed on-path, or ratio < threshold
+//
+// Exclusions (kUnclassified): alphas that are not public 16-bit ASNs, and
+// alphas that never appear in any AS path (transparent IXP route servers).
+//
+// An alternative classifier over the same clusters uses the customer:peer
+// feature the paper evaluates and rejects in Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/observations.hpp"
+#include "dict/intent.hpp"
+
+namespace bgpintent::core {
+
+using dict::Intent;
+
+struct ClassifierConfig {
+  /// Gap-clustering parameter (Fig. 9; paper uses 140).
+  std::uint32_t min_gap = 140;
+  /// on:off ratio at or above which a cluster is information (Fig. 6).
+  double ratio_threshold = 160.0;
+  /// Cluster feature: true averages per-community ratios (the paper's
+  /// description), false pools on/off counts across the cluster.  We
+  /// default to pooling: with the paper's 174M-tuple input the two are
+  /// interchangeable, but at simulator scale the mean is capped by the
+  /// number of vantage points and systematically undershoots wide
+  /// information clusters (see DESIGN.md §5 and the eval_overall
+  /// ablation).
+  bool mean_of_ratios = false;
+};
+
+/// Why a community was not classified.
+enum class Exclusion : std::uint8_t {
+  kNone,
+  kPrivateAlpha,    ///< alpha not a public 16-bit ASN
+  kAlphaNeverOnPath ///< alpha (and siblings) absent from every AS path
+};
+
+/// One cluster with its inferred label.
+struct ClusterInference {
+  Cluster cluster;
+  double mean_ratio = 0.0;    ///< mean of member on:off ratios
+  double pooled_ratio = 0.0;  ///< pooled Σon : Σoff ratio
+  bool pure_on = false;
+  bool pure_off = false;
+  Intent intent = Intent::kUnclassified;
+
+  /// The feature value the classifier decided on.
+  [[nodiscard]] double decision_ratio(bool mean_of_ratios) const noexcept {
+    return mean_of_ratios ? mean_ratio : pooled_ratio;
+  }
+};
+
+/// Full classification output.
+struct InferenceResult {
+  std::vector<ClusterInference> clusters;  ///< classified clusters only
+  std::unordered_map<Community, Intent> labels;
+
+  std::size_t information_count = 0;
+  std::size_t action_count = 0;
+  std::size_t excluded_private = 0;        ///< communities, not alphas
+  std::size_t excluded_never_on_path = 0;
+
+  /// Label for `community`; kUnclassified when not inferred.
+  [[nodiscard]] Intent label_of(Community community) const noexcept;
+
+  [[nodiscard]] std::size_t classified_count() const noexcept {
+    return information_count + action_count;
+  }
+};
+
+/// Runs clustering + ratio classification over every observed alpha.
+[[nodiscard]] InferenceResult classify(const ObservationIndex& observations,
+                                       const ClassifierConfig& config = {});
+
+struct CustomerPeerConfig {
+  std::uint32_t min_gap = 140;
+  /// customer:peer ratio below which a cluster is information (paper: 5:1
+  /// maximizes at ~80% accuracy).
+  double ratio_threshold = 5.0;
+};
+
+/// The rejected alternative: classify clusters by customer:peer ratio.
+/// Requires the index to have been built with a relationship dataset.
+[[nodiscard]] InferenceResult classify_customer_peer(
+    const ObservationIndex& observations, const CustomerPeerConfig& config = {});
+
+}  // namespace bgpintent::core

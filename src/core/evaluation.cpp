@@ -1,0 +1,111 @@
+#include "core/evaluation.hpp"
+
+namespace bgpintent::core {
+
+Evaluation evaluate(const ObservationIndex& observations,
+                    const InferenceResult& result,
+                    const dict::DictionaryStore& truth) {
+  Evaluation eval;
+  for (const CommunityStats& stats : observations.all()) {
+    const auto expected = truth.intent(stats.community);
+    if (!expected) continue;
+    ++eval.labeled_observed;
+    const Intent inferred = result.label_of(stats.community);
+    if (inferred == Intent::kUnclassified) {
+      ++eval.unclassified;
+      continue;
+    }
+    ++eval.classified;
+    if (inferred == *expected) {
+      ++eval.correct;
+    } else if (*expected == Intent::kInformation) {
+      ++eval.info_as_action;
+    } else {
+      ++eval.action_as_info;
+    }
+  }
+  return eval;
+}
+
+std::vector<BaselineCluster> baseline_clusters(
+    const ObservationIndex& observations, const dict::DictionaryStore& truth) {
+  std::vector<BaselineCluster> clusters;
+  for (const auto& [alpha, dictionary] : truth.all()) {
+    for (const dict::DictEntry& entry : dictionary.entries()) {
+      BaselineCluster cluster;
+      cluster.pattern = entry.pattern.to_string();
+      cluster.truth = entry.intent();
+      cluster.pure_on = true;
+      cluster.pure_off = true;
+      double ratio_sum = 0.0;
+      double cp_sum = 0.0;
+      std::size_t pooled_on = 0;
+      std::size_t pooled_off = 0;
+      for (const std::uint16_t beta : observations.observed_betas(alpha)) {
+        const Community community(alpha, beta);
+        if (!entry.pattern.matches(community)) continue;
+        // First matching entry wins in dictionary lookups; skip members an
+        // earlier pattern already owns so clusters stay disjoint.
+        if (dictionary.lookup(community) != &entry) continue;
+        const CommunityStats* stats = observations.find(community);
+        ++cluster.member_count;
+        ratio_sum += stats->on_off_ratio();
+        cp_sum += stats->customer_peer_ratio();
+        pooled_on += stats->on_path_paths;
+        pooled_off += stats->off_path_paths;
+        if (!stats->pure_on()) cluster.pure_on = false;
+        if (!stats->pure_off()) cluster.pure_off = false;
+      }
+      if (cluster.member_count == 0) continue;
+      cluster.mean_on_off_ratio =
+          ratio_sum / static_cast<double>(cluster.member_count);
+      cluster.pooled_on_off_ratio =
+          static_cast<double>(pooled_on) /
+          static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
+      cluster.mean_customer_peer_ratio =
+          cp_sum / static_cast<double>(cluster.member_count);
+      clusters.push_back(std::move(cluster));
+    }
+  }
+  return clusters;
+}
+
+std::vector<ThresholdSweepPoint> sweep_ratio_threshold(
+    const std::vector<BaselineCluster>& clusters,
+    const std::vector<double>& thresholds, ClusterFeature feature) {
+  std::vector<ThresholdSweepPoint> points;
+  for (const double threshold : thresholds) {
+    std::size_t total = 0;
+    std::size_t correct = 0;
+    for (const BaselineCluster& cluster : clusters) {
+      if (!cluster.mixed()) continue;  // pure clusters are trivially right
+      ++total;
+      double value = 0.0;
+      switch (feature) {
+        case ClusterFeature::kMeanOnOff:
+          value = cluster.mean_on_off_ratio;
+          break;
+        case ClusterFeature::kPooledOnOff:
+          value = cluster.pooled_on_off_ratio;
+          break;
+        case ClusterFeature::kCustomerPeer:
+          value = cluster.mean_customer_peer_ratio;
+          break;
+      }
+      // on:off — high ratio means information; customer:peer — low ratio
+      // means information (§5.1).
+      const Intent predicted =
+          feature == ClusterFeature::kCustomerPeer
+              ? (value < threshold ? Intent::kInformation : Intent::kAction)
+              : (value >= threshold ? Intent::kInformation : Intent::kAction);
+      if (predicted == cluster.truth) ++correct;
+    }
+    points.push_back(ThresholdSweepPoint{
+        threshold, total == 0 ? 0.0
+                              : static_cast<double>(correct) /
+                                    static_cast<double>(total)});
+  }
+  return points;
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,81 @@
+// Evaluation of inference results against ground-truth dictionaries, plus
+// the dictionary-defined "baseline clusters" of §5.1 used by Figs. 6 and 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "dict/dictionary.hpp"
+
+namespace bgpintent::core {
+
+/// Scorecard over the communities covered by a ground-truth dictionary.
+struct Evaluation {
+  std::size_t labeled_observed = 0;   ///< observed & dictionary-covered
+  std::size_t classified = 0;         ///< ... of those, given a label
+  std::size_t correct = 0;
+  std::size_t info_as_action = 0;     ///< misclassifications by direction
+  std::size_t action_as_info = 0;
+  std::size_t unclassified = 0;       ///< covered but excluded
+
+  /// Accuracy over classified communities (the paper's 96.5% metric).
+  [[nodiscard]] double accuracy() const noexcept {
+    return classified == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(classified);
+  }
+  /// Fraction of labeled observed communities that received a label.
+  [[nodiscard]] double coverage() const noexcept {
+    return labeled_observed == 0 ? 0.0
+                                 : static_cast<double>(classified) /
+                                       static_cast<double>(labeled_observed);
+  }
+};
+
+/// Scores `result` against `truth` over the communities in `observations`.
+[[nodiscard]] Evaluation evaluate(const ObservationIndex& observations,
+                                  const InferenceResult& result,
+                                  const dict::DictionaryStore& truth);
+
+/// A baseline cluster (§5.1): the observed communities covered by one
+/// ground-truth dictionary pattern, with aggregated path statistics.
+struct BaselineCluster {
+  std::string pattern;     ///< "alpha:pattern-text"
+  Intent truth = Intent::kUnclassified;
+  std::size_t member_count = 0;
+  double mean_on_off_ratio = 0.0;
+  double pooled_on_off_ratio = 0.0;  ///< Σon : Σoff across members
+  double mean_customer_peer_ratio = 0.0;
+  bool pure_on = false;
+  bool pure_off = false;
+
+  [[nodiscard]] bool mixed() const noexcept { return !pure_on && !pure_off; }
+};
+
+/// Builds baseline clusters from every dictionary entry that covers at
+/// least one observed community.
+[[nodiscard]] std::vector<BaselineCluster> baseline_clusters(
+    const ObservationIndex& observations, const dict::DictionaryStore& truth);
+
+/// Cluster feature used by threshold sweeps.
+enum class ClusterFeature : std::uint8_t {
+  kMeanOnOff,    ///< mean of member on:off ratios (paper's description)
+  kPooledOnOff,  ///< Σon : Σoff (scale-robust; classifier default)
+  kCustomerPeer, ///< mean customer:peer ratio (Fig. 7; info below threshold)
+};
+
+/// Accuracy of a single-threshold rule over mixed baseline clusters:
+/// on:off features classify information at/above the threshold,
+/// customer:peer below it.  Reproduces the "160:1 yields 98%" (Fig. 6)
+/// and "5:1 yields 80%" (Fig. 7) statements.
+struct ThresholdSweepPoint {
+  double threshold = 0.0;
+  double accuracy = 0.0;
+};
+[[nodiscard]] std::vector<ThresholdSweepPoint> sweep_ratio_threshold(
+    const std::vector<BaselineCluster>& clusters,
+    const std::vector<double>& thresholds,
+    ClusterFeature feature = ClusterFeature::kPooledOnOff);
+
+}  // namespace bgpintent::core

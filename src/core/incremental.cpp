@@ -1,0 +1,139 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+#include "bgp/asn.hpp"
+#include "core/clustering.hpp"
+
+namespace bgpintent::core {
+
+void IncrementalClassifier::ingest(const bgp::RibEntry& entry) {
+  ++entries_ingested_;
+  const std::uint64_t path_hash = entry.route.path.hash();
+
+  // New ASNs on paths can lift the never-on-path exclusion of the alphas
+  // equal to them (and, with sibling matching, their org siblings).
+  for (const bgp::Asn asn : entry.route.path.unique_asns()) {
+    if (!asns_on_paths_.insert(asn).second) continue;
+    const auto mark_dirty = [this](bgp::Asn candidate) {
+      if (candidate <= 0xffff &&
+          alphas_.contains(static_cast<std::uint16_t>(candidate)))
+        dirty_.insert(static_cast<std::uint16_t>(candidate));
+    };
+    mark_dirty(asn);
+    if (observation_.sibling_aware && orgs_ != nullptr)
+      for (const bgp::Asn sibling : orgs_->siblings(asn)) mark_dirty(sibling);
+  }
+
+  for (const Community community : entry.route.communities) {
+    const std::uint16_t alpha = community.alpha();
+    AlphaState& state = alphas_[alpha];
+    CommunityAccumulator& acc = state.betas[community.beta()];
+    bool on = entry.route.path.contains(alpha);
+    if (!on && observation_.sibling_aware && orgs_ != nullptr)
+      for (const bgp::Asn sibling : orgs_->siblings(alpha))
+        if (sibling != alpha && entry.route.path.contains(sibling)) on = true;
+    const bool changed = on ? acc.on_paths.insert(path_hash).second
+                            : acc.off_paths.insert(path_hash).second;
+    if (changed) dirty_.insert(alpha);
+  }
+}
+
+void IncrementalClassifier::ingest(std::span<const bgp::RibEntry> entries) {
+  for (const bgp::RibEntry& entry : entries) ingest(entry);
+}
+
+bool IncrementalClassifier::alpha_on_any_path(std::uint16_t alpha) const {
+  if (asns_on_paths_.contains(alpha)) return true;
+  if (!observation_.sibling_aware || orgs_ == nullptr) return false;
+  for (const bgp::Asn sibling : orgs_->siblings(alpha))
+    if (asns_on_paths_.contains(sibling)) return true;
+  return false;
+}
+
+void IncrementalClassifier::reclassify(std::uint16_t alpha,
+                                       AlphaState& state) {
+  state.labels.clear();
+  if (!bgp::is_public_asn16(alpha) || !alpha_on_any_path(alpha)) return;
+
+  std::vector<std::uint16_t> betas;
+  betas.reserve(state.betas.size());
+  for (const auto& [beta, acc] : state.betas) betas.push_back(beta);
+  std::sort(betas.begin(), betas.end());
+
+  for (const Cluster& cluster : gap_cluster(alpha, betas, config_.min_gap)) {
+    bool pure_on = true;
+    bool pure_off = true;
+    std::size_t pooled_on = 0;
+    std::size_t pooled_off = 0;
+    double ratio_sum = 0.0;
+    for (const std::uint16_t beta : cluster.betas) {
+      const CommunityAccumulator& acc = state.betas.at(beta);
+      pooled_on += acc.on_paths.size();
+      pooled_off += acc.off_paths.size();
+      if (!acc.off_paths.empty()) pure_on = false;
+      if (!acc.on_paths.empty()) pure_off = false;
+      ratio_sum += static_cast<double>(acc.on_paths.size()) /
+                   static_cast<double>(
+                       acc.off_paths.empty() ? 1 : acc.off_paths.size());
+    }
+    Intent intent;
+    if (pure_on) {
+      intent = Intent::kInformation;
+    } else if (pure_off) {
+      intent = Intent::kAction;
+    } else {
+      const double ratio =
+          config_.mean_of_ratios
+              ? ratio_sum / static_cast<double>(cluster.size())
+              : static_cast<double>(pooled_on) /
+                    static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
+      intent = ratio >= config_.ratio_threshold ? Intent::kInformation
+                                                : Intent::kAction;
+    }
+    for (const std::uint16_t beta : cluster.betas)
+      state.labels.emplace(beta, intent);
+  }
+}
+
+void IncrementalClassifier::reclassify_dirty() {
+  for (const std::uint16_t alpha : dirty_) {
+    const auto it = alphas_.find(alpha);
+    if (it != alphas_.end()) reclassify(alpha, it->second);
+  }
+  dirty_.clear();
+}
+
+Intent IncrementalClassifier::label_of(Community community) {
+  const std::uint16_t alpha = community.alpha();
+  auto it = alphas_.find(alpha);
+  if (it == alphas_.end()) return Intent::kUnclassified;
+  if (dirty_.contains(alpha)) {
+    reclassify(alpha, it->second);
+    dirty_.erase(alpha);
+  }
+  const auto label = it->second.labels.find(community.beta());
+  return label == it->second.labels.end() ? Intent::kUnclassified
+                                          : label->second;
+}
+
+IncrementalClassifier::Totals IncrementalClassifier::totals() {
+  reclassify_dirty();
+  Totals totals;
+  for (const auto& [alpha, state] : alphas_) {
+    for (const auto& [beta, acc] : state.betas) {
+      ++totals.communities;
+      const auto label = state.labels.find(beta);
+      if (label == state.labels.end()) {
+        ++totals.unclassified;
+      } else if (label->second == Intent::kInformation) {
+        ++totals.information;
+      } else {
+        ++totals.action;
+      }
+    }
+  }
+  return totals;
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,80 @@
+// Incremental (streaming) intent classification.
+//
+// The batch Pipeline recomputes everything from a full tuple set; a
+// consumer of live BGP update feeds wants to *ingest* entries as they
+// arrive and ask for labels cheaply.  IncrementalClassifier keeps the
+// per-community path accumulators across calls and reclassifies only the
+// owner ASes whose evidence changed since the last result() call —
+// including alphas whose never-on-path exclusion may have been lifted by a
+// newly observed AS path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/classifier.hpp"
+#include "core/observations.hpp"
+
+namespace bgpintent::core {
+
+class IncrementalClassifier {
+ public:
+  explicit IncrementalClassifier(ClassifierConfig config = {},
+                                 ObservationConfig observation = {})
+      : config_(config), observation_(observation) {}
+
+  /// Optional sibling context; must outlive the classifier.
+  void set_org_map(const topo::OrgMap* orgs) noexcept { orgs_ = orgs; }
+
+  /// Ingests one RIB entry / update announcement.
+  void ingest(const bgp::RibEntry& entry);
+  void ingest(std::span<const bgp::RibEntry> entries);
+
+  /// Current label of a community; reclassifies the owner lazily.
+  [[nodiscard]] Intent label_of(Community community);
+
+  /// Reclassifies every dirty alpha and returns the global counters.
+  struct Totals {
+    std::size_t communities = 0;
+    std::size_t information = 0;
+    std::size_t action = 0;
+    std::size_t unclassified = 0;
+  };
+  [[nodiscard]] Totals totals();
+
+  [[nodiscard]] std::size_t entries_ingested() const noexcept {
+    return entries_ingested_;
+  }
+  [[nodiscard]] std::size_t dirty_alpha_count() const noexcept {
+    return dirty_.size();
+  }
+
+ private:
+  struct CommunityAccumulator {
+    std::unordered_set<std::uint64_t> on_paths;
+    std::unordered_set<std::uint64_t> off_paths;
+  };
+  struct AlphaState {
+    // beta -> accumulator (kept sorted only at classification time)
+    std::unordered_map<std::uint16_t, CommunityAccumulator> betas;
+    std::unordered_map<std::uint16_t, Intent> labels;
+  };
+
+  /// True when `alpha` (or a sibling) has been seen in any path.
+  [[nodiscard]] bool alpha_on_any_path(std::uint16_t alpha) const;
+
+  void reclassify(std::uint16_t alpha, AlphaState& state);
+  void reclassify_dirty();
+
+  ClassifierConfig config_;
+  ObservationConfig observation_;
+  const topo::OrgMap* orgs_ = nullptr;
+
+  std::unordered_map<std::uint16_t, AlphaState> alphas_;
+  std::unordered_set<bgp::Asn> asns_on_paths_;
+  std::unordered_set<std::uint16_t> dirty_;
+  std::size_t entries_ingested_ = 0;
+};
+
+}  // namespace bgpintent::core

@@ -1,0 +1,87 @@
+// Coarse intent inference for LARGE BGP communities (RFC 8092).
+//
+// The paper restricts its method to regular communities "owing to their
+// prevalence" and leaves the 11,524 observed large communities for future
+// work.  This module is that extension: the identical on-path:off-path
+// machinery applied to alpha:beta:gamma values, clustering each owner's
+// *beta* (function) values and pooling observations across gamma
+// (argument) — operators use beta to select a function and gamma for its
+// parameter, so the function selector is the analogue of the regular
+// community's contiguous value blocks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "dict/intent.hpp"
+
+namespace bgpintent::core {
+
+using dict::Intent;
+
+/// Per-(alpha, beta) statistics pooled over gamma.
+struct LargeFunctionStats {
+  std::uint32_t alpha = 0;
+  std::uint32_t beta = 0;
+  std::size_t gamma_count = 0;      ///< distinct gamma values observed
+  std::size_t on_path_paths = 0;    ///< unique paths, pooled over gamma
+  std::size_t off_path_paths = 0;
+
+  [[nodiscard]] bool pure_on() const noexcept { return off_path_paths == 0; }
+  [[nodiscard]] bool pure_off() const noexcept { return on_path_paths == 0; }
+  [[nodiscard]] double ratio() const noexcept {
+    return static_cast<double>(on_path_paths) /
+           static_cast<double>(off_path_paths == 0 ? 1 : off_path_paths);
+  }
+};
+
+struct LargeClassifierConfig {
+  /// Gap parameter over beta (function) values.
+  std::uint32_t min_gap = 140;
+  double ratio_threshold = 160.0;
+};
+
+struct LargeInferenceResult {
+  /// Intent per (alpha, beta) function; every observed gamma inherits it.
+  std::unordered_map<std::uint64_t, Intent> function_labels;
+  std::size_t information_count = 0;  ///< distinct (alpha,beta,gamma) values
+  std::size_t action_count = 0;
+  std::size_t excluded_never_on_path = 0;
+
+  [[nodiscard]] Intent label_of(const bgp::LargeCommunity& c) const noexcept;
+};
+
+class LargeObservationIndex {
+ public:
+  [[nodiscard]] static LargeObservationIndex from_entries(
+      std::span<const bgp::RibEntry> entries);
+
+  [[nodiscard]] const std::vector<LargeFunctionStats>& all() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const LargeFunctionStats* find(std::uint32_t alpha,
+                                               std::uint32_t beta) const;
+  /// Distinct observed beta values of `alpha`, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> observed_betas(
+      std::uint32_t alpha) const;
+  [[nodiscard]] std::vector<std::uint32_t> alphas() const;
+  [[nodiscard]] bool alpha_on_any_path(std::uint32_t alpha) const;
+  [[nodiscard]] std::size_t value_count() const noexcept { return values_; }
+
+ private:
+  std::vector<LargeFunctionStats> stats_;  // sorted by (alpha, beta)
+  std::unordered_set<bgp::Asn> asns_on_paths_;
+  std::size_t values_ = 0;  // distinct (alpha, beta, gamma)
+};
+
+/// Gap-clusters the beta values of each alpha and labels the clusters by
+/// their pooled on:off ratio, with the same exclusions as the regular
+/// classifier (private-range and never-on-path alphas).
+[[nodiscard]] LargeInferenceResult classify_large(
+    const LargeObservationIndex& observations,
+    const LargeClassifierConfig& config = {});
+
+}  // namespace bgpintent::core

@@ -1,0 +1,133 @@
+#include "core/observations.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bgpintent::core {
+
+namespace {
+
+/// True when alpha or (optionally) one of its org siblings is in the path.
+bool on_path(const bgp::AsPath& path, std::uint16_t alpha,
+             const topo::OrgMap* orgs, bool sibling_aware) {
+  if (path.contains(alpha)) return true;
+  if (!sibling_aware || orgs == nullptr) return false;
+  for (const Asn sibling : orgs->siblings(alpha))
+    if (sibling != alpha && path.contains(sibling)) return true;
+  return false;
+}
+
+}  // namespace
+
+ObservationIndex ObservationIndex::build(
+    std::span<const bgp::PathCommunityTuple> tuples, const topo::OrgMap* orgs,
+    const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
+  ObservationIndex index;
+  index.orgs_ = orgs;
+  index.sibling_aware_ = config.sibling_aware;
+
+  struct Accumulator {
+    std::unordered_set<std::uint64_t> on_paths;
+    std::unordered_set<std::uint64_t> off_paths;
+    std::size_t customer_votes = 0;
+    std::size_t peer_votes = 0;
+    std::size_t provider_votes = 0;
+  };
+  std::unordered_map<Community, Accumulator> acc;
+  std::unordered_set<std::uint64_t> unique_paths;
+
+  for (const bgp::PathCommunityTuple& tuple : tuples) {
+    const std::uint64_t path_hash = tuple.path.hash();
+    unique_paths.insert(path_hash);
+    for (const Asn asn : tuple.path.unique_asns())
+      index.asns_on_paths_.insert(asn);
+
+    Accumulator& a = acc[tuple.community];
+    const std::uint16_t alpha = tuple.community.alpha();
+    if (on_path(tuple.path, alpha, orgs, config.sibling_aware)) {
+      if (a.on_paths.insert(path_hash).second && relationships != nullptr) {
+        // First time this unique path is counted: record the relationship
+        // between alpha and its successor toward the origin.
+        if (const auto next = tuple.path.next_toward_origin(alpha)) {
+          const auto rel = relationships->relationship(alpha, *next);
+          if (rel == topo::RelFrom::kCustomer)
+            ++a.customer_votes;
+          else if (rel == topo::RelFrom::kPeer)
+            ++a.peer_votes;
+          else if (rel == topo::RelFrom::kProvider)
+            ++a.provider_votes;
+        }
+      }
+    } else {
+      a.off_paths.insert(path_hash);
+    }
+  }
+
+  index.unique_paths_ = unique_paths.size();
+  index.stats_.reserve(acc.size());
+  for (const auto& [community, a] : acc) {
+    CommunityStats stats;
+    stats.community = community;
+    stats.on_path_paths = a.on_paths.size();
+    stats.off_path_paths = a.off_paths.size();
+    stats.customer_votes = a.customer_votes;
+    stats.peer_votes = a.peer_votes;
+    stats.provider_votes = a.provider_votes;
+    index.stats_.push_back(stats);
+  }
+  std::sort(index.stats_.begin(), index.stats_.end(),
+            [](const CommunityStats& x, const CommunityStats& y) {
+              return x.community < y.community;
+            });
+  return index;
+}
+
+ObservationIndex ObservationIndex::from_entries(
+    std::span<const bgp::RibEntry> entries, const topo::OrgMap* orgs,
+    const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
+  std::vector<bgp::PathCommunityTuple> tuples;
+  for (const bgp::RibEntry& entry : entries)
+    for (const Community community : entry.route.communities)
+      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
+  return build(tuples, orgs, relationships, config);
+}
+
+const CommunityStats* ObservationIndex::find(Community community) const noexcept {
+  const auto it = std::lower_bound(
+      stats_.begin(), stats_.end(), community,
+      [](const CommunityStats& s, Community c) { return s.community < c; });
+  if (it == stats_.end() || it->community != community) return nullptr;
+  return &*it;
+}
+
+std::vector<std::uint16_t> ObservationIndex::observed_betas(
+    std::uint16_t alpha) const {
+  std::vector<std::uint16_t> betas;
+  // stats_ is sorted by (alpha, beta); find the alpha range.
+  const auto lo = std::lower_bound(
+      stats_.begin(), stats_.end(), Community(alpha, 0),
+      [](const CommunityStats& s, Community c) { return s.community < c; });
+  for (auto it = lo; it != stats_.end() && it->community.alpha() == alpha; ++it)
+    betas.push_back(it->community.beta());
+  return betas;
+}
+
+std::vector<std::uint16_t> ObservationIndex::alphas() const {
+  std::vector<std::uint16_t> out;
+  for (const CommunityStats& stats : stats_)
+    if (out.empty() || out.back() != stats.community.alpha())
+      out.push_back(stats.community.alpha());
+  return out;
+}
+
+bool ObservationIndex::alpha_on_any_path(std::uint16_t alpha) const {
+  if (asns_on_paths_.contains(alpha)) return true;
+  if (!sibling_aware_ || orgs_ == nullptr) return false;
+  for (const Asn sibling : orgs_->siblings(alpha))
+    if (asns_on_paths_.contains(sibling)) return true;
+  return false;
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,118 @@
+// Observation index: per-community path statistics extracted from BGP data.
+//
+// This is step 0 of the paper's method (§4/§5): reduce RIBs and updates to
+// unique (AS path, community) tuples, then count, for every community
+// alpha:beta, how many *unique* AS paths contain alpha (on-path) vs. do not
+// (off-path).  Matching is optionally sibling-aware: a path containing any
+// ASN of alpha's organization counts as on-path (CAIDA as2org in the paper,
+// topo::OrgMap here).
+//
+// The index also accumulates the customer/peer/provider votes used by the
+// alternative customer:peer feature the paper evaluates and rejects
+// (Fig. 7): for each on-path observation, the relationship between alpha
+// and the AS that follows it toward the origin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "rel/dataset.hpp"
+#include "topo/org_map.hpp"
+
+namespace bgpintent::core {
+
+using bgp::Asn;
+using bgp::Community;
+
+/// Per-community statistics over unique AS paths.
+struct CommunityStats {
+  Community community;
+  std::size_t on_path_paths = 0;   ///< unique paths with alpha on-path
+  std::size_t off_path_paths = 0;  ///< unique paths with alpha off-path
+  // Relationship of the AS following alpha toward the origin (Fig. 7
+  // feature), counted once per unique on-path path.
+  std::size_t customer_votes = 0;
+  std::size_t peer_votes = 0;
+  std::size_t provider_votes = 0;
+
+  [[nodiscard]] std::size_t total_paths() const noexcept {
+    return on_path_paths + off_path_paths;
+  }
+  /// on:off ratio with the off count floored at 1 so it is always finite
+  /// ("never off-path" is additionally captured by pure_on()).
+  [[nodiscard]] double on_off_ratio() const noexcept {
+    return static_cast<double>(on_path_paths) /
+           static_cast<double>(off_path_paths == 0 ? 1 : off_path_paths);
+  }
+  [[nodiscard]] bool pure_on() const noexcept { return off_path_paths == 0; }
+  [[nodiscard]] bool pure_off() const noexcept { return on_path_paths == 0; }
+  /// customer:peer ratio, peer count floored at 1.
+  [[nodiscard]] double customer_peer_ratio() const noexcept {
+    return static_cast<double>(customer_votes) /
+           static_cast<double>(peer_votes == 0 ? 1 : peer_votes);
+  }
+};
+
+struct ObservationConfig {
+  /// Count a path as on-path when a sibling of alpha appears (§5.2).
+  bool sibling_aware = true;
+};
+
+class ObservationIndex {
+ public:
+  /// Builds the index from (path, community) tuples.  `orgs` may be null
+  /// (no sibling awareness regardless of config); `relationships` may be
+  /// null (customer/peer votes left at zero).
+  [[nodiscard]] static ObservationIndex build(
+      std::span<const bgp::PathCommunityTuple> tuples,
+      const topo::OrgMap* orgs = nullptr,
+      const rel::RelationshipDataset* relationships = nullptr,
+      const ObservationConfig& config = {});
+
+  /// Convenience: expand RIB entries into tuples and build.
+  [[nodiscard]] static ObservationIndex from_entries(
+      std::span<const bgp::RibEntry> entries,
+      const topo::OrgMap* orgs = nullptr,
+      const rel::RelationshipDataset* relationships = nullptr,
+      const ObservationConfig& config = {});
+
+  [[nodiscard]] const CommunityStats* find(Community community) const noexcept;
+
+  /// All stats, ascending by community.
+  [[nodiscard]] const std::vector<CommunityStats>& all() const noexcept {
+    return stats_;
+  }
+
+  /// Distinct observed beta values of `alpha`, ascending.
+  [[nodiscard]] std::vector<std::uint16_t> observed_betas(
+      std::uint16_t alpha) const;
+
+  /// Distinct alphas observed, ascending.
+  [[nodiscard]] std::vector<std::uint16_t> alphas() const;
+
+  /// True if `alpha` (or, when sibling-aware, any sibling) appears in at
+  /// least one AS path of the dataset — the §5.2 exclusion check that
+  /// keeps transparent IXP route servers out of classification.
+  [[nodiscard]] bool alpha_on_any_path(std::uint16_t alpha) const;
+
+  [[nodiscard]] std::size_t community_count() const noexcept {
+    return stats_.size();
+  }
+  [[nodiscard]] std::size_t unique_path_count() const noexcept {
+    return unique_paths_;
+  }
+
+ private:
+  std::vector<CommunityStats> stats_;          // sorted by community
+  std::unordered_set<Asn> asns_on_paths_;      // every ASN seen in any path
+  const topo::OrgMap* orgs_ = nullptr;         // for sibling queries
+  bool sibling_aware_ = true;
+  std::size_t unique_paths_ = 0;
+};
+
+}  // namespace bgpintent::core

@@ -1,0 +1,29 @@
+#include "core/pipeline.hpp"
+
+#include "mrt/mrt_file.hpp"
+
+namespace bgpintent::core {
+
+PipelineResult Pipeline::run(
+    std::span<const bgp::PathCommunityTuple> tuples) const {
+  PipelineResult result;
+  result.observations = ObservationIndex::build(tuples, orgs_, relationships_,
+                                                config_.observation);
+  result.inference = classify(result.observations, config_.classifier);
+  return result;
+}
+
+PipelineResult Pipeline::run(std::span<const bgp::RibEntry> entries) const {
+  PipelineResult result;
+  result.observations = ObservationIndex::from_entries(
+      entries, orgs_, relationships_, config_.observation);
+  result.inference = classify(result.observations, config_.classifier);
+  return result;
+}
+
+PipelineResult Pipeline::run_mrt(std::istream& in) const {
+  const std::vector<bgp::RibEntry> entries = mrt::read_rib_entries(in);
+  return run(entries);
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,65 @@
+// End-to-end inference pipeline: BGP data in (RIB entries, tuples, or MRT
+// streams), coarse-grained intent labels out.  This is the library's main
+// entry point — the programmatic equivalent of running the paper's released
+// tool over one week of RouteViews/RIS data.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/classifier.hpp"
+#include "core/evaluation.hpp"
+#include "core/observations.hpp"
+
+namespace bgpintent::core {
+
+struct PipelineConfig {
+  ObservationConfig observation;
+  ClassifierConfig classifier;
+};
+
+/// Inference output bundled with the index it was computed from (the index
+/// is needed for evaluation and for the figure-level statistics).
+struct PipelineResult {
+  ObservationIndex observations;
+  InferenceResult inference;
+
+  [[nodiscard]] Evaluation score(const dict::DictionaryStore& truth) const {
+    return evaluate(observations, inference, truth);
+  }
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {}) : config_(config) {}
+
+  /// Optional context: organizations for sibling-aware matching and
+  /// relationships for the customer:peer feature.  Pointers must outlive
+  /// run() calls; pass nullptr to disable.
+  void set_org_map(const topo::OrgMap* orgs) noexcept { orgs_ = orgs; }
+  void set_relationships(const rel::RelationshipDataset* rels) noexcept {
+    relationships_ = rels;
+  }
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Runs over pre-extracted tuples.
+  [[nodiscard]] PipelineResult run(
+      std::span<const bgp::PathCommunityTuple> tuples) const;
+
+  /// Runs over RIB entries.
+  [[nodiscard]] PipelineResult run(
+      std::span<const bgp::RibEntry> entries) const;
+
+  /// Runs over an MRT stream (TABLE_DUMP_V2 snapshots and/or BGP4MP
+  /// updates).  Throws mrt::MrtError on malformed input.
+  [[nodiscard]] PipelineResult run_mrt(std::istream& in) const;
+
+ private:
+  PipelineConfig config_;
+  const topo::OrgMap* orgs_ = nullptr;
+  const rel::RelationshipDataset* relationships_ = nullptr;
+};
+
+}  // namespace bgpintent::core

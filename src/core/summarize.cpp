@@ -1,0 +1,92 @@
+#include "core/summarize.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace bgpintent::core {
+
+std::vector<InferredEntry> summarize(const ObservationIndex& observations,
+                                     const InferenceResult& inference,
+                                     const SummaryConfig& config) {
+  std::vector<InferredEntry> entries;
+  for (const ClusterInference& cluster : inference.clusters) {
+    if (cluster.intent == Intent::kUnclassified) continue;
+    std::size_t total_observations = 0;
+    for (const std::uint16_t beta : cluster.cluster.betas) {
+      const CommunityStats* stats =
+          observations.find(Community(cluster.cluster.alpha, beta));
+      if (stats != nullptr) total_observations += stats->total_paths();
+    }
+    if (total_observations < config.min_observations) continue;
+
+    const std::uint16_t lo = cluster.cluster.lo();
+    const std::uint16_t hi = cluster.cluster.hi();
+    const std::string pattern_text =
+        cluster.cluster.size() >= config.min_range_size && lo != hi
+            ? std::to_string(lo) + "-" + std::to_string(hi)
+            : std::to_string(lo);
+    InferredEntry entry{
+        dict::CommunityPattern::from_parts(
+            cluster.cluster.alpha, dict::BetaPattern::compile(pattern_text)),
+        cluster.intent, cluster.cluster.size(), total_observations,
+        cluster.pooled_ratio};
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const InferredEntry& a, const InferredEntry& b) {
+              if (a.pattern.alpha() != b.pattern.alpha())
+                return a.pattern.alpha() < b.pattern.alpha();
+              return a.pattern.beta_pattern().bounds() <
+                     b.pattern.beta_pattern().bounds();
+            });
+  return entries;
+}
+
+dict::DictionaryStore to_dictionary(const std::vector<InferredEntry>& entries) {
+  dict::DictionaryStore store;
+  for (const InferredEntry& entry : entries) {
+    store.dictionary_for(entry.pattern.alpha())
+        .add(entry.pattern,
+             entry.intent == Intent::kAction ? dict::Category::kOtherAction
+                                             : dict::Category::kOtherInfo,
+             "inferred");
+  }
+  return store;
+}
+
+void write_summary(std::ostream& out,
+                   const std::vector<InferredEntry>& entries) {
+  out << "# inferred community dictionary: alpha|pattern|category|description\n";
+  out << "# description carries members/observations/ratio provenance\n";
+  for (const InferredEntry& entry : entries) {
+    out << entry.pattern.alpha() << '|' << entry.pattern.beta_pattern().text()
+        << '|'
+        << dict::to_string(entry.intent == Intent::kAction
+                               ? dict::Category::kOtherAction
+                               : dict::Category::kOtherInfo)
+        << '|' << "members=" << entry.member_count
+        << " observations=" << entry.observations << " ratio=" << entry.ratio
+        << '\n';
+  }
+}
+
+DictionaryDiff diff_dictionaries(const ObservationIndex& observations,
+                                 const dict::DictionaryStore& inferred,
+                                 const dict::DictionaryStore& reference) {
+  DictionaryDiff diff;
+  for (const CommunityStats& stats : observations.all()) {
+    const auto ours = inferred.intent(stats.community);
+    const auto theirs = reference.intent(stats.community);
+    if (ours && theirs) {
+      ++diff.both_cover;
+      if (*ours == *theirs) ++diff.agree;
+    } else if (ours) {
+      ++diff.inferred_only;
+    } else if (theirs) {
+      ++diff.reference_only;
+    }
+  }
+  return diff;
+}
+
+}  // namespace bgpintent::core

@@ -1,0 +1,70 @@
+// Summarizing inferences into dictionary form.
+//
+// The paper frames coarse intent classification as "a first step towards
+// fine-grained inference of community meanings" and publishes its
+// inferences as data.  This module turns an InferenceResult into exactly
+// that artifact: per-AS dictionary entries (beta-range patterns labeled
+// action/information) that can be saved, diffed against operator-published
+// dictionaries, and loaded back by dict::DictionaryStore.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/classifier.hpp"
+#include "dict/dictionary.hpp"
+
+namespace bgpintent::core {
+
+struct SummaryConfig {
+  /// Minimum cluster size to emit a range pattern; smaller clusters are
+  /// emitted as exact-value patterns.
+  std::size_t min_range_size = 2;
+  /// Skip clusters with fewer total path observations than this.
+  std::size_t min_observations = 1;
+};
+
+/// One emitted dictionary row.
+struct InferredEntry {
+  dict::CommunityPattern pattern;
+  Intent intent = Intent::kUnclassified;
+  std::size_t member_count = 0;
+  std::size_t observations = 0;  ///< total unique paths across members
+  double ratio = 0.0;            ///< pooled on:off ratio of the cluster
+};
+
+/// Converts classified clusters into dictionary rows (one per cluster,
+/// range patterns "lo-hi"), ascending by (alpha, lo).
+[[nodiscard]] std::vector<InferredEntry> summarize(
+    const ObservationIndex& observations, const InferenceResult& inference,
+    const SummaryConfig& config = {});
+
+/// Builds a loadable DictionaryStore from the summary.  Action clusters map
+/// to Category::kOtherAction, information clusters to kOtherInfo — the
+/// coarse labels this method can justify.
+[[nodiscard]] dict::DictionaryStore to_dictionary(
+    const std::vector<InferredEntry>& entries);
+
+/// Writes the summary as the dict text format with ratio/support comments.
+void write_summary(std::ostream& out, const std::vector<InferredEntry>& entries);
+
+/// Compares an inferred dictionary against a reference (e.g. operator
+/// published): per-community agreement over the communities both cover.
+struct DictionaryDiff {
+  std::size_t both_cover = 0;
+  std::size_t agree = 0;
+  std::size_t inferred_only = 0;   ///< covered by us, not by the reference
+  std::size_t reference_only = 0;  ///< covered by the reference, not by us
+
+  [[nodiscard]] double agreement() const noexcept {
+    return both_cover == 0
+               ? 0.0
+               : static_cast<double>(agree) / static_cast<double>(both_cover);
+  }
+};
+
+/// Diffs coarse intent over every community observed in `observations`.
+[[nodiscard]] DictionaryDiff diff_dictionaries(
+    const ObservationIndex& observations, const dict::DictionaryStore& inferred,
+    const dict::DictionaryStore& reference);
+
+}  // namespace bgpintent::core

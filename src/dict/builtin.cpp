@@ -1,0 +1,62 @@
+#include "dict/builtin.hpp"
+
+namespace bgpintent::dict {
+
+namespace {
+void add(DictionaryStore& store, std::uint16_t alpha, const char* beta_pattern,
+         Category category, const char* description) {
+  store.dictionary_for(alpha).add(
+      CommunityPattern::from_parts(alpha, BetaPattern::compile(beta_pattern)),
+      category, description);
+}
+}  // namespace
+
+void add_wellknown_communities(DictionaryStore& store) {
+  // RFC 1997 / 3765 / 7999 / 8326 values live under alpha 65535.
+  add(store, 65535, "0", Category::kGracefulShutdown,
+      "GRACEFUL_SHUTDOWN (RFC 8326)");
+  add(store, 65535, "666", Category::kBlackhole, "BLACKHOLE (RFC 7999)");
+  add(store, 65535, "65281", Category::kNoExport, "NO_EXPORT (RFC 1997)");
+  add(store, 65535, "65282", Category::kNoExport, "NO_ADVERTISE (RFC 1997)");
+  add(store, 65535, "65283", Category::kNoExport,
+      "NO_EXPORT_SUBCONFED (RFC 1997)");
+  add(store, 65535, "65284", Category::kNoPeer, "NOPEER (RFC 3765)");
+}
+
+void add_arelion_dictionary(DictionaryStore& store) {
+  // Arelion (AS1299) values documented publicly and cited in the paper.
+  add(store, 1299, "50", Category::kSetLocalPref,
+      "set local preference 50 (lowest)");
+  add(store, 1299, "150", Category::kSetLocalPref,
+      "set local preference 150");
+  add(store, 1299, "43[01]", Category::kRovStatus,
+      "RPKI origin validation status");
+  add(store, 1299, "66[16]", Category::kBlackhole, "blackhole the prefix");
+  add(store, 1299, "999", Category::kBlackhole, "blackhole (legacy value)");
+  // Export control block 2000-7999: [257]xx{1,2,3} prepend 1-3 times,
+  // [257]xx9 do not export; digit 1 selects Europe(2)/N.America(5)/Asia(7),
+  // the middle two digits select the transit peer (Fig. 3).
+  add(store, 1299, "[257]\\d\\d[123]", Category::kPrepend,
+      "prepend 1299 1-3 times toward peer AS in region");
+  add(store, 1299, "[257]\\d\\d9", Category::kSuppressToAs,
+      "do not export to peer AS in region");
+  add(store, 1299, "[257]\\d\\d0", Category::kAnnounceToAs,
+      "announce to peer AS in region");
+  // 10050-17150: regional local-pref control (action).
+  add(store, 1299, "1[0-7]\\d\\d\\d", Category::kSetLocalPref,
+      "set local preference in region");
+  // 20000-39999: ingress location (information), e.g. 35130 = Boston, MA.
+  add(store, 1299, "2\\d\\d\\d\\d", Category::kLocationCity,
+      "route learned in city (2xxxx block)");
+  add(store, 1299, "3\\d\\d\\d\\d", Category::kLocationCity,
+      "route learned in city (3xxxx block)");
+}
+
+DictionaryStore builtin_dictionary() {
+  DictionaryStore store;
+  add_wellknown_communities(store);
+  add_arelion_dictionary(store);
+  return store;
+}
+
+}  // namespace bgpintent::dict

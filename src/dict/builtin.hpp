@@ -1,0 +1,23 @@
+// A curated built-in dictionary of publicly documented community values.
+//
+// Sources: the RFC well-known communities, and Arelion's published
+// dictionary as described in the paper (Figures 1, 3 and §5.1).  It is
+// intentionally small — real deployments should load the full assembled
+// dictionary from disk — but it makes the examples and the looking-glass
+// style route annotation work out of the box on real-world values.
+#pragma once
+
+#include "dict/dictionary.hpp"
+
+namespace bgpintent::dict {
+
+/// Returns a fresh store populated with the built-in entries.
+[[nodiscard]] DictionaryStore builtin_dictionary();
+
+/// Adds the RFC well-known communities (owner 65535) to `store`.
+void add_wellknown_communities(DictionaryStore& store);
+
+/// Adds Arelion (AS1299) entries documented in the paper to `store`.
+void add_arelion_dictionary(DictionaryStore& store);
+
+}  // namespace bgpintent::dict

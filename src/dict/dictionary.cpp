@@ -1,0 +1,117 @@
+#include "dict/dictionary.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::dict {
+
+void AsDictionary::add(CommunityPattern pattern, Category category,
+                       std::string description) {
+  entries_.push_back(
+      DictEntry{std::move(pattern), category, std::move(description)});
+}
+
+const DictEntry* AsDictionary::lookup(bgp::Community c) const noexcept {
+  for (const auto& entry : entries_)
+    if (entry.pattern.matches(c)) return &entry;
+  return nullptr;
+}
+
+std::optional<Intent> AsDictionary::intent(bgp::Community c) const noexcept {
+  const DictEntry* entry = lookup(c);
+  if (entry == nullptr) return std::nullopt;
+  return entry->intent();
+}
+
+std::vector<bgp::Community> AsDictionary::covered_communities() const {
+  std::vector<bgp::Community> out;
+  for (const auto& entry : entries_) {
+    auto covered = entry.pattern.enumerate();
+    out.insert(out.end(), covered.begin(), covered.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+AsDictionary& DictionaryStore::dictionary_for(std::uint16_t asn) {
+  auto [it, inserted] = dicts_.try_emplace(asn, AsDictionary(asn));
+  return it->second;
+}
+
+const AsDictionary* DictionaryStore::find(std::uint16_t asn) const noexcept {
+  auto it = dicts_.find(asn);
+  return it == dicts_.end() ? nullptr : &it->second;
+}
+
+std::size_t DictionaryStore::entry_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [asn, dict] : dicts_) n += dict.entries().size();
+  return n;
+}
+
+const DictEntry* DictionaryStore::lookup(bgp::Community c) const noexcept {
+  const AsDictionary* dict = find(c.alpha());
+  return dict == nullptr ? nullptr : dict->lookup(c);
+}
+
+std::optional<Intent> DictionaryStore::intent(bgp::Community c) const noexcept {
+  const DictEntry* entry = lookup(c);
+  if (entry == nullptr) return std::nullopt;
+  return entry->intent();
+}
+
+DictionaryStore::EntryCounts DictionaryStore::count_entries_by_intent()
+    const noexcept {
+  EntryCounts counts;
+  for (const auto& [asn, dict] : dicts_)
+    for (const auto& entry : dict.entries()) {
+      if (entry.intent() == Intent::kAction)
+        ++counts.action;
+      else if (entry.intent() == Intent::kInformation)
+        ++counts.information;
+    }
+  return counts;
+}
+
+void DictionaryStore::save(std::ostream& out) const {
+  out << "# bgpintent dictionary: alpha|beta-pattern|category|description\n";
+  for (const auto& [asn, dict] : dicts_)
+    for (const auto& entry : dict.entries())
+      out << asn << '|' << entry.pattern.beta_pattern().text() << '|'
+          << to_string(entry.category) << '|' << entry.description << '\n';
+}
+
+void DictionaryStore::load(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view view = util::trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    const auto fields = util::split(view, '|');
+    if (fields.size() < 3)
+      throw util::ParseError(
+          util::format("dictionary line %zu: expected >=3 fields", line_no));
+    const auto alpha = util::parse_u32(util::trim(fields[0]));
+    if (!alpha || *alpha > 0xffff)
+      throw util::ParseError(
+          util::format("dictionary line %zu: bad alpha", line_no));
+    const auto category = parse_category(util::trim(fields[2]));
+    if (!category)
+      throw util::ParseError(
+          util::format("dictionary line %zu: unknown category", line_no));
+    auto pattern = CommunityPattern::from_parts(
+        static_cast<std::uint16_t>(*alpha),
+        BetaPattern::compile(util::trim(fields[1])));
+    std::string description =
+        fields.size() > 3 ? std::string(util::trim(fields[3])) : std::string{};
+    dictionary_for(static_cast<std::uint16_t>(*alpha))
+        .add(std::move(pattern), *category, std::move(description));
+  }
+}
+
+}  // namespace bgpintent::dict

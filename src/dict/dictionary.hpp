@@ -1,0 +1,105 @@
+// BGP community dictionaries: per-AS mappings from community patterns to
+// meanings, mirroring what operators publish on their websites / in IRR
+// records and what NLNOG aggregates.  Dictionaries serve two roles here:
+//   1. ground truth for evaluating the inference method (§4 of the paper:
+//      59 ASes, 199 information + 133 action regexes), and
+//   2. a lookup facility for interpreting observed routes (examples/).
+//
+// Text format (pipe-separated, '#' comments):
+//   alpha|beta-pattern|category|description
+//   1299|[257]\d\d[1239]|suppress_to_as|Export control to transit peers
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "dict/intent.hpp"
+#include "dict/pattern.hpp"
+
+namespace bgpintent::dict {
+
+/// One dictionary rule: a pattern and its meaning.
+struct DictEntry {
+  CommunityPattern pattern;
+  Category category = Category::kOtherInfo;
+  std::string description;
+
+  [[nodiscard]] Intent intent() const noexcept { return intent_of(category); }
+};
+
+/// The community dictionary of a single AS.
+class AsDictionary {
+ public:
+  AsDictionary() = default;
+  explicit AsDictionary(std::uint16_t asn) : asn_(asn) {}
+
+  [[nodiscard]] std::uint16_t asn() const noexcept { return asn_; }
+  [[nodiscard]] const std::vector<DictEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Appends a rule.  Entries are consulted in insertion order; the first
+  /// match wins, so put specific rules before broad ones.
+  void add(CommunityPattern pattern, Category category,
+           std::string description = {});
+
+  /// First entry whose pattern matches, or nullptr.
+  [[nodiscard]] const DictEntry* lookup(bgp::Community c) const noexcept;
+
+  /// Convenience: the coarse intent of `c`, if covered.
+  [[nodiscard]] std::optional<Intent> intent(bgp::Community c) const noexcept;
+
+  /// Every community covered by any entry (deduplicated, ascending).
+  [[nodiscard]] std::vector<bgp::Community> covered_communities() const;
+
+ private:
+  std::uint16_t asn_ = 0;
+  std::vector<DictEntry> entries_;
+};
+
+/// A collection of per-AS dictionaries (the "assembled dictionary" of §4).
+class DictionaryStore {
+ public:
+  /// Returns the dictionary for `asn`, creating an empty one if absent.
+  [[nodiscard]] AsDictionary& dictionary_for(std::uint16_t asn);
+
+  /// Returns the dictionary for `asn` or nullptr.
+  [[nodiscard]] const AsDictionary* find(std::uint16_t asn) const noexcept;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return dicts_.size(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept;
+
+  [[nodiscard]] const std::map<std::uint16_t, AsDictionary>& all()
+      const noexcept {
+    return dicts_;
+  }
+
+  /// Looks up `c` in its owner's dictionary.
+  [[nodiscard]] const DictEntry* lookup(bgp::Community c) const noexcept;
+  [[nodiscard]] std::optional<Intent> intent(bgp::Community c) const noexcept;
+
+  /// Number of entries per coarse intent (paper: 199 info / 133 action).
+  struct EntryCounts {
+    std::size_t information = 0;
+    std::size_t action = 0;
+  };
+  [[nodiscard]] EntryCounts count_entries_by_intent() const noexcept;
+
+  /// Serializes all entries in the pipe-separated text format.
+  void save(std::ostream& out) const;
+
+  /// Parses the text format, merging into this store.
+  /// Throws util::ParseError on malformed lines.
+  void load(std::istream& in);
+
+ private:
+  std::map<std::uint16_t, AsDictionary> dicts_;
+};
+
+}  // namespace bgpintent::dict

@@ -1,0 +1,59 @@
+#include "dict/intent.hpp"
+
+#include <array>
+#include <utility>
+
+namespace bgpintent::dict {
+
+namespace {
+constexpr std::array<std::pair<Category, std::string_view>, 18> kCategoryNames{{
+    {Category::kNoExport, "no_export"},
+    {Category::kNoPeer, "no_peer"},
+    {Category::kSuppressToAs, "suppress_to_as"},
+    {Category::kSuppressInLocation, "suppress_in_location"},
+    {Category::kBlackhole, "blackhole"},
+    {Category::kGracefulShutdown, "graceful_shutdown"},
+    {Category::kSetLocalPref, "set_local_pref"},
+    {Category::kPrepend, "prepend"},
+    {Category::kAnnounceToAs, "announce_to_as"},
+    {Category::kAnnounceInLocation, "announce_in_location"},
+    {Category::kOtherAction, "other_action"},
+    {Category::kLocationCity, "location_city"},
+    {Category::kLocationCountry, "location_country"},
+    {Category::kLocationRegion, "location_region"},
+    {Category::kRovStatus, "rov_status"},
+    {Category::kRelationship, "relationship"},
+    {Category::kInterface, "interface"},
+    {Category::kOtherInfo, "other_info"},
+}};
+}  // namespace
+
+std::string_view to_string(Category category) noexcept {
+  for (const auto& [cat, name] : kCategoryNames)
+    if (cat == category) return name;
+  return "?";
+}
+
+std::string_view to_string(Intent intent) noexcept {
+  switch (intent) {
+    case Intent::kAction: return "action";
+    case Intent::kInformation: return "information";
+    case Intent::kUnclassified: return "unclassified";
+  }
+  return "?";
+}
+
+std::optional<Category> parse_category(std::string_view token) noexcept {
+  for (const auto& [cat, name] : kCategoryNames)
+    if (name == token) return cat;
+  return std::nullopt;
+}
+
+std::optional<Intent> parse_intent(std::string_view token) noexcept {
+  if (token == "action") return Intent::kAction;
+  if (token == "information") return Intent::kInformation;
+  if (token == "unclassified") return Intent::kUnclassified;
+  return std::nullopt;
+}
+
+}  // namespace bgpintent::dict

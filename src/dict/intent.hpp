@@ -1,0 +1,97 @@
+// The paper's taxonomy of BGP community meanings (Figure 2).
+//
+// The coarse split the method infers is Intent: a community either asks the
+// owning AS to do something (action) or records metadata about the route
+// (information).  Category is the fine-grained sub-type that dictionaries
+// record; every category maps onto exactly one coarse intent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bgpintent::dict {
+
+/// Coarse community intent — the classification target of the paper.
+enum class Intent : std::uint8_t {
+  kAction,
+  kInformation,
+  /// Not classified: private-ASN alpha, never-on-path alpha (IXP route
+  /// servers), or insufficient observations.
+  kUnclassified,
+};
+
+/// Fine-grained categories following Figure 2 of the paper.
+enum class Category : std::uint8_t {
+  // --- Action: Suppress ---
+  kNoExport,            ///< RFC 1997 NO_EXPORT / NO_ADVERTISE
+  kNoPeer,              ///< RFC 3765 NOPEER
+  kSuppressToAs,        ///< do not export to a given AS
+  kSuppressInLocation,  ///< do not export in a given location
+  // --- Action: Set attribute ---
+  kBlackhole,         ///< RFC 7999 BLACKHOLE
+  kGracefulShutdown,  ///< RFC 8326 GRACEFUL_SHUTDOWN
+  kSetLocalPref,      ///< set LocalPref to N
+  kPrepend,           ///< prepend owner ASN N times
+  // --- Action: Announce ---
+  kAnnounceToAs,        ///< selectively announce to a given AS
+  kAnnounceInLocation,  ///< selectively announce in a given location
+  kOtherAction,         ///< action without a finer label
+  // --- Information: Location ---
+  kLocationCity,     ///< received in city X
+  kLocationCountry,  ///< received in country Y
+  kLocationRegion,   ///< received in region Z (continent)
+  // --- Information: Other ---
+  kRovStatus,     ///< RPKI origin-validation outcome
+  kRelationship,  ///< relationship with the sending neighbor
+  kInterface,     ///< received on interface / ingress id
+  kOtherInfo,     ///< information without a finer label
+};
+
+/// The coarse intent each category belongs to.
+[[nodiscard]] constexpr Intent intent_of(Category category) noexcept {
+  switch (category) {
+    case Category::kNoExport:
+    case Category::kNoPeer:
+    case Category::kSuppressToAs:
+    case Category::kSuppressInLocation:
+    case Category::kBlackhole:
+    case Category::kGracefulShutdown:
+    case Category::kSetLocalPref:
+    case Category::kPrepend:
+    case Category::kAnnounceToAs:
+    case Category::kAnnounceInLocation:
+    case Category::kOtherAction:
+      return Intent::kAction;
+    case Category::kLocationCity:
+    case Category::kLocationCountry:
+    case Category::kLocationRegion:
+    case Category::kRovStatus:
+    case Category::kRelationship:
+    case Category::kInterface:
+    case Category::kOtherInfo:
+      return Intent::kInformation;
+  }
+  return Intent::kUnclassified;
+}
+
+/// True for the location sub-categories targeted by Da Silva et al.
+[[nodiscard]] constexpr bool is_location_category(Category category) noexcept {
+  return category == Category::kLocationCity ||
+         category == Category::kLocationCountry ||
+         category == Category::kLocationRegion;
+}
+
+/// Stable lowercase token ("suppress_to_as"), used in the dictionary file
+/// format and in bench output.
+[[nodiscard]] std::string_view to_string(Category category) noexcept;
+[[nodiscard]] std::string_view to_string(Intent intent) noexcept;
+
+/// Inverse of to_string(Category); nullopt for unknown tokens.
+[[nodiscard]] std::optional<Category> parse_category(
+    std::string_view token) noexcept;
+
+/// Inverse of to_string(Intent); nullopt for unknown tokens.
+[[nodiscard]] std::optional<Intent> parse_intent(std::string_view token) noexcept;
+
+}  // namespace bgpintent::dict

@@ -1,0 +1,179 @@
+#include "dict/pattern.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::dict {
+
+namespace {
+
+using util::ParseError;
+
+bool is_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+/// Parses the body of a [...] class (without brackets) into a bitmask.
+std::uint16_t parse_class(std::string_view body, std::string_view whole) {
+  if (body.empty())
+    throw ParseError("empty digit class in pattern: " + std::string(whole));
+  std::uint16_t mask = 0;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (!is_digit(body[i]))
+      throw ParseError("non-digit in class: " + std::string(whole));
+    const int lo = body[i] - '0';
+    int hi = lo;
+    if (i + 2 < body.size() && body[i + 1] == '-') {
+      if (!is_digit(body[i + 2]))
+        throw ParseError("bad range in class: " + std::string(whole));
+      hi = body[i + 2] - '0';
+      i += 3;
+    } else {
+      i += 1;
+    }
+    if (hi < lo)
+      throw ParseError("descending range in class: " + std::string(whole));
+    for (int d = lo; d <= hi; ++d)
+      mask = static_cast<std::uint16_t>(mask | (1u << d));
+  }
+  return mask;
+}
+
+/// True if the pattern text is a plain numeric range "lo-hi".
+bool looks_like_range(std::string_view text) noexcept {
+  const auto dash = text.find('-');
+  if (dash == std::string_view::npos || dash == 0 || dash + 1 >= text.size())
+    return false;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (i != dash && !is_digit(text[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+BetaPattern BetaPattern::compile(std::string_view text) {
+  BetaPattern pattern;
+  pattern.text_ = std::string(text);
+  if (text.empty()) throw ParseError("empty beta pattern");
+
+  if (looks_like_range(text)) {
+    const auto dash = text.find('-');
+    const auto lo = util::parse_u32(text.substr(0, dash));
+    const auto hi = util::parse_u32(text.substr(dash + 1));
+    if (!lo || !hi || *lo > 0xffff || *hi > 0xffff)
+      throw ParseError("range bound out of [0,65535]: " + pattern.text_);
+    if (*lo > *hi) throw ParseError("descending range: " + pattern.text_);
+    pattern.form_ = RangeForm{static_cast<std::uint16_t>(*lo),
+                              static_cast<std::uint16_t>(*hi)};
+    return pattern;
+  }
+
+  DigitForm form;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (is_digit(c)) {
+      form.positions.push_back(static_cast<DigitClass>(1u << (c - '0')));
+      ++i;
+    } else if (c == '\\') {
+      if (i + 1 >= text.size() || text[i + 1] != 'd')
+        throw ParseError("unsupported escape in pattern: " + pattern.text_);
+      form.positions.push_back(0x3ff);  // all ten digits
+      i += 2;
+    } else if (c == '[') {
+      const auto close = text.find(']', i);
+      if (close == std::string_view::npos)
+        throw ParseError("unterminated class in pattern: " + pattern.text_);
+      form.positions.push_back(
+          parse_class(text.substr(i + 1, close - i - 1), pattern.text_));
+      i = close + 1;
+    } else {
+      throw ParseError("unsupported character in pattern: " + pattern.text_);
+    }
+  }
+  if (form.positions.size() > 5)
+    throw ParseError("pattern longer than any 16-bit value: " + pattern.text_);
+  pattern.form_ = std::move(form);
+  return pattern;
+}
+
+bool BetaPattern::matches(std::uint16_t beta) const noexcept {
+  if (const auto* range = std::get_if<RangeForm>(&form_))
+    return beta >= range->lo && beta <= range->hi;
+
+  const auto& digits = std::get<DigitForm>(form_);
+  // Render beta without allocating.
+  char buf[5];
+  int len = 0;
+  std::uint16_t v = beta;
+  do {
+    buf[len++] = static_cast<char>('0' + v % 10);
+    v = static_cast<std::uint16_t>(v / 10);
+  } while (v != 0);
+  if (static_cast<std::size_t>(len) != digits.positions.size()) return false;
+  for (int i = 0; i < len; ++i) {
+    const int digit = buf[len - 1 - i] - '0';
+    if ((digits.positions[static_cast<std::size_t>(i)] & (1u << digit)) == 0)
+      return false;
+  }
+  return true;
+}
+
+std::pair<std::uint16_t, std::uint16_t> BetaPattern::bounds() const noexcept {
+  if (const auto* range = std::get_if<RangeForm>(&form_))
+    return {range->lo, range->hi};
+  const auto& digits = std::get<DigitForm>(form_);
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  for (DigitClass mask : digits.positions) {
+    int min_d = 0;
+    int max_d = 9;
+    while (min_d < 10 && (mask & (1u << min_d)) == 0) ++min_d;
+    while (max_d >= 0 && (mask & (1u << max_d)) == 0) --max_d;
+    lo = lo * 10 + static_cast<std::uint32_t>(min_d < 10 ? min_d : 0);
+    hi = hi * 10 + static_cast<std::uint32_t>(max_d >= 0 ? max_d : 9);
+  }
+  lo = std::min<std::uint32_t>(lo, 0xffff);
+  hi = std::min<std::uint32_t>(hi, 0xffff);
+  return {static_cast<std::uint16_t>(lo), static_cast<std::uint16_t>(hi)};
+}
+
+std::vector<std::uint16_t> BetaPattern::enumerate() const {
+  std::vector<std::uint16_t> out;
+  const auto [lo, hi] = bounds();
+  for (std::uint32_t beta = lo; beta <= hi; ++beta)
+    if (matches(static_cast<std::uint16_t>(beta)))
+      out.push_back(static_cast<std::uint16_t>(beta));
+  return out;
+}
+
+CommunityPattern CommunityPattern::compile(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos)
+    throw util::ParseError("community pattern needs alpha: " +
+                           std::string(text));
+  const auto alpha = util::parse_u32(text.substr(0, colon));
+  if (!alpha || *alpha > 0xffff)
+    throw util::ParseError("bad alpha in pattern: " + std::string(text));
+  return CommunityPattern(static_cast<std::uint16_t>(*alpha),
+                          BetaPattern::compile(text.substr(colon + 1)));
+}
+
+CommunityPattern CommunityPattern::from_parts(std::uint16_t alpha,
+                                              BetaPattern beta) {
+  return CommunityPattern(alpha, std::move(beta));
+}
+
+std::vector<bgp::Community> CommunityPattern::enumerate() const {
+  std::vector<bgp::Community> out;
+  for (std::uint16_t beta : beta_.enumerate())
+    out.emplace_back(alpha_, beta);
+  return out;
+}
+
+std::string CommunityPattern::to_string() const {
+  return std::to_string(alpha_) + ":" + beta_.text();
+}
+
+}  // namespace bgpintent::dict

@@ -1,0 +1,103 @@
+// Community value patterns.
+//
+// The paper summarizes each operator's contiguous community blocks with
+// regular expressions over the decimal rendering of the beta value, e.g.
+// 1299:[257]\d\d[1239] for Arelion's export-control block.  We implement
+// exactly that subset — literal digits, \d, digit classes with ranges —
+// plus an explicit numeric range form "2000-7999", which dictionaries in
+// the wild (and our generator) use for wide blocks.
+//
+// Patterns are anchored: they must match the whole beta string (betas render
+// without leading zeros).  Compilation throws util::ParseError on malformed
+// input; matching is noexcept and allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "bgp/community.hpp"
+
+namespace bgpintent::dict {
+
+/// A compiled pattern over 16-bit beta values.
+class BetaPattern {
+ public:
+  /// Compiles "2569", "[257]\d\d[1239]", "430-431", etc.
+  /// Throws util::ParseError on syntax errors or out-of-range bounds.
+  [[nodiscard]] static BetaPattern compile(std::string_view text);
+
+  /// True if the decimal rendering of `beta` matches.
+  [[nodiscard]] bool matches(std::uint16_t beta) const noexcept;
+
+  /// Smallest and largest beta that could match (inclusive).  For digit
+  /// patterns this is the per-position min/max digit; unmatched values can
+  /// still exist inside the bounds.
+  [[nodiscard]] std::pair<std::uint16_t, std::uint16_t> bounds() const noexcept;
+
+  /// All matching beta values, ascending.
+  [[nodiscard]] std::vector<std::uint16_t> enumerate() const;
+
+  /// The original pattern text.
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+  friend bool operator==(const BetaPattern& a, const BetaPattern& b) noexcept {
+    return a.text_ == b.text_;
+  }
+
+ private:
+  /// One position of a digit pattern: a bitmask over digits 0-9.
+  using DigitClass = std::uint16_t;
+
+  struct DigitForm {
+    std::vector<DigitClass> positions;
+  };
+  struct RangeForm {
+    std::uint16_t lo;
+    std::uint16_t hi;
+  };
+
+  std::string text_;
+  std::variant<DigitForm, RangeForm> form_;
+};
+
+/// alpha:beta-pattern — a pattern over full communities of one owner AS.
+class CommunityPattern {
+ public:
+  /// Compiles "1299:[257]\d\d[1239]" or "1299:2000-7999".
+  /// Throws util::ParseError on malformed input.
+  [[nodiscard]] static CommunityPattern compile(std::string_view text);
+
+  [[nodiscard]] static CommunityPattern from_parts(std::uint16_t alpha,
+                                                   BetaPattern beta);
+
+  [[nodiscard]] std::uint16_t alpha() const noexcept { return alpha_; }
+  [[nodiscard]] const BetaPattern& beta_pattern() const noexcept {
+    return beta_;
+  }
+
+  [[nodiscard]] bool matches(bgp::Community c) const noexcept {
+    return c.alpha() == alpha_ && beta_.matches(c.beta());
+  }
+
+  /// All communities the pattern covers, ascending by beta.
+  [[nodiscard]] std::vector<bgp::Community> enumerate() const;
+
+  /// "alpha:pattern-text".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CommunityPattern&,
+                         const CommunityPattern&) noexcept = default;
+
+ private:
+  CommunityPattern(std::uint16_t alpha, BetaPattern beta)
+      : alpha_(alpha), beta_(std::move(beta)) {}
+
+  std::uint16_t alpha_ = 0;
+  BetaPattern beta_ = BetaPattern::compile("0");
+};
+
+}  // namespace bgpintent::dict

@@ -1,0 +1,129 @@
+#include "locinfer/locinfer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bgpintent::locinfer {
+
+std::vector<LocationInference> infer_locations(
+    std::span<const bgp::RibEntry> entries,
+    const LocationInferenceConfig& config) {
+  struct Accumulator {
+    std::unordered_set<std::uint64_t> paths;
+    std::unordered_set<bgp::Asn> successors;
+  };
+  std::unordered_map<Community, Accumulator> per_community;
+  // All distinct successors of each alpha, across every route where it
+  // transits (denominator of the concentration test).
+  std::unordered_map<std::uint16_t, std::unordered_set<bgp::Asn>>
+      alpha_successors;
+
+  for (const bgp::RibEntry& entry : entries) {
+    const bgp::AsPath& path = entry.route.path;
+    // Record successors for every 16-bit AS on the path.
+    for (const bgp::Asn asn : path.unique_asns()) {
+      if (asn > 0xffff) continue;
+      if (const auto next = path.next_toward_origin(asn))
+        alpha_successors[static_cast<std::uint16_t>(asn)].insert(*next);
+    }
+    for (const Community community : entry.route.communities) {
+      if (!path.contains(community.alpha())) continue;  // baseline: on-path only
+      auto& acc = per_community[community];
+      acc.paths.insert(path.hash());
+      if (const auto next = path.next_toward_origin(community.alpha()))
+        acc.successors.insert(*next);
+    }
+  }
+
+  std::vector<LocationInference> out;
+  out.reserve(per_community.size());
+  for (const auto& [community, acc] : per_community) {
+    LocationInference inference;
+    inference.community = community;
+    inference.support = acc.paths.size();
+    inference.distinct_successors = acc.successors.size();
+    const auto alpha_it = alpha_successors.find(community.alpha());
+    const std::size_t alpha_total =
+        alpha_it == alpha_successors.end() ? 0 : alpha_it->second.size();
+    inference.inferred_location =
+        inference.support >= config.min_support &&
+        inference.distinct_successors > 0 &&
+        inference.distinct_successors <= config.max_successors &&
+        alpha_total > 0 &&
+        static_cast<double>(inference.distinct_successors) <=
+            config.max_successor_fraction * static_cast<double>(alpha_total);
+    out.push_back(inference);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LocationInference& a, const LocationInference& b) {
+              return a.community < b.community;
+            });
+  return out;
+}
+
+std::string_view to_string(Table1Class klass) noexcept {
+  switch (klass) {
+    case Table1Class::kGeolocation: return "Geolocation";
+    case Table1Class::kTrafficEngineering: return "Traffic Engineering";
+    case Table1Class::kRouteType: return "Route Type";
+    case Table1Class::kInternal: return "Internal Routes";
+  }
+  return "?";
+}
+
+Table1Class table1_class(dict::Category category) noexcept {
+  if (dict::is_location_category(category)) return Table1Class::kGeolocation;
+  if (category == dict::Category::kRelationship) return Table1Class::kRouteType;
+  if (dict::intent_of(category) == dict::Intent::kAction)
+    return Table1Class::kTrafficEngineering;
+  return Table1Class::kInternal;
+}
+
+const Table1Row* Table1Result::row(Table1Class klass) const noexcept {
+  for (const Table1Row& r : rows)
+    if (r.klass == klass) return &r;
+  return nullptr;
+}
+
+Table1Result table1_comparison(
+    const std::vector<LocationInference>& inferences,
+    const dict::DictionaryStore& truth, const core::InferenceResult& intent) {
+  Table1Result result;
+  result.rows = {
+      {Table1Class::kGeolocation, 0, 0},
+      {Table1Class::kTrafficEngineering, 0, 0},
+      {Table1Class::kRouteType, 0, 0},
+      {Table1Class::kInternal, 0, 0},
+  };
+  auto row_of = [&result](Table1Class klass) -> Table1Row& {
+    for (Table1Row& r : result.rows)
+      if (r.klass == klass) return r;
+    return result.rows.front();
+  };
+
+  for (const LocationInference& inference : inferences) {
+    if (!inference.inferred_location) continue;
+    // Table 1 uses ground-truth labels; unlabeled communities are not rows.
+    const dict::DictEntry* entry = truth.lookup(inference.community);
+    if (entry == nullptr) continue;
+    Table1Row& r = row_of(table1_class(entry->category));
+    ++r.before;
+    ++result.total_before;
+    // The paper's filter: drop communities the method inferred as action.
+    if (intent.label_of(inference.community) == dict::Intent::kAction)
+      continue;
+    ++r.after;
+    ++result.total_after;
+  }
+  const auto* geo = result.row(Table1Class::kGeolocation);
+  if (result.total_before > 0)
+    result.precision_before = static_cast<double>(geo->before) /
+                              static_cast<double>(result.total_before);
+  if (result.total_after > 0)
+    result.precision_after = static_cast<double>(geo->after) /
+                             static_cast<double>(result.total_after);
+  return result;
+}
+
+}  // namespace bgpintent::locinfer

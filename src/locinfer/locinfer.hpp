@@ -1,0 +1,93 @@
+// Location-community inference baseline (Da Silva Jr. et al., SIGMETRICS
+// 2022) and the Table-1 experiment of the reproduced paper.
+//
+// The baseline marks a community as a *location* community when the routes
+// it tags enter the owning AS through a concentrated set of ingress
+// neighbors: a geo tag is attached at one PoP, so the successor of alpha on
+// tagged paths is (nearly) unique, while broad tags (relationship, ROV)
+// appear across many ingress neighbors.
+//
+// Crucially, the heuristic reproduces the published failure mode: targeted
+// traffic-engineering *action* communities are also attached by only a few
+// customers and therefore look concentrated — the false positives that the
+// paper's intent classifier removes, raising precision from 68.2% to 94.8%
+// (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "core/classifier.hpp"
+#include "dict/dictionary.hpp"
+
+namespace bgpintent::locinfer {
+
+using bgp::Community;
+
+struct LocationInferenceConfig {
+  /// Minimum unique tagged on-path paths before inferring anything.
+  std::size_t min_support = 2;
+  /// Location if distinct ingress successors <= this absolute bound ...
+  std::size_t max_successors = 3;
+  /// ... and <= this fraction of the owner's total distinct successors.
+  double max_successor_fraction = 0.34;
+};
+
+/// Per-community outcome of the baseline.
+struct LocationInference {
+  Community community;
+  std::size_t support = 0;             ///< unique on-path tagged paths
+  std::size_t distinct_successors = 0; ///< ingress neighbors of alpha
+  bool inferred_location = false;
+};
+
+/// Runs the baseline over RIB entries.  Only communities whose alpha
+/// appears on the tagged path contribute (the baseline has no notion of
+/// off-path, which is precisely its blind spot).
+[[nodiscard]] std::vector<LocationInference> infer_locations(
+    std::span<const bgp::RibEntry> entries,
+    const LocationInferenceConfig& config = {});
+
+/// Ground-truth row classes of Table 1.
+enum class Table1Class : std::uint8_t {
+  kGeolocation,         ///< location information communities (true positives)
+  kTrafficEngineering,  ///< action communities (the dominant false positives)
+  kRouteType,           ///< relationship information communities
+  kInternal,            ///< other information communities (ROV, interface, ...)
+};
+
+[[nodiscard]] std::string_view to_string(Table1Class klass) noexcept;
+
+/// Maps a fine-grained dictionary category onto its Table-1 row.
+[[nodiscard]] Table1Class table1_class(dict::Category category) noexcept;
+
+/// The before/after comparison of Table 1: location inferences broken down
+/// by ground-truth class, before and after removing communities the intent
+/// classifier labeled action.
+struct Table1Row {
+  Table1Class klass;
+  std::size_t before = 0;
+  std::size_t after = 0;
+};
+
+struct Table1Result {
+  std::vector<Table1Row> rows;
+  std::size_t total_before = 0;
+  std::size_t total_after = 0;
+  double precision_before = 0.0;  ///< geolocation / total
+  double precision_after = 0.0;
+
+  [[nodiscard]] const Table1Row* row(Table1Class klass) const noexcept;
+};
+
+/// Scores inferred-location communities against the ground-truth
+/// dictionary (rows use the dictionary's labels, as in the paper) and
+/// applies the action filter from `intent`.
+[[nodiscard]] Table1Result table1_comparison(
+    const std::vector<LocationInference>& inferences,
+    const dict::DictionaryStore& truth,
+    const core::InferenceResult& intent);
+
+}  // namespace bgpintent::locinfer

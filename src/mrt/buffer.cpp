@@ -1,0 +1,89 @@
+#include "mrt/buffer.hpp"
+
+namespace bgpintent::mrt {
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) throw MrtError("patch_u16 out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) throw MrtError("patch_u32 out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n)
+    throw MrtError("truncated record: need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(remaining()));
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  require(2);
+  const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+  const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return static_cast<std::uint16_t>(hi << 8 | lo);
+}
+
+std::uint32_t ByteReader::get_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint64_t hi = get_u32();
+  return hi << 32 | get_u32();
+}
+
+std::span<const std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  require(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+ByteReader ByteReader::sub_reader(std::size_t n) {
+  return ByteReader(get_bytes(n));
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+}  // namespace bgpintent::mrt

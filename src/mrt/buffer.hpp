@@ -1,0 +1,77 @@
+// Bounds-checked big-endian byte buffers for wire-format work.
+//
+// ByteWriter appends network-byte-order primitives to a growable buffer;
+// ByteReader consumes them from a span.  All reader operations throw
+// MrtError on truncation — wire data is untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bgpintent::mrt {
+
+/// Thrown on malformed or truncated wire data.
+class MrtError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Overwrites a previously written big-endian u16 at `offset` (for
+  /// back-patching length fields).  Throws MrtError if out of range.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+
+  /// Consumes `n` bytes and returns a view of them.
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n);
+
+  /// Consumes `n` bytes and returns a sub-reader over them.
+  [[nodiscard]] ByteReader sub_reader(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  void skip(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgpintent::mrt

@@ -1,0 +1,360 @@
+#include "mrt/mrt_file.hpp"
+
+#include "bgp/asn.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace bgpintent::mrt {
+
+namespace {
+
+constexpr std::size_t kMaxRecordSize = 1 << 24;  // sanity bound, 16 MiB
+constexpr std::uint8_t kPeerTypeAs4 = 0x02;      // RFC 6396 §4.3.1
+
+/// Builds the PEER_INDEX_TABLE body; returns peer -> index.
+std::map<bgp::VantagePointId, std::uint16_t> build_peer_table(
+    ByteWriter& body, const std::vector<bgp::RibEntry>& entries,
+    std::uint32_t collector_id) {
+  std::map<bgp::VantagePointId, std::uint16_t> index;
+  for (const auto& entry : entries) index.emplace(entry.vantage_point, 0);
+  std::uint16_t next = 0;
+  for (auto& [peer, idx] : index) idx = next++;
+
+  body.put_u32(collector_id);
+  body.put_u16(0);  // empty view name
+  body.put_u16(static_cast<std::uint16_t>(index.size()));
+  for (const auto& [peer, idx] : index) {
+    body.put_u8(kPeerTypeAs4);      // IPv4 peer, 4-octet ASN
+    body.put_u32(peer.address);     // peer BGP id (we reuse the address)
+    body.put_u32(peer.address);     // peer IP
+    body.put_u32(peer.asn);
+  }
+  return index;
+}
+
+}  // namespace
+
+void MrtWriter::write_record(const MrtRecord& record) {
+  ByteWriter header;
+  header.put_u32(record.timestamp);
+  header.put_u16(record.type);
+  header.put_u16(record.subtype);
+  header.put_u32(static_cast<std::uint32_t>(record.body.size()));
+  out_->write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.size()));
+  out_->write(reinterpret_cast<const char*>(record.body.data()),
+              static_cast<std::streamsize>(record.body.size()));
+  if (!*out_) throw MrtError("stream write failed");
+}
+
+void MrtWriter::write_rib_snapshot(const std::vector<bgp::RibEntry>& entries,
+                                   std::uint32_t collector_id,
+                                   std::uint32_t timestamp) {
+  ByteWriter peer_body;
+  const auto peer_index = build_peer_table(peer_body, entries, collector_id);
+  write_record(MrtRecord{timestamp, kTypeTableDumpV2, kSubtypePeerIndexTable,
+                         peer_body.take()});
+
+  // Group entries by prefix, preserving prefix order.
+  std::map<bgp::Prefix, std::vector<const bgp::RibEntry*>> by_prefix;
+  for (const auto& entry : entries)
+    by_prefix[entry.route.prefix].push_back(&entry);
+
+  std::uint32_t sequence = 0;
+  for (const auto& [prefix, rows] : by_prefix) {
+    ByteWriter body;
+    body.put_u32(sequence++);
+    encode_nlri_prefix(body, prefix);
+    body.put_u16(static_cast<std::uint16_t>(rows.size()));
+    for (const bgp::RibEntry* row : rows) {
+      body.put_u16(peer_index.at(row->vantage_point));
+      body.put_u32(timestamp);  // originated time
+      ByteWriter attrs;
+      PathAttributes pa;
+      pa.origin = row->route.origin_attr;
+      pa.as_path = row->route.path;
+      pa.next_hop = row->route.next_hop;
+      pa.med = row->route.med;
+      pa.communities = row->route.communities;
+      pa.ext_communities = row->route.ext_communities;
+      pa.large_communities = row->route.large_communities;
+      encode_path_attributes(attrs, pa);
+      body.put_u16(static_cast<std::uint16_t>(attrs.size()));
+      body.put_bytes(attrs.bytes());
+    }
+    write_record(MrtRecord{timestamp, kTypeTableDumpV2,
+                           kSubtypeRibIpv4Unicast, body.take()});
+  }
+}
+
+void MrtWriter::write_update(const bgp::VantagePointId& peer,
+                             const bgp::Route& route,
+                             std::uint32_t timestamp) {
+  ByteWriter body;
+  body.put_u32(peer.asn);       // peer AS
+  body.put_u32(0xfffd);         // local (collector) AS
+  body.put_u16(0);              // interface index
+  body.put_u16(1);              // AFI IPv4
+  body.put_u32(peer.address);   // peer IP
+  body.put_u32(0x0a0a0a0a);     // local IP
+
+  BgpUpdate update;
+  update.announced = {route.prefix};
+  update.attrs.origin = route.origin_attr;
+  update.attrs.as_path = route.path;
+  update.attrs.next_hop = route.next_hop;
+  update.attrs.med = route.med;
+  update.attrs.communities = route.communities;
+  update.attrs.ext_communities = route.ext_communities;
+  update.attrs.large_communities = route.large_communities;
+  encode_bgp_update(body, update);
+
+  write_record(MrtRecord{timestamp, kTypeBgp4mp, kSubtypeBgp4mpMessageAs4,
+                         body.take()});
+}
+
+void MrtWriter::write_state_change(const bgp::VantagePointId& peer,
+                                   std::uint16_t old_state,
+                                   std::uint16_t new_state,
+                                   std::uint32_t timestamp) {
+  ByteWriter body;
+  body.put_u32(peer.asn);
+  body.put_u32(0xfffd);        // local AS
+  body.put_u16(0);             // interface index
+  body.put_u16(1);             // AFI IPv4
+  body.put_u32(peer.address);
+  body.put_u32(0x0a0a0a0a);    // local IP
+  body.put_u16(old_state);
+  body.put_u16(new_state);
+  write_record(MrtRecord{timestamp, kTypeBgp4mp, kSubtypeBgp4mpStateChangeAs4,
+                         body.take()});
+}
+
+namespace {
+
+/// Path attributes with a 2-octet AS_PATH (legacy TABLE_DUMP rows).
+std::vector<std::uint8_t> encode_legacy_attributes(const bgp::Route& route) {
+  ByteWriter out;
+  out.put_u8(kFlagTransitive);
+  out.put_u8(kAttrOrigin);
+  out.put_u8(1);
+  out.put_u8(static_cast<std::uint8_t>(route.origin_attr));
+
+  ByteWriter path_body;
+  for (const auto& seg : route.path.segments()) {
+    path_body.put_u8(static_cast<std::uint8_t>(seg.type));
+    path_body.put_u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (const bgp::Asn asn : seg.asns) {
+      if (!bgp::fits_asn16(asn))
+        throw MrtError("legacy TABLE_DUMP cannot carry 4-octet ASN " +
+                       std::to_string(asn));
+      path_body.put_u16(static_cast<std::uint16_t>(asn));
+    }
+  }
+  out.put_u8(kFlagTransitive);
+  out.put_u8(kAttrAsPath);
+  out.put_u8(static_cast<std::uint8_t>(path_body.size()));
+  out.put_bytes(path_body.bytes());
+
+  out.put_u8(kFlagTransitive);
+  out.put_u8(kAttrNextHop);
+  out.put_u8(4);
+  out.put_u32(route.next_hop);
+
+  if (!route.communities.empty()) {
+    ByteWriter body;
+    for (const bgp::Community c : route.communities) body.put_u32(c.wire());
+    out.put_u8(kFlagOptional | kFlagTransitive);
+    out.put_u8(kAttrCommunities);
+    if (body.size() > 0xff) {
+      // fall back to extended length
+      ByteWriter with_ext;
+      with_ext.put_u8(kFlagOptional | kFlagTransitive | kFlagExtendedLength);
+      with_ext.put_u8(kAttrCommunities);
+      with_ext.put_u16(static_cast<std::uint16_t>(body.size()));
+      with_ext.put_bytes(body.bytes());
+      // replace the two bytes just written
+      auto head = out.take();
+      head.pop_back();
+      head.pop_back();
+      ByteWriter rebuilt;
+      rebuilt.put_bytes(head);
+      rebuilt.put_bytes(with_ext.bytes());
+      return rebuilt.take();
+    }
+    out.put_u8(static_cast<std::uint8_t>(body.size()));
+    out.put_bytes(body.bytes());
+  }
+  return out.take();
+}
+
+}  // namespace
+
+void MrtWriter::write_legacy_rib(const std::vector<bgp::RibEntry>& entries,
+                                 std::uint32_t timestamp) {
+  std::uint16_t sequence = 0;
+  for (const bgp::RibEntry& entry : entries) {
+    if (!bgp::fits_asn16(entry.vantage_point.asn))
+      throw MrtError("legacy TABLE_DUMP cannot carry 4-octet peer ASN");
+    ByteWriter body;
+    body.put_u16(0);  // view
+    body.put_u16(sequence++);
+    body.put_u32(entry.route.prefix.address());
+    body.put_u8(entry.route.prefix.length());
+    body.put_u8(1);  // status
+    body.put_u32(timestamp);
+    body.put_u32(entry.vantage_point.address);
+    body.put_u16(static_cast<std::uint16_t>(entry.vantage_point.asn));
+    const auto attrs = encode_legacy_attributes(entry.route);
+    body.put_u16(static_cast<std::uint16_t>(attrs.size()));
+    body.put_bytes(attrs);
+    write_record(MrtRecord{timestamp, kTypeTableDump, kSubtypeTableDumpIpv4,
+                           body.take()});
+  }
+}
+
+bool MrtReader::next(MrtRecord& record) {
+  std::uint8_t header[12];
+  in_->read(reinterpret_cast<char*>(header), sizeof header);
+  if (in_->gcount() == 0 && in_->eof()) return false;
+  if (in_->gcount() != sizeof header)
+    throw MrtError("truncated MRT header");
+  ByteReader reader(header);
+  record.timestamp = reader.get_u32();
+  record.type = reader.get_u16();
+  record.subtype = reader.get_u16();
+  const std::uint32_t length = reader.get_u32();
+  if (length > kMaxRecordSize) throw MrtError("oversized MRT record");
+  record.body.resize(length);
+  in_->read(reinterpret_cast<char*>(record.body.data()), length);
+  if (static_cast<std::uint32_t>(in_->gcount()) != length)
+    throw MrtError("truncated MRT record body");
+  return true;
+}
+
+std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
+  std::vector<bgp::RibEntry> entries;
+  std::vector<bgp::VantagePointId> peer_table;
+  MrtReader reader(in);
+  MrtRecord record;
+  while (reader.next(record)) {
+    if (record.type == kTypeTableDumpV2 &&
+        record.subtype == kSubtypePeerIndexTable) {
+      peer_table.clear();
+      ByteReader body(record.body);
+      body.skip(4);  // collector id
+      const std::uint16_t name_len = body.get_u16();
+      body.skip(name_len);
+      const std::uint16_t count = body.get_u16();
+      for (std::uint16_t i = 0; i < count; ++i) {
+        const std::uint8_t peer_type = body.get_u8();
+        if ((peer_type & 0x01) != 0)
+          throw MrtError("IPv6 peers not supported");
+        body.skip(4);  // BGP id
+        bgp::VantagePointId peer;
+        peer.address = body.get_u32();
+        peer.asn = (peer_type & kPeerTypeAs4) != 0
+                       ? body.get_u32()
+                       : body.get_u16();
+        peer_table.push_back(peer);
+      }
+    } else if (record.type == kTypeTableDumpV2 &&
+               record.subtype == kSubtypeRibIpv4Unicast) {
+      ByteReader body(record.body);
+      body.skip(4);  // sequence
+      const bgp::Prefix prefix = decode_nlri_prefix(body);
+      const std::uint16_t count = body.get_u16();
+      for (std::uint16_t i = 0; i < count; ++i) {
+        const std::uint16_t peer_idx = body.get_u16();
+        body.skip(4);  // originated time
+        const std::uint16_t attr_len = body.get_u16();
+        const PathAttributes attrs =
+            decode_path_attributes(body, attr_len);
+        if (peer_idx >= peer_table.size())
+          throw MrtError("peer index out of range");
+        bgp::RibEntry entry;
+        entry.vantage_point = peer_table[peer_idx];
+        entry.route.prefix = prefix;
+        entry.route.path = attrs.as_path;
+        entry.route.communities = attrs.communities;
+        entry.route.ext_communities = attrs.ext_communities;
+        entry.route.large_communities = attrs.large_communities;
+        entry.route.next_hop = attrs.next_hop;
+        entry.route.origin_attr = attrs.origin;
+        entry.route.med = attrs.med;
+        entry.route.local_pref = attrs.local_pref;
+        entries.push_back(std::move(entry));
+      }
+    } else if (record.type == kTypeTableDump &&
+               record.subtype == kSubtypeTableDumpIpv4) {
+      ByteReader body(record.body);
+      body.skip(2);  // view
+      body.skip(2);  // sequence
+      const std::uint32_t address = body.get_u32();
+      const std::uint8_t length = body.get_u8();
+      if (length > 32) throw MrtError("bad legacy prefix length");
+      body.skip(1);  // status
+      body.skip(4);  // originated time
+      bgp::RibEntry entry;
+      entry.vantage_point.address = body.get_u32();
+      entry.vantage_point.asn = body.get_u16();
+      const std::uint16_t attr_len = body.get_u16();
+      const PathAttributes attrs =
+          decode_path_attributes(body, attr_len, /*asn16=*/true);
+      entry.route.prefix = bgp::Prefix(address, length);
+      entry.route.path = attrs.as_path;
+      entry.route.communities = attrs.communities;
+      entry.route.ext_communities = attrs.ext_communities;
+      entry.route.large_communities = attrs.large_communities;
+      entry.route.next_hop = attrs.next_hop;
+      entry.route.origin_attr = attrs.origin;
+      entry.route.med = attrs.med;
+      entry.route.local_pref = attrs.local_pref;
+      entries.push_back(std::move(entry));
+    } else if (record.type == kTypeBgp4mp &&
+               (record.subtype == kSubtypeBgp4mpStateChange ||
+                record.subtype == kSubtypeBgp4mpStateChangeAs4)) {
+      // Session state transitions carry no routes; skipped by design.
+    } else if (record.type == kTypeBgp4mp &&
+               record.subtype == kSubtypeBgp4mpMessageAs4) {
+      ByteReader body(record.body);
+      bgp::VantagePointId peer;
+      peer.asn = body.get_u32();
+      body.skip(4);  // local AS
+      body.skip(2);  // interface
+      const std::uint16_t afi = body.get_u16();
+      if (afi != 1) continue;  // IPv4 only
+      peer.address = body.get_u32();
+      body.skip(4);  // local IP
+      const BgpUpdate update = decode_bgp_message(body);
+      for (const bgp::Prefix& prefix : update.announced) {
+        bgp::RibEntry entry;
+        entry.vantage_point = peer;
+        entry.route.prefix = prefix;
+        entry.route.path = update.attrs.as_path;
+        entry.route.communities = update.attrs.communities;
+        entry.route.ext_communities = update.attrs.ext_communities;
+        entry.route.large_communities = update.attrs.large_communities;
+        entry.route.next_hop = update.attrs.next_hop;
+        entry.route.origin_attr = update.attrs.origin;
+        entry.route.med = update.attrs.med;
+        entry.route.local_pref = update.attrs.local_pref;
+        entries.push_back(std::move(entry));
+      }
+    }
+    // Other record types: skipped.
+  }
+  return entries;
+}
+
+std::vector<bgp::RibEntry> read_rib_entries(
+    const std::vector<std::uint8_t>& bytes) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  return read_rib_entries(in);
+}
+
+}  // namespace bgpintent::mrt

@@ -1,0 +1,100 @@
+// MRT export format (RFC 6396): the byte format RouteViews and RIPE RIS
+// publish.  We implement the records the paper's pipeline consumes:
+//
+//   TABLE_DUMP_V2 / PEER_INDEX_TABLE   collector peer table
+//   TABLE_DUMP_V2 / RIB_IPV4_UNICAST   RIB snapshot rows
+//   BGP4MP / MESSAGE_AS4               update messages (4-octet ASNs)
+//
+// MrtWriter serializes collector state to any ostream; MrtReader streams
+// records back, reconstructing RibEntry rows — so the inference pipeline
+// can be pointed at a file produced here or at a real (uncompressed)
+// RouteViews dump.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "mrt/bgp_message.hpp"
+
+namespace bgpintent::mrt {
+
+// MRT record types / subtypes (RFC 6396 §4).
+inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+inline constexpr std::uint16_t kTypeBgp4mp = 16;
+inline constexpr std::uint16_t kSubtypeBgp4mpStateChange = 0;
+inline constexpr std::uint16_t kSubtypeBgp4mpMessageAs4 = 4;
+inline constexpr std::uint16_t kSubtypeBgp4mpStateChangeAs4 = 5;
+// Legacy TABLE_DUMP (RFC 6396 §4.2): one RIB row per record, 2-octet ASNs.
+inline constexpr std::uint16_t kTypeTableDump = 12;
+inline constexpr std::uint16_t kSubtypeTableDumpIpv4 = 1;
+
+/// One raw MRT record (header fields + undecoded body).
+struct MrtRecord {
+  std::uint32_t timestamp = 0;
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Serializes MRT records to a stream.
+class MrtWriter {
+ public:
+  explicit MrtWriter(std::ostream& out) noexcept : out_(&out) {}
+
+  /// Writes a raw record.
+  void write_record(const MrtRecord& record);
+
+  /// Writes a full RIB snapshot: one PEER_INDEX_TABLE followed by one
+  /// RIB_IPV4_UNICAST record per distinct prefix.  Entries may be in any
+  /// order; they are grouped by prefix internally.
+  void write_rib_snapshot(const std::vector<bgp::RibEntry>& entries,
+                          std::uint32_t collector_id, std::uint32_t timestamp);
+
+  /// Writes one BGP4MP_MESSAGE_AS4 UPDATE announcing `route` as heard from
+  /// `peer`.
+  void write_update(const bgp::VantagePointId& peer, const bgp::Route& route,
+                    std::uint32_t timestamp);
+
+  /// Writes a BGP4MP_STATE_CHANGE_AS4 record (FSM states per RFC 4271:
+  /// 1=Idle .. 6=Established).
+  void write_state_change(const bgp::VantagePointId& peer,
+                          std::uint16_t old_state, std::uint16_t new_state,
+                          std::uint32_t timestamp);
+
+  /// Writes a RIB snapshot in the *legacy* TABLE_DUMP format (2-octet
+  /// ASNs).  Paths containing 4-octet ASNs are rejected with MrtError;
+  /// this writer exists to exercise readers against pre-2008 archives.
+  void write_legacy_rib(const std::vector<bgp::RibEntry>& entries,
+                        std::uint32_t timestamp);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Streams MRT records from an istream.
+class MrtReader {
+ public:
+  explicit MrtReader(std::istream& in) noexcept : in_(&in) {}
+
+  /// Reads the next record; returns false at a clean EOF.  Throws MrtError
+  /// on a truncated or oversized record.
+  [[nodiscard]] bool next(MrtRecord& record);
+
+ private:
+  std::istream* in_;
+};
+
+/// Reads a whole MRT stream back into RIB entries: RIB snapshot records are
+/// joined with their PEER_INDEX_TABLE; BGP4MP updates contribute one entry
+/// per announced prefix.  Unknown record types are skipped.
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(std::istream& in);
+
+/// Convenience: decode the records of one in-memory MRT body.
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace bgpintent::mrt

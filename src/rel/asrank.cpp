@@ -1,0 +1,125 @@
+#include "rel/asrank.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bgpintent::rel {
+
+namespace {
+
+std::uint64_t pair_key(Asn a, Asn b) noexcept {
+  const Asn lo = std::min(a, b);
+  const Asn hi = std::max(a, b);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
+}
+
+}  // namespace
+
+std::unordered_map<Asn, std::size_t> transit_degrees(
+    const std::vector<bgp::AsPath>& paths) {
+  std::unordered_map<Asn, std::unordered_set<Asn>> transit_neighbors;
+  for (const bgp::AsPath& path : paths) {
+    const auto asns = path.unique_asns();
+    for (std::size_t i = 1; i + 1 < asns.size(); ++i) {
+      transit_neighbors[asns[i]].insert(asns[i - 1]);
+      transit_neighbors[asns[i]].insert(asns[i + 1]);
+    }
+  }
+  std::unordered_map<Asn, std::size_t> degrees;
+  for (const auto& [asn, neighbors] : transit_neighbors)
+    degrees[asn] = neighbors.size();
+  return degrees;
+}
+
+RelationshipDataset infer_relationships(const std::vector<bgp::AsPath>& paths,
+                                        const InferenceConfig& config) {
+  const auto degrees = transit_degrees(paths);
+  auto degree_of = [&degrees](Asn asn) -> std::size_t {
+    const auto it = degrees.find(asn);
+    return it == degrees.end() ? 0 : it->second;
+  };
+
+  std::size_t max_degree = 0;
+  for (const auto& [asn, degree] : degrees)
+    max_degree = std::max(max_degree, degree);
+
+  // Clique candidates: transit degree close to the maximum.
+  std::unordered_set<Asn> clique;
+  for (const auto& [asn, degree] : degrees)
+    if (degree >= config.min_clique_degree &&
+        static_cast<double>(degree) >=
+            config.clique_fraction * static_cast<double>(max_degree))
+      clique.insert(asn);
+
+  // Orient each observed adjacency by walking paths over their top AS.
+  // votes[pair] = (first-of-key provider count, second-of-key provider count).
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>> votes;
+  auto vote = [&votes](Asn provider, Asn customer) {
+    auto& v = votes[pair_key(provider, customer)];
+    if (provider < customer)
+      ++v.first;
+    else
+      ++v.second;
+  };
+
+  for (const bgp::AsPath& path : paths) {
+    const auto asns = path.unique_asns();
+    if (asns.size() < 2) continue;
+    // Index of the highest-transit-degree AS ("top of the hill").
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < asns.size(); ++i)
+      if (degree_of(asns[i]) > degree_of(asns[top])) top = i;
+    for (std::size_t i = 0; i + 1 < asns.size(); ++i) {
+      // Ensure every adjacency has a vote entry even if orientation is
+      // suppressed below (clique-internal links).
+      votes.try_emplace(pair_key(asns[i], asns[i + 1]),
+                        std::make_pair(std::size_t{0}, std::size_t{0}));
+      if (clique.contains(asns[i]) && clique.contains(asns[i + 1]))
+        continue;  // clique-internal: settled as p2p later
+      if (degree_of(asns[i]) == 0 && degree_of(asns[i + 1]) == 0)
+        continue;  // no transit evidence on either side: leave as p2p
+      if (i < top)
+        vote(asns[i + 1], asns[i]);  // climbing toward top: right provides left
+      else
+        vote(asns[i], asns[i + 1]);  // descending to origin: left provides right
+    }
+  }
+
+  RelationshipDataset out;
+  for (const auto& [key, tally] : votes) {
+    const Asn lo = static_cast<Asn>(key >> 32);
+    const Asn hi = static_cast<Asn>(key & 0xffffffffu);
+    if (clique.contains(lo) && clique.contains(hi)) {
+      out.set_p2p(lo, hi);
+      continue;
+    }
+    const auto [lo_provider, hi_provider] = tally;
+    const std::size_t total = lo_provider + hi_provider;
+    if (total == 0) {
+      out.set_p2p(lo, hi);
+      continue;
+    }
+    const double margin =
+        static_cast<double>(
+            std::max(lo_provider, hi_provider) -
+            std::min(lo_provider, hi_provider)) /
+        static_cast<double>(total);
+    const double deg_lo = static_cast<double>(std::max<std::size_t>(
+        degree_of(lo), 1));
+    const double deg_hi = static_cast<double>(std::max<std::size_t>(
+        degree_of(hi), 1));
+    const double degree_ratio = std::max(deg_lo, deg_hi) /
+                                std::min(deg_lo, deg_hi);
+    if (margin < config.p2p_vote_margin &&
+        degree_ratio < config.p2p_degree_ratio) {
+      out.set_p2p(lo, hi);
+    } else if (lo_provider >= hi_provider) {
+      out.set_p2c(lo, hi);
+    } else {
+      out.set_p2c(hi, lo);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpintent::rel

@@ -1,0 +1,43 @@
+// AS relationship inference from observed AS paths.
+//
+// A compact implementation of the classic transit-degree approach
+// (Gao 2001; Luckie et al. 2013): rank ASes by transit degree, infer the
+// clique of transit-free networks, orient every observed adjacency as p2c
+// by walking each path over its "top" AS, and classify ambiguous or
+// clique-internal links as p2p.
+//
+// The paper consumes CAIDA's published inferences; this module produces an
+// equivalent dataset directly from the same BGP paths the rest of the
+// pipeline sees.
+#pragma once
+
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "rel/dataset.hpp"
+
+namespace bgpintent::rel {
+
+struct InferenceConfig {
+  /// Transit degree >= this fraction of the maximum marks clique candidates.
+  double clique_fraction = 0.4;
+  /// Clique candidates additionally need at least this transit degree
+  /// (guards against degenerate cliques in sparse inputs).
+  std::size_t min_clique_degree = 5;
+  /// Vote asymmetry below this fraction classifies a link as p2p.
+  double p2p_vote_margin = 0.34;
+  /// Transit-degree ratio below which near-equal ASes can be peers.
+  double p2p_degree_ratio = 4.0;
+};
+
+/// Distinct-neighbor transit degree of every AS in `paths`: the number of
+/// distinct ASes seen adjacent to it while it transits (appears between
+/// two other ASes).  Origin/leaf positions do not contribute.
+[[nodiscard]] std::unordered_map<bgp::Asn, std::size_t> transit_degrees(
+    const std::vector<bgp::AsPath>& paths);
+
+/// Infers relationships for every adjacency observed in `paths`.
+[[nodiscard]] RelationshipDataset infer_relationships(
+    const std::vector<bgp::AsPath>& paths, const InferenceConfig& config = {});
+
+}  // namespace bgpintent::rel

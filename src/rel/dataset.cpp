@@ -1,0 +1,112 @@
+#include "rel/dataset.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::rel {
+
+std::uint64_t RelationshipDataset::key(Asn a, Asn b) noexcept {
+  const Asn lo = std::min(a, b);
+  const Asn hi = std::max(a, b);
+  return static_cast<std::uint64_t>(lo) << 32 | hi;
+}
+
+void RelationshipDataset::set_p2c(Asn provider, Asn customer) {
+  links_[key(provider, customer)] = provider < customer ? +1 : -1;
+}
+
+void RelationshipDataset::set_p2p(Asn a, Asn b) { links_[key(a, b)] = 0; }
+
+std::optional<RelFrom> RelationshipDataset::relationship(Asn a,
+                                                         Asn b) const noexcept {
+  const auto it = links_.find(key(a, b));
+  if (it == links_.end()) return std::nullopt;
+  if (it->second == 0) return RelFrom::kPeer;
+  const Asn provider = it->second > 0 ? std::min(a, b) : std::max(a, b);
+  return provider == a ? RelFrom::kCustomer   // b is a's customer
+                       : RelFrom::kProvider;  // b is a's provider
+}
+
+std::size_t RelationshipDataset::p2c_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [k, v] : links_)
+    if (v != 0) ++n;
+  return n;
+}
+
+std::size_t RelationshipDataset::p2p_count() const noexcept {
+  return links_.size() - p2c_count();
+}
+
+std::vector<RelationshipDataset::Link> RelationshipDataset::all_links() const {
+  std::vector<Link> out;
+  out.reserve(links_.size());
+  for (const auto& [k, v] : links_) {
+    const Asn lo = static_cast<Asn>(k >> 32);
+    const Asn hi = static_cast<Asn>(k & 0xffffffffu);
+    if (v == 0)
+      out.push_back(Link{lo, hi, false});
+    else if (v > 0)
+      out.push_back(Link{lo, hi, true});
+    else
+      out.push_back(Link{hi, lo, true});
+  }
+  std::sort(out.begin(), out.end(), [](const Link& x, const Link& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+  return out;
+}
+
+void RelationshipDataset::save(std::ostream& out) const {
+  out << "# bgpintent relationships (CAIDA serial-1 format)\n";
+  for (const Link& link : all_links())
+    out << link.a << '|' << link.b << '|' << (link.p2c ? -1 : 0) << '\n';
+}
+
+void RelationshipDataset::load(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view view = util::trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    const auto fields = util::split(view, '|');
+    if (fields.size() < 3)
+      throw util::ParseError(
+          util::format("relationship line %zu: expected 3 fields", line_no));
+    const auto a = util::parse_u32(fields[0]);
+    const auto b = util::parse_u32(fields[1]);
+    const std::string_view rel = util::trim(fields[2]);
+    if (!a || !b)
+      throw util::ParseError(
+          util::format("relationship line %zu: bad ASN", line_no));
+    if (rel == "-1")
+      set_p2c(*a, *b);
+    else if (rel == "0")
+      set_p2p(*a, *b);
+    else
+      throw util::ParseError(
+          util::format("relationship line %zu: bad relationship", line_no));
+  }
+}
+
+double RelationshipDataset::agreement_with(
+    const RelationshipDataset& truth) const {
+  std::size_t known = 0;
+  std::size_t agree = 0;
+  for (const Link& link : all_links()) {
+    const auto expected = truth.relationship(link.a, link.b);
+    if (!expected) continue;
+    ++known;
+    const auto mine = relationship(link.a, link.b);
+    if (mine == expected) ++agree;
+  }
+  if (known == 0) return 0.0;
+  return static_cast<double>(agree) / static_cast<double>(known);
+}
+
+}  // namespace bgpintent::rel

@@ -1,0 +1,60 @@
+// AS relationship dataset: the product of relationship inference and the
+// input to the paper's customer:peer feature (Fig. 7).  Supports the CAIDA
+// serial-1 text format ("<a>|<b>|-1" provider-customer, "<a>|<b>|0" p2p)
+// so real CAIDA files can be loaded in place of inferred ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+
+#include "topo/as_graph.hpp"
+
+namespace bgpintent::rel {
+
+using bgp::Asn;
+using topo::RelFrom;
+
+class RelationshipDataset {
+ public:
+  /// Records `provider` as a provider of `customer` (overwrites).
+  void set_p2c(Asn provider, Asn customer);
+
+  /// Records a peer link (overwrites).
+  void set_p2p(Asn a, Asn b);
+
+  /// Relationship of `b` from `a`'s perspective; nullopt if unknown.
+  /// (kCustomer means b is a's customer.)
+  [[nodiscard]] std::optional<RelFrom> relationship(Asn a, Asn b) const noexcept;
+
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] std::size_t p2c_count() const noexcept;
+  [[nodiscard]] std::size_t p2p_count() const noexcept;
+
+  /// Serializes in CAIDA serial-1 format (sorted, deterministic).
+  void save(std::ostream& out) const;
+
+  /// Parses CAIDA serial-1; '#' comments ignored.  Throws util::ParseError
+  /// on malformed lines.
+  void load(std::istream& in);
+
+  /// Fraction of links on which this dataset agrees with `truth`
+  /// (evaluated over this dataset's links that `truth` also knows).
+  [[nodiscard]] double agreement_with(const RelationshipDataset& truth) const;
+
+  struct Link {
+    Asn a;  ///< provider for p2c
+    Asn b;
+    bool p2c;
+  };
+  [[nodiscard]] std::vector<Link> all_links() const;
+
+ private:
+  /// Key: (min, max) packed; value: +1 first-is-provider, -1 second-is-
+  /// provider, 0 p2p.
+  static std::uint64_t key(Asn a, Asn b) noexcept;
+  std::unordered_map<std::uint64_t, int> links_;
+};
+
+}  // namespace bgpintent::rel

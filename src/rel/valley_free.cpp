@@ -1,0 +1,71 @@
+#include "rel/valley_free.hpp"
+
+namespace bgpintent::rel {
+
+std::string_view to_string(PathVerdict verdict) noexcept {
+  switch (verdict) {
+    case PathVerdict::kValleyFree: return "valley_free";
+    case PathVerdict::kValley: return "valley";
+    case PathVerdict::kMultiplePeaks: return "multiple_peaks";
+    case PathVerdict::kUnknownLink: return "unknown_link";
+    case PathVerdict::kTrivial: return "trivial";
+  }
+  return "?";
+}
+
+PathVerdict check_valley_free(const bgp::AsPath& path,
+                              const RelationshipDataset& relationships) {
+  const auto asns = path.unique_asns();
+  if (asns.size() < 2) return PathVerdict::kTrivial;
+
+  // Read from origin to collector: asns[n-1] ... asns[0].  The route was
+  // exported hop by hop; the edge (asns[i+1] -> asns[i]) means asns[i]
+  // learned the route from asns[i+1].
+  // Phases: 0 = climbing (customer->provider exports), after a peer edge
+  // or a downhill edge we may only descend (provider->customer).
+  bool descending = false;
+  bool peer_seen = false;
+  for (std::size_t i = asns.size() - 1; i > 0; --i) {
+    const bgp::Asn from = asns[i];      // sender (closer to origin)
+    const bgp::Asn to = asns[i - 1];    // receiver (closer to collector)
+    const auto rel = relationships.relationship(from, to);
+    if (!rel) return PathVerdict::kUnknownLink;
+    switch (*rel) {
+      case topo::RelFrom::kProvider:
+        // Receiver is the sender's provider: climbing.
+        if (descending) return PathVerdict::kValley;
+        break;
+      case topo::RelFrom::kPeer:
+        if (peer_seen) return PathVerdict::kMultiplePeaks;
+        if (descending) return PathVerdict::kValley;
+        peer_seen = true;
+        descending = true;  // after the peak only downhill is allowed
+        break;
+      case topo::RelFrom::kCustomer:
+        // Receiver is the sender's customer: descending.
+        descending = true;
+        break;
+      case topo::RelFrom::kSibling:
+        break;  // neutral
+    }
+  }
+  return PathVerdict::kValleyFree;
+}
+
+ValleyFreeReport check_paths(const std::vector<bgp::AsPath>& paths,
+                             const RelationshipDataset& relationships) {
+  ValleyFreeReport report;
+  for (const bgp::AsPath& path : paths) {
+    ++report.total;
+    switch (check_valley_free(path, relationships)) {
+      case PathVerdict::kValleyFree: ++report.valley_free; break;
+      case PathVerdict::kValley: ++report.valleys; break;
+      case PathVerdict::kMultiplePeaks: ++report.multiple_peaks; break;
+      case PathVerdict::kUnknownLink: ++report.unknown_links; break;
+      case PathVerdict::kTrivial: ++report.trivial; break;
+    }
+  }
+  return report;
+}
+
+}  // namespace bgpintent::rel

@@ -1,0 +1,54 @@
+// Valley-free (Gao-Rexford) path validation.
+//
+// Given a relationship dataset, an AS path is valley-free iff, read from
+// the origin toward the collector, it climbs customer->provider edges,
+// crosses at most one peer edge at the top, and then descends
+// provider->customer edges.  Violations in observed data expose either
+// route leaks or relationship-inference errors; the checker reports both a
+// verdict and the reason.
+#pragma once
+
+#include <string>
+
+#include "bgp/aspath.hpp"
+#include "rel/dataset.hpp"
+
+namespace bgpintent::rel {
+
+enum class PathVerdict : std::uint8_t {
+  kValleyFree,       ///< conforms to Gao-Rexford export rules
+  kValley,           ///< descends and climbs again (route leak shape)
+  kMultiplePeaks,    ///< more than one peer edge at the top
+  kUnknownLink,      ///< an adjacency missing from the dataset
+  kTrivial,          ///< fewer than 2 distinct ASes
+};
+
+[[nodiscard]] std::string_view to_string(PathVerdict verdict) noexcept;
+
+/// Classifies one path against `relationships`.  Sibling links (if the
+/// dataset had them) are treated as neutral; prepends are collapsed.
+[[nodiscard]] PathVerdict check_valley_free(
+    const bgp::AsPath& path, const RelationshipDataset& relationships);
+
+/// Aggregate over many paths.
+struct ValleyFreeReport {
+  std::size_t total = 0;
+  std::size_t valley_free = 0;
+  std::size_t valleys = 0;
+  std::size_t multiple_peaks = 0;
+  std::size_t unknown_links = 0;
+  std::size_t trivial = 0;
+
+  [[nodiscard]] double valley_free_fraction() const noexcept {
+    const std::size_t judged = total - unknown_links - trivial;
+    return judged == 0 ? 0.0
+                       : static_cast<double>(valley_free) /
+                             static_cast<double>(judged);
+  }
+};
+
+[[nodiscard]] ValleyFreeReport check_paths(
+    const std::vector<bgp::AsPath>& paths,
+    const RelationshipDataset& relationships);
+
+}  // namespace bgpintent::rel

@@ -1,0 +1,228 @@
+#include "routing/policy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace bgpintent::routing {
+
+namespace {
+
+using topo::RelFrom;
+using topo::Tier;
+
+/// Region index -> leading digit of export-control betas, echoing
+/// Arelion's 2 = Europe, 5 = North America, 7 = Asia-Pacific convention.
+constexpr std::array<std::uint16_t, 8> kRegionDigit{2, 5, 7, 3, 4, 6, 8, 9};
+
+std::uint16_t region_digit(std::uint8_t region) noexcept {
+  return kRegionDigit[region % kRegionDigit.size()];
+}
+
+}  // namespace
+
+std::optional<Community> CommunityPolicy::geo_community(
+    topo::Location where, std::uint32_t port,
+    std::uint16_t cities_per_region) const noexcept {
+  if (!geo_base) return std::nullopt;
+  const std::uint32_t block =
+      static_cast<std::uint32_t>(where.region) * cities_per_region + where.city;
+  const std::uint32_t beta = *geo_base + block * geo_block_width +
+                             port % geo_block_width;
+  if (beta > 0xffff) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(asn),
+                   static_cast<std::uint16_t>(beta));
+}
+
+std::optional<Community> CommunityPolicy::relationship_community(
+    topo::RelFrom rel) const noexcept {
+  if (!rel_base) return std::nullopt;
+  std::uint16_t code = 0;
+  switch (rel) {
+    case RelFrom::kCustomer: code = 0; break;  // learned from customer
+    case RelFrom::kPeer: code = 1; break;
+    case RelFrom::kProvider: code = 2; break;
+    case RelFrom::kSibling: code = 3; break;
+  }
+  return Community(static_cast<std::uint16_t>(asn),
+                   static_cast<std::uint16_t>(*rel_base + code));
+}
+
+std::optional<Community> CommunityPolicy::rov_community(bool valid) const noexcept {
+  if (!rov_base) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(asn),
+                   static_cast<std::uint16_t>(*rov_base + (valid ? 0 : 1)));
+}
+
+const ActionSpec* CommunityPolicy::action_for(std::uint16_t beta) const noexcept {
+  auto it = actions.find(beta);
+  return it == actions.end() ? nullptr : &it->second;
+}
+
+std::vector<Community> CommunityPolicy::offered_actions() const {
+  std::vector<Community> out;
+  out.reserve(actions.size());
+  for (const auto& [beta, spec] : actions)
+    out.emplace_back(static_cast<std::uint16_t>(asn), beta);
+  return out;
+}
+
+const CommunityPolicy* PolicySet::find(Asn asn) const noexcept {
+  auto it = policies.find(asn);
+  return it == policies.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Builds the full policy + published dictionary for one transit AS.
+void build_transit_policy(const topo::Topology& topo, const PolicyConfig& cfg,
+                          util::Rng& rng, Asn asn, PolicySet& out) {
+  CommunityPolicy policy;
+  policy.asn = asn;
+  auto& dict = out.ground_truth.dictionary_for(static_cast<std::uint16_t>(asn));
+  const auto alpha = static_cast<std::uint16_t>(asn);
+  auto pattern = [alpha](const std::string& beta_pattern) {
+    return dict::CommunityPattern::from_parts(
+        alpha, dict::BetaPattern::compile(beta_pattern));
+  };
+
+  if (rng.chance(cfg.with_local_pref)) {
+    policy.actions[50] =
+        ActionSpec{ActionType::kSetLocalPref, 0, kAnyRegion, 0, 50};
+    policy.actions[150] =
+        ActionSpec{ActionType::kSetLocalPref, 0, kAnyRegion, 0, 150};
+    dict.add(pattern("50"), dict::Category::kSetLocalPref,
+             "set local preference 50");
+    dict.add(pattern("150"), dict::Category::kSetLocalPref,
+             "set local preference 150");
+  }
+  policy.emit_large = rng.chance(cfg.with_large);
+  if (rng.chance(cfg.with_rov)) {
+    policy.rov_base = cfg.rov_base;
+    dict.add(pattern("430-431"), dict::Category::kRovStatus,
+             "RPKI origin validation status");
+  }
+  if (rng.chance(cfg.with_blackhole)) {
+    policy.actions[666] =
+        ActionSpec{ActionType::kBlackhole, 0, kAnyRegion, 0, 0};
+    dict.add(pattern("666"), dict::Category::kBlackhole, "blackhole");
+  }
+
+  if (rng.chance(cfg.with_export_control)) {
+    // Targets: this AS's transit peers (fallback: providers).
+    auto targets = topo.graph.neighbors_with(asn, RelFrom::kPeer);
+    if (targets.empty())
+      targets = topo.graph.neighbors_with(asn, RelFrom::kProvider);
+    targets.resize(
+        std::min<std::size_t>(targets.size(), cfg.export_control_targets));
+    const auto& presence = topo.graph.find(asn)->presence;
+    for (const topo::Location& loc : presence) {
+      const std::uint16_t digit = region_digit(loc.region);
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        const auto base =
+            static_cast<std::uint16_t>(digit * 1000 + (t + 1) * 10);
+        for (std::uint8_t x = 1; x <= 3; ++x)
+          policy.actions[static_cast<std::uint16_t>(base + x)] = ActionSpec{
+              ActionType::kPrependToAs, targets[t], loc.region, x, 0};
+        policy.actions[static_cast<std::uint16_t>(base + 9)] = ActionSpec{
+            ActionType::kNoExportToAs, targets[t], loc.region, 0, 0};
+        policy.actions[base] = ActionSpec{ActionType::kAnnounceToAs,
+                                          targets[t], loc.region, 0, 0};
+      }
+      const std::string d = std::to_string(digit);
+      dict.add(pattern(d + "\\d\\d[123]"), dict::Category::kPrepend,
+               "prepend 1-3x toward peer in region " + d);
+      dict.add(pattern(d + "\\d\\d9"), dict::Category::kSuppressToAs,
+               "do not export to peer in region " + d);
+      dict.add(pattern(d + "\\d\\d0"), dict::Category::kAnnounceToAs,
+               "announce to peer in region " + d);
+    }
+  }
+
+  if (rng.chance(cfg.with_geo)) {
+    policy.geo_base = cfg.geo_base;
+    policy.geo_block_width = cfg.geo_block_width;
+    // One published range per (region, city) block this AS is present in;
+    // operators document blocks, not individual PoP values.
+    const auto cities = topo.config.cities_per_region;
+    for (const topo::Location& loc : topo.graph.find(asn)->presence) {
+      const std::uint32_t block =
+          static_cast<std::uint32_t>(loc.region) * cities + loc.city;
+      const std::uint32_t lo = cfg.geo_base + block * cfg.geo_block_width;
+      const std::uint32_t hi = lo + cfg.geo_block_width - 1;
+      if (hi > 0xffff) continue;
+      dict.add(pattern(std::to_string(lo) + "-" + std::to_string(hi)),
+               dict::Category::kLocationCity,
+               "learned in region " + std::to_string(loc.region) + " city " +
+                   std::to_string(loc.city));
+    }
+  }
+  if (rng.chance(cfg.with_relationship)) {
+    policy.rel_base = cfg.rel_base;
+    dict.add(pattern(std::to_string(cfg.rel_base) + "-" +
+                     std::to_string(cfg.rel_base + 3)),
+             dict::Category::kRelationship, "relationship with neighbor");
+  }
+
+  out.policies.emplace(asn, std::move(policy));
+}
+
+/// Stub policy: a small origin-tag block (information only).
+void build_stub_policy(const PolicyConfig& cfg, util::Rng& rng, Asn asn,
+                       PolicySet& out) {
+  CommunityPolicy policy;
+  policy.asn = asn;
+  policy.rel_base = cfg.rel_base;
+  auto& dict = out.ground_truth.dictionary_for(static_cast<std::uint16_t>(asn));
+  dict.add(dict::CommunityPattern::from_parts(
+               static_cast<std::uint16_t>(asn),
+               dict::BetaPattern::compile(std::to_string(cfg.rel_base) + "-" +
+                                          std::to_string(cfg.rel_base + 3))),
+           dict::Category::kRelationship, "relationship with neighbor");
+  if (rng.chance(0.5)) {
+    policy.rov_base = cfg.rov_base;
+    dict.add(dict::CommunityPattern::from_parts(
+                 static_cast<std::uint16_t>(asn),
+                 dict::BetaPattern::compile("430-431")),
+             dict::Category::kRovStatus, "RPKI origin validation status");
+  }
+  out.policies.emplace(asn, std::move(policy));
+}
+
+}  // namespace
+
+PolicySet generate_policies(const topo::Topology& topo,
+                            const PolicyConfig& config) {
+  PolicySet out;
+  util::Rng rng(config.seed);
+  for (Asn asn : topo.graph.all_asns()) {
+    const topo::AsNode* node = topo.graph.find(asn);
+    switch (node->tier) {
+      case Tier::kTier1:
+        if (rng.chance(config.tier1_defines))
+          build_transit_policy(topo, config, rng, asn, out);
+        break;
+      case Tier::kTier2:
+        if (rng.chance(config.tier2_defines))
+          build_transit_policy(topo, config, rng, asn, out);
+        break;
+      case Tier::kStub:
+        if (rng.chance(config.stub_defines))
+          build_stub_policy(config, rng, asn, out);
+        break;
+      case Tier::kRouteServer: {
+        // Route servers tag member routes with per-member communities but
+        // publish no dictionary; the method must exclude them (§5.2).
+        CommunityPolicy policy;
+        policy.asn = asn;
+        policy.geo_base = config.geo_base;
+        policy.geo_block_width = config.geo_block_width;
+        out.policies.emplace(asn, std::move(policy));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpintent::routing

@@ -1,0 +1,145 @@
+// Per-AS community semantics.
+//
+// A CommunityPolicy describes how one AS uses its community namespace:
+// which beta blocks carry information it attaches at ingress (geo,
+// relationship, ROV), and which betas are action communities its customers
+// may attach to influence its routing.  Policies are generated to echo the
+// block structure documented for Arelion in the paper (Figs. 1/3, §5.1):
+// contiguous, purpose-grouped ranges separated by wide gaps.
+//
+// The generator simultaneously emits the "published dictionary" for the AS
+// (ground truth for evaluation) — exactly like an operator documenting
+// their communities on their website.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "dict/dictionary.hpp"
+#include "topo/generator.hpp"
+#include "util/rng.hpp"
+
+namespace bgpintent::routing {
+
+using bgp::Asn;
+using bgp::Community;
+
+/// Region applies-anywhere sentinel for ActionSpec.
+inline constexpr std::uint8_t kAnyRegion = 0xff;
+
+/// Large-community function selectors used by the simulator's policies.
+inline constexpr std::uint32_t kLargeGeoFunction = 10;
+inline constexpr std::uint32_t kLargeRelFunction = 11;
+inline constexpr std::uint32_t kLargeNoExportFunction = 500;
+
+/// What an action community asks its owner AS to do.
+enum class ActionType : std::uint8_t {
+  kNoExportToAs,    ///< do not export to target_as (optionally in region)
+  kAnnounceToAs,    ///< export to target_as even where default suppresses
+  kPrependToAs,     ///< prepend owner prepend_count times toward target_as
+  kSetLocalPref,    ///< set local preference to local_pref
+  kBlackhole,       ///< drop the route at the owner
+  kNoExportAll,     ///< do not export to anyone (scoped NO_EXPORT)
+};
+
+struct ActionSpec {
+  ActionType type = ActionType::kSetLocalPref;
+  Asn target_as = 0;                     ///< for per-AS actions
+  std::uint8_t target_region = kAnyRegion;
+  std::uint8_t prepend_count = 0;
+  std::uint32_t local_pref = 100;
+};
+
+/// Community usage of one AS.
+struct CommunityPolicy {
+  Asn asn = 0;
+
+  /// Action communities offered to customers: beta -> effect.
+  std::map<std::uint16_t, ActionSpec> actions;
+
+  /// Large-community (RFC 8092) usage: when true the AS mirrors its geo /
+  /// relationship tagging as large communities (function selectors
+  /// kLargeGeoFunction / kLargeRelFunction) and honors the large
+  /// no-export action (kLargeNoExportFunction with gamma = target ASN).
+  bool emit_large = false;
+
+  /// Information tagging at ingress (disabled when nullopt).
+  std::optional<std::uint16_t> geo_base;   ///< + city-block offset
+  std::uint16_t geo_block_width = 20;      ///< betas per (region, city)
+  std::optional<std::uint16_t> rel_base;   ///< + 0 cust / 1 peer / 2 prov / 3 sib
+  std::optional<std::uint16_t> rov_base;   ///< + 0 valid / 1 invalid
+
+  /// Geo information community for an ingress at `where`.
+  /// `port` differentiates parallel ingress points in the same city.
+  [[nodiscard]] std::optional<Community> geo_community(
+      topo::Location where, std::uint32_t port,
+      std::uint16_t cities_per_region) const noexcept;
+
+  /// Relationship information community for a route learned from a
+  /// neighbor related as `rel` (from this AS's perspective).
+  [[nodiscard]] std::optional<Community> relationship_community(
+      topo::RelFrom rel) const noexcept;
+
+  /// ROV information community; `valid` is the validation outcome.
+  [[nodiscard]] std::optional<Community> rov_community(bool valid) const noexcept;
+
+  /// The effect of `beta`, if it is one of this AS's action communities.
+  [[nodiscard]] const ActionSpec* action_for(std::uint16_t beta) const noexcept;
+
+  /// All concrete action communities offered (ascending beta).
+  [[nodiscard]] std::vector<Community> offered_actions() const;
+
+  [[nodiscard]] bool defines_any() const noexcept {
+    return !actions.empty() || geo_base || rel_base || rov_base;
+  }
+};
+
+/// Policy knobs for the generator.
+struct PolicyConfig {
+  std::uint64_t seed = 2;
+
+  /// Probability that an AS of each tier defines communities at all.
+  double tier1_defines = 1.0;
+  double tier2_defines = 0.85;
+  double stub_defines = 0.05;
+
+  /// Among defining transit ASes, probability of each block.
+  double with_export_control = 0.85;
+  double with_geo = 0.9;
+  double with_relationship = 0.7;
+  double with_rov = 0.4;
+  double with_blackhole = 0.6;
+  double with_local_pref = 0.6;
+
+  /// Probability a defining transit AS also uses large communities.
+  double with_large = 0.35;
+
+  /// Peers targeted by the export-control block (capped by peer count).
+  std::uint32_t export_control_targets = 6;
+
+  std::uint16_t geo_base = 20000;
+  std::uint16_t geo_block_width = 20;
+  std::uint16_t rel_base = 45000;
+  std::uint16_t rov_base = 430;
+};
+
+/// Policies for every AS, plus the published (ground-truth) dictionaries.
+struct PolicySet {
+  std::unordered_map<Asn, CommunityPolicy> policies;
+  dict::DictionaryStore ground_truth;
+
+  [[nodiscard]] const CommunityPolicy* find(Asn asn) const noexcept;
+};
+
+/// Generates policies for `topo` (deterministic in config.seed).
+/// Route servers receive an information-tagging policy (their communities
+/// are structurally unclassifiable — the §5.2 exclusion); stubs usually
+/// define nothing.
+[[nodiscard]] PolicySet generate_policies(const topo::Topology& topo,
+                                          const PolicyConfig& config);
+
+}  // namespace bgpintent::routing

@@ -1,0 +1,256 @@
+#include "routing/scenario.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace bgpintent::routing {
+
+namespace {
+using topo::Tier;
+
+/// Sequential /24s under 10.0.0.0/8 for synthetic originations.
+bgp::Prefix nth_prefix(std::uint32_t n) {
+  return bgp::Prefix((10u << 24) | ((n & 0xffff) << 8), 24);
+}
+}  // namespace
+
+void Scenario::attach_actions(Announcement& announcement,
+                              util::Rng& rng) const {
+  if (rng.chance(config_.private_leak_prob)) {
+    // Leaked internal tag: private-ASN alpha, small beta block.
+    const auto alpha =
+        static_cast<std::uint16_t>(64512 + rng.index(8));
+    const auto beta = static_cast<std::uint16_t>(100 + rng.index(20));
+    announcement.communities.push_back(Community(alpha, beta));
+  }
+  if (rng.chance(config_.info_misuse_prob)) {
+    // Customer attaches one of a provider's *information* values (a
+    // real-world misuse): the value then shows up off-path on the
+    // origin's other upstream paths.
+    std::vector<Community> info_values;
+    for (const Asn provider : topo_.graph.neighbors_with(
+             announcement.origin, topo::RelFrom::kProvider)) {
+      const CommunityPolicy* policy = policies_.find(provider);
+      if (policy == nullptr) continue;
+      const topo::AsNode* node = topo_.graph.find(provider);
+      // Copy the *base* value of the provider's busiest geo block — the
+      // value with the most legitimate on-path exposure.
+      if (const auto geo = policy->geo_community(
+              node->presence.front(), 0, topo_.config.cities_per_region))
+        info_values.push_back(*geo);
+      if (const auto rel =
+              policy->relationship_community(topo::RelFrom::kCustomer))
+        info_values.push_back(*rel);
+    }
+    if (!info_values.empty())
+      announcement.communities.push_back(
+          info_values[rng.index(info_values.size())]);
+  }
+  if (!rng.chance(config_.action_attach_prob)) return;
+  // Pick a provider that offers action communities.
+  std::vector<Asn> candidates;
+  for (const Asn provider : topo_.graph.neighbors_with(
+           announcement.origin, topo::RelFrom::kProvider)) {
+    const CommunityPolicy* policy = policies_.find(provider);
+    if (policy != nullptr && !policy->actions.empty())
+      candidates.push_back(provider);
+  }
+  if (candidates.empty()) return;
+  const Asn provider = candidates[rng.index(candidates.size())];
+  const auto offered = policies_.find(provider)->offered_actions();
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      1 + rng.index(config_.max_actions_per_route));
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const Community action =
+        offered[rng.zipf(offered.size(), config_.action_popularity_skew)];
+    // Blackhole actions would suppress the route entirely; origins signal
+    // them for attack mitigation, which we model rarely.
+    if (policies_.find(provider)->action_for(action.beta())->type ==
+            ActionType::kBlackhole &&
+        !rng.chance(0.02))
+      continue;
+    announcement.communities.push_back(action);
+  }
+  // Providers that adopted RFC 8092 policies also take large-community
+  // actions; customers signal "do not export to <gamma>" occasionally.
+  if (policies_.find(provider)->emit_large && rng.chance(0.3)) {
+    const auto peers =
+        topo_.graph.neighbors_with(provider, topo::RelFrom::kPeer);
+    if (!peers.empty())
+      announcement.large_communities.push_back(
+          bgp::LargeCommunity(provider, kLargeNoExportFunction,
+                              peers[rng.index(peers.size())]));
+  }
+  std::sort(announcement.communities.begin(), announcement.communities.end());
+  announcement.communities.erase(
+      std::unique(announcement.communities.begin(),
+                  announcement.communities.end()),
+      announcement.communities.end());
+}
+
+std::vector<Announcement> Scenario::announcements_for_day(
+    std::uint32_t day) const {
+  if (day == 0) return announcements_;
+  std::vector<Announcement> out = announcements_;
+  util::Rng day_rng(config_.workload_seed ^ (0xd1b54a32d192ed03ULL * day));
+  for (Announcement& announcement : out) {
+    if (!day_rng.chance(config_.day_churn)) continue;
+    announcement.communities.clear();
+    attach_actions(announcement, day_rng);
+  }
+  return out;
+}
+
+Scenario Scenario::build(const ScenarioConfig& config) {
+  Scenario s;
+  s.config_ = config;
+  s.topo_ = topo::generate_topology(config.topology);
+  s.policies_ = generate_policies(s.topo_, config.policy);
+
+  util::Rng rng(config.workload_seed);
+
+  // Originations: every stub, plus a fraction of tier-2s.
+  std::uint32_t prefix_counter = 0;
+  for (const Asn asn : s.topo_.asns_with_tier(Tier::kStub)) {
+    const auto count = rng.geometric(1.0 / config.prefixes_per_stub, 3);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      Announcement a;
+      a.prefix = nth_prefix(prefix_counter++);
+      a.origin = asn;
+      s.attach_actions(a, rng);
+      s.announcements_.push_back(std::move(a));
+    }
+  }
+  for (const Asn asn : s.topo_.asns_with_tier(Tier::kTier2)) {
+    if (!rng.chance(config.tier2_origination_prob)) continue;
+    Announcement a;
+    a.prefix = nth_prefix(prefix_counter++);
+    a.origin = asn;
+    // Tier-2s rarely signal actions upward; they are providers themselves.
+    if (rng.chance(0.1)) s.attach_actions(a, rng);
+    s.announcements_.push_back(std::move(a));
+  }
+
+  // Pool of leakable information values (community leakage noise model):
+  // the values with real on-path exposure — relationship/ROV tags and the
+  // low-port geo values of every tagging transit AS.
+  for (const auto& [asn, policy] : s.policies_.policies) {
+    const topo::AsNode* node = s.topo_.graph.find(asn);
+    if (node == nullptr || node->tier == topo::Tier::kRouteServer) continue;
+    if (policy.rel_base)
+      for (std::uint16_t code = 0; code < 3; ++code)
+        s.leakable_info_values_.push_back(Community(
+            static_cast<std::uint16_t>(asn),
+            static_cast<std::uint16_t>(*policy.rel_base + code)));
+    if (policy.rov_base)
+      s.leakable_info_values_.push_back(
+          Community(static_cast<std::uint16_t>(asn), *policy.rov_base));
+    if (policy.geo_base) {
+      for (const topo::Location& loc : node->presence)
+        for (std::uint32_t port = 0;
+             port < std::min<std::uint32_t>(policy.geo_block_width, 6); ++port)
+          if (const auto geo = policy.geo_community(
+                  loc, port, config.topology.cities_per_region))
+            s.leakable_info_values_.push_back(*geo);
+    }
+  }
+  std::sort(s.leakable_info_values_.begin(), s.leakable_info_values_.end());
+  s.leakable_info_values_.erase(
+      std::unique(s.leakable_info_values_.begin(),
+                  s.leakable_info_values_.end()),
+      s.leakable_info_values_.end());
+
+  // Vantage points: mix of tiers, echoing the RouteViews/RIS peer mix
+  // (mostly transit networks, some stubs).
+  const auto tier1s = s.topo_.asns_with_tier(Tier::kTier1);
+  const auto tier2s = s.topo_.asns_with_tier(Tier::kTier2);
+  const auto stubs = s.topo_.asns_with_tier(Tier::kStub);
+  std::vector<Asn> pool;
+  pool.insert(pool.end(), tier1s.begin(), tier1s.end());
+  pool.insert(pool.end(), tier2s.begin(), tier2s.end());
+  // Every fourth VP candidate is a stub.
+  for (std::size_t i = 0; i < stubs.size() && i < pool.size() / 3; ++i)
+    pool.push_back(stubs[rng.index(stubs.size())]);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  const std::size_t want =
+      std::min<std::size_t>(config.vantage_point_count, pool.size());
+  for (const std::size_t idx : rng.sample_indices(pool.size(), want))
+    s.vantage_points_.push_back(pool[idx]);
+  std::sort(s.vantage_points_.begin(), s.vantage_points_.end());
+
+  return s;
+}
+
+std::vector<bgp::RibEntry> Scenario::entries() const {
+  return entries_with_vps(vantage_points_);
+}
+
+std::vector<bgp::RibEntry> Scenario::entries_with_vps(
+    std::span<const Asn> vantage_points) const {
+  Collector collector(topo_, policies_,
+                      std::vector<Asn>(vantage_points.begin(),
+                                       vantage_points.end()));
+  return apply_partial_feeds(collector.collect(announcements_));
+}
+
+std::vector<bgp::RibEntry> Scenario::day_entries(std::uint32_t day) const {
+  Collector collector(topo_, policies_, vantage_points_);
+  return apply_partial_feeds(collector.collect(announcements_for_day(day)));
+}
+
+std::vector<bgp::RibEntry> Scenario::apply_partial_feeds(
+    std::vector<bgp::RibEntry> entries) const {
+  // Deterministic, rng-state-free hashing so a vantage point exports the
+  // same prefix subset regardless of which experiment asks.
+  const auto unit_hash = [this](std::uint64_t key) {
+    std::uint64_t state = key ^ config_.workload_seed;
+    return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  };
+  if (config_.partial_feed_fraction > 0.0) {
+    std::erase_if(entries, [&](const bgp::RibEntry& entry) {
+      const std::uint64_t vp = entry.vantage_point.asn;
+      if (unit_hash(vp * 0x9e3779b97f4a7c15ULL) >=
+          config_.partial_feed_fraction)
+        return false;  // full feed
+      const std::uint64_t key = (vp << 40) ^ entry.route.prefix.address() ^
+                                entry.route.prefix.length();
+      return unit_hash(key) >= config_.partial_feed_keep;
+    });
+  }
+  if (config_.community_leak_prob > 0.0) {
+    // Leak only values with genuine on-path exposure in THIS dataset, so
+    // leakage adds noise to real communities instead of inventing ghosts.
+    std::unordered_set<Community> pool_set(leakable_info_values_.begin(),
+                                           leakable_info_values_.end());
+    std::vector<Community> pool;
+    for (const bgp::RibEntry& entry : entries)
+      for (const Community community : entry.route.communities)
+        if (pool_set.contains(community) &&
+            entry.route.path.contains(community.alpha())) {
+          pool.push_back(community);
+          pool_set.erase(community);
+        }
+    std::sort(pool.begin(), pool.end());
+    if (pool.empty()) return entries;
+    for (bgp::RibEntry& entry : entries) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(entry.vantage_point.asn) << 34) ^
+          (static_cast<std::uint64_t>(entry.route.prefix.address()) << 2) ^
+          entry.route.prefix.length() ^ 0x5ca1ab1eULL;
+      if (unit_hash(key) >= config_.community_leak_prob) continue;
+      std::uint64_t pick_state = key * 0x2545f4914f6cdd1dULL;
+      const Community leaked = pool[static_cast<std::size_t>(
+          util::splitmix64(pick_state) % pool.size())];
+      if (!entry.route.has_community(leaked)) {
+        entry.route.communities.push_back(leaked);
+        entry.route.canonicalize_communities();
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace bgpintent::routing

@@ -1,0 +1,114 @@
+// Scenario assembly: topology + policies + announcement workload + vantage
+// points.  A Scenario is the reproduction's stand-in for "one week of
+// RouteViews/RIS data": it deterministically generates the BGP observations
+// every experiment consumes, together with the ground truth needed to score
+// inferences (published dictionaries, true relationships, IXP list).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "routing/simulator.hpp"
+
+namespace bgpintent::routing {
+
+struct ScenarioConfig {
+  topo::TopologyConfig topology;
+  PolicyConfig policy;
+
+  std::uint64_t workload_seed = 3;
+
+  /// Mean prefixes originated per stub (>= 1; geometric).
+  double prefixes_per_stub = 1.3;
+  /// Probability a tier-2 AS also originates a prefix.
+  double tier2_origination_prob = 0.4;
+  /// Probability an origination carries action communities for a provider.
+  double action_attach_prob = 0.35;
+  /// Probability an origination leaks an internal community with a
+  /// private-ASN alpha (the §5.2 private-alpha exclusion case).
+  double private_leak_prob = 0.05;
+  /// Probability an origination (mis)uses a provider *information*
+  /// community value — a real-world practice that puts information
+  /// communities off-path occasionally and produces the mixed information
+  /// clusters of Fig. 6.
+  double info_misuse_prob = 0.006;
+  /// Zipf skew when picking which offered action community to attach:
+  /// customers overwhelmingly reuse the documented, popular values.
+  double action_popularity_skew = 1.2;
+  /// Max distinct action communities attached to one origination.
+  std::uint32_t max_actions_per_route = 2;
+  /// Fraction of re-rolled originations per churn day (see day_entries).
+  double day_churn = 0.1;
+
+  /// Vantage points peering with the collector.
+  std::uint32_t vantage_point_count = 60;
+  /// Fraction of vantage points that are *partial* feeds: like many real
+  /// RIS/RouteViews peers, they export only a subset of their table.
+  /// Partial feeds create the sparse observation tail that makes
+  /// per-community classification unreliable without clustering (Fig. 9).
+  double partial_feed_fraction = 0.6;
+  /// Fraction of prefixes a partial feed exports (deterministic per
+  /// (vantage point, prefix)).
+  double partial_feed_keep = 0.25;
+  /// Per-recorded-route probability that a stale community from another
+  /// AS "leaks" onto it (Krenc et al., CoNEXT 2020 document this in the
+  /// wild).  Leakage puts information communities off-path at a low rate,
+  /// which is what makes per-community classification unreliable and
+  /// clustering necessary (Fig. 9's 73.7% no-clustering baseline).
+  double community_leak_prob = 0.0012;
+};
+
+class Scenario {
+ public:
+  /// Builds topology, policies, workload and vantage points.
+  [[nodiscard]] static Scenario build(const ScenarioConfig& config);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const PolicySet& policies() const noexcept { return policies_; }
+  [[nodiscard]] const dict::DictionaryStore& ground_truth() const noexcept {
+    return policies_.ground_truth;
+  }
+  [[nodiscard]] const std::vector<Announcement>& announcements() const noexcept {
+    return announcements_;
+  }
+  [[nodiscard]] const std::vector<Asn>& vantage_points() const noexcept {
+    return vantage_points_;
+  }
+
+  /// Collects RIB entries at all vantage points for the base day.
+  [[nodiscard]] std::vector<bgp::RibEntry> entries() const;
+
+  /// Same, restricted to a subset of vantage points (Fig. 10 experiments).
+  [[nodiscard]] std::vector<bgp::RibEntry> entries_with_vps(
+      std::span<const Asn> vantage_points) const;
+
+  /// Entries for churn day `day` (day 0 == base): a `day_churn` fraction of
+  /// originations re-roll their action communities, emulating daily update
+  /// traffic that exposes additional (path, community) tuples.
+  [[nodiscard]] std::vector<bgp::RibEntry> day_entries(std::uint32_t day) const;
+
+ private:
+  [[nodiscard]] std::vector<Announcement> announcements_for_day(
+      std::uint32_t day) const;
+
+  /// Drops entries that partial-feed vantage points do not export and
+  /// applies community leakage noise.
+  [[nodiscard]] std::vector<bgp::RibEntry> apply_partial_feeds(
+      std::vector<bgp::RibEntry> entries) const;
+
+  /// Rolls action communities for one origination with `rng`.
+  void attach_actions(Announcement& announcement, util::Rng& rng) const;
+
+  ScenarioConfig config_;
+  topo::Topology topo_;
+  PolicySet policies_;
+  std::vector<Announcement> announcements_;
+  std::vector<Asn> vantage_points_;
+  /// Pool of defined information values used by the leakage model.
+  std::vector<Community> leakable_info_values_;
+};
+
+}  // namespace bgpintent::routing

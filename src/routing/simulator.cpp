@@ -1,0 +1,278 @@
+#include "routing/simulator.hpp"
+
+#include <algorithm>
+
+namespace bgpintent::routing {
+
+namespace {
+
+using topo::RelFrom;
+
+constexpr std::uint32_t kPrefOrigin = 1000;
+constexpr std::uint32_t kPrefCustomer = 300;
+constexpr std::uint32_t kPrefSibling = 300;
+constexpr std::uint32_t kPrefPeer = 200;
+constexpr std::uint32_t kPrefProvider = 100;
+
+bool region_matches(const ActionSpec& spec, topo::Location where) noexcept {
+  return spec.target_region == kAnyRegion || spec.target_region == where.region;
+}
+
+/// Deterministic per-announcement ROV outcome (~86% valid).
+bool rov_outcome(const Announcement& announcement) noexcept {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(announcement.origin) << 32) ^
+      announcement.prefix.address();
+  return (key * 0x9e3779b97f4a7c15ULL >> 61) != 3;
+}
+
+}  // namespace
+
+Simulator::Simulator(const topo::Topology& topo, const PolicySet& policies)
+    : topo_(&topo), policies_(&policies) {}
+
+Simulator::ExportedRoute Simulator::export_route(
+    const RibRoute& best, Asn from, const topo::Adjacency& to_adj) const {
+  ExportedRoute out;
+  if (!best.valid) return out;
+
+  // Valley-free: routes learned from peers/providers go to customers and
+  // siblings only.
+  if (best.learned_from != 0) {
+    const auto learned_rel = topo_->graph.relationship(from, best.learned_from);
+    const bool from_down = learned_rel == RelFrom::kCustomer ||
+                           learned_rel == RelFrom::kSibling;
+    const bool to_down = to_adj.rel == RelFrom::kCustomer ||
+                         to_adj.rel == RelFrom::kSibling;
+    if (!from_down && !to_down) return out;
+  }
+
+  // Honor this AS's own action communities.
+  std::uint8_t extra_prepends = 0;
+  const CommunityPolicy* policy = policies_->find(from);
+  if (policy != nullptr) {
+    for (const Community c : best.communities) {
+      if (c.alpha() != from) continue;
+      const ActionSpec* spec = policy->action_for(c.beta());
+      if (spec == nullptr) continue;
+      switch (spec->type) {
+        case ActionType::kNoExportAll:
+          return out;
+        case ActionType::kNoExportToAs:
+          if (spec->target_as == to_adj.neighbor &&
+              region_matches(*spec, to_adj.where))
+            return out;
+          break;
+        case ActionType::kPrependToAs:
+          if (spec->target_as == to_adj.neighbor &&
+              region_matches(*spec, to_adj.where))
+            extra_prepends =
+                static_cast<std::uint8_t>(extra_prepends + spec->prepend_count);
+          break;
+        case ActionType::kAnnounceToAs:  // default policy already announces
+        case ActionType::kSetLocalPref:  // honored at import
+        case ActionType::kBlackhole:     // honored at import
+          break;
+      }
+    }
+  }
+
+  // Large-community no-export action (RFC 8092 policies).
+  if (policy != nullptr && policy->emit_large) {
+    for (const bgp::LargeCommunity& c : best.large_communities)
+      if (c.alpha() == from && c.beta() == kLargeNoExportFunction &&
+          c.gamma() == to_adj.neighbor)
+        return out;
+  }
+
+  out.path.reserve(best.path.size() + extra_prepends);
+  out.path.insert(out.path.end(), extra_prepends, from);
+  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  const topo::AsNode* node = topo_->graph.find(from);
+  if (node == nullptr || !node->strips_communities) {
+    out.communities = best.communities;
+    out.large_communities = best.large_communities;
+  }
+  out.valid = true;
+  return out;
+}
+
+RibRoute Simulator::import_route(ExportedRoute route, Asn to,
+                                 const topo::Adjacency& from_adj,
+                                 bool rov_valid) const {
+  RibRoute out;
+  if (!route.valid) return out;
+  // Loop prevention.
+  if (std::find(route.path.begin(), route.path.end(), to) != route.path.end())
+    return out;
+
+  std::uint32_t local_pref = 0;
+  switch (from_adj.rel) {
+    case RelFrom::kCustomer: local_pref = kPrefCustomer; break;
+    case RelFrom::kSibling: local_pref = kPrefSibling; break;
+    case RelFrom::kPeer: local_pref = kPrefPeer; break;
+    case RelFrom::kProvider: local_pref = kPrefProvider; break;
+  }
+
+  out.communities = std::move(route.communities);
+  out.large_communities = std::move(route.large_communities);
+  const CommunityPolicy* policy = policies_->find(to);
+  if (policy != nullptr) {
+    // Honor blackhole / set-local-pref addressed to this AS.
+    for (const Community c : out.communities) {
+      if (c.alpha() != to) continue;
+      const ActionSpec* spec = policy->action_for(c.beta());
+      if (spec == nullptr) continue;
+      if (spec->type == ActionType::kBlackhole) return RibRoute{};
+      if (spec->type == ActionType::kSetLocalPref)
+        local_pref = spec->local_pref;
+    }
+    // Attach information communities at ingress.
+    if (const auto geo = policy->geo_community(
+            from_adj.where, from_adj.neighbor,
+            topo_->config.cities_per_region))
+      out.communities.push_back(*geo);
+    if (const auto rel = policy->relationship_community(from_adj.rel))
+      out.communities.push_back(*rel);
+    if (const auto rov = policy->rov_community(rov_valid))
+      out.communities.push_back(*rov);
+    if (policy->emit_large) {
+      // Mirror the geo / relationship tags as large communities: the
+      // function selector picks the meaning, gamma carries the argument.
+      const std::uint32_t geo_code =
+          static_cast<std::uint32_t>(from_adj.where.region) * 1000 +
+          from_adj.where.city;
+      out.large_communities.push_back(
+          bgp::LargeCommunity(to, kLargeGeoFunction, geo_code));
+      out.large_communities.push_back(bgp::LargeCommunity(
+          to, kLargeRelFunction, static_cast<std::uint32_t>(from_adj.rel)));
+    }
+  }
+  // IXP route server tagging: the RS adds its own per-member community but
+  // never appears in the path.
+  if (from_adj.via_route_server) {
+    if (const CommunityPolicy* rs = policies_->find(*from_adj.via_route_server))
+      if (const auto tag = rs->geo_community(from_adj.where, from_adj.neighbor,
+                                             topo_->config.cities_per_region))
+        out.communities.push_back(*tag);
+  }
+  std::sort(out.communities.begin(), out.communities.end());
+  out.communities.erase(
+      std::unique(out.communities.begin(), out.communities.end()),
+      out.communities.end());
+  std::sort(out.large_communities.begin(), out.large_communities.end());
+  out.large_communities.erase(
+      std::unique(out.large_communities.begin(), out.large_communities.end()),
+      out.large_communities.end());
+
+  out.path.reserve(route.path.size() + 1);
+  out.path.push_back(to);
+  out.path.insert(out.path.end(), route.path.begin(), route.path.end());
+  out.learned_from = from_adj.neighbor;
+  out.local_pref = local_pref;
+  out.valid = true;
+  return out;
+}
+
+bool Simulator::better(const RibRoute& candidate,
+                       const RibRoute& incumbent) noexcept {
+  if (candidate.valid != incumbent.valid) return candidate.valid;
+  if (!candidate.valid) return false;
+  if (candidate.local_pref != incumbent.local_pref)
+    return candidate.local_pref > incumbent.local_pref;
+  if (candidate.path.size() != incumbent.path.size())
+    return candidate.path.size() < incumbent.path.size();
+  if (candidate.learned_from != incumbent.learned_from)
+    return candidate.learned_from < incumbent.learned_from;
+  return candidate.path < incumbent.path;
+}
+
+PrefixRib Simulator::propagate(const Announcement& announcement) const {
+  PrefixRib rib;
+  if (!topo_->graph.contains(announcement.origin)) return rib;
+  const bool rov_valid = rov_outcome(announcement);
+
+  RibRoute origin_route;
+  origin_route.path = {announcement.origin};
+  origin_route.communities = announcement.communities;
+  origin_route.large_communities = announcement.large_communities;
+  std::sort(origin_route.communities.begin(), origin_route.communities.end());
+  origin_route.communities.erase(
+      std::unique(origin_route.communities.begin(),
+                  origin_route.communities.end()),
+      origin_route.communities.end());
+  std::sort(origin_route.large_communities.begin(),
+            origin_route.large_communities.end());
+  origin_route.large_communities.erase(
+      std::unique(origin_route.large_communities.begin(),
+                  origin_route.large_communities.end()),
+      origin_route.large_communities.end());
+  origin_route.learned_from = 0;
+  origin_route.local_pref = kPrefOrigin;
+  origin_route.valid = true;
+  rib[announcement.origin] = std::move(origin_route);
+
+  const std::vector<Asn> order = topo_->graph.all_asns();
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (const Asn asn : order) {
+      if (asn == announcement.origin) continue;
+      RibRoute best;  // invalid
+      for (const topo::Adjacency& adj : topo_->graph.neighbors(asn)) {
+        const auto it = rib.find(adj.neighbor);
+        if (it == rib.end() || !it->second.valid) continue;
+        // The neighbor's view of this edge (for its export decision).
+        const topo::Adjacency reverse{asn, topo::invert(adj.rel), adj.where,
+                                      adj.via_route_server};
+        ExportedRoute exported =
+            export_route(it->second, adj.neighbor, reverse);
+        RibRoute candidate =
+            import_route(std::move(exported), asn, adj, rov_valid);
+        if (better(candidate, best)) best = std::move(candidate);
+      }
+      auto& current = rib[asn];
+      if (current != best) {
+        current = std::move(best);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Drop invalid placeholder rows.
+  for (auto it = rib.begin(); it != rib.end();)
+    it = it->second.valid ? std::next(it) : rib.erase(it);
+  return rib;
+}
+
+Collector::Collector(const topo::Topology& topo, const PolicySet& policies,
+                     std::vector<Asn> vantage_points)
+    : simulator_(topo, policies), vantage_points_(std::move(vantage_points)) {
+  std::sort(vantage_points_.begin(), vantage_points_.end());
+  vantage_points_.erase(
+      std::unique(vantage_points_.begin(), vantage_points_.end()),
+      vantage_points_.end());
+}
+
+std::vector<bgp::RibEntry> Collector::collect(
+    const std::vector<Announcement>& announcements) const {
+  std::vector<bgp::RibEntry> entries;
+  for (const Announcement& announcement : announcements) {
+    const PrefixRib rib = simulator_.propagate(announcement);
+    for (const Asn vp : vantage_points_) {
+      const auto it = rib.find(vp);
+      if (it == rib.end()) continue;
+      bgp::RibEntry entry;
+      entry.vantage_point.asn = vp;
+      entry.vantage_point.address = 0xc0000000u | (vp & 0xffffffu);
+      entry.route.prefix = announcement.prefix;
+      entry.route.path = bgp::AsPath(it->second.path);
+      entry.route.communities = it->second.communities;
+      entry.route.large_communities = it->second.large_communities;
+      entry.route.next_hop = entry.vantage_point.address;
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+}  // namespace bgpintent::routing

@@ -1,0 +1,138 @@
+#include "topo/as_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace bgpintent::topo {
+
+const std::vector<Adjacency> AsGraph::kNoAdjacencies{};
+
+std::string_view to_string(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kTier1: return "tier1";
+    case Tier::kTier2: return "tier2";
+    case Tier::kStub: return "stub";
+    case Tier::kRouteServer: return "route_server";
+  }
+  return "?";
+}
+
+std::string_view to_string(Relationship rel) noexcept {
+  switch (rel) {
+    case Relationship::kP2C: return "p2c";
+    case Relationship::kP2P: return "p2p";
+    case Relationship::kS2S: return "s2s";
+  }
+  return "?";
+}
+
+bool AsNode::present_in_region(std::uint8_t region) const noexcept {
+  for (const Location& loc : presence)
+    if (loc.region == region) return true;
+  return false;
+}
+
+void AsGraph::add_as(AsNode node) {
+  const Asn asn = node.asn;
+  if (!nodes_.try_emplace(asn, std::move(node)).second)
+    throw std::invalid_argument("duplicate AS " + std::to_string(asn));
+  adjacency_.try_emplace(asn);
+}
+
+void AsGraph::add_edge(Asn a, Asn b, Relationship rel, Location where,
+                       std::optional<Asn> via_route_server) {
+  if (a == b) throw std::invalid_argument("self edge on AS " + std::to_string(a));
+  if (!contains(a) || !contains(b))
+    throw std::invalid_argument("edge references unknown AS");
+  if (relationship(a, b))
+    throw std::invalid_argument("duplicate edge " + std::to_string(a) + "-" +
+                                std::to_string(b));
+  RelFrom from_a = RelFrom::kPeer;
+  switch (rel) {
+    case Relationship::kP2C: from_a = RelFrom::kCustomer; break;  // b is a's customer
+    case Relationship::kP2P: from_a = RelFrom::kPeer; break;
+    case Relationship::kS2S: from_a = RelFrom::kSibling; break;
+  }
+  adjacency_[a].push_back(Adjacency{b, from_a, where, via_route_server});
+  adjacency_[b].push_back(Adjacency{a, invert(from_a), where, via_route_server});
+  ++edge_count_;
+}
+
+bool AsGraph::contains(Asn asn) const noexcept { return nodes_.contains(asn); }
+
+const AsNode* AsGraph::find(Asn asn) const noexcept {
+  auto it = nodes_.find(asn);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Adjacency>& AsGraph::neighbors(Asn asn) const noexcept {
+  auto it = adjacency_.find(asn);
+  return it == adjacency_.end() ? kNoAdjacencies : it->second;
+}
+
+std::optional<RelFrom> AsGraph::relationship(Asn a, Asn b) const noexcept {
+  for (const Adjacency& adj : neighbors(a))
+    if (adj.neighbor == b) return adj.rel;
+  return std::nullopt;
+}
+
+std::vector<Asn> AsGraph::neighbors_with(Asn asn, RelFrom rel) const {
+  std::vector<Asn> out;
+  for (const Adjacency& adj : neighbors(asn))
+    if (adj.rel == rel) out.push_back(adj.neighbor);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Asn> AsGraph::all_asns() const {
+  std::vector<Asn> out;
+  out.reserve(nodes_.size());
+  for (const auto& [asn, node] : nodes_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AsGraph::Edge> AsGraph::all_edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (const Asn a : all_asns()) {
+    for (const Adjacency& adj : neighbors(a)) {
+      // Report each edge once: from the provider side for p2c, from the
+      // lower ASN otherwise.
+      if (adj.rel == RelFrom::kCustomer) {
+        out.push_back(
+            Edge{a, adj.neighbor, Relationship::kP2C, adj.where,
+                 adj.via_route_server});
+      } else if (adj.rel != RelFrom::kProvider && a < adj.neighbor) {
+        out.push_back(Edge{a, adj.neighbor,
+                           adj.rel == RelFrom::kSibling ? Relationship::kS2S
+                                                        : Relationship::kP2P,
+                           adj.where, adj.via_route_server});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Asn> AsGraph::customer_cone(Asn asn) const {
+  std::vector<Asn> cone;
+  std::unordered_set<Asn> visited{asn};
+  std::deque<Asn> frontier{asn};
+  while (!frontier.empty()) {
+    const Asn current = frontier.front();
+    frontier.pop_front();
+    for (const Adjacency& adj : neighbors(current)) {
+      if (adj.rel != RelFrom::kCustomer) continue;
+      if (visited.insert(adj.neighbor).second) {
+        cone.push_back(adj.neighbor);
+        frontier.push_back(adj.neighbor);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace bgpintent::topo

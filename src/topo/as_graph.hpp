@@ -1,0 +1,134 @@
+// AS-level topology model: nodes (ASes with tier, organization, geographic
+// presence) and relationship-typed edges (provider-to-customer, peer-to-peer,
+// sibling-to-sibling), optionally crossing an IXP route server.
+//
+// The graph is the substrate under the routing simulator; it also backs the
+// relationship-inference module, which tries to recover the edge types from
+// observed paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/asn.hpp"
+
+namespace bgpintent::topo {
+
+using bgp::Asn;
+using OrgId = std::uint32_t;
+
+/// Geographic location: a region (continent) and a city within it.
+/// Region ids intentionally echo the Arelion convention of Fig. 3
+/// (2 = Europe, 5 = North America, 7 = Asia-Pacific) in bench output.
+struct Location {
+  std::uint8_t region = 0;
+  std::uint16_t city = 0;
+
+  friend auto operator<=>(const Location&, const Location&) = default;
+};
+
+/// Coarse role of an AS in the hierarchy.
+enum class Tier : std::uint8_t {
+  kTier1,        ///< transit-free core; full p2p clique
+  kTier2,        ///< regional transit provider
+  kStub,         ///< edge network, originates prefixes
+  kRouteServer,  ///< transparent IXP route server
+};
+
+/// Relationship of an edge, oriented: kP2C means `a` is the provider of `b`.
+enum class Relationship : std::uint8_t { kP2C, kP2P, kS2S };
+
+/// Relationship from the perspective of one endpoint.
+enum class RelFrom : std::uint8_t { kProvider, kCustomer, kPeer, kSibling };
+
+/// Inverts the perspective (my provider sees me as a customer).
+[[nodiscard]] constexpr RelFrom invert(RelFrom rel) noexcept {
+  switch (rel) {
+    case RelFrom::kProvider: return RelFrom::kCustomer;
+    case RelFrom::kCustomer: return RelFrom::kProvider;
+    case RelFrom::kPeer: return RelFrom::kPeer;
+    case RelFrom::kSibling: return RelFrom::kSibling;
+  }
+  return RelFrom::kPeer;
+}
+
+[[nodiscard]] std::string_view to_string(Tier tier) noexcept;
+[[nodiscard]] std::string_view to_string(Relationship rel) noexcept;
+
+/// A node in the AS graph.
+struct AsNode {
+  Asn asn = 0;
+  Tier tier = Tier::kStub;
+  OrgId org = 0;
+  std::vector<Location> presence;  ///< locations with at least one PoP
+  /// ~0.5% of ASes strip all communities before propagating (§5.1).
+  bool strips_communities = false;
+
+  [[nodiscard]] bool present_in_region(std::uint8_t region) const noexcept;
+};
+
+/// One adjacency as seen from a specific AS.
+struct Adjacency {
+  Asn neighbor = 0;
+  RelFrom rel = RelFrom::kPeer;
+  /// The interconnection point; info communities encode this ingress.
+  Location where;
+  /// Set when the session is multilateral via an IXP route server: the
+  /// route server's ASN.  The RS does not appear in the AS path.
+  std::optional<Asn> via_route_server;
+};
+
+class AsGraph {
+ public:
+  /// Adds a node; throws std::invalid_argument on duplicate ASN.
+  void add_as(AsNode node);
+
+  /// Adds an edge `a -(rel)-> b` (kP2C: a provides transit to b).
+  /// Throws std::invalid_argument if either node is missing, a == b, or the
+  /// edge already exists.
+  void add_edge(Asn a, Asn b, Relationship rel, Location where = {},
+                std::optional<Asn> via_route_server = std::nullopt);
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+  [[nodiscard]] const AsNode* find(Asn asn) const noexcept;
+  [[nodiscard]] std::size_t as_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adjacencies of `asn` (empty for unknown ASes).
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(Asn asn) const noexcept;
+
+  /// Relationship between two ASes from `a`'s perspective; nullopt if not
+  /// adjacent.
+  [[nodiscard]] std::optional<RelFrom> relationship(Asn a, Asn b) const noexcept;
+
+  /// Neighbors of `asn` filtered by perspective relationship.
+  [[nodiscard]] std::vector<Asn> neighbors_with(Asn asn, RelFrom rel) const;
+
+  /// All ASNs, ascending (stable iteration order for determinism).
+  [[nodiscard]] std::vector<Asn> all_asns() const;
+
+  /// All edges, each reported once with kP2C oriented provider->customer.
+  struct Edge {
+    Asn a = 0;
+    Asn b = 0;
+    Relationship rel = Relationship::kP2P;
+    Location where;
+    std::optional<Asn> via_route_server;
+  };
+  [[nodiscard]] std::vector<Edge> all_edges() const;
+
+  /// ASes in the customer cone of `asn` (customers, customers of
+  /// customers, ...), excluding `asn` itself.
+  [[nodiscard]] std::vector<Asn> customer_cone(Asn asn) const;
+
+ private:
+  std::unordered_map<Asn, AsNode> nodes_;
+  std::unordered_map<Asn, std::vector<Adjacency>> adjacency_;
+  std::size_t edge_count_ = 0;
+  static const std::vector<Adjacency> kNoAdjacencies;
+};
+
+}  // namespace bgpintent::topo

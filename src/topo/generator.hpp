@@ -1,0 +1,84 @@
+// Synthetic Internet topology generator.
+//
+// Produces a scaled-down Internet with the structural features the paper's
+// method depends on:
+//   - a transit hierarchy (tier-1 clique, regional tier-2s, multihomed
+//     stubs) so valley-free routing yields realistic path diversity,
+//   - organizations owning several ASNs (sibling-aware on-path matching),
+//   - transparent IXP route servers whose ASN never appears in paths (the
+//     exclusion case of §5.2),
+//   - a small fraction of community-stripping ASes (§5.1 noise).
+//
+// Everything is driven by an explicit seed; the same config generates the
+// same topology byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/as_graph.hpp"
+#include "topo/org_map.hpp"
+#include "util/rng.hpp"
+
+namespace bgpintent::topo {
+
+/// A transparent IXP: members exchange routes multilaterally through the
+/// route server, which tags routes with its own communities but does not
+/// insert its ASN into the AS path.
+struct Ixp {
+  Asn route_server = 0;
+  Location where;
+  std::vector<Asn> members;
+};
+
+struct TopologyConfig {
+  std::uint64_t seed = 1;
+
+  std::uint32_t tier1_count = 10;
+  std::uint32_t tier2_count = 80;
+  std::uint32_t stub_count = 500;
+
+  std::uint8_t region_count = 3;
+  std::uint16_t cities_per_region = 6;
+
+  /// Mean provider count for multihomed stubs / tier-2s (>= 1).
+  double mean_providers = 2.0;
+  /// Probability a stub is multihomed (>= 2 providers).  Multihoming is
+  /// what exposes customer-signaled action communities off-path (§5.1).
+  double stub_multihome_prob = 0.55;
+  /// Probability two same-region tier-2s peer directly.
+  double tier2_peering_prob = 0.15;
+  /// Fraction of tier-2 ASes grouped into multi-AS organizations.
+  double sibling_fraction = 0.10;
+  /// Fraction of non-tier-1 ASes that strip communities on export.
+  double strip_fraction = 0.005;
+
+  /// IXPs per region (members drawn from that region's ASes).
+  std::uint32_t ixps_per_region = 1;
+  /// Fraction of a region's tier-2s/stubs joining its IXP.
+  double ixp_member_fraction = 0.15;
+  /// Peers each IXP member reaches through the route server (capped by
+  /// membership size).
+  std::uint32_t ixp_peers_per_member = 4;
+
+  // ASN allocation bases (16-bit public space).
+  Asn tier1_base = 100;
+  Asn tier2_base = 1000;
+  Asn stub_base = 10000;
+  Asn route_server_base = 60000;
+};
+
+struct Topology {
+  AsGraph graph;
+  OrgMap orgs;
+  std::vector<Ixp> ixps;
+  TopologyConfig config;
+
+  /// ASNs by tier, ascending.
+  [[nodiscard]] std::vector<Asn> asns_with_tier(Tier tier) const;
+};
+
+/// Generates a topology from `config`.  Deterministic in config.seed.
+[[nodiscard]] Topology generate_topology(const TopologyConfig& config);
+
+}  // namespace bgpintent::topo

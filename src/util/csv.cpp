@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::util {
+
+void CsvWriter::write_field(std::string_view field, bool first) {
+  if (!first) *out_ << delim_;
+  const bool needs_quotes =
+      field.find(delim_) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) {
+    *out_ << field;
+    return;
+  }
+  *out_ << '"';
+  for (char c : field) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) throw ParseError("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in, char delim) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    rows.push_back(parse_csv_line(line, delim));
+  }
+  return rows;
+}
+
+}  // namespace bgpintent::util

@@ -1,0 +1,39 @@
+// Minimal CSV reader/writer (RFC 4180 quoting subset) used to persist
+// inference results and evaluation tables.  Not a general-purpose CSV
+// library: no multi-line quoted fields, UTF-8 passes through untouched.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpintent::util {
+
+/// Writes rows to an ostream, quoting fields that contain the delimiter,
+/// quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char delim = ',') noexcept
+      : out_(&out), delim_(delim) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+ private:
+  void write_field(std::string_view field, bool first);
+  std::ostream* out_;
+  char delim_;
+};
+
+/// Parses one CSV line into fields, honoring double-quote escaping.
+/// Throws ParseError on an unterminated quote.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line,
+                                                      char delim = ',');
+
+/// Reads all rows from a stream; skips blank lines and lines starting
+/// with '#'.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv(
+    std::istream& in, char delim = ',');
+
+}  // namespace bgpintent::util

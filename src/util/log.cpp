@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bgpintent::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log(LogLevel level, std::string_view message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void log_debug(std::string_view message) { log(LogLevel::kDebug, message); }
+void log_info(std::string_view message) { log(LogLevel::kInfo, message); }
+void log_warn(std::string_view message) { log(LogLevel::kWarn, message); }
+void log_error(std::string_view message) { log(LogLevel::kError, message); }
+
+}  // namespace bgpintent::util

@@ -1,0 +1,24 @@
+// Leveled logging to stderr.  Intentionally tiny: no sinks, no formatting
+// machinery — library code logs sparingly and benches print their own
+// structured output to stdout.
+#pragma once
+
+#include <string_view>
+
+namespace bgpintent::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so library use is quiet).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes "[level] message\n" to stderr if `level` passes the global filter.
+void log(LogLevel level, std::string_view message);
+
+void log_debug(std::string_view message);
+void log_info(std::string_view message);
+void log_warn(std::string_view message);
+void log_error(std::string_view message);
+
+}  // namespace bgpintent::util

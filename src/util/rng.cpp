@@ -1,0 +1,98 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace bgpintent::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion guarantees a non-zero state even for seed 0.
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return (*this)();
+  // Debiased modulo (Lemire-style rejection on the low bits).
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t raw;
+  do {
+    raw = (*this)();
+  } while (raw >= limit);
+  return lo + raw % bound;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(n) - 1));
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Inverse-CDF on the harmonic weights; n is small in our workloads so a
+  // linear scan is simpler and cache-friendly.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    total += std::pow(static_cast<double>(r + 1), -s);
+  double target = uniform01() * total;
+  for (std::size_t r = 0; r < n; ++r) {
+    target -= std::pow(static_cast<double>(r + 1), -s);
+    if (target <= 0.0) return r;
+  }
+  return n - 1;
+}
+
+std::uint32_t Rng::geometric(double p, std::uint32_t cap) noexcept {
+  if (p >= 1.0 || cap <= 1) return 1;
+  if (p <= 0.0) return cap;
+  std::uint32_t trials = 1;
+  while (trials < cap && !chance(p)) ++trials;
+  return trials;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  if (k > n) k = n;
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+}  // namespace bgpintent::util

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in this library takes an explicit 64-bit seed
+// so that experiments are reproducible bit-for-bit.  We provide
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64 as its authors
+// recommend, plus the distribution helpers the simulators need.  The
+// generator satisfies the C++ UniformRandomBitGenerator requirements, but
+// callers should prefer the member helpers over <random> distributions:
+// libstdc++ distribution output is not pinned across versions, and our
+// helpers are.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace bgpintent::util {
+
+/// splitmix64 step; used for seeding and for hash mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 of `seed`.
+  explicit Rng(std::uint64_t seed = 0) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept;
+
+  /// Zipf-like rank selection over [0, n): rank r is chosen with weight
+  /// (r+1)^-s.  Used to skew popularity (prefix origination, AS degree).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Geometric number of trials until first success (>= 1), capped at `cap`.
+  [[nodiscard]] std::uint32_t geometric(double p, std::uint32_t cap) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      std::size_t j = index(i + 1);
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) in selection order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+  /// Derive an independent child generator (for parallel sub-experiments).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bgpintent::util

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bgpintent::util {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 100.0);
+  const auto n = static_cast<double>(values.size());
+  // Nearest-rank: smallest index i with (i+1)/n >= q/100.
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank > 0) --rank;
+  return values[std::min(rank, values.size() - 1)];
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double f) const {
+  if (sorted_.empty()) return 0.0;
+  f = std::clamp(f, 0.0, 1.0);
+  auto rank =
+      static_cast<std::size_t>(std::ceil(f * static_cast<double>(sorted_.size())));
+  if (rank > 0) --rank;
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::points() const {
+  std::vector<Point> out;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    // Emit only the last occurrence of each distinct value so the staircase
+    // has one point per value with its final cumulative fraction.
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    out.push_back(Point{sorted_[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+void BinaryTally::add(bool predicted_positive, bool actually_positive) noexcept {
+  if (predicted_positive && actually_positive)
+    ++true_positive;
+  else if (predicted_positive && !actually_positive)
+    ++false_positive;
+  else if (!predicted_positive && actually_positive)
+    ++false_negative;
+  else
+    ++true_negative;
+}
+
+std::size_t BinaryTally::total() const noexcept {
+  return true_positive + false_positive + true_negative + false_negative;
+}
+
+double BinaryTally::accuracy() const noexcept {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double BinaryTally::precision() const noexcept {
+  const std::size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double BinaryTally::recall() const noexcept {
+  const std::size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double BinaryTally::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string BinaryTally::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "acc=%.3f prec=%.3f rec=%.3f f1=%.3f (tp=%zu fp=%zu tn=%zu fn=%zu)",
+                accuracy(), precision(), recall(), f1(), true_positive,
+                false_positive, true_negative, false_negative);
+  return buf;
+}
+
+}  // namespace bgpintent::util

@@ -1,0 +1,75 @@
+// Small statistics helpers used by the evaluation and bench harnesses:
+// summary statistics, empirical CDFs, and binary-classification tallies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bgpintent::util {
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Median (average of middle two for even sizes); 0 for an empty range.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// q-th percentile via nearest-rank on a copy, q in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Empirical cumulative distribution function over a fixed sample.
+///
+/// Built once from a sample; `fraction_at_most(x)` answers P[X <= x].
+/// `points()` yields the staircase suitable for plotting (one point per
+/// distinct value).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// P[X <= x] over the sample; 0 for an empty CDF.
+  [[nodiscard]] double fraction_at_most(double x) const;
+
+  /// Value at cumulative fraction f in [0,1] (inverse CDF, nearest rank).
+  [[nodiscard]] double quantile(double f) const;
+
+  struct Point {
+    double value;
+    double cumulative_fraction;
+  };
+  /// Staircase points, one per distinct sample value, ascending.
+  [[nodiscard]] std::vector<Point> points() const;
+
+  [[nodiscard]] const std::vector<double>& sorted_sample() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Running tally for a binary classifier evaluated against ground truth.
+struct BinaryTally {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  void add(bool predicted_positive, bool actually_positive) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept;
+  /// (TP+TN)/total; 0 when empty.
+  [[nodiscard]] double accuracy() const noexcept;
+  /// TP/(TP+FP); 0 when no positive predictions.
+  [[nodiscard]] double precision() const noexcept;
+  /// TP/(TP+FN); 0 when no actual positives.
+  [[nodiscard]] double recall() const noexcept;
+  /// Harmonic mean of precision and recall; 0 when either is 0.
+  [[nodiscard]] double f1() const noexcept;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace bgpintent::util

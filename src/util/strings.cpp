@@ -1,0 +1,88 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bgpintent::util {
+
+namespace {
+bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view text) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) fields.push_back(text.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) noexcept {
+  auto wide = parse_u64(text);
+  if (!wide || *wide > 0xffffffffULL) return std::nullopt;
+  return static_cast<std::uint32_t>(*wide);
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  char buf[4096];
+  std::va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (written < 0) return {};
+  return std::string(buf, std::min(static_cast<std::size_t>(written),
+                                   sizeof buf - 1));
+}
+
+}  // namespace bgpintent::util

@@ -1,0 +1,52 @@
+// String parsing helpers shared by the text-format loaders (dictionaries,
+// relationship files, CSV).  Parsers that can fail softly return
+// std::optional; ParseError is thrown only by loaders whose input is
+// supposed to be well-formed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpintent::util {
+
+/// Thrown by text-format loaders on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Split on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Split on runs of ASCII whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string_view> split_whitespace(
+    std::string_view text);
+
+/// Parse an unsigned decimal that must consume the whole field.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(
+    std::string_view text) noexcept;
+
+/// parse_u64 restricted to [0, 2^32).
+[[nodiscard]] std::optional<std::uint32_t> parse_u32(
+    std::string_view text) noexcept;
+
+/// Parse a double that must consume the whole field.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// printf-style formatting into a std::string (bounded to 4 KiB).
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace bgpintent::util

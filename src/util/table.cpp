@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::util {
+
+namespace {
+bool looks_numeric(std::string_view cell) noexcept {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0)
+      ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+             c != ':' && c != 'e' && c != 'x' && c != 'K' && c != 'M')
+      return false;
+  }
+  return digits > 0;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_cell = [&](std::string& out, std::string_view cell, std::size_t c,
+                       bool right) {
+    const std::size_t pad = widths[c] - std::min(widths[c], cell.size());
+    if (right) out.append(pad, ' ');
+    out.append(cell);
+    if (!right && c + 1 < widths.size()) out.append(pad, ' ');
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "  ";
+    emit_cell(out, headers_[c], c, false);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (c > 0) out += "  ";
+      emit_cell(out, row[c], c, looks_numeric(row[c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  return format("%.*f", digits, value);
+}
+
+std::string percent(double fraction, int digits) {
+  return format("%.*f%%", digits, fraction * 100.0);
+}
+
+}  // namespace bgpintent::util

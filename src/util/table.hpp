@@ -1,0 +1,36 @@
+// ASCII table rendering for the bench harnesses: every figure/table bench
+// prints its rows through this so the output is aligned and diffable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpintent::util {
+
+/// Column-aligned plain-text table.  Numeric-looking cells are right
+/// aligned, text cells left aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: format a double with fixed precision.
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// Convenience: "12.3%" style percentage from a fraction in [0,1].
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+}  // namespace bgpintent::util

@@ -1,0 +1,67 @@
+#include "bgp/asn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::bgp {
+namespace {
+
+TEST(Asn, PrivateRanges16) {
+  EXPECT_FALSE(is_private_asn16(64511));
+  EXPECT_TRUE(is_private_asn16(64512));
+  EXPECT_TRUE(is_private_asn16(65000));
+  EXPECT_TRUE(is_private_asn16(65534));
+  EXPECT_FALSE(is_private_asn16(65535));
+  EXPECT_FALSE(is_private_asn16(1299));
+}
+
+TEST(Asn, PrivateRanges32) {
+  EXPECT_FALSE(is_private_asn32(4199999999U));
+  EXPECT_TRUE(is_private_asn32(4200000000U));
+  EXPECT_TRUE(is_private_asn32(4294967294U));
+  EXPECT_FALSE(is_private_asn32(4294967295U));
+}
+
+TEST(Asn, DocumentationRanges) {
+  EXPECT_TRUE(is_documentation_asn(64496));
+  EXPECT_TRUE(is_documentation_asn(64511));
+  EXPECT_FALSE(is_documentation_asn(64512));
+  EXPECT_TRUE(is_documentation_asn(65536));
+  EXPECT_TRUE(is_documentation_asn(65551));
+  EXPECT_FALSE(is_documentation_asn(65552));
+}
+
+TEST(Asn, Reserved) {
+  EXPECT_TRUE(is_reserved_asn(0));
+  EXPECT_TRUE(is_reserved_asn(65535));
+  EXPECT_TRUE(is_reserved_asn(4294967295U));
+  EXPECT_FALSE(is_reserved_asn(1));
+}
+
+TEST(Asn, PublicAsn16) {
+  EXPECT_TRUE(is_public_asn16(1299));
+  EXPECT_TRUE(is_public_asn16(3356));
+  EXPECT_TRUE(is_public_asn16(64495));
+  EXPECT_FALSE(is_public_asn16(0));
+  EXPECT_FALSE(is_public_asn16(64496));   // documentation
+  EXPECT_FALSE(is_public_asn16(64512));   // private
+  EXPECT_FALSE(is_public_asn16(65535));   // reserved
+  EXPECT_FALSE(is_public_asn16(kAsTrans));
+}
+
+TEST(Asn, Fits16) {
+  EXPECT_TRUE(fits_asn16(65535));
+  EXPECT_FALSE(fits_asn16(65536));
+}
+
+TEST(Asn, ParseRoundTrip) {
+  EXPECT_EQ(parse_asn("1299"), 1299u);
+  EXPECT_EQ(parse_asn(" 701 "), 701u);
+  EXPECT_EQ(parse_asn("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_asn("4294967296"));
+  EXPECT_FALSE(parse_asn("AS1299"));
+  EXPECT_FALSE(parse_asn(""));
+  EXPECT_EQ(asn_to_string(1299), "1299");
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

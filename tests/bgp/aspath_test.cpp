@@ -1,0 +1,204 @@
+#include "bgp/aspath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::bgp {
+namespace {
+
+TEST(AsPath, SequenceConstruction) {
+  const AsPath p({701, 1299, 64496});
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.selection_length(), 3u);
+  EXPECT_EQ(p.first(), 701u);
+  EXPECT_EQ(p.origin(), 64496u);
+}
+
+TEST(AsPath, EmptyPath) {
+  const AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_FALSE(p.first());
+  EXPECT_FALSE(p.origin());
+  EXPECT_FALSE(p.contains(1299));
+}
+
+TEST(AsPath, Contains) {
+  const AsPath p({701, 1299, 64496});
+  EXPECT_TRUE(p.contains(1299));
+  EXPECT_TRUE(p.contains(701));
+  EXPECT_TRUE(p.contains(64496));
+  EXPECT_FALSE(p.contains(3356));
+}
+
+TEST(AsPath, ContainsLooksInsideSets) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701}},
+      {SegmentType::kSet, {64496, 64497}},
+  });
+  EXPECT_TRUE(p.contains(64497));
+  EXPECT_FALSE(p.contains(64498));
+}
+
+TEST(AsPath, UniqueAsnsCollapsesPrepends) {
+  const AsPath p({701, 1299, 1299, 1299, 64496});
+  EXPECT_EQ(p.length(), 5u);
+  const auto unique = p.unique_asns();
+  ASSERT_EQ(unique.size(), 3u);
+  EXPECT_EQ(unique[0], 701u);
+  EXPECT_EQ(unique[1], 1299u);
+  EXPECT_EQ(unique[2], 64496u);
+}
+
+TEST(AsPath, SelectionLengthCountsSetAsOne) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701, 1299}},
+      {SegmentType::kSet, {64496, 64497, 64498}},
+  });
+  EXPECT_EQ(p.length(), 5u);
+  EXPECT_EQ(p.selection_length(), 3u);
+}
+
+TEST(AsPath, OriginIsLastOfLastSequence) {
+  const AsPath p({701, 1299, 64496});
+  EXPECT_EQ(p.origin(), 64496u);
+}
+
+TEST(AsPath, OriginUndefinedWhenPathEndsInSet) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701}},
+      {SegmentType::kSet, {64496, 64497}},
+  });
+  EXPECT_FALSE(p.origin());
+}
+
+TEST(AsPath, NextTowardOrigin) {
+  const AsPath p({65269, 7018, 1299, 64496});
+  EXPECT_EQ(p.next_toward_origin(1299), 64496u);
+  EXPECT_EQ(p.next_toward_origin(7018), 1299u);
+  EXPECT_EQ(p.next_toward_origin(65269), 7018u);
+  EXPECT_FALSE(p.next_toward_origin(64496));  // origin has no successor
+  EXPECT_FALSE(p.next_toward_origin(3356));   // absent
+}
+
+TEST(AsPath, NextTowardOriginSkipsPrepends) {
+  const AsPath p({7018, 1299, 1299, 1299, 64496});
+  EXPECT_EQ(p.next_toward_origin(1299), 64496u);
+}
+
+TEST(AsPath, NextTowardOriginAcrossSegmentBoundary) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701, 1299}},
+      {SegmentType::kSequence, {64496}},
+  });
+  EXPECT_EQ(p.next_toward_origin(1299), 64496u);
+}
+
+TEST(AsPath, NextTowardOriginStopsAtSet) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701, 1299}},
+      {SegmentType::kSet, {64496, 64497}},
+  });
+  EXPECT_FALSE(p.next_toward_origin(1299));
+}
+
+TEST(AsPath, Prepended) {
+  const AsPath p({1299, 64496});
+  const AsPath q = p.prepended(7018, 2);
+  EXPECT_EQ(q.to_string(), "7018 7018 1299 64496");
+  EXPECT_EQ(p.to_string(), "1299 64496");  // original untouched
+}
+
+TEST(AsPath, PrependZeroIsIdentity) {
+  const AsPath p({1299, 64496});
+  EXPECT_EQ(p.prepended(7018, 0), p);
+}
+
+TEST(AsPath, PrependOntoEmptyPath) {
+  const AsPath p;
+  const AsPath q = p.prepended(64496, 1);
+  EXPECT_EQ(q.to_string(), "64496");
+  EXPECT_EQ(q.origin(), 64496u);
+}
+
+TEST(AsPath, ToStringWithSet) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {701, 1299}},
+      {SegmentType::kSet, {64496, 64497}},
+  });
+  EXPECT_EQ(p.to_string(), "701 1299 {64496,64497}");
+}
+
+TEST(AsPath, ParseSequence) {
+  const auto p = AsPath::parse("701 1299 64496");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "701 1299 64496");
+  EXPECT_EQ(p->origin(), 64496u);
+}
+
+TEST(AsPath, ParseWithSet) {
+  const auto p = AsPath::parse("701 {64496,64497}");
+  ASSERT_TRUE(p);
+  ASSERT_EQ(p->segments().size(), 2u);
+  EXPECT_EQ(p->segments()[1].type, SegmentType::kSet);
+  EXPECT_EQ(p->to_string(), "701 {64496,64497}");
+}
+
+TEST(AsPath, ParseRejectsMalformed) {
+  EXPECT_FALSE(AsPath::parse("701 abc"));
+  EXPECT_FALSE(AsPath::parse("701 {}"));
+  EXPECT_FALSE(AsPath::parse("701 {1,x}"));
+  EXPECT_FALSE(AsPath::parse("{1,2"));
+}
+
+TEST(AsPath, ParseEmptyGivesEmptyPath) {
+  const auto p = AsPath::parse("");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(AsPath, RoundTripParseToString) {
+  for (const char* text : {"701", "701 1299", "701 1299 {2,3} 64496"}) {
+    const auto p = AsPath::parse(text);
+    ASSERT_TRUE(p) << text;
+    EXPECT_EQ(p->to_string(), text);
+  }
+}
+
+TEST(AsPath, EqualityAndHashing) {
+  const AsPath a({701, 1299});
+  const AsPath b({701, 1299});
+  const AsPath c({701, 1299, 1299});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // prepend changes identity (unique-path counting)
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(AsPath, HashUsableInUnorderedSet) {
+  std::unordered_set<AsPath> set;
+  set.insert(AsPath({701, 1299}));
+  set.insert(AsPath({701, 1299}));
+  set.insert(AsPath({701, 3356}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AsPath, SegmentTypeMattersForEquality) {
+  const AsPath seq(std::vector<PathSegment>{{SegmentType::kSequence, {1, 2}}});
+  const AsPath set(std::vector<PathSegment>{{SegmentType::kSet, {1, 2}}});
+  EXPECT_NE(seq, set);
+  EXPECT_NE(seq.hash(), set.hash());
+}
+
+TEST(AsPath, EmptySegmentsDropped) {
+  const AsPath p(std::vector<PathSegment>{
+      {SegmentType::kSequence, {}},
+      {SegmentType::kSequence, {701}},
+  });
+  EXPECT_EQ(p.segments().size(), 1u);
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

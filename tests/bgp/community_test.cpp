@@ -1,0 +1,113 @@
+#include "bgp/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::bgp {
+namespace {
+
+TEST(Community, PackingRoundTrip) {
+  const Community c(1299, 2569);
+  EXPECT_EQ(c.alpha(), 1299);
+  EXPECT_EQ(c.beta(), 2569);
+  EXPECT_EQ(c.owner(), 1299u);
+  EXPECT_EQ(c.wire(), (1299u << 16) | 2569u);
+  EXPECT_EQ(Community::from_wire(c.wire()), c);
+}
+
+TEST(Community, BoundaryValues) {
+  const Community lo(0, 0);
+  EXPECT_EQ(lo.alpha(), 0);
+  EXPECT_EQ(lo.beta(), 0);
+  const Community hi(0xffff, 0xffff);
+  EXPECT_EQ(hi.alpha(), 0xffff);
+  EXPECT_EQ(hi.beta(), 0xffff);
+  EXPECT_EQ(hi.wire(), 0xffffffffu);
+}
+
+TEST(Community, Ordering) {
+  EXPECT_LT(Community(1299, 100), Community(1299, 200));
+  EXPECT_LT(Community(1299, 65535), Community(1300, 0));
+  EXPECT_EQ(Community(701, 7), Community(701, 7));
+}
+
+TEST(Community, ToString) {
+  EXPECT_EQ(Community(1299, 2569).to_string(), "1299:2569");
+  EXPECT_EQ(Community(0, 0).to_string(), "0:0");
+}
+
+TEST(Community, ParseValid) {
+  EXPECT_EQ(Community::parse("1299:2569"), Community(1299, 2569));
+  EXPECT_EQ(Community::parse(" 701:120 "), Community(701, 120));
+  EXPECT_EQ(Community::parse("65535:666"), Community(65535, 666));
+}
+
+TEST(Community, ParseInvalid) {
+  EXPECT_FALSE(Community::parse("1299"));
+  EXPECT_FALSE(Community::parse("1299:2569:1"));
+  EXPECT_FALSE(Community::parse("65536:1"));
+  EXPECT_FALSE(Community::parse("1:65536"));
+  EXPECT_FALSE(Community::parse("a:b"));
+  EXPECT_FALSE(Community::parse(""));
+  EXPECT_FALSE(Community::parse(":"));
+  EXPECT_FALSE(Community::parse("1299:-1"));
+}
+
+TEST(Community, WellKnownConstants) {
+  EXPECT_EQ(kNoExport.to_string(), "65535:65281");
+  EXPECT_EQ(kNoAdvertise.to_string(), "65535:65282");
+  EXPECT_EQ(kBlackhole.to_string(), "65535:666");
+  EXPECT_EQ(kGracefulShutdown.to_string(), "65535:0");
+  EXPECT_TRUE(kNoExport.is_well_known());
+  EXPECT_TRUE(kNoExport.is_reserved_range());
+  EXPECT_FALSE(Community(1299, 1).is_well_known());
+}
+
+TEST(Community, ReservedRange) {
+  EXPECT_TRUE(Community(0, 5).is_reserved_range());
+  EXPECT_FALSE(Community(1, 5).is_reserved_range());
+}
+
+TEST(Community, HashDistinguishes) {
+  std::unordered_set<Community> set;
+  for (std::uint16_t beta = 0; beta < 1000; ++beta)
+    set.insert(Community(1299, beta));
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_TRUE(set.contains(Community(1299, 999)));
+  EXPECT_FALSE(set.contains(Community(1299, 1000)));
+}
+
+TEST(LargeCommunity, FieldsAndOrdering) {
+  const LargeCommunity c(212483, 1, 42);
+  EXPECT_EQ(c.alpha(), 212483u);
+  EXPECT_EQ(c.beta(), 1u);
+  EXPECT_EQ(c.gamma(), 42u);
+  EXPECT_EQ(c.owner(), 212483u);
+  EXPECT_LT(LargeCommunity(1, 2, 3), LargeCommunity(1, 2, 4));
+  EXPECT_LT(LargeCommunity(1, 2, 3), LargeCommunity(2, 0, 0));
+}
+
+TEST(LargeCommunity, StringRoundTrip) {
+  const LargeCommunity c(4200000001U, 65536, 7);
+  EXPECT_EQ(c.to_string(), "4200000001:65536:7");
+  EXPECT_EQ(LargeCommunity::parse(c.to_string()), c);
+}
+
+TEST(LargeCommunity, ParseInvalid) {
+  EXPECT_FALSE(LargeCommunity::parse("1:2"));
+  EXPECT_FALSE(LargeCommunity::parse("1:2:3:4"));
+  EXPECT_FALSE(LargeCommunity::parse("1:x:3"));
+  EXPECT_FALSE(LargeCommunity::parse("4294967296:0:0"));
+}
+
+TEST(LargeCommunity, HashWorksInSets) {
+  std::unordered_set<LargeCommunity> set;
+  set.insert(LargeCommunity(1, 2, 3));
+  set.insert(LargeCommunity(1, 2, 3));
+  set.insert(LargeCommunity(1, 2, 4));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

@@ -1,0 +1,85 @@
+#include "bgp/extcommunity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::bgp {
+namespace {
+
+TEST(ExtCommunity, RouteTargetFields) {
+  const auto c = ExtCommunity::route_target(64500, 100);
+  EXPECT_EQ(c.base_type(), ExtCommunity::kTypeTwoOctetAs);
+  EXPECT_EQ(c.subtype(), ExtCommunity::kSubtypeRouteTarget);
+  EXPECT_EQ(c.as2(), 64500);
+  EXPECT_EQ(c.local4(), 100u);
+  EXPECT_TRUE(c.is_transitive());
+}
+
+TEST(ExtCommunity, RouteOriginFields) {
+  const auto c = ExtCommunity::route_origin(3356, 7);
+  EXPECT_EQ(c.subtype(), ExtCommunity::kSubtypeRouteOrigin);
+  EXPECT_EQ(c.as2(), 3356);
+  EXPECT_EQ(c.local4(), 7u);
+}
+
+TEST(ExtCommunity, FourOctetRouteTarget) {
+  const auto c = ExtCommunity::route_target4(212483, 9);
+  EXPECT_EQ(c.base_type(), ExtCommunity::kTypeFourOctetAs);
+  EXPECT_EQ(c.as4(), 212483u);
+  EXPECT_EQ(c.local2(), 9);
+}
+
+TEST(ExtCommunity, NonTransitiveBit) {
+  const auto c = ExtCommunity::from_wire(
+      static_cast<std::uint64_t>(ExtCommunity::kTypeTwoOctetAs |
+                                 ExtCommunity::kNonTransitiveBit)
+      << 56);
+  EXPECT_FALSE(c.is_transitive());
+  EXPECT_EQ(c.base_type(), ExtCommunity::kTypeTwoOctetAs);
+}
+
+TEST(ExtCommunity, ToStringForms) {
+  EXPECT_EQ(ExtCommunity::route_target(64500, 100).to_string(),
+            "rt:64500:100");
+  EXPECT_EQ(ExtCommunity::route_origin(3356, 7).to_string(), "ro:3356:7");
+  EXPECT_EQ(ExtCommunity::route_target4(212483, 9).to_string(),
+            "rt4:212483:9");
+  const auto opaque = ExtCommunity::from_wire(0x03000000deadbeefULL);
+  EXPECT_EQ(opaque.to_string(), "ext:03000000deadbeef");
+}
+
+TEST(ExtCommunity, ParseRoundTrip) {
+  for (const char* text :
+       {"rt:64500:100", "ro:3356:7", "rt4:212483:9", "ext:03000000deadbeef"}) {
+    const auto c = ExtCommunity::parse(text);
+    ASSERT_TRUE(c) << text;
+    EXPECT_EQ(c->to_string(), text);
+  }
+}
+
+TEST(ExtCommunity, ParseRejectsMalformed) {
+  EXPECT_FALSE(ExtCommunity::parse("rt:70000:1"));   // asn > 16 bit
+  EXPECT_FALSE(ExtCommunity::parse("rt4:1:70000"));  // value > 16 bit
+  EXPECT_FALSE(ExtCommunity::parse("rt:1"));
+  EXPECT_FALSE(ExtCommunity::parse("ext:123"));      // wrong hex width
+  EXPECT_FALSE(ExtCommunity::parse("ext:zz00000000000000"));
+  EXPECT_FALSE(ExtCommunity::parse("bogus:1:2"));
+  EXPECT_FALSE(ExtCommunity::parse(""));
+}
+
+TEST(ExtCommunity, OrderingAndHash) {
+  const auto a = ExtCommunity::route_target(1, 1);
+  const auto b = ExtCommunity::route_target(1, 2);
+  EXPECT_LT(a, b);
+  std::unordered_set<ExtCommunity> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ExtCommunity, WireRoundTrip) {
+  const auto c = ExtCommunity::route_target(64500, 12345);
+  EXPECT_EQ(ExtCommunity::from_wire(c.wire()), c);
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

@@ -1,0 +1,99 @@
+#include "bgp/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::bgp {
+namespace {
+
+constexpr std::uint32_t ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return a << 24 | b << 16 | c << 8 | d;
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(ip(192, 0, 2, 77), 24);
+  EXPECT_EQ(p.address(), ip(192, 0, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix, MaskValues) {
+  EXPECT_EQ(Prefix(0, 0).mask(), 0u);
+  EXPECT_EQ(Prefix(0, 8).mask(), 0xff000000u);
+  EXPECT_EQ(Prefix(0, 24).mask(), 0xffffff00u);
+  EXPECT_EQ(Prefix(0, 32).mask(), 0xffffffffu);
+}
+
+TEST(Prefix, LengthClamped) {
+  const Prefix p(ip(10, 0, 0, 0), 40);
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(Prefix, Covers) {
+  const Prefix p(ip(192, 0, 2, 0), 24);
+  EXPECT_TRUE(p.covers(Prefix(ip(192, 0, 2, 0), 24)));
+  EXPECT_TRUE(p.covers(Prefix(ip(192, 0, 2, 128), 25)));
+  EXPECT_FALSE(p.covers(Prefix(ip(192, 0, 3, 0), 24)));
+  EXPECT_FALSE(p.covers(Prefix(ip(192, 0, 0, 0), 16)));  // less specific
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(ip(198, 51, 100, 0), 24);
+  EXPECT_TRUE(p.contains(ip(198, 51, 100, 200)));
+  EXPECT_FALSE(p.contains(ip(198, 51, 101, 1)));
+}
+
+TEST(Prefix, DefaultRouteCoversEverything) {
+  const Prefix def(0, 0);
+  EXPECT_TRUE(def.covers(Prefix(ip(8, 8, 8, 0), 24)));
+  EXPECT_TRUE(def.contains(ip(255, 255, 255, 255)));
+}
+
+TEST(Prefix, ToString) {
+  EXPECT_EQ(Prefix(ip(192, 0, 2, 0), 24).to_string(), "192.0.2.0/24");
+  EXPECT_EQ(Prefix(0, 0).to_string(), "0.0.0.0/0");
+  EXPECT_EQ(Prefix(ip(255, 255, 255, 255), 32).to_string(),
+            "255.255.255.255/32");
+}
+
+TEST(Prefix, ParseValid) {
+  const auto p = Prefix::parse("192.0.2.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->address(), ip(192, 0, 2, 0));
+  EXPECT_EQ(p->length(), 24);
+}
+
+TEST(Prefix, ParseCanonicalizes) {
+  const auto p = Prefix::parse("192.0.2.77/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_FALSE(Prefix::parse("192.0.2.0"));
+  EXPECT_FALSE(Prefix::parse("192.0.2/24"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.256/24"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/33"));
+  EXPECT_FALSE(Prefix::parse("a.b.c.d/24"));
+  EXPECT_FALSE(Prefix::parse(""));
+}
+
+TEST(Prefix, RoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "203.0.113.128/25"}) {
+    const auto p = Prefix::parse(text);
+    ASSERT_TRUE(p) << text;
+    EXPECT_EQ(p->to_string(), text);
+  }
+}
+
+TEST(Prefix, OrderingAndHash) {
+  EXPECT_LT(Prefix(ip(10, 0, 0, 0), 8), Prefix(ip(11, 0, 0, 0), 8));
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix(ip(10, 0, 0, 0), 8));
+  set.insert(Prefix(ip(10, 0, 0, 0), 8));
+  set.insert(Prefix(ip(10, 0, 0, 0), 9));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

@@ -1,0 +1,126 @@
+#include "bgp/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bgpintent::bgp {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+constexpr std::uint32_t ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return a << 24 | b << 16 | c << 8 | d;
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(pfx("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 3);
+  EXPECT_EQ(trie.find(pfx("10.2.0.0/16")), nullptr);
+  EXPECT_TRUE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, ExactMatchRequiresSameLength) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/7")), nullptr);
+}
+
+TEST(PrefixTrie, LongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.longest_match(ip(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*trie.longest_match(ip(10, 1, 3, 1)), 16);
+  EXPECT_EQ(*trie.longest_match(ip(10, 9, 9, 9)), 8);
+  EXPECT_EQ(*trie.longest_match(ip(192, 0, 2, 1)), 0);
+}
+
+TEST(PrefixTrie, LongestMatchWithoutDefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  EXPECT_EQ(trie.longest_match(ip(192, 0, 2, 1)), nullptr);
+  EXPECT_NE(trie.longest_match(ip(10, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixTrie, HostRouteMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("203.0.113.7/32"), 32);
+  EXPECT_EQ(*trie.longest_match(ip(203, 0, 113, 7)), 32);
+  EXPECT_EQ(trie.longest_match(ip(203, 0, 113, 8)), nullptr);
+}
+
+TEST(PrefixTrie, Covering) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.covering(pfx("10.1.2.0/24")), pfx("10.1.0.0/16"));
+  EXPECT_EQ(trie.covering(pfx("10.2.0.0/16")), pfx("10.0.0.0/8"));
+  EXPECT_EQ(trie.covering(pfx("10.1.0.0/16")), pfx("10.1.0.0/16"));
+  EXPECT_FALSE(trie.covering(pfx("192.0.2.0/24")));
+}
+
+TEST(PrefixTrie, CoveredBy) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  trie.insert(pfx("10.1.2.0/24"), 3);
+  trie.insert(pfx("192.0.2.0/24"), 4);
+  const auto covered = trie.covered_by(pfx("10.0.0.0/8"));
+  ASSERT_EQ(covered.size(), 3u);
+  EXPECT_EQ(covered[0], pfx("10.0.0.0/8"));
+  EXPECT_EQ(covered[1], pfx("10.1.0.0/16"));
+  EXPECT_EQ(covered[2], pfx("10.1.2.0/24"));
+  EXPECT_TRUE(trie.covered_by(pfx("172.16.0.0/12")).empty());
+}
+
+TEST(PrefixTrie, DefaultRouteValue) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 42);
+  EXPECT_EQ(*trie.find(pfx("0.0.0.0/0")), 42);
+  EXPECT_EQ(*trie.longest_match(0), 42);
+  EXPECT_EQ(trie.covering(pfx("8.8.8.0/24")), pfx("0.0.0.0/0"));
+}
+
+TEST(PrefixTrie, RandomizedConsistencyWithLinearScan) {
+  util::Rng rng(99);
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<Prefix> stored;
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff));
+    const auto len = static_cast<std::uint8_t>(rng.uniform(8, 28));
+    const Prefix prefix(addr, len);
+    if (trie.insert(prefix, prefix.address())) stored.push_back(prefix);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto probe = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff));
+    // Linear-scan longest match.
+    const Prefix* expected = nullptr;
+    for (const Prefix& prefix : stored)
+      if (prefix.contains(probe) &&
+          (expected == nullptr || prefix.length() > expected->length()))
+        expected = &prefix;
+    const std::uint32_t* got = trie.longest_match(probe);
+    if (expected == nullptr) {
+      EXPECT_EQ(got, nullptr) << probe;
+    } else {
+      ASSERT_NE(got, nullptr) << probe;
+      EXPECT_EQ(*got, expected->address());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp

@@ -1,0 +1,85 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::cli {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(Args, PositionalAndOptions) {
+  std::vector<std::string> raw{"prog", "cmd",       "file1.mrt", "--gap",
+                               "140", "file2.mrt", "--verbose"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"gap"}, {"verbose"});
+  ASSERT_TRUE(args);
+  EXPECT_EQ(args->positional(),
+            (std::vector<std::string>{"file1.mrt", "file2.mrt"}));
+  EXPECT_EQ(args->value("gap"), "140");
+  EXPECT_TRUE(args->flag("verbose"));
+  EXPECT_FALSE(args->flag("quiet"));
+  EXPECT_FALSE(args->value("threshold"));
+}
+
+TEST(Args, UnknownOptionRejected) {
+  std::vector<std::string> raw{"prog", "cmd", "--bogus"};
+  auto argv = make_argv(raw);
+  EXPECT_FALSE(
+      Args::parse(static_cast<int>(argv.size()), argv.data(), 2, {}, {}));
+}
+
+TEST(Args, MissingValueRejected) {
+  std::vector<std::string> raw{"prog", "cmd", "--gap"};
+  auto argv = make_argv(raw);
+  EXPECT_FALSE(Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                           {"gap"}, {}));
+}
+
+TEST(Args, TypedAccessors) {
+  std::vector<std::string> raw{"prog", "cmd", "--gap", "250", "--threshold",
+                               "2.5"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"gap", "threshold"}, {});
+  ASSERT_TRUE(args);
+  EXPECT_EQ(args->value_u64("gap", 140), 250u);
+  EXPECT_EQ(args->value_u64("absent", 140), 140u);
+  EXPECT_DOUBLE_EQ(*args->value_double("threshold", 160.0), 2.5);
+  EXPECT_DOUBLE_EQ(*args->value_double("absent", 160.0), 160.0);
+}
+
+TEST(Args, MalformedNumbersRejected) {
+  std::vector<std::string> raw{"prog", "cmd", "--gap", "abc"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"gap"}, {});
+  ASSERT_TRUE(args);
+  EXPECT_FALSE(args->value_u64("gap", 140));
+  EXPECT_FALSE(args->value_double("gap", 160.0));
+}
+
+TEST(Args, EmptyArgs) {
+  std::vector<std::string> raw{"prog", "cmd"};
+  auto argv = make_argv(raw);
+  const auto args =
+      Args::parse(static_cast<int>(argv.size()), argv.data(), 2, {}, {});
+  ASSERT_TRUE(args);
+  EXPECT_TRUE(args->positional().empty());
+}
+
+TEST(Args, RepeatedValueLastWins) {
+  std::vector<std::string> raw{"prog", "cmd", "--gap", "1", "--gap", "2"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"gap"}, {});
+  ASSERT_TRUE(args);
+  EXPECT_EQ(args->value("gap"), "2");
+}
+
+}  // namespace
+}  // namespace bgpintent::cli

@@ -1,0 +1,71 @@
+#include "core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::core {
+namespace {
+
+std::vector<std::uint16_t> betas_of(const Cluster& c) { return c.betas; }
+
+TEST(GapCluster, SplitsOnGapsLargerThanMinGap) {
+  const std::vector<std::uint16_t> betas{100, 150, 200, 500, 520, 2000};
+  const auto clusters = gap_cluster(1299, betas, 140);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(betas_of(clusters[0]), (std::vector<std::uint16_t>{100, 150, 200}));
+  EXPECT_EQ(betas_of(clusters[1]), (std::vector<std::uint16_t>{500, 520}));
+  EXPECT_EQ(betas_of(clusters[2]), (std::vector<std::uint16_t>{2000}));
+  for (const auto& c : clusters) EXPECT_EQ(c.alpha, 1299);
+}
+
+TEST(GapCluster, GapExactlyMinGapStaysTogether) {
+  const std::vector<std::uint16_t> betas{100, 240};
+  EXPECT_EQ(gap_cluster(1, betas, 140).size(), 1u);
+  EXPECT_EQ(gap_cluster(1, betas, 139).size(), 2u);
+}
+
+TEST(GapCluster, ZeroGapMakesSingletons) {
+  const std::vector<std::uint16_t> betas{1, 2, 3, 10};
+  const auto clusters = gap_cluster(1, betas, 0);
+  ASSERT_EQ(clusters.size(), 4u);
+  for (const auto& c : clusters) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(GapCluster, HugeGapKeepsEverythingTogether) {
+  const std::vector<std::uint16_t> betas{0, 30000, 65535};
+  EXPECT_EQ(gap_cluster(1, betas, 65535).size(), 1u);
+}
+
+TEST(GapCluster, EmptyInput) {
+  EXPECT_TRUE(gap_cluster(1, std::vector<std::uint16_t>{}, 140).empty());
+}
+
+TEST(GapCluster, SingleValue) {
+  const auto clusters = gap_cluster(7, std::vector<std::uint16_t>{666}, 140);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].lo(), 666);
+  EXPECT_EQ(clusters[0].hi(), 666);
+  EXPECT_EQ(clusters[0].size(), 1u);
+}
+
+TEST(GapCluster, BoundariesOfUint16DoNotOverflow) {
+  const std::vector<std::uint16_t> betas{0, 65535};
+  EXPECT_EQ(gap_cluster(1, betas, 140).size(), 2u);
+  EXPECT_EQ(gap_cluster(1, betas, 65535).size(), 1u);
+}
+
+TEST(GapCluster, ArelionLikeLayout) {
+  // Echo of Fig. 4: 50,150 | 430,431 | 661,666,999(?) | 2000.. | 20000..
+  const std::vector<std::uint16_t> betas{50,   150,  430,   431,  666,
+                                         2561, 2569, 20000, 20005, 20019};
+  const auto clusters = gap_cluster(1299, betas, 140);
+  ASSERT_EQ(clusters.size(), 5u);
+  EXPECT_EQ(betas_of(clusters[0]), (std::vector<std::uint16_t>{50, 150}));
+  EXPECT_EQ(betas_of(clusters[1]), (std::vector<std::uint16_t>{430, 431}));
+  EXPECT_EQ(betas_of(clusters[2]), (std::vector<std::uint16_t>{666}));
+  EXPECT_EQ(betas_of(clusters[3]), (std::vector<std::uint16_t>{2561, 2569}));
+  EXPECT_EQ(betas_of(clusters[4]),
+            (std::vector<std::uint16_t>{20000, 20005, 20019}));
+}
+
+}  // namespace
+}  // namespace bgpintent::core

@@ -1,0 +1,149 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "routing/scenario.hpp"
+
+namespace bgpintent::core {
+namespace {
+
+bgp::RibEntry entry(std::uint32_t vp, std::vector<bgp::Asn> path,
+                    std::vector<Community> communities) {
+  bgp::RibEntry e;
+  e.vantage_point.asn = vp;
+  e.vantage_point.address = vp;
+  e.route.prefix = *bgp::Prefix::parse("10.0.0.0/24");
+  e.route.path = bgp::AsPath(std::move(path));
+  e.route.communities = std::move(communities);
+  return e;
+}
+
+TEST(Incremental, LabelsAppearAsEvidenceArrives) {
+  IncrementalClassifier classifier;
+  EXPECT_EQ(classifier.label_of(Community(100, 20000)), Intent::kUnclassified);
+  for (std::uint32_t vp = 61; vp < 66; ++vp)
+    classifier.ingest(entry(vp, {vp, 100, 201}, {Community(100, 20000)}));
+  EXPECT_EQ(classifier.label_of(Community(100, 20000)), Intent::kInformation);
+  EXPECT_EQ(classifier.entries_ingested(), 5u);
+}
+
+TEST(Incremental, LabelCanFlipWithNewEvidence) {
+  IncrementalClassifier classifier;
+  // First evidence: one on-path observation -> information (pure on).
+  classifier.ingest(entry(61, {61, 100, 201}, {Community(100, 2569)}));
+  EXPECT_EQ(classifier.label_of(Community(100, 2569)), Intent::kInformation);
+  // Then a flood of off-path observations flips it to action.
+  for (std::uint32_t vp = 70; vp < 90; ++vp)
+    classifier.ingest(entry(vp, {vp, 999, 201}, {Community(100, 2569)}));
+  EXPECT_EQ(classifier.label_of(Community(100, 2569)), Intent::kAction);
+}
+
+TEST(Incremental, NeverOnPathExclusionLiftsDynamically) {
+  IncrementalClassifier classifier;
+  // Route-server-style value: alpha 777 not on any path yet.
+  classifier.ingest(entry(61, {61, 100, 201}, {Community(777, 5)}));
+  EXPECT_EQ(classifier.label_of(Community(777, 5)), Intent::kUnclassified);
+  // A later path contains 777: the exclusion lifts and the (off-path-
+  // dominated) value classifies.
+  classifier.ingest(entry(62, {62, 777, 201}, {Community(777, 5)}));
+  EXPECT_NE(classifier.label_of(Community(777, 5)), Intent::kUnclassified);
+}
+
+TEST(Incremental, DuplicatePathsDoNotRedirty) {
+  IncrementalClassifier classifier;
+  const auto e = entry(61, {61, 100, 201}, {Community(100, 20000)});
+  classifier.ingest(e);
+  (void)classifier.totals();  // clears dirty set
+  EXPECT_EQ(classifier.dirty_alpha_count(), 0u);
+  classifier.ingest(e);  // identical path & community: no new evidence
+  EXPECT_EQ(classifier.dirty_alpha_count(), 0u);
+}
+
+TEST(Incremental, PrivateAlphaStaysUnclassified) {
+  IncrementalClassifier classifier;
+  classifier.ingest(entry(61, {61, 64512, 201}, {Community(64512, 100)}));
+  EXPECT_EQ(classifier.label_of(Community(64512, 100)),
+            Intent::kUnclassified);
+  const auto totals = classifier.totals();
+  EXPECT_EQ(totals.unclassified, 1u);
+  EXPECT_EQ(totals.communities, 1u);
+}
+
+TEST(Incremental, SiblingAwareness) {
+  topo::OrgMap orgs;
+  orgs.assign(1299, 1);
+  orgs.assign(1300, 1);
+  IncrementalClassifier classifier;
+  classifier.set_org_map(&orgs);
+  // Only the sibling 1300 appears in paths; 1299's value still counts as
+  // on-path and is classifiable.
+  classifier.ingest(entry(61, {61, 1300, 201}, {Community(1299, 20000)}));
+  EXPECT_EQ(classifier.label_of(Community(1299, 20000)),
+            Intent::kInformation);
+}
+
+// The streaming classifier must agree with the batch pipeline when fed the
+// same data (same config, same context).
+TEST(Incremental, MatchesBatchPipelineOnScenario) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 81;
+  cfg.topology.tier1_count = 5;
+  cfg.topology.tier2_count = 20;
+  cfg.topology.stub_count = 100;
+  cfg.vantage_point_count = 25;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  Pipeline batch;
+  batch.set_org_map(&scenario.topology().orgs);
+  const auto batch_result = batch.run(entries);
+
+  IncrementalClassifier streaming;
+  streaming.set_org_map(&scenario.topology().orgs);
+  streaming.ingest(entries);
+
+  std::size_t compared = 0;
+  for (const auto& stats : batch_result.observations.all()) {
+    ++compared;
+    EXPECT_EQ(streaming.label_of(stats.community),
+              batch_result.inference.label_of(stats.community))
+        << stats.community.to_string();
+  }
+  EXPECT_GT(compared, 300u);
+
+  const auto totals = streaming.totals();
+  EXPECT_EQ(totals.information, batch_result.inference.information_count);
+  EXPECT_EQ(totals.action, batch_result.inference.action_count);
+}
+
+TEST(Incremental, IncrementalIngestMatchesBulkIngest) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 83;
+  cfg.topology.tier1_count = 4;
+  cfg.topology.tier2_count = 15;
+  cfg.topology.stub_count = 60;
+  cfg.vantage_point_count = 12;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  IncrementalClassifier bulk;
+  bulk.ingest(entries);
+  IncrementalClassifier one_by_one;
+  for (const auto& e : entries) {
+    one_by_one.ingest(e);
+    // Interleave queries to exercise partial reclassification.
+    (void)one_by_one.label_of(e.route.communities.empty()
+                                  ? Community(1, 1)
+                                  : e.route.communities.front());
+  }
+  const auto a = bulk.totals();
+  const auto b = one_by_one.totals();
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_EQ(a.information, b.information);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.unclassified, b.unclassified);
+}
+
+}  // namespace
+}  // namespace bgpintent::core

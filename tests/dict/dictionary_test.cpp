@@ -1,0 +1,172 @@
+#include "dict/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dict/builtin.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::dict {
+namespace {
+
+AsDictionary make_arelion_like() {
+  AsDictionary d(1299);
+  d.add(CommunityPattern::compile("1299:430-431"), Category::kRovStatus,
+        "ROV status");
+  d.add(CommunityPattern::compile("1299:[257]\\d\\d9"),
+        Category::kSuppressToAs, "do not export");
+  d.add(CommunityPattern::compile("1299:2\\d\\d\\d\\d"),
+        Category::kLocationCity, "ingress city");
+  return d;
+}
+
+TEST(AsDictionary, LookupFirstMatchWins) {
+  AsDictionary d(100);
+  d.add(CommunityPattern::compile("100:15"), Category::kBlackhole, "specific");
+  d.add(CommunityPattern::compile("100:10-20"), Category::kLocationCity,
+        "broad");
+  const auto* specific = d.lookup(bgp::Community(100, 15));
+  ASSERT_NE(specific, nullptr);
+  EXPECT_EQ(specific->category, Category::kBlackhole);
+  const auto* broad = d.lookup(bgp::Community(100, 16));
+  ASSERT_NE(broad, nullptr);
+  EXPECT_EQ(broad->category, Category::kLocationCity);
+}
+
+TEST(AsDictionary, LookupMiss) {
+  const auto d = make_arelion_like();
+  EXPECT_EQ(d.lookup(bgp::Community(1299, 1)), nullptr);
+  EXPECT_EQ(d.lookup(bgp::Community(3356, 430)), nullptr);  // wrong alpha
+}
+
+TEST(AsDictionary, IntentConvenience) {
+  const auto d = make_arelion_like();
+  EXPECT_EQ(d.intent(bgp::Community(1299, 430)), Intent::kInformation);
+  EXPECT_EQ(d.intent(bgp::Community(1299, 2569)), Intent::kAction);
+  EXPECT_EQ(d.intent(bgp::Community(1299, 21000)), Intent::kInformation);
+  EXPECT_FALSE(d.intent(bgp::Community(1299, 1)));
+}
+
+TEST(AsDictionary, CoveredCommunitiesDeduplicated) {
+  AsDictionary d(100);
+  d.add(CommunityPattern::compile("100:10-12"), Category::kBlackhole, "");
+  d.add(CommunityPattern::compile("100:11-13"), Category::kBlackhole, "");
+  const auto covered = d.covered_communities();
+  ASSERT_EQ(covered.size(), 4u);
+  EXPECT_EQ(covered.front(), bgp::Community(100, 10));
+  EXPECT_EQ(covered.back(), bgp::Community(100, 13));
+}
+
+TEST(DictionaryStore, FindAndCreate) {
+  DictionaryStore store;
+  EXPECT_EQ(store.find(1299), nullptr);
+  store.dictionary_for(1299).add(CommunityPattern::compile("1299:666"),
+                                 Category::kBlackhole, "");
+  ASSERT_NE(store.find(1299), nullptr);
+  EXPECT_EQ(store.as_count(), 1u);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(DictionaryStore, LookupRoutesToOwner) {
+  DictionaryStore store;
+  store.dictionary_for(1299).add(CommunityPattern::compile("1299:666"),
+                                 Category::kBlackhole, "bh");
+  store.dictionary_for(3356).add(CommunityPattern::compile("3356:666"),
+                                 Category::kLocationCity, "city");
+  EXPECT_EQ(store.intent(bgp::Community(1299, 666)), Intent::kAction);
+  EXPECT_EQ(store.intent(bgp::Community(3356, 666)), Intent::kInformation);
+  EXPECT_FALSE(store.intent(bgp::Community(701, 666)));
+}
+
+TEST(DictionaryStore, CountsByIntent) {
+  DictionaryStore store;
+  store.dictionary_for(1).add(CommunityPattern::compile("1:1"),
+                              Category::kPrepend, "");
+  store.dictionary_for(1).add(CommunityPattern::compile("1:2"),
+                              Category::kRovStatus, "");
+  store.dictionary_for(2).add(CommunityPattern::compile("2:1"),
+                              Category::kLocationCountry, "");
+  const auto counts = store.count_entries_by_intent();
+  EXPECT_EQ(counts.action, 1u);
+  EXPECT_EQ(counts.information, 2u);
+}
+
+TEST(DictionaryStore, SaveLoadRoundTrip) {
+  DictionaryStore store;
+  store.dictionary_for(1299).add(
+      CommunityPattern::compile("1299:[257]\\d\\d9"), Category::kSuppressToAs,
+      "do not export");
+  store.dictionary_for(1299).add(CommunityPattern::compile("1299:430-431"),
+                                 Category::kRovStatus, "ROV");
+  std::ostringstream out;
+  store.save(out);
+
+  DictionaryStore loaded;
+  std::istringstream in(out.str());
+  loaded.load(in);
+  EXPECT_EQ(loaded.as_count(), 1u);
+  EXPECT_EQ(loaded.entry_count(), 2u);
+  EXPECT_EQ(loaded.intent(bgp::Community(1299, 2569)), Intent::kAction);
+  EXPECT_EQ(loaded.intent(bgp::Community(1299, 431)), Intent::kInformation);
+  const auto* entry = loaded.lookup(bgp::Community(1299, 430));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->description, "ROV");
+}
+
+TEST(DictionaryStore, LoadSkipsCommentsAndBlank) {
+  DictionaryStore store;
+  std::istringstream in("# comment\n\n1299|666|blackhole|bh\n");
+  store.load(in);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(DictionaryStore, LoadRejectsMalformed) {
+  {
+    DictionaryStore store;
+    std::istringstream in("1299|666\n");  // too few fields
+    EXPECT_THROW(store.load(in), util::ParseError);
+  }
+  {
+    DictionaryStore store;
+    std::istringstream in("70000|666|blackhole|x\n");  // alpha too big
+    EXPECT_THROW(store.load(in), util::ParseError);
+  }
+  {
+    DictionaryStore store;
+    std::istringstream in("1299|666|not_a_category|x\n");
+    EXPECT_THROW(store.load(in), util::ParseError);
+  }
+  {
+    DictionaryStore store;
+    std::istringstream in("1299|[66|blackhole|x\n");  // bad pattern
+    EXPECT_THROW(store.load(in), util::ParseError);
+  }
+}
+
+TEST(BuiltinDictionary, ContainsWellKnownAndArelion) {
+  const DictionaryStore store = builtin_dictionary();
+  // RFC well-knowns.
+  EXPECT_EQ(store.intent(bgp::kNoExport), Intent::kAction);
+  EXPECT_EQ(store.intent(bgp::kBlackhole), Intent::kAction);
+  EXPECT_EQ(store.intent(bgp::kGracefulShutdown), Intent::kAction);
+  // Arelion examples straight from the paper.
+  EXPECT_EQ(store.intent(bgp::Community(1299, 2569)), Intent::kAction);
+  EXPECT_EQ(store.intent(bgp::Community(1299, 35130)), Intent::kInformation);
+  EXPECT_EQ(store.intent(bgp::Community(1299, 430)), Intent::kInformation);
+  EXPECT_EQ(store.intent(bgp::Community(1299, 666)), Intent::kAction);
+  EXPECT_EQ(store.intent(bgp::Community(1299, 50)), Intent::kAction);
+}
+
+TEST(BuiltinDictionary, ArelionPrependVersusNoExport) {
+  const DictionaryStore store = builtin_dictionary();
+  const auto* prepend = store.lookup(bgp::Community(1299, 2561));
+  ASSERT_NE(prepend, nullptr);
+  EXPECT_EQ(prepend->category, Category::kPrepend);
+  const auto* noexp = store.lookup(bgp::Community(1299, 2569));
+  ASSERT_NE(noexp, nullptr);
+  EXPECT_EQ(noexp->category, Category::kSuppressToAs);
+}
+
+}  // namespace
+}  // namespace bgpintent::dict

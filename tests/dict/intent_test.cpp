@@ -1,0 +1,76 @@
+#include "dict/intent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::dict {
+namespace {
+
+TEST(Intent, EveryCategoryHasACoarseIntent) {
+  for (int raw = 0; raw <= static_cast<int>(Category::kOtherInfo); ++raw) {
+    const auto category = static_cast<Category>(raw);
+    const Intent intent = intent_of(category);
+    EXPECT_TRUE(intent == Intent::kAction || intent == Intent::kInformation)
+        << "category " << raw;
+  }
+}
+
+TEST(Intent, ActionCategories) {
+  EXPECT_EQ(intent_of(Category::kNoExport), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kNoPeer), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kSuppressToAs), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kSuppressInLocation), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kBlackhole), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kGracefulShutdown), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kSetLocalPref), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kPrepend), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kAnnounceToAs), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kAnnounceInLocation), Intent::kAction);
+  EXPECT_EQ(intent_of(Category::kOtherAction), Intent::kAction);
+}
+
+TEST(Intent, InformationCategories) {
+  EXPECT_EQ(intent_of(Category::kLocationCity), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kLocationCountry), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kLocationRegion), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kRovStatus), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kRelationship), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kInterface), Intent::kInformation);
+  EXPECT_EQ(intent_of(Category::kOtherInfo), Intent::kInformation);
+}
+
+TEST(Intent, LocationCategories) {
+  EXPECT_TRUE(is_location_category(Category::kLocationCity));
+  EXPECT_TRUE(is_location_category(Category::kLocationCountry));
+  EXPECT_TRUE(is_location_category(Category::kLocationRegion));
+  EXPECT_FALSE(is_location_category(Category::kRovStatus));
+  EXPECT_FALSE(is_location_category(Category::kSuppressInLocation));
+}
+
+TEST(Intent, CategoryStringRoundTrip) {
+  for (int raw = 0; raw <= static_cast<int>(Category::kOtherInfo); ++raw) {
+    const auto category = static_cast<Category>(raw);
+    const auto name = to_string(category);
+    ASSERT_NE(name, "?") << raw;
+    const auto parsed = parse_category(name);
+    ASSERT_TRUE(parsed) << name;
+    EXPECT_EQ(*parsed, category);
+  }
+}
+
+TEST(Intent, IntentStringRoundTrip) {
+  for (Intent intent :
+       {Intent::kAction, Intent::kInformation, Intent::kUnclassified}) {
+    const auto parsed = parse_intent(to_string(intent));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, intent);
+  }
+}
+
+TEST(Intent, ParseRejectsUnknownTokens) {
+  EXPECT_FALSE(parse_category("bogus"));
+  EXPECT_FALSE(parse_category(""));
+  EXPECT_FALSE(parse_intent("maybe"));
+}
+
+}  // namespace
+}  // namespace bgpintent::dict

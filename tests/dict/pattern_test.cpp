@@ -1,0 +1,176 @@
+#include "dict/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::dict {
+namespace {
+
+using util::ParseError;
+
+TEST(BetaPattern, LiteralMatchesExactly) {
+  const auto p = BetaPattern::compile("2569");
+  EXPECT_TRUE(p.matches(2569));
+  EXPECT_FALSE(p.matches(2568));
+  EXPECT_FALSE(p.matches(25690));
+  EXPECT_FALSE(p.matches(569));
+}
+
+TEST(BetaPattern, WildcardDigit) {
+  const auto p = BetaPattern::compile("\\d\\d");
+  EXPECT_TRUE(p.matches(10));
+  EXPECT_TRUE(p.matches(99));
+  EXPECT_FALSE(p.matches(9));    // renders as one digit
+  EXPECT_FALSE(p.matches(100));  // three digits
+}
+
+TEST(BetaPattern, PaperArelionExportPattern) {
+  // 1299:[257]\d\d[1239] from §4 of the paper.
+  const auto p = BetaPattern::compile("[257]\\d\\d[1239]");
+  EXPECT_TRUE(p.matches(2569));  // do not export to Level3 in Europe
+  EXPECT_TRUE(p.matches(2561));  // prepend once to Level3 in Europe
+  EXPECT_TRUE(p.matches(5541));  // Orange, North America
+  EXPECT_TRUE(p.matches(7693));  // GTT, Asia Pacific
+  EXPECT_FALSE(p.matches(2564));  // 4 not in final class
+  EXPECT_FALSE(p.matches(3569));  // 3 not in leading class
+  EXPECT_FALSE(p.matches(256));   // too short
+}
+
+TEST(BetaPattern, DigitClassWithRange) {
+  const auto p = BetaPattern::compile("[1-3]5");
+  EXPECT_TRUE(p.matches(15));
+  EXPECT_TRUE(p.matches(25));
+  EXPECT_TRUE(p.matches(35));
+  EXPECT_FALSE(p.matches(45));
+  EXPECT_FALSE(p.matches(55));
+}
+
+TEST(BetaPattern, MixedClassListAndRange) {
+  const auto p = BetaPattern::compile("[0-24]");
+  EXPECT_TRUE(p.matches(0));
+  EXPECT_TRUE(p.matches(1));
+  EXPECT_TRUE(p.matches(2));
+  EXPECT_FALSE(p.matches(3));
+  EXPECT_TRUE(p.matches(4));
+}
+
+TEST(BetaPattern, NumericRangeForm) {
+  const auto p = BetaPattern::compile("2000-7999");
+  EXPECT_FALSE(p.matches(1999));
+  EXPECT_TRUE(p.matches(2000));
+  EXPECT_TRUE(p.matches(5000));
+  EXPECT_TRUE(p.matches(7999));
+  EXPECT_FALSE(p.matches(8000));
+}
+
+TEST(BetaPattern, SingleValueRange) {
+  const auto p = BetaPattern::compile("430-431");
+  EXPECT_TRUE(p.matches(430));
+  EXPECT_TRUE(p.matches(431));
+  EXPECT_FALSE(p.matches(432));
+}
+
+TEST(BetaPattern, ZeroMatchesOnlyZero) {
+  const auto p = BetaPattern::compile("0");
+  EXPECT_TRUE(p.matches(0));
+  EXPECT_FALSE(p.matches(10));
+}
+
+TEST(BetaPattern, LeadingZeroPositionsNeverMatchLongValues) {
+  // "0\d" would require a rendering "0x" which never occurs.
+  const auto p = BetaPattern::compile("0\\d");
+  for (std::uint32_t beta = 0; beta <= 0xffff; ++beta)
+    EXPECT_FALSE(p.matches(static_cast<std::uint16_t>(beta))) << beta;
+}
+
+TEST(BetaPattern, CompileErrors) {
+  EXPECT_THROW(BetaPattern::compile(""), ParseError);
+  EXPECT_THROW(BetaPattern::compile("[12"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("[]"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("[ab]"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("\\x"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("12x"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("\\d\\d\\d\\d\\d\\d"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("[3-1]"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("70000-70001"), ParseError);
+  EXPECT_THROW(BetaPattern::compile("500-100"), ParseError);
+}
+
+TEST(BetaPattern, BoundsDigitForm) {
+  const auto p = BetaPattern::compile("[257]\\d\\d[1239]");
+  const auto [lo, hi] = p.bounds();
+  EXPECT_EQ(lo, 2001);
+  EXPECT_EQ(hi, 7999);
+}
+
+TEST(BetaPattern, BoundsRangeForm) {
+  const auto p = BetaPattern::compile("430-431");
+  const auto [lo, hi] = p.bounds();
+  EXPECT_EQ(lo, 430);
+  EXPECT_EQ(hi, 431);
+}
+
+TEST(BetaPattern, EnumerateRange) {
+  const auto values = BetaPattern::compile("100-103").enumerate();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values.front(), 100);
+  EXPECT_EQ(values.back(), 103);
+}
+
+TEST(BetaPattern, EnumerateDigitForm) {
+  const auto values = BetaPattern::compile("[12]5").enumerate();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 15);
+  EXPECT_EQ(values[1], 25);
+}
+
+TEST(BetaPattern, EnumerateMatchesMatches) {
+  const auto p = BetaPattern::compile("[257]0[05]");
+  for (std::uint16_t v : p.enumerate()) EXPECT_TRUE(p.matches(v));
+  EXPECT_EQ(p.enumerate().size(), 6u);
+}
+
+TEST(CommunityPattern, MatchRequiresAlpha) {
+  const auto p = CommunityPattern::compile("1299:2569");
+  EXPECT_TRUE(p.matches(bgp::Community(1299, 2569)));
+  EXPECT_FALSE(p.matches(bgp::Community(3356, 2569)));
+}
+
+TEST(CommunityPattern, CompileErrors) {
+  EXPECT_THROW(CommunityPattern::compile("2569"), ParseError);
+  EXPECT_THROW(CommunityPattern::compile("70000:1"), ParseError);
+  EXPECT_THROW(CommunityPattern::compile("x:1"), ParseError);
+}
+
+TEST(CommunityPattern, CompileAcceptsPatternAfterColon) {
+  const auto p = CommunityPattern::compile("1299:[257]\\d\\d[1239]");
+  EXPECT_EQ(p.alpha(), 1299);
+  EXPECT_TRUE(p.matches(bgp::Community(1299, 2569)));
+}
+
+TEST(CommunityPattern, Enumerate) {
+  const auto p = CommunityPattern::compile("701:10-12");
+  const auto all = p.enumerate();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], bgp::Community(701, 10));
+  EXPECT_EQ(all[2], bgp::Community(701, 12));
+}
+
+TEST(CommunityPattern, ToString) {
+  EXPECT_EQ(CommunityPattern::compile("1299:430-431").to_string(),
+            "1299:430-431");
+  EXPECT_EQ(CommunityPattern::compile("1299:[257]\\d\\d9").to_string(),
+            "1299:[257]\\d\\d9");
+}
+
+TEST(CommunityPattern, FromParts) {
+  const auto p = CommunityPattern::from_parts(
+      3356, BetaPattern::compile("2\\d\\d\\d"));
+  EXPECT_EQ(p.alpha(), 3356);
+  EXPECT_TRUE(p.matches(bgp::Community(3356, 2500)));
+  EXPECT_FALSE(p.matches(bgp::Community(3356, 500)));
+}
+
+}  // namespace
+}  // namespace bgpintent::dict

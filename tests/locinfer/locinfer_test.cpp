@@ -1,0 +1,188 @@
+#include "locinfer/locinfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "routing/scenario.hpp"
+
+namespace bgpintent::locinfer {
+namespace {
+
+bgp::RibEntry entry(std::uint32_t vp, std::vector<bgp::Asn> path,
+                    std::vector<Community> communities) {
+  bgp::RibEntry e;
+  e.vantage_point.asn = vp;
+  e.vantage_point.address = vp;
+  e.route.prefix = *bgp::Prefix::parse("10.0.0.0/24");
+  e.route.path = bgp::AsPath(std::move(path));
+  e.route.communities = std::move(communities);
+  return e;
+}
+
+const LocationInference* find(const std::vector<LocationInference>& all,
+                              Community c) {
+  for (const auto& inference : all)
+    if (inference.community == c) return &inference;
+  return nullptr;
+}
+
+TEST(InferLocations, ConcentratedIngressIsLocation) {
+  // Geo tag 100:20000 always enters AS 100 via neighbor 201; AS 100 has
+  // many other successors (via other communities' routes).
+  std::vector<bgp::RibEntry> entries;
+  const Community geo(100, 20000);
+  const Community broad(100, 45000);
+  for (bgp::Asn origin = 201; origin <= 208; ++origin)
+    entries.push_back(
+        entry(60000 + origin, {60000, 100, origin}, {broad}));
+  entries.push_back(entry(61001, {61001, 100, 201}, {geo, broad}));
+  entries.push_back(entry(61002, {61002, 100, 201, 301}, {geo, broad}));
+
+  const auto inferences = infer_locations(entries);
+  const auto* geo_result = find(inferences, geo);
+  ASSERT_NE(geo_result, nullptr);
+  EXPECT_TRUE(geo_result->inferred_location);
+  EXPECT_EQ(geo_result->distinct_successors, 1u);
+  const auto* broad_result = find(inferences, broad);
+  ASSERT_NE(broad_result, nullptr);
+  EXPECT_FALSE(broad_result->inferred_location);
+  EXPECT_EQ(broad_result->distinct_successors, 8u);
+}
+
+TEST(InferLocations, MinSupportRespected) {
+  std::vector<bgp::RibEntry> entries;
+  const Community geo(100, 20000);
+  // Give alpha plenty of successors so the fraction test could pass.
+  for (bgp::Asn origin = 201; origin <= 208; ++origin)
+    entries.push_back(entry(60000 + origin, {60000, 100, origin},
+                            {Community(100, 45000)}));
+  entries.push_back(entry(61001, {61001, 100, 201}, {geo}));  // support 1
+  const auto inferences = infer_locations(entries);
+  EXPECT_FALSE(find(inferences, geo)->inferred_location);
+}
+
+TEST(InferLocations, OffPathCommunitiesIgnored) {
+  std::vector<bgp::RibEntry> entries;
+  const Community c(999, 2569);  // 999 never on path
+  entries.push_back(entry(61001, {61001, 100, 201}, {c}));
+  entries.push_back(entry(61002, {61002, 100, 202}, {c}));
+  const auto inferences = infer_locations(entries);
+  EXPECT_EQ(find(inferences, c), nullptr);
+}
+
+TEST(InferLocations, TrafficEngineeringFalsePositive) {
+  // A TE action community attached by a single customer of AS 100 looks
+  // exactly like a location tag to the baseline — the published failure
+  // mode this experiment is about.
+  std::vector<bgp::RibEntry> entries;
+  const Community te(100, 2569);
+  for (bgp::Asn origin = 201; origin <= 208; ++origin)
+    entries.push_back(entry(60000 + origin, {60000, 100, origin},
+                            {Community(100, 45000)}));
+  entries.push_back(entry(61001, {61001, 100, 205}, {te}));
+  entries.push_back(entry(61002, {61002, 100, 205}, {te}));
+  const auto inferences = infer_locations(entries);
+  ASSERT_NE(find(inferences, te), nullptr);
+  EXPECT_TRUE(find(inferences, te)->inferred_location);
+}
+
+TEST(Table1Class, CategoryMapping) {
+  EXPECT_EQ(table1_class(dict::Category::kLocationCity),
+            Table1Class::kGeolocation);
+  EXPECT_EQ(table1_class(dict::Category::kLocationRegion),
+            Table1Class::kGeolocation);
+  EXPECT_EQ(table1_class(dict::Category::kPrepend),
+            Table1Class::kTrafficEngineering);
+  EXPECT_EQ(table1_class(dict::Category::kSuppressToAs),
+            Table1Class::kTrafficEngineering);
+  EXPECT_EQ(table1_class(dict::Category::kBlackhole),
+            Table1Class::kTrafficEngineering);
+  EXPECT_EQ(table1_class(dict::Category::kRelationship),
+            Table1Class::kRouteType);
+  EXPECT_EQ(table1_class(dict::Category::kRovStatus), Table1Class::kInternal);
+  EXPECT_EQ(table1_class(dict::Category::kInterface), Table1Class::kInternal);
+}
+
+TEST(Table1, FilterRemovesActionFalsePositives) {
+  // Hand-built inferences + labels: 2 geo (info), 2 TE (action), 1 route
+  // type (info).
+  std::vector<LocationInference> inferences;
+  auto add = [&inferences](Community c) {
+    LocationInference inference;
+    inference.community = c;
+    inference.support = 5;
+    inference.distinct_successors = 1;
+    inference.inferred_location = true;
+    inferences.push_back(inference);
+  };
+  add(Community(100, 20000));
+  add(Community(100, 20001));
+  add(Community(100, 2569));
+  add(Community(100, 2579));
+  add(Community(100, 45000));
+
+  dict::DictionaryStore truth;
+  auto& d = truth.dictionary_for(100);
+  d.add(dict::CommunityPattern::compile("100:20000-20010"),
+        dict::Category::kLocationCity, "");
+  d.add(dict::CommunityPattern::compile("100:2\\d\\d9"),
+        dict::Category::kSuppressToAs, "");
+  d.add(dict::CommunityPattern::compile("100:45000-45003"),
+        dict::Category::kRelationship, "");
+
+  core::InferenceResult intent;
+  intent.labels[Community(100, 2569)] = dict::Intent::kAction;
+  intent.labels[Community(100, 2579)] = dict::Intent::kAction;
+  intent.labels[Community(100, 20000)] = dict::Intent::kInformation;
+
+  const auto result = table1_comparison(inferences, truth, intent);
+  EXPECT_EQ(result.total_before, 5u);
+  EXPECT_EQ(result.total_after, 3u);
+  EXPECT_EQ(result.row(Table1Class::kGeolocation)->before, 2u);
+  EXPECT_EQ(result.row(Table1Class::kGeolocation)->after, 2u);
+  EXPECT_EQ(result.row(Table1Class::kTrafficEngineering)->before, 2u);
+  EXPECT_EQ(result.row(Table1Class::kTrafficEngineering)->after, 0u);
+  EXPECT_EQ(result.row(Table1Class::kRouteType)->before, 1u);
+  EXPECT_DOUBLE_EQ(result.precision_before, 0.4);
+  EXPECT_NEAR(result.precision_after, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Table1, UnlabeledInferencesIgnored) {
+  std::vector<LocationInference> inferences;
+  LocationInference inference;
+  inference.community = Community(100, 777);
+  inference.inferred_location = true;
+  inferences.push_back(inference);
+  const auto result =
+      table1_comparison(inferences, dict::DictionaryStore{}, {});
+  EXPECT_EQ(result.total_before, 0u);
+}
+
+// End-to-end: on a full scenario, filtering with the intent classifier
+// must improve location precision (the Table 1 headline).
+TEST(Table1, EndToEndPrecisionImproves) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 51;
+  cfg.topology.tier1_count = 6;
+  cfg.topology.tier2_count = 40;
+  cfg.topology.stub_count = 250;
+  cfg.vantage_point_count = 40;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  core::Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto intent = pipeline.run(entries);
+
+  const auto inferences = infer_locations(entries);
+  const auto result =
+      table1_comparison(inferences, scenario.ground_truth(), intent.inference);
+  ASSERT_GT(result.total_before, 20u);
+  const auto* te = result.row(Table1Class::kTrafficEngineering);
+  EXPECT_GT(te->before, 0u) << "baseline should produce TE false positives";
+  EXPECT_LT(te->after, te->before);
+  EXPECT_GT(result.precision_after, result.precision_before);
+}
+
+}  // namespace
+}  // namespace bgpintent::locinfer

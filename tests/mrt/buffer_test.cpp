@@ -1,0 +1,116 @@
+#include "mrt/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::mrt {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.put_u8(0x01);
+  w.put_u16(0x0203);
+  w.put_u32(0x04050607);
+  w.put_u64(0x08090a0b0c0d0e0fULL);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+  EXPECT_EQ(b[6], 0x07);
+  EXPECT_EQ(b[7], 0x08);
+  EXPECT_EQ(b[14], 0x0f);
+}
+
+TEST(ByteWriter, PutBytes) {
+  ByteWriter w;
+  const std::uint8_t data[] = {1, 2, 3};
+  w.put_bytes(data);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.bytes()[2], 3);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.put_u16(0);
+  w.put_u8(42);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(w.bytes()[0], 0xbe);
+  EXPECT_EQ(w.bytes()[1], 0xef);
+  EXPECT_EQ(w.bytes()[2], 42);
+  EXPECT_THROW(w.patch_u16(2, 1), MrtError);
+}
+
+TEST(ByteWriter, PatchU32) {
+  ByteWriter w;
+  w.put_u32(0);
+  w.patch_u32(0, 0xdeadbeef);
+  EXPECT_EQ(w.bytes()[0], 0xde);
+  EXPECT_EQ(w.bytes()[3], 0xef);
+  EXPECT_THROW(w.patch_u32(1, 1), MrtError);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.put_u8(7);
+  auto taken = w.take();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+TEST(ByteReader, RoundTripThroughWriter) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x1122334455667788ULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x1122334455667788ULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_EQ(r.get_u16(), 0x0102);
+  EXPECT_THROW((void)r.get_u16(), MrtError);
+  // Failed read consumes nothing.
+  EXPECT_EQ(r.get_u8(), 3);
+}
+
+TEST(ByteReader, GetBytesAndSkip) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(1);
+  const auto view = r.get_bytes(2);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 2);
+  EXPECT_EQ(view[1], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_THROW(r.skip(3), MrtError);
+}
+
+TEST(ByteReader, SubReaderIsBounded) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data);
+  ByteReader sub = r.sub_reader(2);
+  EXPECT_EQ(sub.get_u8(), 1);
+  EXPECT_EQ(sub.get_u8(), 2);
+  EXPECT_THROW((void)sub.get_u8(), MrtError);
+  // Parent advanced past the sub-range.
+  EXPECT_EQ(r.get_u8(), 3);
+}
+
+TEST(ByteReader, PositionTracking) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_EQ(r.position(), 0u);
+  (void)r.get_u16();
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpintent::mrt

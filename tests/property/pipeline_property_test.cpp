@@ -1,0 +1,135 @@
+// Property tests over randomized scenarios: invariants that must hold for
+// every seed, not just the calibrated default.
+#include <gtest/gtest.h>
+
+#include "bgp/asn.hpp"
+#include "core/pipeline.hpp"
+#include "core/summarize.hpp"
+#include "routing/scenario.hpp"
+
+namespace bgpintent::core {
+namespace {
+
+routing::ScenarioConfig config_for_seed(std::uint64_t seed) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = seed;
+  cfg.policy.seed = seed * 3 + 1;
+  cfg.workload_seed = seed * 7 + 2;
+  cfg.topology.tier1_count = static_cast<std::uint32_t>(4 + seed % 4);
+  cfg.topology.tier2_count = static_cast<std::uint32_t>(16 + seed % 9);
+  cfg.topology.stub_count = static_cast<std::uint32_t>(80 + (seed % 5) * 20);
+  cfg.vantage_point_count = static_cast<std::uint32_t>(20 + (seed % 3) * 10);
+  return cfg;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(PipelineProperty, DeterministicEndToEnd) {
+  const auto cfg = config_for_seed(GetParam());
+  const auto a = routing::Scenario::build(cfg);
+  const auto b = routing::Scenario::build(cfg);
+  Pipeline pipeline;
+  const auto ra = pipeline.run(a.entries());
+  const auto rb = pipeline.run(b.entries());
+  EXPECT_EQ(ra.inference.labels, rb.inference.labels);
+  EXPECT_EQ(ra.inference.clusters.size(), rb.inference.clusters.size());
+}
+
+TEST_P(PipelineProperty, EveryEligibleCommunityGetsExactlyOneLabel) {
+  const auto scenario = routing::Scenario::build(config_for_seed(GetParam()));
+  Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(scenario.entries());
+  std::size_t eligible = 0;
+  for (const auto& stats : result.observations.all()) {
+    const auto alpha = stats.community.alpha();
+    const bool excluded = !bgp::is_public_asn16(alpha) ||
+                          !result.observations.alpha_on_any_path(alpha);
+    const Intent label = result.inference.label_of(stats.community);
+    if (excluded) {
+      EXPECT_EQ(label, Intent::kUnclassified) << stats.community.to_string();
+    } else {
+      ++eligible;
+      EXPECT_NE(label, Intent::kUnclassified) << stats.community.to_string();
+    }
+  }
+  EXPECT_EQ(eligible, result.inference.classified_count());
+  EXPECT_EQ(result.inference.information_count +
+                result.inference.action_count,
+            result.inference.labels.size());
+}
+
+TEST_P(PipelineProperty, ClustersPartitionLabeledCommunities) {
+  const auto scenario = routing::Scenario::build(config_for_seed(GetParam()));
+  Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(scenario.entries());
+  std::size_t member_total = 0;
+  for (const auto& cluster : result.inference.clusters) {
+    member_total += cluster.cluster.size();
+    // Cluster betas are sorted and within the gap bound.
+    for (std::size_t i = 1; i < cluster.cluster.betas.size(); ++i) {
+      EXPECT_LT(cluster.cluster.betas[i - 1], cluster.cluster.betas[i]);
+      EXPECT_LE(cluster.cluster.betas[i] - cluster.cluster.betas[i - 1],
+                pipeline.config().classifier.min_gap);
+    }
+    // Every member carries the cluster's label.
+    for (const std::uint16_t beta : cluster.cluster.betas)
+      EXPECT_EQ(result.inference.label_of(
+                    Community(cluster.cluster.alpha, beta)),
+                cluster.intent);
+  }
+  EXPECT_EQ(member_total, result.inference.labels.size());
+}
+
+TEST_P(PipelineProperty, AccuracyFloorAcrossSeeds) {
+  const auto scenario = routing::Scenario::build(config_for_seed(GetParam()));
+  Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(scenario.entries());
+  const auto eval = result.score(scenario.ground_truth());
+  if (eval.classified < 50) GTEST_SKIP() << "too few labeled communities";
+  EXPECT_GT(eval.accuracy(), 0.75)
+      << "seed " << GetParam() << ": " << eval.correct << "/"
+      << eval.classified;
+}
+
+TEST_P(PipelineProperty, SummaryDictionaryReproducesLabels) {
+  const auto scenario = routing::Scenario::build(config_for_seed(GetParam()));
+  Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(scenario.entries());
+  const auto inferred =
+      to_dictionary(summarize(result.observations, result.inference));
+  // Looking any observed labeled community up in the summarized dictionary
+  // must return its inferred coarse intent.
+  for (const auto& stats : result.observations.all()) {
+    const Intent label = result.inference.label_of(stats.community);
+    if (label == Intent::kUnclassified) continue;
+    const auto from_dict = inferred.intent(stats.community);
+    ASSERT_TRUE(from_dict) << stats.community.to_string();
+    EXPECT_EQ(*from_dict, label) << stats.community.to_string();
+  }
+}
+
+TEST_P(PipelineProperty, GapZeroRefinesClusters) {
+  const auto scenario = routing::Scenario::build(config_for_seed(GetParam()));
+  PipelineConfig fine;
+  fine.classifier.min_gap = 0;
+  Pipeline fine_pipeline(fine);
+  Pipeline coarse_pipeline;  // default gap 140
+  const auto entries = scenario.entries();
+  const auto fine_result = fine_pipeline.run(entries);
+  const auto coarse_result = coarse_pipeline.run(entries);
+  // Same communities classified; only the clustering differs.
+  EXPECT_EQ(fine_result.inference.labels.size(),
+            coarse_result.inference.labels.size());
+  EXPECT_GE(fine_result.inference.clusters.size(),
+            coarse_result.inference.clusters.size());
+}
+
+}  // namespace
+}  // namespace bgpintent::core

@@ -1,0 +1,121 @@
+#include "rel/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::rel {
+namespace {
+
+TEST(RelationshipDataset, P2cPerspectives) {
+  RelationshipDataset d;
+  d.set_p2c(1299, 64496);
+  EXPECT_EQ(d.relationship(1299, 64496), RelFrom::kCustomer);
+  EXPECT_EQ(d.relationship(64496, 1299), RelFrom::kProvider);
+  EXPECT_FALSE(d.relationship(1299, 7018));
+}
+
+TEST(RelationshipDataset, P2cWithProviderHavingLargerAsn) {
+  RelationshipDataset d;
+  d.set_p2c(64496, 1299);  // provider has the larger ASN
+  EXPECT_EQ(d.relationship(64496, 1299), RelFrom::kCustomer);
+  EXPECT_EQ(d.relationship(1299, 64496), RelFrom::kProvider);
+}
+
+TEST(RelationshipDataset, P2p) {
+  RelationshipDataset d;
+  d.set_p2p(1299, 3356);
+  EXPECT_EQ(d.relationship(1299, 3356), RelFrom::kPeer);
+  EXPECT_EQ(d.relationship(3356, 1299), RelFrom::kPeer);
+}
+
+TEST(RelationshipDataset, OverwriteChangesType) {
+  RelationshipDataset d;
+  d.set_p2c(1, 2);
+  d.set_p2p(1, 2);
+  EXPECT_EQ(d.relationship(1, 2), RelFrom::kPeer);
+  EXPECT_EQ(d.link_count(), 1u);
+  d.set_p2c(2, 1);
+  EXPECT_EQ(d.relationship(1, 2), RelFrom::kProvider);
+}
+
+TEST(RelationshipDataset, Counts) {
+  RelationshipDataset d;
+  d.set_p2c(1, 2);
+  d.set_p2c(1, 3);
+  d.set_p2p(2, 3);
+  EXPECT_EQ(d.link_count(), 3u);
+  EXPECT_EQ(d.p2c_count(), 2u);
+  EXPECT_EQ(d.p2p_count(), 1u);
+}
+
+TEST(RelationshipDataset, AllLinksOrientedAndSorted) {
+  RelationshipDataset d;
+  d.set_p2c(9, 2);
+  d.set_p2p(5, 4);
+  const auto links = d.all_links();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].a, 4u);  // p2p reported lo-hi
+  EXPECT_EQ(links[0].b, 5u);
+  EXPECT_FALSE(links[0].p2c);
+  EXPECT_EQ(links[1].a, 9u);  // provider first
+  EXPECT_EQ(links[1].b, 2u);
+  EXPECT_TRUE(links[1].p2c);
+}
+
+TEST(RelationshipDataset, SerialOneRoundTrip) {
+  RelationshipDataset d;
+  d.set_p2c(1299, 64496);
+  d.set_p2p(1299, 3356);
+  std::ostringstream out;
+  d.save(out);
+  RelationshipDataset loaded;
+  std::istringstream in(out.str());
+  loaded.load(in);
+  EXPECT_EQ(loaded.link_count(), 2u);
+  EXPECT_EQ(loaded.relationship(64496, 1299), RelFrom::kProvider);
+  EXPECT_EQ(loaded.relationship(1299, 3356), RelFrom::kPeer);
+}
+
+TEST(RelationshipDataset, LoadRealWorldishFormat) {
+  RelationshipDataset d;
+  std::istringstream in(
+      "# source: CAIDA serial-1\n"
+      "1|11537|0\n"
+      "1299|2914|0\n"
+      "3356|31133|-1\n");
+  d.load(in);
+  EXPECT_EQ(d.relationship(3356, 31133), RelFrom::kCustomer);
+  EXPECT_EQ(d.relationship(1299, 2914), RelFrom::kPeer);
+}
+
+TEST(RelationshipDataset, LoadRejectsMalformed) {
+  for (const char* bad : {"1|2\n", "x|2|0\n", "1|2|7\n", "1|2|\n"}) {
+    RelationshipDataset d;
+    std::istringstream in(bad);
+    EXPECT_THROW(d.load(in), util::ParseError) << bad;
+  }
+}
+
+TEST(RelationshipDataset, AgreementWith) {
+  RelationshipDataset truth;
+  truth.set_p2c(1, 2);
+  truth.set_p2p(2, 3);
+  truth.set_p2c(3, 4);
+
+  RelationshipDataset inferred;
+  inferred.set_p2c(1, 2);   // correct
+  inferred.set_p2c(2, 3);   // wrong type
+  inferred.set_p2p(9, 10);  // unknown to truth; ignored
+  EXPECT_DOUBLE_EQ(inferred.agreement_with(truth), 0.5);
+}
+
+TEST(RelationshipDataset, AgreementEmptyIsZero) {
+  RelationshipDataset a, b;
+  EXPECT_DOUBLE_EQ(a.agreement_with(b), 0.0);
+}
+
+}  // namespace
+}  // namespace bgpintent::rel

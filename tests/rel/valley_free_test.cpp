@@ -1,0 +1,150 @@
+#include "rel/valley_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/scenario.hpp"
+
+namespace bgpintent::rel {
+namespace {
+
+bgp::AsPath path(std::vector<bgp::Asn> asns) {
+  return bgp::AsPath(std::move(asns));
+}
+
+/// Hierarchy: 1 and 2 are tier-1 peers; 1 provides 10, 2 provides 20;
+/// 10 provides 100, 20 provides 200; 10 and 20 also peer directly.
+RelationshipDataset dataset() {
+  RelationshipDataset d;
+  d.set_p2p(1, 2);
+  d.set_p2c(1, 10);
+  d.set_p2c(2, 20);
+  d.set_p2c(10, 100);
+  d.set_p2c(20, 200);
+  d.set_p2p(10, 20);
+  return d;
+}
+
+TEST(ValleyFree, PureUphillIsValid) {
+  // Collector at tier-1 1, origin at 100: path 1 10 100.
+  EXPECT_EQ(check_valley_free(path({1, 10, 100}), dataset()),
+            PathVerdict::kValleyFree);
+}
+
+TEST(ValleyFree, PureDownhillIsValid) {
+  // Collector at stub 100 hearing its provider's route: 100 10 1.
+  EXPECT_EQ(check_valley_free(path({100, 10, 1}), dataset()),
+            PathVerdict::kValleyFree);
+}
+
+TEST(ValleyFree, UpPeerDownIsValid) {
+  // 200 -> 20 (up), 20 -> 10 (peer), 10 -> 100: read collector-first.
+  EXPECT_EQ(check_valley_free(path({100, 10, 20, 200}), dataset()),
+            PathVerdict::kValleyFree);
+}
+
+TEST(ValleyFree, UpOverTier1PeakIsValid) {
+  // Origin 200 climbs 20 -> 2, crosses the tier-1 peering 2 -> 1, descends
+  // 1 -> 10 -> 100.  Collector-first: 100 10 1 2 20 200.
+  EXPECT_EQ(check_valley_free(path({100, 10, 1, 2, 20, 200}), dataset()),
+            PathVerdict::kValleyFree);
+}
+
+TEST(ValleyFree, LeakIsValley) {
+  // 10 learns from provider 1 and leaks to peer 20: origin-side read:
+  // 1 -> 10 is down (10 is 1's customer), then 10 -> 20 is peer after
+  // descent -> valley.  Collector-first: 20 10 1.
+  EXPECT_EQ(check_valley_free(path({20, 10, 1}), dataset()),
+            PathVerdict::kValley);
+}
+
+TEST(ValleyFree, CustomerLeaksProviderRouteUpward) {
+  // 100 learns from provider 10, re-exports to ... nothing else in the
+  // dataset; emulate with 100 between two providers: add 20 as provider.
+  RelationshipDataset d = dataset();
+  d.set_p2c(20, 100);
+  // Origin 1 -> 10 (down to customer 10? no: 10 is customer of 1):
+  // path collector-first: 20 100 10 1: 1->10 down, 10->100 down,
+  // 100->20 up after descent -> valley.
+  EXPECT_EQ(check_valley_free(path({20, 100, 10, 1}), d),
+            PathVerdict::kValley);
+}
+
+TEST(ValleyFree, TwoPeerEdgesIsMultiplePeaks) {
+  RelationshipDataset d;
+  d.set_p2p(1, 2);
+  d.set_p2p(2, 3);
+  EXPECT_EQ(check_valley_free(path({1, 2, 3}), d),
+            PathVerdict::kMultiplePeaks);
+}
+
+TEST(ValleyFree, UnknownLinkReported) {
+  EXPECT_EQ(check_valley_free(path({1, 99}), dataset()),
+            PathVerdict::kUnknownLink);
+}
+
+TEST(ValleyFree, TrivialPaths) {
+  EXPECT_EQ(check_valley_free(path({}), dataset()), PathVerdict::kTrivial);
+  EXPECT_EQ(check_valley_free(path({1}), dataset()), PathVerdict::kTrivial);
+  // Prepends collapse to a single AS.
+  EXPECT_EQ(check_valley_free(path({1, 1, 1}), dataset()),
+            PathVerdict::kTrivial);
+}
+
+TEST(ValleyFree, SiblingEdgesAreNeutral) {
+  RelationshipDataset d = dataset();
+  // The dataset format has no sibling type, but the checker must tolerate
+  // datasets loaded from richer sources; p2p-after-sibling etc. is covered
+  // by the simulator test below.
+  EXPECT_EQ(check_valley_free(path({1, 10, 100}), d),
+            PathVerdict::kValleyFree);
+}
+
+TEST(ValleyFree, ReportAggregates) {
+  const std::vector<bgp::AsPath> paths{
+      path({1, 10, 100}),   // valley-free
+      path({20, 10, 1}),    // valley
+      path({1, 99}),        // unknown
+      path({1}),            // trivial
+  };
+  const auto report = check_paths(paths, dataset());
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.valley_free, 1u);
+  EXPECT_EQ(report.valleys, 1u);
+  EXPECT_EQ(report.unknown_links, 1u);
+  EXPECT_EQ(report.trivial, 1u);
+  EXPECT_DOUBLE_EQ(report.valley_free_fraction(), 0.5);
+}
+
+// Structural invariant of the whole substrate: every path the simulator
+// produces must be valley-free under the generator's true relationships.
+TEST(ValleyFree, SimulatedPathsAreValleyFreeUnderTruth) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 61;
+  cfg.topology.tier1_count = 5;
+  cfg.topology.tier2_count = 25;
+  cfg.topology.stub_count = 120;
+  cfg.vantage_point_count = 25;
+  const auto scenario = routing::Scenario::build(cfg);
+
+  RelationshipDataset truth;
+  for (const auto& edge : scenario.topology().graph.all_edges()) {
+    if (edge.rel == topo::Relationship::kP2C)
+      truth.set_p2c(edge.a, edge.b);
+    else if (edge.rel == topo::Relationship::kP2P)
+      truth.set_p2p(edge.a, edge.b);
+    // kS2S: deliberately omitted; the serial-1 model has no sibling type.
+  }
+
+  std::vector<bgp::AsPath> paths;
+  for (const auto& entry : scenario.entries())
+    paths.push_back(entry.route.path);
+  const auto report = check_paths(paths, truth);
+  ASSERT_GT(report.total, 1000u);
+  EXPECT_EQ(report.valleys, 0u);
+  EXPECT_EQ(report.multiple_peaks, 0u);
+  // Sibling edges surface as unknown links; everything judged is clean.
+  EXPECT_DOUBLE_EQ(report.valley_free_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace bgpintent::rel

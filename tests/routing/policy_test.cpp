@@ -1,0 +1,191 @@
+#include "routing/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.hpp"
+
+namespace bgpintent::routing {
+namespace {
+
+topo::Topology small_topo(std::uint64_t seed = 5) {
+  topo::TopologyConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 4;
+  cfg.tier2_count = 16;
+  cfg.stub_count = 40;
+  return topo::generate_topology(cfg);
+}
+
+TEST(CommunityPolicy, GeoCommunityEncodesLocation) {
+  CommunityPolicy p;
+  p.asn = 1299;
+  p.geo_base = 20000;
+  p.geo_block_width = 20;
+  const auto a = p.geo_community(topo::Location{0, 0}, 0, 6);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, Community(1299, 20000));
+  const auto b = p.geo_community(topo::Location{1, 2}, 5, 6);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->beta(), 20000 + (1 * 6 + 2) * 20 + 5);
+  // Ports wrap within the block.
+  const auto c = p.geo_community(topo::Location{0, 0}, 23, 6);
+  EXPECT_EQ(c->beta(), 20003);
+}
+
+TEST(CommunityPolicy, GeoCommunityDisabled) {
+  CommunityPolicy p;
+  p.asn = 1299;
+  EXPECT_FALSE(p.geo_community(topo::Location{0, 0}, 0, 6));
+}
+
+TEST(CommunityPolicy, GeoCommunityOverflowRejected) {
+  CommunityPolicy p;
+  p.asn = 1299;
+  p.geo_base = 65500;
+  p.geo_block_width = 100;
+  EXPECT_FALSE(p.geo_community(topo::Location{5, 5}, 0, 6));
+}
+
+TEST(CommunityPolicy, RelationshipCodes) {
+  CommunityPolicy p;
+  p.asn = 701;
+  p.rel_base = 45000;
+  EXPECT_EQ(p.relationship_community(topo::RelFrom::kCustomer)->beta(), 45000);
+  EXPECT_EQ(p.relationship_community(topo::RelFrom::kPeer)->beta(), 45001);
+  EXPECT_EQ(p.relationship_community(topo::RelFrom::kProvider)->beta(), 45002);
+  EXPECT_EQ(p.relationship_community(topo::RelFrom::kSibling)->beta(), 45003);
+}
+
+TEST(CommunityPolicy, RovCodes) {
+  CommunityPolicy p;
+  p.asn = 701;
+  p.rov_base = 430;
+  EXPECT_EQ(p.rov_community(true)->beta(), 430);
+  EXPECT_EQ(p.rov_community(false)->beta(), 431);
+  CommunityPolicy off;
+  EXPECT_FALSE(off.rov_community(true));
+}
+
+TEST(CommunityPolicy, ActionLookupAndEnumeration) {
+  CommunityPolicy p;
+  p.asn = 1299;
+  p.actions[2569] = ActionSpec{ActionType::kNoExportToAs, 3356, 0, 0, 0};
+  p.actions[2561] = ActionSpec{ActionType::kPrependToAs, 3356, 0, 1, 0};
+  ASSERT_NE(p.action_for(2569), nullptr);
+  EXPECT_EQ(p.action_for(2569)->type, ActionType::kNoExportToAs);
+  EXPECT_EQ(p.action_for(9999), nullptr);
+  const auto offered = p.offered_actions();
+  ASSERT_EQ(offered.size(), 2u);
+  EXPECT_EQ(offered[0], Community(1299, 2561));  // ascending beta
+  EXPECT_EQ(offered[1], Community(1299, 2569));
+}
+
+TEST(GeneratePolicies, DeterministicForSeed) {
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  cfg.seed = 11;
+  const PolicySet a = generate_policies(topo, cfg);
+  const PolicySet b = generate_policies(topo, cfg);
+  EXPECT_EQ(a.policies.size(), b.policies.size());
+  EXPECT_EQ(a.ground_truth.entry_count(), b.ground_truth.entry_count());
+}
+
+TEST(GeneratePolicies, TransitAsesGetPoliciesAndDictionaries) {
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  cfg.tier1_defines = 1.0;
+  cfg.tier2_defines = 1.0;
+  const PolicySet set = generate_policies(topo, cfg);
+  for (const Asn asn : topo.asns_with_tier(topo::Tier::kTier1)) {
+    const CommunityPolicy* policy = set.find(asn);
+    ASSERT_NE(policy, nullptr) << asn;
+    EXPECT_TRUE(policy->defines_any());
+    EXPECT_NE(set.ground_truth.find(static_cast<std::uint16_t>(asn)), nullptr);
+  }
+}
+
+TEST(GeneratePolicies, GroundTruthConsistentWithPolicyActions) {
+  // Every concrete offered action must be labeled action by the emitted
+  // dictionary; every geo tag the policy can produce must be information.
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  cfg.tier2_defines = 1.0;
+  const PolicySet set = generate_policies(topo, cfg);
+  std::size_t checked_actions = 0, checked_geo = 0;
+  for (const auto& [asn, policy] : set.policies) {
+    if (topo.graph.find(asn)->tier == topo::Tier::kRouteServer) continue;
+    for (const Community community : policy.offered_actions()) {
+      const auto intent = set.ground_truth.intent(community);
+      ASSERT_TRUE(intent) << community.to_string();
+      EXPECT_EQ(*intent, dict::Intent::kAction) << community.to_string();
+      ++checked_actions;
+    }
+    if (policy.geo_base) {
+      for (const topo::Location& loc : topo.graph.find(asn)->presence) {
+        const auto geo =
+            policy.geo_community(loc, 3, topo.config.cities_per_region);
+        if (!geo) continue;
+        const auto intent = set.ground_truth.intent(*geo);
+        ASSERT_TRUE(intent) << geo->to_string();
+        EXPECT_EQ(*intent, dict::Intent::kInformation);
+        ++checked_geo;
+      }
+    }
+  }
+  EXPECT_GT(checked_actions, 100u);
+  EXPECT_GT(checked_geo, 5u);
+}
+
+TEST(GeneratePolicies, RouteServersTagButPublishNothing) {
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  const PolicySet set = generate_policies(topo, cfg);
+  for (const Asn rs : topo.asns_with_tier(topo::Tier::kRouteServer)) {
+    const CommunityPolicy* policy = set.find(rs);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_TRUE(policy->geo_base.has_value());
+    EXPECT_TRUE(policy->actions.empty());
+    EXPECT_EQ(set.ground_truth.find(static_cast<std::uint16_t>(rs)), nullptr);
+  }
+}
+
+TEST(GeneratePolicies, StubsMostlyUndefined) {
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  cfg.stub_defines = 0.0;
+  const PolicySet set = generate_policies(topo, cfg);
+  for (const Asn asn : topo.asns_with_tier(topo::Tier::kStub))
+    EXPECT_EQ(set.find(asn), nullptr);
+}
+
+TEST(GeneratePolicies, ExportControlBlocksFollowRegionDigits) {
+  const auto topo = small_topo();
+  PolicyConfig cfg;
+  cfg.tier2_defines = 1.0;
+  cfg.with_export_control = 1.0;
+  const PolicySet set = generate_policies(topo, cfg);
+  // Find a tier-1 with export-control actions and check beta structure:
+  // digit d in {2,5,7} (regions 0-2), peer slot 01.., trailing op digit.
+  bool found = false;
+  for (const Asn asn : topo.asns_with_tier(topo::Tier::kTier1)) {
+    const CommunityPolicy* policy = set.find(asn);
+    if (policy == nullptr) continue;
+    for (const auto& [beta, spec] : policy->actions) {
+      if (spec.type != ActionType::kNoExportToAs || beta < 1000) continue;
+      found = true;
+      const int digit = beta / 1000;
+      EXPECT_TRUE(digit == 2 || digit == 5 || digit == 7) << beta;
+      EXPECT_EQ(beta % 10, 9) << "suppress op digit";
+      EXPECT_NE(spec.target_as, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PolicySet, FindMissingReturnsNull) {
+  PolicySet set;
+  EXPECT_EQ(set.find(42), nullptr);
+}
+
+}  // namespace
+}  // namespace bgpintent::routing

@@ -1,0 +1,176 @@
+#include "routing/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::routing {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t seed = 9) {
+  ScenarioConfig cfg;
+  cfg.topology.seed = seed;
+  cfg.topology.tier1_count = 4;
+  cfg.topology.tier2_count = 16;
+  cfg.topology.stub_count = 50;
+  cfg.policy.seed = seed + 1;
+  cfg.workload_seed = seed + 2;
+  cfg.vantage_point_count = 12;
+  return cfg;
+}
+
+TEST(Scenario, BuildIsDeterministic) {
+  const Scenario a = Scenario::build(small_scenario());
+  const Scenario b = Scenario::build(small_scenario());
+  ASSERT_EQ(a.announcements().size(), b.announcements().size());
+  for (std::size_t i = 0; i < a.announcements().size(); ++i) {
+    EXPECT_EQ(a.announcements()[i].prefix, b.announcements()[i].prefix);
+    EXPECT_EQ(a.announcements()[i].origin, b.announcements()[i].origin);
+    EXPECT_EQ(a.announcements()[i].communities,
+              b.announcements()[i].communities);
+  }
+  EXPECT_EQ(a.vantage_points(), b.vantage_points());
+}
+
+TEST(Scenario, EveryStubOriginatesAtLeastOnce) {
+  const Scenario s = Scenario::build(small_scenario());
+  std::unordered_set<Asn> origins;
+  for (const auto& a : s.announcements()) origins.insert(a.origin);
+  for (const Asn stub : s.topology().asns_with_tier(topo::Tier::kStub))
+    EXPECT_TRUE(origins.contains(stub)) << stub;
+}
+
+TEST(Scenario, PrefixesAreUnique) {
+  const Scenario s = Scenario::build(small_scenario());
+  std::unordered_set<bgp::Prefix> prefixes;
+  for (const auto& a : s.announcements())
+    EXPECT_TRUE(prefixes.insert(a.prefix).second) << a.prefix.to_string();
+}
+
+TEST(Scenario, SomeAnnouncementsCarryActionCommunities) {
+  const Scenario s = Scenario::build(small_scenario());
+  std::size_t with_actions = 0;
+  std::size_t with_private = 0;
+  std::size_t with_misused_info = 0;
+  for (const auto& a : s.announcements()) {
+    bool has_action = false;
+    for (const Community community : a.communities) {
+      if (bgp::is_private_asn16(community.alpha())) {
+        ++with_private;  // leaked internal tag
+        continue;
+      }
+      // Everything else is a value defined by a provider's policy: either
+      // an offered action or a misused information value.
+      const CommunityPolicy* owner = s.policies().find(community.alpha());
+      ASSERT_NE(owner, nullptr) << community.to_string();
+      if (owner->action_for(community.beta()) != nullptr)
+        has_action = true;
+      else
+        ++with_misused_info;
+    }
+    if (has_action) ++with_actions;
+  }
+  EXPECT_GT(with_actions, s.announcements().size() / 10);
+  EXPECT_LT(with_actions, s.announcements().size());
+  EXPECT_GT(with_private + with_misused_info, 0u);
+}
+
+TEST(Scenario, VantagePointsAreRealAses) {
+  const Scenario s = Scenario::build(small_scenario());
+  EXPECT_EQ(s.vantage_points().size(), 12u);
+  for (const Asn vp : s.vantage_points()) {
+    EXPECT_TRUE(s.topology().graph.contains(vp));
+    EXPECT_NE(s.topology().graph.find(vp)->tier, topo::Tier::kRouteServer);
+  }
+}
+
+TEST(Scenario, EntriesNonEmptyAndWellFormed) {
+  const Scenario s = Scenario::build(small_scenario());
+  const auto entries = s.entries();
+  ASSERT_GT(entries.size(), 100u);
+  for (const auto& entry : entries) {
+    EXPECT_FALSE(entry.route.path.empty());
+    EXPECT_EQ(entry.route.path.first(), entry.vantage_point.asn);
+    ASSERT_TRUE(entry.route.path.origin());
+  }
+}
+
+TEST(Scenario, EntriesWithVpSubsetIsSubset) {
+  const Scenario s = Scenario::build(small_scenario());
+  const std::vector<Asn> subset{s.vantage_points().front()};
+  const auto sub_entries = s.entries_with_vps(subset);
+  ASSERT_FALSE(sub_entries.empty());
+  for (const auto& entry : sub_entries)
+    EXPECT_EQ(entry.vantage_point.asn, subset.front());
+  EXPECT_LT(sub_entries.size(), s.entries().size());
+}
+
+TEST(Scenario, DayZeroMatchesBaseEntries) {
+  const Scenario s = Scenario::build(small_scenario());
+  EXPECT_EQ(s.day_entries(0), s.entries());
+}
+
+TEST(Scenario, ChurnDaysDifferButDeterministic) {
+  const Scenario s = Scenario::build(small_scenario());
+  const auto day1a = s.day_entries(1);
+  const auto day1b = s.day_entries(1);
+  EXPECT_EQ(day1a, day1b);
+  const auto day2 = s.day_entries(2);
+  EXPECT_NE(day1a, day2);
+}
+
+TEST(Scenario, ObservedCommunitiesIncludeInfoAndAction) {
+  const Scenario s = Scenario::build(small_scenario());
+  std::size_t info = 0, action = 0, unknown = 0;
+  std::unordered_set<Community> seen;
+  for (const auto& entry : s.entries())
+    for (const Community community : entry.route.communities)
+      seen.insert(community);
+  for (const Community community : seen) {
+    const auto intent = s.ground_truth().intent(community);
+    if (!intent)
+      ++unknown;
+    else if (*intent == dict::Intent::kAction)
+      ++action;
+    else
+      ++info;
+  }
+  EXPECT_GT(info, 20u);
+  EXPECT_GT(action, 5u);
+  // Route-server communities are observed but not in any dictionary.
+  EXPECT_GT(unknown, 0u);
+}
+
+// The core structural property the paper's method exploits (§5.1):
+// information communities appear overwhelmingly on-path, action
+// communities appear off-path substantially more often.
+TEST(Scenario, OnPathOffPathSeparationHoldsInAggregate) {
+  ScenarioConfig cfg = small_scenario();
+  cfg.topology.stub_count = 80;
+  cfg.vantage_point_count = 20;
+  const Scenario s = Scenario::build(cfg);
+  std::size_t info_on = 0, info_off = 0, action_on = 0, action_off = 0;
+  for (const auto& entry : s.entries()) {
+    for (const Community community : entry.route.communities) {
+      const auto intent = s.ground_truth().intent(community);
+      if (!intent) continue;
+      const bool on_path = entry.route.path.contains(community.alpha());
+      if (*intent == dict::Intent::kInformation) {
+        ++(on_path ? info_on : info_off);
+      } else {
+        ++(on_path ? action_on : action_off);
+      }
+    }
+  }
+  ASSERT_GT(info_on + info_off, 0u);
+  ASSERT_GT(action_on + action_off, 0u);
+  const double info_on_frac =
+      static_cast<double>(info_on) / static_cast<double>(info_on + info_off);
+  const double action_off_frac = static_cast<double>(action_off) /
+                                 static_cast<double>(action_on + action_off);
+  EXPECT_GT(info_on_frac, 0.95);
+  EXPECT_GT(action_off_frac, 0.2);
+}
+
+}  // namespace
+}  // namespace bgpintent::routing

@@ -1,0 +1,157 @@
+#include "topo/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::topo {
+namespace {
+
+AsNode node(Asn asn, Tier tier = Tier::kStub) {
+  AsNode n;
+  n.asn = asn;
+  n.tier = tier;
+  n.presence = {Location{0, 0}};
+  return n;
+}
+
+AsGraph triangle() {
+  AsGraph g;
+  g.add_as(node(1, Tier::kTier1));
+  g.add_as(node(2, Tier::kTier2));
+  g.add_as(node(3, Tier::kStub));
+  g.add_edge(1, 2, Relationship::kP2C);  // 1 provides 2
+  g.add_edge(2, 3, Relationship::kP2C);  // 2 provides 3
+  g.add_edge(1, 3, Relationship::kP2P);
+  return g;
+}
+
+TEST(AsGraph, AddAndFind) {
+  AsGraph g;
+  g.add_as(node(42));
+  EXPECT_TRUE(g.contains(42));
+  EXPECT_FALSE(g.contains(43));
+  ASSERT_NE(g.find(42), nullptr);
+  EXPECT_EQ(g.find(42)->asn, 42u);
+  EXPECT_EQ(g.find(43), nullptr);
+  EXPECT_EQ(g.as_count(), 1u);
+}
+
+TEST(AsGraph, DuplicateAsThrows) {
+  AsGraph g;
+  g.add_as(node(42));
+  EXPECT_THROW(g.add_as(node(42)), std::invalid_argument);
+}
+
+TEST(AsGraph, EdgePerspectives) {
+  const AsGraph g = triangle();
+  EXPECT_EQ(g.relationship(1, 2), RelFrom::kCustomer);  // 2 is 1's customer
+  EXPECT_EQ(g.relationship(2, 1), RelFrom::kProvider);
+  EXPECT_EQ(g.relationship(1, 3), RelFrom::kPeer);
+  EXPECT_EQ(g.relationship(3, 1), RelFrom::kPeer);
+  EXPECT_FALSE(g.relationship(3, 99));
+}
+
+TEST(AsGraph, SiblingEdge) {
+  AsGraph g;
+  g.add_as(node(1));
+  g.add_as(node(2));
+  g.add_edge(1, 2, Relationship::kS2S);
+  EXPECT_EQ(g.relationship(1, 2), RelFrom::kSibling);
+  EXPECT_EQ(g.relationship(2, 1), RelFrom::kSibling);
+}
+
+TEST(AsGraph, EdgeValidation) {
+  AsGraph g;
+  g.add_as(node(1));
+  g.add_as(node(2));
+  EXPECT_THROW(g.add_edge(1, 1, Relationship::kP2P), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 9, Relationship::kP2P), std::invalid_argument);
+  g.add_edge(1, 2, Relationship::kP2P);
+  EXPECT_THROW(g.add_edge(1, 2, Relationship::kP2C), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(2, 1, Relationship::kP2C), std::invalid_argument);
+}
+
+TEST(AsGraph, NeighborsWithFilter) {
+  const AsGraph g = triangle();
+  EXPECT_EQ(g.neighbors_with(1, RelFrom::kCustomer), (std::vector<Asn>{2}));
+  EXPECT_EQ(g.neighbors_with(1, RelFrom::kPeer), (std::vector<Asn>{3}));
+  EXPECT_EQ(g.neighbors_with(3, RelFrom::kProvider), (std::vector<Asn>{2}));
+  EXPECT_TRUE(g.neighbors_with(3, RelFrom::kCustomer).empty());
+}
+
+TEST(AsGraph, AllAsnsSorted) {
+  const AsGraph g = triangle();
+  EXPECT_EQ(g.all_asns(), (std::vector<Asn>{1, 2, 3}));
+}
+
+TEST(AsGraph, AllEdgesReportedOnce) {
+  const AsGraph g = triangle();
+  const auto edges = g.all_edges();
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  std::size_t p2c = 0, p2p = 0;
+  for (const auto& e : edges) {
+    if (e.rel == Relationship::kP2C) {
+      ++p2c;
+      // Oriented provider -> customer.
+      EXPECT_EQ(g.relationship(e.a, e.b), RelFrom::kCustomer);
+    } else {
+      ++p2p;
+    }
+  }
+  EXPECT_EQ(p2c, 2u);
+  EXPECT_EQ(p2p, 1u);
+}
+
+TEST(AsGraph, CustomerCone) {
+  AsGraph g;
+  for (Asn a = 1; a <= 5; ++a) g.add_as(node(a));
+  g.add_edge(1, 2, Relationship::kP2C);
+  g.add_edge(2, 3, Relationship::kP2C);
+  g.add_edge(2, 4, Relationship::kP2C);
+  g.add_edge(1, 5, Relationship::kP2P);
+  EXPECT_EQ(g.customer_cone(1), (std::vector<Asn>{2, 3, 4}));
+  EXPECT_EQ(g.customer_cone(2), (std::vector<Asn>{3, 4}));
+  EXPECT_TRUE(g.customer_cone(3).empty());
+  EXPECT_TRUE(g.customer_cone(5).empty());
+}
+
+TEST(AsGraph, ViaRouteServerRecorded) {
+  AsGraph g;
+  g.add_as(node(1));
+  g.add_as(node(2));
+  g.add_edge(1, 2, Relationship::kP2P, Location{1, 4}, Asn{60000});
+  const auto& adj = g.neighbors(1);
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_EQ(adj[0].via_route_server, 60000u);
+  EXPECT_EQ(adj[0].where, (Location{1, 4}));
+}
+
+TEST(AsGraph, NeighborsOfUnknownAsnIsEmpty) {
+  const AsGraph g = triangle();
+  EXPECT_TRUE(g.neighbors(999).empty());
+}
+
+TEST(RelFrom, InvertIsSymmetric) {
+  EXPECT_EQ(invert(RelFrom::kProvider), RelFrom::kCustomer);
+  EXPECT_EQ(invert(RelFrom::kCustomer), RelFrom::kProvider);
+  EXPECT_EQ(invert(RelFrom::kPeer), RelFrom::kPeer);
+  EXPECT_EQ(invert(RelFrom::kSibling), RelFrom::kSibling);
+}
+
+TEST(AsNode, PresentInRegion) {
+  AsNode n = node(1);
+  n.presence = {Location{2, 0}, Location{5, 3}};
+  EXPECT_TRUE(n.present_in_region(2));
+  EXPECT_TRUE(n.present_in_region(5));
+  EXPECT_FALSE(n.present_in_region(7));
+}
+
+TEST(ToString, TierAndRelationship) {
+  EXPECT_EQ(to_string(Tier::kTier1), "tier1");
+  EXPECT_EQ(to_string(Tier::kRouteServer), "route_server");
+  EXPECT_EQ(to_string(Relationship::kP2C), "p2c");
+  EXPECT_EQ(to_string(Relationship::kS2S), "s2s");
+}
+
+}  // namespace
+}  // namespace bgpintent::topo

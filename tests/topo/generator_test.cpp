@@ -1,0 +1,169 @@
+#include "topo/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpintent::topo {
+namespace {
+
+TopologyConfig small_config(std::uint64_t seed = 7) {
+  TopologyConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 5;
+  cfg.tier2_count = 20;
+  cfg.stub_count = 60;
+  return cfg;
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+  const Topology topo = generate_topology(small_config());
+  EXPECT_EQ(topo.asns_with_tier(Tier::kTier1).size(), 5u);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kTier2).size(), 20u);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kStub).size(), 60u);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kRouteServer).size(),
+            static_cast<std::size_t>(topo.config.region_count));
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Topology a = generate_topology(small_config(11));
+  const Topology b = generate_topology(small_config(11));
+  EXPECT_EQ(a.graph.as_count(), b.graph.as_count());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  const auto ea = a.graph.all_edges();
+  const auto eb = b.graph.all_edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].a, eb[i].a);
+    EXPECT_EQ(ea[i].b, eb[i].b);
+    EXPECT_EQ(ea[i].rel, eb[i].rel);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Topology a = generate_topology(small_config(1));
+  const Topology b = generate_topology(small_config(2));
+  const auto ea = a.graph.all_edges();
+  const auto eb = b.graph.all_edges();
+  bool differs = ea.size() != eb.size();
+  for (std::size_t i = 0; !differs && i < ea.size(); ++i)
+    differs = ea[i].a != eb[i].a || ea[i].b != eb[i].b;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, Tier1Clique) {
+  const Topology topo = generate_topology(small_config());
+  const auto tier1s = topo.asns_with_tier(Tier::kTier1);
+  for (std::size_t i = 0; i < tier1s.size(); ++i)
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j)
+      EXPECT_EQ(topo.graph.relationship(tier1s[i], tier1s[j]), RelFrom::kPeer);
+}
+
+TEST(Generator, EveryTier2HasTier1Provider) {
+  const Topology topo = generate_topology(small_config());
+  for (Asn asn : topo.asns_with_tier(Tier::kTier2)) {
+    const auto providers = topo.graph.neighbors_with(asn, RelFrom::kProvider);
+    bool has_tier1 = false;
+    for (Asn p : providers)
+      if (topo.graph.find(p)->tier == Tier::kTier1) has_tier1 = true;
+    EXPECT_TRUE(has_tier1) << "tier2 AS " << asn;
+  }
+}
+
+TEST(Generator, EveryStubHasProvider) {
+  const Topology topo = generate_topology(small_config());
+  for (Asn asn : topo.asns_with_tier(Tier::kStub))
+    EXPECT_FALSE(topo.graph.neighbors_with(asn, RelFrom::kProvider).empty())
+        << "stub AS " << asn;
+}
+
+TEST(Generator, StubsDoNotProvideTransit) {
+  const Topology topo = generate_topology(small_config());
+  for (Asn asn : topo.asns_with_tier(Tier::kStub))
+    EXPECT_TRUE(topo.graph.neighbors_with(asn, RelFrom::kCustomer).empty())
+        << "stub AS " << asn;
+}
+
+TEST(Generator, SiblingOrgsExistAndShareOrg) {
+  TopologyConfig cfg = small_config();
+  cfg.sibling_fraction = 0.4;
+  const Topology topo = generate_topology(cfg);
+  std::size_t multi_as_orgs = 0;
+  for (Asn asn : topo.asns_with_tier(Tier::kTier2))
+    if (topo.orgs.siblings(asn).size() > 1) ++multi_as_orgs;
+  EXPECT_GT(multi_as_orgs, 0u);
+}
+
+TEST(Generator, RouteServersHaveMembersButNoGraphEdges) {
+  const Topology topo = generate_topology(small_config());
+  ASSERT_FALSE(topo.ixps.empty());
+  for (const Ixp& ixp : topo.ixps) {
+    EXPECT_TRUE(topo.graph.contains(ixp.route_server));
+    EXPECT_EQ(topo.graph.find(ixp.route_server)->tier, Tier::kRouteServer);
+    // Transparent: the route server has no adjacency of its own.
+    EXPECT_TRUE(topo.graph.neighbors(ixp.route_server).empty());
+  }
+}
+
+TEST(Generator, IxpMemberEdgesAreTaggedWithRouteServer) {
+  TopologyConfig cfg = small_config();
+  cfg.ixp_member_fraction = 0.5;
+  const Topology topo = generate_topology(cfg);
+  std::size_t via_rs = 0;
+  for (const auto& e : topo.graph.all_edges())
+    if (e.via_route_server) {
+      ++via_rs;
+      EXPECT_EQ(e.rel, Relationship::kP2P);
+      // The tag names a real route server of some IXP.
+      bool known = false;
+      for (const Ixp& ixp : topo.ixps)
+        if (ixp.route_server == *e.via_route_server) known = true;
+      EXPECT_TRUE(known);
+    }
+  EXPECT_GT(via_rs, 0u);
+}
+
+TEST(Generator, AsnRangesAreDisjoint) {
+  const Topology topo = generate_topology(small_config());
+  std::unordered_set<Asn> seen;
+  for (Asn asn : topo.graph.all_asns()) {
+    EXPECT_TRUE(seen.insert(asn).second);
+    EXPECT_LE(asn, 0xffffu);  // all 16-bit (regular-community alphas)
+  }
+}
+
+TEST(Generator, EveryAsHasPresence) {
+  const Topology topo = generate_topology(small_config());
+  for (Asn asn : topo.graph.all_asns()) {
+    const AsNode* node = topo.graph.find(asn);
+    ASSERT_FALSE(node->presence.empty()) << asn;
+    for (const Location& loc : node->presence) {
+      EXPECT_LT(loc.region, topo.config.region_count);
+      EXPECT_LT(loc.city, topo.config.cities_per_region);
+    }
+  }
+}
+
+TEST(Generator, StripFractionRoughlyHonored) {
+  TopologyConfig cfg = small_config();
+  cfg.stub_count = 800;
+  cfg.strip_fraction = 0.05;
+  const Topology topo = generate_topology(cfg);
+  std::size_t strippers = 0;
+  for (Asn asn : topo.graph.all_asns())
+    if (topo.graph.find(asn)->strips_communities) ++strippers;
+  // ~5% of ~820 non-tier1 nodes; allow generous slack.
+  EXPECT_GT(strippers, 10u);
+  EXPECT_LT(strippers, 100u);
+}
+
+TEST(Generator, Tier1sNeverStripCommunities) {
+  TopologyConfig cfg = small_config();
+  cfg.strip_fraction = 1.0;  // force everyone else to strip
+  const Topology topo = generate_topology(cfg);
+  for (Asn asn : topo.asns_with_tier(Tier::kTier1))
+    EXPECT_FALSE(topo.graph.find(asn)->strips_communities);
+}
+
+}  // namespace
+}  // namespace bgpintent::topo

@@ -1,0 +1,90 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, CustomDelimiter) {
+  std::ostringstream out;
+  CsvWriter w(out, '|');
+  w.write_row({"1299", "2569", "action"});
+  EXPECT_EQ(out.str(), "1299|2569|action\n");
+}
+
+TEST(ParseCsvLine, Simple) {
+  auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithDelimiter) {
+  auto f = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  auto f = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"abc"), ParseError);
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  auto f = parse_csv_line(",,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(ReadCsv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header comment\n\na,b\n  \nc,d\n");
+  auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(ReadCsv, HandlesCrlf) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+}
+
+TEST(CsvRoundTrip, WriteThenRead) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"1299:2569", "action", "no,export"});
+  std::istringstream in(out.str());
+  auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][2], "no,export");
+}
+
+}  // namespace
+}  // namespace bgpintent::util

@@ -1,0 +1,187 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace bgpintent::util {
+namespace {
+
+TEST(Splitmix64, KnownSequence) {
+  // Reference values from the splitmix64 reference implementation with
+  // seed 1234567.
+  std::uint64_t state = 1234567;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+  // Determinism: same seed, same outputs.
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(splitmix64(state2), a);
+  EXPECT_EQ(splitmix64(state2), b);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, SeedZeroIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformFullRangeDoesNotHang) {
+  Rng r(9);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 100; ++i)
+    acc ^= r.uniform(0, std::numeric_limits<std::uint64_t>::max());
+  (void)acc;
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(17), 17u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng r(23);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 20000; ++i) ++counts[r.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(Rng, ZipfSingleton) {
+  Rng r(23);
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+  EXPECT_EQ(r.zipf(0, 1.0), 0u);
+}
+
+TEST(Rng, GeometricBounds) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.geometric(0.5, 8);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 8u);
+  }
+  EXPECT_EQ(r.geometric(1.0, 8), 1u);
+  EXPECT_EQ(r.geometric(0.0, 8), 8u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  r.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(37);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  r.shuffle(std::span<int>(v));
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng r(41);
+  auto sample = r.sample_indices(100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleIndicesClampsToPopulation) {
+  Rng r(43);
+  auto sample = r.sample_indices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.fork();
+  bool differs = false;
+  for (int i = 0; i < 16; ++i)
+    if (parent() != child()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace bgpintent::util

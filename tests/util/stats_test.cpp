@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::util {
+namespace {
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 50.0);
+}
+
+TEST(Percentile, ClampsQ) {
+  std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 2.0);
+}
+
+TEST(EmpiricalCdf, FractionAtMost) {
+  EmpiricalCdf cdf({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(3), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(100), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyCdf) {
+  EmpiricalCdf cdf({});
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(EmpiricalCdf, Quantile) {
+  EmpiricalCdf cdf({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+}
+
+TEST(EmpiricalCdf, PointsAreStaircase) {
+  EmpiricalCdf cdf({1, 1, 2, 5});
+  auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(pts[0].cumulative_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(pts[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].cumulative_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(pts[2].value, 5.0);
+  EXPECT_DOUBLE_EQ(pts[2].cumulative_fraction, 1.0);
+}
+
+TEST(BinaryTally, CountsCells) {
+  BinaryTally t;
+  t.add(true, true);    // tp
+  t.add(true, false);   // fp
+  t.add(false, true);   // fn
+  t.add(false, false);  // tn
+  EXPECT_EQ(t.true_positive, 1u);
+  EXPECT_EQ(t.false_positive, 1u);
+  EXPECT_EQ(t.false_negative, 1u);
+  EXPECT_EQ(t.true_negative, 1u);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(t.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(t.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(t.f1(), 0.5);
+}
+
+TEST(BinaryTally, EmptyIsZero) {
+  BinaryTally t;
+  EXPECT_DOUBLE_EQ(t.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(t.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(t.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(t.f1(), 0.0);
+}
+
+TEST(BinaryTally, PerfectClassifier) {
+  BinaryTally t;
+  for (int i = 0; i < 10; ++i) t.add(true, true);
+  for (int i = 0; i < 10; ++i) t.add(false, false);
+  EXPECT_DOUBLE_EQ(t.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(t.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(t.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(t.f1(), 1.0);
+}
+
+TEST(BinaryTally, SummaryMentionsAllCells) {
+  BinaryTally t;
+  t.add(true, true);
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("acc="), std::string::npos);
+  EXPECT_NE(s.find("tp=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpintent::util

@@ -1,0 +1,96 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\tabc\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto f = split("a,b,,c", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "");
+  EXPECT_EQ(f[3], "c");
+}
+
+TEST(Split, SingleField) {
+  auto f = split("abc", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "abc");
+}
+
+TEST(Split, TrailingDelimiterMakesEmptyField) {
+  auto f = split("a,", ',');
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST(Split, EmptyInput) {
+  auto f = split("", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(SplitWhitespace, DropsEmptyFields) {
+  auto f = split_whitespace("  1299 3356\t701  ");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "1299");
+  EXPECT_EQ(f[1], "3356");
+  EXPECT_EQ(f[2], "701");
+}
+
+TEST(SplitWhitespace, EmptyAndBlank) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   \t\n").empty());
+}
+
+TEST(ParseU64, ValidValues) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("1299"), 1299u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseU64, RejectsJunk) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12a"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64(" 12"));
+  EXPECT_FALSE(parse_u64("12 "));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(ParseU32, RangeChecked) {
+  EXPECT_EQ(parse_u32("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_u32("4294967296"));
+  EXPECT_FALSE(parse_u32("x"));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-2"), -2.0);
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("1.5x"));
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("1299:2569", "1299:"));
+  EXPECT_FALSE(starts_with("1299", "1299:"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Format, ProducesPrintfOutput) {
+  EXPECT_EQ(format("as%u ratio=%.2f", 1299u, 0.5), "as1299 ratio=0.50");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace bgpintent::util

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"asn", "intent"});
+  t.add_row({"1299", "action"});
+  t.add_row({"3356", "information"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("asn"), std::string::npos);
+  EXPECT_NE(out.find("intent"), std::string::npos);
+  EXPECT_NE(out.find("1299"), std::string::npos);
+  EXPECT_NE(out.find("information"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  // Every line should contain the two-space column gap.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 4u);  // header, underline, two rows
+}
+
+TEST(TextTable, ToleratesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW({ auto s = t.render(); });
+}
+
+TEST(TextTable, ToleratesLongRows) {
+  TextTable t({"a"});
+  t.add_row({"1", "extra-cell-ignored"});
+  EXPECT_NO_THROW({ auto s = t.render(); });
+}
+
+TEST(Fixed, FormatsDigits) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Percent, FormatsFraction) {
+  EXPECT_EQ(percent(0.965, 1), "96.5%");
+  EXPECT_EQ(percent(0.5, 0), "50%");
+  EXPECT_EQ(percent(1.0, 2), "100.00%");
+}
+
+}  // namespace
+}  // namespace bgpintent::util
