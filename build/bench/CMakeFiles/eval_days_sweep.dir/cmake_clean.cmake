@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_days_sweep.dir/eval_days_sweep.cpp.o"
+  "CMakeFiles/eval_days_sweep.dir/eval_days_sweep.cpp.o.d"
+  "eval_days_sweep"
+  "eval_days_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_days_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

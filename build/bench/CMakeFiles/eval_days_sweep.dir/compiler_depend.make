@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eval_days_sweep.
+# This may be replaced when dependencies are built.

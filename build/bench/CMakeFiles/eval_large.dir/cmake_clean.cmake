@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_large.dir/eval_large.cpp.o"
+  "CMakeFiles/eval_large.dir/eval_large.cpp.o.d"
+  "eval_large"
+  "eval_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_over_time.dir/eval_over_time.cpp.o"
+  "CMakeFiles/eval_over_time.dir/eval_over_time.cpp.o.d"
+  "eval_over_time"
+  "eval_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_overall.dir/eval_overall.cpp.o"
+  "CMakeFiles/eval_overall.dir/eval_overall.cpp.o.d"
+  "eval_overall"
+  "eval_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cluster_layout.dir/fig4_cluster_layout.cpp.o"
+  "CMakeFiles/fig4_cluster_layout.dir/fig4_cluster_layout.cpp.o.d"
+  "fig4_cluster_layout"
+  "fig4_cluster_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cluster_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_onpath_ratio_cdf.dir/fig6_onpath_ratio_cdf.cpp.o"
+  "CMakeFiles/fig6_onpath_ratio_cdf.dir/fig6_onpath_ratio_cdf.cpp.o.d"
+  "fig6_onpath_ratio_cdf"
+  "fig6_onpath_ratio_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_onpath_ratio_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

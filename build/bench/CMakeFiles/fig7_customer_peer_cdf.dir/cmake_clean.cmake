@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_customer_peer_cdf.dir/fig7_customer_peer_cdf.cpp.o"
+  "CMakeFiles/fig7_customer_peer_cdf.dir/fig7_customer_peer_cdf.cpp.o.d"
+  "fig7_customer_peer_cdf"
+  "fig7_customer_peer_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_customer_peer_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_locinfer.dir/table1_locinfer.cpp.o"
+  "CMakeFiles/table1_locinfer.dir/table1_locinfer.cpp.o.d"
+  "table1_locinfer"
+  "table1_locinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_locinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

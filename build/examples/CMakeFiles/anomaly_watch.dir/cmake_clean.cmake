@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_watch.dir/anomaly_watch.cpp.o"
+  "CMakeFiles/anomaly_watch.dir/anomaly_watch.cpp.o.d"
+  "anomaly_watch"
+  "anomaly_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_explorer.dir/dictionary_explorer.cpp.o"
+  "CMakeFiles/dictionary_explorer.dir/dictionary_explorer.cpp.o.d"
+  "dictionary_explorer"
+  "dictionary_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_from_mrt.dir/infer_from_mrt.cpp.o"
+  "CMakeFiles/infer_from_mrt.dir/infer_from_mrt.cpp.o.d"
+  "infer_from_mrt"
+  "infer_from_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_from_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/asn.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/asn.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/asn.cpp.o.d"
+  "/root/repo/src/bgp/aspath.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/aspath.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/aspath.cpp.o.d"
+  "/root/repo/src/bgp/community.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/community.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/community.cpp.o.d"
+  "/root/repo/src/bgp/extcommunity.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/extcommunity.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/extcommunity.cpp.o.d"
+  "/root/repo/src/bgp/prefix.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/prefix.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/prefix.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/bgpintent_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpintent_bgp.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_bgp.dir/asn.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/asn.cpp.o.d"
+  "CMakeFiles/bgpintent_bgp.dir/aspath.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/aspath.cpp.o.d"
+  "CMakeFiles/bgpintent_bgp.dir/community.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/community.cpp.o.d"
+  "CMakeFiles/bgpintent_bgp.dir/extcommunity.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/extcommunity.cpp.o.d"
+  "CMakeFiles/bgpintent_bgp.dir/prefix.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/prefix.cpp.o.d"
+  "CMakeFiles/bgpintent_bgp.dir/route.cpp.o"
+  "CMakeFiles/bgpintent_bgp.dir/route.cpp.o.d"
+  "libbgpintent_bgp.a"
+  "libbgpintent_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

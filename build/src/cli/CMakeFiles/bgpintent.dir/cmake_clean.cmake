@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent.dir/main.cpp.o"
+  "CMakeFiles/bgpintent.dir/main.cpp.o.d"
+  "bgpintent"
+  "bgpintent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_cli.dir/args.cpp.o"
+  "CMakeFiles/bgpintent_cli.dir/args.cpp.o.d"
+  "CMakeFiles/bgpintent_cli.dir/commands.cpp.o"
+  "CMakeFiles/bgpintent_cli.dir/commands.cpp.o.d"
+  "libbgpintent_cli.a"
+  "libbgpintent_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/bgpintent_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/bgpintent_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/bgpintent_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/bgpintent_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/large.cpp" "src/core/CMakeFiles/bgpintent_core.dir/large.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/large.cpp.o.d"
+  "/root/repo/src/core/observations.cpp" "src/core/CMakeFiles/bgpintent_core.dir/observations.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/observations.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/bgpintent_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/summarize.cpp" "src/core/CMakeFiles/bgpintent_core.dir/summarize.cpp.o" "gcc" "src/core/CMakeFiles/bgpintent_core.dir/summarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/bgpintent_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/bgpintent_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpintent_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/bgpintent_mrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_core.dir/classifier.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/clustering.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/evaluation.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/incremental.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/large.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/large.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/observations.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/observations.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/pipeline.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bgpintent_core.dir/summarize.cpp.o"
+  "CMakeFiles/bgpintent_core.dir/summarize.cpp.o.d"
+  "libbgpintent_core.a"
+  "libbgpintent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

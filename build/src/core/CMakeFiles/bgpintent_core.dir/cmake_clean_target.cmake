@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgpintent_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dict/builtin.cpp" "src/dict/CMakeFiles/bgpintent_dict.dir/builtin.cpp.o" "gcc" "src/dict/CMakeFiles/bgpintent_dict.dir/builtin.cpp.o.d"
+  "/root/repo/src/dict/dictionary.cpp" "src/dict/CMakeFiles/bgpintent_dict.dir/dictionary.cpp.o" "gcc" "src/dict/CMakeFiles/bgpintent_dict.dir/dictionary.cpp.o.d"
+  "/root/repo/src/dict/intent.cpp" "src/dict/CMakeFiles/bgpintent_dict.dir/intent.cpp.o" "gcc" "src/dict/CMakeFiles/bgpintent_dict.dir/intent.cpp.o.d"
+  "/root/repo/src/dict/pattern.cpp" "src/dict/CMakeFiles/bgpintent_dict.dir/pattern.cpp.o" "gcc" "src/dict/CMakeFiles/bgpintent_dict.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_dict.dir/builtin.cpp.o"
+  "CMakeFiles/bgpintent_dict.dir/builtin.cpp.o.d"
+  "CMakeFiles/bgpintent_dict.dir/dictionary.cpp.o"
+  "CMakeFiles/bgpintent_dict.dir/dictionary.cpp.o.d"
+  "CMakeFiles/bgpintent_dict.dir/intent.cpp.o"
+  "CMakeFiles/bgpintent_dict.dir/intent.cpp.o.d"
+  "CMakeFiles/bgpintent_dict.dir/pattern.cpp.o"
+  "CMakeFiles/bgpintent_dict.dir/pattern.cpp.o.d"
+  "libbgpintent_dict.a"
+  "libbgpintent_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgpintent_dict.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_locinfer.dir/locinfer.cpp.o"
+  "CMakeFiles/bgpintent_locinfer.dir/locinfer.cpp.o.d"
+  "libbgpintent_locinfer.a"
+  "libbgpintent_locinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_locinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrt/bgp_message.cpp" "src/mrt/CMakeFiles/bgpintent_mrt.dir/bgp_message.cpp.o" "gcc" "src/mrt/CMakeFiles/bgpintent_mrt.dir/bgp_message.cpp.o.d"
+  "/root/repo/src/mrt/buffer.cpp" "src/mrt/CMakeFiles/bgpintent_mrt.dir/buffer.cpp.o" "gcc" "src/mrt/CMakeFiles/bgpintent_mrt.dir/buffer.cpp.o.d"
+  "/root/repo/src/mrt/mrt_file.cpp" "src/mrt/CMakeFiles/bgpintent_mrt.dir/mrt_file.cpp.o" "gcc" "src/mrt/CMakeFiles/bgpintent_mrt.dir/mrt_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

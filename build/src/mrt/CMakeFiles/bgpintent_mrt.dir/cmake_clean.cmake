@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_mrt.dir/bgp_message.cpp.o"
+  "CMakeFiles/bgpintent_mrt.dir/bgp_message.cpp.o.d"
+  "CMakeFiles/bgpintent_mrt.dir/buffer.cpp.o"
+  "CMakeFiles/bgpintent_mrt.dir/buffer.cpp.o.d"
+  "CMakeFiles/bgpintent_mrt.dir/mrt_file.cpp.o"
+  "CMakeFiles/bgpintent_mrt.dir/mrt_file.cpp.o.d"
+  "libbgpintent_mrt.a"
+  "libbgpintent_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

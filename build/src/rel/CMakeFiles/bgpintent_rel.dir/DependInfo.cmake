@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/asrank.cpp" "src/rel/CMakeFiles/bgpintent_rel.dir/asrank.cpp.o" "gcc" "src/rel/CMakeFiles/bgpintent_rel.dir/asrank.cpp.o.d"
+  "/root/repo/src/rel/dataset.cpp" "src/rel/CMakeFiles/bgpintent_rel.dir/dataset.cpp.o" "gcc" "src/rel/CMakeFiles/bgpintent_rel.dir/dataset.cpp.o.d"
+  "/root/repo/src/rel/valley_free.cpp" "src/rel/CMakeFiles/bgpintent_rel.dir/valley_free.cpp.o" "gcc" "src/rel/CMakeFiles/bgpintent_rel.dir/valley_free.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpintent_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

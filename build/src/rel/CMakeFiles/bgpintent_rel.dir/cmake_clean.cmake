@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_rel.dir/asrank.cpp.o"
+  "CMakeFiles/bgpintent_rel.dir/asrank.cpp.o.d"
+  "CMakeFiles/bgpintent_rel.dir/dataset.cpp.o"
+  "CMakeFiles/bgpintent_rel.dir/dataset.cpp.o.d"
+  "CMakeFiles/bgpintent_rel.dir/valley_free.cpp.o"
+  "CMakeFiles/bgpintent_rel.dir/valley_free.cpp.o.d"
+  "libbgpintent_rel.a"
+  "libbgpintent_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

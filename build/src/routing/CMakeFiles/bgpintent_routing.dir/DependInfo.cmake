@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/policy.cpp" "src/routing/CMakeFiles/bgpintent_routing.dir/policy.cpp.o" "gcc" "src/routing/CMakeFiles/bgpintent_routing.dir/policy.cpp.o.d"
+  "/root/repo/src/routing/scenario.cpp" "src/routing/CMakeFiles/bgpintent_routing.dir/scenario.cpp.o" "gcc" "src/routing/CMakeFiles/bgpintent_routing.dir/scenario.cpp.o.d"
+  "/root/repo/src/routing/simulator.cpp" "src/routing/CMakeFiles/bgpintent_routing.dir/simulator.cpp.o" "gcc" "src/routing/CMakeFiles/bgpintent_routing.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/bgpintent_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpintent_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

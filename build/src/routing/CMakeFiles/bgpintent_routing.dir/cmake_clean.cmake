@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_routing.dir/policy.cpp.o"
+  "CMakeFiles/bgpintent_routing.dir/policy.cpp.o.d"
+  "CMakeFiles/bgpintent_routing.dir/scenario.cpp.o"
+  "CMakeFiles/bgpintent_routing.dir/scenario.cpp.o.d"
+  "CMakeFiles/bgpintent_routing.dir/simulator.cpp.o"
+  "CMakeFiles/bgpintent_routing.dir/simulator.cpp.o.d"
+  "libbgpintent_routing.a"
+  "libbgpintent_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_topo.dir/as_graph.cpp.o"
+  "CMakeFiles/bgpintent_topo.dir/as_graph.cpp.o.d"
+  "CMakeFiles/bgpintent_topo.dir/generator.cpp.o"
+  "CMakeFiles/bgpintent_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/bgpintent_topo.dir/org_map.cpp.o"
+  "CMakeFiles/bgpintent_topo.dir/org_map.cpp.o.d"
+  "libbgpintent_topo.a"
+  "libbgpintent_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpintent_util.dir/csv.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bgpintent_util.dir/log.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/log.cpp.o.d"
+  "CMakeFiles/bgpintent_util.dir/rng.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bgpintent_util.dir/stats.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bgpintent_util.dir/strings.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bgpintent_util.dir/table.cpp.o"
+  "CMakeFiles/bgpintent_util.dir/table.cpp.o.d"
+  "libbgpintent_util.a"
+  "libbgpintent_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpintent_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

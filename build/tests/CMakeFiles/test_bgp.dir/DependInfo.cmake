@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/asn_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/asn_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/asn_test.cpp.o.d"
+  "/root/repo/tests/bgp/aspath_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/aspath_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/aspath_test.cpp.o.d"
+  "/root/repo/tests/bgp/community_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/community_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/community_test.cpp.o.d"
+  "/root/repo/tests/bgp/extcommunity_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/extcommunity_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/extcommunity_test.cpp.o.d"
+  "/root/repo/tests/bgp/prefix_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/prefix_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/prefix_test.cpp.o.d"
+  "/root/repo/tests/bgp/prefix_trie_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/prefix_trie_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/prefix_trie_test.cpp.o.d"
+  "/root/repo/tests/bgp/route_test.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/route_test.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/route_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

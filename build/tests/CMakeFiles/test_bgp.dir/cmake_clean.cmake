@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/bgp/asn_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/asn_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/aspath_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/aspath_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/community_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/community_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/extcommunity_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/extcommunity_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/prefix_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/prefix_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/prefix_trie_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/route_test.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/route_test.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

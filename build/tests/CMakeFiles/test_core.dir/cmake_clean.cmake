@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/classifier_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/classifier_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/clustering_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clustering_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/evaluation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/evaluation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/incremental_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/incremental_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/large_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/large_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/observations_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/observations_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/summarize_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/summarize_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dict.dir/dict/dictionary_test.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/dictionary_test.cpp.o.d"
+  "CMakeFiles/test_dict.dir/dict/intent_test.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/intent_test.cpp.o.d"
+  "CMakeFiles/test_dict.dir/dict/pattern_test.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/pattern_test.cpp.o.d"
+  "test_dict"
+  "test_dict.pdb"
+  "test_dict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/locinfer/locinfer_test.cpp" "tests/CMakeFiles/test_locinfer.dir/locinfer/locinfer_test.cpp.o" "gcc" "tests/CMakeFiles/test_locinfer.dir/locinfer/locinfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locinfer/CMakeFiles/bgpintent_locinfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bgpintent_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgpintent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/bgpintent_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/bgpintent_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/bgpintent_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpintent_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locinfer.dir/locinfer/locinfer_test.cpp.o"
+  "CMakeFiles/test_locinfer.dir/locinfer/locinfer_test.cpp.o.d"
+  "test_locinfer"
+  "test_locinfer.pdb"
+  "test_locinfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

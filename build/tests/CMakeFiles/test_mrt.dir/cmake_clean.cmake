@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrt.dir/mrt/bgp_message_test.cpp.o"
+  "CMakeFiles/test_mrt.dir/mrt/bgp_message_test.cpp.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/buffer_test.cpp.o"
+  "CMakeFiles/test_mrt.dir/mrt/buffer_test.cpp.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/legacy_test.cpp.o"
+  "CMakeFiles/test_mrt.dir/mrt/legacy_test.cpp.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/mrt_file_test.cpp.o"
+  "CMakeFiles/test_mrt.dir/mrt/mrt_file_test.cpp.o.d"
+  "test_mrt"
+  "test_mrt.pdb"
+  "test_mrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

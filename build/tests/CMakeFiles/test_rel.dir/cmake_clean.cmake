@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel.dir/rel/asrank_test.cpp.o"
+  "CMakeFiles/test_rel.dir/rel/asrank_test.cpp.o.d"
+  "CMakeFiles/test_rel.dir/rel/dataset_test.cpp.o"
+  "CMakeFiles/test_rel.dir/rel/dataset_test.cpp.o.d"
+  "CMakeFiles/test_rel.dir/rel/valley_free_test.cpp.o"
+  "CMakeFiles/test_rel.dir/rel/valley_free_test.cpp.o.d"
+  "test_rel"
+  "test_rel.pdb"
+  "test_rel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/policy_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/policy_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/scenario_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/scenario_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/simulator_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/simulator_test.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

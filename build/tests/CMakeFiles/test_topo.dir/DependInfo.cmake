@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/as_graph_test.cpp" "tests/CMakeFiles/test_topo.dir/topo/as_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/as_graph_test.cpp.o.d"
+  "/root/repo/tests/topo/generator_test.cpp" "tests/CMakeFiles/test_topo.dir/topo/generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/generator_test.cpp.o.d"
+  "/root/repo/tests/topo/org_map_test.cpp" "tests/CMakeFiles/test_topo.dir/topo/org_map_test.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/org_map_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/bgpintent_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpintent_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgpintent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_dict[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_locinfer[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_rel[1]_include.cmake")
+include("/root/repo/build/tests/test_mrt[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
