@@ -80,12 +80,14 @@ bool write_to(const std::optional<std::string>& path, auto&& writer) {
 
 int cmd_infer(int argc, char** argv) {
   const auto args = Args::parse(argc, argv, 2,
-                                {"gap", "threshold", "out", "summary"},
+                                {"gap", "threshold", "out", "summary",
+                                 "threads"},
                                 {"no-siblings", "mean-ratios"});
   if (!args) return 2;
   const auto gap = args->value_u64("gap", 140);
   const auto threshold = args->value_double("threshold", 160.0);
-  if (!gap || !threshold) return 2;
+  const auto threads = args->value_u64("threads", 0);
+  if (!gap || !threshold || !threads) return 2;
 
   const auto entries = load_mrt_files(args->positional());
   if (!entries) return 1;
@@ -95,6 +97,7 @@ int cmd_infer(int argc, char** argv) {
   cfg.classifier.ratio_threshold = *threshold;
   cfg.classifier.mean_of_ratios = args->flag("mean-ratios");
   cfg.observation.sibling_aware = !args->flag("no-siblings");
+  cfg.threads = static_cast<unsigned>(*threads);
   core::Pipeline pipeline(cfg);
   const auto result = pipeline.run(*entries);
 
@@ -203,7 +206,7 @@ int cmd_relationships(int argc, char** argv) {
 
 int cmd_eval(int argc, char** argv) {
   const auto args =
-      Args::parse(argc, argv, 2, {"dict", "gap", "threshold"}, {});
+      Args::parse(argc, argv, 2, {"dict", "gap", "threshold", "threads"}, {});
   if (!args) return 2;
   const auto dict_path = args->value("dict");
   if (!dict_path) {
@@ -214,13 +217,15 @@ int cmd_eval(int argc, char** argv) {
   if (!truth) return 1;
   const auto gap = args->value_u64("gap", 140);
   const auto threshold = args->value_double("threshold", 160.0);
-  if (!gap || !threshold) return 2;
+  const auto threads = args->value_u64("threads", 0);
+  if (!gap || !threshold || !threads) return 2;
   const auto entries = load_mrt_files(args->positional());
   if (!entries) return 1;
 
   core::PipelineConfig cfg;
   cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
   cfg.classifier.ratio_threshold = *threshold;
+  cfg.threads = static_cast<unsigned>(*threads);
   core::Pipeline pipeline(cfg);
   const auto result = pipeline.run(*entries);
   const auto eval = result.score(*truth);
@@ -320,13 +325,15 @@ int cmd_help() {
       "  infer <rib.mrt>...     classify communities from MRT input\n"
       "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
       "      [--out file.csv] [--summary file.dict]\n"
+      "      [--threads N]      workers (0 = all cores, default; 1 = "
+      "sequential)\n"
       "  simulate               generate a synthetic collector RIB as MRT\n"
       "      [--seed N] [--tier1 N] [--tier2 N] [--stubs N]\n"
       "      [--vantage-points N] [--out rib.mrt] [--dict truth.dict]\n"
       "  relationships <mrt>... infer AS relationships (CAIDA serial-1)\n"
       "      [--out file]\n"
       "  eval <rib.mrt>...      score against a ground-truth dictionary\n"
-      "      --dict truth.dict [--gap N] [--threshold R]\n"
+      "      --dict truth.dict [--gap N] [--threshold R] [--threads N]\n"
       "  annotate <a:b>...      explain community values [--dict file]\n"
       "  mrt-info <file>...     MRT record statistics\n"
       "  help                   this text\n");

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "bgp/asn.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bgpintent::core {
 
@@ -14,67 +15,127 @@ Intent InferenceResult::label_of(Community community) const noexcept {
 
 namespace {
 
-/// Shared cluster walk for both classifiers.  `ratio_of` maps a community's
-/// stats to its feature ratio; `decide` labels the cluster.
+/// Classifies one alpha into `result`.  This is the parallel unit: an
+/// alpha's clusters, ratios, and labels depend only on that alpha's stats,
+/// so any partition of the alpha set yields the same per-alpha output.
+/// `ratio_of` maps a community's stats to its feature ratio; `decide`
+/// labels the cluster.
+template <typename RatioFn, typename DecideFn>
+void classify_alpha(const ObservationIndex& observations, std::uint16_t alpha,
+                    std::uint32_t min_gap, const RatioFn& ratio_of,
+                    const DecideFn& decide, InferenceResult& result) {
+  const auto betas = observations.observed_betas(alpha);
+  if (!bgp::is_public_asn16(alpha)) {
+    result.excluded_private += betas.size();
+    return;
+  }
+  if (!observations.alpha_on_any_path(alpha)) {
+    result.excluded_never_on_path += betas.size();
+    return;
+  }
+  for (Cluster& cluster : gap_cluster(alpha, betas, min_gap)) {
+    ClusterInference inference;
+    inference.pure_on = true;
+    inference.pure_off = true;
+    std::vector<double> ratios;
+    std::size_t pooled_on = 0;
+    std::size_t pooled_off = 0;
+    for (const std::uint16_t beta : cluster.betas) {
+      const CommunityStats* stats = observations.find(Community(alpha, beta));
+      // Every observed beta has stats by construction.
+      ratios.push_back(ratio_of(*stats));
+      pooled_on += stats->on_path_paths;
+      pooled_off += stats->off_path_paths;
+      if (!stats->pure_on()) inference.pure_on = false;
+      if (!stats->pure_off()) inference.pure_off = false;
+    }
+    inference.mean_ratio =
+        ratios.empty()
+            ? 0.0
+            : std::accumulate(ratios.begin(), ratios.end(), 0.0) /
+                  static_cast<double>(ratios.size());
+    inference.pooled_ratio =
+        static_cast<double>(pooled_on) /
+        static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
+    inference.intent = decide(inference, pooled_on, pooled_off);
+    for (const std::uint16_t beta : cluster.betas) {
+      result.labels.emplace(Community(alpha, beta), inference.intent);
+      if (inference.intent == Intent::kInformation)
+        ++result.information_count;
+      else
+        ++result.action_count;
+    }
+    inference.cluster = std::move(cluster);
+    result.clusters.push_back(std::move(inference));
+  }
+}
+
+/// Shared driver for both classifiers.  Sequential when `pool` is null (or
+/// trivial); otherwise splits the sorted alpha list into contiguous chunks,
+/// classifies each chunk into a private InferenceResult on the pool, and
+/// concatenates the partial results in chunk order — which reproduces the
+/// sequential cluster order and counters exactly (see docs/THREADING.md).
 template <typename RatioFn, typename DecideFn>
 InferenceResult classify_impl(const ObservationIndex& observations,
                               std::uint32_t min_gap, RatioFn ratio_of,
-                              DecideFn decide) {
+                              DecideFn decide, util::ThreadPool* pool) {
+  const std::vector<std::uint16_t> alphas = observations.alphas();
+
+  if (pool == nullptr || pool->size() <= 1 || alphas.size() < 2) {
+    InferenceResult result;
+    for (const std::uint16_t alpha : alphas)
+      classify_alpha(observations, alpha, min_gap, ratio_of, decide, result);
+    return result;
+  }
+
+  const std::size_t chunk_count = std::min(
+      alphas.size(), static_cast<std::size_t>(pool->size()) * 4);
+  const std::size_t base = alphas.size() / chunk_count;
+  const std::size_t extra = alphas.size() % chunk_count;
+  std::vector<std::future<InferenceResult>> parts;
+  parts.reserve(chunk_count);
+  std::size_t begin = 0;
+  for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+    // By-reference captures are safe: every future is consumed below
+    // before this function returns.
+    parts.push_back(pool->submit([&, begin, end]() {
+      InferenceResult part;
+      for (std::size_t i = begin; i < end; ++i)
+        classify_alpha(observations, alphas[i], min_gap, ratio_of, decide,
+                       part);
+      return part;
+    }));
+    begin = end;
+  }
+
   InferenceResult result;
-  for (const std::uint16_t alpha : observations.alphas()) {
-    const auto betas = observations.observed_betas(alpha);
-    if (!bgp::is_public_asn16(alpha)) {
-      result.excluded_private += betas.size();
-      continue;
-    }
-    if (!observations.alpha_on_any_path(alpha)) {
-      result.excluded_never_on_path += betas.size();
-      continue;
-    }
-    for (Cluster& cluster : gap_cluster(alpha, betas, min_gap)) {
-      ClusterInference inference;
-      inference.pure_on = true;
-      inference.pure_off = true;
-      std::vector<double> ratios;
-      std::size_t pooled_on = 0;
-      std::size_t pooled_off = 0;
-      for (const std::uint16_t beta : cluster.betas) {
-        const CommunityStats* stats =
-            observations.find(Community(alpha, beta));
-        // Every observed beta has stats by construction.
-        ratios.push_back(ratio_of(*stats));
-        pooled_on += stats->on_path_paths;
-        pooled_off += stats->off_path_paths;
-        if (!stats->pure_on()) inference.pure_on = false;
-        if (!stats->pure_off()) inference.pure_off = false;
-      }
-      inference.mean_ratio =
-          ratios.empty()
-              ? 0.0
-              : std::accumulate(ratios.begin(), ratios.end(), 0.0) /
-                    static_cast<double>(ratios.size());
-      inference.pooled_ratio =
-          static_cast<double>(pooled_on) /
-          static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
-      inference.intent = decide(inference, pooled_on, pooled_off);
-      for (const std::uint16_t beta : cluster.betas) {
-        result.labels.emplace(Community(alpha, beta), inference.intent);
-        if (inference.intent == Intent::kInformation)
-          ++result.information_count;
-        else
-          ++result.action_count;
-      }
-      inference.cluster = std::move(cluster);
-      result.clusters.push_back(std::move(inference));
+  std::exception_ptr first_error;  // drain every future before rethrowing:
+                                   // running tasks borrow our stack frame
+  for (std::future<InferenceResult>& future : parts) {
+    try {
+      InferenceResult part = future.get();
+      result.clusters.insert(result.clusters.end(),
+                             std::make_move_iterator(part.clusters.begin()),
+                             std::make_move_iterator(part.clusters.end()));
+      result.labels.merge(part.labels);
+      result.information_count += part.information_count;
+      result.action_count += part.action_count;
+      result.excluded_private += part.excluded_private;
+      result.excluded_never_on_path += part.excluded_never_on_path;
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
     }
   }
+  if (first_error) std::rethrow_exception(first_error);
   return result;
 }
 
 }  // namespace
 
 InferenceResult classify(const ObservationIndex& observations,
-                         const ClassifierConfig& config) {
+                         const ClassifierConfig& config,
+                         util::ThreadPool* pool) {
   return classify_impl(
       observations, config.min_gap,
       [](const CommunityStats& stats) { return stats.on_off_ratio(); },
@@ -86,7 +147,8 @@ InferenceResult classify(const ObservationIndex& observations,
                        config.ratio_threshold
                    ? Intent::kInformation
                    : Intent::kAction;
-      });
+      },
+      pool);
 }
 
 InferenceResult classify_customer_peer(const ObservationIndex& observations,
@@ -99,7 +161,8 @@ InferenceResult classify_customer_peer(const ObservationIndex& observations,
         return inference.mean_ratio < config.ratio_threshold
                    ? Intent::kInformation
                    : Intent::kAction;
-      });
+      },
+      /*pool=*/nullptr);
 }
 
 }  // namespace bgpintent::core

@@ -22,6 +22,10 @@
 #include "core/observations.hpp"
 #include "dict/intent.hpp"
 
+namespace bgpintent::util {
+class ThreadPool;
+}
+
 namespace bgpintent::core {
 
 using dict::Intent;
@@ -61,6 +65,9 @@ struct ClusterInference {
   [[nodiscard]] double decision_ratio(bool mean_of_ratios) const noexcept {
     return mean_of_ratios ? mean_ratio : pooled_ratio;
   }
+
+  friend bool operator==(const ClusterInference&,
+                         const ClusterInference&) = default;
 };
 
 /// Full classification output.
@@ -82,8 +89,12 @@ struct InferenceResult {
 };
 
 /// Runs clustering + ratio classification over every observed alpha.
+/// Alphas are independent (each owns its beta ranges and ratios), so when
+/// `pool` is non-null they are classified in parallel; the merged result —
+/// including cluster order — is identical to the sequential one.
 [[nodiscard]] InferenceResult classify(const ObservationIndex& observations,
-                                       const ClassifierConfig& config = {});
+                                       const ClassifierConfig& config = {},
+                                       util::ThreadPool* pool = nullptr);
 
 struct CustomerPeerConfig {
   std::uint32_t min_gap = 140;

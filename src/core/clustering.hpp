@@ -21,6 +21,8 @@ struct Cluster {
   [[nodiscard]] std::uint16_t lo() const noexcept { return betas.front(); }
   [[nodiscard]] std::uint16_t hi() const noexcept { return betas.back(); }
   [[nodiscard]] std::size_t size() const noexcept { return betas.size(); }
+
+  friend bool operator==(const Cluster&, const Cluster&) = default;
 };
 
 /// Splits sorted, deduplicated `betas` into clusters: adjacent values stay

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace bgpintent::core {
 
 namespace {
@@ -17,70 +19,133 @@ bool on_path(const bgp::AsPath& path, std::uint16_t alpha,
   return false;
 }
 
+struct Accumulator {
+  std::unordered_set<std::uint64_t> on_paths;
+  std::unordered_set<std::uint64_t> off_paths;
+  std::size_t customer_votes = 0;
+  std::size_t peer_votes = 0;
+  std::size_t provider_votes = 0;
+};
+
+/// One shard's private accumulation state.  In the parallel build each
+/// shard owns the alphas with `alpha % shard_count == shard`, so no
+/// community appears in more than one shard; the sequential build is just
+/// a single shard over everything.
+struct Shard {
+  std::unordered_map<Community, Accumulator> acc;
+  std::unordered_set<std::uint64_t> unique_paths;
+  std::unordered_set<Asn> asns_on_paths;
+};
+
+/// The per-tuple update, shared verbatim between the sequential and
+/// parallel builds so they cannot diverge.
+void accumulate(const bgp::PathCommunityTuple& tuple, const topo::OrgMap* orgs,
+                const rel::RelationshipDataset* relationships,
+                bool sibling_aware, Shard& shard) {
+  const std::uint64_t path_hash = tuple.path.hash();
+  shard.unique_paths.insert(path_hash);
+  for (const Asn asn : tuple.path.unique_asns())
+    shard.asns_on_paths.insert(asn);
+
+  Accumulator& a = shard.acc[tuple.community];
+  const std::uint16_t alpha = tuple.community.alpha();
+  if (on_path(tuple.path, alpha, orgs, sibling_aware)) {
+    if (a.on_paths.insert(path_hash).second && relationships != nullptr) {
+      // First time this unique path is counted: record the relationship
+      // between alpha and its successor toward the origin.
+      if (const auto next = tuple.path.next_toward_origin(alpha)) {
+        const auto rel = relationships->relationship(alpha, *next);
+        if (rel == topo::RelFrom::kCustomer)
+          ++a.customer_votes;
+        else if (rel == topo::RelFrom::kPeer)
+          ++a.peer_votes;
+        else if (rel == topo::RelFrom::kProvider)
+          ++a.provider_votes;
+      }
+    }
+  } else {
+    a.off_paths.insert(path_hash);
+  }
+}
+
 }  // namespace
+
+/// Merges shards into the final sorted index.  Deterministic: per-shard
+/// stats are disjoint by construction, the stats vector is sorted, and the
+/// unique-path / on-path-ASN sets are unions — none of it depends on shard
+/// count or completion order.
+struct ObservationBuilder {
+  static ObservationIndex merge_shards(std::vector<Shard>& shards,
+                                       const topo::OrgMap* orgs,
+                                       const ObservationConfig& config) {
+    ObservationIndex index;
+    index.orgs_ = orgs;
+    index.sibling_aware_ = config.sibling_aware;
+
+    std::unordered_set<std::uint64_t> unique_paths;
+    std::size_t community_total = 0;
+    for (const Shard& shard : shards) community_total += shard.acc.size();
+    index.stats_.reserve(community_total);
+    for (Shard& shard : shards) {
+      for (const auto& [community, a] : shard.acc) {
+        CommunityStats stats;
+        stats.community = community;
+        stats.on_path_paths = a.on_paths.size();
+        stats.off_path_paths = a.off_paths.size();
+        stats.customer_votes = a.customer_votes;
+        stats.peer_votes = a.peer_votes;
+        stats.provider_votes = a.provider_votes;
+        index.stats_.push_back(stats);
+      }
+      unique_paths.insert(shard.unique_paths.begin(), shard.unique_paths.end());
+      index.asns_on_paths_.insert(shard.asns_on_paths.begin(),
+                                  shard.asns_on_paths.end());
+    }
+    index.unique_paths_ = unique_paths.size();
+    std::sort(index.stats_.begin(), index.stats_.end(),
+              [](const CommunityStats& x, const CommunityStats& y) {
+                return x.community < y.community;
+              });
+    return index;
+  }
+};
 
 ObservationIndex ObservationIndex::build(
     std::span<const bgp::PathCommunityTuple> tuples, const topo::OrgMap* orgs,
     const rel::RelationshipDataset* relationships,
     const ObservationConfig& config) {
-  ObservationIndex index;
-  index.orgs_ = orgs;
-  index.sibling_aware_ = config.sibling_aware;
+  std::vector<Shard> shards(1);
+  for (const bgp::PathCommunityTuple& tuple : tuples)
+    accumulate(tuple, orgs, relationships, config.sibling_aware, shards[0]);
+  return ObservationBuilder::merge_shards(shards, orgs, config);
+}
 
-  struct Accumulator {
-    std::unordered_set<std::uint64_t> on_paths;
-    std::unordered_set<std::uint64_t> off_paths;
-    std::size_t customer_votes = 0;
-    std::size_t peer_votes = 0;
-    std::size_t provider_votes = 0;
-  };
-  std::unordered_map<Community, Accumulator> acc;
-  std::unordered_set<std::uint64_t> unique_paths;
+ObservationIndex ObservationIndex::build_parallel(
+    std::span<const bgp::PathCommunityTuple> tuples, util::ThreadPool& pool,
+    const topo::OrgMap* orgs, const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
+  if (pool.size() <= 1 || tuples.size() < 2)
+    return build(tuples, orgs, relationships, config);
 
-  for (const bgp::PathCommunityTuple& tuple : tuples) {
-    const std::uint64_t path_hash = tuple.path.hash();
-    unique_paths.insert(path_hash);
-    for (const Asn asn : tuple.path.unique_asns())
-      index.asns_on_paths_.insert(asn);
+  // Oversubscribe shards 4x so the work-stealing pool can rebalance skewed
+  // alphas; shard count does not affect the result.
+  const std::size_t shard_count =
+      std::min<std::size_t>(static_cast<std::size_t>(pool.size()) * 4, 256);
 
-    Accumulator& a = acc[tuple.community];
-    const std::uint16_t alpha = tuple.community.alpha();
-    if (on_path(tuple.path, alpha, orgs, config.sibling_aware)) {
-      if (a.on_paths.insert(path_hash).second && relationships != nullptr) {
-        // First time this unique path is counted: record the relationship
-        // between alpha and its successor toward the origin.
-        if (const auto next = tuple.path.next_toward_origin(alpha)) {
-          const auto rel = relationships->relationship(alpha, *next);
-          if (rel == topo::RelFrom::kCustomer)
-            ++a.customer_votes;
-          else if (rel == topo::RelFrom::kPeer)
-            ++a.peer_votes;
-          else if (rel == topo::RelFrom::kProvider)
-            ++a.provider_votes;
-        }
-      }
-    } else {
-      a.off_paths.insert(path_hash);
-    }
-  }
+  // Bucket tuple indices by owning shard (cheap single pass) so each shard
+  // task touches only its own tuples, in input order.
+  std::vector<std::vector<std::size_t>> buckets(shard_count);
+  for (std::size_t i = 0; i < tuples.size(); ++i)
+    buckets[tuples[i].community.alpha() % shard_count].push_back(i);
 
-  index.unique_paths_ = unique_paths.size();
-  index.stats_.reserve(acc.size());
-  for (const auto& [community, a] : acc) {
-    CommunityStats stats;
-    stats.community = community;
-    stats.on_path_paths = a.on_paths.size();
-    stats.off_path_paths = a.off_paths.size();
-    stats.customer_votes = a.customer_votes;
-    stats.peer_votes = a.peer_votes;
-    stats.provider_votes = a.provider_votes;
-    index.stats_.push_back(stats);
-  }
-  std::sort(index.stats_.begin(), index.stats_.end(),
-            [](const CommunityStats& x, const CommunityStats& y) {
-              return x.community < y.community;
-            });
-  return index;
+  std::vector<Shard> shards(shard_count);
+  pool.parallel_for(shard_count, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s)
+      for (const std::size_t i : buckets[s])
+        accumulate(tuples[i], orgs, relationships, config.sibling_aware,
+                   shards[s]);
+  });
+  return ObservationBuilder::merge_shards(shards, orgs, config);
 }
 
 ObservationIndex ObservationIndex::from_entries(

@@ -11,6 +11,13 @@
 // alternative customer:peer feature the paper evaluates and rejects
 // (Fig. 7): for each on-path observation, the relationship between alpha
 // and the AS that follows it toward the origin.
+//
+// Parallel construction (build_parallel, docs/THREADING.md): tuples are
+// sharded by `alpha % shard_count`, so every community — and with it every
+// on/off-path set and vote counter — is owned by exactly one shard and
+// accumulated without locks.  Shards see their tuples in the original
+// input order and the merge sorts stats by community, which makes the
+// parallel index identical to the sequential one for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,10 @@
 #include "bgp/route.hpp"
 #include "rel/dataset.hpp"
 #include "topo/org_map.hpp"
+
+namespace bgpintent::util {
+class ThreadPool;
+}
 
 namespace bgpintent::core {
 
@@ -56,6 +67,9 @@ struct CommunityStats {
     return static_cast<double>(customer_votes) /
            static_cast<double>(peer_votes == 0 ? 1 : peer_votes);
   }
+
+  friend bool operator==(const CommunityStats&,
+                         const CommunityStats&) = default;
 };
 
 struct ObservationConfig {
@@ -70,6 +84,15 @@ class ObservationIndex {
   /// null (customer/peer votes left at zero).
   [[nodiscard]] static ObservationIndex build(
       std::span<const bgp::PathCommunityTuple> tuples,
+      const topo::OrgMap* orgs = nullptr,
+      const rel::RelationshipDataset* relationships = nullptr,
+      const ObservationConfig& config = {});
+
+  /// Sharded parallel build on `pool`; the result is identical to build()
+  /// for any pool size (see the file comment for the sharding argument).
+  /// Falls back to the sequential path on a single-worker pool.
+  [[nodiscard]] static ObservationIndex build_parallel(
+      std::span<const bgp::PathCommunityTuple> tuples, util::ThreadPool& pool,
       const topo::OrgMap* orgs = nullptr,
       const rel::RelationshipDataset* relationships = nullptr,
       const ObservationConfig& config = {});
@@ -108,6 +131,10 @@ class ObservationIndex {
   }
 
  private:
+  // Build-time helper (observations.cpp) that assembles the index from
+  // per-shard accumulation state.
+  friend struct ObservationBuilder;
+
   std::vector<CommunityStats> stats_;          // sorted by community
   std::unordered_set<Asn> asns_on_paths_;      // every ASN seen in any path
   const topo::OrgMap* orgs_ = nullptr;         // for sibling queries

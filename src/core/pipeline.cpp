@@ -1,29 +1,60 @@
 #include "core/pipeline.hpp"
 
 #include "mrt/mrt_file.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bgpintent::core {
 
 PipelineResult Pipeline::run(
     std::span<const bgp::PathCommunityTuple> tuples) const {
+  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+    // Sequential reference path: no pool, no sharding.
+    PipelineResult result;
+    result.observations = ObservationIndex::build(tuples, orgs_,
+                                                  relationships_,
+                                                  config_.observation);
+    result.inference = classify(result.observations, config_.classifier);
+    return result;
+  }
+  util::ThreadPool pool(config_.threads);
+  return run_on_pool(tuples, pool);
+}
+
+PipelineResult Pipeline::run_on_pool(
+    std::span<const bgp::PathCommunityTuple> tuples,
+    util::ThreadPool& pool) const {
   PipelineResult result;
-  result.observations = ObservationIndex::build(tuples, orgs_, relationships_,
-                                                config_.observation);
-  result.inference = classify(result.observations, config_.classifier);
+  result.observations = ObservationIndex::build_parallel(
+      tuples, pool, orgs_, relationships_, config_.observation);
+  result.inference = classify(result.observations, config_.classifier, &pool);
   return result;
 }
 
 PipelineResult Pipeline::run(std::span<const bgp::RibEntry> entries) const {
-  PipelineResult result;
-  result.observations = ObservationIndex::from_entries(
-      entries, orgs_, relationships_, config_.observation);
-  result.inference = classify(result.observations, config_.classifier);
-  return result;
+  // Tuple expansion is a cheap copy pass; both paths share it so entry
+  // and tuple inputs stay equivalent.
+  std::vector<bgp::PathCommunityTuple> tuples;
+  for (const bgp::RibEntry& entry : entries)
+    for (const Community community : entry.route.communities)
+      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
+  return run(tuples);
 }
 
 PipelineResult Pipeline::run_mrt(std::istream& in) const {
-  const std::vector<bgp::RibEntry> entries = mrt::read_rib_entries(in);
-  return run(entries);
+  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+    const std::vector<bgp::RibEntry> entries = mrt::read_rib_entries(in);
+    return run(entries);
+  }
+  // One pool serves all three stages: chunked decode, sharded indexing,
+  // per-alpha classification.
+  util::ThreadPool pool(config_.threads);
+  const std::vector<bgp::RibEntry> entries =
+      mrt::read_rib_entries_parallel(in, pool);
+  std::vector<bgp::PathCommunityTuple> tuples;
+  for (const bgp::RibEntry& entry : entries)
+    for (const Community community : entry.route.communities)
+      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
+  return run_on_pool(tuples, pool);
 }
 
 }  // namespace bgpintent::core

@@ -2,6 +2,12 @@
 // streams), coarse-grained intent labels out.  This is the library's main
 // entry point — the programmatic equivalent of running the paper's released
 // tool over one week of RouteViews/RIS data.
+//
+// With threads != 1 the three hot stages run on one work-stealing pool:
+// chunked MRT decode, alpha-sharded observation indexing, and per-alpha
+// clustering + classification.  Output is identical for every thread
+// count; threads == 1 takes the sequential reference implementation
+// end-to-end (docs/THREADING.md).
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +21,10 @@ namespace bgpintent::core {
 struct PipelineConfig {
   ObservationConfig observation;
   ClassifierConfig classifier;
+  /// Worker threads for ingest, indexing, and classification.
+  /// 1 = the sequential reference path (default); 0 = hardware
+  /// concurrency; N = exactly N workers.  Results do not depend on this.
+  unsigned threads = 1;
 };
 
 /// Inference output bundled with the index it was computed from (the index
@@ -57,6 +67,10 @@ class Pipeline {
   [[nodiscard]] PipelineResult run_mrt(std::istream& in) const;
 
  private:
+  [[nodiscard]] PipelineResult run_on_pool(
+      std::span<const bgp::PathCommunityTuple> tuples,
+      util::ThreadPool& pool) const;
+
   PipelineConfig config_;
   const topo::OrgMap* orgs_ = nullptr;
   const rel::RelationshipDataset* relationships_ = nullptr;

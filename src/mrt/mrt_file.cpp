@@ -1,9 +1,12 @@
 #include "mrt/mrt_file.hpp"
 
 #include "bgp/asn.hpp"
+#include "util/thread_pool.hpp"
 
+#include <deque>
 #include <istream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -235,76 +238,56 @@ bool MrtReader::next(MrtRecord& record) {
   return true;
 }
 
-std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
-  std::vector<bgp::RibEntry> entries;
+namespace {
+
+/// Decodes a PEER_INDEX_TABLE body into a fresh peer table.
+std::vector<bgp::VantagePointId> decode_peer_index_table(
+    const MrtRecord& record) {
   std::vector<bgp::VantagePointId> peer_table;
-  MrtReader reader(in);
-  MrtRecord record;
-  while (reader.next(record)) {
-    if (record.type == kTypeTableDumpV2 &&
-        record.subtype == kSubtypePeerIndexTable) {
-      peer_table.clear();
-      ByteReader body(record.body);
-      body.skip(4);  // collector id
-      const std::uint16_t name_len = body.get_u16();
-      body.skip(name_len);
-      const std::uint16_t count = body.get_u16();
-      for (std::uint16_t i = 0; i < count; ++i) {
-        const std::uint8_t peer_type = body.get_u8();
-        if ((peer_type & 0x01) != 0)
-          throw MrtError("IPv6 peers not supported");
-        body.skip(4);  // BGP id
-        bgp::VantagePointId peer;
-        peer.address = body.get_u32();
-        peer.asn = (peer_type & kPeerTypeAs4) != 0
-                       ? body.get_u32()
-                       : body.get_u16();
-        peer_table.push_back(peer);
-      }
-    } else if (record.type == kTypeTableDumpV2 &&
-               record.subtype == kSubtypeRibIpv4Unicast) {
-      ByteReader body(record.body);
-      body.skip(4);  // sequence
-      const bgp::Prefix prefix = decode_nlri_prefix(body);
-      const std::uint16_t count = body.get_u16();
-      for (std::uint16_t i = 0; i < count; ++i) {
-        const std::uint16_t peer_idx = body.get_u16();
-        body.skip(4);  // originated time
-        const std::uint16_t attr_len = body.get_u16();
-        const PathAttributes attrs =
-            decode_path_attributes(body, attr_len);
-        if (peer_idx >= peer_table.size())
-          throw MrtError("peer index out of range");
-        bgp::RibEntry entry;
-        entry.vantage_point = peer_table[peer_idx];
-        entry.route.prefix = prefix;
-        entry.route.path = attrs.as_path;
-        entry.route.communities = attrs.communities;
-        entry.route.ext_communities = attrs.ext_communities;
-        entry.route.large_communities = attrs.large_communities;
-        entry.route.next_hop = attrs.next_hop;
-        entry.route.origin_attr = attrs.origin;
-        entry.route.med = attrs.med;
-        entry.route.local_pref = attrs.local_pref;
-        entries.push_back(std::move(entry));
-      }
-    } else if (record.type == kTypeTableDump &&
-               record.subtype == kSubtypeTableDumpIpv4) {
-      ByteReader body(record.body);
-      body.skip(2);  // view
-      body.skip(2);  // sequence
-      const std::uint32_t address = body.get_u32();
-      const std::uint8_t length = body.get_u8();
-      if (length > 32) throw MrtError("bad legacy prefix length");
-      body.skip(1);  // status
+  ByteReader body(record.body);
+  body.skip(4);  // collector id
+  const std::uint16_t name_len = body.get_u16();
+  body.skip(name_len);
+  const std::uint16_t count = body.get_u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint8_t peer_type = body.get_u8();
+    if ((peer_type & 0x01) != 0)
+      throw MrtError("IPv6 peers not supported");
+    body.skip(4);  // BGP id
+    bgp::VantagePointId peer;
+    peer.address = body.get_u32();
+    peer.asn = (peer_type & kPeerTypeAs4) != 0
+                   ? body.get_u32()
+                   : body.get_u16();
+    peer_table.push_back(peer);
+  }
+  return peer_table;
+}
+
+/// Decodes one non-PEER_INDEX_TABLE record into `entries`.  Pure function
+/// of (record, peer_table) — the per-record unit shared by the sequential
+/// and parallel readers, and what makes chunked decoding safe: workers
+/// only ever read `peer_table` through an immutable snapshot.
+void decode_data_record(const MrtRecord& record,
+                        const std::vector<bgp::VantagePointId>& peer_table,
+                        std::vector<bgp::RibEntry>& entries) {
+  if (record.type == kTypeTableDumpV2 &&
+      record.subtype == kSubtypeRibIpv4Unicast) {
+    ByteReader body(record.body);
+    body.skip(4);  // sequence
+    const bgp::Prefix prefix = decode_nlri_prefix(body);
+    const std::uint16_t count = body.get_u16();
+    for (std::uint16_t i = 0; i < count; ++i) {
+      const std::uint16_t peer_idx = body.get_u16();
       body.skip(4);  // originated time
-      bgp::RibEntry entry;
-      entry.vantage_point.address = body.get_u32();
-      entry.vantage_point.asn = body.get_u16();
       const std::uint16_t attr_len = body.get_u16();
       const PathAttributes attrs =
-          decode_path_attributes(body, attr_len, /*asn16=*/true);
-      entry.route.prefix = bgp::Prefix(address, length);
+          decode_path_attributes(body, attr_len);
+      if (peer_idx >= peer_table.size())
+        throw MrtError("peer index out of range");
+      bgp::RibEntry entry;
+      entry.vantage_point = peer_table[peer_idx];
+      entry.route.prefix = prefix;
       entry.route.path = attrs.as_path;
       entry.route.communities = attrs.communities;
       entry.route.ext_communities = attrs.ext_communities;
@@ -314,39 +297,146 @@ std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
       entry.route.med = attrs.med;
       entry.route.local_pref = attrs.local_pref;
       entries.push_back(std::move(entry));
-    } else if (record.type == kTypeBgp4mp &&
-               (record.subtype == kSubtypeBgp4mpStateChange ||
-                record.subtype == kSubtypeBgp4mpStateChangeAs4)) {
-      // Session state transitions carry no routes; skipped by design.
-    } else if (record.type == kTypeBgp4mp &&
-               record.subtype == kSubtypeBgp4mpMessageAs4) {
-      ByteReader body(record.body);
-      bgp::VantagePointId peer;
-      peer.asn = body.get_u32();
-      body.skip(4);  // local AS
-      body.skip(2);  // interface
-      const std::uint16_t afi = body.get_u16();
-      if (afi != 1) continue;  // IPv4 only
-      peer.address = body.get_u32();
-      body.skip(4);  // local IP
-      const BgpUpdate update = decode_bgp_message(body);
-      for (const bgp::Prefix& prefix : update.announced) {
-        bgp::RibEntry entry;
-        entry.vantage_point = peer;
-        entry.route.prefix = prefix;
-        entry.route.path = update.attrs.as_path;
-        entry.route.communities = update.attrs.communities;
-        entry.route.ext_communities = update.attrs.ext_communities;
-        entry.route.large_communities = update.attrs.large_communities;
-        entry.route.next_hop = update.attrs.next_hop;
-        entry.route.origin_attr = update.attrs.origin;
-        entry.route.med = update.attrs.med;
-        entry.route.local_pref = update.attrs.local_pref;
-        entries.push_back(std::move(entry));
-      }
     }
-    // Other record types: skipped.
+  } else if (record.type == kTypeTableDump &&
+             record.subtype == kSubtypeTableDumpIpv4) {
+    ByteReader body(record.body);
+    body.skip(2);  // view
+    body.skip(2);  // sequence
+    const std::uint32_t address = body.get_u32();
+    const std::uint8_t length = body.get_u8();
+    if (length > 32) throw MrtError("bad legacy prefix length");
+    body.skip(1);  // status
+    body.skip(4);  // originated time
+    bgp::RibEntry entry;
+    entry.vantage_point.address = body.get_u32();
+    entry.vantage_point.asn = body.get_u16();
+    const std::uint16_t attr_len = body.get_u16();
+    const PathAttributes attrs =
+        decode_path_attributes(body, attr_len, /*asn16=*/true);
+    entry.route.prefix = bgp::Prefix(address, length);
+    entry.route.path = attrs.as_path;
+    entry.route.communities = attrs.communities;
+    entry.route.ext_communities = attrs.ext_communities;
+    entry.route.large_communities = attrs.large_communities;
+    entry.route.next_hop = attrs.next_hop;
+    entry.route.origin_attr = attrs.origin;
+    entry.route.med = attrs.med;
+    entry.route.local_pref = attrs.local_pref;
+    entries.push_back(std::move(entry));
+  } else if (record.type == kTypeBgp4mp &&
+             (record.subtype == kSubtypeBgp4mpStateChange ||
+              record.subtype == kSubtypeBgp4mpStateChangeAs4)) {
+    // Session state transitions carry no routes; skipped by design.
+  } else if (record.type == kTypeBgp4mp &&
+             record.subtype == kSubtypeBgp4mpMessageAs4) {
+    ByteReader body(record.body);
+    bgp::VantagePointId peer;
+    peer.asn = body.get_u32();
+    body.skip(4);  // local AS
+    body.skip(2);  // interface
+    const std::uint16_t afi = body.get_u16();
+    if (afi != 1) return;  // IPv4 only
+    peer.address = body.get_u32();
+    body.skip(4);  // local IP
+    const BgpUpdate update = decode_bgp_message(body);
+    for (const bgp::Prefix& prefix : update.announced) {
+      bgp::RibEntry entry;
+      entry.vantage_point = peer;
+      entry.route.prefix = prefix;
+      entry.route.path = update.attrs.as_path;
+      entry.route.communities = update.attrs.communities;
+      entry.route.ext_communities = update.attrs.ext_communities;
+      entry.route.large_communities = update.attrs.large_communities;
+      entry.route.next_hop = update.attrs.next_hop;
+      entry.route.origin_attr = update.attrs.origin;
+      entry.route.med = update.attrs.med;
+      entry.route.local_pref = update.attrs.local_pref;
+      entries.push_back(std::move(entry));
+    }
   }
+  // Other record types: skipped.
+}
+
+bool is_peer_index_table(const MrtRecord& record) noexcept {
+  return record.type == kTypeTableDumpV2 &&
+         record.subtype == kSubtypePeerIndexTable;
+}
+
+}  // namespace
+
+std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
+  std::vector<bgp::RibEntry> entries;
+  std::vector<bgp::VantagePointId> peer_table;
+  MrtReader reader(in);
+  MrtRecord record;
+  while (reader.next(record)) {
+    if (is_peer_index_table(record))
+      peer_table = decode_peer_index_table(record);
+    else
+      decode_data_record(record, peer_table, entries);
+  }
+  return entries;
+}
+
+std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
+                                                     util::ThreadPool& pool) {
+  // Records per decode task: large enough to amortize scheduling, small
+  // enough to keep all workers busy on typical RIB chunk sizes.
+  constexpr std::size_t kChunkRecords = 64;
+  const std::size_t max_in_flight =
+      static_cast<std::size_t>(pool.size()) * 2 + 2;
+
+  std::vector<bgp::RibEntry> entries;
+  // The bounded queue: completed-or-running decode tasks in submission
+  // order.  Draining the front blocks until that chunk is decoded (and
+  // rethrows its MrtError, preserving chunk order for errors).
+  std::deque<std::future<std::vector<bgp::RibEntry>>> in_flight;
+  auto peers = std::make_shared<const std::vector<bgp::VantagePointId>>();
+
+  auto drain_front = [&entries, &in_flight]() {
+    std::vector<bgp::RibEntry> decoded = in_flight.front().get();
+    in_flight.pop_front();
+    entries.insert(entries.end(), std::make_move_iterator(decoded.begin()),
+                   std::make_move_iterator(decoded.end()));
+  };
+  auto submit_chunk = [&](std::vector<MrtRecord>&& records) {
+    // The task owns its records and peer-table snapshot outright, so it
+    // stays valid even if this function throws and abandons the future.
+    in_flight.push_back(
+        pool.submit([records = std::move(records), snapshot = peers]() {
+          std::vector<bgp::RibEntry> decoded;
+          for (const MrtRecord& record : records)
+            decode_data_record(record, *snapshot, decoded);
+          return decoded;
+        }));
+    while (in_flight.size() >= max_in_flight) drain_front();
+  };
+
+  MrtReader reader(in);
+  MrtRecord record;
+  std::vector<MrtRecord> batch;
+  while (reader.next(record)) {
+    if (is_peer_index_table(record)) {
+      // Peer-table switch: flush so no chunk spans two tables, then
+      // publish a fresh immutable snapshot for subsequent chunks.
+      if (!batch.empty()) {
+        submit_chunk(std::move(batch));
+        batch = {};
+      }
+      peers = std::make_shared<const std::vector<bgp::VantagePointId>>(
+          decode_peer_index_table(record));
+      continue;
+    }
+    batch.push_back(std::move(record));
+    record = {};
+    if (batch.size() >= kChunkRecords) {
+      submit_chunk(std::move(batch));
+      batch = {};
+    }
+  }
+  if (!batch.empty()) submit_chunk(std::move(batch));
+  while (!in_flight.empty()) drain_front();
   return entries;
 }
 

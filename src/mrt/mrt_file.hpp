@@ -18,6 +18,10 @@
 #include "bgp/route.hpp"
 #include "mrt/bgp_message.hpp"
 
+namespace bgpintent::util {
+class ThreadPool;
+}
+
 namespace bgpintent::mrt {
 
 // MRT record types / subtypes (RFC 6396 §4).
@@ -96,5 +100,24 @@ class MrtReader {
 /// Convenience: decode the records of one in-memory MRT body.
 [[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(
     const std::vector<std::uint8_t>& bytes);
+
+/// Parallel variant of read_rib_entries: the caller's thread sequentially
+/// frames records off the stream (record lengths are data-dependent, so
+/// framing cannot be split) and batches them into chunks; chunk *decoding*
+/// — the attribute/NLRI parsing that dominates ingest cost — runs on
+/// `pool`.  In-flight chunks are bounded at ~2x the pool size, so memory
+/// stays proportional to the pool, never to the file.  Results concatenate
+/// in chunk submission order and are identical to the sequential reader's.
+///
+/// PEER_INDEX_TABLE records are decoded inline by the framing thread
+/// (rare, cheap); each chunk carries an immutable snapshot of the peer
+/// table in force when its records were framed.
+///
+/// Errors: malformed record bodies raise mrt::MrtError out of this call in
+/// chunk order; framing errors (truncated header/body, oversized record)
+/// raise immediately.  Abandoned in-flight chunks self-contain their data,
+/// so an early throw cannot deadlock or leave dangling references.
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries_parallel(
+    std::istream& in, util::ThreadPool& pool);
 
 }  // namespace bgpintent::mrt

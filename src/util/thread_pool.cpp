@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace bgpintent::util {
+
+unsigned ThreadPool::resolve(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve(threads);
+  queues_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    workers_.emplace_back([this, i]() { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Lock so no worker can check the predicate between our store and
+    // notify, sleep afterwards, and miss the shutdown forever.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Incrementing under sleep_mutex_ serializes with the workers'
+    // predicate check — otherwise a notify could fire between a worker
+    // seeing pending_ == 0 and blocking, and be lost.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first, newest task (LIFO: it is the cache-warmest) …
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      return true;
+    }
+  }
+  // … then steal the oldest task from any other queue (FIFO keeps the
+  // victim's locality intact and drains the longest-waiting work first).
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();           // exceptions are captured by the packaged_task
+      task = nullptr;   // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this]() {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;  // drained: every queued task has been popped
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks =
+      std::min(count, static_cast<std::size_t>(size()) * 4);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+    // `body` by reference is safe: we block on every future below.
+    futures.push_back(submit([&body, begin, end]() { body(begin, end); }));
+    begin = end;
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bgpintent::util

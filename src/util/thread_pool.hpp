@@ -1,0 +1,99 @@
+// Work-stealing thread pool — the execution substrate of the parallel
+// inference pipeline (docs/THREADING.md).
+//
+// Design and invariants:
+//
+//   * One task deque per worker.  submit() distributes round-robin; a
+//     worker pops its own deque from the back (LIFO, cache-warm) and, when
+//     empty, steals from other workers' fronts (FIFO, oldest first).  This
+//     keeps coarse shard tasks balanced even when their costs are skewed,
+//     without a single contended queue.
+//   * Exceptions thrown inside a task are captured in the task's future
+//     (submit) or rethrown to the caller (parallel_for) — they never
+//     terminate a worker thread or leave the pool in a broken state.
+//   * The destructor drains every queued task, then joins.  A future
+//     obtained from submit() therefore always becomes ready; abandoning a
+//     future (e.g. when an earlier task already failed) is safe and leaks
+//     nothing.
+//   * The pool itself is thread-safe: any thread, including a worker, may
+//     submit().  parallel_for must be called from OUTSIDE the pool (a
+//     worker calling it could deadlock waiting on its own queue).
+//
+// threads == 1 is a legal pool but callers on the hot path should prefer
+// their sequential reference implementation instead (see PipelineConfig::
+// threads); the pool is for threads >= 2.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bgpintent::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains all queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Maps the PipelineConfig convention to a worker count: 0 resolves to
+  /// hardware concurrency (at least 1), anything else is taken literally.
+  [[nodiscard]] static unsigned resolve(unsigned requested) noexcept;
+
+  /// Schedules `fn` and returns a future for its result.  An exception
+  /// escaping `fn` is delivered through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Splits [0, count) into roughly 4x-oversubscribed contiguous ranges,
+  /// runs `body(begin, end)` on the pool, and blocks until every range is
+  /// done.  The chunking depends only on `count` and the pool size, so
+  /// callers can rely on it for deterministic work assignment.  Rethrows
+  /// the first (submission-order) exception after all ranges finished.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  [[nodiscard]] bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> next_queue_{0};  // round-robin submit cursor
+  std::atomic<std::size_t> pending_{0};     // queued, not yet popped
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace bgpintent::util

@@ -164,5 +164,86 @@ TEST(Pipeline, EmptyInput) {
   EXPECT_EQ(result.observations.community_count(), 0u);
 }
 
+TEST_F(PipelineIntegration, ThreadCountDoesNotChangeOutput) {
+  // The contract of the parallel pipeline (docs/THREADING.md): for any
+  // thread count the observation index AND the inference are identical to
+  // the sequential reference path, field by field.
+  const auto tuples = bgp::tuples_from_entries(*entries_);
+
+  PipelineConfig sequential_cfg;
+  sequential_cfg.threads = 1;
+  Pipeline sequential(sequential_cfg);
+  sequential.set_org_map(&scenario_->topology().orgs);
+  const auto reference = sequential.run(tuples);
+
+  for (const unsigned threads : {2u, 8u}) {
+    PipelineConfig cfg;
+    cfg.threads = threads;
+    Pipeline parallel(cfg);
+    parallel.set_org_map(&scenario_->topology().orgs);
+    const auto result = parallel.run(tuples);
+
+    // Observation index: same stats in the same (sorted) order.
+    EXPECT_EQ(result.observations.all(), reference.observations.all())
+        << "threads=" << threads;
+    EXPECT_EQ(result.observations.unique_path_count(),
+              reference.observations.unique_path_count());
+    EXPECT_EQ(result.observations.alphas(), reference.observations.alphas());
+
+    // Inference: same clusters in the same order, same labels and counts.
+    EXPECT_EQ(result.inference.clusters, reference.inference.clusters)
+        << "threads=" << threads;
+    EXPECT_EQ(result.inference.labels, reference.inference.labels);
+    EXPECT_EQ(result.inference.information_count,
+              reference.inference.information_count);
+    EXPECT_EQ(result.inference.action_count, reference.inference.action_count);
+    EXPECT_EQ(result.inference.excluded_private,
+              reference.inference.excluded_private);
+    EXPECT_EQ(result.inference.excluded_never_on_path,
+              reference.inference.excluded_never_on_path);
+  }
+}
+
+TEST_F(PipelineIntegration, ParallelMrtPathMatchesSequential) {
+  std::ostringstream mrt_bytes;
+  mrt::MrtWriter writer(mrt_bytes);
+  writer.write_rib_snapshot(*entries_, 0x7f000001, 1684886400);
+
+  PipelineConfig sequential_cfg;
+  sequential_cfg.threads = 1;
+  Pipeline sequential(sequential_cfg);
+  sequential.set_org_map(&scenario_->topology().orgs);
+  std::istringstream seq_in(mrt_bytes.str());
+  const auto reference = sequential.run_mrt(seq_in);
+
+  PipelineConfig parallel_cfg;
+  parallel_cfg.threads = 4;
+  Pipeline parallel(parallel_cfg);
+  parallel.set_org_map(&scenario_->topology().orgs);
+  std::istringstream par_in(mrt_bytes.str());
+  const auto result = parallel.run_mrt(par_in);
+
+  EXPECT_EQ(result.observations.all(), reference.observations.all());
+  EXPECT_EQ(result.inference.clusters, reference.inference.clusters);
+  EXPECT_EQ(result.inference.labels, reference.inference.labels);
+}
+
+TEST(Pipeline, ThreadsZeroResolvesToHardwareConcurrency) {
+  // threads = 0 must behave like "some valid worker count", not crash or
+  // change results on any machine.
+  routing::ScenarioConfig cfg = default_scenario(99);
+  cfg.topology.stub_count = 40;
+  cfg.vantage_point_count = 8;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  PipelineConfig auto_cfg;
+  auto_cfg.threads = 0;
+  const auto via_auto = Pipeline(auto_cfg).run(entries);
+  const auto via_sequential = Pipeline().run(entries);
+  EXPECT_EQ(via_auto.inference.labels, via_sequential.inference.labels);
+  EXPECT_EQ(via_auto.observations.all(), via_sequential.observations.all());
+}
+
 }  // namespace
 }  // namespace bgpintent::core

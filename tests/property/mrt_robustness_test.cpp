@@ -2,6 +2,12 @@
 // mutation of a valid stream, read_rib_entries must either succeed or throw
 // MrtError — never crash, hang, or throw anything else.  Wire parsers face
 // untrusted data; this is the contract fuzzers would check.
+//
+// The same contract holds for read_rib_entries_parallel, with the extra
+// requirement that a worker-side decode error must drain cleanly through
+// the bounded chunk queue — an exception may never leave in-flight chunks
+// deadlocked or the pool wedged (the shared pool below would hang the
+// whole suite if it did).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -9,6 +15,7 @@
 #include "mrt/mrt_file.hpp"
 #include "routing/scenario.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bgpintent::mrt {
 namespace {
@@ -35,6 +42,25 @@ const std::string& valid_stream() {
     return out.str();
   }();
   return bytes;
+}
+
+/// One pool shared by every mutation of a test case: reusing it across
+/// hundreds of corrupted inputs is itself part of the property — an error
+/// that poisoned the pool or leaked an in-flight chunk would hang or fail
+/// later iterations.
+util::ThreadPool& shared_pool() {
+  static util::ThreadPool pool(4);
+  return pool;
+}
+
+/// Runs the corrupted bytes through the parallel reader; success or
+/// MrtError are both acceptable, anything else fails the test.
+void expect_parallel_read_is_clean(const std::string& bytes) {
+  std::istringstream in(bytes);
+  try {
+    (void)read_rib_entries_parallel(in, shared_pool());
+  } catch (const MrtError&) {
+  }
 }
 
 class MrtRobustness : public ::testing::TestWithParam<std::uint64_t> {};
@@ -86,9 +112,46 @@ TEST_P(MrtRobustness, MultiByteGarbageNeverCrashes) {
   }
 }
 
+TEST_P(MrtRobustness, SingleByteFlipsNeverCrashParallelPath) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  std::string bytes = valid_stream();
+  for (int mutation = 0; mutation < 60; ++mutation) {
+    std::string corrupted = bytes;
+    const std::size_t pos = rng.index(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.uniform(0, 255));
+    expect_parallel_read_is_clean(corrupted);
+  }
+}
+
+TEST_P(MrtRobustness, TruncationsNeverCrashOrDeadlockParallelPath) {
+  util::Rng rng(GetParam() * 104729 + 3);
+  const std::string& bytes = valid_stream();
+  for (int mutation = 0; mutation < 25; ++mutation) {
+    const std::size_t keep = rng.index(bytes.size());
+    expect_parallel_read_is_clean(bytes.substr(0, keep));
+  }
+}
+
+TEST_P(MrtRobustness, MultiByteGarbageNeverCrashesParallelPath) {
+  util::Rng rng(GetParam() * 31337 + 5);
+  for (int mutation = 0; mutation < 10; ++mutation) {
+    std::string garbage(rng.index(4096), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform(0, 255));
+    expect_parallel_read_is_clean(garbage);
+  }
+}
+
 TEST(MrtRobustness, ValidStreamStillParses) {
   std::istringstream in(valid_stream());
   EXPECT_GT(read_rib_entries(in).size(), 10u);
+}
+
+TEST(MrtRobustness, ParallelReadMatchesSequentialOnValidStream) {
+  std::istringstream seq_in(valid_stream());
+  const auto sequential = read_rib_entries(seq_in);
+  std::istringstream par_in(valid_stream());
+  const auto parallel = read_rib_entries_parallel(par_in, shared_pool());
+  EXPECT_EQ(parallel, sequential);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bgpintent::util {
+namespace {
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  long long sum = 0;
+  for (auto& future : futures) sum += future.get();
+  long long expected = 0;
+  for (int i = 0; i < 200; ++i) expected += static_cast<long long>(i) * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto good = pool.submit([]() { return 7; });
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps executing others.
+  EXPECT_EQ(good.get(), 7);
+  EXPECT_EQ(pool.submit([]() { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  // count < workers: every index still visited exactly once.
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::logic_error("chunk 0");
+                        }),
+      std::logic_error);
+  // Still usable afterwards.
+  EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks) {
+  // Nested submission exercises the stealing path: the inner tasks land on
+  // other workers' queues while the outer tasks are still running.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<std::future<void>>> outer;
+  for (int i = 0; i < 32; ++i)
+    outer.push_back(pool.submit([&pool, &done]() {
+      return pool.submit([&done]() { ++done; });
+    }));
+  for (auto& future : outer) future.get().get();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasksUnderLoad) {
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 500;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&executed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++executed;
+      });
+    // Destructor runs with most tasks still queued.
+  }
+  // Every queued task ran: futures from submit() always become ready.
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletesEverything) {
+  ThreadPool pool(1);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.submit([i]() { return i; }));
+  int sum = 0;
+  for (auto& future : futures) sum += future.get();
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+}  // namespace
+}  // namespace bgpintent::util
