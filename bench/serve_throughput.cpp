@@ -1,0 +1,123 @@
+// Throughput of the serve daemon over loopback TCP: INGEST observations/sec
+// and LABEL queries/sec, measured end-to-end through the line protocol
+// (client encode -> socket -> server parse -> classifier -> response).
+//
+// Two query phases are reported separately because they exercise different
+// paths: "cold" queries right after an ingest burst pay lazy
+// reclassification of the dirty alphas; "warm" queries are pure map
+// lookups under the classifier lock.  The in-process classifier rates are
+// printed alongside as the protocol-overhead baseline.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace bgpintent;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double rate(std::size_t count, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  auto cfg = bench::default_scenario_config();
+  cfg.topology.stub_count = 400;
+  cfg.vantage_point_count = 80;
+  bench::print_banner("serve_throughput — daemon ingest and query rates",
+                      cfg);
+
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  // The distinct communities to query, from a quick local pass.
+  std::vector<bgp::Community> communities;
+  {
+    core::IncrementalClassifier probe;
+    probe.ingest(entries);
+    for (const auto& alpha : probe.export_state().alphas)
+      for (const auto& beta : alpha.betas)
+        communities.emplace_back(alpha.alpha, beta.beta);
+  }
+  std::printf("workload: %zu RIB entries, %zu distinct communities\n\n",
+              entries.size(), communities.size());
+
+  // In-process baseline (no protocol, no socket).
+  double local_ingest_s = 0.0;
+  double local_query_s = 0.0;
+  {
+    core::IncrementalClassifier local;
+    local.set_org_map(&scenario.topology().orgs);
+    auto start = std::chrono::steady_clock::now();
+    local.ingest(entries);
+    local_ingest_s = seconds_since(start);
+    (void)local.totals();  // settle dirty alphas
+    start = std::chrono::steady_clock::now();
+    for (const bgp::Community community : communities)
+      (void)local.label_of(community);
+    local_query_s = seconds_since(start);
+  }
+
+  core::IncrementalClassifier classifier;
+  classifier.set_org_map(&scenario.topology().orgs);
+  serve::ServerConfig server_cfg;
+  server_cfg.threads = 2;
+  serve::Server server(std::move(classifier), server_cfg);
+  server.start();
+  auto client = serve::Client::connect("127.0.0.1", server.port());
+
+  // INGEST burst.
+  auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  for (const auto& entry : entries) {
+    if (entry.route.communities.empty()) continue;
+    client.ingest(entry.route.path, entry.route.communities);
+    ++sent;
+  }
+  const double ingest_s = seconds_since(start);
+
+  // Cold queries: every alpha is dirty after the burst.
+  start = std::chrono::steady_clock::now();
+  for (const bgp::Community community : communities)
+    (void)client.label(community);
+  const double cold_s = seconds_since(start);
+
+  // Warm queries: labels cached, pure lookups.
+  start = std::chrono::steady_clock::now();
+  for (const bgp::Community community : communities)
+    (void)client.label(community);
+  const double warm_s = seconds_since(start);
+
+  const auto stats = server.stats();
+  client.quit();
+  server.request_stop();
+  server.wait();
+
+  util::TextTable table({"metric", "count", "seconds", "rate/s", "local/s"});
+  table.add_row({"INGEST observations", std::to_string(sent),
+                 util::fixed(ingest_s, 3), util::fixed(rate(sent, ingest_s), 0),
+                 util::fixed(rate(entries.size(), local_ingest_s), 0)});
+  table.add_row({"LABEL cold", std::to_string(communities.size()),
+                 util::fixed(cold_s, 3),
+                 util::fixed(rate(communities.size(), cold_s), 0), "-"});
+  table.add_row({"LABEL warm", std::to_string(communities.size()),
+                 util::fixed(warm_s, 3),
+                 util::fixed(rate(communities.size(), warm_s), 0),
+                 util::fixed(rate(communities.size(), local_query_s), 0)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("server-side latency: p50=%.1fus p99=%.1fus over %llu queries\n",
+              stats.p50_query_us, stats.p99_query_us,
+              static_cast<unsigned long long>(stats.queries_served));
+  return 0;
+}

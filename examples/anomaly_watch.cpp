@@ -3,24 +3,37 @@
 // communities)".
 //
 // Compares two RIB snapshots of the same collector (base day vs. a churn
-// day), classifies every community once over the combined data, and flags
-// per-prefix anomalies:
+// day), classifies every community, and flags per-prefix anomalies:
 //   - a vantage point's route LOST its information communities entirely
 //     (possible path hijack or community-stripping change upstream), and
 //   - a route GAINED action communities it did not carry before
 //     (someone started steering that prefix).
+//
+// Two classification backends:
+//   anomaly_watch               — in-process batch Pipeline (default)
+//   anomaly_watch <host>:<port> — a running `bgpintent serve` daemon: the
+//     tuples are streamed over INGEST and labels fetched with LABEL, so
+//     several watchers can share one long-lived classifier.
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "routing/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/strings.hpp"
 
 using namespace bgpintent;
 
 namespace {
 
 using RouteKey = std::pair<bgp::Prefix, bgp::Asn>;  // (prefix, vantage point)
+using Labeler = std::function<dict::Intent(bgp::Community)>;
 
 std::map<RouteKey, std::set<bgp::Community>> index_routes(
     const std::vector<bgp::RibEntry>& entries) {
@@ -32,9 +45,37 @@ std::map<RouteKey, std::set<bgp::Community>> index_routes(
   return by_route;
 }
 
+// Streams the tuples to a serve daemon and labels via LABEL queries
+// (memoised: each distinct community crosses the wire once).
+Labeler remote_labeler(serve::Client& client,
+                       const std::vector<bgp::RibEntry>& entries) {
+  std::size_t sent = 0;
+  std::size_t skipped = 0;
+  for (const auto& entry : entries) {
+    if (entry.route.communities.empty()) continue;
+    // The wire form carries pure AS_SEQUENCE paths only.
+    if (!serve::format_path(entry.route.path)) {
+      ++skipped;
+      continue;
+    }
+    client.ingest(entry.route.path, entry.route.communities);
+    ++sent;
+  }
+  std::printf("streamed %zu observations to the daemon (%zu skipped)\n",
+              sent, skipped);
+  auto cache = std::make_shared<std::map<bgp::Community, dict::Intent>>();
+  return [&client, cache](bgp::Community community) {
+    const auto it = cache->find(community);
+    if (it != cache->end()) return it->second;
+    const dict::Intent intent = client.label(community);
+    cache->emplace(community, intent);
+    return intent;
+  };
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   routing::ScenarioConfig cfg;
   cfg.topology.seed = 99;
   cfg.topology.tier1_count = 6;
@@ -62,12 +103,47 @@ int main() {
   // Classify once over both days (more data, stabler labels).
   std::vector<bgp::RibEntry> combined = before;
   combined.insert(combined.end(), after.begin(), after.end());
-  core::Pipeline pipeline;
-  pipeline.set_org_map(&scenario.topology().orgs);
-  const auto result = pipeline.run(combined);
+
+  Labeler label_of;
+  std::size_t information_count = 0;
+  std::size_t action_count = 0;
+  std::optional<core::PipelineResult> batch;  // kept alive for the labeler
+  std::optional<serve::Client> client;        // likewise, daemon mode
+
+  if (argc > 1) {
+    const std::string target = argv[1];
+    const auto colon = target.rfind(':');
+    const auto port = colon == std::string::npos
+                          ? std::nullopt
+                          : util::parse_u64(target.substr(colon + 1));
+    if (!port || *port > 65535) {
+      std::fprintf(stderr, "usage: %s [host:port]\n", argv[0]);
+      return 2;
+    }
+    try {
+      client = serve::Client::connect(target.substr(0, colon),
+                                      static_cast<std::uint16_t>(*port));
+      label_of = remote_labeler(*client, combined);
+      const auto totals = client->totals();
+      information_count = totals.information;
+      action_count = totals.action;
+    } catch (const serve::ServeError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    core::Pipeline pipeline;
+    pipeline.set_org_map(&scenario.topology().orgs);
+    batch = pipeline.run(combined);
+    label_of = [&batch](bgp::Community community) {
+      return batch->inference.label_of(community);
+    };
+    information_count = batch->inference.information_count;
+    action_count = batch->inference.action_count;
+  }
+
   std::printf("labels from %zu entries: %zu information / %zu action\n\n",
-              combined.size(), result.inference.information_count,
-              result.inference.action_count);
+              combined.size(), information_count, action_count);
 
   const auto routes_before = index_routes(before);
   const auto routes_after = index_routes(after);
@@ -79,11 +155,11 @@ int main() {
     if (it == routes_before.end()) continue;
     const auto& communities_before = it->second;
 
-    auto count_of = [&result](const std::set<bgp::Community>& communities,
-                              dict::Intent intent) {
+    auto count_of = [&label_of](const std::set<bgp::Community>& communities,
+                                dict::Intent intent) {
       std::size_t n = 0;
       for (const bgp::Community community : communities)
-        if (result.inference.label_of(community) == intent) ++n;
+        if (label_of(community) == intent) ++n;
       return n;
     };
     const std::size_t info_before =
@@ -99,7 +175,7 @@ int main() {
     std::size_t new_actions = 0;
     for (const bgp::Community community : communities_after)
       if (!communities_before.contains(community) &&
-          result.inference.label_of(community) == dict::Intent::kAction)
+          label_of(community) == dict::Intent::kAction)
         ++new_actions;
     if (new_actions > 0) {
       if (++gained_action <= 5)

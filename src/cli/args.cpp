@@ -44,13 +44,23 @@ std::optional<std::string> Args::value(std::string_view name) const noexcept {
 }
 
 std::optional<std::uint64_t> Args::value_u64(
-    std::string_view name, std::uint64_t fallback) const noexcept {
+    std::string_view name, std::uint64_t fallback,
+    std::uint64_t max) const noexcept {
   const auto raw = value(name);
   if (!raw) return fallback;
   const auto parsed = util::parse_u64(*raw);
   if (!parsed) {
     std::fprintf(stderr, "error: --%.*s expects an unsigned integer\n",
                  static_cast<int>(name.size()), name.data());
+    return std::nullopt;
+  }
+  if (*parsed > max) {
+    std::fprintf(stderr,
+                 "error: --%.*s expects an unsigned integer <= %llu (got "
+                 "%llu)\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(max),
+                 static_cast<unsigned long long>(*parsed));
     return std::nullopt;
   }
   return parsed;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -34,9 +35,14 @@ class Args {
       std::string_view name) const noexcept;
 
   /// Typed access with defaults; prints to stderr and returns nullopt on a
-  /// malformed number.
+  /// malformed number.  `max` is the inclusive upper bound — values above
+  /// it are rejected the same way, so a later narrowing cast (to a port, a
+  /// thread count, a u32 gap) can never silently wrap.  Negative input is
+  /// rejected by the unsigned parse itself.
   [[nodiscard]] std::optional<std::uint64_t> value_u64(
-      std::string_view name, std::uint64_t fallback) const noexcept;
+      std::string_view name, std::uint64_t fallback,
+      std::uint64_t max =
+          std::numeric_limits<std::uint64_t>::max()) const noexcept;
   [[nodiscard]] std::optional<double> value_double(
       std::string_view name, double fallback) const noexcept;
 

@@ -1,16 +1,21 @@
 #include "cli/commands.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "cli/args.hpp"
+#include "core/incremental.hpp"
 #include "core/pipeline.hpp"
 #include "core/summarize.hpp"
 #include "dict/builtin.hpp"
 #include "mrt/mrt_file.hpp"
 #include "rel/asrank.hpp"
 #include "routing/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -62,6 +67,13 @@ std::optional<dict::DictionaryStore> load_dictionary(const std::string& path) {
   return store;
 }
 
+// Inclusive upper bounds for numeric flags that end up in narrower types;
+// Args::value_u64 rejects anything above them instead of letting a cast
+// wrap (e.g. --threads 4294967297 silently becoming 1 worker).
+constexpr std::uint64_t kMaxThreads = 4096;
+constexpr std::uint64_t kMaxU32 = 0xffffffffULL;
+constexpr std::uint64_t kMaxPort = 65535;
+
 bool write_to(const std::optional<std::string>& path, auto&& writer) {
   if (!path) {
     writer(std::cout);
@@ -84,9 +96,9 @@ int cmd_infer(int argc, char** argv) {
                                  "threads"},
                                 {"no-siblings", "mean-ratios"});
   if (!args) return 2;
-  const auto gap = args->value_u64("gap", 140);
+  const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
-  const auto threads = args->value_u64("threads", 0);
+  const auto threads = args->value_u64("threads", 0, kMaxThreads);
   if (!gap || !threshold || !threads) return 2;
 
   const auto entries = load_mrt_files(args->positional());
@@ -143,10 +155,10 @@ int cmd_simulate(int argc, char** argv) {
       {});
   if (!args) return 2;
   const auto seed = args->value_u64("seed", 20230501);
-  const auto tier1 = args->value_u64("tier1", 10);
-  const auto tier2 = args->value_u64("tier2", 80);
-  const auto stubs = args->value_u64("stubs", 600);
-  const auto vps = args->value_u64("vantage-points", 60);
+  const auto tier1 = args->value_u64("tier1", 10, kMaxU32);
+  const auto tier2 = args->value_u64("tier2", 80, kMaxU32);
+  const auto stubs = args->value_u64("stubs", 600, kMaxU32);
+  const auto vps = args->value_u64("vantage-points", 60, kMaxU32);
   if (!seed || !tier1 || !tier2 || !stubs || !vps) return 2;
 
   routing::ScenarioConfig cfg;
@@ -215,9 +227,9 @@ int cmd_eval(int argc, char** argv) {
   }
   const auto truth = load_dictionary(*dict_path);
   if (!truth) return 1;
-  const auto gap = args->value_u64("gap", 140);
+  const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
-  const auto threads = args->value_u64("threads", 0);
+  const auto threads = args->value_u64("threads", 0, kMaxThreads);
   if (!gap || !threshold || !threads) return 2;
   const auto entries = load_mrt_files(args->positional());
   if (!entries) return 1;
@@ -315,6 +327,141 @@ int cmd_mrt_info(int argc, char** argv) {
   return 0;
 }
 
+namespace {
+
+/// Default TCP port of the query daemon (also baked into cmd_query).
+constexpr std::uint64_t kDefaultServePort = 7179;
+
+// Signal plumbing for `bgpintent serve`: the handlers may only touch the
+// running server through the async-signal-safe request_stop().
+serve::Server* g_serve_server = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+}  // namespace
+
+int cmd_serve(int argc, char** argv) {
+  const auto args = Args::parse(
+      argc, argv, 2,
+      {"listen", "port", "threads", "snapshot", "snapshot-interval",
+       "read-timeout", "gap", "threshold"},
+      {"no-siblings", "mean-ratios"});
+  if (!args) return 2;
+  const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
+  const auto threads = args->value_u64("threads", 0, kMaxThreads);
+  const auto interval = args->value_u64("snapshot-interval", 0, 31536000);
+  const auto read_timeout =
+      args->value_u64("read-timeout", 30000, 86400000);
+  const auto gap = args->value_u64("gap", 140, kMaxU32);
+  const auto threshold = args->value_double("threshold", 160.0);
+  if (!port || !threads || !interval || !read_timeout || !gap || !threshold)
+    return 2;
+  const auto snapshot_path = args->value("snapshot");
+  if (*interval > 0 && !snapshot_path) {
+    std::fprintf(stderr,
+                 "error: --snapshot-interval requires --snapshot <file>\n");
+    return 2;
+  }
+
+  core::ClassifierConfig classifier_cfg;
+  classifier_cfg.min_gap = static_cast<std::uint32_t>(*gap);
+  classifier_cfg.ratio_threshold = *threshold;
+  classifier_cfg.mean_of_ratios = args->flag("mean-ratios");
+  core::ObservationConfig observation_cfg;
+  observation_cfg.sibling_aware = !args->flag("no-siblings");
+  core::IncrementalClassifier classifier(classifier_cfg, observation_cfg);
+
+  // An existing snapshot wins over the classifier flags: it carries the
+  // configs it was built with, and mixing configs would corrupt labels.
+  if (snapshot_path) {
+    if (std::ifstream probe(*snapshot_path, std::ios::binary); probe) {
+      try {
+        classifier = serve::load_snapshot(*snapshot_path);
+      } catch (const serve::SnapshotError& error) {
+        std::fprintf(stderr, "error: %s: %s\n", snapshot_path->c_str(),
+                     error.what());
+        return 1;
+      }
+      std::fprintf(stderr, "restored %zu ingested entries from %s\n",
+                   classifier.entries_ingested(), snapshot_path->c_str());
+    }
+  }
+
+  if (!args->positional().empty()) {
+    const auto entries = load_mrt_files(args->positional());
+    if (!entries) return 1;
+    classifier.ingest(*entries);
+    std::fprintf(stderr, "primed with %zu RIB entries from %zu MRT files\n",
+                 entries->size(), args->positional().size());
+  }
+
+  serve::ServerConfig cfg;
+  cfg.listen_address = args->value("listen").value_or("127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(*port);
+  cfg.threads = static_cast<unsigned>(*threads);
+  cfg.read_timeout_ms = static_cast<int>(*read_timeout);
+  cfg.snapshot_interval_s = static_cast<unsigned>(*interval);
+  if (snapshot_path) cfg.snapshot_path = *snapshot_path;
+
+  serve::Server server(std::move(classifier), cfg);
+  try {
+    server.start();
+  } catch (const serve::ServeError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  g_serve_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::fprintf(stderr, "serving on %s:%u (ctrl-c to drain and exit)\n",
+               cfg.listen_address.c_str(), server.port());
+  server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server = nullptr;
+
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "drained after %.1fs: %llu connections, %llu label queries, "
+               "%llu entries ingested\n",
+               stats.uptime_seconds,
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.queries_served),
+               static_cast<unsigned long long>(stats.entries_ingested));
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {"host", "port"}, {});
+  if (!args) return 2;
+  const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
+  if (!port) return 2;
+  const std::string host = args->value("host").value_or("127.0.0.1");
+  if (args->positional().empty()) {
+    std::fprintf(stderr,
+                 "error: pass a protocol command, e.g. LABEL 1299:2569\n");
+    return 2;
+  }
+  std::string line;
+  for (const std::string& token : args->positional()) {
+    if (!line.empty()) line += ' ';
+    line += token;
+  }
+  try {
+    auto client =
+        serve::Client::connect(host, static_cast<std::uint16_t>(*port));
+    const std::string response = client.request(line);
+    std::printf("%s\n", response.c_str());
+    client.quit();
+    return util::starts_with(response, "ERR") ? 1 : 0;
+  } catch (const serve::ServeError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
 int cmd_help() {
   std::printf(
       "bgpintent — coarse-grained inference of BGP community intent\n"
@@ -336,6 +483,13 @@ int cmd_help() {
       "      --dict truth.dict [--gap N] [--threshold R] [--threads N]\n"
       "  annotate <a:b>...      explain community values [--dict file]\n"
       "  mrt-info <file>...     MRT record statistics\n"
+      "  serve [rib.mrt]...     run the live query daemon (docs/SERVING.md)\n"
+      "      [--listen ADDR] [--port N] [--threads N]\n"
+      "      [--snapshot file.snap] [--snapshot-interval SECONDS]\n"
+      "      [--read-timeout MS] [--gap N] [--threshold R]\n"
+      "      [--no-siblings] [--mean-ratios]\n"
+      "  query <COMMAND>...     send one protocol command to a daemon\n"
+      "      [--host ADDR] [--port N]   e.g.: query LABEL 1299:2569\n"
       "  help                   this text\n");
   return 0;
 }

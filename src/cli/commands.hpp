@@ -28,6 +28,14 @@ int cmd_annotate(int argc, char** argv);
 /// files.
 int cmd_mrt_info(int argc, char** argv);
 
+/// `bgpintent serve [rib.mrt]...` — run the long-lived TCP query daemon,
+/// optionally primed from MRT files and/or a state snapshot.
+int cmd_serve(int argc, char** argv);
+
+/// `bgpintent query <COMMAND>...` — send one protocol line to a running
+/// daemon and print the response.
+int cmd_query(int argc, char** argv);
+
 /// Prints global usage.
 int cmd_help();
 

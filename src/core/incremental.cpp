@@ -117,6 +117,64 @@ Intent IncrementalClassifier::label_of(Community community) {
                                           : label->second;
 }
 
+IncrementalClassifier::State IncrementalClassifier::export_state() const {
+  State state;
+  state.entries_ingested = entries_ingested_;
+  state.asns_on_paths.assign(asns_on_paths_.begin(), asns_on_paths_.end());
+  std::sort(state.asns_on_paths.begin(), state.asns_on_paths.end());
+  state.dirty.assign(dirty_.begin(), dirty_.end());
+  std::sort(state.dirty.begin(), state.dirty.end());
+
+  state.alphas.reserve(alphas_.size());
+  for (const auto& [alpha, alpha_state] : alphas_) {
+    State::Alpha out;
+    out.alpha = alpha;
+    out.betas.reserve(alpha_state.betas.size());
+    for (const auto& [beta, acc] : alpha_state.betas) {
+      State::BetaEvidence evidence;
+      evidence.beta = beta;
+      evidence.on_paths.assign(acc.on_paths.begin(), acc.on_paths.end());
+      evidence.off_paths.assign(acc.off_paths.begin(), acc.off_paths.end());
+      std::sort(evidence.on_paths.begin(), evidence.on_paths.end());
+      std::sort(evidence.off_paths.begin(), evidence.off_paths.end());
+      out.betas.push_back(std::move(evidence));
+    }
+    std::sort(out.betas.begin(), out.betas.end(),
+              [](const State::BetaEvidence& a, const State::BetaEvidence& b) {
+                return a.beta < b.beta;
+              });
+    out.labels.assign(alpha_state.labels.begin(), alpha_state.labels.end());
+    std::sort(out.labels.begin(), out.labels.end());
+    state.alphas.push_back(std::move(out));
+  }
+  std::sort(state.alphas.begin(), state.alphas.end(),
+            [](const State::Alpha& a, const State::Alpha& b) {
+              return a.alpha < b.alpha;
+            });
+  return state;
+}
+
+void IncrementalClassifier::restore_state(const State& state) {
+  alphas_.clear();
+  asns_on_paths_.clear();
+  dirty_.clear();
+  entries_ingested_ = state.entries_ingested;
+  asns_on_paths_.insert(state.asns_on_paths.begin(),
+                        state.asns_on_paths.end());
+  dirty_.insert(state.dirty.begin(), state.dirty.end());
+  for (const State::Alpha& alpha : state.alphas) {
+    AlphaState& alpha_state = alphas_[alpha.alpha];
+    for (const State::BetaEvidence& evidence : alpha.betas) {
+      CommunityAccumulator& acc = alpha_state.betas[evidence.beta];
+      acc.on_paths.insert(evidence.on_paths.begin(), evidence.on_paths.end());
+      acc.off_paths.insert(evidence.off_paths.begin(),
+                           evidence.off_paths.end());
+    }
+    for (const auto& [beta, intent] : alpha.labels)
+      alpha_state.labels.emplace(beta, intent);
+  }
+}
+
 IncrementalClassifier::Totals IncrementalClassifier::totals() {
   reclassify_dirty();
   Totals totals;

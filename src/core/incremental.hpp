@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "core/classifier.hpp"
 #include "core/observations.hpp"
@@ -23,6 +25,13 @@ class IncrementalClassifier {
   explicit IncrementalClassifier(ClassifierConfig config = {},
                                  ObservationConfig observation = {})
       : config_(config), observation_(observation) {}
+
+  [[nodiscard]] const ClassifierConfig& classifier_config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const ObservationConfig& observation_config() const noexcept {
+    return observation_;
+  }
 
   /// Optional sibling context; must outlive the classifier.
   void set_org_map(const topo::OrgMap* orgs) noexcept { orgs_ = orgs; }
@@ -49,6 +58,41 @@ class IncrementalClassifier {
   [[nodiscard]] std::size_t dirty_alpha_count() const noexcept {
     return dirty_.size();
   }
+
+  /// Flattened view of the complete mutable state — every accumulator, the
+  /// cached labels, the dirty set, and the ingest counter.  All vectors are
+  /// sorted, so two classifiers with equal evidence export equal states
+  /// regardless of ingest order; serve/snapshot.* persists exactly this.
+  struct State {
+    struct BetaEvidence {
+      std::uint16_t beta = 0;
+      std::vector<std::uint64_t> on_paths;   ///< sorted path hashes
+      std::vector<std::uint64_t> off_paths;  ///< sorted path hashes
+      friend bool operator==(const BetaEvidence&,
+                             const BetaEvidence&) = default;
+    };
+    struct Alpha {
+      std::uint16_t alpha = 0;
+      std::vector<BetaEvidence> betas;  ///< sorted by beta
+      /// Cached labels from the last reclassification, sorted by beta;
+      /// betas without a cached label are simply absent.
+      std::vector<std::pair<std::uint16_t, Intent>> labels;
+      friend bool operator==(const Alpha&, const Alpha&) = default;
+    };
+    std::vector<Alpha> alphas;            ///< sorted by alpha
+    std::vector<bgp::Asn> asns_on_paths;  ///< sorted
+    std::vector<std::uint16_t> dirty;     ///< sorted
+    std::size_t entries_ingested = 0;
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  /// Exports the current state without reclassifying (dirty stays dirty).
+  [[nodiscard]] State export_state() const;
+
+  /// Replaces all accumulated evidence with `state`.  Configs and the org
+  /// map are not part of the state — construct with the right configs and
+  /// re-attach the org map before restoring.
+  void restore_state(const State& state);
 
  private:
   struct CommunityAccumulator {

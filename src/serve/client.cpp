@@ -1,0 +1,161 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "dict/intent.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+
+namespace {
+
+/// Fetches a key from an OK response or throws with the offending line.
+std::string require_key(const std::string& line, const std::string& key) {
+  const auto pairs = parse_ok_response(line);
+  if (!pairs)
+    throw ServeError(util::format("server error: %s", line.c_str()));
+  const auto it = pairs->find(key);
+  if (it == pairs->end())
+    throw ServeError(
+        util::format("response missing %s: %s", key.c_str(), line.c_str()));
+  return it->second;
+}
+
+std::size_t require_size(const std::string& line, const std::string& key) {
+  const auto parsed = util::parse_u64(require_key(line, key));
+  if (!parsed)
+    throw ServeError(
+        util::format("response field %s is not a number: %s", key.c_str(),
+                     line.c_str()));
+  return static_cast<std::size_t>(*parsed);
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ServeError(
+        util::format("cannot create socket: %s", std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ServeError(
+        util::format("'%s' is not a valid IPv4 address", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int error = errno;
+    ::close(fd);
+    throw ServeError(util::format("cannot connect to %s:%u: %s", host.c_str(),
+                                  port, std::strerror(error)));
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+std::string Client::request(const std::string& line) {
+  if (fd_ < 0) throw ServeError("client is not connected");
+  const std::string out = line + "\n";
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t wrote =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0)
+      throw ServeError(
+          util::format("send failed: %s", std::strerror(errno)));
+    sent += static_cast<std::size_t>(wrote);
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    if (buffer_.size() > kMaxLineBytes)
+      throw ServeError("server response exceeds the line limit");
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got <= 0) throw ServeError("connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+dict::Intent Client::label(bgp::Community community) {
+  const std::string response =
+      request(util::format("LABEL %s", community.to_string().c_str()));
+  const auto intent = dict::parse_intent(require_key(response, "label"));
+  if (!intent)
+    throw ServeError(
+        util::format("unparseable label response: %s", response.c_str()));
+  return *intent;
+}
+
+void Client::ingest(const bgp::AsPath& path,
+                    std::span<const bgp::Community> communities) {
+  const auto wire_path = format_path(path);
+  if (!wire_path)
+    throw ServeError(
+        "INGEST requires a non-empty AS_SEQUENCE path (AS_SET aggregates "
+        "cannot be expressed on the wire)");
+  const std::string response =
+      request(util::format("INGEST %s %s", wire_path->c_str(),
+                           format_communities(communities).c_str()));
+  (void)require_key(response, "ingested");
+}
+
+core::IncrementalClassifier::Totals Client::totals() {
+  const std::string response = request("TOTALS");
+  core::IncrementalClassifier::Totals totals;
+  totals.communities = require_size(response, "communities");
+  totals.information = require_size(response, "information");
+  totals.action = require_size(response, "action");
+  totals.unclassified = require_size(response, "unclassified");
+  return totals;
+}
+
+void Client::snapshot(const std::string& path) {
+  const std::string response =
+      request(util::format("SNAPSHOT %s", path.c_str()));
+  (void)require_key(response, "saved");
+}
+
+void Client::quit() {
+  if (fd_ < 0) return;
+  try {
+    (void)request("QUIT");
+  } catch (const ServeError&) {
+    // The server may close before the response is read; that is still a
+    // clean shutdown from the client's point of view.
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace bgpintent::serve

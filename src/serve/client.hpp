@@ -1,0 +1,64 @@
+// Blocking TCP client for the bgpintent query daemon.
+//
+// One request line out, one response line in (serve/protocol.hpp).  The
+// raw request() call returns the response verbatim; the typed helpers
+// parse the OK key=value form and throw ServeError on ERR responses, so
+// library consumers never string-match the protocol themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "core/incremental.hpp"
+#include "serve/protocol.hpp"
+
+namespace bgpintent::serve {
+
+class Client {
+ public:
+  /// Connects to an IPv4 host ("127.0.0.1") and port; throws ServeError
+  /// when the host is unreachable or not an IPv4 literal.
+  [[nodiscard]] static Client connect(const std::string& host,
+                                      std::uint16_t port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line and returns the one response line (without the
+  /// newline).  Throws ServeError when the connection drops or the server
+  /// answers with something longer than kMaxLineBytes.
+  [[nodiscard]] std::string request(const std::string& line);
+
+  // --- typed helpers; each throws ServeError on an ERR response ---
+
+  /// LABEL: the server's current intent label for `community`.
+  [[nodiscard]] dict::Intent label(bgp::Community community);
+
+  /// INGEST: feeds one (path, communities) observation.  The path must be
+  /// a pure AS_SEQUENCE (wire form limitation, serve/protocol.hpp).
+  void ingest(const bgp::AsPath& path,
+              std::span<const bgp::Community> communities);
+
+  /// TOTALS: the server's global label counters.
+  [[nodiscard]] core::IncrementalClassifier::Totals totals();
+
+  /// SNAPSHOT: asks the server to persist its state to a server-side path.
+  void snapshot(const std::string& path);
+
+  /// QUIT: polite close (the destructor just closes the socket).
+  void quit();
+
+ private:
+  explicit Client(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last returned line
+};
+
+}  // namespace bgpintent::serve

@@ -1,0 +1,70 @@
+#include "serve/protocol.hpp"
+
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+
+std::optional<std::string> format_path(const bgp::AsPath& path) {
+  if (path.empty()) return std::nullopt;
+  std::string out;
+  for (const bgp::PathSegment& segment : path.segments()) {
+    if (segment.type != bgp::SegmentType::kSequence) return std::nullopt;
+    for (const bgp::Asn asn : segment.asns) {
+      if (!out.empty()) out += ',';
+      out += bgp::asn_to_string(asn);
+    }
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<bgp::AsPath> parse_path(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::vector<bgp::Asn> asns;
+  for (const std::string_view field : util::split(text, ',')) {
+    const auto asn = bgp::parse_asn(field);
+    if (!asn) return std::nullopt;
+    asns.push_back(*asn);
+  }
+  return bgp::AsPath(std::move(asns));
+}
+
+std::string format_communities(std::span<const bgp::Community> communities) {
+  if (communities.empty()) return "-";
+  std::string out;
+  for (const bgp::Community community : communities) {
+    if (!out.empty()) out += ',';
+    out += community.to_string();
+  }
+  return out;
+}
+
+std::optional<std::vector<bgp::Community>> parse_communities(
+    std::string_view text) {
+  std::vector<bgp::Community> communities;
+  if (text == "-") return communities;
+  if (text.empty()) return std::nullopt;
+  for (const std::string_view field : util::split(text, ',')) {
+    const auto community = bgp::Community::parse(field);
+    if (!community) return std::nullopt;
+    communities.push_back(*community);
+  }
+  return communities;
+}
+
+std::optional<std::map<std::string, std::string>> parse_ok_response(
+    std::string_view line) {
+  const auto fields = util::split_whitespace(line);
+  if (fields.empty() || fields.front() != "OK") return std::nullopt;
+  std::map<std::string, std::string> pairs;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string_view field = fields[i];
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) continue;
+    pairs.emplace(std::string(field.substr(0, eq)),
+                  std::string(field.substr(eq + 1)));
+  }
+  return pairs;
+}
+
+}  // namespace bgpintent::serve

@@ -1,0 +1,340 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/snapshot.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+
+namespace {
+
+/// Poll granularity: the upper bound on how long stop/timeout checks lag.
+constexpr int kPollSliceMs = 100;
+
+[[nodiscard]] bool send_all(int fd, std::string_view text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t wrote = ::send(fd, text.data() + sent, text.size() - sent,
+                                 MSG_NOSIGNAL);
+    if (wrote <= 0) return false;
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(core::IncrementalClassifier classifier, ServerConfig config)
+    : classifier_(std::move(classifier)), config_(std::move(config)) {
+  latency_us_.reserve(kLatencyWindow);
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw ServeError(util::format("cannot create socket: %s",
+                                  std::strerror(errno)));
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.listen_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError(util::format("'%s' is not a valid IPv4 listen address",
+                                  config_.listen_address.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int error = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError(util::format("cannot listen on %s:%u: %s",
+                                  config_.listen_address.c_str(),
+                                  config_.port, std::strerror(error)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  started_at_ = std::chrono::steady_clock::now();
+  stop_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // drains every in-flight and queued connection handler
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!config_.snapshot_path.empty()) {
+    try {
+      write_snapshot_file(config_.snapshot_path);
+    } catch (const std::exception& error) {
+      util::log_warn(
+          util::format("final snapshot failed: %s", error.what()));
+    }
+  }
+}
+
+void Server::accept_loop() {
+  auto last_snapshot = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        auto future = pool_->submit([this, fd] { handle_connection(fd); });
+        (void)future;  // abandoning a ThreadPool future is safe by contract
+      }
+    }
+    if (config_.snapshot_interval_s > 0 && !config_.snapshot_path.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_snapshot >=
+          std::chrono::seconds(config_.snapshot_interval_s)) {
+        last_snapshot = now;
+        try {
+          write_snapshot_file(config_.snapshot_path);
+        } catch (const std::exception& error) {
+          util::log_warn(
+              util::format("periodic snapshot failed: %s", error.what()));
+        }
+      }
+    }
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  int idle_ms = 0;
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_relaxed)) {
+    // Serve every complete line already buffered.
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string response;
+      open = handle_command(line, response);
+      if (!response.empty() && !send_all(fd, response + "\n")) open = false;
+    }
+    if (!open) break;
+    if (buffer.size() > kMaxLineBytes) {
+      (void)send_all(fd, "ERR line too long\n");
+      break;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) break;
+    if (ready == 0) {
+      idle_ms += kPollSliceMs;
+      if (config_.read_timeout_ms > 0 && idle_ms >= config_.read_timeout_ms) {
+        (void)send_all(fd, "ERR read timeout\n");
+        break;
+      }
+      continue;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;  // peer closed or hard error
+    idle_ms = 0;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+}
+
+bool Server::handle_command(const std::string& line, std::string& response) {
+  const auto fields = util::split_whitespace(line);
+  if (fields.empty()) return true;  // stray blank line: nothing to answer
+  const std::string_view command = fields.front();
+
+  if (command == "LABEL") {
+    if (fields.size() != 2) {
+      response = "ERR usage: LABEL <alpha:beta>";
+      return true;
+    }
+    const auto community = bgp::Community::parse(fields[1]);
+    if (!community) {
+      response = util::format("ERR '%.*s' is not alpha:beta",
+                              static_cast<int>(fields[1].size()),
+                              fields[1].data());
+      return true;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    core::Intent label;
+    {
+      const std::lock_guard<std::mutex> lock(classifier_mutex_);
+      label = classifier_.label_of(*community);
+    }
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    record_query_latency(elapsed.count());
+    response = util::format("OK community=%s label=%s",
+                            community->to_string().c_str(),
+                            std::string(dict::to_string(label)).c_str());
+    return true;
+  }
+
+  if (command == "INGEST") {
+    if (fields.size() != 3) {
+      response = "ERR usage: INGEST <as-path> <communities>";
+      return true;
+    }
+    const auto path = parse_path(fields[1]);
+    if (!path) {
+      response = util::format("ERR '%.*s' is not a comma-separated AS path",
+                              static_cast<int>(fields[1].size()),
+                              fields[1].data());
+      return true;
+    }
+    const auto communities = parse_communities(fields[2]);
+    if (!communities) {
+      response =
+          util::format("ERR '%.*s' is not a comma-separated community list",
+                       static_cast<int>(fields[2].size()), fields[2].data());
+      return true;
+    }
+    bgp::RibEntry entry;
+    entry.route.path = *path;
+    entry.route.communities = *communities;
+    std::size_t entries;
+    {
+      const std::lock_guard<std::mutex> lock(classifier_mutex_);
+      classifier_.ingest(entry);
+      entries = classifier_.entries_ingested();
+    }
+    response = util::format("OK ingested=1 entries=%zu", entries);
+    return true;
+  }
+
+  if (command == "TOTALS") {
+    core::IncrementalClassifier::Totals totals;
+    {
+      const std::lock_guard<std::mutex> lock(classifier_mutex_);
+      totals = classifier_.totals();
+    }
+    response = util::format(
+        "OK communities=%zu information=%zu action=%zu unclassified=%zu",
+        totals.communities, totals.information, totals.action,
+        totals.unclassified);
+    return true;
+  }
+
+  if (command == "STATS") {
+    const ServerStats s = stats();
+    response = util::format(
+        "OK uptime_s=%.1f connections=%llu queries=%llu entries=%llu "
+        "dirty=%llu p50_us=%.1f p99_us=%.1f",
+        s.uptime_seconds,
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.queries_served),
+        static_cast<unsigned long long>(s.entries_ingested),
+        static_cast<unsigned long long>(s.dirty_alphas), s.p50_query_us,
+        s.p99_query_us);
+    return true;
+  }
+
+  if (command == "SNAPSHOT") {
+    if (fields.size() != 2) {
+      response = "ERR usage: SNAPSHOT <file>";
+      return true;
+    }
+    const std::string path(fields[1]);
+    try {
+      write_snapshot_file(path);
+    } catch (const std::exception& error) {
+      response = util::format("ERR snapshot failed: %s", error.what());
+      return true;
+    }
+    response = util::format("OK saved=%s", path.c_str());
+    return true;
+  }
+
+  if (command == "QUIT") {
+    response = "OK bye";
+    return false;
+  }
+
+  response = util::format("ERR unknown command '%.*s'",
+                          static_cast<int>(command.size()), command.data());
+  return true;
+}
+
+void Server::record_query_latency(double microseconds) {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latency_us_.size() < kLatencyWindow) {
+    latency_us_.push_back(microseconds);
+  } else {
+    latency_us_[latency_next_] = microseconds;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+void Server::write_snapshot_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  {
+    const std::lock_guard<std::mutex> lock(classifier_mutex_);
+    bytes = encode_snapshot(classifier_);
+  }
+  write_snapshot_bytes(bytes, path);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  if (pool_ != nullptr) {
+    const std::chrono::duration<double> uptime =
+        std::chrono::steady_clock::now() - started_at_;
+    s.uptime_seconds = uptime.count();
+  }
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(classifier_mutex_);
+    s.entries_ingested = classifier_.entries_ingested();
+    s.dirty_alphas = classifier_.dirty_alpha_count();
+  }
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    window = latency_us_;
+  }
+  if (!window.empty()) {
+    s.p50_query_us = util::percentile(window, 50.0);
+    s.p99_query_us = util::percentile(std::move(window), 99.0);
+  }
+  return s;
+}
+
+}  // namespace bgpintent::serve

@@ -1,0 +1,124 @@
+// Long-running query daemon over an IncrementalClassifier.
+//
+// A POSIX TCP listener speaking the line protocol of serve/protocol.hpp.
+// One accept thread polls the listening socket (and drives periodic
+// snapshots); each accepted connection becomes a task on a
+// util::ThreadPool worker, so the maximum number of concurrently *served*
+// connections equals the pool size — further connections queue in the
+// pool.  The classifier is guarded by one mutex: queries are sub-
+// microsecond map lookups once labels are clean, so a single lock
+// outperforms anything fancier until profiles say otherwise.
+//
+// Robustness guarantees:
+//   * per-connection idle timeout (poll slices, ServerConfig::
+//     read_timeout_ms) — a dead peer cannot pin a worker forever;
+//   * max-line guard (protocol kMaxLineBytes) — a garbage peer cannot
+//     balloon memory;
+//   * request_stop() is async-signal-safe (one atomic store), so SIGINT/
+//     SIGTERM handlers can trigger a graceful drain: stop accepting,
+//     finish in-flight commands, write a final snapshot if configured.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "serve/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bgpintent::serve {
+
+struct ServerConfig {
+  /// IPv4 address to bind; loopback by default (the protocol has no auth).
+  std::string listen_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (query it back via port()).
+  std::uint16_t port = 0;
+  /// Connection worker threads (ThreadPool convention: 0 = all cores).
+  unsigned threads = 0;
+  /// Close a connection after this long without a complete request line.
+  int read_timeout_ms = 30000;
+  /// Write a snapshot to `snapshot_path` every this many seconds (0 = only
+  /// via the SNAPSHOT command and on graceful shutdown).
+  unsigned snapshot_interval_s = 0;
+  /// Snapshot destination; empty disables automatic snapshots.
+  std::string snapshot_path;
+};
+
+/// Counters reported by STATS (and readable in-process).
+struct ServerStats {
+  double uptime_seconds = 0.0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t queries_served = 0;  ///< LABEL commands answered
+  std::uint64_t entries_ingested = 0;
+  std::uint64_t dirty_alphas = 0;
+  double p50_query_us = 0.0;  ///< over a window of recent LABEL queries
+  double p99_query_us = 0.0;
+};
+
+class Server {
+ public:
+  /// Takes ownership of the classifier (prime it and attach the org map
+  /// before constructing).  Does not touch the network until start().
+  explicit Server(core::IncrementalClassifier classifier,
+                  ServerConfig config = {});
+
+  /// Joins everything; equivalent to request_stop() + wait().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.  Throws ServeError when
+  /// the address or port cannot be bound.
+  void start();
+
+  /// The actually bound port (resolves port 0); valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Asks the accept loop to drain and exit.  Async-signal-safe.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the accept loop exited and every in-flight connection
+  /// finished; writes the final snapshot when one is configured.
+  void wait();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// One request line -> one response line; false closes the connection.
+  [[nodiscard]] bool handle_command(const std::string& line,
+                                    std::string& response);
+  void record_query_latency(double microseconds);
+  void write_snapshot_file(const std::string& path);
+
+  core::IncrementalClassifier classifier_;
+  ServerConfig config_;
+
+  mutable std::mutex classifier_mutex_;
+
+  // Latency window: the last kLatencyWindow LABEL latencies, ring-buffered.
+  static constexpr std::size_t kLatencyWindow = 4096;
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_us_;
+  std::size_t latency_next_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> queries_served_{0};
+
+  std::chrono::steady_clock::time_point started_at_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace bgpintent::serve

@@ -1,0 +1,265 @@
+#include "serve/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'G', 'P', 'I', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Little-endian integer append / bounds-checked read.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double value) {
+  put(out, std::bit_cast<std::uint64_t>(value));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_unsigned_v<T>);
+    if (bytes_.size() - offset_ < sizeof(T))
+      throw SnapshotError("truncated snapshot payload");
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+    offset_ += sizeof(T);
+    return static_cast<T>(value);
+  }
+
+  [[nodiscard]] double get_double() {
+    return std::bit_cast<double>(get<std::uint64_t>());
+  }
+
+  /// Reads a count that is about to drive `element_bytes`-sized reads;
+  /// rejects counts the remaining payload cannot possibly hold, so corrupt
+  /// counts fail fast instead of attempting a huge allocation.
+  [[nodiscard]] std::size_t get_count(std::size_t element_bytes) {
+    const std::uint64_t count = get<std::uint64_t>();
+    if (element_bytes != 0 && count > remaining() / element_bytes)
+      throw SnapshotError("snapshot count exceeds payload size");
+    return static_cast<std::size_t>(count);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+void encode_payload(std::vector<std::uint8_t>& out,
+                    const core::IncrementalClassifier& classifier) {
+  const core::ClassifierConfig& config = classifier.classifier_config();
+  const core::ObservationConfig& observation =
+      classifier.observation_config();
+  put<std::uint32_t>(out, config.min_gap);
+  put_double(out, config.ratio_threshold);
+  put<std::uint8_t>(out, config.mean_of_ratios ? 1 : 0);
+  put<std::uint8_t>(out, observation.sibling_aware ? 1 : 0);
+
+  const auto state = classifier.export_state();
+  put<std::uint64_t>(out, state.entries_ingested);
+
+  put<std::uint64_t>(out, state.asns_on_paths.size());
+  for (const bgp::Asn asn : state.asns_on_paths) put<std::uint32_t>(out, asn);
+
+  put<std::uint64_t>(out, state.dirty.size());
+  for (const std::uint16_t alpha : state.dirty) put<std::uint16_t>(out, alpha);
+
+  put<std::uint64_t>(out, state.alphas.size());
+  for (const auto& alpha : state.alphas) {
+    put<std::uint16_t>(out, alpha.alpha);
+    put<std::uint64_t>(out, alpha.betas.size());
+    for (const auto& evidence : alpha.betas) {
+      put<std::uint16_t>(out, evidence.beta);
+      put<std::uint64_t>(out, evidence.on_paths.size());
+      for (const std::uint64_t hash : evidence.on_paths)
+        put<std::uint64_t>(out, hash);
+      put<std::uint64_t>(out, evidence.off_paths.size());
+      for (const std::uint64_t hash : evidence.off_paths)
+        put<std::uint64_t>(out, hash);
+    }
+    put<std::uint64_t>(out, alpha.labels.size());
+    for (const auto& [beta, intent] : alpha.labels) {
+      put<std::uint16_t>(out, beta);
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(intent));
+    }
+  }
+}
+
+[[nodiscard]] core::IncrementalClassifier decode_payload(Cursor& cursor) {
+  core::ClassifierConfig config;
+  config.min_gap = cursor.get<std::uint32_t>();
+  config.ratio_threshold = cursor.get_double();
+  config.mean_of_ratios = cursor.get<std::uint8_t>() != 0;
+  core::ObservationConfig observation;
+  observation.sibling_aware = cursor.get<std::uint8_t>() != 0;
+
+  core::IncrementalClassifier::State state;
+  state.entries_ingested = cursor.get<std::uint64_t>();
+
+  state.asns_on_paths.resize(cursor.get_count(sizeof(std::uint32_t)));
+  for (bgp::Asn& asn : state.asns_on_paths)
+    asn = cursor.get<std::uint32_t>();
+
+  state.dirty.resize(cursor.get_count(sizeof(std::uint16_t)));
+  for (std::uint16_t& alpha : state.dirty)
+    alpha = cursor.get<std::uint16_t>();
+
+  state.alphas.resize(cursor.get_count(sizeof(std::uint16_t)));
+  for (auto& alpha : state.alphas) {
+    alpha.alpha = cursor.get<std::uint16_t>();
+    alpha.betas.resize(cursor.get_count(sizeof(std::uint16_t)));
+    for (auto& evidence : alpha.betas) {
+      evidence.beta = cursor.get<std::uint16_t>();
+      evidence.on_paths.resize(cursor.get_count(sizeof(std::uint64_t)));
+      for (std::uint64_t& hash : evidence.on_paths)
+        hash = cursor.get<std::uint64_t>();
+      evidence.off_paths.resize(cursor.get_count(sizeof(std::uint64_t)));
+      for (std::uint64_t& hash : evidence.off_paths)
+        hash = cursor.get<std::uint64_t>();
+    }
+    alpha.labels.resize(cursor.get_count(3));
+    for (auto& [beta, intent] : alpha.labels) {
+      beta = cursor.get<std::uint16_t>();
+      const std::uint8_t raw = cursor.get<std::uint8_t>();
+      if (raw > static_cast<std::uint8_t>(core::Intent::kUnclassified))
+        throw SnapshotError(
+            util::format("snapshot label byte %u is not a valid intent", raw));
+      intent = static_cast<core::Intent>(raw);
+    }
+  }
+  if (cursor.remaining() != 0)
+    throw SnapshotError("snapshot payload has trailing bytes");
+
+  core::IncrementalClassifier classifier(config, observation);
+  classifier.restore_state(state);
+  return classifier;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(
+    const core::IncrementalClassifier& classifier) {
+  std::vector<std::uint8_t> payload;
+  encode_payload(payload, classifier);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put<std::uint32_t>(out, kSnapshotVersion);
+  put<std::uint64_t>(out, fnv1a64(payload));
+  put<std::uint64_t>(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+core::IncrementalClassifier decode_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes)
+    throw SnapshotError(
+        util::format("snapshot header truncated (%zu of %zu bytes)",
+                     bytes.size(), kHeaderBytes));
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw SnapshotError("not a bgpintent snapshot (bad magic)");
+  Cursor header(bytes.subspan(sizeof kMagic, kHeaderBytes - sizeof kMagic));
+  const std::uint32_t version = header.get<std::uint32_t>();
+  if (version == 0 || version > kSnapshotVersion)
+    throw SnapshotError(util::format(
+        "snapshot format version %u is newer than supported version %u",
+        version, kSnapshotVersion));
+  const std::uint64_t checksum = header.get<std::uint64_t>();
+  const std::uint64_t payload_size = header.get<std::uint64_t>();
+
+  const auto payload = bytes.subspan(kHeaderBytes);
+  if (payload.size() != payload_size)
+    throw SnapshotError(util::format(
+        "snapshot payload is %zu bytes but the header promises %llu",
+        payload.size(), static_cast<unsigned long long>(payload_size)));
+  if (fnv1a64(payload) != checksum)
+    throw SnapshotError("snapshot checksum mismatch (corrupt file)");
+
+  Cursor cursor(payload);
+  return decode_payload(cursor);
+}
+
+void save_snapshot(const core::IncrementalClassifier& classifier,
+                   std::ostream& out) {
+  const auto bytes = encode_snapshot(classifier);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError("failed to write snapshot stream");
+}
+
+core::IncrementalClassifier load_snapshot(std::istream& in) {
+  std::vector<std::uint8_t> bytes;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
+    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
+  if (in.bad()) throw SnapshotError("failed to read snapshot stream");
+  return decode_snapshot(bytes);
+}
+
+void save_snapshot(const core::IncrementalClassifier& classifier,
+                   const std::string& path) {
+  write_snapshot_bytes(encode_snapshot(classifier), path);
+}
+
+void write_snapshot_bytes(std::span<const std::uint8_t> bytes,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw SnapshotError(
+          util::format("cannot open %s for writing", tmp.c_str()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw SnapshotError(util::format("failed to write %s", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError(
+        util::format("cannot rename %s to %s", tmp.c_str(), path.c_str()));
+  }
+}
+
+core::IncrementalClassifier load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError(util::format("cannot open %s", path.c_str()));
+  return load_snapshot(in);
+}
+
+}  // namespace bgpintent::serve

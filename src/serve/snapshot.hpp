@@ -1,0 +1,71 @@
+// Versioned binary persistence for IncrementalClassifier state.
+//
+// The serve daemon must survive restarts without replaying weeks of BGP
+// data, so the complete classifier state — configs, per-community path-hash
+// accumulators, cached labels, dirty set, ingest counter — round-trips
+// through a self-describing binary file:
+//
+//   offset  size  field
+//   0       8     magic "BGPISNAP"
+//   8       4     format version (u32 LE, currently 1)
+//   12      8     FNV-1a-64 checksum of the payload bytes (u64 LE)
+//   20      8     payload size in bytes (u64 LE)
+//   28      ...   payload (docs/SERVING.md spells out the layout)
+//
+// All integers little-endian.  Loading rejects, with a SnapshotError that
+// names the problem: wrong magic, a version newer than this build writes,
+// checksum mismatches (bit rot, torn writes), truncated payloads, and
+// trailing bytes.  save_snapshot(path) writes to "<path>.tmp" and renames,
+// so readers never observe a half-written file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+
+namespace bgpintent::serve {
+
+/// Thrown on any malformed, corrupt, or unsupported snapshot input.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The version this build writes; readers accept [1, kSnapshotVersion].
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes the classifier (configs + full state) to bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const core::IncrementalClassifier& classifier);
+
+/// Reconstructs a classifier from encode_snapshot() output.  The org map is
+/// not persisted — re-attach it with set_org_map() after loading.  Throws
+/// SnapshotError on corrupt or unsupported input.
+[[nodiscard]] core::IncrementalClassifier decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+/// Stream variants of the above.
+void save_snapshot(const core::IncrementalClassifier& classifier,
+                   std::ostream& out);
+[[nodiscard]] core::IncrementalClassifier load_snapshot(std::istream& in);
+
+/// File variants.  Saving writes "<path>.tmp" then renames it over `path`
+/// so a crash mid-write never corrupts the previous snapshot; both throw
+/// SnapshotError on IO failure.
+void save_snapshot(const core::IncrementalClassifier& classifier,
+                   const std::string& path);
+[[nodiscard]] core::IncrementalClassifier load_snapshot(
+    const std::string& path);
+
+/// Writes already-encoded snapshot bytes with the same tmp+rename
+/// discipline.  Lets the server encode under its classifier lock but do
+/// the file IO outside it.
+void write_snapshot_bytes(std::span<const std::uint8_t> bytes,
+                          const std::string& path);
+
+}  // namespace bgpintent::serve

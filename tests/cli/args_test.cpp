@@ -63,6 +63,36 @@ TEST(Args, MalformedNumbersRejected) {
   EXPECT_FALSE(args->value_double("gap", 160.0));
 }
 
+TEST(Args, NegativeNumbersRejected) {
+  std::vector<std::string> raw{"prog", "cmd", "--gap", "-3"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"gap"}, {});
+  ASSERT_TRUE(args);
+  EXPECT_FALSE(args->value_u64("gap", 140));
+  // A negative double is still a valid double.
+  EXPECT_DOUBLE_EQ(*args->value_double("gap", 160.0), -3.0);
+}
+
+TEST(Args, ValuesAboveMaxRejected) {
+  std::vector<std::string> raw{"prog", "cmd", "--threads", "4097"};
+  auto argv = make_argv(raw);
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data(), 2,
+                                {"threads"}, {});
+  ASSERT_TRUE(args);
+  // Above the cap: rejected, so a later narrowing cast cannot wrap.
+  EXPECT_FALSE(args->value_u64("threads", 0, 4096));
+  // At the cap: accepted.
+  EXPECT_EQ(args->value_u64("threads", 0, 4097), 4097u);
+  // Way beyond any u32/u16 narrowing target.
+  std::vector<std::string> raw2{"prog", "cmd", "--port", "4294967296"};
+  auto argv2 = make_argv(raw2);
+  const auto args2 = Args::parse(static_cast<int>(argv2.size()),
+                                 argv2.data(), 2, {"port"}, {});
+  ASSERT_TRUE(args2);
+  EXPECT_FALSE(args2->value_u64("port", 0, 65535));
+}
+
 TEST(Args, EmptyArgs) {
   std::vector<std::string> raw{"prog", "cmd"};
   auto argv = make_argv(raw);

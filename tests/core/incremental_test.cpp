@@ -19,6 +19,47 @@ bgp::RibEntry entry(std::uint32_t vp, std::vector<bgp::Asn> path,
   return e;
 }
 
+TEST(Incremental, EmptyStateTotalsAreZero) {
+  IncrementalClassifier classifier;
+  const auto totals = classifier.totals();
+  EXPECT_EQ(totals.communities, 0u);
+  EXPECT_EQ(totals.information, 0u);
+  EXPECT_EQ(totals.action, 0u);
+  EXPECT_EQ(totals.unclassified, 0u);
+  EXPECT_EQ(classifier.entries_ingested(), 0u);
+  EXPECT_EQ(classifier.dirty_alpha_count(), 0u);
+  EXPECT_TRUE(classifier.export_state().alphas.empty());
+}
+
+TEST(Incremental, ExportStateIsIngestOrderInsensitive) {
+  const std::vector<bgp::RibEntry> entries{
+      entry(61, {61, 100, 201}, {Community(100, 20000)}),
+      entry(62, {62, 100, 201}, {Community(100, 20000), Community(200, 1)}),
+      entry(70, {70, 999, 201}, {Community(100, 2569)}),
+  };
+  IncrementalClassifier forward;
+  for (const auto& e : entries) forward.ingest(e);
+  IncrementalClassifier backward;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+    backward.ingest(*it);
+  EXPECT_EQ(forward.export_state(), backward.export_state());
+}
+
+TEST(Incremental, RestoreStateReplacesEverything) {
+  IncrementalClassifier source;
+  source.ingest(entry(61, {61, 100, 201}, {Community(100, 20000)}));
+  (void)source.label_of(Community(100, 20000));  // cache a label
+
+  IncrementalClassifier target;
+  target.ingest(entry(99, {99, 500, 201}, {Community(500, 1)}));
+  target.restore_state(source.export_state());
+  EXPECT_EQ(target.export_state(), source.export_state());
+  // The pre-restore community is gone, the restored one is present.
+  EXPECT_EQ(target.label_of(Community(500, 1)), Intent::kUnclassified);
+  EXPECT_EQ(target.label_of(Community(100, 20000)),
+            source.label_of(Community(100, 20000)));
+}
+
 TEST(Incremental, LabelsAppearAsEvidenceArrives) {
   IncrementalClassifier classifier;
   EXPECT_EQ(classifier.label_of(Community(100, 20000)), Intent::kUnclassified);

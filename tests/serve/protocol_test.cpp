@@ -1,0 +1,62 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpintent::serve {
+namespace {
+
+TEST(Protocol, PathRoundTrip) {
+  const bgp::AsPath path(std::vector<bgp::Asn>{61, 100, 100, 201});
+  const auto wire = format_path(path);
+  ASSERT_TRUE(wire);
+  EXPECT_EQ(*wire, "61,100,100,201");
+  const auto parsed = parse_path(*wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, path);
+}
+
+TEST(Protocol, PathRejectsSetsEmptyAndGarbage) {
+  EXPECT_FALSE(format_path(bgp::AsPath()));
+  const bgp::AsPath with_set(std::vector<bgp::PathSegment>{
+      {bgp::SegmentType::kSequence, {61}},
+      {bgp::SegmentType::kSet, {4, 5}}});
+  EXPECT_FALSE(format_path(with_set));
+  EXPECT_FALSE(parse_path(""));
+  EXPECT_FALSE(parse_path("61,,201"));
+  EXPECT_FALSE(parse_path("61,abc"));
+  EXPECT_FALSE(parse_path("61,-2"));
+}
+
+TEST(Protocol, CommunitiesRoundTrip) {
+  const std::vector<bgp::Community> communities{{100, 1}, {200, 65535}};
+  const std::string wire = format_communities(communities);
+  EXPECT_EQ(wire, "100:1,200:65535");
+  const auto parsed = parse_communities(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, communities);
+}
+
+TEST(Protocol, EmptyCommunitiesUseDash) {
+  EXPECT_EQ(format_communities({}), "-");
+  const auto parsed = parse_communities("-");
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+  EXPECT_FALSE(parse_communities(""));
+  EXPECT_FALSE(parse_communities("100:1,"));
+  EXPECT_FALSE(parse_communities("100"));
+}
+
+TEST(Protocol, ParseOkResponse) {
+  const auto pairs = parse_ok_response("OK label=information queries=42");
+  ASSERT_TRUE(pairs);
+  EXPECT_EQ(pairs->at("label"), "information");
+  EXPECT_EQ(pairs->at("queries"), "42");
+  EXPECT_FALSE(parse_ok_response("ERR unknown command 'X'"));
+  EXPECT_FALSE(parse_ok_response(""));
+  const auto bare = parse_ok_response("OK");
+  ASSERT_TRUE(bare);
+  EXPECT_TRUE(bare->empty());
+}
+
+}  // namespace
+}  // namespace bgpintent::serve

@@ -1,0 +1,273 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "routing/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/snapshot.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+namespace {
+
+using core::IncrementalClassifier;
+using dict::Intent;
+
+bgp::RibEntry entry(std::uint32_t vp, std::vector<bgp::Asn> path,
+                    std::vector<bgp::Community> communities) {
+  bgp::RibEntry e;
+  e.vantage_point.asn = vp;
+  e.vantage_point.address = vp;
+  e.route.prefix = *bgp::Prefix::parse("10.0.0.0/24");
+  e.route.path = bgp::AsPath(std::move(path));
+  e.route.communities = std::move(communities);
+  return e;
+}
+
+ServerConfig loopback_config() {
+  ServerConfig cfg;
+  cfg.port = 0;        // ephemeral
+  cfg.threads = 2;     // independent of the host's core count
+  return cfg;
+}
+
+// The acceptance integration test: a server started from a snapshot must
+// answer LABEL queries identically to a batch Pipeline::run over the same
+// tuples.
+TEST(Server, SnapshotServerMatchesBatchPipeline) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 103;
+  cfg.topology.tier1_count = 4;
+  cfg.topology.tier2_count = 12;
+  cfg.topology.stub_count = 60;
+  cfg.vantage_point_count = 12;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  core::Pipeline batch;
+  batch.set_org_map(&scenario.topology().orgs);
+  const auto batch_result = batch.run(entries);
+
+  // Prime a classifier, persist it, and start the server from the loaded
+  // snapshot — the restart must be invisible to queries.
+  IncrementalClassifier primed;
+  primed.set_org_map(&scenario.topology().orgs);
+  primed.ingest(entries);
+  const std::string snap = ::testing::TempDir() + "serve_test_snap.bin";
+  save_snapshot(primed, snap);
+  auto loaded = load_snapshot(snap);
+  loaded.set_org_map(&scenario.topology().orgs);
+  std::remove(snap.c_str());
+
+  Server server(std::move(loaded), loopback_config());
+  server.start();
+  ASSERT_NE(server.port(), 0);
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  std::size_t compared = 0;
+  for (const auto& stats : batch_result.observations.all()) {
+    ++compared;
+    EXPECT_EQ(client.label(stats.community),
+              batch_result.inference.label_of(stats.community))
+        << stats.community.to_string();
+  }
+  EXPECT_GT(compared, 100u);
+
+  const auto totals = client.totals();
+  EXPECT_EQ(totals.information, batch_result.inference.information_count);
+  EXPECT_EQ(totals.action, batch_result.inference.action_count);
+
+  client.quit();
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, IngestViaProtocolMatchesDirectIngest) {
+  IncrementalClassifier reference;
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  const std::vector<bgp::RibEntry> feed{
+      entry(61, {61, 100, 201}, {bgp::Community(100, 20000)}),
+      entry(62, {62, 100, 201}, {bgp::Community(100, 20000)}),
+      entry(70, {70, 999, 201}, {bgp::Community(100, 2569)}),
+      entry(71, {71, 999, 201}, {bgp::Community(100, 2569)}),
+      entry(61, {61, 64512, 201}, {bgp::Community(64512, 9)}),
+  };
+  for (const auto& e : feed) {
+    reference.ingest(e);
+    client.ingest(e.route.path, e.route.communities);
+  }
+
+  const auto want = reference.totals();
+  const auto got = client.totals();
+  EXPECT_EQ(got.communities, want.communities);
+  EXPECT_EQ(got.information, want.information);
+  EXPECT_EQ(got.action, want.action);
+  EXPECT_EQ(got.unclassified, want.unclassified);
+  EXPECT_EQ(client.label(bgp::Community(100, 20000)),
+            reference.label_of(bgp::Community(100, 20000)));
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, StatsReportCountersAndLatency) {
+  IncrementalClassifier classifier;
+  classifier.ingest(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}));
+  Server server(std::move(classifier), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  (void)client.label(bgp::Community(100, 1));
+  (void)client.label(bgp::Community(100, 2));
+
+  const std::string response = client.request("STATS");
+  const auto pairs = parse_ok_response(response);
+  ASSERT_TRUE(pairs) << response;
+  for (const char* key : {"uptime_s", "connections", "queries", "entries",
+                          "dirty", "p50_us", "p99_us"})
+    EXPECT_TRUE(pairs->contains(key)) << key << " missing in " << response;
+  EXPECT_EQ(pairs->at("queries"), "2");
+  EXPECT_EQ(pairs->at("entries"), "1");
+  EXPECT_EQ(pairs->at("connections"), "1");
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_EQ(stats.entries_ingested, 1u);
+  EXPECT_GE(stats.p99_query_us, stats.p50_query_us);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, SnapshotCommandWritesLoadableFile) {
+  IncrementalClassifier classifier;
+  classifier.ingest(entry(61, {61, 100, 201}, {bgp::Community(100, 20000)}));
+  const auto want_state = classifier.export_state();
+
+  Server server(std::move(classifier), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  const std::string path = ::testing::TempDir() + "serve_cmd_snap.bin";
+  client.snapshot(path);
+  const auto restored = load_snapshot(path);
+  EXPECT_EQ(restored.export_state(), want_state);
+  std::remove(path.c_str());
+
+  // Unwritable destination must produce an ERR, not kill the server.
+  EXPECT_THROW(client.snapshot("/nonexistent-dir/snap.bin"), ServeError);
+  (void)client.request("STATS");  // connection still alive
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, MalformedCommandsGetErrResponses) {
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  for (const char* bad : {
+           "BOGUS",                  // unknown command
+           "LABEL",                  // missing argument
+           "LABEL notacommunity",    // unparsable community
+           "LABEL 100:1 extra",      // trailing garbage
+           "INGEST 61,100",          // missing communities
+           "INGEST 61,abc 100:1",    // bad path
+           "INGEST 61,100 100",      // bad community
+           "SNAPSHOT",               // missing path
+       }) {
+    const std::string response = client.request(bad);
+    EXPECT_TRUE(util::starts_with(response, "ERR ")) << bad << " -> "
+                                                     << response;
+  }
+  // The connection survives every ERR.
+  EXPECT_EQ(client.request("QUIT"), "OK bye");
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, OverlongLineIsRejected) {
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  // Longer than kMaxLineBytes: the server must answer ERR and close (or
+  // the connection drops mid-send once the server closes its end).
+  const std::string huge(kMaxLineBytes + 16, 'A');
+  try {
+    const std::string response = client.request(huge);
+    EXPECT_TRUE(util::starts_with(response, "ERR ")) << response;
+  } catch (const ServeError&) {
+    // Acceptable: server closed before we finished sending.
+  }
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, IdleConnectionTimesOut) {
+  auto cfg = loopback_config();
+  cfg.read_timeout_ms = 200;
+  Server server(IncrementalClassifier(), cfg);
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  // The server has sent "ERR read timeout" and closed; the next request
+  // either reads that line or hits the closed socket.
+  try {
+    const std::string response = client.request("STATS");
+    EXPECT_TRUE(util::starts_with(response, "ERR ")) << response;
+  } catch (const ServeError&) {
+    // Also acceptable.
+  }
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, GracefulDrainStopsAccepting) {
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  const std::uint16_t port = server.port();
+  {
+    auto client = Client::connect("127.0.0.1", port);
+    EXPECT_EQ(client.request("QUIT"), "OK bye");
+  }
+  server.request_stop();
+  server.wait();
+  EXPECT_THROW((void)Client::connect("127.0.0.1", port), ServeError);
+}
+
+TEST(Server, FinalSnapshotWrittenOnDrain) {
+  const std::string path = ::testing::TempDir() + "serve_drain_snap.bin";
+  auto cfg = loopback_config();
+  cfg.snapshot_path = path;
+  IncrementalClassifier classifier;
+  classifier.ingest(entry(61, {61, 100, 201}, {bgp::Community(100, 20000)}));
+  const auto want_state = classifier.export_state();
+
+  Server server(std::move(classifier), cfg);
+  server.start();
+  server.request_stop();
+  server.wait();
+
+  const auto restored = load_snapshot(path);
+  EXPECT_EQ(restored.export_state(), want_state);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgpintent::serve
