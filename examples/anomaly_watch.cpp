@@ -121,8 +121,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      client = serve::Client::connect(target.substr(0, colon),
-                                      static_cast<std::uint16_t>(*port));
+      // Retry with backoff so the watcher survives the daemon's startup
+      // window or a quick restart (serve/client.hpp RetryPolicy).
+      client = serve::Client::connect_with_retry(
+          target.substr(0, colon), static_cast<std::uint16_t>(*port));
       label_of = remote_labeler(*client, combined);
       const auto totals = client->totals();
       information_count = totals.information;

@@ -10,6 +10,7 @@
 #include "core/pipeline.hpp"
 #include "core/summarize.hpp"
 #include "dict/builtin.hpp"
+#include "mrt/fault.hpp"
 #include "mrt/mrt_file.hpp"
 #include "rel/asrank.hpp"
 #include "routing/scenario.hpp"
@@ -24,31 +25,75 @@ namespace bgpintent::cli {
 
 namespace {
 
-/// Reads RIB entries from every listed MRT file; returns nullopt on error.
-std::optional<std::vector<bgp::RibEntry>> load_mrt_files(
-    const std::vector<std::string>& paths) {
+/// Parses the shared decode flags (--tolerant, --max-errors,
+/// --max-error-frac); false means a usage error was already printed.
+bool parse_decode_options(const Args& args, mrt::DecodeOptions& options) {
+  if (args.flag("tolerant")) options.mode = mrt::DecodeMode::kTolerant;
+  const auto max_errors = args.value_u64("max-errors", options.max_errors);
+  const auto max_frac =
+      args.value_double("max-error-frac", options.max_error_frac);
+  if (!max_errors || !max_frac) return false;
+  if (*max_frac < 0.0 || *max_frac > 1.0) {
+    std::fprintf(stderr, "error: --max-error-frac must be in [0, 1]\n");
+    return false;
+  }
+  if ((args.value("max-errors") || args.value("max-error-frac")) &&
+      !options.tolerant()) {
+    std::fprintf(stderr,
+                 "error: --max-errors/--max-error-frac require --tolerant\n");
+    return false;
+  }
+  options.max_errors = *max_errors;
+  options.max_error_frac = *max_frac;
+  return true;
+}
+
+/// Reads RIB entries from every listed MRT file under `options`, merging
+/// per-file decode reports.  On success prints the end-of-run decode
+/// summary to stderr; on failure prints the error and returns nullopt with
+/// `exit_code` set (kExitUsage / kExitData / kExitBudget).
+struct LoadedMrt {
+  std::vector<bgp::RibEntry> entries;
+  mrt::DecodeReport report;
+};
+std::optional<LoadedMrt> load_mrt_files(const std::vector<std::string>& paths,
+                                        const mrt::DecodeOptions& options,
+                                        int& exit_code) {
   if (paths.empty()) {
     std::fprintf(stderr, "error: at least one MRT file required\n");
+    exit_code = kExitUsage;
     return std::nullopt;
   }
-  std::vector<bgp::RibEntry> entries;
+  LoadedMrt loaded;
   for (const std::string& path : paths) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      exit_code = kExitData;
       return std::nullopt;
     }
+    mrt::DecodeReport file_report;
     try {
-      auto file_entries = mrt::read_rib_entries(in);
-      entries.insert(entries.end(),
-                     std::make_move_iterator(file_entries.begin()),
-                     std::make_move_iterator(file_entries.end()));
-    } catch (const mrt::MrtError& error) {
+      auto file_entries = mrt::read_rib_entries(in, options, &file_report);
+      loaded.entries.insert(loaded.entries.end(),
+                            std::make_move_iterator(file_entries.begin()),
+                            std::make_move_iterator(file_entries.end()));
+      loaded.report.merge(file_report);
+    } catch (const mrt::DecodeBudgetError& error) {
+      loaded.report.merge(file_report);
       std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+      std::fprintf(stderr, "decode: %s\n", loaded.report.summary().c_str());
+      exit_code = kExitBudget;
+      return std::nullopt;
+    } catch (const mrt::MrtError& error) {
+      loaded.report.merge(file_report);
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+      exit_code = kExitData;
       return std::nullopt;
     }
   }
-  return entries;
+  std::fprintf(stderr, "decode: %s\n", loaded.report.summary().c_str());
+  return loaded;
 }
 
 std::optional<dict::DictionaryStore> load_dictionary(const std::string& path) {
@@ -93,16 +138,20 @@ bool write_to(const std::optional<std::string>& path, auto&& writer) {
 int cmd_infer(int argc, char** argv) {
   const auto args = Args::parse(argc, argv, 2,
                                 {"gap", "threshold", "out", "summary",
-                                 "threads"},
-                                {"no-siblings", "mean-ratios"});
-  if (!args) return 2;
+                                 "threads", "max-errors", "max-error-frac"},
+                                {"no-siblings", "mean-ratios", "tolerant"});
+  if (!args) return kExitUsage;
   const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
   const auto threads = args->value_u64("threads", 0, kMaxThreads);
-  if (!gap || !threshold || !threads) return 2;
+  if (!gap || !threshold || !threads) return kExitUsage;
+  mrt::DecodeOptions decode;
+  if (!parse_decode_options(*args, decode)) return kExitUsage;
 
-  const auto entries = load_mrt_files(args->positional());
-  if (!entries) return 1;
+  int exit_code = kExitRuntime;
+  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
+  if (!loaded) return exit_code;
+  const auto& entries = loaded->entries;
 
   core::PipelineConfig cfg;
   cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
@@ -110,13 +159,14 @@ int cmd_infer(int argc, char** argv) {
   cfg.classifier.mean_of_ratios = args->flag("mean-ratios");
   cfg.observation.sibling_aware = !args->flag("no-siblings");
   cfg.threads = static_cast<unsigned>(*threads);
+  cfg.decode = decode;
   core::Pipeline pipeline(cfg);
-  const auto result = pipeline.run(*entries);
+  const auto result = pipeline.run(entries);
 
   std::fprintf(stderr,
                "%zu entries, %zu unique paths, %zu communities -> "
                "%zu information / %zu action / %zu excluded\n",
-               entries->size(), result.observations.unique_path_count(),
+               entries.size(), result.observations.unique_path_count(),
                result.observations.community_count(),
                result.inference.information_count,
                result.inference.action_count,
@@ -200,13 +250,18 @@ int cmd_simulate(int argc, char** argv) {
 }
 
 int cmd_relationships(int argc, char** argv) {
-  const auto args = Args::parse(argc, argv, 2, {"out"}, {});
-  if (!args) return 2;
-  const auto entries = load_mrt_files(args->positional());
-  if (!entries) return 1;
+  const auto args = Args::parse(argc, argv, 2,
+                                {"out", "max-errors", "max-error-frac"},
+                                {"tolerant"});
+  if (!args) return kExitUsage;
+  mrt::DecodeOptions decode;
+  if (!parse_decode_options(*args, decode)) return kExitUsage;
+  int exit_code = kExitRuntime;
+  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
+  if (!loaded) return exit_code;
   std::vector<bgp::AsPath> paths;
-  paths.reserve(entries->size());
-  for (const auto& entry : *entries) paths.push_back(entry.route.path);
+  paths.reserve(loaded->entries.size());
+  for (const auto& entry : loaded->entries) paths.push_back(entry.route.path);
   const auto dataset = rel::infer_relationships(paths);
   std::fprintf(stderr, "inferred %zu links: %zu p2c, %zu p2p\n",
                dataset.link_count(), dataset.p2c_count(), dataset.p2p_count());
@@ -217,29 +272,35 @@ int cmd_relationships(int argc, char** argv) {
 }
 
 int cmd_eval(int argc, char** argv) {
-  const auto args =
-      Args::parse(argc, argv, 2, {"dict", "gap", "threshold", "threads"}, {});
-  if (!args) return 2;
+  const auto args = Args::parse(argc, argv, 2,
+                                {"dict", "gap", "threshold", "threads",
+                                 "max-errors", "max-error-frac"},
+                                {"tolerant"});
+  if (!args) return kExitUsage;
   const auto dict_path = args->value("dict");
   if (!dict_path) {
     std::fprintf(stderr, "error: --dict <truth.dict> is required\n");
-    return 2;
+    return kExitUsage;
   }
   const auto truth = load_dictionary(*dict_path);
-  if (!truth) return 1;
+  if (!truth) return kExitData;
   const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
   const auto threads = args->value_u64("threads", 0, kMaxThreads);
-  if (!gap || !threshold || !threads) return 2;
-  const auto entries = load_mrt_files(args->positional());
-  if (!entries) return 1;
+  if (!gap || !threshold || !threads) return kExitUsage;
+  mrt::DecodeOptions decode;
+  if (!parse_decode_options(*args, decode)) return kExitUsage;
+  int exit_code = kExitRuntime;
+  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
+  if (!loaded) return exit_code;
 
   core::PipelineConfig cfg;
   cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
   cfg.classifier.ratio_threshold = *threshold;
   cfg.threads = static_cast<unsigned>(*threads);
+  cfg.decode = decode;
   core::Pipeline pipeline(cfg);
-  const auto result = pipeline.run(*entries);
+  const auto result = pipeline.run(loaded->entries);
   const auto eval = result.score(*truth);
 
   util::TextTable table({"metric", "value"});
@@ -260,7 +321,7 @@ int cmd_annotate(int argc, char** argv) {
   dict::DictionaryStore store;
   if (const auto dict_path = args->value("dict")) {
     auto loaded = load_dictionary(*dict_path);
-    if (!loaded) return 1;
+    if (!loaded) return kExitData;
     store = std::move(*loaded);
   } else {
     store = dict::builtin_dictionary();
@@ -299,7 +360,7 @@ int cmd_mrt_info(int argc, char** argv) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-      return 1;
+      return kExitData;
     }
     std::size_t records = 0;
     std::size_t rib_rows = 0;
@@ -319,11 +380,78 @@ int cmd_mrt_info(int argc, char** argv) {
       }
     } catch (const mrt::MrtError& error) {
       std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
-      return 1;
+      return kExitData;
     }
     std::printf("%s: %zu records (%zu RIB prefixes, %zu BGP4MP), %zu bytes\n",
                 path.c_str(), records, rib_rows, updates, bytes);
   }
+  return 0;
+}
+
+int cmd_mrt_corrupt(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {"out", "kind", "seed"}, {});
+  if (!args) return kExitUsage;
+  if (args->positional().size() != 1) {
+    std::fprintf(stderr,
+                 "error: usage: mrt-corrupt <in.mrt> --out <out.mrt> "
+                 "[--kind bitflip|truncate|splice|lengthlie] [--seed N]\n");
+    return kExitUsage;
+  }
+  const auto out_path = args->value("out");
+  if (!out_path) {
+    std::fprintf(stderr, "error: --out <out.mrt> is required\n");
+    return kExitUsage;
+  }
+  const std::string kind_name = args->value("kind").value_or("bitflip");
+  const auto kind = mrt::parse_corruption_kind(kind_name);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "error: --kind must be bitflip, truncate, splice, or "
+                 "lengthlie (got '%s')\n",
+                 kind_name.c_str());
+    return kExitUsage;
+  }
+  const auto seed = args->value_u64("seed", 1);
+  if (!seed) return kExitUsage;
+
+  const std::string& in_path = args->positional().front();
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", in_path.c_str());
+    return kExitData;
+  }
+  std::vector<std::uint8_t> bytes;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
+    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
+  if (in.bad()) {
+    std::fprintf(stderr, "error: failed to read %s\n", in_path.c_str());
+    return kExitData;
+  }
+
+  mrt::CorruptionResult corrupted;
+  try {
+    corrupted = mrt::corrupt_mrt(bytes, *kind, *seed);
+  } catch (const mrt::MrtError& error) {
+    std::fprintf(stderr, "error: %s: %s\n", in_path.c_str(), error.what());
+    return kExitData;
+  }
+
+  std::ofstream out(*out_path, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(corrupted.bytes.data()),
+                 static_cast<std::streamsize>(corrupted.bytes.size()))) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+    return kExitRuntime;
+  }
+
+  std::string touched;
+  for (const std::uint64_t record : corrupted.touched_records) {
+    if (!touched.empty()) touched += ',';
+    touched += std::to_string(record);
+  }
+  std::printf("%s: %s (touched records: %s)\n", out_path->c_str(),
+              corrupted.description.c_str(), touched.c_str());
   return 0;
 }
 
@@ -346,9 +474,11 @@ int cmd_serve(int argc, char** argv) {
   const auto args = Args::parse(
       argc, argv, 2,
       {"listen", "port", "threads", "snapshot", "snapshot-interval",
-       "read-timeout", "gap", "threshold"},
-      {"no-siblings", "mean-ratios"});
+       "read-timeout", "gap", "threshold", "max-errors", "max-error-frac"},
+      {"no-siblings", "mean-ratios", "tolerant"});
   if (!args) return 2;
+  mrt::DecodeOptions decode;
+  if (!parse_decode_options(*args, decode)) return kExitUsage;
   const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
   const auto threads = args->value_u64("threads", 0, kMaxThreads);
   const auto interval = args->value_u64("snapshot-interval", 0, 31536000);
@@ -390,11 +520,15 @@ int cmd_serve(int argc, char** argv) {
   }
 
   if (!args->positional().empty()) {
-    const auto entries = load_mrt_files(args->positional());
-    if (!entries) return 1;
-    classifier.ingest(*entries);
+    int exit_code = kExitRuntime;
+    const auto loaded =
+        load_mrt_files(args->positional(), decode, exit_code);
+    if (!loaded) return exit_code;
+    classifier.ingest(loaded->entries);
+    classifier.record_decode_outcome(loaded->report.records_ok,
+                                     loaded->report.records_skipped);
     std::fprintf(stderr, "primed with %zu RIB entries from %zu MRT files\n",
-                 entries->size(), args->positional().size());
+                 loaded->entries.size(), args->positional().size());
   }
 
   serve::ServerConfig cfg;
@@ -450,8 +584,10 @@ int cmd_query(int argc, char** argv) {
     line += token;
   }
   try {
-    auto client =
-        serve::Client::connect(host, static_cast<std::uint16_t>(*port));
+    // Retrying absorbs the daemon's startup window and brief restarts
+    // (transient ECONNREFUSED/ETIMEDOUT, serve/client.hpp RetryPolicy).
+    auto client = serve::Client::connect_with_retry(
+        host, static_cast<std::uint16_t>(*port));
     const std::string response = client.request(line);
     std::printf("%s\n", response.c_str());
     client.quit();
@@ -474,23 +610,36 @@ int cmd_help() {
       "      [--out file.csv] [--summary file.dict]\n"
       "      [--threads N]      workers (0 = all cores, default; 1 = "
       "sequential)\n"
+      "      [--tolerant]       skip malformed MRT records and resync\n"
+      "      [--max-errors N] [--max-error-frac R]   tolerant error budget\n"
       "  simulate               generate a synthetic collector RIB as MRT\n"
       "      [--seed N] [--tier1 N] [--tier2 N] [--stubs N]\n"
       "      [--vantage-points N] [--out rib.mrt] [--dict truth.dict]\n"
       "  relationships <mrt>... infer AS relationships (CAIDA serial-1)\n"
-      "      [--out file]\n"
+      "      [--out file] [--tolerant] [--max-errors N] "
+      "[--max-error-frac R]\n"
       "  eval <rib.mrt>...      score against a ground-truth dictionary\n"
       "      --dict truth.dict [--gap N] [--threshold R] [--threads N]\n"
+      "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
       "  annotate <a:b>...      explain community values [--dict file]\n"
       "  mrt-info <file>...     MRT record statistics\n"
+      "  mrt-corrupt <in.mrt>   seeded fault injection into a valid MRT "
+      "file\n"
+      "      --out out.mrt [--kind bitflip|truncate|splice|lengthlie] "
+      "[--seed N]\n"
       "  serve [rib.mrt]...     run the live query daemon (docs/SERVING.md)\n"
       "      [--listen ADDR] [--port N] [--threads N]\n"
       "      [--snapshot file.snap] [--snapshot-interval SECONDS]\n"
       "      [--read-timeout MS] [--gap N] [--threshold R]\n"
       "      [--no-siblings] [--mean-ratios]\n"
+      "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
       "  query <COMMAND>...     send one protocol command to a daemon\n"
       "      [--host ADDR] [--port N]   e.g.: query LABEL 1299:2569\n"
-      "  help                   this text\n");
+      "  help                   this text\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime error, 2 usage error,\n"
+      "            3 unreadable or malformed input, 4 tolerant decode\n"
+      "            error budget exceeded (docs/ROBUSTNESS.md)\n");
   return 0;
 }
 

@@ -4,6 +4,15 @@
 
 namespace bgpintent::cli {
 
+// Process exit codes (docs/ROBUSTNESS.md).  Scripts and CI gate on these:
+// a decode failure under --tolerant --max-errors N is distinguishable from
+// a typo'd flag without parsing stderr.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;  ///< everything not covered below
+inline constexpr int kExitUsage = 2;    ///< bad flags / missing arguments
+inline constexpr int kExitData = 3;     ///< unreadable or malformed input
+inline constexpr int kExitBudget = 4;   ///< tolerant decode budget exceeded
+
 /// `bgpintent infer <rib.mrt>...` — classify community intent from MRT
 /// input, write per-community CSV and optional dictionary summary.
 int cmd_infer(int argc, char** argv);
@@ -27,6 +36,10 @@ int cmd_annotate(int argc, char** argv);
 /// `bgpintent mrt-info <file.mrt>...` — record/statistics summary of MRT
 /// files.
 int cmd_mrt_info(int argc, char** argv);
+
+/// `bgpintent mrt-corrupt <in.mrt> --out <out.mrt> --kind <kind>` — apply
+/// one seeded corruption to a valid MRT file (fault-injection tooling).
+int cmd_mrt_corrupt(int argc, char** argv);
 
 /// `bgpintent serve [rib.mrt]...` — run the long-lived TCP query daemon,
 /// optionally primed from MRT files and/or a state snapshot.

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "eval") == 0) return cmd_eval(argc, argv);
   if (std::strcmp(command, "annotate") == 0) return cmd_annotate(argc, argv);
   if (std::strcmp(command, "mrt-info") == 0) return cmd_mrt_info(argc, argv);
+  if (std::strcmp(command, "mrt-corrupt") == 0)
+    return cmd_mrt_corrupt(argc, argv);
   if (std::strcmp(command, "serve") == 0) return cmd_serve(argc, argv);
   if (std::strcmp(command, "query") == 0) return cmd_query(argc, argv);
   if (std::strcmp(command, "help") == 0 ||

@@ -120,6 +120,8 @@ Intent IncrementalClassifier::label_of(Community community) {
 IncrementalClassifier::State IncrementalClassifier::export_state() const {
   State state;
   state.entries_ingested = entries_ingested_;
+  state.decode_records_ok = decode_records_ok_;
+  state.decode_records_skipped = decode_records_skipped_;
   state.asns_on_paths.assign(asns_on_paths_.begin(), asns_on_paths_.end());
   std::sort(state.asns_on_paths.begin(), state.asns_on_paths.end());
   state.dirty.assign(dirty_.begin(), dirty_.end());
@@ -159,6 +161,8 @@ void IncrementalClassifier::restore_state(const State& state) {
   asns_on_paths_.clear();
   dirty_.clear();
   entries_ingested_ = state.entries_ingested;
+  decode_records_ok_ = state.decode_records_ok;
+  decode_records_skipped_ = state.decode_records_skipped;
   asns_on_paths_.insert(state.asns_on_paths.begin(),
                         state.asns_on_paths.end());
   dirty_.insert(state.dirty.begin(), state.dirty.end());

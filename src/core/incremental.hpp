@@ -59,6 +59,23 @@ class IncrementalClassifier {
     return dirty_.size();
   }
 
+  /// Accumulates the decode outcome of one ingest batch (records that
+  /// decoded cleanly vs. records skipped by a tolerant MRT decode).  The
+  /// classifier itself never decodes MRT; callers that do (serve, CLI)
+  /// fold their DecodeReport counts in here so the counters survive in
+  /// snapshots alongside the evidence they describe.
+  void record_decode_outcome(std::uint64_t records_ok,
+                             std::uint64_t records_skipped) noexcept {
+    decode_records_ok_ += records_ok;
+    decode_records_skipped_ += records_skipped;
+  }
+  [[nodiscard]] std::uint64_t decode_records_ok() const noexcept {
+    return decode_records_ok_;
+  }
+  [[nodiscard]] std::uint64_t decode_records_skipped() const noexcept {
+    return decode_records_skipped_;
+  }
+
   /// Flattened view of the complete mutable state — every accumulator, the
   /// cached labels, the dirty set, and the ingest counter.  All vectors are
   /// sorted, so two classifiers with equal evidence export equal states
@@ -83,6 +100,8 @@ class IncrementalClassifier {
     std::vector<bgp::Asn> asns_on_paths;  ///< sorted
     std::vector<std::uint16_t> dirty;     ///< sorted
     std::size_t entries_ingested = 0;
+    std::uint64_t decode_records_ok = 0;
+    std::uint64_t decode_records_skipped = 0;
     friend bool operator==(const State&, const State&) = default;
   };
 
@@ -119,6 +138,8 @@ class IncrementalClassifier {
   std::unordered_set<bgp::Asn> asns_on_paths_;
   std::unordered_set<std::uint16_t> dirty_;
   std::size_t entries_ingested_ = 0;
+  std::uint64_t decode_records_ok_ = 0;
+  std::uint64_t decode_records_skipped_ = 0;
 };
 
 }  // namespace bgpintent::core

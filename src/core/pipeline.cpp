@@ -41,20 +41,26 @@ PipelineResult Pipeline::run(std::span<const bgp::RibEntry> entries) const {
 }
 
 PipelineResult Pipeline::run_mrt(std::istream& in) const {
+  mrt::DecodeReport report;
   if (util::ThreadPool::resolve(config_.threads) <= 1) {
-    const std::vector<bgp::RibEntry> entries = mrt::read_rib_entries(in);
-    return run(entries);
+    const std::vector<bgp::RibEntry> entries =
+        mrt::read_rib_entries(in, config_.decode, &report);
+    PipelineResult result = run(entries);
+    result.decode_report = std::move(report);
+    return result;
   }
   // One pool serves all three stages: chunked decode, sharded indexing,
   // per-alpha classification.
   util::ThreadPool pool(config_.threads);
   const std::vector<bgp::RibEntry> entries =
-      mrt::read_rib_entries_parallel(in, pool);
+      mrt::read_rib_entries_parallel(in, pool, config_.decode, &report);
   std::vector<bgp::PathCommunityTuple> tuples;
   for (const bgp::RibEntry& entry : entries)
     for (const Community community : entry.route.communities)
       tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
-  return run_on_pool(tuples, pool);
+  PipelineResult result = run_on_pool(tuples, pool);
+  result.decode_report = std::move(report);
+  return result;
 }
 
 }  // namespace bgpintent::core

@@ -15,6 +15,7 @@
 #include "core/classifier.hpp"
 #include "core/evaluation.hpp"
 #include "core/observations.hpp"
+#include "mrt/decode.hpp"
 
 namespace bgpintent::core {
 
@@ -25,6 +26,9 @@ struct PipelineConfig {
   /// 1 = the sequential reference path (default); 0 = hardware
   /// concurrency; N = exactly N workers.  Results do not depend on this.
   unsigned threads = 1;
+  /// MRT decode behavior for run_mrt (strict by default; tolerant mode
+  /// skips malformed records within an error budget — docs/ROBUSTNESS.md).
+  mrt::DecodeOptions decode;
 };
 
 /// Inference output bundled with the index it was computed from (the index
@@ -32,6 +36,10 @@ struct PipelineConfig {
 struct PipelineResult {
   ObservationIndex observations;
   InferenceResult inference;
+  /// Decode outcome of run_mrt (default-constructed for the non-MRT
+  /// entry points): records decoded/skipped, resync histogram, captured
+  /// errors.  Reports from multiple files can be merge()d by the caller.
+  mrt::DecodeReport decode_report;
 
   [[nodiscard]] Evaluation score(const dict::DictionaryStore& truth) const {
     return evaluate(observations, inference, truth);
@@ -63,7 +71,10 @@ class Pipeline {
       std::span<const bgp::RibEntry> entries) const;
 
   /// Runs over an MRT stream (TABLE_DUMP_V2 snapshots and/or BGP4MP
-  /// updates).  Throws mrt::MrtError on malformed input.
+  /// updates).  Strict decode (the default) throws mrt::MrtError on
+  /// malformed input; tolerant decode skips damaged records and throws
+  /// mrt::DecodeBudgetError only past the error budget.  The decode
+  /// outcome lands in PipelineResult::decode_report.
   [[nodiscard]] PipelineResult run_mrt(std::istream& in) const;
 
  private:

@@ -1,0 +1,64 @@
+#include "mrt/decode.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/strings.hpp"
+
+namespace bgpintent::mrt {
+
+void DecodeReport::add_error(DecodeError error) {
+  ++records_skipped;
+  if (errors.size() < kMaxStoredErrors) errors.push_back(std::move(error));
+}
+
+void DecodeReport::add_resync(std::uint64_t distance_bytes) {
+  ++resyncs;
+  const std::uint64_t width = std::max<std::uint64_t>(distance_bytes, 1);
+  const std::size_t bucket =
+      std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(width)) - 1,
+                            resync_distance_log2.size() - 1);
+  ++resync_distance_log2[bucket];
+}
+
+void DecodeReport::merge(const DecodeReport& other) {
+  records_ok += other.records_ok;
+  records_skipped += other.records_skipped;
+  bytes_skipped += other.bytes_skipped;
+  resyncs += other.resyncs;
+  for (std::size_t i = 0; i < resync_distance_log2.size(); ++i)
+    resync_distance_log2[i] += other.resync_distance_log2[i];
+  for (const DecodeError& error : other.errors) {
+    if (errors.size() >= kMaxStoredErrors) break;
+    errors.push_back(error);
+  }
+  budget_exhausted = budget_exhausted || other.budget_exhausted;
+}
+
+double DecodeReport::error_fraction() const noexcept {
+  const std::uint64_t total = records_ok + records_skipped;
+  if (total == 0) return 0.0;
+  return static_cast<double>(records_skipped) / static_cast<double>(total);
+}
+
+bool DecodeReport::over_budget(const DecodeOptions& options) const noexcept {
+  return records_skipped > options.max_errors;
+}
+
+bool DecodeReport::over_final_budget(
+    const DecodeOptions& options) const noexcept {
+  return records_skipped > options.max_errors ||
+         error_fraction() > options.max_error_frac;
+}
+
+std::string DecodeReport::summary() const {
+  return util::format(
+      "ok=%llu skipped=%llu bytes_skipped=%llu resyncs=%llu%s",
+      static_cast<unsigned long long>(records_ok),
+      static_cast<unsigned long long>(records_skipped),
+      static_cast<unsigned long long>(bytes_skipped),
+      static_cast<unsigned long long>(resyncs),
+      budget_exhausted ? " budget_exhausted" : "");
+}
+
+}  // namespace bgpintent::mrt

@@ -1,0 +1,166 @@
+#include "mrt/fault.hpp"
+
+#include <algorithm>
+
+#include "mrt/buffer.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::mrt {
+
+namespace {
+
+constexpr std::uint64_t kMaxRecordSize = 1 << 24;  // matches the readers
+
+[[nodiscard]] std::uint32_t peek_u32(std::span<const std::uint8_t> bytes,
+                                     std::uint64_t pos) noexcept {
+  return (static_cast<std::uint32_t>(bytes[pos]) << 24) |
+         (static_cast<std::uint32_t>(bytes[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[pos + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[pos + 3]);
+}
+
+void poke_u32(std::vector<std::uint8_t>& bytes, std::uint64_t pos,
+              std::uint32_t value) noexcept {
+  bytes[pos] = static_cast<std::uint8_t>(value >> 24);
+  bytes[pos + 1] = static_cast<std::uint8_t>(value >> 16);
+  bytes[pos + 2] = static_cast<std::uint8_t>(value >> 8);
+  bytes[pos + 3] = static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::string_view to_string(CorruptionKind kind) noexcept {
+  switch (kind) {
+    case CorruptionKind::kBitFlip:
+      return "bitflip";
+    case CorruptionKind::kTruncate:
+      return "truncate";
+    case CorruptionKind::kSplice:
+      return "splice";
+    case CorruptionKind::kLengthLie:
+      return "lengthlie";
+  }
+  return "unknown";
+}
+
+std::optional<CorruptionKind> parse_corruption_kind(
+    std::string_view name) noexcept {
+  for (CorruptionKind kind : kAllCorruptionKinds)
+    if (name == to_string(kind)) return kind;
+  return std::nullopt;
+}
+
+std::vector<RecordSpan> index_records(std::span<const std::uint8_t> bytes) {
+  std::vector<RecordSpan> spans;
+  std::uint64_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 12) throw MrtError("truncated MRT header");
+    const std::uint64_t body = peek_u32(bytes, pos + 8);
+    if (body > kMaxRecordSize) throw MrtError("oversized MRT record");
+    if (pos + 12 + body > bytes.size())
+      throw MrtError("truncated MRT record body");
+    spans.push_back({pos, 12 + body});
+    pos += 12 + body;
+  }
+  return spans;
+}
+
+CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
+                             CorruptionKind kind, std::uint64_t seed) {
+  const std::vector<RecordSpan> spans = index_records(bytes);
+  if (spans.size() < 2)
+    throw MrtError("corrupt_mrt needs an image with at least two records");
+
+  util::Rng rng(seed);
+  // Record 0 is the peer table in RIB fixtures; never the victim.
+  const std::uint64_t victim = 1 + rng.index(spans.size() - 1);
+  const RecordSpan& span = spans[victim];
+  const std::uint64_t body_len = span.length - 12;
+
+  CorruptionResult result;
+  result.bytes.assign(bytes.begin(), bytes.end());
+
+  switch (kind) {
+    case CorruptionKind::kBitFlip: {
+      // Flip a bit inside the victim's body; an empty body (never the case
+      // for RIB rows) falls back to the timestamp, which no reader checks.
+      const std::uint64_t byte =
+          body_len > 0 ? span.offset + 12 + rng.index(body_len)
+                       : span.offset + rng.index(4);
+      const std::uint8_t bit = static_cast<std::uint8_t>(rng.index(8));
+      result.bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      result.touched_records = {victim};
+      result.description = util::format(
+          "bitflip record %llu byte %llu bit %u",
+          static_cast<unsigned long long>(victim),
+          static_cast<unsigned long long>(byte), static_cast<unsigned>(bit));
+      break;
+    }
+    case CorruptionKind::kTruncate: {
+      // Cut strictly inside the victim: it and everything after are lost.
+      const std::uint64_t cut = span.offset + 1 + rng.index(span.length - 1);
+      result.bytes.resize(cut);
+      for (std::uint64_t r = victim; r < spans.size(); ++r)
+        result.touched_records.push_back(r);
+      result.description = util::format(
+          "truncate at byte %llu inside record %llu",
+          static_cast<unsigned long long>(cut),
+          static_cast<unsigned long long>(victim));
+      break;
+    }
+    case CorruptionKind::kSplice: {
+      // Remove a byte range starting inside the victim; every record the
+      // range overlaps is torn.
+      const std::uint64_t start = span.offset + 1 + rng.index(span.length - 1);
+      const std::uint64_t max_removed =
+          std::min<std::uint64_t>(bytes.size() - start, 256);
+      const std::uint64_t removed = 1 + rng.index(max_removed);
+      result.bytes.erase(
+          result.bytes.begin() + static_cast<std::ptrdiff_t>(start),
+          result.bytes.begin() + static_cast<std::ptrdiff_t>(start + removed));
+      for (std::uint64_t r = 0; r < spans.size(); ++r)
+        if (spans[r].offset < start + removed &&
+            start < spans[r].offset + spans[r].length)
+          result.touched_records.push_back(r);
+      result.description = util::format(
+          "splice %llu bytes out at %llu (record %llu)",
+          static_cast<unsigned long long>(removed),
+          static_cast<unsigned long long>(start),
+          static_cast<unsigned long long>(victim));
+      break;
+    }
+    case CorruptionKind::kLengthLie: {
+      const bool shrink = body_len > 0 && rng.chance(0.5);
+      if (shrink) {
+        // A shorter length tears the victim's body; the next framing
+        // attempt lands mid-record and resyncs at the following boundary.
+        const std::uint32_t lie =
+            static_cast<std::uint32_t>(rng.index(body_len));
+        poke_u32(result.bytes, span.offset + 8, lie);
+        result.touched_records = {victim};
+        result.description = util::format(
+            "lengthlie shrink record %llu body %llu -> %u",
+            static_cast<unsigned long long>(victim),
+            static_cast<unsigned long long>(body_len), lie);
+      } else {
+        // A longer length makes the victim swallow the head of its
+        // successor (when one exists), so both are untrusted.
+        const std::uint32_t lie = static_cast<std::uint32_t>(
+            body_len + 1 + rng.index(64));
+        poke_u32(result.bytes, span.offset + 8, lie);
+        result.touched_records = {victim};
+        if (victim + 1 < spans.size())
+          result.touched_records.push_back(victim + 1);
+        result.description = util::format(
+            "lengthlie grow record %llu body %llu -> %u",
+            static_cast<unsigned long long>(victim),
+            static_cast<unsigned long long>(body_len), lie);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bgpintent::mrt

@@ -1,0 +1,70 @@
+// Deterministic MRT fault injection: the corruptor behind the
+// fault-injection test harness and the `bgpintent mrt-corrupt` command.
+//
+// Given a *valid* MRT image, corrupt_mrt applies one seeded corruption —
+// a body bit-flip, a mid-record truncation, a splice that tears bytes out
+// of the middle, or a lie in a header length field — and reports exactly
+// which record indices were damaged.  Tests use the touched set to assert
+// the tolerant decoder recovers every record it does not name
+// (docs/ROBUSTNESS.md describes the recovery guarantees).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpintent::mrt {
+
+enum class CorruptionKind : std::uint8_t {
+  kBitFlip,    ///< flip one bit inside a record body
+  kTruncate,   ///< cut the image mid-record
+  kSplice,     ///< remove a byte range, tearing one or more records
+  kLengthLie,  ///< corrupt a header length field (shrink or grow)
+};
+
+/// All kinds, for tests that sweep the space.
+inline constexpr CorruptionKind kAllCorruptionKinds[] = {
+    CorruptionKind::kBitFlip, CorruptionKind::kTruncate,
+    CorruptionKind::kSplice, CorruptionKind::kLengthLie};
+
+[[nodiscard]] std::string_view to_string(CorruptionKind kind) noexcept;
+
+/// Parses "bitflip" / "truncate" / "splice" / "lengthlie".
+[[nodiscard]] std::optional<CorruptionKind> parse_corruption_kind(
+    std::string_view name) noexcept;
+
+/// Byte range of one record (header + body) in a valid MRT image.
+struct RecordSpan {
+  std::uint64_t offset = 0;  ///< start of the 12-byte header
+  std::uint64_t length = 0;  ///< header + body bytes
+};
+
+/// Frames a *valid* MRT image into record spans.  Throws MrtError if the
+/// image is truncated or a record is oversized — this is the strict framer,
+/// meant for fixtures, not for untrusted input.
+[[nodiscard]] std::vector<RecordSpan> index_records(
+    std::span<const std::uint8_t> bytes);
+
+struct CorruptionResult {
+  std::vector<std::uint8_t> bytes;  ///< the corrupted image
+  /// Indices of records whose decode can no longer be trusted.  Every
+  /// record *not* listed here is byte-identical in `bytes` and must be
+  /// recovered by a tolerant decode.  For kTruncate the set is the cut
+  /// record plus everything after it.
+  std::vector<std::uint64_t> touched_records;
+  std::string description;  ///< human-readable, e.g. for test failures
+};
+
+/// Applies one seeded corruption of `kind` to a valid MRT image with at
+/// least two records.  Record 0 (the PEER_INDEX_TABLE in RIB fixtures) is
+/// never chosen as the victim, so surviving data records stay joinable to
+/// their peer table.  Deterministic: same bytes, kind, and seed give the
+/// same result.  Throws MrtError if the image has fewer than two records.
+[[nodiscard]] CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
+                                           CorruptionKind kind,
+                                           std::uint64_t seed);
+
+}  // namespace bgpintent::mrt

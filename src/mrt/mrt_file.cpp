@@ -4,6 +4,7 @@
 #include "util/thread_pool.hpp"
 
 #include <deque>
+#include <future>
 #include <istream>
 #include <map>
 #include <memory>
@@ -363,27 +364,333 @@ bool is_peer_index_table(const MrtRecord& record) noexcept {
          record.subtype == kSubtypePeerIndexTable;
 }
 
-}  // namespace
+// --- tolerant framing ---------------------------------------------------
 
-std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
+[[nodiscard]] std::uint16_t peek_u16(std::span<const std::uint8_t> data,
+                                     std::size_t pos) noexcept {
+  return static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+}
+
+[[nodiscard]] std::uint32_t peek_u32(std::span<const std::uint8_t> data,
+                                     std::size_t pos) noexcept {
+  return (static_cast<std::uint32_t>(data[pos]) << 24) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 8) |
+         static_cast<std::uint32_t>(data[pos + 3]);
+}
+
+/// The resync plausibility test: type/subtype pairs real archives carry
+/// (RFC 6396 plus the deprecated BGP4MP_ET sibling) with a sane length.
+/// Deliberately broader than what decode_data_record understands — unknown-
+/// but-standard records frame fine and are skipped, exactly as in strict
+/// mode; anything outside this set is indistinguishable from garbage
+/// without trusting a possibly-corrupt length field.
+[[nodiscard]] bool plausible_record_header(std::uint16_t type,
+                                           std::uint16_t subtype,
+                                           std::uint32_t length) noexcept {
+  constexpr std::uint16_t kTypeBgp4mpEt = 17;
+  if (length > kMaxRecordSize) return false;
+  switch (type) {
+    case kTypeTableDump:
+      return subtype >= 1 && subtype <= 2;  // IPv4 / IPv6 rows
+    case kTypeTableDumpV2:
+      return subtype >= 1 && subtype <= 6;  // peer table .. RIB_GENERIC
+    case kTypeBgp4mp:
+    case kTypeBgp4mpEt:
+      return subtype <= 11;
+    default:
+      return false;
+  }
+}
+
+/// Frames records off an in-memory MRT image, skipping and resynchronizing
+/// around framing damage (truncated headers, implausible or oversized
+/// records, length fields pointing past the image).  Framing failures are
+/// recorded into the shared report; the caller enforces the error budget.
+class TolerantFramer {
+ public:
+  struct Framed {
+    MrtRecord record;
+    std::uint64_t offset = 0;
+    std::uint64_t index = 0;
+  };
+
+  TolerantFramer(std::span<const std::uint8_t> data,
+                 const DecodeOptions& options, DecodeReport& report) noexcept
+      : data_(data), options_(&options), report_(&report) {}
+
+  /// Frames the next record; false at end of data.  Throws
+  /// DecodeBudgetError when framing failures alone exceed the budget.
+  [[nodiscard]] bool next(Framed& out) {
+    for (;;) {
+      if (pos_ >= data_.size()) return false;
+      const std::size_t remaining = data_.size() - pos_;
+      if (remaining < 12) {
+        report_->add_error({pos_, index_++, 0, "truncated MRT header"});
+        report_->bytes_skipped += remaining;
+        pos_ = data_.size();
+        check_budget();
+        return false;
+      }
+      const std::uint16_t type = peek_u16(data_, pos_ + 4);
+      const std::uint16_t subtype = peek_u16(data_, pos_ + 6);
+      const std::uint32_t length = peek_u32(data_, pos_ + 8);
+      if (!plausible_record_header(type, subtype, length) ||
+          pos_ + 12 + length > data_.size()) {
+        fail_and_resync(type, subtype, length);
+        check_budget();
+        continue;
+      }
+      const std::size_t end = pos_ + 12 + length;
+      if (!chains_at(end)) {
+        // The claimed end does not land on a record boundary.  Either this
+        // record's length field lies (a splice tore bytes out, or the
+        // length was rewritten) or the *next* record's header is damaged.
+        // A plausible boundary strictly inside the claimed body settles
+        // it: the length lied — reject this record and resync there, which
+        // is what rescues the shifted-but-intact records after a splice.
+        // Otherwise trust this record; the next call handles the damage.
+        const std::size_t rescue = scan_for_header(pos_ + 1);
+        if (rescue < end) {
+          report_->add_error({pos_, index_++, length,
+                              "MRT record length overruns next record"});
+          report_->bytes_skipped += rescue - pos_;
+          report_->add_resync(rescue - pos_);
+          pos_ = rescue;
+          check_budget();
+          continue;
+        }
+      }
+      out.record.timestamp = peek_u32(data_, pos_);
+      out.record.type = type;
+      out.record.subtype = subtype;
+      out.record.body.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_ + 12),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + 12 + length));
+      out.offset = pos_;
+      out.index = index_++;
+      pos_ += 12 + length;
+      return true;
+    }
+  }
+
+ private:
+  /// True when `end` is a credible record boundary: exact end of data, or
+  /// the start of another plausible header.
+  [[nodiscard]] bool chains_at(std::size_t end) const noexcept {
+    if (end == data_.size()) return true;
+    return end + 12 <= data_.size() &&
+           plausible_record_header(peek_u16(data_, end + 4),
+                                   peek_u16(data_, end + 6),
+                                   peek_u32(data_, end + 8));
+  }
+
+  void check_budget() const {
+    if (report_->over_budget(*options_)) {
+      report_->budget_exhausted = true;
+      throw DecodeBudgetError(
+          "MRT decode error budget exceeded (" + report_->summary() + ")",
+          *report_);
+    }
+  }
+
+  void fail_and_resync(std::uint16_t type, std::uint16_t subtype,
+                       std::uint32_t length) {
+    const char* reason;
+    if (length > kMaxRecordSize) {
+      reason = "oversized MRT record";
+    } else if (!plausible_record_header(type, subtype, length)) {
+      reason = "implausible MRT record header";
+    } else {
+      reason = "truncated MRT record body";
+    }
+    report_->add_error({pos_, index_++, length, reason});
+    const std::size_t next = scan_for_header(pos_ + 1);
+    report_->bytes_skipped += next - pos_;
+    report_->add_resync(next - pos_);
+    pos_ = next;
+  }
+
+  /// First offset >= `from` that looks like a record boundary: plausible
+  /// header whose body fits and that chains into end-of-data or another
+  /// plausible header.  The two-record lookahead makes false positives
+  /// inside record bodies require two chained coincidences.
+  [[nodiscard]] std::size_t scan_for_header(std::size_t from) const noexcept {
+    for (std::size_t pos = from; pos + 12 <= data_.size(); ++pos) {
+      const std::uint32_t length = peek_u32(data_, pos + 8);
+      if (!plausible_record_header(peek_u16(data_, pos + 4),
+                                   peek_u16(data_, pos + 6), length))
+        continue;
+      const std::size_t end = pos + 12 + length;
+      if (end > data_.size()) continue;
+      if (end == data_.size()) return pos;
+      if (end + 12 <= data_.size() &&
+          plausible_record_header(peek_u16(data_, end + 4),
+                                  peek_u16(data_, end + 6),
+                                  peek_u32(data_, end + 8)))
+        return pos;
+    }
+    return data_.size();
+  }
+
+  std::span<const std::uint8_t> data_;
+  const DecodeOptions* options_;
+  DecodeReport* report_;
+  std::size_t pos_ = 0;
+  std::uint64_t index_ = 0;
+};
+
+/// Body-decode failure bookkeeping shared by the sequential and chunked
+/// tolerant paths (identical accounting keeps their reports bit-equal).
+void record_body_failure(DecodeReport& report, const TolerantFramer::Framed& framed,
+                         const char* what) {
+  report.add_error({framed.offset, framed.index,
+                    static_cast<std::uint32_t>(framed.record.body.size()),
+                    what});
+  report.bytes_skipped += 12 + framed.record.body.size();
+}
+
+[[noreturn]] void throw_budget(DecodeReport& report) {
+  report.budget_exhausted = true;
+  throw DecodeBudgetError(
+      "MRT decode error budget exceeded (" + report.summary() + ")", report);
+}
+
+/// End-of-stream budget check: this is where the fractional budget (which
+/// needs the full-stream denominator) is enforced.
+void check_final_budget(DecodeReport& report, const DecodeOptions& options) {
+  if (report.over_final_budget(options)) throw_budget(report);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> slurp(std::istream& in) {
+  std::vector<std::uint8_t> bytes;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
+    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
+  if (in.bad()) throw MrtError("failed to read MRT stream");
+  return bytes;
+}
+
+std::vector<bgp::RibEntry> read_rib_entries_tolerant(
+    std::span<const std::uint8_t> data, const DecodeOptions& options,
+    DecodeReport& report) {
   std::vector<bgp::RibEntry> entries;
   std::vector<bgp::VantagePointId> peer_table;
-  MrtReader reader(in);
-  MrtRecord record;
-  while (reader.next(record)) {
-    if (is_peer_index_table(record))
-      peer_table = decode_peer_index_table(record);
-    else
-      decode_data_record(record, peer_table, entries);
+  TolerantFramer framer(data, options, report);
+  TolerantFramer::Framed framed;
+  while (framer.next(framed)) {
+    try {
+      if (is_peer_index_table(framed.record))
+        peer_table = decode_peer_index_table(framed.record);
+      else
+        decode_data_record(framed.record, peer_table, entries);
+      ++report.records_ok;
+    } catch (const MrtError& error) {
+      record_body_failure(report, framed, error.what());
+      if (report.over_budget(options)) throw_budget(report);
+    }
   }
+  check_final_budget(report, options);
   return entries;
 }
 
-std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
-                                                     util::ThreadPool& pool) {
-  // Records per decode task: large enough to amortize scheduling, small
-  // enough to keep all workers busy on typical RIB chunk sizes.
-  constexpr std::size_t kChunkRecords = 64;
+// Records per decode task: large enough to amortize scheduling, small
+// enough to keep all workers busy on typical RIB chunk sizes.  Shared by
+// the strict and tolerant parallel readers so chunk boundaries (and hence
+// tolerant merge order) do not depend on which path framed the stream.
+constexpr std::size_t kChunkRecords = 64;
+
+/// Tolerant twin of the strict parallel reader below: the calling thread
+/// frames with TolerantFramer (identical resync decisions to the
+/// sequential tolerant reader), workers decode chunks into chunk-local
+/// {entries, report} pairs and never throw, and chunk reports merge into
+/// `report` in submission order.  On a budget trip every in-flight chunk
+/// is drained before DecodeBudgetError is raised, so sibling futures are
+/// never abandoned and the final report is complete.
+std::vector<bgp::RibEntry> read_rib_entries_parallel_tolerant(
+    std::span<const std::uint8_t> data, util::ThreadPool& pool,
+    const DecodeOptions& options, DecodeReport& report) {
+  struct ChunkOutcome {
+    std::vector<bgp::RibEntry> entries;
+    DecodeReport report;
+  };
+  const std::size_t max_in_flight =
+      static_cast<std::size_t>(pool.size()) * 2 + 2;
+
+  std::vector<bgp::RibEntry> entries;
+  std::deque<std::future<ChunkOutcome>> in_flight;
+  auto peers = std::make_shared<const std::vector<bgp::VantagePointId>>();
+  // Budget trips are deferred: the throw happens only after the drain
+  // below, never while futures are still in flight.
+  bool budget_tripped = false;
+
+  auto drain_front = [&]() {
+    ChunkOutcome outcome = in_flight.front().get();
+    in_flight.pop_front();
+    entries.insert(entries.end(),
+                   std::make_move_iterator(outcome.entries.begin()),
+                   std::make_move_iterator(outcome.entries.end()));
+    report.merge(outcome.report);
+    if (report.over_budget(options)) budget_tripped = true;
+  };
+  auto submit_chunk = [&](std::vector<TolerantFramer::Framed>&& frames) {
+    in_flight.push_back(
+        pool.submit([frames = std::move(frames), snapshot = peers]() {
+          ChunkOutcome outcome;
+          for (const TolerantFramer::Framed& framed : frames) {
+            try {
+              decode_data_record(framed.record, *snapshot, outcome.entries);
+              ++outcome.report.records_ok;
+            } catch (const MrtError& error) {
+              record_body_failure(outcome.report, framed, error.what());
+            }
+          }
+          return outcome;
+        }));
+    while (in_flight.size() >= max_in_flight) drain_front();
+  };
+
+  TolerantFramer framer(data, options, report);
+  std::vector<TolerantFramer::Framed> batch;
+  try {
+    TolerantFramer::Framed framed;
+    while (!budget_tripped && framer.next(framed)) {
+      if (is_peer_index_table(framed.record)) {
+        if (!batch.empty()) {
+          submit_chunk(std::move(batch));
+          batch = {};
+        }
+        try {
+          peers = std::make_shared<const std::vector<bgp::VantagePointId>>(
+              decode_peer_index_table(framed.record));
+          ++report.records_ok;
+        } catch (const MrtError& error) {
+          // Keep the previous peer-table snapshot, exactly as the
+          // sequential tolerant reader does.
+          record_body_failure(report, framed, error.what());
+          if (report.over_budget(options)) budget_tripped = true;
+        }
+        continue;
+      }
+      batch.push_back(std::move(framed));
+      if (batch.size() >= kChunkRecords) {
+        submit_chunk(std::move(batch));
+        batch = {};
+      }
+    }
+  } catch (const DecodeBudgetError&) {
+    // Framing-side budget trip; the shared report already reflects it.
+    budget_tripped = true;
+  }
+  if (!budget_tripped && !batch.empty()) submit_chunk(std::move(batch));
+  while (!in_flight.empty()) drain_front();
+  if (budget_tripped) throw_budget(report);
+  check_final_budget(report, options);
+  return entries;
+}
+
+std::vector<bgp::RibEntry> read_rib_entries_parallel_strict(
+    std::istream& in, util::ThreadPool& pool, DecodeReport& report) {
   const std::size_t max_in_flight =
       static_cast<std::size_t>(pool.size()) * 2 + 2;
 
@@ -417,6 +724,7 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
   MrtRecord record;
   std::vector<MrtRecord> batch;
   while (reader.next(record)) {
+    ++report.records_ok;
     if (is_peer_index_table(record)) {
       // Peer-table switch: flush so no chunk spans two tables, then
       // publish a fresh immutable snapshot for subsequent chunks.
@@ -440,11 +748,93 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
   return entries;
 }
 
+}  // namespace
+
+std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
+  return read_rib_entries(in, DecodeOptions{});
+}
+
+std::vector<bgp::RibEntry> read_rib_entries(std::istream& in,
+                                            const DecodeOptions& options,
+                                            DecodeReport* report) {
+  DecodeReport local;
+  try {
+    std::vector<bgp::RibEntry> entries;
+    if (options.tolerant()) {
+      const std::vector<std::uint8_t> bytes = slurp(in);
+      entries = read_rib_entries_tolerant(bytes, options, local);
+    } else {
+      std::vector<bgp::VantagePointId> peer_table;
+      MrtReader reader(in);
+      MrtRecord record;
+      while (reader.next(record)) {
+        if (is_peer_index_table(record))
+          peer_table = decode_peer_index_table(record);
+        else
+          decode_data_record(record, peer_table, entries);
+        ++local.records_ok;
+      }
+    }
+    if (report) *report = std::move(local);
+    return entries;
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
+}
+
+std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
+                                                     util::ThreadPool& pool) {
+  return read_rib_entries_parallel(in, pool, DecodeOptions{});
+}
+
+std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
+                                                     util::ThreadPool& pool,
+                                                     const DecodeOptions& options,
+                                                     DecodeReport* report) {
+  DecodeReport local;
+  try {
+    std::vector<bgp::RibEntry> entries;
+    if (options.tolerant()) {
+      const std::vector<std::uint8_t> bytes = slurp(in);
+      entries = read_rib_entries_parallel_tolerant(bytes, pool, options, local);
+    } else {
+      entries = read_rib_entries_parallel_strict(in, pool, local);
+    }
+    if (report) *report = std::move(local);
+    return entries;
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
+}
+
 std::vector<bgp::RibEntry> read_rib_entries(
     const std::vector<std::uint8_t>& bytes) {
+  return read_rib_entries(std::span<const std::uint8_t>(bytes),
+                          DecodeOptions{});
+}
+
+std::vector<bgp::RibEntry> read_rib_entries(std::span<const std::uint8_t> bytes,
+                                            const DecodeOptions& options,
+                                            DecodeReport* report) {
+  if (options.tolerant()) {
+    DecodeReport local;
+    try {
+      std::vector<bgp::RibEntry> entries =
+          read_rib_entries_tolerant(bytes, options, local);
+      if (report) *report = std::move(local);
+      return entries;
+    } catch (...) {
+      if (report) *report = std::move(local);
+      throw;
+    }
+  }
   std::istringstream in(
-      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
-  return read_rib_entries(in);
+      bytes.empty() ? std::string()
+                    : std::string(reinterpret_cast<const char*>(bytes.data()),
+                                  bytes.size()));
+  return read_rib_entries(in, options, report);
 }
 
 }  // namespace bgpintent::mrt

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "bgp/route.hpp"
 #include "mrt/bgp_message.hpp"
+#include "mrt/decode.hpp"
 
 namespace bgpintent::util {
 class ThreadPool;
@@ -95,11 +97,25 @@ class MrtReader {
 /// Reads a whole MRT stream back into RIB entries: RIB snapshot records are
 /// joined with their PEER_INDEX_TABLE; BGP4MP updates contribute one entry
 /// per announced prefix.  Unknown record types are skipped.
+///
+/// Strict mode (the default DecodeOptions) throws MrtError on the first
+/// malformed record.  Tolerant mode skips malformed records, resynchronizes
+/// on the next plausible header, and throws DecodeBudgetError only when the
+/// error budget is exceeded; tolerant input is buffered in memory so the
+/// resync scan can look backward-free at arbitrary offsets
+/// (docs/ROBUSTNESS.md).  When `report` is non-null it receives the decode
+/// outcome — also on throw, so diagnostics survive hard failures.
 [[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(std::istream& in);
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(
+    std::istream& in, const DecodeOptions& options,
+    DecodeReport* report = nullptr);
 
 /// Convenience: decode the records of one in-memory MRT body.
 [[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(
     const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries(
+    std::span<const std::uint8_t> bytes, const DecodeOptions& options,
+    DecodeReport* report = nullptr);
 
 /// Parallel variant of read_rib_entries: the caller's thread sequentially
 /// frames records off the stream (record lengths are data-dependent, so
@@ -113,11 +129,24 @@ class MrtReader {
 /// (rare, cheap); each chunk carries an immutable snapshot of the peer
 /// table in force when its records were framed.
 ///
-/// Errors: malformed record bodies raise mrt::MrtError out of this call in
-/// chunk order; framing errors (truncated header/body, oversized record)
-/// raise immediately.  Abandoned in-flight chunks self-contain their data,
-/// so an early throw cannot deadlock or leave dangling references.
+/// Errors (strict mode): malformed record bodies raise mrt::MrtError out of
+/// this call in chunk order; framing errors (truncated header/body,
+/// oversized record) raise immediately.  Abandoned in-flight chunks
+/// self-contain their data, so an early throw cannot deadlock or leave
+/// dangling references.
+///
+/// Tolerant mode buffers the stream, frames with the same resync scanner as
+/// the sequential tolerant reader, and captures chunk-local decode errors
+/// inside each chunk's result instead of throwing — a poisoned chunk never
+/// abandons its sibling futures.  Chunk reports merge into `report` in
+/// submission order, so entries and counters are identical to the
+/// sequential tolerant reader's at any pool size.  When the error budget
+/// trips, every in-flight chunk is drained before DecodeBudgetError is
+/// raised.
 [[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries_parallel(
     std::istream& in, util::ThreadPool& pool);
+[[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries_parallel(
+    std::istream& in, util::ThreadPool& pool, const DecodeOptions& options,
+    DecodeReport* report = nullptr);
 
 }  // namespace bgpintent::mrt

@@ -5,11 +5,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "dict/intent.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace bgpintent::serve {
@@ -39,27 +43,66 @@ std::size_t require_size(const std::string& line, const std::string& key) {
 
 }  // namespace
 
+bool ConnectError::transient() const noexcept {
+  switch (errno_) {
+    case ECONNREFUSED:
+    case ETIMEDOUT:
+    case ECONNRESET:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EAGAIN:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Client Client::connect(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0)
-    throw ServeError(
-        util::format("cannot create socket: %s", std::strerror(errno)));
+    throw ConnectError(
+        util::format("cannot create socket: %s", std::strerror(errno)),
+        errno);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw ServeError(
-        util::format("'%s' is not a valid IPv4 address", host.c_str()));
+    // errno 0: an unparsable address is never transient.
+    throw ConnectError(
+        util::format("'%s' is not a valid IPv4 address", host.c_str()), 0);
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int error = errno;
     ::close(fd);
-    throw ServeError(util::format("cannot connect to %s:%u: %s", host.c_str(),
-                                  port, std::strerror(error)));
+    throw ConnectError(util::format("cannot connect to %s:%u: %s",
+                                    host.c_str(), port, std::strerror(error)),
+                       error);
   }
   return Client(fd);
+}
+
+Client Client::connect_with_retry(const std::string& host, std::uint16_t port,
+                                  const RetryPolicy& policy) {
+  util::Rng rng(policy.jitter_seed);
+  const unsigned attempts = std::max(policy.max_attempts, 1u);
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      return connect(host, port);
+    } catch (const ConnectError& error) {
+      if (!error.transient() || attempt + 1 >= attempts) throw;
+    }
+    double delay_ms = static_cast<double>(policy.initial_delay_ms);
+    for (unsigned k = 0; k < attempt; ++k) delay_ms *= 2.0;
+    delay_ms = std::min(delay_ms, static_cast<double>(policy.max_delay_ms));
+    const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    // Symmetric jitter in [-j, +j] of the delay, never below zero.
+    delay_ms *= 1.0 + jitter * (2.0 * rng.uniform01() - 1.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(std::max(delay_ms, 0.0)));
+  }
 }
 
 Client::~Client() {

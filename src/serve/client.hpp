@@ -17,12 +17,55 @@
 
 namespace bgpintent::serve {
 
+/// Connection failure carrying the socket errno, so callers can tell a
+/// transient refusal (server still starting, restart in progress) from a
+/// permanent one (bad address) and retry accordingly.
+class ConnectError : public ServeError {
+ public:
+  ConnectError(const std::string& what, int error) noexcept
+      : ServeError(what), errno_(error) {}
+
+  [[nodiscard]] int error() const noexcept { return errno_; }
+
+  /// True for the errno values a retry can plausibly fix: ECONNREFUSED,
+  /// ETIMEDOUT, ECONNRESET, EHOSTUNREACH, ENETUNREACH, EAGAIN, EINTR.
+  [[nodiscard]] bool transient() const noexcept;
+
+ private:
+  int errno_;
+};
+
+/// Capped exponential backoff with deterministic jitter for
+/// Client::connect_with_retry.  Defaults suit a daemon restarting on the
+/// same box: ~6 attempts spread over roughly two seconds.
+struct RetryPolicy {
+  unsigned max_attempts = 6;
+  /// Delay before attempt k (0-based) is initial_delay_ms * 2^(k-1),
+  /// capped at max_delay_ms, then jittered by up to +/- jitter of itself.
+  unsigned initial_delay_ms = 50;
+  unsigned max_delay_ms = 1000;
+  /// Jitter fraction in [0, 1): spreads reconnect stampedes when many
+  /// clients chase one restarting server.  Drawn from a seeded Rng so
+  /// tests are reproducible.
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0;
+};
+
 class Client {
  public:
-  /// Connects to an IPv4 host ("127.0.0.1") and port; throws ServeError
-  /// when the host is unreachable or not an IPv4 literal.
+  /// Connects to an IPv4 host ("127.0.0.1") and port; throws ConnectError
+  /// (a ServeError) when the host is unreachable or not an IPv4 literal.
   [[nodiscard]] static Client connect(const std::string& host,
                                       std::uint16_t port);
+
+  /// connect(), but transient failures (ConnectError::transient — e.g.
+  /// ECONNREFUSED while the daemon is still binding, ETIMEDOUT across a
+  /// flaky hop) are retried under `policy` with capped exponential
+  /// backoff and jitter.  Non-transient failures and exhaustion of the
+  /// attempt budget rethrow the last ConnectError.
+  [[nodiscard]] static Client connect_with_retry(const std::string& host,
+                                                 std::uint16_t port,
+                                                 const RetryPolicy& policy = {});
 
   ~Client();
   Client(Client&& other) noexcept;

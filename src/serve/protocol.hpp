@@ -5,9 +5,16 @@
 // space-separated key=value pairs, or "ERR <message>".  Requests:
 //
 //   LABEL <alpha:beta>              current intent label of one community
-//   INGEST <as-path> <communities>  feed one (path, communities) observation
+//   INGEST <as-path> <communities> [<as-path> <communities> ...]
+//                                   feed (path, communities) observations;
+//                                   in a multi-pair batch malformed pairs
+//                                   are skipped and counted in the
+//                                   response's errors= field (a single
+//                                   malformed pair still answers ERR)
 //   TOTALS                          global label counters
-//   STATS                           server counters and query latency
+//   STATS                           server counters, cumulative decode
+//                                   counters (decode_ok / decode_errors),
+//                                   and query latency
 //   SNAPSHOT <file>                 persist classifier state server-side
 //   QUIT                            close the connection
 //

@@ -207,34 +207,60 @@ bool Server::handle_command(const std::string& line, std::string& response) {
   }
 
   if (command == "INGEST") {
-    if (fields.size() != 3) {
-      response = "ERR usage: INGEST <as-path> <communities>";
-      return true;
-    }
-    const auto path = parse_path(fields[1]);
-    if (!path) {
-      response = util::format("ERR '%.*s' is not a comma-separated AS path",
-                              static_cast<int>(fields[1].size()),
-                              fields[1].data());
-      return true;
-    }
-    const auto communities = parse_communities(fields[2]);
-    if (!communities) {
+    if (fields.size() < 3 || fields.size() % 2 != 1) {
       response =
-          util::format("ERR '%.*s' is not a comma-separated community list",
-                       static_cast<int>(fields[2].size()), fields[2].data());
+          "ERR usage: INGEST <as-path> <communities> "
+          "[<as-path> <communities> ...]";
       return true;
     }
-    bgp::RibEntry entry;
-    entry.route.path = *path;
-    entry.route.communities = *communities;
+    const std::size_t pairs = (fields.size() - 1) / 2;
+    std::vector<bgp::RibEntry> batch;
+    batch.reserve(pairs);
+    std::uint64_t errors = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const std::string_view path_field = fields[1 + 2 * i];
+      const std::string_view communities_field = fields[2 + 2 * i];
+      const auto path = parse_path(path_field);
+      if (!path) {
+        // A single-pair request keeps the historical hard ERR; in a batch
+        // a malformed pair is skipped and counted, like a torn MRT record.
+        if (pairs == 1) {
+          response =
+              util::format("ERR '%.*s' is not a comma-separated AS path",
+                           static_cast<int>(path_field.size()),
+                           path_field.data());
+          return true;
+        }
+        ++errors;
+        continue;
+      }
+      const auto communities = parse_communities(communities_field);
+      if (!communities) {
+        if (pairs == 1) {
+          response = util::format(
+              "ERR '%.*s' is not a comma-separated community list",
+              static_cast<int>(communities_field.size()),
+              communities_field.data());
+          return true;
+        }
+        ++errors;
+        continue;
+      }
+      bgp::RibEntry entry;
+      entry.route.path = *path;
+      entry.route.communities = *communities;
+      batch.push_back(std::move(entry));
+    }
     std::size_t entries;
     {
       const std::lock_guard<std::mutex> lock(classifier_mutex_);
-      classifier_.ingest(entry);
+      for (const bgp::RibEntry& entry : batch) classifier_.ingest(entry);
+      classifier_.record_decode_outcome(batch.size(), errors);
       entries = classifier_.entries_ingested();
     }
-    response = util::format("OK ingested=1 entries=%zu", entries);
+    response = util::format(
+        "OK ingested=%zu errors=%llu entries=%zu", batch.size(),
+        static_cast<unsigned long long>(errors), entries);
     return true;
   }
 
@@ -255,13 +281,16 @@ bool Server::handle_command(const std::string& line, std::string& response) {
     const ServerStats s = stats();
     response = util::format(
         "OK uptime_s=%.1f connections=%llu queries=%llu entries=%llu "
-        "dirty=%llu p50_us=%.1f p99_us=%.1f",
+        "dirty=%llu decode_ok=%llu decode_errors=%llu p50_us=%.1f "
+        "p99_us=%.1f",
         s.uptime_seconds,
         static_cast<unsigned long long>(s.connections_accepted),
         static_cast<unsigned long long>(s.queries_served),
         static_cast<unsigned long long>(s.entries_ingested),
-        static_cast<unsigned long long>(s.dirty_alphas), s.p50_query_us,
-        s.p99_query_us);
+        static_cast<unsigned long long>(s.dirty_alphas),
+        static_cast<unsigned long long>(s.decode_records_ok),
+        static_cast<unsigned long long>(s.decode_records_skipped),
+        s.p50_query_us, s.p99_query_us);
     return true;
   }
 
@@ -324,6 +353,8 @@ ServerStats Server::stats() const {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
     s.entries_ingested = classifier_.entries_ingested();
     s.dirty_alphas = classifier_.dirty_alpha_count();
+    s.decode_records_ok = classifier_.decode_records_ok();
+    s.decode_records_skipped = classifier_.decode_records_skipped();
   }
   std::vector<double> window;
   {

@@ -57,6 +57,10 @@ struct ServerStats {
   std::uint64_t queries_served = 0;  ///< LABEL commands answered
   std::uint64_t entries_ingested = 0;
   std::uint64_t dirty_alphas = 0;
+  /// Cumulative decode outcome across every ingest path (MRT priming,
+  /// INGEST batches, restored snapshots) — docs/ROBUSTNESS.md.
+  std::uint64_t decode_records_ok = 0;
+  std::uint64_t decode_records_skipped = 0;
   double p50_query_us = 0.0;  ///< over a window of recent LABEL queries
   double p99_query_us = 0.0;
 };

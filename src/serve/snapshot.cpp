@@ -88,6 +88,8 @@ void encode_payload(std::vector<std::uint8_t>& out,
 
   const auto state = classifier.export_state();
   put<std::uint64_t>(out, state.entries_ingested);
+  put<std::uint64_t>(out, state.decode_records_ok);
+  put<std::uint64_t>(out, state.decode_records_skipped);
 
   put<std::uint64_t>(out, state.asns_on_paths.size());
   for (const bgp::Asn asn : state.asns_on_paths) put<std::uint32_t>(out, asn);
@@ -126,6 +128,8 @@ void encode_payload(std::vector<std::uint8_t>& out,
 
   core::IncrementalClassifier::State state;
   state.entries_ingested = cursor.get<std::uint64_t>();
+  state.decode_records_ok = cursor.get<std::uint64_t>();
+  state.decode_records_skipped = cursor.get<std::uint64_t>();
 
   state.asns_on_paths.resize(cursor.get_count(sizeof(std::uint32_t)));
   for (bgp::Asn& asn : state.asns_on_paths)
@@ -193,9 +197,15 @@ core::IncrementalClassifier decode_snapshot(
     throw SnapshotError("not a bgpintent snapshot (bad magic)");
   Cursor header(bytes.subspan(sizeof kMagic, kHeaderBytes - sizeof kMagic));
   const std::uint32_t version = header.get<std::uint32_t>();
-  if (version == 0 || version > kSnapshotVersion)
+  if (version > kSnapshotVersion)
     throw SnapshotError(util::format(
         "snapshot format version %u is newer than supported version %u",
+        version, kSnapshotVersion));
+  if (version != kSnapshotVersion)
+    throw SnapshotError(util::format(
+        "snapshot format version %u is no longer supported (this build "
+        "reads only version %u; re-ingest the source data to produce a "
+        "fresh snapshot)",
         version, kSnapshotVersion));
   const std::uint64_t checksum = header.get<std::uint64_t>();
   const std::uint64_t payload_size = header.get<std::uint64_t>();

@@ -7,16 +7,18 @@
 //
 //   offset  size  field
 //   0       8     magic "BGPISNAP"
-//   8       4     format version (u32 LE, currently 1)
+//   8       4     format version (u32 LE, currently 2)
 //   12      8     FNV-1a-64 checksum of the payload bytes (u64 LE)
 //   20      8     payload size in bytes (u64 LE)
 //   28      ...   payload (docs/SERVING.md spells out the layout)
 //
 // All integers little-endian.  Loading rejects, with a SnapshotError that
-// names the problem: wrong magic, a version newer than this build writes,
-// checksum mismatches (bit rot, torn writes), truncated payloads, and
-// trailing bytes.  save_snapshot(path) writes to "<path>.tmp" and renames,
-// so readers never observe a half-written file.
+// names the problem: wrong magic, a version this build does not write
+// (older versions would silently misparse — v2 inserted the decode-error
+// counters mid-payload, so the reader tells the operator to re-ingest
+// instead of guessing), checksum mismatches (bit rot, torn writes),
+// truncated payloads, and trailing bytes.  save_snapshot(path) writes to
+// "<path>.tmp" and renames, so readers never observe a half-written file.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +38,12 @@ class SnapshotError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// The version this build writes; readers accept [1, kSnapshotVersion].
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// The version this build writes; readers accept exactly this version.
+/// History: v1 had no decode-error counters; v2 added them after the
+/// ingest counter.  Readers reject other versions outright — the payload
+/// is not self-describing, so parsing a v1 payload with the v2 layout
+/// would misinterpret evidence rather than fail.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serializes the classifier (configs + full state) to bytes.
 [[nodiscard]] std::vector<std::uint8_t> encode_snapshot(

@@ -68,27 +68,64 @@ TEST_F(CliCommands, InferWritesCsvAndSummary) {
 }
 
 TEST_F(CliCommands, InferRejectsMissingFile) {
-  EXPECT_EQ(run(cmd_infer, {"infer", (dir_ / "nope.mrt").string()}), 1);
-  EXPECT_EQ(run(cmd_infer, {"infer"}), 1);
+  // Unreadable input is a data failure (3); no input at all is usage (2).
+  EXPECT_EQ(run(cmd_infer, {"infer", (dir_ / "nope.mrt").string()}),
+            kExitData);
+  EXPECT_EQ(run(cmd_infer, {"infer"}), kExitUsage);
 }
 
 TEST_F(CliCommands, InferRejectsBadOptions) {
-  EXPECT_EQ(run(cmd_infer, {"infer", mrt_, "--gap", "abc"}), 2);
-  EXPECT_EQ(run(cmd_infer, {"infer", mrt_, "--bogus"}), 2);
+  EXPECT_EQ(run(cmd_infer, {"infer", mrt_, "--gap", "abc"}), kExitUsage);
+  EXPECT_EQ(run(cmd_infer, {"infer", mrt_, "--bogus"}), kExitUsage);
+  // The budget knobs are meaningless without --tolerant.
+  EXPECT_EQ(run(cmd_infer, {"infer", mrt_, "--max-errors", "3"}), kExitUsage);
+  EXPECT_EQ(run(cmd_infer,
+                {"infer", mrt_, "--tolerant", "--max-error-frac", "1.5"}),
+            kExitUsage);
 }
 
 TEST_F(CliCommands, InferRejectsMalformedMrt) {
   const std::string bad = (dir_ / "bad.mrt").string();
   std::ofstream(bad) << "this is not MRT data at all............";
-  EXPECT_EQ(run(cmd_infer, {"infer", bad}), 1);
+  EXPECT_EQ(run(cmd_infer, {"infer", bad}), kExitData);
+  // Tolerant mode cannot salvage a single decodable record from pure
+  // garbage, so the 100% error fraction trips the budget: exit 4.
+  EXPECT_EQ(run(cmd_infer, {"infer", bad, "--tolerant"}), kExitBudget);
+}
+
+TEST_F(CliCommands, TolerantInferSurvivesSeededCorruption) {
+  // mrt-corrupt + infer --tolerant is the CLI face of the fault-injection
+  // harness: strict fails with the data exit code, tolerant succeeds, and
+  // a zero error budget degrades to the budget exit code.
+  const std::string bad = (dir_ / "corrupt.mrt").string();
+  ASSERT_EQ(run(cmd_mrt_corrupt,
+                {"mrt-corrupt", mrt_, "--out", bad, "--kind", "truncate",
+                 "--seed", "7"}),
+            0);
+  EXPECT_EQ(run(cmd_infer, {"infer", bad}), kExitData);
+  EXPECT_EQ(run(cmd_infer, {"infer", bad, "--tolerant"}), 0);
+  EXPECT_EQ(run(cmd_infer,
+                {"infer", bad, "--tolerant", "--max-errors", "0"}),
+            kExitBudget);
+}
+
+TEST_F(CliCommands, MrtCorruptValidatesArguments) {
+  const std::string out = (dir_ / "corrupt.mrt").string();
+  EXPECT_EQ(run(cmd_mrt_corrupt, {"mrt-corrupt", mrt_}), kExitUsage);
+  EXPECT_EQ(run(cmd_mrt_corrupt,
+                {"mrt-corrupt", mrt_, "--out", out, "--kind", "nonsense"}),
+            kExitUsage);
+  EXPECT_EQ(run(cmd_mrt_corrupt,
+                {"mrt-corrupt", (dir_ / "nope.mrt").string(), "--out", out}),
+            kExitData);
 }
 
 TEST_F(CliCommands, EvalRequiresDictAndScores) {
-  EXPECT_EQ(run(cmd_eval, {"eval", mrt_}), 2);  // --dict missing
+  EXPECT_EQ(run(cmd_eval, {"eval", mrt_}), kExitUsage);  // --dict missing
   EXPECT_EQ(run(cmd_eval, {"eval", mrt_, "--dict", dict_}), 0);
   EXPECT_EQ(run(cmd_eval, {"eval", mrt_, "--dict",
                            (dir_ / "nope.dict").string()}),
-            1);
+            kExitData);
 }
 
 TEST_F(CliCommands, RelationshipsWritesSerial1) {
@@ -114,13 +151,14 @@ TEST_F(CliCommands, AnnotateWithCustomDictionary) {
   EXPECT_EQ(run(cmd_annotate,
                 {"annotate", "--dict", (dir_ / "nope.dict").string(),
                  "1299:1"}),
-            1);
+            kExitData);
 }
 
 TEST_F(CliCommands, MrtInfoCountsRecords) {
   EXPECT_EQ(run(cmd_mrt_info, {"mrt-info", mrt_}), 0);
-  EXPECT_EQ(run(cmd_mrt_info, {"mrt-info"}), 2);
-  EXPECT_EQ(run(cmd_mrt_info, {"mrt-info", (dir_ / "nope.mrt").string()}), 1);
+  EXPECT_EQ(run(cmd_mrt_info, {"mrt-info"}), kExitUsage);
+  EXPECT_EQ(run(cmd_mrt_info, {"mrt-info", (dir_ / "nope.mrt").string()}),
+            kExitData);
 }
 
 TEST_F(CliCommands, InferredSummaryScoresWellAgainstTruth) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -133,8 +134,9 @@ TEST(Server, StatsReportCountersAndLatency) {
   const std::string response = client.request("STATS");
   const auto pairs = parse_ok_response(response);
   ASSERT_TRUE(pairs) << response;
-  for (const char* key : {"uptime_s", "connections", "queries", "entries",
-                          "dirty", "p50_us", "p99_us"})
+  for (const char* key :
+       {"uptime_s", "connections", "queries", "entries", "dirty",
+        "decode_ok", "decode_errors", "p50_us", "p99_us"})
     EXPECT_TRUE(pairs->contains(key)) << key << " missing in " << response;
   EXPECT_EQ(pairs->at("queries"), "2");
   EXPECT_EQ(pairs->at("entries"), "1");
@@ -144,6 +146,30 @@ TEST(Server, StatsReportCountersAndLatency) {
   EXPECT_EQ(stats.queries_served, 2u);
   EXPECT_EQ(stats.entries_ingested, 1u);
   EXPECT_GE(stats.p99_query_us, stats.p50_query_us);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Server, IngestBatchSkipsAndCountsMalformedPairs) {
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  // Three pairs, the middle one torn: the good ones ingest, the bad one is
+  // counted — mirroring a tolerant MRT decode of a batch.
+  const std::string response = client.request(
+      "INGEST 61,100,201 100:1 61,abc 100:2 62,100,201 100:3");
+  EXPECT_EQ(response, "OK ingested=2 errors=1 entries=2") << response;
+
+  // The per-batch outcome accumulates into the daemon-wide counters.
+  const auto pairs = parse_ok_response(client.request("STATS"));
+  ASSERT_TRUE(pairs);
+  EXPECT_EQ(pairs->at("decode_ok"), "2");
+  EXPECT_EQ(pairs->at("decode_errors"), "1");
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.decode_records_ok, 2u);
+  EXPECT_EQ(stats.decode_records_skipped, 1u);
 
   server.request_stop();
   server.wait();
@@ -267,6 +293,59 @@ TEST(Server, FinalSnapshotWrittenOnDrain) {
   const auto restored = load_snapshot(path);
   EXPECT_EQ(restored.export_state(), want_state);
   std::remove(path.c_str());
+}
+
+// --- connect_with_retry -------------------------------------------------
+
+TEST(ClientRetry, TransientErrnoClassification) {
+  EXPECT_TRUE(ConnectError("refused", ECONNREFUSED).transient());
+  EXPECT_TRUE(ConnectError("timed out", ETIMEDOUT).transient());
+  EXPECT_FALSE(ConnectError("bad address", 0).transient());
+  EXPECT_FALSE(ConnectError("no such host", EACCES).transient());
+}
+
+TEST(ClientRetry, SucceedsAgainstRunningServer) {
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect_with_retry("127.0.0.1", server.port());
+  EXPECT_TRUE(util::starts_with(client.request("STATS"), "OK "));
+  server.request_stop();
+  server.wait();
+}
+
+TEST(ClientRetry, BacksOffThenRethrowsAgainstClosedPort) {
+  // A port that just stopped listening: connections are refused, which is
+  // transient — the retry loop must spend its budget before rethrowing.
+  Server server(IncrementalClassifier(), loopback_config());
+  server.start();
+  const std::uint16_t port = server.port();
+  server.request_stop();
+  server.wait();
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay_ms = 20;
+  policy.max_delay_ms = 40;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)Client::connect_with_retry("127.0.0.1", port, policy),
+               ConnectError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // Two backoff sleeps of >= (1 - jitter) * {20, 40} ms happened.
+  EXPECT_GE(elapsed.count(), 40);
+}
+
+TEST(ClientRetry, NonTransientFailureDoesNotRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_delay_ms = 500;  // would be very visible if retried
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      (void)Client::connect_with_retry("not-an-ipv4-literal", 1, policy),
+      ConnectError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 400);
 }
 
 }  // namespace

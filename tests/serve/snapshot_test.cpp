@@ -254,6 +254,27 @@ TEST(Snapshot, RejectsZeroVersion) {
   EXPECT_NE(decode_error(bytes).find("version"), std::string::npos);
 }
 
+// Version 2 added the persisted decode counters mid-payload, so version-1
+// images cannot be read; the rejection must say so and tell the operator
+// what to do about it.
+TEST(Snapshot, RejectsVersion1WithReingestGuidance) {
+  auto bytes = encode_snapshot(populated_classifier());
+  ASSERT_GE(kSnapshotVersion, 2u);
+  bytes[8] = 1;  // u32 LE version field
+  const std::string error = decode_error(bytes);
+  EXPECT_NE(error.find("no longer supported"), std::string::npos) << error;
+  EXPECT_NE(error.find("re-ingest"), std::string::npos) << error;
+}
+
+TEST(Snapshot, DecodeCountersSurviveRoundTrip) {
+  auto classifier = populated_classifier();
+  classifier.record_decode_outcome(1234, 7);
+  classifier.record_decode_outcome(66, 3);
+  const auto restored = decode_snapshot(encode_snapshot(classifier));
+  EXPECT_EQ(restored.decode_records_ok(), 1300u);
+  EXPECT_EQ(restored.decode_records_skipped(), 10u);
+}
+
 TEST(Snapshot, RejectsFlippedChecksumByte) {
   auto bytes = encode_snapshot(populated_classifier());
   bytes[12] ^= 0x01;  // first checksum byte
