@@ -110,6 +110,18 @@ int main() {
     all_identical = all_identical && row.identical;
   }
   std::printf("%s\n", table.render().c_str());
+  // Machine-readable mirror of the table (one JSON object per line) so CI
+  // and the perf trajectory can scrape it — docs/PERFORMANCE.md.
+  for (const Row& row : rows) {
+    std::printf(
+        "{\"bench\": \"parallel_scaling\", \"metric\": \"end_to_end_ms\", "
+        "\"threads\": %u, \"value\": %.3f}\n",
+        row.threads, row.end_to_end_ms);
+    std::printf(
+        "{\"bench\": \"parallel_scaling\", \"metric\": \"ingest_ms\", "
+        "\"threads\": %u, \"value\": %.3f}\n",
+        row.threads, row.ingest_ms);
+  }
   std::printf("hardware concurrency: %u\n",
               util::ThreadPool::resolve(0));
   if (!all_identical) {

@@ -1,0 +1,172 @@
+#include "bgp/path_table.hpp"
+
+#include <algorithm>
+
+namespace bgpintent::bgp {
+
+bool PathTable::equals(PathId id, const AsPath& path) const noexcept {
+  const Meta& m = meta_[id];
+  const auto& segments = path.segments();
+  if (segments.size() != m.seg_count) return false;
+  const Asn* slot = asn_arena_.data() + m.asn_begin;
+  for (std::uint32_t s = 0; s < m.seg_count; ++s) {
+    const SegmentSpan& seg = seg_arena_[m.seg_begin + s];
+    if (segments[s].type != seg.type || segments[s].asns.size() != seg.count)
+      return false;
+    if (!std::equal(segments[s].asns.begin(), segments[s].asns.end(), slot))
+      return false;
+    slot += seg.count;
+  }
+  return true;
+}
+
+std::optional<PathId> PathTable::find(const AsPath& path) const noexcept {
+  const auto it = by_hash_.find(path.hash());
+  if (it == by_hash_.end()) return std::nullopt;
+  for (PathId id = it->second;; id = next_same_hash_[id]) {
+    if (equals(id, path)) return id;
+    if (next_same_hash_[id] == id) return std::nullopt;  // end of chain
+  }
+}
+
+PathId PathTable::intern(const AsPath& path) {
+  const std::uint64_t h = path.hash();
+  const auto [it, inserted] = by_hash_.try_emplace(
+      h, static_cast<PathId>(meta_.size()));
+  if (!inserted) {
+    // Walk the collision chain; only structurally distinct paths sharing a
+    // hash fall through to a fresh id.
+    PathId id = it->second;
+    for (;;) {
+      if (equals(id, path)) return id;
+      if (next_same_hash_[id] == id) break;
+      id = next_same_hash_[id];
+    }
+    next_same_hash_[id] = static_cast<PathId>(meta_.size());
+  }
+
+  Meta m;
+  m.hash = h;
+  m.asn_begin = static_cast<std::uint32_t>(asn_arena_.size());
+  m.seg_begin = static_cast<std::uint32_t>(seg_arena_.size());
+  for (const PathSegment& seg : path.segments()) {
+    seg_arena_.push_back(
+        SegmentSpan{seg.type, static_cast<std::uint32_t>(seg.asns.size())});
+    asn_arena_.insert(asn_arena_.end(), seg.asns.begin(), seg.asns.end());
+  }
+  m.asn_count = static_cast<std::uint32_t>(asn_arena_.size()) - m.asn_begin;
+  m.seg_count = static_cast<std::uint32_t>(seg_arena_.size()) - m.seg_begin;
+
+  m.uniq_begin = static_cast<std::uint32_t>(uniq_arena_.size());
+  uniq_arena_.insert(uniq_arena_.end(), asn_arena_.begin() + m.asn_begin,
+                     asn_arena_.end());
+  const auto uniq_begin = uniq_arena_.begin() + m.uniq_begin;
+  std::sort(uniq_begin, uniq_arena_.end());
+  uniq_arena_.erase(std::unique(uniq_begin, uniq_arena_.end()),
+                    uniq_arena_.end());
+  m.uniq_count = static_cast<std::uint32_t>(uniq_arena_.size()) - m.uniq_begin;
+
+  const PathId id = static_cast<PathId>(meta_.size());
+  meta_.push_back(m);
+  next_same_hash_.push_back(id);  // self-link marks the chain end
+  return id;
+}
+
+std::span<const Asn> PathTable::asns(PathId id) const noexcept {
+  const Meta& m = meta_[id];
+  return {asn_arena_.data() + m.asn_begin, m.asn_count};
+}
+
+std::span<const Asn> PathTable::unique_asns(PathId id) const noexcept {
+  const Meta& m = meta_[id];
+  return {uniq_arena_.data() + m.uniq_begin, m.uniq_count};
+}
+
+bool PathTable::contains(PathId id, Asn asn) const noexcept {
+  const std::span<const Asn> uniq = unique_asns(id);
+  return std::binary_search(uniq.begin(), uniq.end(), asn);
+}
+
+std::optional<Asn> PathTable::next_toward_origin(PathId id,
+                                                 Asn asn) const noexcept {
+  const Meta& m = meta_[id];
+  const Asn* slot = asn_arena_.data() + m.asn_begin;
+  for (std::uint32_t s = 0; s < m.seg_count; ++s) {
+    const SegmentSpan& seg = seg_arena_[m.seg_begin + s];
+    if (seg.type != SegmentType::kSequence) {
+      slot += seg.count;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < seg.count; ++i) {
+      if (slot[i] != asn) continue;
+      // Skip prepends of asn itself.
+      std::uint32_t j = i;
+      while (j < seg.count && slot[j] == asn) ++j;
+      if (j < seg.count) return slot[j];
+      // Next element is in the following segment.
+      if (s + 1 < m.seg_count) {
+        const SegmentSpan& next = seg_arena_[m.seg_begin + s + 1];
+        if (next.type == SegmentType::kSequence && next.count > 0)
+          return slot[seg.count];
+      }
+      return std::nullopt;
+    }
+    slot += seg.count;
+  }
+  return std::nullopt;
+}
+
+AsPath PathTable::materialize(PathId id) const {
+  const Meta& m = meta_[id];
+  std::vector<PathSegment> segments;
+  segments.reserve(m.seg_count);
+  const Asn* slot = asn_arena_.data() + m.asn_begin;
+  for (std::uint32_t s = 0; s < m.seg_count; ++s) {
+    const SegmentSpan& seg = seg_arena_[m.seg_begin + s];
+    segments.push_back(
+        PathSegment{seg.type, std::vector<Asn>(slot, slot + seg.count)});
+    slot += seg.count;
+  }
+  return AsPath(std::move(segments));
+}
+
+std::size_t PathTable::memory_bytes() const noexcept {
+  std::size_t bytes = asn_arena_.capacity() * sizeof(Asn) +
+                      seg_arena_.capacity() * sizeof(SegmentSpan) +
+                      uniq_arena_.capacity() * sizeof(Asn) +
+                      meta_.capacity() * sizeof(Meta) +
+                      next_same_hash_.capacity() * sizeof(PathId);
+  // Rough but stable model of the dedup map: one bucket pointer plus one
+  // node (key, value, next pointer) per entry.
+  bytes += by_hash_.bucket_count() * sizeof(void*);
+  bytes += by_hash_.size() *
+           (sizeof(std::uint64_t) + sizeof(PathId) + 2 * sizeof(void*));
+  return bytes;
+}
+
+std::vector<InternedTuple> intern_entries(PathTable& table,
+                                          std::span<const RibEntry> entries) {
+  std::size_t tuple_count = 0;
+  for (const RibEntry& entry : entries)
+    tuple_count += entry.route.communities.size();
+  std::vector<InternedTuple> tuples;
+  tuples.reserve(tuple_count);
+  for (const RibEntry& entry : entries) {
+    if (entry.route.communities.empty()) continue;  // contributes no tuples
+    const PathId id = table.intern(entry.route.path);
+    for (const Community community : entry.route.communities)
+      tuples.push_back(InternedTuple{id, community});
+  }
+  return tuples;
+}
+
+std::vector<InternedTuple> intern_tuples(
+    PathTable& table, std::span<const PathCommunityTuple> tuples) {
+  std::vector<InternedTuple> out;
+  out.reserve(tuples.size());
+  for (const PathCommunityTuple& tuple : tuples)
+    out.push_back(InternedTuple{table.intern(tuple.path), tuple.community});
+  return out;
+}
+
+}  // namespace bgpintent::bgp

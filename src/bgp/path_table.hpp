@@ -1,0 +1,139 @@
+// Path interning: each unique AS path is stored exactly once in a flat
+// arena and referenced everywhere else by a dense 32-bit PathId.
+//
+// The paper's method operates on unique (AS path, community) tuples, and
+// real routes carry many communities: materializing one AsPath copy per
+// community multiplies both memory and per-tuple work (hashing, unique-ASN
+// extraction, on-path scans) by the community count.  PathTable collapses
+// that duplication at the ingestion boundary:
+//
+//   * All ASN slots live in one contiguous arena (`std::vector<Asn>`);
+//     a path is an (offset, length) span into it plus a span of segment
+//     descriptors, so interning N paths costs N spans, not N vectors of
+//     vectors.
+//   * Per-path facts are computed once at intern time: the structural
+//     64-bit hash (identical to AsPath::hash()) and the sorted unique-ASN
+//     span that makes contains() a binary search and unique-ASN iteration
+//     an allocation-free span walk.
+//   * Tuples shrink to trivially-copyable (PathId, Community) records —
+//     8 bytes instead of a full AsPath copy.
+//
+// PathTable is append-only and single-writer; established ids and spans
+// are never invalidated by later intern() calls from the same thread, and
+// a const table is safe to read from many threads (the parallel
+// observation build shards over a table interned up front).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/route.hpp"
+
+namespace bgpintent::bgp {
+
+/// Dense index into a PathTable; ids are assigned 0, 1, 2, ... in intern
+/// order, so parallel consumers can use plain vectors keyed by PathId.
+using PathId = std::uint32_t;
+
+/// The interned pipeline record: one unique path reference + one community.
+struct InternedTuple {
+  PathId path = 0;
+  Community community;
+
+  friend bool operator==(const InternedTuple&, const InternedTuple&) = default;
+};
+
+class PathTable {
+ public:
+  /// Interns `path`, returning the existing id when the identical path
+  /// (full segment structure) was interned before.
+  PathId intern(const AsPath& path);
+
+  /// Id of an already-interned path; nullopt when never interned.
+  [[nodiscard]] std::optional<PathId> find(const AsPath& path) const noexcept;
+
+  /// Number of unique paths interned.
+  [[nodiscard]] std::size_t size() const noexcept { return meta_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return meta_.empty(); }
+
+  /// Structural hash, identical to AsPath::hash() of the interned path.
+  [[nodiscard]] std::uint64_t hash(PathId id) const noexcept {
+    return meta_[id].hash;
+  }
+
+  /// Every ASN slot of the path in order (prepends preserved), flattened
+  /// across segments.
+  [[nodiscard]] std::span<const Asn> asns(PathId id) const noexcept;
+
+  /// Distinct ASNs of the path, ascending (computed once at intern time).
+  [[nodiscard]] std::span<const Asn> unique_asns(PathId id) const noexcept;
+
+  /// True if `asn` appears anywhere in the path (binary search over the
+  /// sorted unique-ASN span).
+  [[nodiscard]] bool contains(PathId id, Asn asn) const noexcept;
+
+  /// Mirrors AsPath::next_toward_origin over the interned representation.
+  [[nodiscard]] std::optional<Asn> next_toward_origin(PathId id,
+                                                      Asn asn) const noexcept;
+
+  /// Reconstructs a full AsPath value (tests / debugging; the hot path
+  /// never needs it).
+  [[nodiscard]] AsPath materialize(PathId id) const;
+
+  /// Bytes held by the arenas and per-path metadata (capacity, not size, so
+  /// the figure matches what the allocator is actually charged for).  The
+  /// dedup map is included.  This is the "tuple storage" number the
+  /// observation-core bench reports against the legacy per-tuple AsPath
+  /// copies (docs/PERFORMANCE.md).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  /// One AS_PATH segment of an interned path: `count` ASN slots of `type`,
+  /// consumed in order from the path's flattened ASN span.
+  struct SegmentSpan {
+    SegmentType type = SegmentType::kSequence;
+    std::uint32_t count = 0;
+  };
+  struct Meta {
+    std::uint32_t asn_begin = 0;   // into asn_arena_
+    std::uint32_t asn_count = 0;
+    std::uint32_t seg_begin = 0;   // into seg_arena_
+    std::uint32_t seg_count = 0;
+    std::uint32_t uniq_begin = 0;  // into uniq_arena_
+    std::uint32_t uniq_count = 0;
+    std::uint64_t hash = 0;
+  };
+
+  /// Structural equality between an interned path and a candidate.
+  [[nodiscard]] bool equals(PathId id, const AsPath& path) const noexcept;
+
+  std::vector<Asn> asn_arena_;          // all slots, path after path
+  std::vector<SegmentSpan> seg_arena_;  // all segments, path after path
+  std::vector<Asn> uniq_arena_;         // sorted unique ASNs, path after path
+  std::vector<Meta> meta_;              // indexed by PathId
+  // hash -> head of the id chain with that hash; chains resolved through
+  // next_same_hash_ (parallel to meta_) so collisions cost one extra
+  // structural compare instead of a wrong merge.
+  std::unordered_map<std::uint64_t, PathId> by_hash_;
+  std::vector<PathId> next_same_hash_;
+};
+
+/// Expands RIB entries into interned tuples against `table`: each route's
+/// path is interned once, then referenced by every community it carries.
+/// The result vector is reserve()d from a counting pre-pass.  This is the
+/// single tuple-expansion helper behind ObservationIndex::from_entries and
+/// both Pipeline entry points.
+[[nodiscard]] std::vector<InternedTuple> intern_entries(
+    PathTable& table, std::span<const RibEntry> entries);
+
+/// Interns legacy materialized tuples (compat path for callers that still
+/// hold PathCommunityTuple vectors).
+[[nodiscard]] std::vector<InternedTuple> intern_tuples(
+    PathTable& table, std::span<const PathCommunityTuple> tuples);
+
+}  // namespace bgpintent::bgp

@@ -19,30 +19,40 @@ namespace {
 /// alpha's clusters, ratios, and labels depend only on that alpha's stats,
 /// so any partition of the alpha set yields the same per-alpha output.
 /// `ratio_of` maps a community's stats to its feature ratio; `decide`
-/// labels the cluster.
+/// labels the cluster.  `beta_scratch` is a caller-owned buffer reused
+/// across alphas so the hot loop does not allocate one vector per alpha.
 template <typename RatioFn, typename DecideFn>
 void classify_alpha(const ObservationIndex& observations, std::uint16_t alpha,
                     std::uint32_t min_gap, const RatioFn& ratio_of,
-                    const DecideFn& decide, InferenceResult& result) {
-  const auto betas = observations.observed_betas(alpha);
+                    const DecideFn& decide,
+                    std::vector<std::uint16_t>& beta_scratch,
+                    InferenceResult& result) {
+  const std::span<const CommunityStats> range =
+      observations.alpha_range(alpha);
   if (!bgp::is_public_asn16(alpha)) {
-    result.excluded_private += betas.size();
+    result.excluded_private += range.size();
     return;
   }
   if (!observations.alpha_on_any_path(alpha)) {
-    result.excluded_never_on_path += betas.size();
+    result.excluded_never_on_path += range.size();
     return;
   }
-  for (Cluster& cluster : gap_cluster(alpha, betas, min_gap)) {
+  beta_scratch.clear();
+  beta_scratch.reserve(range.size());
+  for (const CommunityStats& stats : range)
+    beta_scratch.push_back(stats.community.beta());
+  // gap_cluster partitions the sorted betas in order, so the clusters'
+  // members walk `range` front to back — no per-beta binary search.
+  std::size_t next_stat = 0;
+  for (Cluster& cluster : gap_cluster(alpha, beta_scratch, min_gap)) {
     ClusterInference inference;
     inference.pure_on = true;
     inference.pure_off = true;
     std::vector<double> ratios;
     std::size_t pooled_on = 0;
     std::size_t pooled_off = 0;
-    for (const std::uint16_t beta : cluster.betas) {
-      const CommunityStats* stats = observations.find(Community(alpha, beta));
-      // Every observed beta has stats by construction.
+    for (std::size_t member = 0; member < cluster.betas.size(); ++member) {
+      const CommunityStats* stats = &range[next_stat++];
       ratios.push_back(ratio_of(*stats));
       pooled_on += stats->on_path_paths;
       pooled_off += stats->off_path_paths;
@@ -83,8 +93,10 @@ InferenceResult classify_impl(const ObservationIndex& observations,
 
   if (pool == nullptr || pool->size() <= 1 || alphas.size() < 2) {
     InferenceResult result;
+    std::vector<std::uint16_t> beta_scratch;
     for (const std::uint16_t alpha : alphas)
-      classify_alpha(observations, alpha, min_gap, ratio_of, decide, result);
+      classify_alpha(observations, alpha, min_gap, ratio_of, decide,
+                     beta_scratch, result);
     return result;
   }
 
@@ -101,9 +113,10 @@ InferenceResult classify_impl(const ObservationIndex& observations,
     // before this function returns.
     parts.push_back(pool->submit([&, begin, end]() {
       InferenceResult part;
+      std::vector<std::uint16_t> beta_scratch;
       for (std::size_t i = begin; i < end; ++i)
         classify_alpha(observations, alphas[i], min_gap, ratio_of, decide,
-                       part);
+                       beta_scratch, part);
       return part;
     }));
     begin = end;

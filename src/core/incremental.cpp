@@ -9,32 +9,45 @@ namespace bgpintent::core {
 
 void IncrementalClassifier::ingest(const bgp::RibEntry& entry) {
   ++entries_ingested_;
-  const std::uint64_t path_hash = entry.route.path.hash();
+  const std::size_t paths_before = paths_.size();
+  const bgp::PathId path_id = paths_.intern(entry.route.path);
+  const std::uint64_t path_hash = paths_.hash(path_id);
 
   // New ASNs on paths can lift the never-on-path exclusion of the alphas
-  // equal to them (and, with sibling matching, their org siblings).
-  for (const bgp::Asn asn : entry.route.path.unique_asns()) {
-    if (!asns_on_paths_.insert(asn).second) continue;
-    const auto mark_dirty = [this](bgp::Asn candidate) {
-      if (candidate <= 0xffff &&
-          alphas_.contains(static_cast<std::uint16_t>(candidate)))
-        dirty_.insert(static_cast<std::uint16_t>(candidate));
-    };
-    mark_dirty(asn);
-    if (observation_.sibling_aware && orgs_ != nullptr)
-      for (const bgp::Asn sibling : orgs_->siblings(asn)) mark_dirty(sibling);
+  // equal to them (and, with sibling matching, their org siblings).  A
+  // re-interned path cannot introduce new ASNs, so the scan is skipped
+  // entirely for the repeat announcements that dominate a live feed.
+  if (paths_.size() > paths_before) {
+    for (const bgp::Asn asn : paths_.unique_asns(path_id)) {
+      if (!asns_on_paths_.insert(asn).second) continue;
+      const auto mark_dirty = [this](bgp::Asn candidate) {
+        if (candidate <= 0xffff &&
+            alphas_.contains(static_cast<std::uint16_t>(candidate)))
+          dirty_.insert(static_cast<std::uint16_t>(candidate));
+      };
+      mark_dirty(asn);
+      if (observation_.sibling_aware && orgs_ != nullptr)
+        for (const bgp::Asn sibling : orgs_->siblings(asn)) mark_dirty(sibling);
+    }
   }
 
   for (const Community community : entry.route.communities) {
     const std::uint16_t alpha = community.alpha();
     AlphaState& state = alphas_[alpha];
     CommunityAccumulator& acc = state.betas[community.beta()];
-    bool on = entry.route.path.contains(alpha);
-    if (!on && observation_.sibling_aware && orgs_ != nullptr)
-      for (const bgp::Asn sibling : orgs_->siblings(alpha))
-        if (sibling != alpha && entry.route.path.contains(sibling)) on = true;
-    const bool changed = on ? acc.on_paths.insert(path_hash).second
-                            : acc.off_paths.insert(path_hash).second;
+    const std::uint64_t memo_key =
+        static_cast<std::uint64_t>(path_id) << 16 | alpha;
+    const auto [memo, fresh] = on_path_memo_.try_emplace(memo_key, false);
+    if (fresh) {
+      bool on = paths_.contains(path_id, alpha);
+      if (!on && observation_.sibling_aware && orgs_ != nullptr)
+        for (const bgp::Asn sibling : orgs_->siblings(alpha))
+          if (sibling != alpha && paths_.contains(path_id, sibling)) on = true;
+      memo->second = on;
+    }
+    const bool changed = memo->second
+                             ? acc.on_paths.insert(path_hash).second
+                             : acc.off_paths.insert(path_hash).second;
     if (changed) dirty_.insert(alpha);
   }
 }

@@ -7,6 +7,15 @@
 // owner ASes whose evidence changed since the last result() call —
 // including alphas whose never-on-path exclusion may have been lifted by a
 // newly observed AS path.
+//
+// Ingest interns every AS path into a bgp::PathTable: a path repeated by
+// later updates (the common case in a live feed) is hashed and scanned for
+// its distinct ASNs only the first time, and on-path membership — with the
+// org-sibling expansion — is memoized per (path, alpha), so a route
+// carrying many betas of one alpha resolves it once.  The interning is an
+// internal representation only: exported State and the serve snapshot
+// format still speak sorted path hashes and are byte-identical to the
+// pre-interning implementation.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "core/classifier.hpp"
 #include "core/observations.hpp"
 
@@ -33,8 +43,14 @@ class IncrementalClassifier {
     return observation_;
   }
 
-  /// Optional sibling context; must outlive the classifier.
-  void set_org_map(const topo::OrgMap* orgs) noexcept { orgs_ = orgs; }
+  /// Optional sibling context; must outlive the classifier.  Swapping the
+  /// map invalidates the memoized per-(path, alpha) on-path answers, so
+  /// set it before ingesting (changing it mid-stream is legal but drops
+  /// the memo).
+  void set_org_map(const topo::OrgMap* orgs) noexcept {
+    if (orgs != orgs_) on_path_memo_.clear();
+    orgs_ = orgs;
+  }
 
   /// Ingests one RIB entry / update announcement.
   void ingest(const bgp::RibEntry& entry);
@@ -135,6 +151,11 @@ class IncrementalClassifier {
   const topo::OrgMap* orgs_ = nullptr;
 
   std::unordered_map<std::uint16_t, AlphaState> alphas_;
+  // Interned unique paths + per-(path, alpha) on-path memo.  Not part of
+  // the exported State: the table regrows from the live feed, and the memo
+  // is a pure function of path content, the org map, and the config.
+  bgp::PathTable paths_;
+  std::unordered_map<std::uint64_t, bool> on_path_memo_;
   std::unordered_set<bgp::Asn> asns_on_paths_;
   std::unordered_set<std::uint16_t> dirty_;
   std::size_t entries_ingested_ = 0;

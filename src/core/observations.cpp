@@ -1,7 +1,6 @@
 #include "core/observations.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/thread_pool.hpp"
 
@@ -10,153 +9,237 @@ namespace bgpintent::core {
 namespace {
 
 /// True when alpha or (optionally) one of its org siblings is in the path.
-bool on_path(const bgp::AsPath& path, std::uint16_t alpha,
+bool on_path(const bgp::PathTable& paths, bgp::PathId id, std::uint16_t alpha,
              const topo::OrgMap* orgs, bool sibling_aware) {
-  if (path.contains(alpha)) return true;
+  if (paths.contains(id, alpha)) return true;
   if (!sibling_aware || orgs == nullptr) return false;
   for (const Asn sibling : orgs->siblings(alpha))
-    if (sibling != alpha && path.contains(sibling)) return true;
+    if (sibling != alpha && paths.contains(id, sibling)) return true;
   return false;
 }
 
-struct Accumulator {
-  std::unordered_set<std::uint64_t> on_paths;
-  std::unordered_set<std::uint64_t> off_paths;
-  std::size_t customer_votes = 0;
-  std::size_t peer_votes = 0;
-  std::size_t provider_votes = 0;
-};
+/// A tuple packed into one 64-bit key: community wire value (alpha:beta)
+/// in the high half, PathId in the low half.  Sorting the packed records
+/// groups them by alpha, then beta, then path — which is the entire
+/// accumulation data structure: unique (community, path) pairs fall out of
+/// sort+unique by adjacency, with zero hash tables on the hot path.
+[[nodiscard]] constexpr std::uint64_t pack(const bgp::InternedTuple& t) noexcept {
+  return static_cast<std::uint64_t>(t.community.wire()) << 32 | t.path;
+}
+[[nodiscard]] constexpr std::uint16_t packed_alpha(std::uint64_t rec) noexcept {
+  return static_cast<std::uint16_t>(rec >> 48);
+}
+[[nodiscard]] constexpr std::uint32_t packed_wire(std::uint64_t rec) noexcept {
+  return static_cast<std::uint32_t>(rec >> 32);
+}
+[[nodiscard]] constexpr bgp::PathId packed_path(std::uint64_t rec) noexcept {
+  return static_cast<bgp::PathId>(rec);
+}
 
-/// One shard's private accumulation state.  In the parallel build each
+/// One shard's accumulation state: the packed records it owns and, after
+/// finalize_shard, its per-community stats.  In the parallel build each
 /// shard owns the alphas with `alpha % shard_count == shard`, so no
 /// community appears in more than one shard; the sequential build is just
 /// a single shard over everything.
 struct Shard {
-  std::unordered_map<Community, Accumulator> acc;
-  std::unordered_set<std::uint64_t> unique_paths;
-  std::unordered_set<Asn> asns_on_paths;
+  std::vector<std::uint64_t> records;
+  std::vector<CommunityStats> stats;  // sorted by community (sort order of
+                                      // records), disjoint across shards
 };
 
-/// The per-tuple update, shared verbatim between the sequential and
-/// parallel builds so they cannot diverge.
-void accumulate(const bgp::PathCommunityTuple& tuple, const topo::OrgMap* orgs,
-                const rel::RelationshipDataset* relationships,
-                bool sibling_aware, Shard& shard) {
-  const std::uint64_t path_hash = tuple.path.hash();
-  shard.unique_paths.insert(path_hash);
-  for (const Asn asn : tuple.path.unique_asns())
-    shard.asns_on_paths.insert(asn);
+/// Sorts and deduplicates one shard's records, resolves the (path, alpha)
+/// facts once per alpha group, and counts each community's unique on/off
+/// paths by walking its contiguous run.  Shared verbatim between the
+/// sequential and parallel builds so they cannot diverge.
+///
+/// Because PathIds are dense, the per-(path, alpha) memo is three flat
+/// arrays indexed by id, invalidated per alpha by bumping an epoch stamp —
+/// resolving a fact is one array probe, no hashing, no second sort.  The
+/// arrays cost ~6 bytes per interned path per concurrently running shard
+/// task (bounded by the pool's worker count, not the shard count).
+void finalize_shard(const bgp::PathTable& paths, Shard& shard,
+                    const topo::OrgMap* orgs,
+                    const rel::RelationshipDataset* relationships,
+                    bool sibling_aware) {
+  constexpr std::uint8_t kNoVote = 0xff;
 
-  Accumulator& a = shard.acc[tuple.community];
-  const std::uint16_t alpha = tuple.community.alpha();
-  if (on_path(tuple.path, alpha, orgs, sibling_aware)) {
-    if (a.on_paths.insert(path_hash).second && relationships != nullptr) {
-      // First time this unique path is counted: record the relationship
-      // between alpha and its successor toward the origin.
-      if (const auto next = tuple.path.next_toward_origin(alpha)) {
-        const auto rel = relationships->relationship(alpha, *next);
-        if (rel == topo::RelFrom::kCustomer)
-          ++a.customer_votes;
-        else if (rel == topo::RelFrom::kPeer)
-          ++a.peer_votes;
-        else if (rel == topo::RelFrom::kProvider)
-          ++a.provider_votes;
+  std::vector<std::uint64_t>& recs = shard.records;
+  std::sort(recs.begin(), recs.end());
+  recs.erase(std::unique(recs.begin(), recs.end()), recs.end());
+
+  std::vector<std::uint32_t> fact_epoch(paths.size(), 0);
+  std::vector<std::uint8_t> fact_on(paths.size());
+  std::vector<std::uint8_t> fact_vote(paths.size());
+  std::uint32_t epoch = 0;
+
+  std::size_t i = 0;
+  while (i < recs.size()) {
+    const std::uint16_t alpha = packed_alpha(recs[i]);
+    std::size_t alpha_end = i;
+    while (alpha_end < recs.size() && packed_alpha(recs[alpha_end]) == alpha)
+      ++alpha_end;
+    ++epoch;  // drops every memoized fact of the previous alpha
+
+    // Each community is a contiguous run of strictly ascending ids; a path
+    // repeated across the alpha's betas hits the memo after its first
+    // resolution.
+    std::size_t j = i;
+    while (j < alpha_end) {
+      const std::uint32_t wire = packed_wire(recs[j]);
+      std::size_t run_end = j;
+      while (run_end < alpha_end && packed_wire(recs[run_end]) == wire)
+        ++run_end;
+
+      CommunityStats stats;
+      stats.community = Community::from_wire(wire);
+      for (std::size_t k = j; k < run_end; ++k) {
+        const bgp::PathId id = packed_path(recs[k]);
+        if (fact_epoch[id] != epoch) {
+          fact_epoch[id] = epoch;
+          fact_on[id] = on_path(paths, id, alpha, orgs, sibling_aware) ? 1 : 0;
+          fact_vote[id] = kNoVote;
+          if (fact_on[id] != 0 && relationships != nullptr)
+            if (const auto next = paths.next_toward_origin(id, alpha))
+              if (const auto rel = relationships->relationship(alpha, *next))
+                fact_vote[id] = static_cast<std::uint8_t>(*rel);
+        }
+        if (fact_on[id] != 0) {
+          ++stats.on_path_paths;
+          switch (fact_vote[id]) {
+            case static_cast<std::uint8_t>(topo::RelFrom::kCustomer):
+              ++stats.customer_votes;
+              break;
+            case static_cast<std::uint8_t>(topo::RelFrom::kPeer):
+              ++stats.peer_votes;
+              break;
+            case static_cast<std::uint8_t>(topo::RelFrom::kProvider):
+              ++stats.provider_votes;
+              break;
+            default:  // kNoVote or kSibling: no vote recorded
+              break;
+          }
+        } else {
+          ++stats.off_path_paths;
+        }
       }
+      shard.stats.push_back(stats);
+      j = run_end;
     }
-  } else {
-    a.off_paths.insert(path_hash);
+    i = alpha_end;
   }
 }
 
 }  // namespace
 
-/// Merges shards into the final sorted index.  Deterministic: per-shard
-/// stats are disjoint by construction, the stats vector is sorted, and the
-/// unique-path / on-path-ASN sets are unions — none of it depends on shard
-/// count or completion order.
+/// Merges finalized shards into the index.  Deterministic: per-shard stats
+/// are disjoint by construction and get one global sort; the unique-path /
+/// on-path-ASN accounting walks a sorted id list — none of it depends on
+/// shard count or completion order.
 struct ObservationBuilder {
-  static ObservationIndex merge_shards(std::vector<Shard>& shards,
-                                       const topo::OrgMap* orgs,
-                                       const ObservationConfig& config) {
+  static ObservationIndex merge_shards(
+      const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+      std::vector<Shard>& shards, const topo::OrgMap* orgs,
+      const ObservationConfig& config) {
     ObservationIndex index;
     index.orgs_ = orgs;
     index.sibling_aware_ = config.sibling_aware;
 
-    std::unordered_set<std::uint64_t> unique_paths;
     std::size_t community_total = 0;
-    for (const Shard& shard : shards) community_total += shard.acc.size();
+    for (const Shard& shard : shards) community_total += shard.stats.size();
     index.stats_.reserve(community_total);
-    for (Shard& shard : shards) {
-      for (const auto& [community, a] : shard.acc) {
-        CommunityStats stats;
-        stats.community = community;
-        stats.on_path_paths = a.on_paths.size();
-        stats.off_path_paths = a.off_paths.size();
-        stats.customer_votes = a.customer_votes;
-        stats.peer_votes = a.peer_votes;
-        stats.provider_votes = a.provider_votes;
-        index.stats_.push_back(stats);
-      }
-      unique_paths.insert(shard.unique_paths.begin(), shard.unique_paths.end());
-      index.asns_on_paths_.insert(shard.asns_on_paths.begin(),
-                                  shard.asns_on_paths.end());
-    }
-    index.unique_paths_ = unique_paths.size();
+    for (Shard& shard : shards)
+      index.stats_.insert(index.stats_.end(), shard.stats.begin(),
+                          shard.stats.end());
     std::sort(index.stats_.begin(), index.stats_.end(),
               [](const CommunityStats& x, const CommunityStats& y) {
                 return x.community < y.community;
               });
+
+    // Unique paths and the ASN-on-path universe come from the tuple
+    // stream, not the table: a table entry no tuple references (possible
+    // with a shared/larger table) must not count.  Dense ids turn the
+    // dedup into a bitvector instead of a sort.
+    std::vector<bool> seen(paths.size(), false);
+    for (const bgp::InternedTuple& tuple : tuples) seen[tuple.path] = true;
+    for (bgp::PathId id = 0; id < paths.size(); ++id) {
+      if (!seen[id]) continue;
+      ++index.unique_paths_;
+      const std::span<const Asn> uniq = paths.unique_asns(id);
+      index.asns_on_paths_.insert(uniq.begin(), uniq.end());
+    }
     return index;
   }
 };
 
-ObservationIndex ObservationIndex::build(
-    std::span<const bgp::PathCommunityTuple> tuples, const topo::OrgMap* orgs,
-    const rel::RelationshipDataset* relationships,
-    const ObservationConfig& config) {
-  std::vector<Shard> shards(1);
-  for (const bgp::PathCommunityTuple& tuple : tuples)
-    accumulate(tuple, orgs, relationships, config.sibling_aware, shards[0]);
-  return ObservationBuilder::merge_shards(shards, orgs, config);
-}
-
-ObservationIndex ObservationIndex::build_parallel(
-    std::span<const bgp::PathCommunityTuple> tuples, util::ThreadPool& pool,
+ObservationIndex ObservationIndex::build_interned(
+    const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
     const topo::OrgMap* orgs, const rel::RelationshipDataset* relationships,
     const ObservationConfig& config) {
+  std::vector<Shard> shards(1);
+  shards[0].records.reserve(tuples.size());
+  for (const bgp::InternedTuple& tuple : tuples)
+    shards[0].records.push_back(pack(tuple));
+  finalize_shard(paths, shards[0], orgs, relationships, config.sibling_aware);
+  return ObservationBuilder::merge_shards(paths, tuples, shards, orgs, config);
+}
+
+ObservationIndex ObservationIndex::build_parallel_interned(
+    const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+    util::ThreadPool& pool, const topo::OrgMap* orgs,
+    const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
   if (pool.size() <= 1 || tuples.size() < 2)
-    return build(tuples, orgs, relationships, config);
+    return build_interned(paths, tuples, orgs, relationships, config);
 
   // Oversubscribe shards 4x so the work-stealing pool can rebalance skewed
   // alphas; shard count does not affect the result.
   const std::size_t shard_count =
       std::min<std::size_t>(static_cast<std::size_t>(pool.size()) * 4, 256);
 
-  // Bucket tuple indices by owning shard (cheap single pass) so each shard
-  // task touches only its own tuples, in input order.
-  std::vector<std::vector<std::size_t>> buckets(shard_count);
-  for (std::size_t i = 0; i < tuples.size(); ++i)
-    buckets[tuples[i].community.alpha() % shard_count].push_back(i);
-
+  // Bucket the packed records by owning shard (cheap single pass); each
+  // shard task then sorts and counts only its own communities.
   std::vector<Shard> shards(shard_count);
+  for (const bgp::InternedTuple& tuple : tuples)
+    shards[tuple.community.alpha() % shard_count].records.push_back(
+        pack(tuple));
+
   pool.parallel_for(shard_count, [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s)
-      for (const std::size_t i : buckets[s])
-        accumulate(tuples[i], orgs, relationships, config.sibling_aware,
-                   shards[s]);
+      finalize_shard(paths, shards[s], orgs, relationships,
+                     config.sibling_aware);
   });
-  return ObservationBuilder::merge_shards(shards, orgs, config);
+  return ObservationBuilder::merge_shards(paths, tuples, shards, orgs, config);
+}
+
+ObservationIndex ObservationIndex::build(
+    std::span<const bgp::PathCommunityTuple> tuples, const topo::OrgMap* orgs,
+    const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> interned =
+      bgp::intern_tuples(paths, tuples);
+  return build_interned(paths, interned, orgs, relationships, config);
+}
+
+ObservationIndex ObservationIndex::build_parallel(
+    std::span<const bgp::PathCommunityTuple> tuples, util::ThreadPool& pool,
+    const topo::OrgMap* orgs, const rel::RelationshipDataset* relationships,
+    const ObservationConfig& config) {
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> interned =
+      bgp::intern_tuples(paths, tuples);
+  return build_parallel_interned(paths, interned, pool, orgs, relationships,
+                                 config);
 }
 
 ObservationIndex ObservationIndex::from_entries(
     std::span<const bgp::RibEntry> entries, const topo::OrgMap* orgs,
     const rel::RelationshipDataset* relationships,
     const ObservationConfig& config) {
-  std::vector<bgp::PathCommunityTuple> tuples;
-  for (const bgp::RibEntry& entry : entries)
-    for (const Community community : entry.route.communities)
-      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
-  return build(tuples, orgs, relationships, config);
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> tuples =
+      bgp::intern_entries(paths, entries);
+  return build_interned(paths, tuples, orgs, relationships, config);
 }
 
 const CommunityStats* ObservationIndex::find(Community community) const noexcept {
@@ -167,15 +250,25 @@ const CommunityStats* ObservationIndex::find(Community community) const noexcept
   return &*it;
 }
 
-std::vector<std::uint16_t> ObservationIndex::observed_betas(
-    std::uint16_t alpha) const {
-  std::vector<std::uint16_t> betas;
-  // stats_ is sorted by (alpha, beta); find the alpha range.
+std::span<const CommunityStats> ObservationIndex::alpha_range(
+    std::uint16_t alpha) const noexcept {
+  // stats_ is sorted by (alpha, beta); the alpha's stats are the run in
+  // [alpha:0, alpha+1:0).
   const auto lo = std::lower_bound(
       stats_.begin(), stats_.end(), Community(alpha, 0),
       [](const CommunityStats& s, Community c) { return s.community < c; });
-  for (auto it = lo; it != stats_.end() && it->community.alpha() == alpha; ++it)
-    betas.push_back(it->community.beta());
+  auto hi = lo;
+  while (hi != stats_.end() && hi->community.alpha() == alpha) ++hi;
+  return {lo, hi};
+}
+
+std::vector<std::uint16_t> ObservationIndex::observed_betas(
+    std::uint16_t alpha) const {
+  std::vector<std::uint16_t> betas;
+  const std::span<const CommunityStats> range = alpha_range(alpha);
+  betas.reserve(range.size());
+  for (const CommunityStats& stats : range)
+    betas.push_back(stats.community.beta());
   return betas;
 }
 

@@ -12,6 +12,15 @@
 // (Fig. 7): for each on-path observation, the relationship between alpha
 // and the AS that follows it toward the origin.
 //
+// Interned core (docs/PERFORMANCE.md): inputs are interned into a
+// bgp::PathTable first, so every unique AS path is hashed and scanned for
+// its distinct ASNs exactly once, tuples are 8-byte (PathId, Community)
+// records, and on-path membership — including the org-sibling expansion —
+// is memoized per (path, alpha): a route carrying ten betas of one alpha
+// resolves the on-path question once, not ten times.  Accumulators are
+// plain PathId vectors deduplicated by sort+unique at merge time instead
+// of per-community hash sets.
+//
 // Parallel construction (build_parallel, docs/THREADING.md): tuples are
 // sharded by `alpha % shard_count`, so every community — and with it every
 // on/off-path set and vote counter — is owned by exactly one shard and
@@ -27,6 +36,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "bgp/route.hpp"
 #include "rel/dataset.hpp"
 #include "topo/org_map.hpp"
@@ -79,25 +89,43 @@ struct ObservationConfig {
 
 class ObservationIndex {
  public:
-  /// Builds the index from (path, community) tuples.  `orgs` may be null
-  /// (no sibling awareness regardless of config); `relationships` may be
-  /// null (customer/peer votes left at zero).
+  /// Builds the index from interned (path, community) tuples.  `orgs` may
+  /// be null (no sibling awareness regardless of config); `relationships`
+  /// may be null (customer/peer votes left at zero).  Only `paths` entries
+  /// referenced by `tuples` contribute to the unique-path and
+  /// ASN-on-path accounting.
+  [[nodiscard]] static ObservationIndex build_interned(
+      const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+      const topo::OrgMap* orgs = nullptr,
+      const rel::RelationshipDataset* relationships = nullptr,
+      const ObservationConfig& config = {});
+
+  /// Sharded parallel build on `pool`; the result is identical to
+  /// build_interned() for any pool size (see the file comment for the
+  /// sharding argument).  Falls back to the sequential path on a
+  /// single-worker pool.
+  [[nodiscard]] static ObservationIndex build_parallel_interned(
+      const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+      util::ThreadPool& pool, const topo::OrgMap* orgs = nullptr,
+      const rel::RelationshipDataset* relationships = nullptr,
+      const ObservationConfig& config = {});
+
+  /// Compat: interns materialized tuples, then runs the interned build.
   [[nodiscard]] static ObservationIndex build(
       std::span<const bgp::PathCommunityTuple> tuples,
       const topo::OrgMap* orgs = nullptr,
       const rel::RelationshipDataset* relationships = nullptr,
       const ObservationConfig& config = {});
 
-  /// Sharded parallel build on `pool`; the result is identical to build()
-  /// for any pool size (see the file comment for the sharding argument).
-  /// Falls back to the sequential path on a single-worker pool.
+  /// Compat: interns materialized tuples, then runs the parallel build.
   [[nodiscard]] static ObservationIndex build_parallel(
       std::span<const bgp::PathCommunityTuple> tuples, util::ThreadPool& pool,
       const topo::OrgMap* orgs = nullptr,
       const rel::RelationshipDataset* relationships = nullptr,
       const ObservationConfig& config = {});
 
-  /// Convenience: expand RIB entries into tuples and build.
+  /// Convenience: intern RIB entries (bgp::intern_entries — each route's
+  /// path once, one record per carried community) and build.
   [[nodiscard]] static ObservationIndex from_entries(
       std::span<const bgp::RibEntry> entries,
       const topo::OrgMap* orgs = nullptr,
@@ -110,6 +138,13 @@ class ObservationIndex {
   [[nodiscard]] const std::vector<CommunityStats>& all() const noexcept {
     return stats_;
   }
+
+  /// The contiguous run of stats belonging to `alpha` (stats_ is sorted by
+  /// community = (alpha, beta)), without allocating.  Empty span when the
+  /// alpha was never observed.  cluster/classify iterate this instead of
+  /// materializing beta vectors per call.
+  [[nodiscard]] std::span<const CommunityStats> alpha_range(
+      std::uint16_t alpha) const noexcept;
 
   /// Distinct observed beta values of `alpha`, ascending.
   [[nodiscard]] std::vector<std::uint16_t> observed_betas(

@@ -5,39 +5,49 @@
 
 namespace bgpintent::core {
 
-PipelineResult Pipeline::run(
-    std::span<const bgp::PathCommunityTuple> tuples) const {
-  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+// Every entry point funnels through the same shape: intern paths once
+// (bgp::PathTable), expand routes into 8-byte (PathId, community) records,
+// then hand the interned stream to the observation/classification stages.
+// Interning is a single sequential pass — it is bound by the same memory
+// stream as reading the input, and it is what makes the later stages cheap
+// (docs/PERFORMANCE.md).
+
+PipelineResult Pipeline::run_interned(
+    const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+    util::ThreadPool* pool) const {
+  PipelineResult result;
+  if (pool == nullptr) {
     // Sequential reference path: no pool, no sharding.
-    PipelineResult result;
-    result.observations = ObservationIndex::build(tuples, orgs_,
-                                                  relationships_,
-                                                  config_.observation);
+    result.observations = ObservationIndex::build_interned(
+        paths, tuples, orgs_, relationships_, config_.observation);
     result.inference = classify(result.observations, config_.classifier);
     return result;
   }
-  util::ThreadPool pool(config_.threads);
-  return run_on_pool(tuples, pool);
-}
-
-PipelineResult Pipeline::run_on_pool(
-    std::span<const bgp::PathCommunityTuple> tuples,
-    util::ThreadPool& pool) const {
-  PipelineResult result;
-  result.observations = ObservationIndex::build_parallel(
-      tuples, pool, orgs_, relationships_, config_.observation);
-  result.inference = classify(result.observations, config_.classifier, &pool);
+  result.observations = ObservationIndex::build_parallel_interned(
+      paths, tuples, *pool, orgs_, relationships_, config_.observation);
+  result.inference = classify(result.observations, config_.classifier, pool);
   return result;
 }
 
+PipelineResult Pipeline::run(
+    std::span<const bgp::PathCommunityTuple> tuples) const {
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> interned =
+      bgp::intern_tuples(paths, tuples);
+  if (util::ThreadPool::resolve(config_.threads) <= 1)
+    return run_interned(paths, interned, nullptr);
+  util::ThreadPool pool(config_.threads);
+  return run_interned(paths, interned, &pool);
+}
+
 PipelineResult Pipeline::run(std::span<const bgp::RibEntry> entries) const {
-  // Tuple expansion is a cheap copy pass; both paths share it so entry
-  // and tuple inputs stay equivalent.
-  std::vector<bgp::PathCommunityTuple> tuples;
-  for (const bgp::RibEntry& entry : entries)
-    for (const Community community : entry.route.communities)
-      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
-  return run(tuples);
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> tuples =
+      bgp::intern_entries(paths, entries);
+  if (util::ThreadPool::resolve(config_.threads) <= 1)
+    return run_interned(paths, tuples, nullptr);
+  util::ThreadPool pool(config_.threads);
+  return run_interned(paths, tuples, &pool);
 }
 
 PipelineResult Pipeline::run_mrt(std::istream& in) const {
@@ -54,11 +64,10 @@ PipelineResult Pipeline::run_mrt(std::istream& in) const {
   util::ThreadPool pool(config_.threads);
   const std::vector<bgp::RibEntry> entries =
       mrt::read_rib_entries_parallel(in, pool, config_.decode, &report);
-  std::vector<bgp::PathCommunityTuple> tuples;
-  for (const bgp::RibEntry& entry : entries)
-    for (const Community community : entry.route.communities)
-      tuples.push_back(bgp::PathCommunityTuple{entry.route.path, community, 1});
-  PipelineResult result = run_on_pool(tuples, pool);
+  bgp::PathTable paths;
+  const std::vector<bgp::InternedTuple> tuples =
+      bgp::intern_entries(paths, entries);
+  PipelineResult result = run_interned(paths, tuples, &pool);
   result.decode_report = std::move(report);
   return result;
 }

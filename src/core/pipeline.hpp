@@ -78,9 +78,11 @@ class Pipeline {
   [[nodiscard]] PipelineResult run_mrt(std::istream& in) const;
 
  private:
-  [[nodiscard]] PipelineResult run_on_pool(
-      std::span<const bgp::PathCommunityTuple> tuples,
-      util::ThreadPool& pool) const;
+  /// Shared back half: interned tuples -> index -> labels.  `pool` null
+  /// selects the sequential reference implementation.
+  [[nodiscard]] PipelineResult run_interned(
+      const bgp::PathTable& paths, std::span<const bgp::InternedTuple> tuples,
+      util::ThreadPool* pool) const;
 
   PipelineConfig config_;
   const topo::OrgMap* orgs_ = nullptr;

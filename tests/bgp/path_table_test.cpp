@@ -1,0 +1,164 @@
+#include "bgp/path_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/route.hpp"
+
+namespace bgpintent::bgp {
+namespace {
+
+AsPath seq(std::vector<Asn> asns) { return AsPath(std::move(asns)); }
+
+TEST(PathTable, InternDedupesIdenticalPaths) {
+  PathTable table;
+  EXPECT_TRUE(table.empty());
+  const PathId a = table.intern(seq({701, 1299, 64496}));
+  const PathId b = table.intern(seq({701, 1299, 64496}));
+  const PathId c = table.intern(seq({701, 3356, 64496}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(PathTable, IdsAreDenseInInternOrder) {
+  PathTable table;
+  EXPECT_EQ(table.intern(seq({1, 2})), 0u);
+  EXPECT_EQ(table.intern(seq({3, 4})), 1u);
+  EXPECT_EQ(table.intern(seq({1, 2})), 0u);
+  EXPECT_EQ(table.intern(seq({5})), 2u);
+}
+
+TEST(PathTable, FindReturnsInternedIdOrNullopt) {
+  PathTable table;
+  const PathId id = table.intern(seq({701, 1299}));
+  EXPECT_EQ(table.find(seq({701, 1299})), id);
+  EXPECT_EQ(table.find(seq({701, 3356})), std::nullopt);
+  EXPECT_EQ(PathTable().find(seq({701})), std::nullopt);
+}
+
+TEST(PathTable, HashMatchesAsPathHash) {
+  PathTable table;
+  const AsPath path = seq({701, 1299, 1299, 64496});
+  EXPECT_EQ(table.hash(table.intern(path)), path.hash());
+}
+
+TEST(PathTable, AsnsPreservePrependsAndOrder) {
+  PathTable table;
+  const AsPath path = seq({701, 1299, 1299, 1299, 64496});
+  const PathId id = table.intern(path);
+  const std::span<const Asn> asns = table.asns(id);
+  ASSERT_EQ(asns.size(), 5u);
+  EXPECT_EQ(asns[0], 701u);
+  EXPECT_EQ(asns[2], 1299u);
+  EXPECT_EQ(asns[4], 64496u);
+}
+
+TEST(PathTable, UniqueAsnsSortedAndDeduplicated) {
+  PathTable table;
+  const PathId id = table.intern(seq({701, 1299, 1299, 174, 64496}));
+  const std::span<const Asn> uniq = table.unique_asns(id);
+  EXPECT_EQ(std::vector<Asn>(uniq.begin(), uniq.end()),
+            (std::vector<Asn>{174, 701, 1299, 64496}));
+}
+
+TEST(PathTable, ContainsMatchesAsPath) {
+  PathTable table;
+  const AsPath path(std::vector<PathSegment>{
+      PathSegment{SegmentType::kSequence, {701, 1299}},
+      PathSegment{SegmentType::kSet, {174, 3356}},
+  });
+  const PathId id = table.intern(path);
+  for (const Asn asn : {701u, 1299u, 174u, 3356u, 65000u, 1u})
+    EXPECT_EQ(table.contains(id, asn), path.contains(asn)) << asn;
+}
+
+TEST(PathTable, NextTowardOriginMatchesAsPath) {
+  PathTable table;
+  // Prepends, plus a trailing AS_SET, to exercise the skip rules.
+  const AsPath path(std::vector<PathSegment>{
+      PathSegment{SegmentType::kSequence, {701, 1299, 1299, 174}},
+      PathSegment{SegmentType::kSet, {64496, 64497}},
+  });
+  const PathId id = table.intern(path);
+  for (const Asn asn : {701u, 1299u, 174u, 64496u, 65000u})
+    EXPECT_EQ(table.next_toward_origin(id, asn), path.next_toward_origin(asn))
+        << asn;
+}
+
+TEST(PathTable, SegmentStructureDistinguishesPaths) {
+  PathTable table;
+  const AsPath one_segment = seq({701, 1299});
+  const AsPath two_segments(std::vector<PathSegment>{
+      PathSegment{SegmentType::kSequence, {701}},
+      PathSegment{SegmentType::kSequence, {1299}},
+  });
+  const AsPath as_set(std::vector<PathSegment>{
+      PathSegment{SegmentType::kSet, {701, 1299}},
+  });
+  const PathId a = table.intern(one_segment);
+  const PathId b = table.intern(two_segments);
+  const PathId c = table.intern(as_set);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(PathTable, MaterializeRoundTrips) {
+  PathTable table;
+  const AsPath path(std::vector<PathSegment>{
+      PathSegment{SegmentType::kSequence, {701, 1299, 1299}},
+      PathSegment{SegmentType::kSet, {174, 3356}},
+      PathSegment{SegmentType::kSequence, {64496}},
+  });
+  EXPECT_EQ(table.materialize(table.intern(path)), path);
+}
+
+TEST(PathTable, MemoryBytesGrowsWithContent) {
+  PathTable table;
+  const std::size_t empty_bytes = table.memory_bytes();
+  for (Asn asn = 1; asn <= 64; ++asn) table.intern(seq({asn, asn + 1, asn + 2}));
+  EXPECT_GT(table.memory_bytes(), empty_bytes);
+}
+
+TEST(InternEntries, ExpandsEachCommunityAndSkipsBareRoutes) {
+  std::vector<RibEntry> entries(3);
+  entries[0].route.path = seq({701, 1299});
+  entries[0].route.communities = {Community(1299, 100), Community(1299, 200)};
+  entries[1].route.path = seq({701, 174});  // no communities: contributes nothing
+  entries[2].route.path = seq({701, 1299});
+  entries[2].route.communities = {Community(174, 300)};
+
+  PathTable table;
+  const std::vector<InternedTuple> tuples = intern_entries(table, entries);
+  ASSERT_EQ(tuples.size(), 3u);
+  // Both community-bearing entries share one interned path; the bare route
+  // is not interned at all (seed semantics: it contributes nothing).
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(tuples[0].path, tuples[2].path);
+  EXPECT_EQ(tuples[0].community, Community(1299, 100));
+  EXPECT_EQ(tuples[2].community, Community(174, 300));
+}
+
+TEST(InternTuples, SharesPathsAcrossTuples) {
+  std::vector<PathCommunityTuple> tuples(3);
+  tuples[0].path = seq({701, 1299});
+  tuples[0].community = Community(1299, 100);
+  tuples[1].path = seq({701, 1299});
+  tuples[1].community = Community(1299, 200);
+  tuples[2].path = seq({701, 174});
+  tuples[2].community = Community(1299, 100);
+
+  PathTable table;
+  const std::vector<InternedTuple> interned = intern_tuples(table, tuples);
+  ASSERT_EQ(interned.size(), 3u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(interned[0].path, interned[1].path);
+  EXPECT_NE(interned[0].path, interned[2].path);
+  EXPECT_EQ(interned[1].community, Community(1299, 200));
+}
+
+}  // namespace
+}  // namespace bgpintent::bgp
