@@ -48,6 +48,13 @@ class AsPath {
     return segments_;
   }
 
+  /// Mutable segment access for decoders that rebuild a scratch path in
+  /// place to reuse its heap buffers (mrt::decode_path_attributes).  The
+  /// caller owns the class invariant: no empty segments may remain.
+  [[nodiscard]] std::vector<PathSegment>& mutable_segments() noexcept {
+    return segments_;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
 
   /// Number of ASN slots across all segments (prepends counted).

@@ -20,30 +20,46 @@ bool PathTable::equals(PathId id, const AsPath& path) const noexcept {
   return true;
 }
 
+std::size_t PathTable::probe_start(std::uint64_t hash) const noexcept {
+  // Fibonacci finalizer: the FNV path hash is well mixed in the low bits,
+  // but one multiply costs nothing and keeps the linear probe sequences
+  // short even for adversarial inputs.
+  return static_cast<std::size_t>((hash * 0x9e3779b97f4a7c15ULL) >> 32) &
+         slot_mask_;
+}
+
+void PathTable::rehash(std::size_t capacity) {
+  slots_.assign(capacity, kEmptySlot);
+  slot_mask_ = capacity - 1;
+  for (PathId id = 0; id < meta_.size(); ++id) {
+    std::size_t slot = probe_start(meta_[id].hash);
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = id;
+  }
+}
+
 std::optional<PathId> PathTable::find(const AsPath& path) const noexcept {
-  const auto it = by_hash_.find(path.hash());
-  if (it == by_hash_.end()) return std::nullopt;
-  for (PathId id = it->second;; id = next_same_hash_[id]) {
-    if (equals(id, path)) return id;
-    if (next_same_hash_[id] == id) return std::nullopt;  // end of chain
+  if (slots_.empty()) return std::nullopt;
+  const std::uint64_t h = path.hash();
+  for (std::size_t slot = probe_start(h);; slot = (slot + 1) & slot_mask_) {
+    const PathId id = slots_[slot];
+    if (id == kEmptySlot) return std::nullopt;
+    if (meta_[id].hash == h && equals(id, path)) return id;
   }
 }
 
 PathId PathTable::intern(const AsPath& path) {
+  // Grow at 7/8 load so probe sequences stay short.
+  if (slots_.size() - meta_.size() <= slots_.size() / 8)
+    rehash(slots_.empty() ? 64 : slots_.size() * 2);
   const std::uint64_t h = path.hash();
-  const auto [it, inserted] = by_hash_.try_emplace(
-      h, static_cast<PathId>(meta_.size()));
-  if (!inserted) {
-    // Walk the collision chain; only structurally distinct paths sharing a
-    // hash fall through to a fresh id.
-    PathId id = it->second;
-    for (;;) {
-      if (equals(id, path)) return id;
-      if (next_same_hash_[id] == id) break;
-      id = next_same_hash_[id];
-    }
-    next_same_hash_[id] = static_cast<PathId>(meta_.size());
+  std::size_t slot = probe_start(h);
+  for (;; slot = (slot + 1) & slot_mask_) {
+    const PathId id = slots_[slot];
+    if (id == kEmptySlot) break;
+    if (meta_[id].hash == h && equals(id, path)) return id;
   }
+  slots_[slot] = static_cast<PathId>(meta_.size());
 
   Meta m;
   m.hash = h;
@@ -68,7 +84,6 @@ PathId PathTable::intern(const AsPath& path) {
 
   const PathId id = static_cast<PathId>(meta_.size());
   meta_.push_back(m);
-  next_same_hash_.push_back(id);  // self-link marks the chain end
   return id;
 }
 
@@ -131,17 +146,11 @@ AsPath PathTable::materialize(PathId id) const {
 }
 
 std::size_t PathTable::memory_bytes() const noexcept {
-  std::size_t bytes = asn_arena_.capacity() * sizeof(Asn) +
-                      seg_arena_.capacity() * sizeof(SegmentSpan) +
-                      uniq_arena_.capacity() * sizeof(Asn) +
-                      meta_.capacity() * sizeof(Meta) +
-                      next_same_hash_.capacity() * sizeof(PathId);
-  // Rough but stable model of the dedup map: one bucket pointer plus one
-  // node (key, value, next pointer) per entry.
-  bytes += by_hash_.bucket_count() * sizeof(void*);
-  bytes += by_hash_.size() *
-           (sizeof(std::uint64_t) + sizeof(PathId) + 2 * sizeof(void*));
-  return bytes;
+  return asn_arena_.capacity() * sizeof(Asn) +
+         seg_arena_.capacity() * sizeof(SegmentSpan) +
+         uniq_arena_.capacity() * sizeof(Asn) +
+         meta_.capacity() * sizeof(Meta) +
+         slots_.capacity() * sizeof(PathId);
 }
 
 std::vector<InternedTuple> intern_entries(PathTable& table,

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/aspath.hpp"
@@ -87,7 +86,7 @@ class PathTable {
 
   /// Bytes held by the arenas and per-path metadata (capacity, not size, so
   /// the figure matches what the allocator is actually charged for).  The
-  /// dedup map is included.  This is the "tuple storage" number the
+  /// dedup index is included.  This is the "tuple storage" number the
   /// observation-core bench reports against the legacy per-tuple AsPath
   /// copies (docs/PERFORMANCE.md).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
@@ -112,15 +111,26 @@ class PathTable {
   /// Structural equality between an interned path and a candidate.
   [[nodiscard]] bool equals(PathId id, const AsPath& path) const noexcept;
 
+  /// Grows the probe table to `capacity` slots (a power of two) and
+  /// re-seeds it from meta_.
+  void rehash(std::size_t capacity);
+  /// First probe slot for `hash` (finalizer over the FNV hash so nearby
+  /// hashes do not cluster in the table).
+  [[nodiscard]] std::size_t probe_start(std::uint64_t hash) const noexcept;
+
   std::vector<Asn> asn_arena_;          // all slots, path after path
   std::vector<SegmentSpan> seg_arena_;  // all segments, path after path
   std::vector<Asn> uniq_arena_;         // sorted unique ASNs, path after path
   std::vector<Meta> meta_;              // indexed by PathId
-  // hash -> head of the id chain with that hash; chains resolved through
-  // next_same_hash_ (parallel to meta_) so collisions cost one extra
-  // structural compare instead of a wrong merge.
-  std::unordered_map<std::uint64_t, PathId> by_hash_;
-  std::vector<PathId> next_same_hash_;
+  // Open-addressing dedup index: a flat power-of-two slot array holding
+  // PathIds (kEmptySlot marks free), probed linearly.  intern() is the
+  // hottest call in streaming ingest — one flat array beats a node-based
+  // map by keeping the whole probe sequence in one or two cache lines.
+  // Structurally distinct paths sharing a hash simply occupy separate
+  // slots (full equality is checked before a hit is returned).
+  static constexpr PathId kEmptySlot = 0xffffffffu;
+  std::vector<PathId> slots_;
+  std::size_t slot_mask_ = 0;
 };
 
 /// Expands RIB entries into interned tuples against `table`: each route's

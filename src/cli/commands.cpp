@@ -7,6 +7,7 @@
 
 #include "cli/args.hpp"
 #include "core/incremental.hpp"
+#include "core/ingest.hpp"
 #include "core/pipeline.hpp"
 #include "core/summarize.hpp"
 #include "dict/builtin.hpp"
@@ -20,6 +21,7 @@
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bgpintent::cli {
 
@@ -48,52 +50,127 @@ bool parse_decode_options(const Args& args, mrt::DecodeOptions& options) {
   return true;
 }
 
-/// Reads RIB entries from every listed MRT file under `options`, merging
-/// per-file decode reports.  On success prints the end-of-run decode
-/// summary to stderr; on failure prints the error and returns nullopt with
-/// `exit_code` set (kExitUsage / kExitData / kExitBudget).
-struct LoadedMrt {
-  std::vector<bgp::RibEntry> entries;
-  mrt::DecodeReport report;
+/// How MRT inputs are opened: try mmap then fall back (the default), demand
+/// mmap, or always read into memory.  `-` (stdin) is never mappable.
+enum class MmapMode { kAuto, kForce, kOff };
+
+/// Parses the shared --mmap/--no-mmap pair; nullopt means a usage error
+/// was already printed.
+std::optional<MmapMode> parse_mmap_mode(const Args& args) {
+  const bool force = args.flag("mmap");
+  const bool off = args.flag("no-mmap");
+  if (force && off) {
+    std::fprintf(stderr,
+                 "error: --mmap and --no-mmap are mutually exclusive\n");
+    return std::nullopt;
+  }
+  if (force) return MmapMode::kForce;
+  if (off) return MmapMode::kOff;
+  return MmapMode::kAuto;
+}
+
+/// One opened MRT input: the display name plus the byte source feeding the
+/// streaming decode (mmap-backed when eligible).
+struct MrtSource {
+  std::string name;
+  std::unique_ptr<mrt::ByteSource> source;
 };
-std::optional<LoadedMrt> load_mrt_files(const std::vector<std::string>& paths,
-                                        const mrt::DecodeOptions& options,
-                                        int& exit_code) {
+
+/// Opens every input operand as a ByteSource.  Regular files mmap under
+/// kAuto/kForce; `-` reads stdin; anything unmappable falls back to a
+/// buffered read with a stderr note (kAuto) or fails (kForce).  On failure
+/// prints the error and returns nullopt with `exit_code` set.
+std::optional<std::vector<MrtSource>> open_mrt_sources(
+    const std::vector<std::string>& paths, MmapMode mode, int& exit_code) {
   if (paths.empty()) {
     std::fprintf(stderr, "error: at least one MRT file required\n");
     exit_code = kExitUsage;
     return std::nullopt;
   }
-  LoadedMrt loaded;
+  std::vector<MrtSource> sources;
+  sources.reserve(paths.size());
   for (const std::string& path : paths) {
+    if (path == "-") {
+      // Buffered stdin is the expected default; only an explicit --mmap
+      // warrants telling the user it cannot be honored.
+      if (mode == MmapMode::kForce)
+        std::fprintf(stderr,
+                     "note: <stdin>: mmap unavailable, falling back to "
+                     "buffered read\n");
+      try {
+        sources.push_back({"<stdin>", std::make_unique<mrt::BufferSource>(
+                                          mrt::slurp_stream(std::cin))});
+      } catch (const mrt::MrtError& error) {
+        std::fprintf(stderr, "error: <stdin>: %s\n", error.what());
+        exit_code = kExitData;
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (mode != MmapMode::kOff) {
+      try {
+        sources.push_back({path, std::make_unique<mrt::MmapSource>(path)});
+        continue;
+      } catch (const mrt::MrtError& error) {
+        if (mode == MmapMode::kForce) {
+          std::fprintf(stderr, "error: %s\n", error.what());
+          exit_code = kExitData;
+          return std::nullopt;
+        }
+        // kAuto: fall through to the buffered read below, which reports
+        // its own failure if the path is flatly unreadable.
+      }
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
       exit_code = kExitData;
       return std::nullopt;
     }
-    mrt::DecodeReport file_report;
+    if (mode == MmapMode::kAuto)
+      std::fprintf(stderr,
+                   "note: %s: mmap unavailable, falling back to buffered "
+                   "read\n",
+                   path.c_str());
     try {
-      auto file_entries = mrt::read_rib_entries(in, options, &file_report);
-      loaded.entries.insert(loaded.entries.end(),
-                            std::make_move_iterator(file_entries.begin()),
-                            std::make_move_iterator(file_entries.end()));
-      loaded.report.merge(file_report);
-    } catch (const mrt::DecodeBudgetError& error) {
-      loaded.report.merge(file_report);
-      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
-      std::fprintf(stderr, "decode: %s\n", loaded.report.summary().c_str());
-      exit_code = kExitBudget;
-      return std::nullopt;
+      sources.push_back({path, std::make_unique<mrt::BufferSource>(
+                                   mrt::slurp_stream(in))});
     } catch (const mrt::MrtError& error) {
-      loaded.report.merge(file_report);
       std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
       exit_code = kExitData;
       return std::nullopt;
     }
   }
-  std::fprintf(stderr, "decode: %s\n", loaded.report.summary().c_str());
-  return loaded;
+  return sources;
+}
+
+/// Streams every opened source into `ingest` (chunk-parallel when `pool`
+/// is non-null; identical output either way), printing the per-file error
+/// lines and the end-of-run decode summary exactly as the materializing
+/// loader did.  False means the error was printed and `exit_code` set.
+bool ingest_sources(const std::vector<MrtSource>& sources,
+                    core::MrtIngest& ingest, util::ThreadPool* pool,
+                    int& exit_code) {
+  for (const MrtSource& src : sources) {
+    try {
+      if (pool != nullptr)
+        ingest.add_parallel(*src.source, *pool);
+      else
+        ingest.add(*src.source);
+    } catch (const mrt::DecodeBudgetError& error) {
+      std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(), error.what());
+      std::fprintf(stderr, "decode: %s\n",
+                   ingest.report().summary().c_str());
+      exit_code = kExitBudget;
+      return false;
+    } catch (const mrt::MrtError& error) {
+      std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(), error.what());
+      exit_code = kExitData;
+      return false;
+    }
+  }
+  std::fprintf(stderr, "decode: %s\n", ingest.report().summary().c_str());
+  return true;
 }
 
 std::optional<dict::DictionaryStore> load_dictionary(const std::string& path) {
@@ -139,7 +216,8 @@ int cmd_infer(int argc, char** argv) {
   const auto args = Args::parse(argc, argv, 2,
                                 {"gap", "threshold", "out", "summary",
                                  "threads", "max-errors", "max-error-frac"},
-                                {"no-siblings", "mean-ratios", "tolerant"});
+                                {"no-siblings", "mean-ratios", "tolerant",
+                                 "mmap", "no-mmap"});
   if (!args) return kExitUsage;
   const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
@@ -147,11 +225,13 @@ int cmd_infer(int argc, char** argv) {
   if (!gap || !threshold || !threads) return kExitUsage;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
+  const auto mmap_mode = parse_mmap_mode(*args);
+  if (!mmap_mode) return kExitUsage;
 
   int exit_code = kExitRuntime;
-  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
-  if (!loaded) return exit_code;
-  const auto& entries = loaded->entries;
+  const auto sources =
+      open_mrt_sources(args->positional(), *mmap_mode, exit_code);
+  if (!sources) return exit_code;
 
   core::PipelineConfig cfg;
   cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
@@ -160,13 +240,24 @@ int cmd_infer(int argc, char** argv) {
   cfg.observation.sibling_aware = !args->flag("no-siblings");
   cfg.threads = static_cast<unsigned>(*threads);
   cfg.decode = decode;
+
+  // Decoded rows stream straight into the interned core; no RibEntry
+  // vector is ever materialized (docs/PERFORMANCE.md).
+  core::MrtIngest ingest(decode);
+  {
+    std::optional<util::ThreadPool> pool;
+    if (util::ThreadPool::resolve(cfg.threads) > 1) pool.emplace(cfg.threads);
+    if (!ingest_sources(*sources, ingest, pool ? &*pool : nullptr, exit_code))
+      return exit_code;
+  }
   core::Pipeline pipeline(cfg);
-  const auto result = pipeline.run(entries);
+  const auto result = pipeline.run(ingest);
 
   std::fprintf(stderr,
                "%zu entries, %zu unique paths, %zu communities -> "
                "%zu information / %zu action / %zu excluded\n",
-               entries.size(), result.observations.unique_path_count(),
+               result.entries_ingested,
+               result.observations.unique_path_count(),
                result.observations.community_count(),
                result.inference.information_count,
                result.inference.action_count,
@@ -252,16 +343,50 @@ int cmd_simulate(int argc, char** argv) {
 int cmd_relationships(int argc, char** argv) {
   const auto args = Args::parse(argc, argv, 2,
                                 {"out", "max-errors", "max-error-frac"},
-                                {"tolerant"});
+                                {"tolerant", "mmap", "no-mmap"});
   if (!args) return kExitUsage;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
+  const auto mmap_mode = parse_mmap_mode(*args);
+  if (!mmap_mode) return kExitUsage;
   int exit_code = kExitRuntime;
-  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
-  if (!loaded) return exit_code;
+  const auto sources =
+      open_mrt_sources(args->positional(), *mmap_mode, exit_code);
+  if (!sources) return exit_code;
+
+  // Relationship inference wants one AsPath per decoded row; the sink
+  // steals it off the scratch, skipping the rest of the entry.
+  class PathSink final : public mrt::EntrySink {
+   public:
+    explicit PathSink(std::vector<bgp::AsPath>& paths) noexcept
+        : paths_(&paths) {}
+    void on_entry(bgp::RibEntry& entry) override {
+      paths_->push_back(std::move(entry.route.path));
+    }
+
+   private:
+    std::vector<bgp::AsPath>* paths_;
+  };
   std::vector<bgp::AsPath> paths;
-  paths.reserve(loaded->entries.size());
-  for (const auto& entry : loaded->entries) paths.push_back(entry.route.path);
+  PathSink sink(paths);
+  mrt::DecodeReport merged;
+  for (const MrtSource& src : *sources) {
+    mrt::DecodeReport file_report;
+    try {
+      mrt::decode_rib_stream(*src.source, sink, decode, &file_report);
+      merged.merge(file_report);
+    } catch (const mrt::DecodeBudgetError& error) {
+      merged.merge(file_report);
+      std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(), error.what());
+      std::fprintf(stderr, "decode: %s\n", merged.summary().c_str());
+      return kExitBudget;
+    } catch (const mrt::MrtError& error) {
+      merged.merge(file_report);
+      std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(), error.what());
+      return kExitData;
+    }
+  }
+  std::fprintf(stderr, "decode: %s\n", merged.summary().c_str());
   const auto dataset = rel::infer_relationships(paths);
   std::fprintf(stderr, "inferred %zu links: %zu p2c, %zu p2p\n",
                dataset.link_count(), dataset.p2c_count(), dataset.p2p_count());
@@ -275,7 +400,7 @@ int cmd_eval(int argc, char** argv) {
   const auto args = Args::parse(argc, argv, 2,
                                 {"dict", "gap", "threshold", "threads",
                                  "max-errors", "max-error-frac"},
-                                {"tolerant"});
+                                {"tolerant", "mmap", "no-mmap"});
   if (!args) return kExitUsage;
   const auto dict_path = args->value("dict");
   if (!dict_path) {
@@ -290,17 +415,27 @@ int cmd_eval(int argc, char** argv) {
   if (!gap || !threshold || !threads) return kExitUsage;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
+  const auto mmap_mode = parse_mmap_mode(*args);
+  if (!mmap_mode) return kExitUsage;
   int exit_code = kExitRuntime;
-  const auto loaded = load_mrt_files(args->positional(), decode, exit_code);
-  if (!loaded) return exit_code;
+  const auto sources =
+      open_mrt_sources(args->positional(), *mmap_mode, exit_code);
+  if (!sources) return exit_code;
 
   core::PipelineConfig cfg;
   cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
   cfg.classifier.ratio_threshold = *threshold;
   cfg.threads = static_cast<unsigned>(*threads);
   cfg.decode = decode;
+  core::MrtIngest ingest(decode);
+  {
+    std::optional<util::ThreadPool> pool;
+    if (util::ThreadPool::resolve(cfg.threads) > 1) pool.emplace(cfg.threads);
+    if (!ingest_sources(*sources, ingest, pool ? &*pool : nullptr, exit_code))
+      return exit_code;
+  }
   core::Pipeline pipeline(cfg);
-  const auto result = pipeline.run(loaded->entries);
+  const auto result = pipeline.run(ingest);
   const auto eval = result.score(*truth);
 
   util::TextTable table({"metric", "value"});
@@ -475,7 +610,7 @@ int cmd_serve(int argc, char** argv) {
       argc, argv, 2,
       {"listen", "port", "threads", "snapshot", "snapshot-interval",
        "read-timeout", "gap", "threshold", "max-errors", "max-error-frac"},
-      {"no-siblings", "mean-ratios", "tolerant"});
+      {"no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap"});
   if (!args) return 2;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
@@ -520,15 +655,38 @@ int cmd_serve(int argc, char** argv) {
   }
 
   if (!args->positional().empty()) {
+    const auto mmap_mode = parse_mmap_mode(*args);
+    if (!mmap_mode) return kExitUsage;
     int exit_code = kExitRuntime;
-    const auto loaded =
-        load_mrt_files(args->positional(), decode, exit_code);
-    if (!loaded) return exit_code;
-    classifier.ingest(loaded->entries);
-    classifier.record_decode_outcome(loaded->report.records_ok,
-                                     loaded->report.records_skipped);
+    const auto sources =
+        open_mrt_sources(args->positional(), *mmap_mode, exit_code);
+    if (!sources) return exit_code;
+    // Each source streams row-by-row into the classifier (ingest_mrt);
+    // decode counters fold in per file, exactly like the old batch path.
+    const std::size_t before = classifier.entries_ingested();
+    mrt::DecodeReport merged;
+    for (const MrtSource& src : *sources) {
+      mrt::DecodeReport file_report;
+      try {
+        classifier.ingest_mrt(*src.source, decode, &file_report);
+        merged.merge(file_report);
+      } catch (const mrt::DecodeBudgetError& error) {
+        merged.merge(file_report);
+        std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(),
+                     error.what());
+        std::fprintf(stderr, "decode: %s\n", merged.summary().c_str());
+        return kExitBudget;
+      } catch (const mrt::MrtError& error) {
+        merged.merge(file_report);
+        std::fprintf(stderr, "error: %s: %s\n", src.name.c_str(),
+                     error.what());
+        return kExitData;
+      }
+    }
+    std::fprintf(stderr, "decode: %s\n", merged.summary().c_str());
     std::fprintf(stderr, "primed with %zu RIB entries from %zu MRT files\n",
-                 loaded->entries.size(), args->positional().size());
+                 classifier.entries_ingested() - before,
+                 args->positional().size());
   }
 
   serve::ServerConfig cfg;
@@ -606,21 +764,27 @@ int cmd_help() {
       "\n"
       "commands:\n"
       "  infer <rib.mrt>...     classify communities from MRT input\n"
+      "      ('-' reads stdin; decoded rows stream straight into the\n"
+      "      interned core, files are mmap'd when possible)\n"
       "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
       "      [--out file.csv] [--summary file.dict]\n"
       "      [--threads N]      workers (0 = all cores, default; 1 = "
       "sequential)\n"
       "      [--tolerant]       skip malformed MRT records and resync\n"
       "      [--max-errors N] [--max-error-frac R]   tolerant error budget\n"
+      "      [--mmap | --no-mmap]   require or disable zero-copy file "
+      "maps\n"
       "  simulate               generate a synthetic collector RIB as MRT\n"
       "      [--seed N] [--tier1 N] [--tier2 N] [--stubs N]\n"
       "      [--vantage-points N] [--out rib.mrt] [--dict truth.dict]\n"
       "  relationships <mrt>... infer AS relationships (CAIDA serial-1)\n"
       "      [--out file] [--tolerant] [--max-errors N] "
       "[--max-error-frac R]\n"
+      "      [--mmap | --no-mmap]   ('-' reads stdin)\n"
       "  eval <rib.mrt>...      score against a ground-truth dictionary\n"
       "      --dict truth.dict [--gap N] [--threshold R] [--threads N]\n"
       "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
+      "      [--mmap | --no-mmap]   ('-' reads stdin)\n"
       "  annotate <a:b>...      explain community values [--dict file]\n"
       "  mrt-info <file>...     MRT record statistics\n"
       "  mrt-corrupt <in.mrt>   seeded fault injection into a valid MRT "
@@ -633,6 +797,7 @@ int cmd_help() {
       "      [--read-timeout MS] [--gap N] [--threshold R]\n"
       "      [--no-siblings] [--mean-ratios]\n"
       "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
+      "      [--mmap | --no-mmap]   ('-' reads stdin)\n"
       "  query <COMMAND>...     send one protocol command to a daemon\n"
       "      [--host ADDR] [--port N]   e.g.: query LABEL 1299:2569\n"
       "  help                   this text\n"

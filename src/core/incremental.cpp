@@ -4,6 +4,7 @@
 
 #include "bgp/asn.hpp"
 #include "core/clustering.hpp"
+#include "mrt/mrt_file.hpp"
 
 namespace bgpintent::core {
 
@@ -54,6 +55,30 @@ void IncrementalClassifier::ingest(const bgp::RibEntry& entry) {
 
 void IncrementalClassifier::ingest(std::span<const bgp::RibEntry> entries) {
   for (const bgp::RibEntry& entry : entries) ingest(entry);
+}
+
+void IncrementalClassifier::ingest_mrt(const mrt::ByteSource& source,
+                                       const mrt::DecodeOptions& options,
+                                       mrt::DecodeReport* report) {
+  class Sink final : public mrt::EntrySink {
+   public:
+    explicit Sink(IncrementalClassifier& self) noexcept : self_(&self) {}
+    void on_entry(bgp::RibEntry& entry) override { self_->ingest(entry); }
+
+   private:
+    IncrementalClassifier* self_;
+  };
+  Sink sink(*this);
+  mrt::DecodeReport local;
+  try {
+    mrt::decode_rib_stream(source, sink, options, &local);
+  } catch (...) {
+    record_decode_outcome(local.records_ok, local.records_skipped);
+    if (report) *report = std::move(local);
+    throw;
+  }
+  record_decode_outcome(local.records_ok, local.records_skipped);
+  if (report) *report = std::move(local);
 }
 
 bool IncrementalClassifier::alpha_on_any_path(std::uint16_t alpha) const {

@@ -27,6 +27,11 @@
 #include "bgp/path_table.hpp"
 #include "core/classifier.hpp"
 #include "core/observations.hpp"
+#include "mrt/decode.hpp"
+
+namespace bgpintent::mrt {
+class ByteSource;
+}
 
 namespace bgpintent::core {
 
@@ -55,6 +60,17 @@ class IncrementalClassifier {
   /// Ingests one RIB entry / update announcement.
   void ingest(const bgp::RibEntry& entry);
   void ingest(std::span<const bgp::RibEntry> entries);
+
+  /// Streams one MRT source straight into the accumulators: every decoded
+  /// row is ingested off the shared scratch without materializing a
+  /// RibEntry batch, and the decode outcome is folded into the decode
+  /// counters (record_decode_outcome) — including on throw, so rows
+  /// ingested before a budget trip keep their provenance.  When `report`
+  /// is non-null it receives the source's own DecodeReport (also on
+  /// throw, like mrt::decode_rib_stream).
+  void ingest_mrt(const mrt::ByteSource& source,
+                  const mrt::DecodeOptions& options = {},
+                  mrt::DecodeReport* report = nullptr);
 
   /// Current label of a community; reclassifies the owner lazily.
   [[nodiscard]] Intent label_of(Community community);

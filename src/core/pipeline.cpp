@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "core/ingest.hpp"
 #include "mrt/mrt_file.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,31 +45,65 @@ PipelineResult Pipeline::run(std::span<const bgp::RibEntry> entries) const {
   bgp::PathTable paths;
   const std::vector<bgp::InternedTuple> tuples =
       bgp::intern_entries(paths, entries);
-  if (util::ThreadPool::resolve(config_.threads) <= 1)
-    return run_interned(paths, tuples, nullptr);
-  util::ThreadPool pool(config_.threads);
-  return run_interned(paths, tuples, &pool);
+  PipelineResult result;
+  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+    result = run_interned(paths, tuples, nullptr);
+  } else {
+    util::ThreadPool pool(config_.threads);
+    result = run_interned(paths, tuples, &pool);
+  }
+  result.entries_ingested = entries.size();
+  return result;
+}
+
+PipelineResult Pipeline::run(const MrtIngest& ingest) const {
+  PipelineResult result;
+  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+    result = run_interned(ingest.paths(), ingest.tuples(), nullptr);
+  } else {
+    util::ThreadPool pool(config_.threads);
+    result = run_interned(ingest.paths(), ingest.tuples(), &pool);
+  }
+  result.decode_report = ingest.report();
+  result.entries_ingested = ingest.entries();
+  return result;
 }
 
 PipelineResult Pipeline::run_mrt(std::istream& in) const {
-  mrt::DecodeReport report;
+  MrtIngest ingest(config_.decode);
   if (util::ThreadPool::resolve(config_.threads) <= 1) {
-    const std::vector<bgp::RibEntry> entries =
-        mrt::read_rib_entries(in, config_.decode, &report);
-    PipelineResult result = run(entries);
-    result.decode_report = std::move(report);
+    ingest.add(in);
+    PipelineResult result = run_interned(ingest.paths(), ingest.tuples(),
+                                         nullptr);
+    result.decode_report = ingest.report();
+    result.entries_ingested = ingest.entries();
     return result;
   }
-  // One pool serves all three stages: chunked decode, sharded indexing,
-  // per-alpha classification.
+  // One pool serves all three stages: chunked decode+intern, sharded
+  // indexing, per-alpha classification.
   util::ThreadPool pool(config_.threads);
-  const std::vector<bgp::RibEntry> entries =
-      mrt::read_rib_entries_parallel(in, pool, config_.decode, &report);
-  bgp::PathTable paths;
-  const std::vector<bgp::InternedTuple> tuples =
-      bgp::intern_entries(paths, entries);
-  PipelineResult result = run_interned(paths, tuples, &pool);
-  result.decode_report = std::move(report);
+  ingest.add_parallel(in, pool);
+  PipelineResult result = run_interned(ingest.paths(), ingest.tuples(), &pool);
+  result.decode_report = ingest.report();
+  result.entries_ingested = ingest.entries();
+  return result;
+}
+
+PipelineResult Pipeline::run_mrt(const mrt::ByteSource& source) const {
+  MrtIngest ingest(config_.decode);
+  if (util::ThreadPool::resolve(config_.threads) <= 1) {
+    ingest.add(source);
+    PipelineResult result = run_interned(ingest.paths(), ingest.tuples(),
+                                         nullptr);
+    result.decode_report = ingest.report();
+    result.entries_ingested = ingest.entries();
+    return result;
+  }
+  util::ThreadPool pool(config_.threads);
+  ingest.add_parallel(source, pool);
+  PipelineResult result = run_interned(ingest.paths(), ingest.tuples(), &pool);
+  result.decode_report = ingest.report();
+  result.entries_ingested = ingest.entries();
   return result;
 }
 

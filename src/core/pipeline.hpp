@@ -17,7 +17,13 @@
 #include "core/observations.hpp"
 #include "mrt/decode.hpp"
 
+namespace bgpintent::mrt {
+class ByteSource;
+}
+
 namespace bgpintent::core {
+
+class MrtIngest;
 
 struct PipelineConfig {
   ObservationConfig observation;
@@ -40,6 +46,10 @@ struct PipelineResult {
   /// entry points): records decoded/skipped, resync histogram, captured
   /// errors.  Reports from multiple files can be merge()d by the caller.
   mrt::DecodeReport decode_report;
+  /// RIB rows that flowed into the run: decoded rows for the MRT entry
+  /// points (including rows without communities), entries.size() for the
+  /// RibEntry one, zero for the pre-extracted-tuple one.
+  std::size_t entries_ingested = 0;
 
   [[nodiscard]] Evaluation score(const dict::DictionaryStore& truth) const {
     return evaluate(observations, inference, truth);
@@ -75,7 +85,19 @@ class Pipeline {
   /// malformed input; tolerant decode skips damaged records and throws
   /// mrt::DecodeBudgetError only past the error budget.  The decode
   /// outcome lands in PipelineResult::decode_report.
+  ///
+  /// Both overloads stream decoded rows straight into the interned core
+  /// (core::MrtIngest): no RibEntry vector is ever materialized, so peak
+  /// memory follows unique paths + packed tuples, not total rows
+  /// (docs/PERFORMANCE.md).  The ByteSource overload additionally decodes
+  /// zero-copy out of an mmap'd file when the source is one.
   [[nodiscard]] PipelineResult run_mrt(std::istream& in) const;
+  [[nodiscard]] PipelineResult run_mrt(const mrt::ByteSource& source) const;
+
+  /// Runs the back half over an already-accumulated streaming ingest —
+  /// for callers that fed several sources into one MrtIngest.  The
+  /// ingest's merged decode report and row count carry into the result.
+  [[nodiscard]] PipelineResult run(const MrtIngest& ingest) const;
 
  private:
   /// Shared back half: interned tuples -> index -> labels.  `pool` null

@@ -102,6 +102,23 @@ void encode_path_attributes(ByteWriter& out, const PathAttributes& attrs) {
 PathAttributes decode_path_attributes(ByteReader& in, std::size_t length,
                                       bool asn16) {
   PathAttributes attrs;
+  decode_path_attributes(in, length, asn16, attrs);
+  return attrs;
+}
+
+void decode_path_attributes(ByteReader& in, std::size_t length, bool asn16,
+                            PathAttributes& attrs) {
+  attrs.origin = bgp::Origin::kIgp;
+  attrs.next_hop = 0;
+  attrs.med.reset();
+  attrs.local_pref.reset();
+  attrs.communities.clear();
+  attrs.ext_communities.clear();
+  attrs.large_communities.clear();
+  // Path segments are recycled slot by slot so their ASN buffers survive
+  // across records; `seg_used` is resized away at the end, which also
+  // clears the path when no AS_PATH attribute is present.
+  std::size_t seg_used = 0;
   ByteReader block = in.sub_reader(length);
   while (!block.exhausted()) {
     const std::uint8_t flags = block.get_u8();
@@ -118,20 +135,23 @@ PathAttributes decode_path_attributes(ByteReader& in, std::size_t length,
         break;
       }
       case kAttrAsPath: {
-        std::vector<bgp::PathSegment> segments;
+        std::vector<bgp::PathSegment>& segments =
+            attrs.as_path.mutable_segments();
+        seg_used = 0;  // a repeated AS_PATH attribute replaces the first
         while (!body.exhausted()) {
           const std::uint8_t seg_type = body.get_u8();
           if (seg_type != 1 && seg_type != 2)
             throw MrtError("bad AS_PATH segment type");
           const std::uint8_t count = body.get_u8();
-          bgp::PathSegment segment;
+          if (count == 0) continue;  // AsPath drops empty segments
+          if (seg_used == segments.size()) segments.emplace_back();
+          bgp::PathSegment& segment = segments[seg_used++];
           segment.type = static_cast<bgp::SegmentType>(seg_type);
+          segment.asns.clear();
           segment.asns.reserve(count);
           for (std::uint8_t i = 0; i < count; ++i)
             segment.asns.push_back(asn16 ? body.get_u16() : body.get_u32());
-          segments.push_back(std::move(segment));
         }
-        attrs.as_path = bgp::AsPath(std::move(segments));
         break;
       }
       case kAttrNextHop:
@@ -174,7 +194,7 @@ PathAttributes decode_path_attributes(ByteReader& in, std::size_t length,
         break;  // body already consumed via sub_reader
     }
   }
-  return attrs;
+  attrs.as_path.mutable_segments().resize(seg_used);
 }
 
 void encode_bgp_update(ByteWriter& out, const BgpUpdate& update) {

@@ -54,6 +54,14 @@ void encode_path_attributes(ByteWriter& out, const PathAttributes& attrs);
                                                     std::size_t length,
                                                     bool asn16 = false);
 
+/// In-place variant: fully (re)assigns `attrs`, reusing its heap buffers
+/// (path segments, community vectors).  A decode loop that keeps one
+/// PathAttributes scratch across records reaches a steady state where
+/// attribute parsing allocates nothing (docs/PERFORMANCE.md); the
+/// returning variant above simply wraps this with a fresh object.
+void decode_path_attributes(ByteReader& in, std::size_t length, bool asn16,
+                            PathAttributes& attrs);
+
 /// A decoded BGP UPDATE.
 struct BgpUpdate {
   std::vector<bgp::Prefix> withdrawn;

@@ -39,51 +39,9 @@ void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
   buf_[offset + 3] = static_cast<std::uint8_t>(v);
 }
 
-void ByteReader::require(std::size_t n) const {
-  if (remaining() < n)
-    throw MrtError("truncated record: need " + std::to_string(n) +
-                   " bytes, have " + std::to_string(remaining()));
-}
-
-std::uint8_t ByteReader::get_u8() {
-  require(1);
-  return data_[pos_++];
-}
-
-std::uint16_t ByteReader::get_u16() {
-  require(2);
-  const auto hi = static_cast<std::uint16_t>(data_[pos_]);
-  const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
-  pos_ += 2;
-  return static_cast<std::uint16_t>(hi << 8 | lo);
-}
-
-std::uint32_t ByteReader::get_u32() {
-  require(4);
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
-  return v;
-}
-
-std::uint64_t ByteReader::get_u64() {
-  const std::uint64_t hi = get_u32();
-  return hi << 32 | get_u32();
-}
-
-std::span<const std::uint8_t> ByteReader::get_bytes(std::size_t n) {
-  require(n);
-  auto view = data_.subspan(pos_, n);
-  pos_ += n;
-  return view;
-}
-
-ByteReader ByteReader::sub_reader(std::size_t n) {
-  return ByteReader(get_bytes(n));
-}
-
-void ByteReader::skip(std::size_t n) {
-  require(n);
-  pos_ += n;
+void ByteReader::fail(std::size_t n) const {
+  throw MrtError("truncated record: need " + std::to_string(n) +
+                 " bytes, have " + std::to_string(remaining()));
 }
 
 }  // namespace bgpintent::mrt

@@ -44,21 +44,48 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Reader accessors are defined inline: record decoding consumes wire
+/// data a few bytes at a time, so a cross-TU call per primitive would
+/// dominate the real work.  Only the throw path is out of line.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) noexcept
       : data_(data) {}
 
-  [[nodiscard]] std::uint8_t get_u8();
-  [[nodiscard]] std::uint16_t get_u16();
-  [[nodiscard]] std::uint32_t get_u32();
-  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::uint8_t get_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t get_u16() {
+    require(2);
+    const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+    const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<std::uint16_t>(hi << 8 | lo);
+  }
+  [[nodiscard]] std::uint32_t get_u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
+    return v;
+  }
+  [[nodiscard]] std::uint64_t get_u64() {
+    const std::uint64_t hi = get_u32();
+    return hi << 32 | get_u32();
+  }
 
   /// Consumes `n` bytes and returns a view of them.
-  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n);
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    require(n);
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
 
   /// Consumes `n` bytes and returns a sub-reader over them.
-  [[nodiscard]] ByteReader sub_reader(std::size_t n);
+  [[nodiscard]] ByteReader sub_reader(std::size_t n) {
+    return ByteReader(get_bytes(n));
+  }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
@@ -66,10 +93,16 @@ class ByteReader {
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
-  void skip(std::size_t n);
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
 
  private:
-  void require(std::size_t n) const;
+  void require(std::size_t n) const {
+    if (remaining() < n) [[unlikely]] fail(n);
+  }
+  [[noreturn]] void fail(std::size_t n) const;
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };

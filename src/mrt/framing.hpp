@@ -1,0 +1,184 @@
+// Record framing and per-record decoding, shared by every MRT reader.
+//
+// This is the layer underneath mrt_file.hpp's entry points: records are
+// framed as zero-copy views into a stable byte image (RecordView carries a
+// span, never an owned body), and each data record is decoded into one
+// reused scratch row that is handed to an EntrySink.  The materializing
+// readers (read_rib_entries*) are a sink that appends to a vector; the
+// streaming ingest path (core::MrtIngest, docs/PERFORMANCE.md) is a sink
+// that interns the path and appends a packed 8-byte tuple — both share the
+// framers and decode units here, so they cannot diverge.
+//
+// Two framers cover the two failure models:
+//
+//   StrictFramer    walks header->body->header and throws MrtError at the
+//                   first truncated/oversized record (historical strict
+//                   semantics).
+//   TolerantFramer  skips damage and resynchronizes on the next plausible
+//                   header, recording every failure into a DecodeReport
+//                   under an error budget (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "mrt/bgp_message.hpp"
+#include "mrt/decode.hpp"
+
+namespace bgpintent::mrt {
+
+// MRT record types / subtypes (RFC 6396 §4).
+inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+inline constexpr std::uint16_t kTypeBgp4mp = 16;
+inline constexpr std::uint16_t kSubtypeBgp4mpStateChange = 0;
+inline constexpr std::uint16_t kSubtypeBgp4mpMessageAs4 = 4;
+inline constexpr std::uint16_t kSubtypeBgp4mpStateChangeAs4 = 5;
+// Legacy TABLE_DUMP (RFC 6396 §4.2): one RIB row per record, 2-octet ASNs.
+inline constexpr std::uint16_t kTypeTableDump = 12;
+inline constexpr std::uint16_t kSubtypeTableDumpIpv4 = 1;
+
+/// Sanity bound on one record body, 16 MiB.
+inline constexpr std::size_t kMaxRecordSize = 1 << 24;
+
+/// Records per decode task in the parallel readers and the parallel
+/// streaming ingest: large enough to amortize scheduling, small enough to
+/// keep all workers busy on typical RIB chunk sizes.  One shared constant
+/// so chunk boundaries (and hence tolerant merge order) do not depend on
+/// which path framed the stream.
+inline constexpr std::size_t kChunkRecords = 64;
+
+/// One framed MRT record: header fields plus a borrowed view of the body.
+/// The view points into the framed image (mmap, owned buffer, or a
+/// reader's scratch) and is only valid while that image is.
+struct RecordView {
+  std::uint32_t timestamp = 0;
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::span<const std::uint8_t> body;
+};
+
+/// Consumer of streamed decode.  on_entry is called once per decoded RIB
+/// row / update announcement, in stream order.  `entry` is a scratch row
+/// reused across calls: it is fully (re)assigned before every call, it is
+/// only valid until on_entry returns, and the sink may move out of it —
+/// copy or steal whatever outlives the call.
+class EntrySink {
+ public:
+  virtual void on_entry(bgp::RibEntry& entry) = 0;
+
+ protected:
+  ~EntrySink() = default;
+};
+
+[[nodiscard]] inline bool is_peer_index_table(std::uint16_t type,
+                                              std::uint16_t subtype) noexcept {
+  return type == kTypeTableDumpV2 && subtype == kSubtypePeerIndexTable;
+}
+[[nodiscard]] inline bool is_peer_index_table(const RecordView& record) noexcept {
+  return is_peer_index_table(record.type, record.subtype);
+}
+
+/// Decodes a PEER_INDEX_TABLE body into a fresh peer table.
+[[nodiscard]] std::vector<bgp::VantagePointId> decode_peer_index_table(
+    const RecordView& record);
+
+/// Per-decode-loop scratch: the row handed to sinks plus the attribute
+/// block it is refilled from.  Both recycle their heap buffers across
+/// records, so a sink that does not move out of the row (the streaming
+/// ingest) reaches a steady state where decoding allocates nothing per
+/// record.  One instance per decode loop / worker thread.
+struct RowScratch {
+  bgp::RibEntry row;
+  PathAttributes attrs;
+};
+
+/// Decodes one non-PEER_INDEX_TABLE record, handing each contained entry
+/// to `sink` via `scratch`.  Pure function of (record, peer_table) — the
+/// per-record unit shared by all readers, and what makes chunked decoding
+/// safe: workers only ever read `peer_table` through an immutable
+/// snapshot.  Unknown record types are skipped.
+void decode_data_record(const RecordView& record,
+                        const std::vector<bgp::VantagePointId>& peer_table,
+                        EntrySink& sink, RowScratch& scratch);
+
+/// The resync plausibility test: type/subtype pairs real archives carry
+/// (RFC 6396 plus the deprecated BGP4MP_ET sibling) with a sane length.
+[[nodiscard]] bool plausible_record_header(std::uint16_t type,
+                                           std::uint16_t subtype,
+                                           std::uint32_t length) noexcept;
+
+/// Frames records off an in-memory MRT image with strict semantics: the
+/// first truncated header/body or oversized record throws MrtError, like
+/// MrtReader over an istream — but bodies come back as zero-copy views.
+class StrictFramer {
+ public:
+  explicit StrictFramer(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  /// Frames the next record; false at a clean end of data.
+  [[nodiscard]] bool next(RecordView& out);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Frames records off an in-memory MRT image, skipping and resynchronizing
+/// around framing damage (truncated headers, implausible or oversized
+/// records, length fields pointing past the image).  Framing failures are
+/// recorded into the shared report; the caller enforces the error budget.
+class TolerantFramer {
+ public:
+  struct Framed {
+    RecordView record;
+    std::uint64_t offset = 0;
+    std::uint64_t index = 0;
+  };
+
+  TolerantFramer(std::span<const std::uint8_t> data,
+                 const DecodeOptions& options, DecodeReport& report) noexcept
+      : data_(data), options_(&options), report_(&report) {}
+
+  /// Frames the next record; false at end of data.  Throws
+  /// DecodeBudgetError when framing failures alone exceed the budget.
+  [[nodiscard]] bool next(Framed& out);
+
+ private:
+  /// True when `end` is a credible record boundary: exact end of data, or
+  /// the start of another plausible header.
+  [[nodiscard]] bool chains_at(std::size_t end) const noexcept;
+
+  void check_budget() const;
+
+  void fail_and_resync(std::uint16_t type, std::uint16_t subtype,
+                       std::uint32_t length);
+
+  /// First offset >= `from` that looks like a record boundary: plausible
+  /// header whose body fits and that chains into end-of-data or another
+  /// plausible header.  The two-record lookahead makes false positives
+  /// inside record bodies require two chained coincidences.
+  [[nodiscard]] std::size_t scan_for_header(std::size_t from) const noexcept;
+
+  std::span<const std::uint8_t> data_;
+  const DecodeOptions* options_;
+  DecodeReport* report_;
+  std::size_t pos_ = 0;
+  std::uint64_t index_ = 0;
+};
+
+/// Body-decode failure bookkeeping shared by the sequential and chunked
+/// tolerant paths (identical accounting keeps their reports bit-equal).
+void record_body_failure(DecodeReport& report, const TolerantFramer::Framed& framed,
+                         const char* what);
+
+[[noreturn]] void throw_budget(DecodeReport& report);
+
+/// End-of-stream budget check: this is where the fractional budget (which
+/// needs the full-stream denominator) is enforced.
+void check_final_budget(DecodeReport& report, const DecodeOptions& options);
+
+}  // namespace bgpintent::mrt

@@ -9,14 +9,12 @@
 #include <map>
 #include <memory>
 #include <ostream>
-#include <sstream>
 
 namespace bgpintent::mrt {
 
 namespace {
 
-constexpr std::size_t kMaxRecordSize = 1 << 24;  // sanity bound, 16 MiB
-constexpr std::uint8_t kPeerTypeAs4 = 0x02;      // RFC 6396 §4.3.1
+constexpr std::uint8_t kPeerTypeAs4 = 0x02;  // RFC 6396 §4.3.1
 
 /// Builds the PEER_INDEX_TABLE body; returns peer -> index.
 std::map<bgp::VantagePointId, std::uint16_t> build_peer_table(
@@ -220,370 +218,109 @@ void MrtWriter::write_legacy_rib(const std::vector<bgp::RibEntry>& entries,
   }
 }
 
-bool MrtReader::next(MrtRecord& record) {
+bool MrtReader::read_record(std::uint32_t& timestamp, std::uint16_t& type,
+                            std::uint16_t& subtype,
+                            std::vector<std::uint8_t>& body) {
   std::uint8_t header[12];
   in_->read(reinterpret_cast<char*>(header), sizeof header);
   if (in_->gcount() == 0 && in_->eof()) return false;
   if (in_->gcount() != sizeof header)
     throw MrtError("truncated MRT header");
   ByteReader reader(header);
-  record.timestamp = reader.get_u32();
-  record.type = reader.get_u16();
-  record.subtype = reader.get_u16();
+  timestamp = reader.get_u32();
+  type = reader.get_u16();
+  subtype = reader.get_u16();
   const std::uint32_t length = reader.get_u32();
   if (length > kMaxRecordSize) throw MrtError("oversized MRT record");
-  record.body.resize(length);
-  in_->read(reinterpret_cast<char*>(record.body.data()), length);
+  body.resize(length);
+  in_->read(reinterpret_cast<char*>(body.data()), length);
   if (static_cast<std::uint32_t>(in_->gcount()) != length)
     throw MrtError("truncated MRT record body");
   return true;
 }
 
+bool MrtReader::next(MrtRecord& record) {
+  return read_record(record.timestamp, record.type, record.subtype,
+                     record.body);
+}
+
+bool MrtReader::next_view(RecordView& record) {
+  if (!read_record(record.timestamp, record.type, record.subtype, scratch_))
+    return false;
+  record.body = scratch_;
+  return true;
+}
+
 namespace {
 
-/// Decodes a PEER_INDEX_TABLE body into a fresh peer table.
-std::vector<bgp::VantagePointId> decode_peer_index_table(
-    const MrtRecord& record) {
-  std::vector<bgp::VantagePointId> peer_table;
-  ByteReader body(record.body);
-  body.skip(4);  // collector id
-  const std::uint16_t name_len = body.get_u16();
-  body.skip(name_len);
-  const std::uint16_t count = body.get_u16();
-  for (std::uint16_t i = 0; i < count; ++i) {
-    const std::uint8_t peer_type = body.get_u8();
-    if ((peer_type & 0x01) != 0)
-      throw MrtError("IPv6 peers not supported");
-    body.skip(4);  // BGP id
-    bgp::VantagePointId peer;
-    peer.address = body.get_u32();
-    peer.asn = (peer_type & kPeerTypeAs4) != 0
-                   ? body.get_u32()
-                   : body.get_u16();
-    peer_table.push_back(peer);
-  }
-  return peer_table;
-}
-
-/// Decodes one non-PEER_INDEX_TABLE record into `entries`.  Pure function
-/// of (record, peer_table) — the per-record unit shared by the sequential
-/// and parallel readers, and what makes chunked decoding safe: workers
-/// only ever read `peer_table` through an immutable snapshot.
-void decode_data_record(const MrtRecord& record,
-                        const std::vector<bgp::VantagePointId>& peer_table,
-                        std::vector<bgp::RibEntry>& entries) {
-  if (record.type == kTypeTableDumpV2 &&
-      record.subtype == kSubtypeRibIpv4Unicast) {
-    ByteReader body(record.body);
-    body.skip(4);  // sequence
-    const bgp::Prefix prefix = decode_nlri_prefix(body);
-    const std::uint16_t count = body.get_u16();
-    for (std::uint16_t i = 0; i < count; ++i) {
-      const std::uint16_t peer_idx = body.get_u16();
-      body.skip(4);  // originated time
-      const std::uint16_t attr_len = body.get_u16();
-      const PathAttributes attrs =
-          decode_path_attributes(body, attr_len);
-      if (peer_idx >= peer_table.size())
-        throw MrtError("peer index out of range");
-      bgp::RibEntry entry;
-      entry.vantage_point = peer_table[peer_idx];
-      entry.route.prefix = prefix;
-      entry.route.path = attrs.as_path;
-      entry.route.communities = attrs.communities;
-      entry.route.ext_communities = attrs.ext_communities;
-      entry.route.large_communities = attrs.large_communities;
-      entry.route.next_hop = attrs.next_hop;
-      entry.route.origin_attr = attrs.origin;
-      entry.route.med = attrs.med;
-      entry.route.local_pref = attrs.local_pref;
-      entries.push_back(std::move(entry));
-    }
-  } else if (record.type == kTypeTableDump &&
-             record.subtype == kSubtypeTableDumpIpv4) {
-    ByteReader body(record.body);
-    body.skip(2);  // view
-    body.skip(2);  // sequence
-    const std::uint32_t address = body.get_u32();
-    const std::uint8_t length = body.get_u8();
-    if (length > 32) throw MrtError("bad legacy prefix length");
-    body.skip(1);  // status
-    body.skip(4);  // originated time
-    bgp::RibEntry entry;
-    entry.vantage_point.address = body.get_u32();
-    entry.vantage_point.asn = body.get_u16();
-    const std::uint16_t attr_len = body.get_u16();
-    const PathAttributes attrs =
-        decode_path_attributes(body, attr_len, /*asn16=*/true);
-    entry.route.prefix = bgp::Prefix(address, length);
-    entry.route.path = attrs.as_path;
-    entry.route.communities = attrs.communities;
-    entry.route.ext_communities = attrs.ext_communities;
-    entry.route.large_communities = attrs.large_communities;
-    entry.route.next_hop = attrs.next_hop;
-    entry.route.origin_attr = attrs.origin;
-    entry.route.med = attrs.med;
-    entry.route.local_pref = attrs.local_pref;
-    entries.push_back(std::move(entry));
-  } else if (record.type == kTypeBgp4mp &&
-             (record.subtype == kSubtypeBgp4mpStateChange ||
-              record.subtype == kSubtypeBgp4mpStateChangeAs4)) {
-    // Session state transitions carry no routes; skipped by design.
-  } else if (record.type == kTypeBgp4mp &&
-             record.subtype == kSubtypeBgp4mpMessageAs4) {
-    ByteReader body(record.body);
-    bgp::VantagePointId peer;
-    peer.asn = body.get_u32();
-    body.skip(4);  // local AS
-    body.skip(2);  // interface
-    const std::uint16_t afi = body.get_u16();
-    if (afi != 1) return;  // IPv4 only
-    peer.address = body.get_u32();
-    body.skip(4);  // local IP
-    const BgpUpdate update = decode_bgp_message(body);
-    for (const bgp::Prefix& prefix : update.announced) {
-      bgp::RibEntry entry;
-      entry.vantage_point = peer;
-      entry.route.prefix = prefix;
-      entry.route.path = update.attrs.as_path;
-      entry.route.communities = update.attrs.communities;
-      entry.route.ext_communities = update.attrs.ext_communities;
-      entry.route.large_communities = update.attrs.large_communities;
-      entry.route.next_hop = update.attrs.next_hop;
-      entry.route.origin_attr = update.attrs.origin;
-      entry.route.med = update.attrs.med;
-      entry.route.local_pref = update.attrs.local_pref;
-      entries.push_back(std::move(entry));
-    }
-  }
-  // Other record types: skipped.
-}
-
-bool is_peer_index_table(const MrtRecord& record) noexcept {
-  return record.type == kTypeTableDumpV2 &&
-         record.subtype == kSubtypePeerIndexTable;
-}
-
-// --- tolerant framing ---------------------------------------------------
-
-[[nodiscard]] std::uint16_t peek_u16(std::span<const std::uint8_t> data,
-                                     std::size_t pos) noexcept {
-  return static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
-}
-
-[[nodiscard]] std::uint32_t peek_u32(std::span<const std::uint8_t> data,
-                                     std::size_t pos) noexcept {
-  return (static_cast<std::uint32_t>(data[pos]) << 24) |
-         (static_cast<std::uint32_t>(data[pos + 1]) << 16) |
-         (static_cast<std::uint32_t>(data[pos + 2]) << 8) |
-         static_cast<std::uint32_t>(data[pos + 3]);
-}
-
-/// The resync plausibility test: type/subtype pairs real archives carry
-/// (RFC 6396 plus the deprecated BGP4MP_ET sibling) with a sane length.
-/// Deliberately broader than what decode_data_record understands — unknown-
-/// but-standard records frame fine and are skipped, exactly as in strict
-/// mode; anything outside this set is indistinguishable from garbage
-/// without trusting a possibly-corrupt length field.
-[[nodiscard]] bool plausible_record_header(std::uint16_t type,
-                                           std::uint16_t subtype,
-                                           std::uint32_t length) noexcept {
-  constexpr std::uint16_t kTypeBgp4mpEt = 17;
-  if (length > kMaxRecordSize) return false;
-  switch (type) {
-    case kTypeTableDump:
-      return subtype >= 1 && subtype <= 2;  // IPv4 / IPv6 rows
-    case kTypeTableDumpV2:
-      return subtype >= 1 && subtype <= 6;  // peer table .. RIB_GENERIC
-    case kTypeBgp4mp:
-    case kTypeBgp4mpEt:
-      return subtype <= 11;
-    default:
-      return false;
-  }
-}
-
-/// Frames records off an in-memory MRT image, skipping and resynchronizing
-/// around framing damage (truncated headers, implausible or oversized
-/// records, length fields pointing past the image).  Framing failures are
-/// recorded into the shared report; the caller enforces the error budget.
-class TolerantFramer {
+/// The materializing sink: appends each scratch row to a vector, exactly
+/// what the historical readers produced (one RibEntry allocation per row).
+class VectorSink final : public EntrySink {
  public:
-  struct Framed {
-    MrtRecord record;
-    std::uint64_t offset = 0;
-    std::uint64_t index = 0;
-  };
+  explicit VectorSink(std::vector<bgp::RibEntry>& out) noexcept : out_(&out) {}
 
-  TolerantFramer(std::span<const std::uint8_t> data,
-                 const DecodeOptions& options, DecodeReport& report) noexcept
-      : data_(data), options_(&options), report_(&report) {}
-
-  /// Frames the next record; false at end of data.  Throws
-  /// DecodeBudgetError when framing failures alone exceed the budget.
-  [[nodiscard]] bool next(Framed& out) {
-    for (;;) {
-      if (pos_ >= data_.size()) return false;
-      const std::size_t remaining = data_.size() - pos_;
-      if (remaining < 12) {
-        report_->add_error({pos_, index_++, 0, "truncated MRT header"});
-        report_->bytes_skipped += remaining;
-        pos_ = data_.size();
-        check_budget();
-        return false;
-      }
-      const std::uint16_t type = peek_u16(data_, pos_ + 4);
-      const std::uint16_t subtype = peek_u16(data_, pos_ + 6);
-      const std::uint32_t length = peek_u32(data_, pos_ + 8);
-      if (!plausible_record_header(type, subtype, length) ||
-          pos_ + 12 + length > data_.size()) {
-        fail_and_resync(type, subtype, length);
-        check_budget();
-        continue;
-      }
-      const std::size_t end = pos_ + 12 + length;
-      if (!chains_at(end)) {
-        // The claimed end does not land on a record boundary.  Either this
-        // record's length field lies (a splice tore bytes out, or the
-        // length was rewritten) or the *next* record's header is damaged.
-        // A plausible boundary strictly inside the claimed body settles
-        // it: the length lied — reject this record and resync there, which
-        // is what rescues the shifted-but-intact records after a splice.
-        // Otherwise trust this record; the next call handles the damage.
-        const std::size_t rescue = scan_for_header(pos_ + 1);
-        if (rescue < end) {
-          report_->add_error({pos_, index_++, length,
-                              "MRT record length overruns next record"});
-          report_->bytes_skipped += rescue - pos_;
-          report_->add_resync(rescue - pos_);
-          pos_ = rescue;
-          check_budget();
-          continue;
-        }
-      }
-      out.record.timestamp = peek_u32(data_, pos_);
-      out.record.type = type;
-      out.record.subtype = subtype;
-      out.record.body.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_ + 12),
-                             data_.begin() +
-                                 static_cast<std::ptrdiff_t>(pos_ + 12 + length));
-      out.offset = pos_;
-      out.index = index_++;
-      pos_ += 12 + length;
-      return true;
-    }
+  void on_entry(bgp::RibEntry& entry) override {
+    out_->push_back(std::move(entry));
   }
 
  private:
-  /// True when `end` is a credible record boundary: exact end of data, or
-  /// the start of another plausible header.
-  [[nodiscard]] bool chains_at(std::size_t end) const noexcept {
-    if (end == data_.size()) return true;
-    return end + 12 <= data_.size() &&
-           plausible_record_header(peek_u16(data_, end + 4),
-                                   peek_u16(data_, end + 6),
-                                   peek_u32(data_, end + 8));
-  }
-
-  void check_budget() const {
-    if (report_->over_budget(*options_)) {
-      report_->budget_exhausted = true;
-      throw DecodeBudgetError(
-          "MRT decode error budget exceeded (" + report_->summary() + ")",
-          *report_);
-    }
-  }
-
-  void fail_and_resync(std::uint16_t type, std::uint16_t subtype,
-                       std::uint32_t length) {
-    const char* reason;
-    if (length > kMaxRecordSize) {
-      reason = "oversized MRT record";
-    } else if (!plausible_record_header(type, subtype, length)) {
-      reason = "implausible MRT record header";
-    } else {
-      reason = "truncated MRT record body";
-    }
-    report_->add_error({pos_, index_++, length, reason});
-    const std::size_t next = scan_for_header(pos_ + 1);
-    report_->bytes_skipped += next - pos_;
-    report_->add_resync(next - pos_);
-    pos_ = next;
-  }
-
-  /// First offset >= `from` that looks like a record boundary: plausible
-  /// header whose body fits and that chains into end-of-data or another
-  /// plausible header.  The two-record lookahead makes false positives
-  /// inside record bodies require two chained coincidences.
-  [[nodiscard]] std::size_t scan_for_header(std::size_t from) const noexcept {
-    for (std::size_t pos = from; pos + 12 <= data_.size(); ++pos) {
-      const std::uint32_t length = peek_u32(data_, pos + 8);
-      if (!plausible_record_header(peek_u16(data_, pos + 4),
-                                   peek_u16(data_, pos + 6), length))
-        continue;
-      const std::size_t end = pos + 12 + length;
-      if (end > data_.size()) continue;
-      if (end == data_.size()) return pos;
-      if (end + 12 <= data_.size() &&
-          plausible_record_header(peek_u16(data_, end + 4),
-                                  peek_u16(data_, end + 6),
-                                  peek_u32(data_, end + 8)))
-        return pos;
-    }
-    return data_.size();
-  }
-
-  std::span<const std::uint8_t> data_;
-  const DecodeOptions* options_;
-  DecodeReport* report_;
-  std::size_t pos_ = 0;
-  std::uint64_t index_ = 0;
+  std::vector<bgp::RibEntry>* out_;
 };
 
-/// Body-decode failure bookkeeping shared by the sequential and chunked
-/// tolerant paths (identical accounting keeps their reports bit-equal).
-void record_body_failure(DecodeReport& report, const TolerantFramer::Framed& framed,
-                         const char* what) {
-  report.add_error({framed.offset, framed.index,
-                    static_cast<std::uint32_t>(framed.record.body.size()),
-                    what});
-  report.bytes_skipped += 12 + framed.record.body.size();
+[[nodiscard]] RecordView as_view(const MrtRecord& record) noexcept {
+  return RecordView{record.timestamp, record.type, record.subtype,
+                    record.body};
 }
 
-[[noreturn]] void throw_budget(DecodeReport& report) {
-  report.budget_exhausted = true;
-  throw DecodeBudgetError(
-      "MRT decode error budget exceeded (" + report.summary() + ")", report);
+/// Strict decode of one istream, record by record through the reader's
+/// scratch body — bounded memory regardless of stream length.
+void decode_strict_stream(std::istream& in, EntrySink& sink,
+                          DecodeReport& report) {
+  std::vector<bgp::VantagePointId> peer_table;
+  MrtReader reader(in);
+  RecordView record;
+  RowScratch scratch;
+  while (reader.next_view(record)) {
+    if (is_peer_index_table(record))
+      peer_table = decode_peer_index_table(record);
+    else
+      decode_data_record(record, peer_table, sink, scratch);
+    ++report.records_ok;
+  }
 }
 
-/// End-of-stream budget check: this is where the fractional budget (which
-/// needs the full-stream denominator) is enforced.
-void check_final_budget(DecodeReport& report, const DecodeOptions& options) {
-  if (report.over_final_budget(options)) throw_budget(report);
+/// Strict decode of one in-memory image: zero-copy framing, same errors
+/// and counters as decode_strict_stream.
+void decode_strict_image(std::span<const std::uint8_t> data, EntrySink& sink,
+                         DecodeReport& report) {
+  std::vector<bgp::VantagePointId> peer_table;
+  StrictFramer framer(data);
+  RecordView record;
+  RowScratch scratch;
+  while (framer.next(record)) {
+    if (is_peer_index_table(record))
+      peer_table = decode_peer_index_table(record);
+    else
+      decode_data_record(record, peer_table, sink, scratch);
+    ++report.records_ok;
+  }
 }
 
-[[nodiscard]] std::vector<std::uint8_t> slurp(std::istream& in) {
-  std::vector<std::uint8_t> bytes;
-  char buffer[64 * 1024];
-  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
-    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
-  if (in.bad()) throw MrtError("failed to read MRT stream");
-  return bytes;
-}
-
-std::vector<bgp::RibEntry> read_rib_entries_tolerant(
-    std::span<const std::uint8_t> data, const DecodeOptions& options,
-    DecodeReport& report) {
-  std::vector<bgp::RibEntry> entries;
+/// Tolerant decode of one in-memory image.  Rows decoded before a
+/// mid-record failure stay emitted (matching the historical materializing
+/// reader, which appended as it went).
+void decode_tolerant_image(std::span<const std::uint8_t> data, EntrySink& sink,
+                           const DecodeOptions& options, DecodeReport& report) {
   std::vector<bgp::VantagePointId> peer_table;
   TolerantFramer framer(data, options, report);
   TolerantFramer::Framed framed;
+  RowScratch scratch;
   while (framer.next(framed)) {
     try {
       if (is_peer_index_table(framed.record))
         peer_table = decode_peer_index_table(framed.record);
       else
-        decode_data_record(framed.record, peer_table, entries);
+        decode_data_record(framed.record, peer_table, sink, scratch);
       ++report.records_ok;
     } catch (const MrtError& error) {
       record_body_failure(report, framed, error.what());
@@ -591,14 +328,15 @@ std::vector<bgp::RibEntry> read_rib_entries_tolerant(
     }
   }
   check_final_budget(report, options);
-  return entries;
 }
 
-// Records per decode task: large enough to amortize scheduling, small
-// enough to keep all workers busy on typical RIB chunk sizes.  Shared by
-// the strict and tolerant parallel readers so chunk boundaries (and hence
-// tolerant merge order) do not depend on which path framed the stream.
-constexpr std::size_t kChunkRecords = 64;
+void decode_image(std::span<const std::uint8_t> data, EntrySink& sink,
+                  const DecodeOptions& options, DecodeReport& report) {
+  if (options.tolerant())
+    decode_tolerant_image(data, sink, options, report);
+  else
+    decode_strict_image(data, sink, report);
+}
 
 /// Tolerant twin of the strict parallel reader below: the calling thread
 /// frames with TolerantFramer (identical resync decisions to the
@@ -607,6 +345,9 @@ constexpr std::size_t kChunkRecords = 64;
 /// `report` in submission order.  On a budget trip every in-flight chunk
 /// is drained before DecodeBudgetError is raised, so sibling futures are
 /// never abandoned and the final report is complete.
+///
+/// Framed bodies are zero-copy views into `data`, which must stay alive
+/// until this returns (it always drains in-flight chunks before then).
 std::vector<bgp::RibEntry> read_rib_entries_parallel_tolerant(
     std::span<const std::uint8_t> data, util::ThreadPool& pool,
     const DecodeOptions& options, DecodeReport& report) {
@@ -637,9 +378,11 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel_tolerant(
     in_flight.push_back(
         pool.submit([frames = std::move(frames), snapshot = peers]() {
           ChunkOutcome outcome;
+          VectorSink sink(outcome.entries);
+          RowScratch scratch;
           for (const TolerantFramer::Framed& framed : frames) {
             try {
-              decode_data_record(framed.record, *snapshot, outcome.entries);
+              decode_data_record(framed.record, *snapshot, sink, scratch);
               ++outcome.report.records_ok;
             } catch (const MrtError& error) {
               record_body_failure(outcome.report, framed, error.what());
@@ -672,7 +415,7 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel_tolerant(
         }
         continue;
       }
-      batch.push_back(std::move(framed));
+      batch.push_back(framed);
       if (batch.size() >= kChunkRecords) {
         submit_chunk(std::move(batch));
         batch = {};
@@ -713,8 +456,10 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel_strict(
     in_flight.push_back(
         pool.submit([records = std::move(records), snapshot = peers]() {
           std::vector<bgp::RibEntry> decoded;
+          VectorSink sink(decoded);
+          RowScratch scratch;
           for (const MrtRecord& record : records)
-            decode_data_record(record, *snapshot, decoded);
+            decode_data_record(as_view(record), *snapshot, sink, scratch);
           return decoded;
         }));
     while (in_flight.size() >= max_in_flight) drain_front();
@@ -725,7 +470,7 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel_strict(
   std::vector<MrtRecord> batch;
   while (reader.next(record)) {
     ++report.records_ok;
-    if (is_peer_index_table(record)) {
+    if (is_peer_index_table(record.type, record.subtype)) {
       // Peer-table switch: flush so no chunk spans two tables, then
       // publish a fresh immutable snapshot for subsequent chunks.
       if (!batch.empty()) {
@@ -733,7 +478,7 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel_strict(
         batch = {};
       }
       peers = std::make_shared<const std::vector<bgp::VantagePointId>>(
-          decode_peer_index_table(record));
+          decode_peer_index_table(as_view(record)));
       continue;
     }
     batch.push_back(std::move(record));
@@ -757,30 +502,10 @@ std::vector<bgp::RibEntry> read_rib_entries(std::istream& in) {
 std::vector<bgp::RibEntry> read_rib_entries(std::istream& in,
                                             const DecodeOptions& options,
                                             DecodeReport* report) {
-  DecodeReport local;
-  try {
-    std::vector<bgp::RibEntry> entries;
-    if (options.tolerant()) {
-      const std::vector<std::uint8_t> bytes = slurp(in);
-      entries = read_rib_entries_tolerant(bytes, options, local);
-    } else {
-      std::vector<bgp::VantagePointId> peer_table;
-      MrtReader reader(in);
-      MrtRecord record;
-      while (reader.next(record)) {
-        if (is_peer_index_table(record))
-          peer_table = decode_peer_index_table(record);
-        else
-          decode_data_record(record, peer_table, entries);
-        ++local.records_ok;
-      }
-    }
-    if (report) *report = std::move(local);
-    return entries;
-  } catch (...) {
-    if (report) *report = std::move(local);
-    throw;
-  }
+  std::vector<bgp::RibEntry> entries;
+  VectorSink sink(entries);
+  decode_rib_stream(in, sink, options, report);
+  return entries;
 }
 
 std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
@@ -796,7 +521,7 @@ std::vector<bgp::RibEntry> read_rib_entries_parallel(std::istream& in,
   try {
     std::vector<bgp::RibEntry> entries;
     if (options.tolerant()) {
-      const std::vector<std::uint8_t> bytes = slurp(in);
+      const std::vector<std::uint8_t> bytes = slurp_stream(in);
       entries = read_rib_entries_parallel_tolerant(bytes, pool, options, local);
     } else {
       entries = read_rib_entries_parallel_strict(in, pool, local);
@@ -818,23 +543,47 @@ std::vector<bgp::RibEntry> read_rib_entries(
 std::vector<bgp::RibEntry> read_rib_entries(std::span<const std::uint8_t> bytes,
                                             const DecodeOptions& options,
                                             DecodeReport* report) {
-  if (options.tolerant()) {
-    DecodeReport local;
-    try {
-      std::vector<bgp::RibEntry> entries =
-          read_rib_entries_tolerant(bytes, options, local);
-      if (report) *report = std::move(local);
-      return entries;
-    } catch (...) {
-      if (report) *report = std::move(local);
-      throw;
-    }
+  std::vector<bgp::RibEntry> entries;
+  VectorSink sink(entries);
+  DecodeReport local;
+  try {
+    decode_image(bytes, sink, options, local);
+    if (report) *report = std::move(local);
+    return entries;
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
   }
-  std::istringstream in(
-      bytes.empty() ? std::string()
-                    : std::string(reinterpret_cast<const char*>(bytes.data()),
-                                  bytes.size()));
-  return read_rib_entries(in, options, report);
+}
+
+void decode_rib_stream(const ByteSource& source, EntrySink& sink,
+                       const DecodeOptions& options, DecodeReport* report) {
+  DecodeReport local;
+  try {
+    decode_image(source.data(), sink, options, local);
+    if (report) *report = std::move(local);
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
+}
+
+void decode_rib_stream(std::istream& in, EntrySink& sink,
+                       const DecodeOptions& options, DecodeReport* report) {
+  if (options.tolerant()) {
+    // Resync needs random access to the whole image; buffer first.
+    const BufferSource source(slurp_stream(in));
+    decode_rib_stream(source, sink, options, report);
+    return;
+  }
+  DecodeReport local;
+  try {
+    decode_strict_stream(in, sink, local);
+    if (report) *report = std::move(local);
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
 }
 
 }  // namespace bgpintent::mrt

@@ -19,24 +19,14 @@
 #include "bgp/route.hpp"
 #include "mrt/bgp_message.hpp"
 #include "mrt/decode.hpp"
+#include "mrt/framing.hpp"
+#include "mrt/source.hpp"
 
 namespace bgpintent::util {
 class ThreadPool;
 }
 
 namespace bgpintent::mrt {
-
-// MRT record types / subtypes (RFC 6396 §4).
-inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
-inline constexpr std::uint16_t kSubtypePeerIndexTable = 1;
-inline constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
-inline constexpr std::uint16_t kTypeBgp4mp = 16;
-inline constexpr std::uint16_t kSubtypeBgp4mpStateChange = 0;
-inline constexpr std::uint16_t kSubtypeBgp4mpMessageAs4 = 4;
-inline constexpr std::uint16_t kSubtypeBgp4mpStateChangeAs4 = 5;
-// Legacy TABLE_DUMP (RFC 6396 §4.2): one RIB row per record, 2-octet ASNs.
-inline constexpr std::uint16_t kTypeTableDump = 12;
-inline constexpr std::uint16_t kSubtypeTableDumpIpv4 = 1;
 
 /// One raw MRT record (header fields + undecoded body).
 struct MrtRecord {
@@ -90,8 +80,21 @@ class MrtReader {
   /// on a truncated or oversized record.
   [[nodiscard]] bool next(MrtRecord& record);
 
+  /// Like next(), but the body lands in one reader-owned scratch buffer
+  /// reused across calls instead of a per-record allocation — the hot
+  /// sequential path for streaming decode off a pipe.  The view is only
+  /// valid until the next next_view() call on this reader.
+  [[nodiscard]] bool next_view(RecordView& record);
+
  private:
+  /// Reads one 12-byte header + body into `body` (resized in place);
+  /// false at a clean EOF.
+  [[nodiscard]] bool read_record(std::uint32_t& timestamp, std::uint16_t& type,
+                                 std::uint16_t& subtype,
+                                 std::vector<std::uint8_t>& body);
+
   std::istream* in_;
+  std::vector<std::uint8_t> scratch_;
 };
 
 /// Reads a whole MRT stream back into RIB entries: RIB snapshot records are
@@ -148,5 +151,24 @@ class MrtReader {
 [[nodiscard]] std::vector<bgp::RibEntry> read_rib_entries_parallel(
     std::istream& in, util::ThreadPool& pool, const DecodeOptions& options,
     DecodeReport* report = nullptr);
+
+/// Streaming decode: hands every decoded entry to `sink` (one reused
+/// scratch row, stream order) without materializing a RibEntry vector —
+/// the entry point behind core::MrtIngest and the incremental classifier's
+/// MRT ingest (docs/PERFORMANCE.md).  Record bodies are parsed as
+/// zero-copy views into the source image.  Strict/tolerant semantics,
+/// error budgets, and the DecodeReport outcome (also written on throw)
+/// match read_rib_entries exactly.
+void decode_rib_stream(const ByteSource& source, EntrySink& sink,
+                       const DecodeOptions& options = {},
+                       DecodeReport* report = nullptr);
+
+/// istream variant: strict mode streams record-by-record through one
+/// scratch body buffer (bounded memory on arbitrarily long pipes);
+/// tolerant mode buffers the stream first, because resync needs to scan
+/// the image at arbitrary offsets.
+void decode_rib_stream(std::istream& in, EntrySink& sink,
+                       const DecodeOptions& options = {},
+                       DecodeReport* report = nullptr);
 
 }  // namespace bgpintent::mrt

@@ -1,0 +1,82 @@
+#include "mrt/source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+
+#include "mrt/buffer.hpp"
+
+namespace bgpintent::mrt {
+
+namespace {
+
+/// RAII fd so every early throw below closes the descriptor.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+[[noreturn]] void throw_errno(const std::string& path, const char* what) {
+  throw MrtError(path + ": " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapSource::MmapSource(const std::string& path) {
+  Fd file;
+  file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd < 0) throw_errno(path, "cannot open");
+  struct stat st {};
+  if (::fstat(file.fd, &st) != 0) throw_errno(path, "cannot stat");
+  if (!S_ISREG(st.st_mode))
+    throw MrtError(path + ": not a regular file (cannot mmap)");
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) return;  // mmap(len=0) is EINVAL; an empty span is fine
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, file.fd, 0);
+  if (map == MAP_FAILED) {
+    size_ = 0;
+    throw_errno(path, "cannot mmap");
+  }
+  map_ = map;
+  // Decode walks the image front to back; tell the kernel to read ahead.
+  ::madvise(map_, size_, MADV_SEQUENTIAL);
+}
+
+MmapSource::~MmapSource() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+}
+
+std::unique_ptr<ByteSource> open_source(const std::string& path,
+                                        bool allow_mmap) {
+  if (allow_mmap) {
+    try {
+      return std::make_unique<MmapSource>(path);
+    } catch (const MrtError&) {
+      // Not mappable (fifo, special file, odd filesystem) — fall through
+      // to the buffered read, which reports its own failure if the path
+      // is flatly unreadable.
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw MrtError(path + ": cannot open");
+  return std::make_unique<BufferSource>(slurp_stream(in));
+}
+
+std::vector<std::uint8_t> slurp_stream(std::istream& in) {
+  std::vector<std::uint8_t> bytes;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
+    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
+  if (in.bad()) throw MrtError("failed to read MRT stream");
+  return bytes;
+}
+
+}  // namespace bgpintent::mrt

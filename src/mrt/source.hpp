@@ -1,0 +1,89 @@
+// Byte sources for MRT decoding: one contiguous read-only view of a whole
+// stream plus whatever ownership keeps that view alive.
+//
+// The streaming ingest path (docs/PERFORMANCE.md) parses record bodies as
+// zero-copy spans out of the source image instead of per-record vector
+// copies, so the only question left is where the image lives:
+//
+//   MmapSource    maps a regular file; the kernel pages bytes in on
+//                 demand and the decode never copies them.
+//   BufferSource  owns a heap copy — the fallback for pipes, stdin, and
+//                 istreams, and for filesystems where mmap fails.
+//
+// open_source() picks between them for a path; slurp_stream() buffers an
+// istream for BufferSource.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bgpintent::mrt {
+
+/// A whole MRT stream as one contiguous byte view.  The view stays valid
+/// for the lifetime of the source object; decoders may hand out spans into
+/// it (record bodies, tolerant-framer views) that must not outlive it.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  [[nodiscard]] virtual std::span<const std::uint8_t> data() const noexcept = 0;
+
+  /// True when data() views file pages directly (mmap) rather than an
+  /// owned heap copy.
+  [[nodiscard]] virtual bool zero_copy() const noexcept { return false; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data().size(); }
+};
+
+/// Owns its bytes; the fallback for pipes, stdin, and in-memory images.
+class BufferSource final : public ByteSource {
+ public:
+  explicit BufferSource(std::vector<std::uint8_t> bytes) noexcept
+      : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept override {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Maps a regular file read-only.  Throws MrtError when the file cannot be
+/// opened or mapped (callers that want graceful degradation use
+/// open_source below).  An empty file maps to an empty span.
+class MmapSource final : public ByteSource {
+ public:
+  explicit MmapSource(const std::string& path);
+  ~MmapSource() override;
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept override {
+    return {static_cast<const std::uint8_t*>(map_), size_};
+  }
+  [[nodiscard]] bool zero_copy() const noexcept override { return true; }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Opens `path` for decoding: a zero-copy MmapSource when the path is a
+/// mappable regular file and `allow_mmap` holds, otherwise a BufferSource
+/// holding the file contents.  Throws MrtError when the file cannot be
+/// read at all.  Check zero_copy() on the result to learn which one the
+/// caller got (the CLI prints a fallback note).
+[[nodiscard]] std::unique_ptr<ByteSource> open_source(const std::string& path,
+                                                      bool allow_mmap = true);
+
+/// Reads the remainder of `in` into a byte vector (BufferSource fuel).
+/// Throws MrtError when the stream errors out mid-read.
+[[nodiscard]] std::vector<std::uint8_t> slurp_stream(std::istream& in);
+
+}  // namespace bgpintent::mrt

@@ -214,52 +214,56 @@ bool Server::handle_command(const std::string& line, std::string& response) {
       return true;
     }
     const std::size_t pairs = (fields.size() - 1) / 2;
-    std::vector<bgp::RibEntry> batch;
-    batch.reserve(pairs);
     std::uint64_t errors = 0;
-    for (std::size_t i = 0; i < pairs; ++i) {
-      const std::string_view path_field = fields[1 + 2 * i];
-      const std::string_view communities_field = fields[2 + 2 * i];
-      const auto path = parse_path(path_field);
-      if (!path) {
-        // A single-pair request keeps the historical hard ERR; in a batch
-        // a malformed pair is skipped and counted, like a torn MRT record.
-        if (pairs == 1) {
-          response =
-              util::format("ERR '%.*s' is not a comma-separated AS path",
-                           static_cast<int>(path_field.size()),
-                           path_field.data());
-          return true;
-        }
-        ++errors;
-        continue;
-      }
-      const auto communities = parse_communities(communities_field);
-      if (!communities) {
-        if (pairs == 1) {
-          response = util::format(
-              "ERR '%.*s' is not a comma-separated community list",
-              static_cast<int>(communities_field.size()),
-              communities_field.data());
-          return true;
-        }
-        ++errors;
-        continue;
-      }
-      bgp::RibEntry entry;
-      entry.route.path = *path;
-      entry.route.communities = *communities;
-      batch.push_back(std::move(entry));
-    }
-    std::size_t entries;
+    std::size_t ingested = 0;
+    std::size_t entries = 0;
+    // Single pass, one scratch row: each valid pair is parsed into the
+    // scratch and ingested immediately — the streaming-sink idiom of the
+    // MRT path (docs/PERFORMANCE.md), with no batch vector in between.
+    bgp::RibEntry scratch;
     {
       const std::lock_guard<std::mutex> lock(classifier_mutex_);
-      for (const bgp::RibEntry& entry : batch) classifier_.ingest(entry);
-      classifier_.record_decode_outcome(batch.size(), errors);
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const std::string_view path_field = fields[1 + 2 * i];
+        const std::string_view communities_field = fields[2 + 2 * i];
+        auto path = parse_path(path_field);
+        if (!path) {
+          // A single-pair request keeps the historical hard ERR; in a
+          // batch a malformed pair is skipped and counted, like a torn
+          // MRT record.  Nothing has been ingested yet in the single-pair
+          // case, so the early return mutates no state.
+          if (pairs == 1) {
+            response =
+                util::format("ERR '%.*s' is not a comma-separated AS path",
+                             static_cast<int>(path_field.size()),
+                             path_field.data());
+            return true;
+          }
+          ++errors;
+          continue;
+        }
+        auto communities = parse_communities(communities_field);
+        if (!communities) {
+          if (pairs == 1) {
+            response = util::format(
+                "ERR '%.*s' is not a comma-separated community list",
+                static_cast<int>(communities_field.size()),
+                communities_field.data());
+            return true;
+          }
+          ++errors;
+          continue;
+        }
+        scratch.route.path = std::move(*path);
+        scratch.route.communities = std::move(*communities);
+        classifier_.ingest(scratch);
+        ++ingested;
+      }
+      classifier_.record_decode_outcome(ingested, errors);
       entries = classifier_.entries_ingested();
     }
     response = util::format(
-        "OK ingested=%zu errors=%llu entries=%zu", batch.size(),
+        "OK ingested=%zu errors=%llu entries=%zu", ingested,
         static_cast<unsigned long long>(errors), entries);
     return true;
   }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace bgpintent::mrt {
 namespace {
 
@@ -218,6 +221,112 @@ TEST(BgpUpdate, MessageLengthIsPatched) {
   const std::size_t declared = static_cast<std::size_t>(b[16]) << 8 | b[17];
   EXPECT_EQ(declared, b.size());
 }
+
+// --- Scratch-reuse decode (the in-place overload behind RowScratch) ---
+
+namespace scratch_reuse {
+
+/// Hand-encodes one AS_PATH attribute from (type, asns) segment pairs,
+/// including shapes the encoder refuses to emit (empty segments).
+void put_as_path(ByteWriter& out,
+                 const std::vector<std::pair<std::uint8_t,
+                                             std::vector<bgp::Asn>>>& segs) {
+  ByteWriter body;
+  for (const auto& [type, asns] : segs) {
+    body.put_u8(type);
+    body.put_u8(static_cast<std::uint8_t>(asns.size()));
+    for (const bgp::Asn asn : asns) body.put_u32(asn);
+  }
+  out.put_u8(kFlagTransitive);
+  out.put_u8(kAttrAsPath);
+  out.put_u8(static_cast<std::uint8_t>(body.size()));
+  out.put_bytes(body.bytes());
+}
+
+TEST(PathAttributesInPlace, RepeatedAsPathReplacesFirst) {
+  ByteWriter w;
+  put_as_path(w, {{2, {701, 1299}}});
+  put_as_path(w, {{2, {64496}}});
+  ByteReader r(w.bytes());
+  PathAttributes attrs;
+  decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+  EXPECT_EQ(attrs.as_path, bgp::AsPath(std::vector<bgp::Asn>{64496}));
+}
+
+TEST(PathAttributesInPlace, EmptySegmentsAreDropped) {
+  // AsPath's invariant is "no empty segments"; the wire may carry them.
+  ByteWriter w;
+  put_as_path(w, {{1, {}}, {2, {701, 1299}}, {1, {}}});
+  ByteReader r(w.bytes());
+  PathAttributes attrs;
+  decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+  EXPECT_EQ(attrs.as_path, bgp::AsPath({701, 1299}));
+}
+
+TEST(PathAttributesInPlace, AllSegmentsEmptyYieldsEmptyPath) {
+  ByteWriter w;
+  put_as_path(w, {{2, {}}});
+  ByteReader r(w.bytes());
+  PathAttributes attrs;
+  decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+  EXPECT_TRUE(attrs.as_path.segments().empty());
+}
+
+TEST(PathAttributesInPlace, ReuseResetsEveryField) {
+  // First decode fills every optional field; the second block carries
+  // only ORIGIN + a shorter AS_PATH, so everything else must come back
+  // reset, not leak through from the previous record.
+  PathAttributes attrs;
+  {
+    ByteWriter w;
+    encode_path_attributes(w, sample_attrs());
+    ByteReader r(w.bytes());
+    decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+  }
+  ASSERT_TRUE(attrs.med);
+  ASSERT_FALSE(attrs.communities.empty());
+
+  ByteWriter w;
+  {
+    ByteWriter body;
+    body.put_u8(static_cast<std::uint8_t>(bgp::Origin::kIgp));
+    w.put_u8(kFlagTransitive);
+    w.put_u8(kAttrOrigin);
+    w.put_u8(1);
+    w.put_bytes(body.bytes());
+  }
+  put_as_path(w, {{2, {64500}}});
+  ByteReader r(w.bytes());
+  decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+
+  EXPECT_EQ(attrs.origin, bgp::Origin::kIgp);
+  EXPECT_EQ(attrs.as_path, bgp::AsPath(std::vector<bgp::Asn>{64500}));
+  EXPECT_FALSE(attrs.med);
+  EXPECT_FALSE(attrs.local_pref);
+  EXPECT_TRUE(attrs.communities.empty());
+  EXPECT_TRUE(attrs.large_communities.empty());
+  EXPECT_TRUE(attrs.ext_communities.empty());
+}
+
+TEST(PathAttributesInPlace, SegmentSlotRecyclingShrinksPath) {
+  // Two-segment path first, then a one-segment path into the same
+  // scratch: the recycled slot vector must shrink to one segment.
+  PathAttributes attrs;
+  {
+    ByteWriter w;
+    put_as_path(w, {{2, {701, 1299}}, {1, {64496, 64497}}});
+    ByteReader r(w.bytes());
+    decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+    ASSERT_EQ(attrs.as_path.segments().size(), 2u);
+  }
+  ByteWriter w;
+  put_as_path(w, {{2, {3356}}});
+  ByteReader r(w.bytes());
+  decode_path_attributes(r, w.size(), /*asn16=*/false, attrs);
+  EXPECT_EQ(attrs.as_path, bgp::AsPath(std::vector<bgp::Asn>{3356}));
+}
+
+}  // namespace scratch_reuse
 
 }  // namespace
 }  // namespace bgpintent::mrt
