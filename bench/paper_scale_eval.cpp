@@ -1,0 +1,120 @@
+// Re-runs the scale-sensitive pieces of the evaluation on the large
+// topology presets (EXPERIMENTS.md "re-run at paper scale"): the Fig. 6
+// on:off threshold sweep and the pooled-vs-mean cluster-feature ablation.
+//
+// Motivation: every experiment bench runs the ~700-AS default world, where
+// per-community on-path counts are capped by the vantage-point count and
+// the optimal ratio threshold sits left of the paper's 160:1.  The scale
+// presets (topo::ScalePreset, docs/SIMULATION.md §2) remove that cap —
+// this binary measures whether the caveat survives when the world grows
+// toward the paper's shape.
+//
+// Runs the small and medium rungs by default (the medium rung relaxes
+// ~13K announcements over an 11K-AS world — minutes, not seconds).  Set
+// BGPINTENT_PAPER_SCALE=small|medium|large|internet to run one rung.
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/common.hpp"
+#include "core/evaluation.hpp"
+#include "topo/generator.hpp"
+
+using namespace bgpintent;
+
+namespace {
+
+routing::ScenarioConfig config_for(topo::ScalePreset preset,
+                                   std::uint32_t vantage_points) {
+  routing::ScenarioConfig cfg;
+  cfg.topology = topo::preset_config(preset);
+  cfg.topology.seed = 20230501;
+  cfg.policy.seed = 20230502;
+  cfg.workload_seed = 20230503;
+  cfg.vantage_point_count = vantage_points;
+  return cfg;
+}
+
+void run_rung(topo::ScalePreset preset, std::uint32_t vantage_points) {
+  const auto cfg = config_for(preset, vantage_points);
+  std::printf("==== preset %s ====\n", topo::preset_name(preset));
+  bench::print_banner("paper_scale_eval — threshold sweep + cluster feature",
+                      cfg);
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  core::Pipeline pipeline;
+  pipeline.set_org_map(&scenario.topology().orgs);
+  const auto result = pipeline.run(entries);
+  const auto eval = result.score(scenario.ground_truth());
+  std::printf("BGP data: %zu RIB entries, %zu unique paths, %zu observed "
+              "communities\n",
+              entries.size(), result.observations.unique_path_count(),
+              result.observations.community_count());
+
+  const auto clusters =
+      core::baseline_clusters(result.observations, scenario.ground_truth());
+  std::size_t mixed = 0;
+  for (const auto& cluster : clusters)
+    if (cluster.mixed()) ++mixed;
+  std::printf("baseline clusters: %zu (%zu mixed)\n\n", clusters.size(),
+              mixed);
+
+  const std::vector<double> thresholds{1,   2,   5,   10,  20,  40, 80,
+                                       120, 160, 240, 320, 640, 1280};
+  const auto pooled = core::sweep_ratio_threshold(
+      clusters, thresholds, core::ClusterFeature::kPooledOnOff);
+  const auto mean = core::sweep_ratio_threshold(
+      clusters, thresholds, core::ClusterFeature::kMeanOnOff);
+  util::TextTable sweep({"threshold", "pooled-ratio acc", "mean-ratio acc"});
+  std::size_t best_pooled = 0;
+  std::size_t best_mean = 0;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    sweep.add_row({util::fixed(thresholds[i], 0),
+                   util::percent(pooled[i].accuracy),
+                   util::percent(mean[i].accuracy)});
+    if (pooled[i].accuracy > pooled[best_pooled].accuracy) best_pooled = i;
+    if (mean[i].accuracy > mean[best_mean].accuracy) best_mean = i;
+  }
+  std::printf("threshold sweep over mixed clusters:\n%s",
+              sweep.render().c_str());
+  std::printf("best pooled: %.1f%% at %.0f:1; best mean: %.1f%% at %.0f:1; "
+              "at the paper's 160:1 — pooled %.1f%%, mean %.1f%%\n\n",
+              pooled[best_pooled].accuracy * 100.0, thresholds[best_pooled],
+              mean[best_mean].accuracy * 100.0, thresholds[best_mean],
+              pooled[8].accuracy * 100.0, mean[8].accuracy * 100.0);
+
+  // End-to-end accuracy with each cluster feature (eval_overall ablation,
+  // re-run at this scale).
+  core::PipelineConfig mean_mode;
+  mean_mode.classifier.mean_of_ratios = true;
+  core::Pipeline mean_pipeline(mean_mode);
+  mean_pipeline.set_org_map(&scenario.topology().orgs);
+  const auto mean_result = mean_pipeline.run(entries);
+  const auto mean_eval = mean_result.score(scenario.ground_truth());
+  util::TextTable features({"pipeline variant", "accuracy", "classified"});
+  features.add_row({"pooled ratio (default)", util::percent(eval.accuracy()),
+                    std::to_string(result.inference.classified_count())});
+  features.add_row({"mean of member ratios", util::percent(mean_eval.accuracy()),
+                    std::to_string(mean_result.inference.classified_count())});
+  std::printf("cluster-feature ablation at this scale:\n%s\n",
+              features.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const char* only = std::getenv("BGPINTENT_PAPER_SCALE");
+  if (only != nullptr) {
+    for (const auto preset : topo::all_scale_presets()) {
+      if (std::strcmp(only, topo::preset_name(preset)) == 0) {
+        run_rung(preset, preset >= topo::ScalePreset::kMedium ? 150u : 100u);
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "unknown BGPINTENT_PAPER_SCALE preset: %s\n", only);
+    return 2;
+  }
+  run_rung(topo::ScalePreset::kSmall, 100);
+  run_rung(topo::ScalePreset::kMedium, 150);
+  return 0;
+}

@@ -1,0 +1,248 @@
+// World-scale propagation bench: walks the ScalePreset ladder from the
+// CI-sized default world up to the ~75K-AS "internet" rung, measuring for
+// each rung
+//   - topology generation and scenario assembly time,
+//   - route-propagation throughput (RIB route tuples produced per second)
+//     over a bounded announcement sample,
+//   - rounds-to-convergence of the wavefront relaxation,
+//   - compact-RIB and path-table memory, and peak RSS,
+// and verifies on every rung that frontier-parallel propagation at pool
+// sizes 1/2/8 is bit-identical to the sequential fixed point (non-zero
+// exit on divergence — this doubles as the scale-level determinism gate).
+//
+// The announcement sample is bounded per rung so the full ladder stays
+// tractable on one core; the sample is propagated to convergence, which is
+// what the paper-scale acceptance needs.  Results are printed as JSON
+// lines and written to BENCH_world.json (override with
+// BGPINTENT_BENCH_JSON).  BGPINTENT_WORLD_SCALE=smoke restricts the run to
+// the two smallest rungs for CI; any other value (or none) runs the full
+// ladder.  BGPINTENT_BENCH_REPEATS sets best-of repeats for the timed
+// propagation (default 1 — the large rungs dominate wall time).
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/scenario.hpp"
+#include "topo/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace bgpintent;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+/// Announcement sample per rung: enough to exercise the full wavefront
+/// schedule many times over, small enough that the ladder finishes in
+/// minutes on one core.
+std::size_t sample_for(topo::ScalePreset preset, bool smoke) {
+  using topo::ScalePreset;
+  switch (preset) {
+    case ScalePreset::kTiny: return smoke ? 64 : 256;
+    case ScalePreset::kSmall: return smoke ? 24 : 160;
+    case ScalePreset::kMedium: return 96;
+    case ScalePreset::kLarge: return 48;
+    case ScalePreset::kInternet: return 32;
+  }
+  return 32;
+}
+
+struct Row {
+  std::string preset;
+  std::size_t ases = 0;
+  std::size_t edges = 0;
+  std::size_t announcements = 0;
+  double topo_gen_ms = 0.0;
+  double scenario_build_ms = 0.0;
+  double propagate_ms = 0.0;
+  std::size_t routes = 0;
+  double tuples_per_sec = 0.0;
+  double mean_rounds = 0.0;
+  std::uint32_t max_rounds = 0;
+  bool converged = false;
+  std::size_t rib_bytes = 0;
+  std::size_t path_table_bytes = 0;
+  std::size_t unique_paths = 0;
+  bool identical = false;
+  long ru_maxrss_kb = 0;
+};
+
+}  // namespace
+
+int main() {
+  const char* mode_env = std::getenv("BGPINTENT_WORLD_SCALE");
+  const bool smoke =
+      mode_env != nullptr && std::strcmp(mode_env, "smoke") == 0;
+  const int repeats = [] {
+    const char* env = std::getenv("BGPINTENT_BENCH_REPEATS");
+    return env != nullptr ? std::max(1, std::atoi(env)) : 1;
+  }();
+
+  std::vector<topo::ScalePreset> ladder = topo::all_scale_presets();
+  if (smoke) ladder.resize(2);  // tiny + small
+
+  const auto json_line = [](const std::string& preset, const char* metric,
+                            double value) {
+    std::printf(
+        "{\"bench\": \"world_scale\", \"preset\": \"%s\", "
+        "\"metric\": \"%s\", \"value\": %.3f}\n",
+        preset.c_str(), metric, value);
+  };
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const topo::ScalePreset preset : ladder) {
+    Row row;
+    row.preset = topo::preset_name(preset);
+
+    routing::ScenarioConfig cfg;
+    cfg.topology = topo::preset_config(preset);
+
+    const auto topo_start = std::chrono::steady_clock::now();
+    const topo::Topology world = topo::generate_topology(cfg.topology);
+    row.topo_gen_ms = ms_since(topo_start);
+    row.ases = world.graph.as_count();
+    row.edges = world.graph.edge_count();
+
+    // Scenario assembly (policies + workload + vantage points) gives the
+    // rung its realistic announcement mix; propagation then runs on a
+    // bounded sample of those announcements.
+    const auto build_start = std::chrono::steady_clock::now();
+    const routing::Scenario scenario = routing::Scenario::build(cfg);
+    row.scenario_build_ms = ms_since(build_start);
+
+    const std::span<const routing::Announcement> sample(
+        scenario.announcements().data(),
+        std::min(sample_for(preset, smoke),
+                 scenario.announcements().size()));
+    row.announcements = sample.size();
+
+    routing::Simulator simulator(scenario.topology(), scenario.policies());
+
+    routing::Simulator::RibSet sequential;
+    double best_ms = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      sequential = simulator.propagate_all(sample);
+      const double ms = ms_since(start);
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    row.propagate_ms = best_ms;
+
+    std::uint64_t rounds_sum = 0;
+    row.converged = true;
+    for (const routing::PrefixRib& rib : sequential.ribs) {
+      row.routes += rib.size();
+      row.rib_bytes += rib.memory_bytes();
+      rounds_sum += rib.rounds();
+      row.max_rounds = std::max(row.max_rounds, rib.rounds());
+      if (rib.rounds() >= routing::Simulator::kMaxRounds)
+        row.converged = false;
+    }
+    row.mean_rounds =
+        sequential.ribs.empty()
+            ? 0.0
+            : static_cast<double>(rounds_sum) /
+                  static_cast<double>(sequential.ribs.size());
+    row.tuples_per_sec =
+        best_ms > 0.0 ? static_cast<double>(row.routes) / (best_ms / 1e3)
+                      : 0.0;
+    row.path_table_bytes = sequential.paths->memory_bytes();
+    row.unique_paths = sequential.paths->size();
+
+    // Determinism gate: per-prefix sharding AND within-prefix frontier
+    // parallelism must both reproduce the sequential fixed point exactly
+    // at every pool size.
+    row.identical = true;
+    const std::size_t parity = std::min<std::size_t>(sample.size(), 8);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      util::ThreadPool pool(threads);
+      const auto sharded = simulator.propagate_all(sample, &pool);
+      for (std::size_t i = 0; i < sequential.ribs.size(); ++i)
+        if (!(sharded.ribs[i] == sequential.ribs[i])) row.identical = false;
+      for (std::size_t i = 0; i < parity; ++i)
+        if (!(simulator.propagate(sample[i], pool) == sequential.ribs[i]))
+          row.identical = false;
+    }
+    if (!row.identical) all_identical = false;
+
+    row.ru_maxrss_kb = peak_rss_kb();
+
+    json_line(row.preset, "ases", static_cast<double>(row.ases));
+    json_line(row.preset, "edges", static_cast<double>(row.edges));
+    json_line(row.preset, "announcements",
+              static_cast<double>(row.announcements));
+    json_line(row.preset, "topo_gen_ms", row.topo_gen_ms);
+    json_line(row.preset, "scenario_build_ms", row.scenario_build_ms);
+    json_line(row.preset, "propagate_ms", row.propagate_ms);
+    json_line(row.preset, "routes", static_cast<double>(row.routes));
+    json_line(row.preset, "tuples_per_sec", row.tuples_per_sec);
+    json_line(row.preset, "mean_rounds", row.mean_rounds);
+    json_line(row.preset, "max_rounds", static_cast<double>(row.max_rounds));
+    json_line(row.preset, "converged", row.converged ? 1.0 : 0.0);
+    json_line(row.preset, "rib_bytes", static_cast<double>(row.rib_bytes));
+    json_line(row.preset, "path_table_bytes",
+              static_cast<double>(row.path_table_bytes));
+    json_line(row.preset, "unique_paths",
+              static_cast<double>(row.unique_paths));
+    json_line(row.preset, "identical", row.identical ? 1.0 : 0.0);
+    json_line(row.preset, "ru_maxrss_kb",
+              static_cast<double>(row.ru_maxrss_kb));
+    rows.push_back(std::move(row));
+  }
+
+  const char* out_path = std::getenv("BGPINTENT_BENCH_JSON");
+  if (out_path == nullptr) out_path = "BENCH_world.json";
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(out, "{\n  \"bench\": \"world_scale\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          out,
+          "    {\"preset\": \"%s\", \"ases\": %zu, \"edges\": %zu, "
+          "\"announcements\": %zu, \"topo_gen_ms\": %.1f, "
+          "\"scenario_build_ms\": %.1f, \"propagate_ms\": %.1f, "
+          "\"routes\": %zu, \"tuples_per_sec\": %.0f, "
+          "\"mean_rounds\": %.2f, \"max_rounds\": %u, \"converged\": %s, "
+          "\"rib_bytes\": %zu, \"path_table_bytes\": %zu, "
+          "\"unique_paths\": %zu, \"identical\": %s, "
+          "\"ru_maxrss_kb\": %ld}%s\n",
+          r.preset.c_str(), r.ases, r.edges, r.announcements, r.topo_gen_ms,
+          r.scenario_build_ms, r.propagate_ms, r.routes, r.tuples_per_sec,
+          r.mean_rounds, r.max_rounds, r.converged ? "true" : "false",
+          r.rib_bytes, r.path_table_bytes, r.unique_paths,
+          r.identical ? "true" : "false", r.ru_maxrss_kb,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel propagation diverged from sequential\n");
+    return 1;
+  }
+  return 0;
+}

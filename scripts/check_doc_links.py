@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Scans each file for inline markdown links ``[text](target)`` and checks
+that every *relative* target resolves — relative to the linking file's
+directory — to an existing file or directory in the repository.  Absolute
+URLs (http/https/mailto) and pure in-page anchors (``#section``) are
+skipped; a ``path#anchor`` target is checked for the path part only.
+Exits 1 and lists every dead link if any target is missing.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:", "#")
+
+
+def dead_links(md: Path) -> list[tuple[int, str]]:
+    dead = []
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv[1:]:
+        md = Path(name)
+        if not md.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in dead_links(md):
+            print(f"{name}:{lineno}: dead link: {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\n{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve in {len(argv) - 1} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -87,6 +87,66 @@ PathId PathTable::intern(const AsPath& path) {
   return id;
 }
 
+bool PathTable::equals_sequence(PathId id,
+                                std::span<const Asn> sequence) const noexcept {
+  const Meta& m = meta_[id];
+  if (sequence.empty()) return m.seg_count == 0;
+  if (m.seg_count != 1) return false;
+  const SegmentSpan& seg = seg_arena_[m.seg_begin];
+  if (seg.type != SegmentType::kSequence || seg.count != sequence.size())
+    return false;
+  return std::equal(sequence.begin(), sequence.end(),
+                    asn_arena_.data() + m.asn_begin);
+}
+
+PathId PathTable::intern_sequence(std::span<const Asn> sequence) {
+  if (slots_.size() - meta_.size() <= slots_.size() / 8)
+    rehash(slots_.empty() ? 64 : slots_.size() * 2);
+  // FNV-1a, byte-for-byte the AsPath::hash() of a single kSequence segment
+  // (AsPath drops empty segments, so an empty sequence hashes to the basis).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  if (!sequence.empty()) {
+    mix(static_cast<std::uint64_t>(SegmentType::kSequence) << 32 |
+        sequence.size());
+    for (Asn a : sequence) mix(a);
+  }
+  std::size_t slot = probe_start(h);
+  for (;; slot = (slot + 1) & slot_mask_) {
+    const PathId id = slots_[slot];
+    if (id == kEmptySlot) break;
+    if (meta_[id].hash == h && equals_sequence(id, sequence)) return id;
+  }
+  slots_[slot] = static_cast<PathId>(meta_.size());
+
+  Meta m;
+  m.hash = h;
+  m.asn_begin = static_cast<std::uint32_t>(asn_arena_.size());
+  m.seg_begin = static_cast<std::uint32_t>(seg_arena_.size());
+  if (!sequence.empty()) {
+    seg_arena_.push_back(SegmentSpan{
+        SegmentType::kSequence, static_cast<std::uint32_t>(sequence.size())});
+    asn_arena_.insert(asn_arena_.end(), sequence.begin(), sequence.end());
+  }
+  m.asn_count = static_cast<std::uint32_t>(asn_arena_.size()) - m.asn_begin;
+  m.seg_count = static_cast<std::uint32_t>(seg_arena_.size()) - m.seg_begin;
+
+  m.uniq_begin = static_cast<std::uint32_t>(uniq_arena_.size());
+  uniq_arena_.insert(uniq_arena_.end(), sequence.begin(), sequence.end());
+  const auto uniq_begin = uniq_arena_.begin() + m.uniq_begin;
+  std::sort(uniq_begin, uniq_arena_.end());
+  uniq_arena_.erase(std::unique(uniq_begin, uniq_arena_.end()),
+                    uniq_arena_.end());
+  m.uniq_count = static_cast<std::uint32_t>(uniq_arena_.size()) - m.uniq_begin;
+
+  const PathId id = static_cast<PathId>(meta_.size());
+  meta_.push_back(m);
+  return id;
+}
+
 std::span<const Asn> PathTable::asns(PathId id) const noexcept {
   const Meta& m = meta_[id];
   return {asn_arena_.data() + m.asn_begin, m.asn_count};

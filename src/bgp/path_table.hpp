@@ -53,6 +53,13 @@ class PathTable {
   /// (full segment structure) was interned before.
   PathId intern(const AsPath& path);
 
+  /// Interns a plain ASN sequence (one kSequence segment; empty sequence is
+  /// the empty path) without materializing an AsPath.  Ids, hashes, and
+  /// dedup behaviour are exactly as if `AsPath(std::vector<Asn>(...))` had
+  /// been interned — the routing simulator's compact RIBs use this to fold
+  /// per-AS best paths straight out of working vectors.
+  PathId intern_sequence(std::span<const Asn> sequence);
+
   /// Id of an already-interned path; nullopt when never interned.
   [[nodiscard]] std::optional<PathId> find(const AsPath& path) const noexcept;
 
@@ -110,6 +117,11 @@ class PathTable {
 
   /// Structural equality between an interned path and a candidate.
   [[nodiscard]] bool equals(PathId id, const AsPath& path) const noexcept;
+
+  /// Structural equality against a single-sequence candidate.
+  [[nodiscard]] bool equals_sequence(PathId id,
+                                     std::span<const Asn> sequence)
+      const noexcept;
 
   /// Grows the probe table to `capacity` slots (a power of two) and
   /// re-seeds it from meta_.

@@ -197,6 +197,11 @@ PolicySet generate_policies(const topo::Topology& topo,
   util::Rng rng(config.seed);
   for (Asn asn : topo.graph.all_asns()) {
     const topo::AsNode* node = topo.graph.find(asn);
+    // Classic communities carry a 16-bit alpha: an AS past the 16-bit ASN
+    // boundary cannot key values with its own ASN, so it defines no classic
+    // policy (matching real 32-bit-ASN holders, who moved to RFC 8092).
+    // Large-scale presets deliberately place part of the stub range there.
+    if (asn > 0xffff) continue;
     switch (node->tier) {
       case Tier::kTier1:
         if (rng.chance(config.tier1_defines))

@@ -10,9 +10,12 @@ namespace bgpintent::routing {
 namespace {
 using topo::Tier;
 
-/// Sequential /24s under 10.0.0.0/8 for synthetic originations.
+/// Sequential /24s under 10.0.0.0/8 for synthetic originations; spills
+/// into the next /8 every 65536 prefixes so paper-scale workloads (~100K
+/// originations) stay collision-free.  Identical to the historical layout
+/// for n < 65536, which keeps every committed golden byte-stable.
 bgp::Prefix nth_prefix(std::uint32_t n) {
-  return bgp::Prefix((10u << 24) | ((n & 0xffff) << 8), 24);
+  return bgp::Prefix(((10u + (n >> 16)) << 24) | ((n & 0xffff) << 8), 24);
 }
 }  // namespace
 
@@ -184,21 +187,23 @@ Scenario Scenario::build(const ScenarioConfig& config) {
   return s;
 }
 
-std::vector<bgp::RibEntry> Scenario::entries() const {
-  return entries_with_vps(vantage_points_);
+std::vector<bgp::RibEntry> Scenario::entries(util::ThreadPool* pool) const {
+  return entries_with_vps(vantage_points_, pool);
 }
 
 std::vector<bgp::RibEntry> Scenario::entries_with_vps(
-    std::span<const Asn> vantage_points) const {
+    std::span<const Asn> vantage_points, util::ThreadPool* pool) const {
   Collector collector(topo_, policies_,
                       std::vector<Asn>(vantage_points.begin(),
                                        vantage_points.end()));
-  return apply_partial_feeds(collector.collect(announcements_));
+  return apply_partial_feeds(collector.collect(announcements_, pool));
 }
 
-std::vector<bgp::RibEntry> Scenario::day_entries(std::uint32_t day) const {
+std::vector<bgp::RibEntry> Scenario::day_entries(std::uint32_t day,
+                                                 util::ThreadPool* pool) const {
   Collector collector(topo_, policies_, vantage_points_);
-  return apply_partial_feeds(collector.collect(announcements_for_day(day)));
+  return apply_partial_feeds(
+      collector.collect(announcements_for_day(day), pool));
 }
 
 std::vector<bgp::RibEntry> Scenario::apply_partial_feeds(

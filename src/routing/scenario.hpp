@@ -78,17 +78,22 @@ class Scenario {
     return vantage_points_;
   }
 
-  /// Collects RIB entries at all vantage points for the base day.
-  [[nodiscard]] std::vector<bgp::RibEntry> entries() const;
+  /// Collects RIB entries at all vantage points for the base day.  A pool
+  /// shards the propagation over announcements; the output is identical to
+  /// the sequential run at any pool size.
+  [[nodiscard]] std::vector<bgp::RibEntry> entries(
+      util::ThreadPool* pool = nullptr) const;
 
   /// Same, restricted to a subset of vantage points (Fig. 10 experiments).
   [[nodiscard]] std::vector<bgp::RibEntry> entries_with_vps(
-      std::span<const Asn> vantage_points) const;
+      std::span<const Asn> vantage_points,
+      util::ThreadPool* pool = nullptr) const;
 
   /// Entries for churn day `day` (day 0 == base): a `day_churn` fraction of
   /// originations re-roll their action communities, emulating daily update
   /// traffic that exposes additional (path, community) tuples.
-  [[nodiscard]] std::vector<bgp::RibEntry> day_entries(std::uint32_t day) const;
+  [[nodiscard]] std::vector<bgp::RibEntry> day_entries(
+      std::uint32_t day, util::ThreadPool* pool = nullptr) const;
 
  private:
   [[nodiscard]] std::vector<Announcement> announcements_for_day(

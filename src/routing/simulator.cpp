@@ -1,6 +1,10 @@
 #include "routing/simulator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
 
 namespace bgpintent::routing {
 
@@ -26,33 +30,184 @@ bool rov_outcome(const Announcement& announcement) noexcept {
   return (key * 0x9e3779b97f4a7c15ULL >> 61) != 3;
 }
 
+template <typename T>
+void sort_unique(std::vector<T>& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// PrefixRib
+
+PrefixRib::RouteView PrefixRib::view(std::uint32_t ordinal) const noexcept {
+  const Slot& s = slots_[ordinal];
+  RouteView v;
+  v.path = paths_->asns(s.path);
+  v.communities = {comm_arena_.data() + s.comm_begin, s.comm_count};
+  v.large_communities = {large_arena_.data() + s.large_begin, s.large_count};
+  v.learned_from = s.learned_from;
+  v.local_pref = s.local_pref;
+  v.path_id = s.path;
+  return v;
+}
+
+bool PrefixRib::contains(Asn asn) const noexcept {
+  if (index_ == nullptr) return false;
+  const std::uint32_t idx = index_->find(asn);
+  return idx != topo::AsIndex::kInvalid && slots_[idx].path != kNoRoute;
+}
+
+std::optional<PrefixRib::RouteView> PrefixRib::find(Asn asn) const noexcept {
+  if (index_ == nullptr) return std::nullopt;
+  const std::uint32_t idx = index_->find(asn);
+  if (idx == topo::AsIndex::kInvalid || slots_[idx].path == kNoRoute)
+    return std::nullopt;
+  return view(idx);
+}
+
+PrefixRib::RouteView PrefixRib::at(Asn asn) const {
+  auto v = find(asn);
+  if (!v) throw std::out_of_range("no route for AS " + std::to_string(asn));
+  return *v;
+}
+
+void PrefixRib::for_each(
+    const std::function<void(Asn, const RouteView&)>& fn) const {
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    if (slots_[idx].path == kNoRoute) continue;
+    fn(index_->asn_at(idx), view(idx));
+  }
+}
+
+std::size_t PrefixRib::memory_bytes() const noexcept {
+  return slots_.capacity() * sizeof(Slot) +
+         comm_arena_.capacity() * sizeof(Community) +
+         large_arena_.capacity() * sizeof(bgp::LargeCommunity);
+}
+
+void PrefixRib::reintern(bgp::PathTable& master,
+                         std::shared_ptr<const bgp::PathTable> handle) {
+  for (Slot& s : slots_) {
+    if (s.path == kNoRoute) continue;
+    s.path = master.intern_sequence(paths_->asns(s.path));
+  }
+  paths_ = std::move(handle);
+}
+
+bool operator==(const PrefixRib& a, const PrefixRib& b) {
+  if (a.rounds_ != b.rounds_ || a.valid_count_ != b.valid_count_ ||
+      a.slots_.size() != b.slots_.size())
+    return false;
+  if (a.index_ != b.index_) {
+    const auto lhs = a.index_ ? a.index_->asns() : std::span<const Asn>{};
+    const auto rhs = b.index_ ? b.index_->asns() : std::span<const Asn>{};
+    if (!std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end()))
+      return false;
+  }
+  for (std::uint32_t idx = 0; idx < a.slots_.size(); ++idx) {
+    const bool va = a.slots_[idx].path != PrefixRib::kNoRoute;
+    const bool vb = b.slots_[idx].path != PrefixRib::kNoRoute;
+    if (va != vb) return false;
+    if (!va) continue;
+    const auto ra = a.view(idx);
+    const auto rb = b.view(idx);
+    if (ra.learned_from != rb.learned_from ||
+        ra.local_pref != rb.local_pref ||
+        !std::equal(ra.path.begin(), ra.path.end(), rb.path.begin(),
+                    rb.path.end()) ||
+        !std::equal(ra.communities.begin(), ra.communities.end(),
+                    rb.communities.begin(), rb.communities.end()) ||
+        !std::equal(ra.large_communities.begin(), ra.large_communities.end(),
+                    rb.large_communities.begin(), rb.large_communities.end()))
+      return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
 Simulator::Simulator(const topo::Topology& topo, const PolicySet& policies)
-    : topo_(&topo), policies_(&policies) {}
+    : topo_(&topo),
+      policies_(&policies),
+      index_(std::make_shared<topo::AsIndex>(topo.graph)) {
+  const std::size_t n = index_->size();
+  policy_of_.resize(n);
+  strips_.resize(n);
+  arc_begin_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < n; ++i)
+    total += topo_->graph.neighbors(index_->asn_at(i)).size();
+  arcs_.reserve(total);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Asn asn = index_->asn_at(i);
+    policy_of_[i] = policies_->find(asn);
+    const topo::AsNode* node = topo_->graph.find(asn);
+    strips_[i] = node != nullptr && node->strips_communities ? 1 : 0;
+    for (const topo::Adjacency& adj : topo_->graph.neighbors(asn)) {
+      Arc arc;
+      arc.neighbor = index_->find(adj.neighbor);
+      arc.adj = adj;
+      arc.reverse = topo::Adjacency{asn, topo::invert(adj.rel), adj.where,
+                                    adj.via_route_server};
+      if (adj.via_route_server)
+        arc.rs_policy = policies_->find(*adj.via_route_server);
+      arcs_.push_back(std::move(arc));
+    }
+    arc_begin_[i + 1] = static_cast<std::uint32_t>(arcs_.size());
+  }
+
+  // Wavefront schedule: level(i) = 1 + max level of i's lower-ordinal
+  // neighbors (0 when none).  Processing levels in order reproduces an
+  // ascending Gauss-Seidel sweep exactly — every adjacent pair is split
+  // across levels, lower ordinal first.
+  std::vector<std::uint32_t> level_of(n, 0);
+  std::uint32_t max_level = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t a = arc_begin_[i]; a < arc_begin_[i + 1]; ++a) {
+      const std::uint32_t nb = arcs_[a].neighbor;
+      if (nb < i) level_of[i] = std::max(level_of[i], level_of[nb] + 1);
+    }
+    max_level = std::max(max_level, level_of[i]);
+  }
+  level_begin_.assign(max_level + 2, 0);
+  for (std::uint32_t i = 0; i < n; ++i) ++level_begin_[level_of[i] + 1];
+  for (std::size_t l = 1; l < level_begin_.size(); ++l)
+    level_begin_[l] += level_begin_[l - 1];
+  level_members_.resize(n);
+  std::vector<std::uint32_t> cursor(level_begin_.begin(),
+                                    level_begin_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i)
+    level_members_[cursor[level_of[i]]++] = i;
+}
 
 Simulator::ExportedRoute Simulator::export_route(
-    const RibRoute& best, Asn from, const topo::Adjacency& to_adj) const {
+    const WorkRoute& best, std::uint32_t from,
+    const topo::Adjacency& to_adj) const {
   ExportedRoute out;
   if (!best.valid) return out;
 
   // Valley-free: routes learned from peers/providers go to customers and
-  // siblings only.
+  // siblings only.  (learned_rel caches the graph relationship to
+  // learned_from, recorded at import time.)
   if (best.learned_from != 0) {
-    const auto learned_rel = topo_->graph.relationship(from, best.learned_from);
-    const bool from_down = learned_rel == RelFrom::kCustomer ||
-                           learned_rel == RelFrom::kSibling;
+    const bool from_down = best.learned_rel == RelFrom::kCustomer ||
+                           best.learned_rel == RelFrom::kSibling;
     const bool to_down = to_adj.rel == RelFrom::kCustomer ||
                          to_adj.rel == RelFrom::kSibling;
     if (!from_down && !to_down) return out;
   }
 
+  const Asn from_asn = index_->asn_at(from);
+
   // Honor this AS's own action communities.
   std::uint8_t extra_prepends = 0;
-  const CommunityPolicy* policy = policies_->find(from);
+  const CommunityPolicy* policy = policy_of_[from];
   if (policy != nullptr) {
     for (const Community c : best.communities) {
-      if (c.alpha() != from) continue;
+      if (c.alpha() != from_asn) continue;
       const ActionSpec* spec = policy->action_for(c.beta());
       if (spec == nullptr) continue;
       switch (spec->type) {
@@ -80,16 +235,15 @@ Simulator::ExportedRoute Simulator::export_route(
   // Large-community no-export action (RFC 8092 policies).
   if (policy != nullptr && policy->emit_large) {
     for (const bgp::LargeCommunity& c : best.large_communities)
-      if (c.alpha() == from && c.beta() == kLargeNoExportFunction &&
+      if (c.alpha() == from_asn && c.beta() == kLargeNoExportFunction &&
           c.gamma() == to_adj.neighbor)
         return out;
   }
 
   out.path.reserve(best.path.size() + extra_prepends);
-  out.path.insert(out.path.end(), extra_prepends, from);
+  out.path.insert(out.path.end(), extra_prepends, from_asn);
   out.path.insert(out.path.end(), best.path.begin(), best.path.end());
-  const topo::AsNode* node = topo_->graph.find(from);
-  if (node == nullptr || !node->strips_communities) {
+  if (!strips_[from]) {
     out.communities = best.communities;
     out.large_communities = best.large_communities;
   }
@@ -97,15 +251,19 @@ Simulator::ExportedRoute Simulator::export_route(
   return out;
 }
 
-RibRoute Simulator::import_route(ExportedRoute route, Asn to,
-                                 const topo::Adjacency& from_adj,
-                                 bool rov_valid) const {
-  RibRoute out;
+Simulator::WorkRoute Simulator::import_route(ExportedRoute route,
+                                             std::uint32_t to,
+                                             const Arc& from_arc,
+                                             bool rov_valid) const {
+  WorkRoute out;
   if (!route.valid) return out;
+  const Asn to_asn = index_->asn_at(to);
   // Loop prevention.
-  if (std::find(route.path.begin(), route.path.end(), to) != route.path.end())
+  if (std::find(route.path.begin(), route.path.end(), to_asn) !=
+      route.path.end())
     return out;
 
+  const topo::Adjacency& from_adj = from_arc.adj;
   std::uint32_t local_pref = 0;
   switch (from_adj.rel) {
     case RelFrom::kCustomer: local_pref = kPrefCustomer; break;
@@ -116,14 +274,14 @@ RibRoute Simulator::import_route(ExportedRoute route, Asn to,
 
   out.communities = std::move(route.communities);
   out.large_communities = std::move(route.large_communities);
-  const CommunityPolicy* policy = policies_->find(to);
+  const CommunityPolicy* policy = policy_of_[to];
   if (policy != nullptr) {
     // Honor blackhole / set-local-pref addressed to this AS.
     for (const Community c : out.communities) {
-      if (c.alpha() != to) continue;
+      if (c.alpha() != to_asn) continue;
       const ActionSpec* spec = policy->action_for(c.beta());
       if (spec == nullptr) continue;
-      if (spec->type == ActionType::kBlackhole) return RibRoute{};
+      if (spec->type == ActionType::kBlackhole) return WorkRoute{};
       if (spec->type == ActionType::kSetLocalPref)
         local_pref = spec->local_pref;
     }
@@ -143,39 +301,33 @@ RibRoute Simulator::import_route(ExportedRoute route, Asn to,
           static_cast<std::uint32_t>(from_adj.where.region) * 1000 +
           from_adj.where.city;
       out.large_communities.push_back(
-          bgp::LargeCommunity(to, kLargeGeoFunction, geo_code));
+          bgp::LargeCommunity(to_asn, kLargeGeoFunction, geo_code));
       out.large_communities.push_back(bgp::LargeCommunity(
-          to, kLargeRelFunction, static_cast<std::uint32_t>(from_adj.rel)));
+          to_asn, kLargeRelFunction, static_cast<std::uint32_t>(from_adj.rel)));
     }
   }
   // IXP route server tagging: the RS adds its own per-member community but
   // never appears in the path.
-  if (from_adj.via_route_server) {
-    if (const CommunityPolicy* rs = policies_->find(*from_adj.via_route_server))
-      if (const auto tag = rs->geo_community(from_adj.where, from_adj.neighbor,
-                                             topo_->config.cities_per_region))
-        out.communities.push_back(*tag);
+  if (from_adj.via_route_server && from_arc.rs_policy != nullptr) {
+    if (const auto tag = from_arc.rs_policy->geo_community(
+            from_adj.where, from_adj.neighbor, topo_->config.cities_per_region))
+      out.communities.push_back(*tag);
   }
-  std::sort(out.communities.begin(), out.communities.end());
-  out.communities.erase(
-      std::unique(out.communities.begin(), out.communities.end()),
-      out.communities.end());
-  std::sort(out.large_communities.begin(), out.large_communities.end());
-  out.large_communities.erase(
-      std::unique(out.large_communities.begin(), out.large_communities.end()),
-      out.large_communities.end());
+  sort_unique(out.communities);
+  sort_unique(out.large_communities);
 
   out.path.reserve(route.path.size() + 1);
-  out.path.push_back(to);
+  out.path.push_back(to_asn);
   out.path.insert(out.path.end(), route.path.begin(), route.path.end());
   out.learned_from = from_adj.neighbor;
+  out.learned_rel = from_adj.rel;
   out.local_pref = local_pref;
   out.valid = true;
   return out;
 }
 
-bool Simulator::better(const RibRoute& candidate,
-                       const RibRoute& incumbent) noexcept {
+bool Simulator::better(const WorkRoute& candidate,
+                       const WorkRoute& incumbent) noexcept {
   if (candidate.valid != incumbent.valid) return candidate.valid;
   if (!candidate.valid) return false;
   if (candidate.local_pref != incumbent.local_pref)
@@ -187,62 +339,192 @@ bool Simulator::better(const RibRoute& candidate,
   return candidate.path < incumbent.path;
 }
 
-PrefixRib Simulator::propagate(const Announcement& announcement) const {
-  PrefixRib rib;
-  if (!topo_->graph.contains(announcement.origin)) return rib;
+std::uint32_t Simulator::relax(const Announcement& announcement, Workspace& ws,
+                               util::ThreadPool* pool) const {
+  const std::size_t n = index_->size();
+  if (ws.state.size() != n) {
+    ws.state.assign(n, WorkRoute{});
+    ws.marked = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      ws.marked[i].store(0, std::memory_order_relaxed);
+    ws.marked_size = n;
+  } else {
+    // Lazy reset: only ordinals holding a route from the previous
+    // announcement (stale payloads behind valid == false are never read).
+    for (const std::uint32_t idx : ws.live) ws.state[idx].valid = false;
+  }
+  ws.live.clear();
+  ws.pending.store(0, std::memory_order_relaxed);
+
+  const std::uint32_t origin = index_->find(announcement.origin);
+  if (origin == topo::AsIndex::kInvalid) return 0;
   const bool rov_valid = rov_outcome(announcement);
 
-  RibRoute origin_route;
-  origin_route.path = {announcement.origin};
-  origin_route.communities = announcement.communities;
-  origin_route.large_communities = announcement.large_communities;
-  std::sort(origin_route.communities.begin(), origin_route.communities.end());
-  origin_route.communities.erase(
-      std::unique(origin_route.communities.begin(),
-                  origin_route.communities.end()),
-      origin_route.communities.end());
-  std::sort(origin_route.large_communities.begin(),
-            origin_route.large_communities.end());
-  origin_route.large_communities.erase(
-      std::unique(origin_route.large_communities.begin(),
-                  origin_route.large_communities.end()),
-      origin_route.large_communities.end());
-  origin_route.learned_from = 0;
-  origin_route.local_pref = kPrefOrigin;
-  origin_route.valid = true;
-  rib[announcement.origin] = std::move(origin_route);
+  WorkRoute& seed = ws.state[origin];
+  seed.path.assign(1, announcement.origin);
+  seed.communities = announcement.communities;
+  seed.large_communities = announcement.large_communities;
+  sort_unique(seed.communities);
+  sort_unique(seed.large_communities);
+  seed.learned_from = 0;
+  seed.local_pref = kPrefOrigin;
+  seed.valid = true;
 
-  const std::vector<Asn> order = topo_->graph.all_asns();
-  for (int round = 0; round < kMaxRounds; ++round) {
-    bool changed = false;
-    for (const Asn asn : order) {
-      if (asn == announcement.origin) continue;
-      RibRoute best;  // invalid
-      for (const topo::Adjacency& adj : topo_->graph.neighbors(asn)) {
-        const auto it = rib.find(adj.neighbor);
-        if (it == rib.end() || !it->second.valid) continue;
-        // The neighbor's view of this edge (for its export decision).
-        const topo::Adjacency reverse{asn, topo::invert(adj.rel), adj.where,
-                                      adj.via_route_server};
-        ExportedRoute exported =
-            export_route(it->second, adj.neighbor, reverse);
-        RibRoute candidate =
-            import_route(std::move(exported), asn, adj, rov_valid);
-        if (better(candidate, best)) best = std::move(candidate);
-      }
-      auto& current = rib[asn];
-      if (current != best) {
-        current = std::move(best);
-        changed = true;
-      }
-    }
-    if (!changed) break;
+  std::uint32_t initial = 0;
+  for (std::uint32_t a = arc_begin_[origin]; a < arc_begin_[origin + 1]; ++a) {
+    ws.marked[arcs_[a].neighbor].store(1, std::memory_order_relaxed);
+    ++initial;
   }
-  // Drop invalid placeholder rows.
-  for (auto it = rib.begin(); it != rib.end();)
-    it = it->second.valid ? std::next(it) : rib.erase(it);
+  ws.pending.store(initial, std::memory_order_relaxed);
+
+  std::uint32_t rounds = 0;
+  while (ws.pending.load(std::memory_order_relaxed) > 0 &&
+         rounds < static_cast<std::uint32_t>(kMaxRounds)) {
+    ++rounds;
+    // One ascending Gauss-Seidel sweep, wave by wave.  A wave's members
+    // are pairwise non-adjacent, so they read disjoint neighbourhoods and
+    // may run concurrently; marks raised by a wave always target other
+    // waves (later ones continue this sweep, earlier ones wait for the
+    // next).  Skipping unmarked ASes cannot change the sweep's outcome —
+    // re-evaluating an AS whose neighbours did not change is a no-op.
+    for (std::size_t level = 0; level + 1 < level_begin_.size(); ++level) {
+      const std::uint32_t mb = level_begin_[level];
+      const std::size_t count = level_begin_[level + 1] - mb;
+      auto body = [&, mb](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::uint32_t idx = level_members_[mb + k];
+          if (!ws.marked[idx].load(std::memory_order_relaxed)) continue;
+          ws.marked[idx].store(0, std::memory_order_relaxed);
+          ws.pending.fetch_sub(1, std::memory_order_relaxed);
+          WorkRoute best;
+          for (std::uint32_t a = arc_begin_[idx]; a < arc_begin_[idx + 1];
+               ++a) {
+            const Arc& arc = arcs_[a];
+            const WorkRoute& nb = ws.state[arc.neighbor];
+            if (!nb.valid) continue;
+            WorkRoute candidate =
+                import_route(export_route(nb, arc.neighbor, arc.reverse), idx,
+                             arc, rov_valid);
+            if (better(candidate, best)) best = std::move(candidate);
+          }
+          if (best == ws.state[idx]) continue;
+          ws.state[idx] = std::move(best);
+          for (std::uint32_t a = arc_begin_[idx]; a < arc_begin_[idx + 1];
+               ++a) {
+            const std::uint32_t nb = arcs_[a].neighbor;
+            if (nb == origin) continue;  // the origin's route is pinned
+            if (ws.marked[nb].exchange(1, std::memory_order_relaxed) == 0)
+              ws.pending.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      };
+      if (pool != nullptr && count > 1)
+        pool->parallel_for(count, body);
+      else if (count > 0)
+        body(0, count);
+    }
+  }
+
+  if (ws.pending.load(std::memory_order_relaxed) != 0) {
+    // The round cap fired mid-dispute: marks are still raised.  They must
+    // not leak into the next announcement that reuses this workspace — a
+    // stale mark would be decremented from a pending count that never
+    // included it, truncating that announcement's fixed point.
+    for (std::size_t i = 0; i < n; ++i)
+      ws.marked[i].store(0, std::memory_order_relaxed);
+    ws.pending.store(0, std::memory_order_relaxed);
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (ws.state[i].valid) ws.live.push_back(i);
+  return rounds;
+}
+
+PrefixRib Simulator::compact(
+    const Workspace& ws, std::uint32_t rounds,
+    const std::shared_ptr<bgp::PathTable>& table) const {
+  PrefixRib rib;
+  rib.index_ = index_;
+  rib.paths_ = table;
+  rib.rounds_ = rounds;
+  rib.slots_.assign(index_->size(), PrefixRib::Slot{});
+
+  // Intern in ascending ordinal order (ws.live is ascending): the sequence
+  // of intern_sequence calls — and thus the PathIds — depends only on the
+  // fixed point.
+  std::size_t comm_total = 0;
+  std::size_t large_total = 0;
+  for (const std::uint32_t idx : ws.live) {
+    const WorkRoute& r = ws.state[idx];
+    comm_total += r.communities.size();
+    large_total += r.large_communities.size();
+  }
+  rib.comm_arena_.reserve(comm_total);
+  rib.large_arena_.reserve(large_total);
+  for (const std::uint32_t idx : ws.live) {
+    const WorkRoute& r = ws.state[idx];
+    PrefixRib::Slot s;
+    s.path = table->intern_sequence(r.path);
+    s.comm_begin = static_cast<std::uint32_t>(rib.comm_arena_.size());
+    s.comm_count = static_cast<std::uint16_t>(r.communities.size());
+    rib.comm_arena_.insert(rib.comm_arena_.end(), r.communities.begin(),
+                           r.communities.end());
+    s.large_begin = static_cast<std::uint32_t>(rib.large_arena_.size());
+    s.large_count = static_cast<std::uint16_t>(r.large_communities.size());
+    rib.large_arena_.insert(rib.large_arena_.end(),
+                            r.large_communities.begin(),
+                            r.large_communities.end());
+    s.learned_from = r.learned_from;
+    s.local_pref = r.local_pref;
+    rib.slots_[idx] = s;
+    ++rib.valid_count_;
+  }
   return rib;
 }
+
+PrefixRib Simulator::propagate(const Announcement& announcement) const {
+  Workspace ws;
+  const std::uint32_t rounds = relax(announcement, ws, nullptr);
+  return compact(ws, rounds, std::make_shared<bgp::PathTable>());
+}
+
+PrefixRib Simulator::propagate(const Announcement& announcement,
+                               util::ThreadPool& pool) const {
+  Workspace ws;
+  const std::uint32_t rounds = relax(announcement, ws, &pool);
+  return compact(ws, rounds, std::make_shared<bgp::PathTable>());
+}
+
+Simulator::RibSet Simulator::propagate_all(
+    std::span<const Announcement> announcements, util::ThreadPool* pool) const {
+  RibSet out;
+  out.ribs.resize(announcements.size());
+  // Chunk-local-then-reintern (the MrtIngest::add_parallel idiom): each
+  // chunk interns into a private table; the merge below re-interns every
+  // rib into the shared table in announcement order, which is independent
+  // of the chunking.
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    auto local = std::make_shared<bgp::PathTable>();
+    Workspace ws;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t rounds = relax(announcements[i], ws, nullptr);
+      out.ribs[i] = compact(ws, rounds, local);
+    }
+  };
+  if (pool != nullptr && announcements.size() > 1)
+    pool->parallel_for(announcements.size(), chunk);
+  else if (!announcements.empty())
+    chunk(0, announcements.size());
+
+  auto master = std::make_shared<bgp::PathTable>();
+  for (PrefixRib& rib : out.ribs)
+    rib.reintern(*master, std::shared_ptr<const bgp::PathTable>(master));
+  out.paths = std::move(master);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Collector
 
 Collector::Collector(const topo::Topology& topo, const PolicySet& policies,
                      std::vector<Asn> vantage_points)
@@ -254,25 +536,53 @@ Collector::Collector(const topo::Topology& topo, const PolicySet& policies,
 }
 
 std::vector<bgp::RibEntry> Collector::collect(
-    const std::vector<Announcement>& announcements) const {
-  std::vector<bgp::RibEntry> entries;
-  for (const Announcement& announcement : announcements) {
-    const PrefixRib rib = simulator_.propagate(announcement);
-    for (const Asn vp : vantage_points_) {
-      const auto it = rib.find(vp);
-      if (it == rib.end()) continue;
-      bgp::RibEntry entry;
-      entry.vantage_point.asn = vp;
-      entry.vantage_point.address = 0xc0000000u | (vp & 0xffffffu);
-      entry.route.prefix = announcement.prefix;
-      entry.route.path = bgp::AsPath(it->second.path);
-      entry.route.communities = it->second.communities;
-      entry.route.large_communities = it->second.large_communities;
-      entry.route.next_hop = entry.vantage_point.address;
-      entries.push_back(std::move(entry));
-    }
+    const std::vector<Announcement>& announcements,
+    util::ThreadPool* pool) const {
+  std::vector<std::pair<Asn, std::uint32_t>> vps;  // (asn, ordinal)
+  vps.reserve(vantage_points_.size());
+  for (const Asn vp : vantage_points_) {
+    const std::uint32_t idx = simulator_.index().find(vp);
+    if (idx != topo::AsIndex::kInvalid) vps.emplace_back(vp, idx);
   }
-  return entries;
+
+  // Entries are gathered per announcement and concatenated in announcement
+  // order, so the chunking cannot affect the output.  The collector reads
+  // the fixed point straight out of the relaxation workspace — no per-
+  // prefix rib is materialized.
+  std::vector<std::vector<bgp::RibEntry>> per_announcement(
+      announcements.size());
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    Simulator::Workspace ws;
+    for (std::size_t i = begin; i < end; ++i) {
+      simulator_.relax(announcements[i], ws, nullptr);
+      auto& entries = per_announcement[i];
+      for (const auto& [vp, idx] : vps) {
+        const Simulator::WorkRoute& r = ws.state[idx];
+        if (!r.valid) continue;
+        bgp::RibEntry entry;
+        entry.vantage_point.asn = vp;
+        entry.vantage_point.address = 0xc0000000u | (vp & 0xffffffu);
+        entry.route.prefix = announcements[i].prefix;
+        entry.route.path = bgp::AsPath(r.path);
+        entry.route.communities = r.communities;
+        entry.route.large_communities = r.large_communities;
+        entry.route.next_hop = entry.vantage_point.address;
+        entries.push_back(std::move(entry));
+      }
+    }
+  };
+  if (pool != nullptr && announcements.size() > 1)
+    pool->parallel_for(announcements.size(), chunk);
+  else if (!announcements.empty())
+    chunk(0, announcements.size());
+
+  std::size_t total = 0;
+  for (const auto& entries : per_announcement) total += entries.size();
+  std::vector<bgp::RibEntry> out;
+  out.reserve(total);
+  for (auto& entries : per_announcement)
+    for (auto& entry : entries) out.push_back(std::move(entry));
+  return out;
 }
 
 }  // namespace bgpintent::routing

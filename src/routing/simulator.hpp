@@ -17,18 +17,41 @@
 //               communities on export; IXP route servers tag member routes
 //               with their own communities while staying out of the path.
 //
-// The fixed point is computed by deterministic rounds of synchronous
-// relaxation (Bellman-Ford style); with valley-free export and class-based
-// preference this converges in O(diameter) rounds.
+// The fixed point is computed by frontier-pruned Gauss-Seidel sweeps in
+// ascending ASN order — only ASes with a neighbor that changed since their
+// last evaluation are recomputed, which cannot alter the sweep's result.
+// Each sweep is scheduled as a sequence of wavefronts: AS i's wave level
+// is the longest ascending-ordinal path through adjacent ASes ending at i,
+// so adjacent ASes always sit in different waves and one wave's members
+// never read each other's state.  Running the waves in order reproduces
+// the ascending sweep exactly, and each wave parallelizes over a
+// util::ThreadPool with bit-identical results at any pool size
+// (docs/SIMULATION.md has the full determinism argument).  With
+// valley-free export and class-based preference this converges in
+// O(diameter) sweeps.
+//
+// Results land in PrefixRib, a compact dense RIB: per-AS slots indexed by
+// topo::AsIndex ordinals, AS paths interned through bgp::PathTable, and
+// community lists packed into flat arenas — a 75K-AS world costs flat
+// arrays, not a hash map of vector-of-vectors per prefix.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "bgp/route.hpp"
 #include "routing/policy.hpp"
 #include "topo/generator.hpp"
+
+namespace bgpintent::util {
+class ThreadPool;
+}
 
 namespace bgpintent::routing {
 
@@ -42,34 +65,146 @@ struct Announcement {
   std::vector<bgp::LargeCommunity> large_communities;
 };
 
-/// The best route of one AS for one prefix.
-struct RibRoute {
-  /// Full AS path from this AS to the origin, this AS first (prepends
-  /// included).
-  std::vector<Asn> path;
-  std::vector<Community> communities;
-  std::vector<bgp::LargeCommunity> large_communities;
-  Asn learned_from = 0;              ///< 0 for the origin itself
-  std::uint32_t local_pref = 0;
-  bool valid = false;
+/// Result of propagating one prefix: the best route of every AS that has
+/// one, stored compactly.  Slots are dense (one per AS ordinal of the
+/// underlying topo::AsIndex), paths are PathIds into a shared
+/// bgp::PathTable, and community lists live in flat arenas; a route is
+/// read through a cheap RouteView of spans.
+class PrefixRib {
+ public:
+  /// A borrowed view of one AS's best route.  Valid as long as the rib
+  /// (and its path table) lives.
+  struct RouteView {
+    /// Full AS path from this AS to the origin, this AS first (prepends
+    /// included).
+    std::span<const Asn> path;
+    std::span<const Community> communities;
+    std::span<const bgp::LargeCommunity> large_communities;
+    Asn learned_from = 0;  ///< 0 for the origin itself
+    std::uint32_t local_pref = 0;
+    bgp::PathId path_id = 0;  ///< into paths()
+  };
 
-  friend bool operator==(const RibRoute&, const RibRoute&) = default;
+  PrefixRib() = default;
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+
+  /// Best route of `asn`, or nullopt when it has none.
+  [[nodiscard]] std::optional<RouteView> find(Asn asn) const noexcept;
+
+  /// Best route of `asn`; throws std::out_of_range when it has none.
+  [[nodiscard]] RouteView at(Asn asn) const;
+
+  /// Number of ASes holding a route.
+  [[nodiscard]] std::size_t size() const noexcept { return valid_count_; }
+  [[nodiscard]] bool empty() const noexcept { return valid_count_ == 0; }
+
+  /// Relaxation rounds until the fixed point (0 for an unknown origin).
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
+
+  /// The path table this rib's PathIds resolve against (shared across ribs
+  /// from the same propagate_all call).
+  [[nodiscard]] const bgp::PathTable& paths() const noexcept { return *paths_; }
+
+  /// Visits every AS with a route in ascending ASN order.
+  void for_each(
+      const std::function<void(Asn, const RouteView&)>& fn) const;
+
+  /// Bytes held by the slots and community arenas (capacities).  The path
+  /// table and AS index are shared across ribs and excluded; add
+  /// paths().memory_bytes() once per table.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Content equality: same ASes, and per AS the same path (by content,
+  /// not PathId), communities, large communities, learned_from and
+  /// local_pref — plus the same round count.  This is the bit-identity
+  /// check behind the sequential == parallel property tests.
+  friend bool operator==(const PrefixRib& a, const PrefixRib& b);
+
+ private:
+  friend class Simulator;
+
+  static constexpr bgp::PathId kNoRoute = 0xffffffffu;
+
+  struct Slot {
+    bgp::PathId path = kNoRoute;  ///< kNoRoute marks "no route"
+    std::uint32_t comm_begin = 0;
+    std::uint32_t large_begin = 0;
+    std::uint16_t comm_count = 0;
+    std::uint16_t large_count = 0;
+    Asn learned_from = 0;
+    std::uint32_t local_pref = 0;
+  };
+
+  [[nodiscard]] RouteView view(std::uint32_t ordinal) const noexcept;
+
+  /// Re-interns every slot's path into `master` (the chunk-local-then-
+  /// reintern merge of propagate_all) and repoints paths_ at `handle`.
+  void reintern(bgp::PathTable& master,
+                std::shared_ptr<const bgp::PathTable> handle);
+
+  std::shared_ptr<const topo::AsIndex> index_;
+  std::shared_ptr<const bgp::PathTable> paths_;
+  std::vector<Slot> slots_;  ///< one per AS ordinal
+  std::vector<Community> comm_arena_;
+  std::vector<bgp::LargeCommunity> large_arena_;
+  std::size_t valid_count_ = 0;
+  std::uint32_t rounds_ = 0;
 };
-
-/// Result of propagating one prefix: best route per AS.
-using PrefixRib = std::unordered_map<Asn, RibRoute>;
 
 class Simulator {
  public:
   Simulator(const topo::Topology& topo, const PolicySet& policies);
 
-  /// Propagates one announcement to convergence.
+  /// Propagates one announcement to convergence (sequential reference).
   [[nodiscard]] PrefixRib propagate(const Announcement& announcement) const;
+
+  /// Same fixed point, with the within-prefix frontier rounds run on
+  /// `pool`.  Bit-identical to the sequential overload at any pool size.
+  [[nodiscard]] PrefixRib propagate(const Announcement& announcement,
+                                    util::ThreadPool& pool) const;
+
+  /// Ribs of many announcements sharing one path table.  With a pool the
+  /// announcements are sharded over the workers (chunk-local path tables,
+  /// re-interned into the shared table in announcement order, so the
+  /// result is bit-identical at any pool size including none).
+  struct RibSet {
+    std::shared_ptr<const bgp::PathTable> paths;
+    std::vector<PrefixRib> ribs;  ///< parallel to the announcements
+  };
+  [[nodiscard]] RibSet propagate_all(std::span<const Announcement> announcements,
+                                     util::ThreadPool* pool = nullptr) const;
+
+  /// Dense ordinal index over the topology's ASes (shared with the ribs).
+  [[nodiscard]] const topo::AsIndex& index() const noexcept { return *index_; }
 
   /// Maximum relaxation rounds (defense against policy disputes).
   static constexpr int kMaxRounds = 64;
 
  private:
+  friend class Collector;
+
+  /// Dense working form of one AS's best route during relaxation.
+  struct WorkRoute {
+    std::vector<Asn> path;
+    std::vector<Community> communities;
+    std::vector<bgp::LargeCommunity> large_communities;
+    Asn learned_from = 0;  ///< 0 for the origin itself
+    topo::RelFrom learned_rel = topo::RelFrom::kCustomer;
+    std::uint32_t local_pref = 0;
+    bool valid = false;
+
+    /// Invalid routes compare equal regardless of stale payload (the
+    /// relaxation workspace resets lazily by flipping `valid` off).
+    friend bool operator==(const WorkRoute& a, const WorkRoute& b) noexcept {
+      if (a.valid != b.valid) return false;
+      if (!a.valid) return true;
+      return a.learned_from == b.learned_from && a.local_pref == b.local_pref &&
+             a.path == b.path && a.communities == b.communities &&
+             a.large_communities == b.large_communities;
+    }
+  };
+
   struct ExportedRoute {
     std::vector<Asn> path;  ///< as received by the importer
     std::vector<Community> communities;
@@ -77,23 +212,67 @@ class Simulator {
     bool valid = false;
   };
 
-  /// What `from` announces to `to` given its current best route, or an
-  /// invalid route if export policy forbids it.
-  [[nodiscard]] ExportedRoute export_route(const RibRoute& best, Asn from,
+  /// One directed adjacency in the flattened graph, with everything the
+  /// inner relaxation loop needs precomputed.
+  struct Arc {
+    std::uint32_t neighbor = 0;  ///< AS ordinal of the neighbor
+    topo::Adjacency adj;         ///< as seen from the owning AS
+    topo::Adjacency reverse;     ///< as seen from the neighbor (its export)
+    const CommunityPolicy* rs_policy = nullptr;  ///< via-route-server tagger
+  };
+
+  /// Per-propagation scratch, reusable across announcements.
+  struct Workspace {
+    std::vector<WorkRoute> state;  ///< per ordinal; reset lazily via live
+    /// Per-ordinal "needs evaluation" flags.  Atomic because one wave's
+    /// members mark their (never same-wave) neighbors concurrently; all
+    /// accesses are relaxed — the parallel_for barrier orders waves.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> marked;
+    std::size_t marked_size = 0;
+    std::atomic<std::uint32_t> pending{0};  ///< count of set marks
+    std::vector<std::uint32_t> live;  ///< ordinals valid at the fixed point
+  };
+
+  /// What `from` announces over `to_adj` given its current best route, or
+  /// an invalid route if export policy forbids it.
+  [[nodiscard]] ExportedRoute export_route(const WorkRoute& best,
+                                           std::uint32_t from,
                                            const topo::Adjacency& to_adj) const;
 
-  /// Import processing at `to` for a route arriving from `from`:
-  /// loop check, blackhole, info tagging, local-pref computation.
-  [[nodiscard]] RibRoute import_route(ExportedRoute route, Asn to,
-                                      const topo::Adjacency& from_adj,
-                                      bool rov_valid) const;
+  /// Import processing at ordinal `to` for a route arriving over
+  /// `from_arc`: loop check, blackhole, info tagging, local-pref.
+  [[nodiscard]] WorkRoute import_route(ExportedRoute route, std::uint32_t to,
+                                       const Arc& from_arc,
+                                       bool rov_valid) const;
 
   /// True if `candidate` is preferred over `incumbent`.
-  [[nodiscard]] static bool better(const RibRoute& candidate,
-                                   const RibRoute& incumbent) noexcept;
+  [[nodiscard]] static bool better(const WorkRoute& candidate,
+                                   const WorkRoute& incumbent) noexcept;
+
+  /// Runs the Gauss-Seidel sweeps for one announcement, leaving the fixed
+  /// point in `ws.state` (`ws.live` lists the ordinals holding a route,
+  /// ascending).  Returns the number of sweeps.  `pool` may be null
+  /// (sequential).
+  std::uint32_t relax(const Announcement& announcement, Workspace& ws,
+                      util::ThreadPool* pool) const;
+
+  /// Interns the fixed point into a compact rib against `table`.
+  [[nodiscard]] PrefixRib compact(const Workspace& ws, std::uint32_t rounds,
+                                  const std::shared_ptr<bgp::PathTable>& table)
+      const;
 
   const topo::Topology* topo_;
   const PolicySet* policies_;
+  std::shared_ptr<const topo::AsIndex> index_;
+  std::vector<Arc> arcs_;                   // CSR adjacency, ordinal-ordered
+  std::vector<std::uint32_t> arc_begin_;    // size() + 1 offsets into arcs_
+  std::vector<const CommunityPolicy*> policy_of_;  // per ordinal
+  std::vector<std::uint8_t> strips_;               // per ordinal
+  // Wavefront schedule: ordinals grouped by level (longest ascending path
+  // through adjacent ASes), ascending within a level.  Adjacent ASes are
+  // never in the same level.
+  std::vector<std::uint32_t> level_members_;
+  std::vector<std::uint32_t> level_begin_;  // per-level offsets, + sentinel
 };
 
 /// A route collector: a set of vantage-point ASes whose best routes are
@@ -107,9 +286,12 @@ class Collector {
     return vantage_points_;
   }
 
-  /// Runs all announcements and collects RIB entries at the vantage points.
+  /// Runs all announcements and collects RIB entries at the vantage
+  /// points.  With a pool, announcements are sharded over the workers;
+  /// the result is identical to the sequential run at any pool size.
   [[nodiscard]] std::vector<bgp::RibEntry> collect(
-      const std::vector<Announcement>& announcements) const;
+      const std::vector<Announcement>& announcements,
+      util::ThreadPool* pool = nullptr) const;
 
  private:
   Simulator simulator_;

@@ -116,6 +116,16 @@ std::vector<AsGraph::Edge> AsGraph::all_edges() const {
   return out;
 }
 
+AsIndex::AsIndex(const AsGraph& graph) : asns_(graph.all_asns()) {
+  ordinals_.reserve(asns_.size());
+  for (std::uint32_t i = 0; i < asns_.size(); ++i) ordinals_.emplace(asns_[i], i);
+}
+
+std::uint32_t AsIndex::find(Asn asn) const noexcept {
+  auto it = ordinals_.find(asn);
+  return it == ordinals_.end() ? kInvalid : it->second;
+}
+
 std::vector<Asn> AsGraph::customer_cone(Asn asn) const {
   std::vector<Asn> cone;
   std::unordered_set<Asn> visited{asn};

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -129,6 +130,36 @@ class AsGraph {
   std::unordered_map<Asn, std::vector<Adjacency>> adjacency_;
   std::size_t edge_count_ = 0;
   static const std::vector<Adjacency> kNoAdjacencies;
+};
+
+/// Dense index over the ASNs of a graph: every AS gets a stable ordinal in
+/// [0, size()), assigned in ascending ASN order.  Dense per-AS state (the
+/// compact RIB, precomputed policy pointers) is keyed on these ordinals
+/// instead of hashing ASNs, so a 75K-AS world costs a flat array, not a
+/// hash map per prefix.
+class AsIndex {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  AsIndex() = default;
+  explicit AsIndex(const AsGraph& graph);
+
+  [[nodiscard]] std::size_t size() const noexcept { return asns_.size(); }
+
+  /// ASN at ordinal `idx`; precondition idx < size().
+  [[nodiscard]] Asn asn_at(std::uint32_t idx) const noexcept {
+    return asns_[idx];
+  }
+
+  /// Ordinal of `asn`, or kInvalid if the AS is not in the graph.
+  [[nodiscard]] std::uint32_t find(Asn asn) const noexcept;
+
+  /// All ASNs, ascending (ordinal i holds the i-th smallest ASN).
+  [[nodiscard]] std::span<const Asn> asns() const noexcept { return asns_; }
+
+ private:
+  std::vector<Asn> asns_;
+  std::unordered_map<Asn, std::uint32_t> ordinals_;
 };
 
 }  // namespace bgpintent::topo

@@ -222,4 +222,78 @@ Topology generate_topology(const TopologyConfig& config) {
   return topo;
 }
 
+TopologyConfig preset_config(ScalePreset preset) {
+  TopologyConfig config;  // kTiny == the defaults.
+  switch (preset) {
+    case ScalePreset::kTiny:
+      break;
+    case ScalePreset::kSmall:
+      config.tier1_count = 12;
+      config.tier2_count = 260;
+      config.stub_count = 2000;
+      config.region_count = 4;
+      config.cities_per_region = 8;
+      config.tier2_peering_prob = 0.08;
+      config.ixp_member_fraction = 0.12;
+      break;
+    case ScalePreset::kMedium:
+      config.tier1_count = 14;
+      config.tier2_count = 900;
+      config.stub_count = 10000;
+      config.region_count = 5;
+      config.cities_per_region = 10;
+      config.tier2_peering_prob = 0.03;
+      config.ixps_per_region = 2;
+      config.ixp_member_fraction = 0.08;
+      config.ixp_peers_per_member = 6;
+      break;
+    case ScalePreset::kLarge:
+      config.tier1_count = 15;
+      config.tier2_count = 1700;
+      config.stub_count = 30000;
+      config.region_count = 6;
+      config.cities_per_region = 12;
+      config.tier2_peering_prob = 0.015;
+      config.ixps_per_region = 2;
+      config.ixp_member_fraction = 0.06;
+      config.ixp_peers_per_member = 8;
+      config.stub_base = 20000;  // 20000..50000, clear of the RS base.
+      break;
+    case ScalePreset::kInternet:
+      config.tier1_count = 15;
+      config.tier2_count = 2600;
+      config.stub_count = 72500;
+      config.region_count = 8;
+      config.cities_per_region = 12;
+      config.tier2_peering_prob = 0.01;
+      config.ixps_per_region = 2;
+      config.ixp_member_fraction = 0.05;
+      config.ixp_peers_per_member = 8;
+      // 72.5K stubs overflow any 16-bit slot above the transit ranges:
+      // park route servers between transit and stubs, and let the stub
+      // range run past the 16-bit ASN boundary (20000..92500) the way
+      // real 32-bit ASN allocations do.
+      config.route_server_base = 15000;
+      config.stub_base = 20000;
+      break;
+  }
+  return config;
+}
+
+const char* preset_name(ScalePreset preset) noexcept {
+  switch (preset) {
+    case ScalePreset::kTiny: return "tiny";
+    case ScalePreset::kSmall: return "small";
+    case ScalePreset::kMedium: return "medium";
+    case ScalePreset::kLarge: return "large";
+    case ScalePreset::kInternet: return "internet";
+  }
+  return "?";
+}
+
+std::vector<ScalePreset> all_scale_presets() {
+  return {ScalePreset::kTiny, ScalePreset::kSmall, ScalePreset::kMedium,
+          ScalePreset::kLarge, ScalePreset::kInternet};
+}
+
 }  // namespace bgpintent::topo

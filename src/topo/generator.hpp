@@ -81,4 +81,32 @@ struct Topology {
 /// Generates a topology from `config`.  Deterministic in config.seed.
 [[nodiscard]] Topology generate_topology(const TopologyConfig& config);
 
+/// Named scale rungs for the synthetic world.  Every rung keeps the same
+/// structural model and knob semantics; only the counts and densities move
+/// toward the measured shape of today's Internet: ~15 tier-1s, a few
+/// thousand transit networks, and ~75K ASes total, the overwhelming
+/// majority stubs.  Densities (tier-2 peering probability, IXP membership)
+/// shrink as the AS count grows so per-AS degree stays Internet-like
+/// instead of scaling quadratically.
+enum class ScalePreset : std::uint8_t {
+  kTiny,      ///< CI-sized default (~600 ASes); identical to TopologyConfig{}.
+  kSmall,     ///< ~2.3K ASes.
+  kMedium,    ///< ~11K ASes.
+  kLarge,     ///< ~32K ASes.
+  kInternet,  ///< ~75K ASes — the paper-scale rung.
+};
+
+/// Config for `preset` (seed stays at the default; callers override).
+/// Large rungs move the stub ASN base so stub, route-server and transit
+/// ranges never collide, and deliberately let the stub range cross the
+/// 16-bit ASN boundary: like real 32-bit-ASN holders, those ASes cannot
+/// key classic communities with their own ASN (see generate_policies).
+[[nodiscard]] TopologyConfig preset_config(ScalePreset preset);
+
+/// Lower-case preset name ("tiny", "small", ..., "internet").
+[[nodiscard]] const char* preset_name(ScalePreset preset) noexcept;
+
+/// All presets, ascending by size (for benches sweeping the ladder).
+[[nodiscard]] std::vector<ScalePreset> all_scale_presets();
+
 }  // namespace bgpintent::topo

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "bgp/aspath.hpp"
@@ -158,6 +159,47 @@ TEST(InternTuples, SharesPathsAcrossTuples) {
   EXPECT_EQ(interned[0].path, interned[1].path);
   EXPECT_NE(interned[0].path, interned[2].path);
   EXPECT_EQ(interned[1].community, Community(1299, 200));
+}
+
+TEST(PathTable, InternSequenceMatchesAsPathInterning) {
+  // intern_sequence must land in the same slot (same id, same hash) as
+  // interning the equivalent single-sequence AsPath — the simulator's
+  // compact RIBs and the observation core share tables through this.
+  PathTable table;
+  const PathId a = table.intern(seq({701, 1299, 64496}));
+  const std::vector<Asn> raw = {701, 1299, 64496};
+  EXPECT_EQ(table.intern_sequence(raw), a);
+  EXPECT_EQ(table.hash(a), seq({701, 1299, 64496}).hash());
+
+  // And the other direction: sequence first, AsPath second.
+  PathTable fresh;
+  const std::vector<Asn> longer = {3356, 3356, 174};
+  const PathId b = fresh.intern_sequence(longer);
+  EXPECT_EQ(fresh.intern(seq({3356, 3356, 174})), b);
+  EXPECT_EQ(fresh.hash(b), seq({3356, 3356, 174}).hash());
+}
+
+TEST(PathTable, InternSequenceEmptyMatchesEmptyPath) {
+  PathTable table;
+  const PathId a = table.intern_sequence(std::span<const Asn>{});
+  EXPECT_EQ(table.intern(AsPath()), a);
+  EXPECT_TRUE(table.asns(a).empty());
+}
+
+TEST(PathTable, InternSequenceDedupesAndGrows) {
+  PathTable table;
+  std::vector<Asn> path(3);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    path[0] = 100 + (i % 250);
+    path[1] = 200;
+    path[2] = 300 + i;
+    table.intern_sequence(path);
+  }
+  EXPECT_EQ(table.size(), 500u);
+  path[0] = 100;
+  path[2] = 300;
+  EXPECT_EQ(table.intern_sequence(path), 0u);
+  EXPECT_EQ(table.unique_asns(0).size(), 3u);
 }
 
 }  // namespace

@@ -187,5 +187,29 @@ TEST(PolicySet, FindMissingReturnsNull) {
   EXPECT_EQ(set.find(42), nullptr);
 }
 
+TEST(GeneratePolicies, AsesPastThe16BitBoundaryDefineNothing) {
+  // Large-scale presets run the stub range past 65535; those ASes cannot
+  // key classic communities with their own ASN and must stay policy-free
+  // (a truncated alpha would alias another AS's community space).
+  topo::TopologyConfig cfg;
+  cfg.seed = 9;
+  cfg.tier1_count = 4;
+  cfg.tier2_count = 16;
+  cfg.stub_count = 40;
+  cfg.stub_base = 65520;  // stubs 65520..65559 straddle the boundary
+  const auto topo = topo::generate_topology(cfg);
+  PolicyConfig pcfg;
+  pcfg.stub_defines = 1.0;
+  const PolicySet set = generate_policies(topo, pcfg);
+  for (const auto& [asn, policy] : set.policies) EXPECT_LE(asn, 0xffffu);
+  for (const Asn asn : topo.asns_with_tier(topo::Tier::kStub)) {
+    if (asn > 0xffff) {
+      EXPECT_EQ(set.find(asn), nullptr) << asn;
+    } else {
+      EXPECT_NE(set.find(asn), nullptr) << asn;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bgpintent::routing

@@ -31,6 +31,16 @@ Announcement ann(Asn origin, std::vector<Community> communities = {}) {
   return a;
 }
 
+std::vector<Asn> path_of(const PrefixRib& rib, Asn asn) {
+  const auto view = rib.at(asn);
+  return {view.path.begin(), view.path.end()};
+}
+
+std::vector<Community> comms_of(const PrefixRib& rib, Asn asn) {
+  const auto view = rib.at(asn);
+  return {view.communities.begin(), view.communities.end()};
+}
+
 /// Simple chain: 1 (tier1) provides 2, 2 provides 3 (origin).
 struct Chain {
   topo::Topology topo;
@@ -53,9 +63,9 @@ TEST(Simulator, PropagatesUpChain) {
   ASSERT_TRUE(rib.contains(3));
   ASSERT_TRUE(rib.contains(2));
   ASSERT_TRUE(rib.contains(1));
-  EXPECT_EQ(rib.at(3).path, (std::vector<Asn>{3}));
-  EXPECT_EQ(rib.at(2).path, (std::vector<Asn>{2, 3}));
-  EXPECT_EQ(rib.at(1).path, (std::vector<Asn>{1, 2, 3}));
+  EXPECT_EQ(path_of(rib, 3), (std::vector<Asn>{3}));
+  EXPECT_EQ(path_of(rib, 2), (std::vector<Asn>{2, 3}));
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 2, 3}));
   EXPECT_EQ(rib.at(1).learned_from, 2u);
 }
 
@@ -81,9 +91,9 @@ TEST(Simulator, ValleyFreePeerRoutesNotReExportedToPeer) {
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(3));
   ASSERT_TRUE(rib.contains(1));
-  EXPECT_EQ(rib.at(1).path, (std::vector<Asn>{1, 2, 3}));
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 2, 3}));
   ASSERT_TRUE(rib.contains(4));
-  EXPECT_EQ(rib.at(4).path, (std::vector<Asn>{4, 2, 3}));
+  EXPECT_EQ(path_of(rib, 4), (std::vector<Asn>{4, 2, 3}));
 }
 
 TEST(Simulator, ProviderRouteNotExportedToProviderOrPeer) {
@@ -123,7 +133,7 @@ TEST(Simulator, PrefersCustomerOverPeerOverProvider) {
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(3));
   ASSERT_TRUE(rib.contains(10));
-  EXPECT_EQ(rib.at(10).path, (std::vector<Asn>{10, 11, 3}));
+  EXPECT_EQ(path_of(rib, 10), (std::vector<Asn>{10, 11, 3}));
 }
 
 TEST(Simulator, ShorterPathWinsWithinClass) {
@@ -137,20 +147,20 @@ TEST(Simulator, ShorterPathWinsWithinClass) {
   PolicySet policies;
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(3));
-  EXPECT_EQ(rib.at(1).path, (std::vector<Asn>{1, 3}));
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 3}));
 }
 
 TEST(Simulator, LoopPrevention) {
   Chain c;
   Simulator sim(c.topo, c.policies);
   const auto rib = sim.propagate(ann(3));
-  for (const auto& [asn, route] : rib) {
-    auto sorted = route.path;
+  rib.for_each([](Asn asn, const PrefixRib::RouteView& route) {
+    std::vector<Asn> sorted(route.path.begin(), route.path.end());
     std::sort(sorted.begin(), sorted.end());
     EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
                 sorted.end())
         << "duplicate ASN in path of AS " << asn;
-  }
+  });
 }
 
 TEST(Simulator, NoExportToAsHonored) {
@@ -167,8 +177,9 @@ TEST(Simulator, NoExportToAsHonored) {
   EXPECT_TRUE(rib.contains(2));
   EXPECT_FALSE(rib.contains(1));  // suppressed
   // Community still visible at AS 2 (transitive attribute).
-  EXPECT_TRUE(std::count(rib.at(2).communities.begin(),
-                         rib.at(2).communities.end(), Community(2, 100)));
+  const auto communities = comms_of(rib, 2);
+  EXPECT_TRUE(std::count(communities.begin(), communities.end(),
+                         Community(2, 100)));
 }
 
 TEST(Simulator, NoExportToAsRegionScoped) {
@@ -209,7 +220,7 @@ TEST(Simulator, PrependHonored) {
   const auto rib =
       sim.propagate(ann(3, {Community(2, 102)}));
   ASSERT_TRUE(rib.contains(1));
-  EXPECT_EQ(rib.at(1).path, (std::vector<Asn>{1, 2, 2, 2, 3}));
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 2, 2, 2, 3}));
 }
 
 TEST(Simulator, BlackholeDropsAtOwner) {
@@ -259,7 +270,7 @@ TEST(Simulator, InfoTaggingAtIngress) {
   Simulator sim(c.topo, c.policies);
   const auto rib = sim.propagate(ann(3));
   ASSERT_TRUE(rib.contains(2));
-  const auto& communities = rib.at(2).communities;
+  const auto communities = comms_of(rib, 2);
   // Geo tag present (alpha 2, geo block for region 0 city 0).
   bool has_geo = false, has_rel = false, has_rov = false;
   for (const Community community : communities) {
@@ -273,7 +284,7 @@ TEST(Simulator, InfoTaggingAtIngress) {
   EXPECT_TRUE(has_rov);
   // Tags propagate transitively to AS 1.
   ASSERT_TRUE(rib.contains(1));
-  EXPECT_EQ(rib.at(1).communities, communities);
+  EXPECT_EQ(comms_of(rib, 1), communities);
 }
 
 TEST(Simulator, RelationshipTagReflectsPerspective) {
@@ -292,8 +303,8 @@ TEST(Simulator, RelationshipTagReflectsPerspective) {
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(9));
   ASSERT_TRUE(rib.contains(2));
-  EXPECT_TRUE(std::count(rib.at(2).communities.begin(),
-                         rib.at(2).communities.end(),
+  const auto communities = comms_of(rib, 2);
+  EXPECT_TRUE(std::count(communities.begin(), communities.end(),
                          Community(2, 45002)));  // learned from provider
 }
 
@@ -334,8 +345,8 @@ TEST(Simulator, RouteServerTagsWithoutAppearingInPath) {
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(3));
   ASSERT_TRUE(rib.contains(1));
-  const auto& route = rib.at(1);
-  EXPECT_EQ(route.path, (std::vector<Asn>{1, 2, 3}));  // RS not in path
+  const auto route = rib.at(1);
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 2, 3}));  // RS not in path
   bool has_rs_tag = false;
   for (const Community community : route.communities)
     if (community.alpha() == 60000) has_rs_tag = true;
@@ -357,7 +368,7 @@ TEST(Simulator, SiblingRoutesExportEverywhere) {
   Simulator sim(topo, policies);
   const auto rib = sim.propagate(ann(3));
   ASSERT_TRUE(rib.contains(1));
-  EXPECT_EQ(rib.at(1).path, (std::vector<Asn>{1, 20, 21, 3}));
+  EXPECT_EQ(path_of(rib, 1), (std::vector<Asn>{1, 20, 21, 3}));
 }
 
 TEST(Simulator, AnnouncementCommunitiesDeduplicated) {

@@ -146,6 +146,29 @@ TEST(AsNode, PresentInRegion) {
   EXPECT_FALSE(n.present_in_region(7));
 }
 
+TEST(AsIndex, OrdinalsAreDenseAndAscending) {
+  const AsGraph g = triangle();
+  const AsIndex index(g);
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.asn_at(0), 1u);
+  EXPECT_EQ(index.asn_at(1), 2u);
+  EXPECT_EQ(index.asn_at(2), 3u);
+  EXPECT_EQ(index.find(1), 0u);
+  EXPECT_EQ(index.find(3), 2u);
+  EXPECT_EQ(index.find(99), AsIndex::kInvalid);
+}
+
+TEST(AsIndex, RoundTripsEveryAsn) {
+  AsGraph g;
+  for (Asn asn : {7u, 100000u, 42u, 65536u}) g.add_as(node(asn));
+  const AsIndex index(g);
+  for (std::uint32_t i = 0; i < index.size(); ++i)
+    EXPECT_EQ(index.find(index.asn_at(i)), i);
+  // all_asns() is ascending, so ordinals follow ASN order.
+  EXPECT_EQ(index.asn_at(0), 7u);
+  EXPECT_EQ(index.asn_at(3), 100000u);
+}
+
 TEST(ToString, TierAndRelationship) {
   EXPECT_EQ(to_string(Tier::kTier1), "tier1");
   EXPECT_EQ(to_string(Tier::kRouteServer), "route_server");

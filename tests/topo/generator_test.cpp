@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace bgpintent::topo {
 namespace {
@@ -155,6 +157,83 @@ TEST(Generator, StripFractionRoughlyHonored) {
   // ~5% of ~820 non-tier1 nodes; allow generous slack.
   EXPECT_GT(strippers, 10u);
   EXPECT_LT(strippers, 100u);
+}
+
+TEST(ScalePreset, LadderGrowsMonotonically) {
+  std::size_t prev = 0;
+  for (const ScalePreset preset : all_scale_presets()) {
+    const TopologyConfig cfg = preset_config(preset);
+    const std::size_t total = cfg.tier1_count + cfg.tier2_count +
+                              cfg.stub_count +
+                              static_cast<std::size_t>(cfg.region_count) *
+                                  cfg.ixps_per_region;
+    EXPECT_GT(total, prev) << preset_name(preset);
+    prev = total;
+  }
+}
+
+TEST(ScalePreset, TinyMatchesDefaults) {
+  const TopologyConfig tiny = preset_config(ScalePreset::kTiny);
+  const TopologyConfig defaults;
+  EXPECT_EQ(tiny.tier1_count, defaults.tier1_count);
+  EXPECT_EQ(tiny.tier2_count, defaults.tier2_count);
+  EXPECT_EQ(tiny.stub_count, defaults.stub_count);
+  EXPECT_EQ(tiny.stub_base, defaults.stub_base);
+}
+
+TEST(ScalePreset, InternetReachesPaperScale) {
+  const TopologyConfig cfg = preset_config(ScalePreset::kInternet);
+  EXPECT_GE(cfg.tier1_count + cfg.tier2_count + cfg.stub_count, 75000u);
+  // The stub range crosses the 16-bit ASN boundary by design (32-bit-ASN
+  // holders without classic-community alphas).
+  EXPECT_GT(cfg.stub_base + cfg.stub_count, 0x10000u);
+}
+
+TEST(ScalePreset, AsnRangesNeverOverlap) {
+  for (const ScalePreset preset : all_scale_presets()) {
+    const TopologyConfig cfg = preset_config(preset);
+    // [base, base+count) intervals for each tier must be pairwise disjoint.
+    const std::vector<std::pair<Asn, Asn>> ranges = {
+        {cfg.tier1_base, cfg.tier1_base + cfg.tier1_count},
+        {cfg.tier2_base, cfg.tier2_base + cfg.tier2_count},
+        {cfg.stub_base, cfg.stub_base + cfg.stub_count},
+        {cfg.route_server_base,
+         cfg.route_server_base +
+             static_cast<Asn>(cfg.region_count) * cfg.ixps_per_region}};
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+      for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+        const bool disjoint = ranges[i].second <= ranges[j].first ||
+                              ranges[j].second <= ranges[i].first;
+        EXPECT_TRUE(disjoint) << preset_name(preset) << " ranges " << i
+                              << " and " << j;
+      }
+  }
+}
+
+TEST(ScalePreset, SmallPresetGeneratesRequestedShape) {
+  TopologyConfig cfg = preset_config(ScalePreset::kSmall);
+  cfg.seed = 5;
+  const Topology topo = generate_topology(cfg);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kTier1).size(), cfg.tier1_count);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kTier2).size(), cfg.tier2_count);
+  EXPECT_EQ(topo.asns_with_tier(Tier::kStub).size(), cfg.stub_count);
+  // Mean stub degree stays Internet-like (roughly 1.5..4 providers).
+  std::size_t stub_edges = 0;
+  const auto stubs = topo.asns_with_tier(Tier::kStub);
+  for (Asn asn : stubs)
+    stub_edges += topo.graph.neighbors_with(asn, RelFrom::kProvider).size();
+  const double mean = static_cast<double>(stub_edges) /
+                      static_cast<double>(stubs.size());
+  EXPECT_GT(mean, 1.4);
+  EXPECT_LT(mean, 4.0);
+}
+
+TEST(ScalePreset, NamesAreStable) {
+  EXPECT_STREQ(preset_name(ScalePreset::kTiny), "tiny");
+  EXPECT_STREQ(preset_name(ScalePreset::kSmall), "small");
+  EXPECT_STREQ(preset_name(ScalePreset::kMedium), "medium");
+  EXPECT_STREQ(preset_name(ScalePreset::kLarge), "large");
+  EXPECT_STREQ(preset_name(ScalePreset::kInternet), "internet");
 }
 
 TEST(Generator, Tier1sNeverStripCommunities) {
