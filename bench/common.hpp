@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "routing/scenario.hpp"
+#include "topo/generator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -31,6 +34,31 @@ inline routing::ScenarioConfig default_scenario_config(
   cfg.workload_seed = seed + 2;
   cfg.vantage_point_count = 150;
   return cfg;
+}
+
+/// `BGPINTENT_BENCH_SCALE=<preset>` swaps a bench's hand-sized topology
+/// for a rung of the `topo::ScalePreset` ladder (tiny .. internet, see
+/// docs/SIMULATION.md), keeping the bench's seeds and vantage-point
+/// count.  Returns the preset name in effect, or nullptr when the
+/// variable is unset; an unknown name exits with usage code 2 so CI
+/// misconfigurations fail loudly instead of silently benchmarking the
+/// default world.
+inline const char* apply_bench_scale(routing::ScenarioConfig& cfg) {
+  const char* env = std::getenv("BGPINTENT_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return nullptr;
+  for (const topo::ScalePreset preset : topo::all_scale_presets()) {
+    if (std::strcmp(env, topo::preset_name(preset)) == 0) {
+      const std::uint64_t seed = cfg.topology.seed;
+      cfg.topology = topo::preset_config(preset);
+      cfg.topology.seed = seed;
+      return topo::preset_name(preset);
+    }
+  }
+  std::fprintf(stderr,
+               "BGPINTENT_BENCH_SCALE=%s: unknown preset (want tiny, "
+               "small, medium, large, or internet)\n",
+               env);
+  std::exit(2);
 }
 
 inline void print_banner(const char* title, const routing::ScenarioConfig& cfg) {

@@ -48,6 +48,8 @@ int main() {
   auto cfg = bench::default_scenario_config();
   cfg.topology.stub_count = 900;
   cfg.vantage_point_count = 200;
+  if (const char* scale = bench::apply_bench_scale(cfg))
+    std::printf("scale preset: %s (BGPINTENT_BENCH_SCALE)\n", scale);
   bench::print_banner("parallel_scaling — pipeline speedup vs threads", cfg);
 
   const auto scenario = routing::Scenario::build(cfg);

@@ -35,6 +35,8 @@ int main() {
   auto cfg = bench::default_scenario_config();
   cfg.topology.stub_count = 400;
   cfg.vantage_point_count = 80;
+  if (const char* scale = bench::apply_bench_scale(cfg))
+    std::printf("scale preset: %s (BGPINTENT_BENCH_SCALE)\n", scale);
   bench::print_banner("serve_throughput — daemon ingest and query rates",
                       cfg);
 

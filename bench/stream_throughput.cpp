@@ -1,0 +1,277 @@
+// Streaming subsystem throughput (docs/STREAMING.md §5): end-to-end
+// updates/second through StreamEngine over a synthetic BGP4MP firehose,
+// reclassification latency percentiles, window memory, and the headline
+// comparison — dirty-alpha reclassification vs. relabeling the whole
+// window (`mark_all_dirty`) every epoch.
+//
+// The dirty-vs-full comparison is also a correctness smoke: both replays
+// must end with identical labels, and the process exits non-zero if they
+// differ or if dirty tracking fails the >=5x acceptance gate.
+//
+// BGPINTENT_WORLD_SCALE=smoke shrinks the world for CI;
+// BGPINTENT_BENCH_REPEATS repeats the timed phases (best-of);
+// BGPINTENT_BENCH_JSON writes the machine-readable report compared
+// against the committed BENCH_stream.json baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "mrt/source.hpp"
+#include "mrt/update_stream.hpp"
+#include "stream/engine.hpp"
+#include "stream/synth.hpp"
+#include "stream/window.hpp"
+
+using namespace bgpintent;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One decoded update, materialized so the replay phases pay no decode
+/// cost inside the timed region.
+struct Update {
+  bool announce = false;
+  bgp::RibEntry entry;
+  bgp::VantagePointId peer;
+  bgp::Prefix prefix;
+  std::uint32_t timestamp = 0;
+};
+
+class Recorder final : public mrt::UpdateSink {
+ public:
+  void on_announce(bgp::RibEntry& entry, std::uint32_t timestamp) override {
+    Update update;
+    update.announce = true;
+    update.entry = entry;
+    update.timestamp = timestamp;
+    updates.push_back(std::move(update));
+  }
+  void on_withdraw(const bgp::VantagePointId& peer, const bgp::Prefix& prefix,
+                   std::uint32_t timestamp) override {
+    Update update;
+    update.peer = peer;
+    update.prefix = prefix;
+    update.timestamp = timestamp;
+    updates.push_back(std::move(update));
+  }
+  std::vector<Update> updates;
+};
+
+/// Replays the updates, reclassifying once per epoch (and once at the
+/// end).  Record timestamps spread *within* an epoch and are not globally
+/// sorted, so the boundary is the monotone maximum — the same "window
+/// never moves backward" rule the classifier itself applies.  `full`
+/// switches to the mark_all_dirty() baseline.  Returns per-reclassify
+/// durations in microseconds; `total_ms` accumulates only the reclassify
+/// time, so the comparison isolates the classification work the two
+/// strategies differ in.
+std::vector<double> replay(stream::WindowClassifier& window,
+                           const std::vector<Update>& updates,
+                           std::uint32_t epoch_seconds, bool full,
+                           double& total_ms) {
+  std::vector<double> reclassify_us;
+  const auto reclassify = [&]() {
+    if (full) window.mark_all_dirty();
+    const auto start = std::chrono::steady_clock::now();
+    (void)window.reclassify_dirty();
+    const double ms = ms_since(start);
+    total_ms += ms;
+    reclassify_us.push_back(ms * 1000.0);
+  };
+  bool started = false;
+  std::uint32_t max_epoch = 0;
+  for (const Update& update : updates) {
+    const std::uint32_t epoch = update.timestamp / epoch_seconds;
+    if (started && epoch > max_epoch) reclassify();
+    max_epoch = std::max(max_epoch, epoch);
+    started = true;
+    if (update.announce)
+      window.announce(update.entry, update.timestamp);
+    else
+      window.withdraw(update.peer, update.prefix, update.timestamp);
+  }
+  reclassify();
+  return reclassify_us;
+}
+
+}  // namespace
+
+int main() {
+  const char* mode_env = std::getenv("BGPINTENT_WORLD_SCALE");
+  const bool smoke =
+      mode_env != nullptr && std::strcmp(mode_env, "smoke") == 0;
+  const int repeats = [] {
+    const char* env = std::getenv("BGPINTENT_BENCH_REPEATS");
+    return env != nullptr ? std::max(1, std::atoi(env)) : 1;
+  }();
+
+  // The shipped default window shape: a trailing week of 168 epochs.  The
+  // benched stream covers the table-transfer epoch plus a long steady
+  // phase of diff/flap traffic — the regime a collector session spends
+  // its life in, where each epoch touches a small fraction of the
+  // community universe.  (Epoch expiry itself is equivalence-tested in
+  // tests/property/stream_window_test.cpp; in a mini-world whose whole
+  // alpha universe fits in one epoch of expiry, "expiring evidence"
+  // degenerates to "relabel everything" and measures nothing.)
+  stream::SynthStreamConfig synth_cfg;
+  synth_cfg.scenario = bench::default_scenario_config(20230807);
+  synth_cfg.scenario.topology.stub_count = smoke ? 120 : 300;
+  synth_cfg.scenario.topology.tier2_count = smoke ? 60 : 80;
+  synth_cfg.scenario.topology.tier1_count = smoke ? 6 : 10;
+  synth_cfg.scenario.vantage_point_count = smoke ? 12 : 40;
+  synth_cfg.scenario.day_churn = 0.02;
+  synth_cfg.epochs = smoke ? 24 : 36;
+  synth_cfg.epoch_seconds = 600;
+  synth_cfg.flap_fraction = 0.05;
+
+  stream::WindowConfig window_cfg;
+  window_cfg.epoch_seconds = synth_cfg.epoch_seconds;
+  window_cfg.window_epochs = 168;  // the paper-shaped trailing week
+
+  bench::print_banner("stream_throughput — sliding-window update ingest",
+                      synth_cfg.scenario);
+  std::printf("stream: %u epochs x %us, flap %.2f, window %u epochs%s\n",
+              synth_cfg.epochs, synth_cfg.epoch_seconds,
+              synth_cfg.flap_fraction, window_cfg.window_epochs,
+              smoke ? " (smoke)" : "");
+
+  const stream::SynthStream synth = stream::generate_update_stream(synth_cfg);
+  std::printf("workload: %llu records (%llu announce / %llu withdraw), "
+              "%zu MRT bytes\n\n",
+              static_cast<unsigned long long>(synth.stats.records),
+              static_cast<unsigned long long>(synth.stats.announcements),
+              static_cast<unsigned long long>(synth.stats.withdrawals),
+              synth.bytes.size());
+
+  // --- Phase 1: end-to-end engine ingest (decode + window + events). ---
+  double ingest_ms = 0.0;
+  stream::EngineStats engine_stats;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    stream::StreamEngine engine(window_cfg);
+    const mrt::BufferSource source(synth.bytes);
+    const auto start = std::chrono::steady_clock::now();
+    engine.ingest(source);
+    const double ms = ms_since(start);
+    if (repeat == 0 || ms < ingest_ms) ingest_ms = ms;
+    engine_stats = engine.stats();
+  }
+  const double updates_per_sec =
+      ingest_ms > 0.0
+          ? static_cast<double>(engine_stats.updates_ok) / (ingest_ms / 1e3)
+          : 0.0;
+
+  // --- Phase 2: dirty tracking vs. full relabel, per epoch. ---
+  Recorder recorder;
+  {
+    const mrt::BufferSource source(synth.bytes);
+    mrt::decode_update_stream(source, recorder);
+  }
+  double dirty_ms = 0.0;
+  double full_ms = 0.0;
+  std::vector<double> dirty_us;
+  std::vector<std::pair<stream::Community, stream::Intent>> dirty_labels;
+  std::vector<std::pair<stream::Community, stream::Intent>> full_labels;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    stream::WindowClassifier dirty_window(window_cfg);
+    stream::WindowClassifier full_window(window_cfg);
+    double dirty_total = 0.0;
+    double full_total = 0.0;
+    auto us = replay(dirty_window, recorder.updates,
+                     window_cfg.epoch_seconds, false, dirty_total);
+    (void)replay(full_window, recorder.updates, window_cfg.epoch_seconds,
+                 true, full_total);
+    if (repeat == 0 || dirty_total < dirty_ms) {
+      dirty_ms = dirty_total;
+      dirty_us = std::move(us);
+    }
+    if (repeat == 0 || full_total < full_ms) full_ms = full_total;
+    if (repeat == 0) {
+      dirty_labels = dirty_window.labels();
+      full_labels = full_window.labels();
+    }
+  }
+  const double speedup = dirty_ms > 0.0 ? full_ms / dirty_ms : 0.0;
+  const double p50_us = util::percentile(dirty_us, 50.0);
+  const double p99_us = util::percentile(dirty_us, 99.0);
+  const bool identical = dirty_labels == full_labels;
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"engine ingest ms", util::fixed(ingest_ms, 1)});
+  table.add_row({"updates/sec", util::fixed(updates_per_sec, 0)});
+  table.add_row({"label events",
+                 std::to_string(engine_stats.events)});
+  table.add_row({"live tuples", std::to_string(engine_stats.live_tuples)});
+  table.add_row({"window memory KiB",
+                 util::fixed(static_cast<double>(
+                                 engine_stats.window_memory_bytes) /
+                                 1024.0,
+                             1)});
+  table.add_row({"dirty reclassify ms (total)", util::fixed(dirty_ms, 2)});
+  table.add_row({"full reclassify ms (total)", util::fixed(full_ms, 2)});
+  table.add_row({"dirty speedup", util::fixed(speedup, 2)});
+  table.add_row({"dirty reclassify p50 us", util::fixed(p50_us, 1)});
+  table.add_row({"dirty reclassify p99 us", util::fixed(p99_us, 1)});
+  std::printf("%s\n", table.render().c_str());
+
+  if (const char* out_path = std::getenv("BGPINTENT_BENCH_JSON")) {
+    if (std::FILE* out = std::fopen(out_path, "w")) {
+      std::fprintf(
+          out,
+          "{\n"
+          "  \"bench\": \"stream_throughput\",\n"
+          "  \"workload\": {\"records\": %llu, \"announcements\": %llu, "
+          "\"withdrawals\": %llu, \"mrt_bytes\": %zu, \"epochs\": %u, "
+          "\"window_epochs\": %u, \"smoke\": %s},\n"
+          "  \"results\": {\n"
+          "    \"ingest_ms\": %.3f,\n"
+          "    \"updates_per_sec\": %.1f,\n"
+          "    \"label_events\": %llu,\n"
+          "    \"live_tuples\": %llu,\n"
+          "    \"window_memory_bytes\": %zu,\n"
+          "    \"dirty_reclassify_ms\": %.3f,\n"
+          "    \"full_reclassify_ms\": %.3f,\n"
+          "    \"dirty_speedup\": %.2f,\n"
+          "    \"reclassify_p50_us\": %.1f,\n"
+          "    \"reclassify_p99_us\": %.1f,\n"
+          "    \"identical\": %s\n"
+          "  }\n"
+          "}\n",
+          static_cast<unsigned long long>(synth.stats.records),
+          static_cast<unsigned long long>(synth.stats.announcements),
+          static_cast<unsigned long long>(synth.stats.withdrawals),
+          synth.bytes.size(), synth_cfg.epochs, window_cfg.window_epochs,
+          smoke ? "true" : "false", ingest_ms, updates_per_sec,
+          static_cast<unsigned long long>(engine_stats.events),
+          static_cast<unsigned long long>(engine_stats.live_tuples),
+          engine_stats.window_memory_bytes, dirty_ms, full_ms, speedup,
+          p50_us, p99_us, identical ? "true" : "false");
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", out_path);
+    }
+  }
+
+  if (!identical) {
+    std::printf("FAIL: dirty-tracking labels differ from full relabeling\n");
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::printf("FAIL: dirty tracking speedup %.2fx below the 5x gate\n",
+                speedup);
+    return 1;
+  }
+  std::printf("labels identical; dirty tracking %.2fx faster than full "
+              "relabeling (gate: 5x)\n",
+              speedup);
+  return 0;
+}

@@ -11,9 +11,12 @@
 //
 // Two classification backends:
 //   anomaly_watch               — in-process batch Pipeline (default)
-//   anomaly_watch <host>:<port> — a running `bgpintent serve` daemon: the
-//     tuples are streamed over INGEST and labels fetched with LABEL, so
-//     several watchers can share one long-lived classifier.
+//   anomaly_watch <host>:<port> — a running daemon: the tuples are
+//     streamed over INGEST, then labels arrive in one SUBSCRIBE snapshot
+//     round (stream-mode daemons, docs/STREAMING.md).  Classic daemons
+//     answer ERR to SUBSCRIBE and the watcher falls back to per-community
+//     LABEL polling, so several watchers can share either kind of
+//     long-lived classifier.
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -23,6 +26,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "dict/intent.hpp"
 #include "routing/scenario.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -45,10 +49,9 @@ std::map<RouteKey, std::set<bgp::Community>> index_routes(
   return by_route;
 }
 
-// Streams the tuples to a serve daemon and labels via LABEL queries
-// (memoised: each distinct community crosses the wire once).
-Labeler remote_labeler(serve::Client& client,
-                       const std::vector<bgp::RibEntry>& entries) {
+// Streams the tuples to a serve daemon over INGEST.
+void stream_observations(serve::Client& client,
+                         const std::vector<bgp::RibEntry>& entries) {
   std::size_t sent = 0;
   std::size_t skipped = 0;
   for (const auto& entry : entries) {
@@ -63,7 +66,47 @@ Labeler remote_labeler(serve::Client& client,
   }
   std::printf("streamed %zu observations to the daemon (%zu skipped)\n",
               sent, skipped);
+}
+
+// Labels from the daemon.  One "SUBSCRIBE snapshot" round trip fetches
+// every current label at once from a stream-mode daemon; a classic daemon
+// answers ERR and the labeler falls back to memoised per-community LABEL
+// polling on the same connection (SUBSCRIBE only upgrades to a push
+// stream on an OK response).
+Labeler remote_labeler(serve::Client& client) {
   auto cache = std::make_shared<std::map<bgp::Community, dict::Intent>>();
+  bool snapshot = false;
+  try {
+    client.send_line("SUBSCRIBE snapshot");
+    auto line = client.read_line(10000);
+    if (line && util::starts_with(*line, "OK")) {
+      snapshot = true;
+      while ((line = client.read_line(10000))) {
+        if (util::starts_with(*line, "END")) break;
+        // DATA community=<a:b> label=<l>
+        std::optional<bgp::Community> community;
+        std::optional<dict::Intent> intent;
+        for (const auto field : util::split_whitespace(*line)) {
+          if (field.starts_with("community="))
+            community = bgp::Community::parse(field.substr(10));
+          else if (field.starts_with("label="))
+            intent = dict::parse_intent(field.substr(6));
+        }
+        if (community && intent) cache->emplace(*community, *intent);
+      }
+      std::printf("fetched %zu labels in one SUBSCRIBE snapshot\n",
+                  cache->size());
+    }
+  } catch (const serve::ServeError&) {
+    snapshot = false;  // treat a dropped probe like a classic daemon
+  }
+  if (snapshot) {
+    return [cache](bgp::Community community) {
+      const auto it = cache->find(community);
+      return it == cache->end() ? dict::Intent::kUnclassified : it->second;
+    };
+  }
+  std::printf("daemon has no event stream; polling labels over LABEL\n");
   return [&client, cache](bgp::Community community) {
     const auto it = cache->find(community);
     if (it != cache->end()) return it->second;
@@ -125,10 +168,13 @@ int main(int argc, char** argv) {
       // window or a quick restart (serve/client.hpp RetryPolicy).
       client = serve::Client::connect_with_retry(
           target.substr(0, colon), static_cast<std::uint16_t>(*port));
-      label_of = remote_labeler(*client, combined);
+      stream_observations(*client, combined);
+      // TOTALS must precede the SUBSCRIBE probe: an OK response upgrades
+      // the connection to a push stream with no request/response left.
       const auto totals = client->totals();
       information_count = totals.information;
       action_count = totals.action;
+      label_of = remote_labeler(*client);
     } catch (const serve::ServeError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

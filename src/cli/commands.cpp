@@ -18,6 +18,8 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
+#include "stream/engine.hpp"
+#include "stream/synth.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -756,6 +758,280 @@ int cmd_query(int argc, char** argv) {
   }
 }
 
+int cmd_stream(int argc, char** argv) {
+  const auto args = Args::parse(
+      argc, argv, 2,
+      {"listen", "port", "threads", "read-timeout", "epoch-seconds",
+       "window-epochs", "gap", "threshold", "max-errors", "max-error-frac"},
+      {"serve", "no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap"});
+  if (!args) return kExitUsage;
+  mrt::DecodeOptions decode;
+  if (!parse_decode_options(*args, decode)) return kExitUsage;
+  const auto mmap_mode = parse_mmap_mode(*args);
+  if (!mmap_mode) return kExitUsage;
+  const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
+  const auto threads = args->value_u64("threads", 0, kMaxThreads);
+  const auto read_timeout = args->value_u64("read-timeout", 30000, 86400000);
+  const auto epoch_seconds = args->value_u64("epoch-seconds", 3600, kMaxU32);
+  const auto window_epochs = args->value_u64("window-epochs", 168, kMaxU32);
+  const auto gap = args->value_u64("gap", 140, kMaxU32);
+  const auto threshold = args->value_double("threshold", 160.0);
+  if (!port || !threads || !read_timeout || !epoch_seconds ||
+      !window_epochs || !gap || !threshold)
+    return kExitUsage;
+  if (*epoch_seconds == 0 || *window_epochs == 0) {
+    std::fprintf(stderr,
+                 "error: --epoch-seconds and --window-epochs must be >= 1\n");
+    return kExitUsage;
+  }
+
+  stream::WindowConfig window_cfg;
+  window_cfg.epoch_seconds = static_cast<std::uint32_t>(*epoch_seconds);
+  window_cfg.window_epochs = static_cast<std::uint32_t>(*window_epochs);
+  window_cfg.classifier.min_gap = static_cast<std::uint32_t>(*gap);
+  window_cfg.classifier.ratio_threshold = *threshold;
+  window_cfg.classifier.mean_of_ratios = args->flag("mean-ratios");
+  window_cfg.observation.sibling_aware = !args->flag("no-siblings");
+  stream::StreamEngine engine(window_cfg);
+
+  const bool serving =
+      args->flag("serve") || args->value("listen").has_value();
+  if (!serving && args->positional().empty()) {
+    std::fprintf(stderr,
+                 "error: pass BGP4MP update files ('-' reads stdin) and/or "
+                 "--serve/--listen\n");
+    return kExitUsage;
+  }
+
+  // The server starts before ingest so subscribers can watch labels change
+  // while the firehose is still being consumed.
+  std::optional<serve::Server> server;
+  if (serving) {
+    serve::ServerConfig cfg;
+    cfg.listen_address = args->value("listen").value_or("127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(*port);
+    cfg.threads = static_cast<unsigned>(*threads);
+    cfg.read_timeout_ms = static_cast<int>(*read_timeout);
+    server.emplace(engine, cfg);
+    try {
+      server->start();
+    } catch (const serve::ServeError& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return kExitRuntime;
+    }
+    g_serve_server = &*server;
+    std::signal(SIGINT, serve_signal_handler);
+    std::signal(SIGTERM, serve_signal_handler);
+    std::fprintf(stderr, "streaming on %s:%u (ctrl-c to drain and exit)\n",
+                 cfg.listen_address.c_str(), server->port());
+  }
+
+  int code = kExitOk;
+  mrt::DecodeReport merged;
+  for (const std::string& path : args->positional()) {
+    mrt::DecodeReport file_report;
+    const std::string name = path == "-" ? "<stdin>" : path;
+    try {
+      if (path == "-") {
+        // Strict stdin decode is record-at-a-time (bounded memory), so a
+        // live pipe classifies as it flows instead of waiting for EOF.
+        engine.ingest(std::cin, decode, &file_report);
+      } else {
+        std::unique_ptr<mrt::ByteSource> source;
+        if (*mmap_mode != MmapMode::kOff) {
+          try {
+            source = std::make_unique<mrt::MmapSource>(path);
+          } catch (const mrt::MrtError& error) {
+            if (*mmap_mode == MmapMode::kForce) {
+              std::fprintf(stderr, "error: %s\n", error.what());
+              code = kExitData;
+              break;
+            }
+          }
+        }
+        if (!source) {
+          std::ifstream in(path, std::ios::binary);
+          if (!in) {
+            std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+            code = kExitData;
+            break;
+          }
+          if (*mmap_mode == MmapMode::kAuto)
+            std::fprintf(stderr,
+                         "note: %s: mmap unavailable, falling back to "
+                         "buffered read\n",
+                         path.c_str());
+          source = std::make_unique<mrt::BufferSource>(mrt::slurp_stream(in));
+        }
+        engine.ingest(*source, decode, &file_report);
+      }
+      merged.merge(file_report);
+    } catch (const mrt::DecodeBudgetError& error) {
+      merged.merge(file_report);
+      std::fprintf(stderr, "error: %s: %s\n", name.c_str(), error.what());
+      code = kExitBudget;
+      break;
+    } catch (const mrt::MrtError& error) {
+      merged.merge(file_report);
+      std::fprintf(stderr, "error: %s: %s\n", name.c_str(), error.what());
+      code = kExitData;
+      break;
+    }
+  }
+  if (!args->positional().empty())
+    std::fprintf(stderr, "decode: %s\n", merged.summary().c_str());
+  {
+    const stream::EngineStats es = engine.stats();
+    std::fprintf(
+        stderr,
+        "window: %llu announces, %llu withdraws, %llu live tuples, "
+        "%llu epochs retained (%llu expired), %llu label changes\n",
+        static_cast<unsigned long long>(es.announces),
+        static_cast<unsigned long long>(es.withdraws),
+        static_cast<unsigned long long>(es.live_tuples),
+        static_cast<unsigned long long>(es.window_epochs),
+        static_cast<unsigned long long>(es.expired_epochs),
+        static_cast<unsigned long long>(es.events));
+  }
+
+  if (server) {
+    if (code != kExitOk) server->request_stop();
+    server->wait();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_serve_server = nullptr;
+    const auto stats = server->stats();
+    std::fprintf(stderr,
+                 "drained after %.1fs: %llu connections, %llu label queries\n",
+                 stats.uptime_seconds,
+                 static_cast<unsigned long long>(stats.connections_accepted),
+                 static_cast<unsigned long long>(stats.queries_served));
+  }
+  return code;
+}
+
+int cmd_subscribe(int argc, char** argv) {
+  const auto args = Args::parse(
+      argc, argv, 2, {"host", "port", "from", "max-events", "timeout-ms"},
+      {"snapshot"});
+  if (!args) return kExitUsage;
+  const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
+  const auto from = args->value_u64("from", 0);
+  const auto max_events = args->value_u64("max-events", 0);
+  const auto timeout_ms = args->value_u64("timeout-ms", 0, 0x7fffffff);
+  if (!port || !from || !max_events || !timeout_ms) return kExitUsage;
+  const std::string host = args->value("host").value_or("127.0.0.1");
+
+  std::string request = "SUBSCRIBE";
+  if (args->flag("snapshot")) request += " snapshot";
+  if (args->value("from"))
+    request +=
+        util::format(" from=%llu", static_cast<unsigned long long>(*from));
+  const int line_timeout =
+      *timeout_ms == 0 ? -1 : static_cast<int>(*timeout_ms);
+
+  try {
+    auto client = serve::Client::connect_with_retry(
+        host, static_cast<std::uint16_t>(*port));
+    client.send_line(request);
+    auto line = client.read_line(line_timeout);
+    if (!line) {
+      std::fprintf(stderr, "error: timed out waiting for the server\n");
+      return kExitRuntime;
+    }
+    std::printf("%s\n", line->c_str());
+    std::fflush(stdout);
+    if (util::starts_with(*line, "ERR")) return kExitRuntime;
+    std::uint64_t events_seen = 0;
+    while (*max_events == 0 || events_seen < *max_events) {
+      line = client.read_line(line_timeout);
+      if (!line) {
+        std::fprintf(stderr, "error: timed out waiting for events\n");
+        return kExitRuntime;
+      }
+      std::printf("%s\n", line->c_str());
+      std::fflush(stdout);
+      if (util::starts_with(*line, "EVENT")) ++events_seen;
+    }
+    return kExitOk;
+  } catch (const serve::ServeError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return kExitRuntime;
+  }
+}
+
+int cmd_synth_stream(int argc, char** argv) {
+  const auto args = Args::parse(
+      argc, argv, 2,
+      {"out", "seed", "tier1", "tier2", "stubs", "vantage-points", "epochs",
+       "epoch-seconds", "day-churn", "flap-fraction", "start-timestamp"},
+      {});
+  if (!args) return kExitUsage;
+  const auto seed = args->value_u64("seed", 20230501);
+  const auto tier1 = args->value_u64("tier1", 10, kMaxU32);
+  const auto tier2 = args->value_u64("tier2", 80, kMaxU32);
+  const auto stubs = args->value_u64("stubs", 600, kMaxU32);
+  const auto vps = args->value_u64("vantage-points", 60, kMaxU32);
+  const auto epochs = args->value_u64("epochs", 4, kMaxU32);
+  const auto epoch_seconds = args->value_u64("epoch-seconds", 3600, kMaxU32);
+  const auto churn = args->value_double("day-churn", 0.1);
+  const auto flap = args->value_double("flap-fraction", 0.05);
+  const auto start = args->value_u64("start-timestamp", 1000000000, kMaxU32);
+  if (!seed || !tier1 || !tier2 || !stubs || !vps || !epochs ||
+      !epoch_seconds || !churn || !flap || !start)
+    return kExitUsage;
+  if (*epochs == 0 || *epoch_seconds == 0) {
+    std::fprintf(stderr,
+                 "error: --epochs and --epoch-seconds must be >= 1\n");
+    return kExitUsage;
+  }
+  if (*churn < 0.0 || *churn > 1.0 || *flap < 0.0 || *flap > 1.0) {
+    std::fprintf(stderr,
+                 "error: --day-churn and --flap-fraction must be in [0, 1]\n");
+    return kExitUsage;
+  }
+
+  stream::SynthStreamConfig cfg;
+  cfg.scenario.topology.seed = *seed;
+  cfg.scenario.policy.seed = *seed + 1;
+  cfg.scenario.workload_seed = *seed + 2;
+  cfg.scenario.topology.tier1_count = static_cast<std::uint32_t>(*tier1);
+  cfg.scenario.topology.tier2_count = static_cast<std::uint32_t>(*tier2);
+  cfg.scenario.topology.stub_count = static_cast<std::uint32_t>(*stubs);
+  cfg.scenario.vantage_point_count = static_cast<std::uint32_t>(*vps);
+  cfg.scenario.day_churn = *churn;
+  cfg.flap_fraction = *flap;
+  cfg.epochs = static_cast<std::uint32_t>(*epochs);
+  cfg.epoch_seconds = static_cast<std::uint32_t>(*epoch_seconds);
+  cfg.start_timestamp = static_cast<std::uint32_t>(*start);
+
+  stream::SynthStreamStats stats;
+  const auto out_path = args->value("out");
+  if (out_path) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+      return kExitRuntime;
+    }
+    stats = stream::write_update_stream(out, cfg);
+    if (!out) {
+      std::fprintf(stderr, "error: failed writing %s\n", out_path->c_str());
+      return kExitRuntime;
+    }
+  } else {
+    stats = stream::write_update_stream(std::cout, cfg);
+  }
+  std::fprintf(stderr,
+               "wrote %llu update records (%llu announcements, %llu "
+               "withdrawals) over %u epochs to %s\n",
+               static_cast<unsigned long long>(stats.records),
+               static_cast<unsigned long long>(stats.announcements),
+               static_cast<unsigned long long>(stats.withdrawals),
+               static_cast<unsigned>(*epochs),
+               out_path ? out_path->c_str() : "<stdout>");
+  return kExitOk;
+}
+
 int cmd_help() {
   std::printf(
       "bgpintent — coarse-grained inference of BGP community intent\n"
@@ -800,6 +1076,21 @@ int cmd_help() {
       "      [--mmap | --no-mmap]   ('-' reads stdin)\n"
       "  query <COMMAND>...     send one protocol command to a daemon\n"
       "      [--host ADDR] [--port N]   e.g.: query LABEL 1299:2569\n"
+      "  stream [updates.mrt]...  sliding-window classification of a BGP4MP\n"
+      "      update stream ('-' reads stdin; docs/STREAMING.md)\n"
+      "      [--serve | --listen ADDR] [--port N] [--threads N]\n"
+      "      [--epoch-seconds N] [--window-epochs N]\n"
+      "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
+      "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
+      "      [--mmap | --no-mmap] [--read-timeout MS]\n"
+      "  subscribe              print label-change events from a stream\n"
+      "      daemon  [--host ADDR] [--port N] [--snapshot] [--from SEQ]\n"
+      "      [--max-events N] [--timeout-ms MS]\n"
+      "  synth-stream           write a synthetic BGP4MP update stream\n"
+      "      [--out updates.mrt] [--seed N] [--tier1 N] [--tier2 N]\n"
+      "      [--stubs N] [--vantage-points N] [--epochs N]\n"
+      "      [--epoch-seconds N] [--day-churn R] [--flap-fraction R]\n"
+      "      [--start-timestamp N]\n"
       "  help                   this text\n"
       "\n"
       "exit codes: 0 success, 1 runtime error, 2 usage error,\n"

@@ -49,6 +49,20 @@ int cmd_serve(int argc, char** argv);
 /// daemon and print the response.
 int cmd_query(int argc, char** argv);
 
+/// `bgpintent stream [updates.mrt]...` — consume a BGP4MP update stream
+/// ('-' reads stdin) into the sliding-window classifier, optionally
+/// serving live queries and SUBSCRIBE push (docs/STREAMING.md).
+int cmd_stream(int argc, char** argv);
+
+/// `bgpintent subscribe` — attach to a stream-mode daemon and print
+/// label-change events as they happen.
+int cmd_subscribe(int argc, char** argv);
+
+/// `bgpintent synth-stream` — write a synthetic BGP4MP update stream
+/// generated from simulator churn (the firehose fixture for tests, CI,
+/// and benches).
+int cmd_synth_stream(int argc, char** argv);
+
 /// Prints global usage.
 int cmd_help();
 

@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
     return cmd_mrt_corrupt(argc, argv);
   if (std::strcmp(command, "serve") == 0) return cmd_serve(argc, argv);
   if (std::strcmp(command, "query") == 0) return cmd_query(argc, argv);
+  if (std::strcmp(command, "stream") == 0) return cmd_stream(argc, argv);
+  if (std::strcmp(command, "subscribe") == 0)
+    return cmd_subscribe(argc, argv);
+  if (std::strcmp(command, "synth-stream") == 0)
+    return cmd_synth_stream(argc, argv);
   if (std::strcmp(command, "help") == 0 ||
       std::strcmp(command, "--help") == 0 || std::strcmp(command, "-h") == 0)
     return cmd_help();

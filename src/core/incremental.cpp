@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "bgp/asn.hpp"
-#include "core/clustering.hpp"
+#include "core/labeling.hpp"
 #include "mrt/mrt_file.hpp"
 
 namespace bgpintent::core {
@@ -94,44 +94,19 @@ void IncrementalClassifier::reclassify(std::uint16_t alpha,
   state.labels.clear();
   if (!bgp::is_public_asn16(alpha) || !alpha_on_any_path(alpha)) return;
 
-  std::vector<std::uint16_t> betas;
+  std::vector<BetaCounts> betas;
   betas.reserve(state.betas.size());
-  for (const auto& [beta, acc] : state.betas) betas.push_back(beta);
-  std::sort(betas.begin(), betas.end());
+  for (const auto& [beta, acc] : state.betas)
+    betas.push_back({beta, acc.on_paths.size(), acc.off_paths.size()});
+  std::sort(betas.begin(), betas.end(),
+            [](const BetaCounts& a, const BetaCounts& b) {
+              return a.beta < b.beta;
+            });
 
-  for (const Cluster& cluster : gap_cluster(alpha, betas, config_.min_gap)) {
-    bool pure_on = true;
-    bool pure_off = true;
-    std::size_t pooled_on = 0;
-    std::size_t pooled_off = 0;
-    double ratio_sum = 0.0;
-    for (const std::uint16_t beta : cluster.betas) {
-      const CommunityAccumulator& acc = state.betas.at(beta);
-      pooled_on += acc.on_paths.size();
-      pooled_off += acc.off_paths.size();
-      if (!acc.off_paths.empty()) pure_on = false;
-      if (!acc.on_paths.empty()) pure_off = false;
-      ratio_sum += static_cast<double>(acc.on_paths.size()) /
-                   static_cast<double>(
-                       acc.off_paths.empty() ? 1 : acc.off_paths.size());
-    }
-    Intent intent;
-    if (pure_on) {
-      intent = Intent::kInformation;
-    } else if (pure_off) {
-      intent = Intent::kAction;
-    } else {
-      const double ratio =
-          config_.mean_of_ratios
-              ? ratio_sum / static_cast<double>(cluster.size())
-              : static_cast<double>(pooled_on) /
-                    static_cast<double>(pooled_off == 0 ? 1 : pooled_off);
-      intent = ratio >= config_.ratio_threshold ? Intent::kInformation
-                                                : Intent::kAction;
-    }
-    for (const std::uint16_t beta : cluster.betas)
-      state.labels.emplace(beta, intent);
-  }
+  label_alpha_counts(alpha, betas, config_,
+                     [&state](std::uint16_t beta, Intent intent) {
+                       state.labels.emplace(beta, intent);
+                     });
 }
 
 void IncrementalClassifier::reclassify_dirty() {

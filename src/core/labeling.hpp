@@ -1,0 +1,85 @@
+// Count-based cluster labeling shared by every classifier variant.
+//
+// The decision logic of §5.2 only ever consumes the *sizes* of a
+// community's on-path / off-path unique-path sets: gap-cluster the betas,
+// then label each cluster pure-on / pure-off / by ratio.  Batch classify()
+// feeds it CommunityStats counts, IncrementalClassifier feeds it hash-set
+// sizes, and the sliding-window classifier (src/stream/) feeds it
+// refcounted window counts — all three call this one function, which is
+// what makes "windowed labels == batch labels" hold by construction
+// instead of by parallel maintenance of three copies of the ratio rule.
+//
+// Callers apply the alpha-level exclusions (public 16-bit ASN, alpha on
+// any path) *before* calling: an excluded alpha emits no labels at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/clustering.hpp"
+
+namespace bgpintent::core {
+
+/// One community's evidence, reduced to unique-path counts.
+struct BetaCounts {
+  std::uint16_t beta = 0;
+  std::size_t on_paths = 0;   ///< unique paths with alpha on-path
+  std::size_t off_paths = 0;  ///< unique paths with alpha off-path
+
+  friend bool operator==(const BetaCounts&, const BetaCounts&) = default;
+};
+
+/// Labels every beta of one alpha from counts alone.  `betas` must be
+/// sorted ascending by beta and deduplicated; `emit(beta, intent)` is
+/// called once per beta in cluster order (which is ascending beta order).
+/// The arithmetic — pooled and mean ratios, off count floored at 1 —
+/// matches CommunityStats::on_off_ratio() and classify() bit for bit.
+template <typename Emit>
+void label_alpha_counts(std::uint16_t alpha, std::span<const BetaCounts> betas,
+                        const ClassifierConfig& config, Emit&& emit) {
+  std::vector<std::uint16_t> values;
+  values.reserve(betas.size());
+  for (const BetaCounts& counts : betas) values.push_back(counts.beta);
+
+  // gap_cluster partitions the sorted betas in order, so cluster members
+  // walk `betas` front to back — no per-beta search.
+  std::size_t next = 0;
+  for (const Cluster& cluster : gap_cluster(alpha, values, config.min_gap)) {
+    bool pure_on = true;
+    bool pure_off = true;
+    std::size_t pooled_on = 0;
+    std::size_t pooled_off = 0;
+    double ratio_sum = 0.0;
+    for (std::size_t member = 0; member < cluster.betas.size(); ++member) {
+      const BetaCounts& counts = betas[next++];
+      pooled_on += counts.on_paths;
+      pooled_off += counts.off_paths;
+      if (counts.off_paths != 0) pure_on = false;
+      if (counts.on_paths != 0) pure_off = false;
+      ratio_sum += static_cast<double>(counts.on_paths) /
+                   static_cast<double>(counts.off_paths == 0
+                                           ? std::size_t{1}
+                                           : counts.off_paths);
+    }
+    Intent intent;
+    if (pure_on) {
+      intent = Intent::kInformation;
+    } else if (pure_off) {
+      intent = Intent::kAction;
+    } else {
+      const double ratio =
+          config.mean_of_ratios
+              ? ratio_sum / static_cast<double>(cluster.size())
+              : static_cast<double>(pooled_on) /
+                    static_cast<double>(pooled_off == 0 ? std::size_t{1}
+                                                        : pooled_off);
+      intent = ratio >= config.ratio_threshold ? Intent::kInformation
+                                               : Intent::kAction;
+    }
+    for (const std::uint16_t beta : cluster.betas) emit(beta, intent);
+  }
+}
+
+}  // namespace bgpintent::core

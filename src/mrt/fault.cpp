@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mrt/buffer.hpp"
+#include "mrt/framing.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -10,7 +11,11 @@ namespace bgpintent::mrt {
 
 namespace {
 
-constexpr std::uint64_t kMaxRecordSize = 1 << 24;  // matches the readers
+[[nodiscard]] std::uint16_t peek_u16(std::span<const std::uint8_t> bytes,
+                                     std::uint64_t pos) noexcept {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(bytes[pos]) << 8) | bytes[pos + 1]);
+}
 
 [[nodiscard]] std::uint32_t peek_u32(std::span<const std::uint8_t> bytes,
                                      std::uint64_t pos) noexcept {
@@ -69,12 +74,23 @@ std::vector<RecordSpan> index_records(std::span<const std::uint8_t> bytes) {
 CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
                              CorruptionKind kind, std::uint64_t seed) {
   const std::vector<RecordSpan> spans = index_records(bytes);
-  if (spans.size() < 2)
-    throw MrtError("corrupt_mrt needs an image with at least two records");
+  if (spans.empty()) throw MrtError("corrupt_mrt needs a non-empty image");
+
+  // Protect record 0 only when it is the PEER_INDEX_TABLE of a RIB fixture
+  // — without it no surviving data record is joinable to its peer, so the
+  // touched-set recovery contract would be unprovable.  BGP4MP update
+  // streams carry no peer table, so every record is fair game there.
+  const bool protect_first =
+      peek_u16(bytes, spans[0].offset + 4) == kTypeTableDumpV2 &&
+      peek_u16(bytes, spans[0].offset + 6) == kSubtypePeerIndexTable;
+  if (protect_first && spans.size() < 2)
+    throw MrtError(
+        "corrupt_mrt needs a data record beyond the peer index table");
 
   util::Rng rng(seed);
-  // Record 0 is the peer table in RIB fixtures; never the victim.
-  const std::uint64_t victim = 1 + rng.index(spans.size() - 1);
+  const std::uint64_t first_victim = protect_first ? 1 : 0;
+  const std::uint64_t victim =
+      first_victim + rng.index(spans.size() - first_victim);
   const RecordSpan& span = spans[victim];
   const std::uint64_t body_len = span.length - 12;
 

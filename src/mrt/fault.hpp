@@ -58,11 +58,13 @@ struct CorruptionResult {
   std::string description;  ///< human-readable, e.g. for test failures
 };
 
-/// Applies one seeded corruption of `kind` to a valid MRT image with at
-/// least two records.  Record 0 (the PEER_INDEX_TABLE in RIB fixtures) is
-/// never chosen as the victim, so surviving data records stay joinable to
-/// their peer table.  Deterministic: same bytes, kind, and seed give the
-/// same result.  Throws MrtError if the image has fewer than two records.
+/// Applies one seeded corruption of `kind` to a valid MRT image.  When
+/// record 0 is a PEER_INDEX_TABLE (RIB fixtures) it is never chosen as
+/// the victim, so surviving data records stay joinable to their peer
+/// table; BGP4MP update streams have no peer table and every record is a
+/// candidate.  Deterministic: same bytes, kind, and seed give the same
+/// result.  Throws MrtError when the image is empty, or when a RIB image
+/// has no data record beyond the peer table.
 [[nodiscard]] CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
                                            CorruptionKind kind,
                                            std::uint64_t seed);

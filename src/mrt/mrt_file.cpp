@@ -118,6 +118,25 @@ void MrtWriter::write_update(const bgp::VantagePointId& peer,
                          body.take()});
 }
 
+void MrtWriter::write_withdraw(const bgp::VantagePointId& peer,
+                               std::span<const bgp::Prefix> prefixes,
+                               std::uint32_t timestamp) {
+  ByteWriter body;
+  body.put_u32(peer.asn);       // peer AS
+  body.put_u32(0xfffd);         // local (collector) AS
+  body.put_u16(0);              // interface index
+  body.put_u16(1);              // AFI IPv4
+  body.put_u32(peer.address);   // peer IP
+  body.put_u32(0x0a0a0a0a);     // local IP
+
+  BgpUpdate update;
+  update.withdrawn.assign(prefixes.begin(), prefixes.end());
+  encode_bgp_update(body, update);
+
+  write_record(MrtRecord{timestamp, kTypeBgp4mp, kSubtypeBgp4mpMessageAs4,
+                         body.take()});
+}
+
 void MrtWriter::write_state_change(const bgp::VantagePointId& peer,
                                    std::uint16_t old_state,
                                    std::uint16_t new_state,

@@ -55,6 +55,13 @@ class MrtWriter {
   void write_update(const bgp::VantagePointId& peer, const bgp::Route& route,
                     std::uint32_t timestamp);
 
+  /// Writes one BGP4MP_MESSAGE_AS4 UPDATE withdrawing `prefixes` as heard
+  /// from `peer` (no attributes, no announcements — the pure-withdrawal
+  /// shape real update streams carry).
+  void write_withdraw(const bgp::VantagePointId& peer,
+                      std::span<const bgp::Prefix> prefixes,
+                      std::uint32_t timestamp);
+
   /// Writes a BGP4MP_STATE_CHANGE_AS4 record (FSM states per RFC 4271:
   /// 1=Idle .. 6=Established).
   void write_state_change(const bgp::VantagePointId& peer,

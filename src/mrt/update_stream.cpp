@@ -1,0 +1,193 @@
+#include "mrt/update_stream.hpp"
+
+#include <istream>
+
+#include "mrt/mrt_file.hpp"
+
+namespace bgpintent::mrt {
+
+namespace {
+
+/// Adapter that forwards RIB-shaped rows (TABLE_DUMP, TABLE_DUMP_V2) to an
+/// UpdateSink as announcements stamped with the enclosing record's
+/// timestamp.  Lives on the stack of each decode loop; the timestamp is
+/// set per record before delegation.
+class RowAdapter final : public EntrySink {
+ public:
+  explicit RowAdapter(UpdateSink& sink) noexcept : sink_(&sink) {}
+
+  void set_timestamp(std::uint32_t timestamp) noexcept {
+    timestamp_ = timestamp;
+  }
+  void on_entry(bgp::RibEntry& entry) override {
+    sink_->on_announce(entry, timestamp_);
+  }
+
+ private:
+  UpdateSink* sink_;
+  std::uint32_t timestamp_ = 0;
+};
+
+/// Scratch for one update decode loop: the RIB row + attribute block plus
+/// the decoded-update buffers (prefix lists recycle their capacity) and
+/// the row adapter for non-BGP4MP records.
+struct UpdateScratch {
+  explicit UpdateScratch(UpdateSink& sink) noexcept : rows(sink) {}
+
+  RowScratch row_scratch;
+  BgpUpdate update;
+  RowAdapter rows;
+};
+
+void decode_update_record_impl(const RecordView& record,
+                               const std::vector<bgp::VantagePointId>& peers,
+                               UpdateSink& sink, UpdateScratch& scratch) {
+  if (record.type == kTypeBgp4mp &&
+      record.subtype == kSubtypeBgp4mpMessageAs4) {
+    ByteReader body(record.body);
+    bgp::VantagePointId peer;
+    peer.asn = body.get_u32();
+    body.skip(4);  // local AS
+    body.skip(2);  // interface
+    const std::uint16_t afi = body.get_u16();
+    if (afi != 1) return;  // IPv4 only
+    peer.address = body.get_u32();
+    body.skip(4);  // local IP
+    scratch.update = decode_bgp_message(body);
+    for (const bgp::Prefix& prefix : scratch.update.withdrawn)
+      sink.on_withdraw(peer, prefix, record.timestamp);
+    for (const bgp::Prefix& prefix : scratch.update.announced) {
+      scratch.row_scratch.row.vantage_point = peer;
+      scratch.row_scratch.row.route.prefix = prefix;
+      scratch.row_scratch.row.route.path = scratch.update.attrs.as_path;
+      scratch.row_scratch.row.route.communities =
+          scratch.update.attrs.communities;
+      scratch.row_scratch.row.route.large_communities =
+          scratch.update.attrs.large_communities;
+      scratch.row_scratch.row.route.ext_communities =
+          scratch.update.attrs.ext_communities;
+      scratch.row_scratch.row.route.next_hop = scratch.update.attrs.next_hop;
+      scratch.row_scratch.row.route.origin_attr = scratch.update.attrs.origin;
+      scratch.row_scratch.row.route.med = scratch.update.attrs.med;
+      scratch.row_scratch.row.route.local_pref =
+          scratch.update.attrs.local_pref;
+      sink.on_announce(scratch.row_scratch.row, record.timestamp);
+    }
+  } else {
+    // RIB rows surface as announcements; state changes and unknown types
+    // are skipped inside decode_data_record.
+    scratch.rows.set_timestamp(record.timestamp);
+    decode_data_record(record, peers, scratch.rows, scratch.row_scratch);
+  }
+}
+
+void decode_strict_update_stream(std::istream& in, UpdateSink& sink,
+                                 DecodeReport& report) {
+  std::vector<bgp::VantagePointId> peer_table;
+  MrtReader reader(in);
+  RecordView record;
+  UpdateScratch scratch(sink);
+  while (reader.next_view(record)) {
+    if (is_peer_index_table(record))
+      peer_table = decode_peer_index_table(record);
+    else
+      decode_update_record_impl(record, peer_table, sink, scratch);
+    ++report.records_ok;
+  }
+}
+
+void decode_strict_update_image(std::span<const std::uint8_t> data,
+                                UpdateSink& sink, DecodeReport& report) {
+  std::vector<bgp::VantagePointId> peer_table;
+  StrictFramer framer(data);
+  RecordView record;
+  UpdateScratch scratch(sink);
+  while (framer.next(record)) {
+    if (is_peer_index_table(record))
+      peer_table = decode_peer_index_table(record);
+    else
+      decode_update_record_impl(record, peer_table, sink, scratch);
+    ++report.records_ok;
+  }
+}
+
+void decode_tolerant_update_image(std::span<const std::uint8_t> data,
+                                  UpdateSink& sink,
+                                  const DecodeOptions& options,
+                                  DecodeReport& report) {
+  std::vector<bgp::VantagePointId> peer_table;
+  TolerantFramer framer(data, options, report);
+  TolerantFramer::Framed framed;
+  UpdateScratch scratch(sink);
+  while (framer.next(framed)) {
+    try {
+      if (is_peer_index_table(framed.record))
+        peer_table = decode_peer_index_table(framed.record);
+      else
+        decode_update_record_impl(framed.record, peer_table, sink, scratch);
+      ++report.records_ok;
+    } catch (const MrtError& error) {
+      record_body_failure(report, framed, error.what());
+      if (report.over_budget(options)) throw_budget(report);
+    }
+  }
+  check_final_budget(report, options);
+}
+
+void decode_update_image(std::span<const std::uint8_t> data, UpdateSink& sink,
+                         const DecodeOptions& options, DecodeReport& report) {
+  if (options.tolerant())
+    decode_tolerant_update_image(data, sink, options, report);
+  else
+    decode_strict_update_image(data, sink, report);
+}
+
+}  // namespace
+
+void decode_update_record(const RecordView& record,
+                          const std::vector<bgp::VantagePointId>& peer_table,
+                          UpdateSink& sink, RowScratch& scratch) {
+  UpdateScratch local(sink);
+  // Borrow the caller's row scratch so tight per-record callers keep their
+  // warm buffers; the update buffers are per-call here.
+  std::swap(local.row_scratch, scratch);
+  try {
+    decode_update_record_impl(record, peer_table, sink, local);
+  } catch (...) {
+    std::swap(local.row_scratch, scratch);
+    throw;
+  }
+  std::swap(local.row_scratch, scratch);
+}
+
+void decode_update_stream(const ByteSource& source, UpdateSink& sink,
+                          const DecodeOptions& options, DecodeReport* report) {
+  DecodeReport local;
+  try {
+    decode_update_image(source.data(), sink, options, local);
+    if (report) *report = std::move(local);
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
+}
+
+void decode_update_stream(std::istream& in, UpdateSink& sink,
+                          const DecodeOptions& options, DecodeReport* report) {
+  if (options.tolerant()) {
+    // Resync needs random access to the whole image; buffer first.
+    const BufferSource source(slurp_stream(in));
+    decode_update_stream(source, sink, options, report);
+    return;
+  }
+  DecodeReport local;
+  try {
+    decode_strict_update_stream(in, sink, local);
+    if (report) *report = std::move(local);
+  } catch (...) {
+    if (report) *report = std::move(local);
+    throw;
+  }
+}
+
+}  // namespace bgpintent::mrt

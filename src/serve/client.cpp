@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -122,6 +123,13 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 std::string Client::request(const std::string& line) {
+  send_line(line);
+  auto response = read_line(-1);
+  // read_line can only return nullopt on a timeout, and -1 never times out.
+  return std::move(*response);
+}
+
+void Client::send_line(const std::string& line) {
   if (fd_ < 0) throw ServeError("client is not connected");
   const std::string out = line + "\n";
   std::size_t sent = 0;
@@ -133,6 +141,10 @@ std::string Client::request(const std::string& line) {
           util::format("send failed: %s", std::strerror(errno)));
     sent += static_cast<std::size_t>(wrote);
   }
+}
+
+std::optional<std::string> Client::read_line(int timeout_ms) {
+  if (fd_ < 0) throw ServeError("client is not connected");
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -143,6 +155,16 @@ std::string Client::request(const std::string& line) {
     }
     if (buffer_.size() > kMaxLineBytes)
       throw ServeError("server response exceeds the line limit");
+    if (timeout_ms >= 0) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0) return std::nullopt;
+      if (ready < 0)
+        throw ServeError(
+            util::format("poll failed: %s", std::strerror(errno)));
+    }
     char chunk[4096];
     const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
     if (got <= 0) throw ServeError("connection closed by server");

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -77,6 +78,18 @@ class Client {
   /// newline).  Throws ServeError when the connection drops or the server
   /// answers with something longer than kMaxLineBytes.
   [[nodiscard]] std::string request(const std::string& line);
+
+  // --- push-stream primitives (SUBSCRIBE, docs/STREAMING.md) ---
+
+  /// Sends one request line without reading a response — the first half of
+  /// request(), for protocols where the server answers with multiple lines
+  /// (SUBSCRIBE) and the caller drains them via read_line().
+  void send_line(const std::string& line);
+
+  /// Reads one line, waiting up to `timeout_ms` (negative = forever) for
+  /// bytes to arrive.  Returns nullopt on timeout; throws ServeError when
+  /// the connection drops or a line exceeds kMaxLineBytes.
+  [[nodiscard]] std::optional<std::string> read_line(int timeout_ms = -1);
 
   // --- typed helpers; each throws ServeError on an ERR response ---
 

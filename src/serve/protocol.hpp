@@ -16,6 +16,22 @@
 //                                   counters (decode_ok / decode_errors),
 //                                   and query latency
 //   SNAPSHOT <file>                 persist classifier state server-side
+//                                   (classic mode only; stream mode
+//                                   answers ERR)
+//   SUBSCRIBE [snapshot] [from=<seq>]
+//                                   stream mode only: upgrade the
+//                                   connection to a push stream of label
+//                                   changes.  The response's first line is
+//                                   "OK subscribed seq=<s>"; with
+//                                   `snapshot` (or when `from=` points
+//                                   before the buffered event log) it is
+//                                   followed by "DATA community=<a:b>
+//                                   label=<l>" lines and "END snapshot
+//                                   seq=<s>".  Afterwards the server
+//                                   pushes "EVENT seq=<n>
+//                                   community=<a:b> old=<l> new=<l>
+//                                   epoch=<e>" lines as labels change
+//                                   (docs/STREAMING.md)
 //   QUIT                            close the connection
 //
 // AS paths travel comma-separated ("61,100,201" — AS_SEQUENCE only, AS_SET

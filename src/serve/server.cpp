@@ -32,10 +32,44 @@ constexpr int kPollSliceMs = 100;
   return true;
 }
 
+[[nodiscard]] std::string label_name(core::Intent label) {
+  return std::string(dict::to_string(label));
+}
+
+/// "DATA ...\nEND snapshot seq=N" (newline-separated, no trailing newline):
+/// the full-snapshot block of the SUBSCRIBE protocol (docs/STREAMING.md).
+[[nodiscard]] std::string snapshot_block(stream::StreamEngine& engine,
+                                         std::uint64_t& seq) {
+  std::string block;
+  for (const auto& [community, label] : engine.label_snapshot(seq)) {
+    block += util::format("DATA community=%s label=%s\n",
+                          community.to_string().c_str(),
+                          label_name(label).c_str());
+  }
+  block += util::format("END snapshot seq=%llu",
+                        static_cast<unsigned long long>(seq));
+  return block;
+}
+
+[[nodiscard]] std::string format_event(const stream::Event& event) {
+  return util::format(
+      "EVENT seq=%llu community=%s old=%s new=%s epoch=%llu",
+      static_cast<unsigned long long>(event.seq),
+      event.change.community.to_string().c_str(),
+      label_name(event.change.previous).c_str(),
+      label_name(event.change.current).c_str(),
+      static_cast<unsigned long long>(event.change.epoch));
+}
+
 }  // namespace
 
 Server::Server(core::IncrementalClassifier classifier, ServerConfig config)
     : classifier_(std::move(classifier)), config_(std::move(config)) {
+  latency_us_.reserve(kLatencyWindow);
+}
+
+Server::Server(stream::StreamEngine& engine, ServerConfig config)
+    : engine_(&engine), config_(std::move(config)) {
   latency_us_.reserve(kLatencyWindow);
 }
 
@@ -86,11 +120,16 @@ void Server::start() {
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   pool_.reset();  // drains every in-flight and queued connection handler
+  {
+    const std::lock_guard<std::mutex> lock(subscribers_mutex_);
+    for (const Subscriber& sub : subscribers_) ::close(sub.fd);
+    subscribers_.clear();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!config_.snapshot_path.empty()) {
+  if (engine_ == nullptr && !config_.snapshot_path.empty()) {
     try {
       write_snapshot_file(config_.snapshot_path);
     } catch (const std::exception& error) {
@@ -115,7 +154,9 @@ void Server::accept_loop() {
         (void)future;  // abandoning a ThreadPool future is safe by contract
       }
     }
-    if (config_.snapshot_interval_s > 0 && !config_.snapshot_path.empty()) {
+    if (engine_ != nullptr) service_subscribers();
+    if (engine_ == nullptr && config_.snapshot_interval_s > 0 &&
+        !config_.snapshot_path.empty()) {
       const auto now = std::chrono::steady_clock::now();
       if (now - last_snapshot >=
           std::chrono::seconds(config_.snapshot_interval_s)) {
@@ -133,20 +174,31 @@ void Server::accept_loop() {
 
 void Server::handle_connection(int fd) {
   std::string buffer;
+  ConnState state;
   int idle_ms = 0;
   bool open = true;
   while (open && !stop_.load(std::memory_order_relaxed)) {
     // Serve every complete line already buffered.
     std::size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+    while (open && !state.subscribed &&
+           (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       std::string response;
-      open = handle_command(line, response);
+      open = handle_command(line, response, state);
       if (!response.empty() && !send_all(fd, response + "\n")) open = false;
     }
     if (!open) break;
+    if (state.subscribed) {
+      // The connection is a push stream now.  Hand it to the accept
+      // thread's subscriber registry and release this pool worker — a
+      // parked subscriber must not starve request/response connections
+      // when the pool is small.
+      const std::lock_guard<std::mutex> lock(subscribers_mutex_);
+      subscribers_.push_back(Subscriber{fd, state});
+      return;
+    }
     if (buffer.size() > kMaxLineBytes) {
       (void)send_all(fd, "ERR line too long\n");
       break;
@@ -173,7 +225,61 @@ void Server::handle_connection(int fd) {
   ::close(fd);
 }
 
-bool Server::handle_command(const std::string& line, std::string& response) {
+void Server::service_subscribers() {
+  const std::lock_guard<std::mutex> lock(subscribers_mutex_);
+  std::size_t live = 0;
+  for (Subscriber& sub : subscribers_) {
+    bool ok = true;
+    // Detect peer close / drain unread bytes: after SUBSCRIBE the protocol
+    // is push-only, so inbound data is discarded rather than parsed.
+    for (;;) {
+      char chunk[4096];
+      const ssize_t got = ::recv(sub.fd, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (got == 0) {
+        ok = false;  // orderly close
+        break;
+      }
+      if (got < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) ok = false;
+        break;
+      }
+    }
+    if (ok) ok = push_events(sub.fd, sub.state);
+    if (ok) {
+      subscribers_[live++] = sub;
+    } else {
+      ::close(sub.fd);
+    }
+  }
+  subscribers_.resize(live);
+}
+
+bool Server::push_events(int fd, ConnState& state) {
+  constexpr std::size_t kEventBatch = 1024;
+  for (;;) {
+    bool gap = false;
+    const std::vector<stream::Event> events =
+        engine_->events_since(state.next_after, kEventBatch, gap);
+    if (gap) {
+      // The peer fell more than kMaxBufferedEvents behind: resync it with
+      // a fresh full snapshot instead of a silently incomplete delta.
+      std::uint64_t seq = 0;
+      const std::string block = snapshot_block(*engine_, seq);
+      if (!send_all(fd, block + "\n")) return false;
+      state.next_after = seq;
+      continue;
+    }
+    if (events.empty()) return true;
+    std::string payload;
+    for (const stream::Event& event : events) payload += format_event(event) + "\n";
+    if (!send_all(fd, payload)) return false;
+    state.next_after = events.back().seq;
+    if (events.size() < kEventBatch) return true;
+  }
+}
+
+bool Server::handle_command(const std::string& line, std::string& response,
+                            ConnState& state) {
   const auto fields = util::split_whitespace(line);
   if (fields.empty()) return true;  // stray blank line: nothing to answer
   const std::string_view command = fields.front();
@@ -192,7 +298,9 @@ bool Server::handle_command(const std::string& line, std::string& response) {
     }
     const auto begin = std::chrono::steady_clock::now();
     core::Intent label;
-    {
+    if (engine_ != nullptr) {
+      label = engine_->label_of(*community);
+    } else {
       const std::lock_guard<std::mutex> lock(classifier_mutex_);
       label = classifier_.label_of(*community);
     }
@@ -220,9 +328,12 @@ bool Server::handle_command(const std::string& line, std::string& response) {
     // Single pass, one scratch row: each valid pair is parsed into the
     // scratch and ingested immediately — the streaming-sink idiom of the
     // MRT path (docs/PERFORMANCE.md), with no batch vector in between.
+    // The classifier mutex guards classic mode only; the stream engine
+    // synchronizes internally.
     bgp::RibEntry scratch;
     {
-      const std::lock_guard<std::mutex> lock(classifier_mutex_);
+      std::unique_lock<std::mutex> lock(classifier_mutex_, std::defer_lock);
+      if (engine_ == nullptr) lock.lock();
       for (std::size_t i = 0; i < pairs; ++i) {
         const std::string_view path_field = fields[1 + 2 * i];
         const std::string_view communities_field = fields[2 + 2 * i];
@@ -256,11 +367,22 @@ bool Server::handle_command(const std::string& line, std::string& response) {
         }
         scratch.route.path = std::move(*path);
         scratch.route.communities = std::move(*communities);
-        classifier_.ingest(scratch);
+        if (engine_ != nullptr) {
+          engine_->announce(scratch);
+        } else {
+          classifier_.ingest(scratch);
+        }
         ++ingested;
       }
-      classifier_.record_decode_outcome(ingested, errors);
-      entries = classifier_.entries_ingested();
+      if (engine_ != nullptr) {
+        // Publish label changes now so subscribers see protocol-driven
+        // evidence without waiting for the next decode batch boundary.
+        engine_->reclassify();
+        entries = static_cast<std::size_t>(engine_->stats().announces);
+      } else {
+        classifier_.record_decode_outcome(ingested, errors);
+        entries = classifier_.entries_ingested();
+      }
     }
     response = util::format(
         "OK ingested=%zu errors=%llu entries=%zu", ingested,
@@ -269,15 +391,27 @@ bool Server::handle_command(const std::string& line, std::string& response) {
   }
 
   if (command == "TOTALS") {
-    core::IncrementalClassifier::Totals totals;
-    {
+    std::size_t communities = 0;
+    std::size_t information = 0;
+    std::size_t action = 0;
+    std::size_t unclassified = 0;
+    if (engine_ != nullptr) {
+      const stream::WindowClassifier::Totals totals = engine_->totals();
+      communities = totals.communities;
+      information = totals.information;
+      action = totals.action;
+      unclassified = totals.unclassified;
+    } else {
       const std::lock_guard<std::mutex> lock(classifier_mutex_);
-      totals = classifier_.totals();
+      const core::IncrementalClassifier::Totals totals = classifier_.totals();
+      communities = totals.communities;
+      information = totals.information;
+      action = totals.action;
+      unclassified = totals.unclassified;
     }
     response = util::format(
         "OK communities=%zu information=%zu action=%zu unclassified=%zu",
-        totals.communities, totals.information, totals.action,
-        totals.unclassified);
+        communities, information, action, unclassified);
     return true;
   }
 
@@ -286,7 +420,8 @@ bool Server::handle_command(const std::string& line, std::string& response) {
     response = util::format(
         "OK uptime_s=%.1f connections=%llu queries=%llu entries=%llu "
         "dirty=%llu decode_ok=%llu decode_errors=%llu p50_us=%.1f "
-        "p99_us=%.1f",
+        "p99_us=%.1f updates_ok=%llu updates_errors=%llu window_epochs=%llu "
+        "reclassified_communities=%llu",
         s.uptime_seconds,
         static_cast<unsigned long long>(s.connections_accepted),
         static_cast<unsigned long long>(s.queries_served),
@@ -294,11 +429,71 @@ bool Server::handle_command(const std::string& line, std::string& response) {
         static_cast<unsigned long long>(s.dirty_alphas),
         static_cast<unsigned long long>(s.decode_records_ok),
         static_cast<unsigned long long>(s.decode_records_skipped),
-        s.p50_query_us, s.p99_query_us);
+        s.p50_query_us, s.p99_query_us,
+        static_cast<unsigned long long>(s.updates_ok),
+        static_cast<unsigned long long>(s.updates_errors),
+        static_cast<unsigned long long>(s.window_epochs),
+        static_cast<unsigned long long>(s.reclassified_communities));
+    return true;
+  }
+
+  if (command == "SUBSCRIBE") {
+    if (engine_ == nullptr) {
+      response =
+          "ERR SUBSCRIBE requires a stream-mode server (bgpintent stream "
+          "--listen)";
+      return true;
+    }
+    bool want_snapshot = false;
+    std::uint64_t from = 0;
+    bool have_from = false;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string_view field = fields[i];
+      if (field == "snapshot") {
+        want_snapshot = true;
+        continue;
+      }
+      if (field.starts_with("from=")) {
+        const auto parsed = util::parse_u64(field.substr(5));
+        if (parsed) {
+          from = *parsed;
+          have_from = true;
+          continue;
+        }
+      }
+      response = "ERR usage: SUBSCRIBE [snapshot] [from=<seq>]";
+      return true;
+    }
+    // A resumption point that is no longer buffered (or never existed)
+    // cannot be served as a delta: fall back to a full snapshot.
+    bool resync = false;
+    if (have_from) {
+      bool gap = false;
+      (void)engine_->events_since(from, 0, gap);
+      resync = gap || from > engine_->last_seq();
+    }
+    std::uint64_t seq = 0;
+    std::string block;
+    if (want_snapshot || resync) {
+      block = "\n" + snapshot_block(*engine_, seq);
+    } else {
+      seq = have_from ? from : engine_->last_seq();
+    }
+    state.subscribed = true;
+    state.next_after = seq;
+    response = util::format("OK subscribed seq=%llu",
+                            static_cast<unsigned long long>(seq)) +
+               block;
     return true;
   }
 
   if (command == "SNAPSHOT") {
+    if (engine_ != nullptr) {
+      response =
+          "ERR SNAPSHOT is not supported in stream mode (window state is "
+          "transient; see docs/STREAMING.md)";
+      return true;
+    }
     if (fields.size() != 2) {
       response = "ERR usage: SNAPSHOT <file>";
       return true;
@@ -335,6 +530,8 @@ void Server::record_query_latency(double microseconds) {
 }
 
 void Server::write_snapshot_file(const std::string& path) {
+  if (engine_ != nullptr)
+    throw ServeError("snapshots are not supported in stream mode");
   std::vector<std::uint8_t> bytes;
   {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
@@ -353,7 +550,17 @@ ServerStats Server::stats() const {
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
-  {
+  if (engine_ != nullptr) {
+    const stream::EngineStats es = engine_->stats();
+    s.entries_ingested = es.announces;
+    s.dirty_alphas = es.dirty_alphas;
+    s.decode_records_ok = es.updates_ok;
+    s.decode_records_skipped = es.updates_errors;
+    s.updates_ok = es.updates_ok;
+    s.updates_errors = es.updates_errors;
+    s.window_epochs = es.window_epochs;
+    s.reclassified_communities = es.reclassified_communities;
+  } else {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
     s.entries_ingested = classifier_.entries_ingested();
     s.dirty_alphas = classifier_.dirty_alpha_count();

@@ -1,4 +1,5 @@
-// Long-running query daemon over an IncrementalClassifier.
+// Long-running query daemon over an IncrementalClassifier or a
+// stream::StreamEngine.
 //
 // A POSIX TCP listener speaking the line protocol of serve/protocol.hpp.
 // One accept thread polls the listening socket (and drives periodic
@@ -8,6 +9,15 @@
 // pool.  The classifier is guarded by one mutex: queries are sub-
 // microsecond map lookups once labels are clean, so a single lock
 // outperforms anything fancier until profiles say otherwise.
+//
+// Two backing modes share the command surface:
+//   * classic (owned IncrementalClassifier): LABEL / INGEST / TOTALS /
+//     STATS / SNAPSHOT; SUBSCRIBE answers ERR (no event stream exists);
+//   * stream (borrowed stream::StreamEngine, `bgpintent stream --listen`):
+//     the same verbs answer from the sliding window, SNAPSHOT answers ERR
+//     (window state is transient by design), and SUBSCRIBE turns the
+//     connection into a push stream of label-change EVENT lines with
+//     delta/snapshot resumption — the protocol of docs/STREAMING.md.
 //
 // Robustness guarantees:
 //   * per-connection idle timeout (poll slices, ServerConfig::
@@ -30,6 +40,7 @@
 
 #include "core/incremental.hpp"
 #include "serve/protocol.hpp"
+#include "stream/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bgpintent::serve {
@@ -63,6 +74,11 @@ struct ServerStats {
   std::uint64_t decode_records_skipped = 0;
   double p50_query_us = 0.0;  ///< over a window of recent LABEL queries
   double p99_query_us = 0.0;
+  // Stream-mode counters (docs/STREAMING.md); zero in classic mode.
+  std::uint64_t updates_ok = 0;
+  std::uint64_t updates_errors = 0;
+  std::uint64_t window_epochs = 0;
+  std::uint64_t reclassified_communities = 0;
 };
 
 class Server {
@@ -71,6 +87,10 @@ class Server {
   /// before constructing).  Does not touch the network until start().
   explicit Server(core::IncrementalClassifier classifier,
                   ServerConfig config = {});
+
+  /// Stream mode: serves (and subscribes to) a borrowed StreamEngine that
+  /// the caller keeps feeding — the engine must outlive the server.
+  explicit Server(stream::StreamEngine& engine, ServerConfig config = {});
 
   /// Joins everything; equivalent to request_stop() + wait().
   ~Server();
@@ -95,16 +115,43 @@ class Server {
   [[nodiscard]] ServerStats stats() const;
 
  private:
+  /// Per-connection protocol state: a SUBSCRIBE upgrades the connection to
+  /// a push stream and `next_after` tracks the last event it has seen.
+  struct ConnState {
+    bool subscribed = false;
+    std::uint64_t next_after = 0;
+  };
+
   void accept_loop();
   void handle_connection(int fd);
-  /// One request line -> one response line; false closes the connection.
+  /// Pushes pending events to every registered subscriber and reaps the
+  /// dead ones.  Runs on the accept thread once per poll slice, so a
+  /// subscribed connection costs no pool worker — with a small pool, a
+  /// parked push stream must not starve request/response connections.
+  void service_subscribers();
+  /// One request line -> one response (possibly multi-line, e.g. the
+  /// SUBSCRIBE snapshot); false closes the connection.
   [[nodiscard]] bool handle_command(const std::string& line,
-                                    std::string& response);
+                                    std::string& response, ConnState& state);
+  /// Drains buffered events past state.next_after to a subscribed peer
+  /// (falling back to a full snapshot on a trimmed gap); false on a dead
+  /// socket.
+  [[nodiscard]] bool push_events(int fd, ConnState& state);
   void record_query_latency(double microseconds);
   void write_snapshot_file(const std::string& path);
 
   core::IncrementalClassifier classifier_;
+  stream::StreamEngine* engine_ = nullptr;  ///< non-null in stream mode
   ServerConfig config_;
+
+  // Subscribed connections, handed off by handle_connection and serviced
+  // by the accept thread (stream mode only).
+  struct Subscriber {
+    int fd = -1;
+    ConnState state;
+  };
+  std::mutex subscribers_mutex_;
+  std::vector<Subscriber> subscribers_;
 
   mutable std::mutex classifier_mutex_;
 

@@ -1,0 +1,174 @@
+#include "stream/engine.hpp"
+
+#include <algorithm>
+#include <istream>
+
+namespace bgpintent::stream {
+
+/// UpdateSink bridge: locks per record batch-free (the mutex is
+/// uncontended on the hot path) and triggers a reclassification pass every
+/// kReclassifyBatch callbacks so events stream out mid-source.
+class StreamEngine::IngestSink final : public mrt::UpdateSink {
+ public:
+  explicit IngestSink(StreamEngine& engine) noexcept : engine_(&engine) {}
+
+  void on_announce(bgp::RibEntry& entry, std::uint32_t timestamp) override {
+    std::lock_guard<std::mutex> lock(engine_->mutex_);
+    engine_->window_.announce(entry, timestamp);
+    tick();
+  }
+  void on_withdraw(const bgp::VantagePointId& peer, const bgp::Prefix& prefix,
+                   std::uint32_t timestamp) override {
+    std::lock_guard<std::mutex> lock(engine_->mutex_);
+    engine_->window_.withdraw(peer, prefix, timestamp);
+    tick();
+  }
+
+ private:
+  void tick() {
+    if (++since_reclassify_ >= kReclassifyBatch) {
+      since_reclassify_ = 0;
+      engine_->reclassify_locked();
+    }
+  }
+
+  StreamEngine* engine_;
+  std::uint64_t since_reclassify_ = 0;
+};
+
+void StreamEngine::ingest(const mrt::ByteSource& source,
+                          const mrt::DecodeOptions& options,
+                          mrt::DecodeReport* report) {
+  IngestSink sink(*this);
+  mrt::DecodeReport local;
+  try {
+    mrt::decode_update_stream(source, sink, options, &local);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    decode_ok_ += local.records_ok;
+    decode_errors_ += local.records_skipped;
+    reclassify_locked();
+    if (report) *report = std::move(local);
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  decode_ok_ += local.records_ok;
+  decode_errors_ += local.records_skipped;
+  reclassify_locked();
+  if (report) *report = std::move(local);
+}
+
+void StreamEngine::ingest(std::istream& in, const mrt::DecodeOptions& options,
+                          mrt::DecodeReport* report) {
+  IngestSink sink(*this);
+  mrt::DecodeReport local;
+  try {
+    mrt::decode_update_stream(in, sink, options, &local);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    decode_ok_ += local.records_ok;
+    decode_errors_ += local.records_skipped;
+    reclassify_locked();
+    if (report) *report = std::move(local);
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  decode_ok_ += local.records_ok;
+  decode_errors_ += local.records_skipped;
+  reclassify_locked();
+  if (report) *report = std::move(local);
+}
+
+void StreamEngine::announce(const bgp::RibEntry& entry,
+                            std::uint32_t timestamp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t at =
+      timestamp != 0 ? timestamp : window_.latest_timestamp();
+  window_.announce(entry, at);
+}
+
+void StreamEngine::reclassify() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reclassify_locked();
+}
+
+void StreamEngine::reclassify_locked() {
+  publish_locked(window_.reclassify_dirty());
+}
+
+void StreamEngine::publish_locked(std::vector<LabelChange>&& changes) {
+  for (LabelChange& change : changes) {
+    events_.push_back(Event{next_seq_++, std::move(change)});
+  }
+  if (events_.size() > kMaxBufferedEvents) {
+    events_.erase(events_.begin(),
+                  events_.begin() +
+                      static_cast<std::ptrdiff_t>(events_.size() -
+                                                  kMaxBufferedEvents));
+  }
+}
+
+Intent StreamEngine::label_of(Community community) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reclassify_locked();
+  return window_.label_of(community);
+}
+
+WindowClassifier::Totals StreamEngine::totals() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reclassify_locked();
+  return window_.totals();
+}
+
+EngineStats StreamEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats stats;
+  stats.updates_ok = decode_ok_;
+  stats.updates_errors = decode_errors_;
+  stats.announces = window_.announces();
+  stats.withdraws = window_.withdraws();
+  stats.window_epochs = window_.window_epoch_count();
+  stats.expired_epochs = window_.expired_epochs();
+  stats.reclassified_communities = window_.reclassified_communities();
+  stats.events = next_seq_ - 1;
+  stats.live_tuples = window_.live_tuple_count();
+  stats.dirty_alphas = window_.dirty_alpha_count();
+  stats.current_epoch = window_.current_epoch();
+  stats.latest_timestamp = window_.latest_timestamp();
+  stats.window_memory_bytes = window_.memory_bytes();
+  return stats;
+}
+
+std::uint64_t StreamEngine::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t StreamEngine::first_buffered_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty() ? 0 : events_.front().seq;
+}
+
+std::vector<Event> StreamEngine::events_since(std::uint64_t after,
+                                              std::size_t limit,
+                                              bool& gap) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gap = !events_.empty() && after + 1 < events_.front().seq;
+  std::vector<Event> out;
+  const auto begin = std::upper_bound(
+      events_.begin(), events_.end(), after,
+      [](std::uint64_t seq, const Event& event) { return seq < event.seq; });
+  for (auto it = begin; it != events_.end() && out.size() < limit; ++it)
+    out.push_back(*it);
+  return out;
+}
+
+std::vector<std::pair<Community, Intent>> StreamEngine::label_snapshot(
+    std::uint64_t& as_of_seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reclassify_locked();
+  as_of_seq = next_seq_ - 1;
+  return window_.labels();
+}
+
+}  // namespace bgpintent::stream

@@ -1,0 +1,123 @@
+// Thread-safe facade over WindowClassifier: the object the serve tier and
+// the `bgpintent stream` CLI share.
+//
+// One mutex guards the window; decode loops ingest through the UpdateSink
+// bridge and trigger a reclassification pass every kReclassifyBatch
+// updates (and at end of source), so label-change events flow out while a
+// long stream is still being consumed instead of all at once at EOF.
+//
+// Label changes append to a bounded in-memory event log with a monotonic
+// sequence number.  Subscribers resume with events_since(seq): when the
+// requested suffix is still buffered they get the delta, when it has been
+// trimmed they take a fresh full snapshot (label_snapshot) and resubscribe
+// from its sequence point — the delta-snapshot protocol documented in
+// docs/STREAMING.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "mrt/update_stream.hpp"
+#include "stream/window.hpp"
+
+namespace bgpintent::stream {
+
+/// One sequenced label-change event.
+struct Event {
+  std::uint64_t seq = 0;
+  LabelChange change;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Counter snapshot surfaced by serve STATS (docs/STREAMING.md).
+struct EngineStats {
+  std::uint64_t updates_ok = 0;      ///< MRT records decoded cleanly
+  std::uint64_t updates_errors = 0;  ///< records skipped by tolerant decode
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  std::uint64_t window_epochs = 0;   ///< non-empty epochs retained
+  std::uint64_t expired_epochs = 0;
+  std::uint64_t reclassified_communities = 0;
+  std::uint64_t events = 0;          ///< label changes emitted so far
+  std::uint64_t live_tuples = 0;
+  std::uint64_t dirty_alphas = 0;    ///< alphas awaiting reclassification
+  std::uint64_t current_epoch = 0;
+  std::uint32_t latest_timestamp = 0;
+  std::size_t window_memory_bytes = 0;
+};
+
+class StreamEngine {
+ public:
+  /// Events retained for delta resumption; older ones are trimmed and
+  /// resuming subscribers fall back to a full snapshot.
+  static constexpr std::size_t kMaxBufferedEvents = 65536;
+  /// Updates between mid-stream reclassification passes.
+  static constexpr std::uint64_t kReclassifyBatch = 4096;
+
+  explicit StreamEngine(WindowConfig config = {},
+                        const topo::OrgMap* orgs = nullptr)
+      : window_(config, orgs) {}
+
+  /// Decodes one update source into the window (strict or tolerant, same
+  /// semantics as mrt::decode_update_stream), reclassifying every
+  /// kReclassifyBatch updates and once at end.  Decode counters fold into
+  /// the engine stats — also on throw.  Thread-safe; concurrent queries
+  /// interleave between records.
+  void ingest(const mrt::ByteSource& source,
+              const mrt::DecodeOptions& options = {},
+              mrt::DecodeReport* report = nullptr);
+  void ingest(std::istream& in, const mrt::DecodeOptions& options = {},
+              mrt::DecodeReport* report = nullptr);
+
+  /// Ingests one announcement directly (the serve INGEST verb).  When
+  /// `timestamp` is zero the window's latest stream timestamp is reused,
+  /// so protocol-driven entries never move the window backward.
+  void announce(const bgp::RibEntry& entry, std::uint32_t timestamp = 0);
+
+  /// Reclassifies dirty alphas now, publishing any label changes.
+  void reclassify();
+
+  /// Label after reclassifying pending dirty state.
+  [[nodiscard]] Intent label_of(Community community);
+
+  [[nodiscard]] WindowClassifier::Totals totals();
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Sequence number of the newest published event (0 = none yet).
+  [[nodiscard]] std::uint64_t last_seq() const;
+
+  /// Oldest sequence number still buffered (0 when the log is empty).
+  [[nodiscard]] std::uint64_t first_buffered_seq() const;
+
+  /// Buffered events with seq > `after`, oldest first, at most `limit`.
+  /// Sets `gap` when `after` precedes the buffered range — the caller
+  /// must take a full snapshot instead of trusting the delta.
+  [[nodiscard]] std::vector<Event> events_since(std::uint64_t after,
+                                                std::size_t limit,
+                                                bool& gap) const;
+
+  /// Full label snapshot (reclassifies first) plus the sequence number it
+  /// is consistent with: events with seq > that are not yet reflected.
+  [[nodiscard]] std::vector<std::pair<Community, Intent>> label_snapshot(
+      std::uint64_t& as_of_seq);
+
+ private:
+  class IngestSink;
+
+  /// Callers hold mutex_.
+  void reclassify_locked();
+  void publish_locked(std::vector<LabelChange>&& changes);
+
+  mutable std::mutex mutex_;
+  WindowClassifier window_;
+  std::vector<Event> events_;   // trimmed front at kMaxBufferedEvents
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t decode_ok_ = 0;
+  std::uint64_t decode_errors_ = 0;
+};
+
+}  // namespace bgpintent::stream

@@ -1,0 +1,112 @@
+#include "stream/synth.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "mrt/mrt_file.hpp"
+#include "util/rng.hpp"
+
+namespace bgpintent::stream {
+
+namespace {
+
+/// Diff key: one (vantage point, prefix) slot of the observed table.
+using SlotKey = std::tuple<bgp::Asn, std::uint32_t, std::uint32_t,
+                           std::uint8_t>;
+
+[[nodiscard]] SlotKey slot_key(const bgp::RibEntry& entry) noexcept {
+  return {entry.vantage_point.asn, entry.vantage_point.address,
+          entry.route.prefix.address(), entry.route.prefix.length()};
+}
+
+/// Vantage point id of a peer session, reconstructed from the entry (the
+/// scenario uses one collector session per vantage point).
+[[nodiscard]] bgp::VantagePointId peer_of(const bgp::RibEntry& entry) noexcept {
+  return entry.vantage_point;
+}
+
+}  // namespace
+
+SynthStreamStats write_update_stream(std::ostream& out,
+                                     const SynthStreamConfig& config,
+                                     util::ThreadPool* pool) {
+  const routing::Scenario scenario = routing::Scenario::build(config.scenario);
+  mrt::MrtWriter writer(out);
+  SynthStreamStats stats;
+
+  const std::uint32_t epoch_seconds =
+      config.epoch_seconds == 0 ? 1 : config.epoch_seconds;
+  const auto stamp = [&](std::uint32_t epoch, std::uint64_t index) {
+    return config.start_timestamp + epoch * epoch_seconds +
+           static_cast<std::uint32_t>(index % epoch_seconds);
+  };
+  const auto announce = [&](const bgp::RibEntry& entry, std::uint32_t epoch,
+                            std::uint64_t index) {
+    writer.write_update(peer_of(entry), entry.route, stamp(epoch, index));
+    ++stats.records;
+    ++stats.announcements;
+  };
+  const auto withdraw = [&](const bgp::RibEntry& entry, std::uint32_t epoch,
+                            std::uint64_t index) {
+    const bgp::Prefix prefix = entry.route.prefix;
+    writer.write_withdraw(peer_of(entry), std::span(&prefix, 1),
+                          stamp(epoch, index));
+    ++stats.records;
+    ++stats.withdrawals;
+  };
+
+  std::vector<bgp::RibEntry> previous = scenario.day_entries(0, pool);
+  {
+    std::uint64_t index = 0;
+    for (const bgp::RibEntry& entry : previous) announce(entry, 0, index++);
+  }
+
+  for (std::uint32_t epoch = 1; epoch < config.epochs; ++epoch) {
+    std::vector<bgp::RibEntry> current = scenario.day_entries(epoch, pool);
+
+    std::map<SlotKey, const bgp::RibEntry*> previous_by_slot;
+    for (const bgp::RibEntry& entry : previous)
+      previous_by_slot.emplace(slot_key(entry), &entry);
+
+    std::uint64_t index = 0;
+    std::map<SlotKey, bool> still_present;
+    for (const bgp::RibEntry& entry : current) {
+      const auto slot = slot_key(entry);
+      still_present.emplace(slot, true);
+      const auto before = previous_by_slot.find(slot);
+      if (before == previous_by_slot.end() ||
+          !(before->second->route == entry.route))
+        announce(entry, epoch, index++);
+    }
+    for (const bgp::RibEntry& entry : previous)
+      if (!still_present.contains(slot_key(entry)))
+        withdraw(entry, epoch, index++);
+
+    if (config.flap_fraction > 0.0) {
+      util::Rng rng(config.scenario.workload_seed +
+                    0x9e3779b97f4a7c15ULL * epoch);
+      for (const bgp::RibEntry& entry : current) {
+        if (rng.uniform01() < config.flap_fraction) {
+          withdraw(entry, epoch, index++);
+          announce(entry, epoch, index++);
+        }
+      }
+    }
+
+    previous = std::move(current);
+  }
+  return stats;
+}
+
+SynthStream generate_update_stream(const SynthStreamConfig& config,
+                                   util::ThreadPool* pool) {
+  std::ostringstream out(std::ios::binary);
+  SynthStream stream;
+  stream.stats = write_update_stream(out, config, pool);
+  const std::string bytes = out.str();
+  stream.bytes.assign(bytes.begin(), bytes.end());
+  return stream;
+}
+
+}  // namespace bgpintent::stream

@@ -1,0 +1,62 @@
+// Synthetic BGP4MP update streams from simulator churn.
+//
+// The streaming mode needs realistic update traffic without real
+// telemetry: generate_update_stream replays a routing::Scenario's churn
+// days as a BGP4MP firehose.  Epoch 0 announces the full base-day RIB at
+// every vantage point (the "table transfer" a collector sees when a
+// session comes up); each later epoch diffs day e-1 against day e per
+// (vantage point, prefix) and emits announcements for new/changed routes
+// and withdrawals for routes that disappeared — exactly the record mix
+// `bgpintent stream`, the CI streaming smoke, and bench/stream_throughput
+// consume.  Deterministic for a given config at any pool size (the
+// propagation itself is pool-invariant, and the diff walks entries in
+// their canonical order).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "routing/scenario.hpp"
+
+namespace bgpintent::util {
+class ThreadPool;
+}
+
+namespace bgpintent::stream {
+
+struct SynthStreamConfig {
+  routing::ScenarioConfig scenario;
+  /// Epochs to emit; epoch e replays churn day e (epoch 0 = full table).
+  std::uint32_t epochs = 4;
+  /// Stream seconds per epoch; record timestamps spread inside each epoch.
+  std::uint32_t epoch_seconds = 3600;
+  /// Collector timestamp of the first record.
+  std::uint32_t start_timestamp = 1000000000;
+  /// Fraction of slots per churn epoch that flap (withdraw + re-announce),
+  /// so streams carry the withdrawal records real collectors see even
+  /// though scenario churn alone never retracts a prefix.  Seeded from the
+  /// scenario workload seed — deterministic per config.
+  double flap_fraction = 0.05;
+};
+
+struct SynthStreamStats {
+  std::uint64_t records = 0;
+  std::uint64_t announcements = 0;  ///< announced prefixes
+  std::uint64_t withdrawals = 0;    ///< withdrawn prefixes
+};
+
+/// Writes the stream to `out`; returns what was emitted.
+SynthStreamStats write_update_stream(std::ostream& out,
+                                     const SynthStreamConfig& config,
+                                     util::ThreadPool* pool = nullptr);
+
+/// In-memory convenience for tests and benches.
+struct SynthStream {
+  std::vector<std::uint8_t> bytes;
+  SynthStreamStats stats;
+};
+[[nodiscard]] SynthStream generate_update_stream(
+    const SynthStreamConfig& config, util::ThreadPool* pool = nullptr);
+
+}  // namespace bgpintent::stream

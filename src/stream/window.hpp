@@ -1,0 +1,221 @@
+// Sliding-window intent classification over a live update stream.
+//
+// The batch pipeline classifies one frozen tuple set; a firehose consumer
+// wants the labels "as of the trailing week".  WindowClassifier keeps a
+// ring of per-epoch tuple deltas over one bgp::PathTable: every announced
+// (path, community) observation lands in the epoch of its collector
+// timestamp, epochs older than the window are popped whole, and all
+// classifier-facing state — per-community on/off unique-path counts, the
+// ASN-on-path universe, the alpha dirty set — is maintained by refcounts
+// on the 0<->1 transitions of those deltas.  Reclassification runs only
+// over dirty alphas (communities whose cluster counts changed, or whose
+// never-on-path exclusion flipped), through the same
+// core::label_alpha_counts unit the batch classifier uses.
+//
+// The invariant the property suite enforces (tests/property/
+// stream_window_test.cpp): at any point, labels() is bit-identical to a
+// from-scratch ObservationIndex::build_interned + core::classify over
+// window_tuples() — including across epoch expiry and at any pool size.
+//
+// Design decisions (docs/STREAMING.md):
+//   * Withdrawals advance the window clock and are counted, but do not
+//     remove observations: the paper's evidence is "this (path, community)
+//     pair was observed", and observations age out of the window by time,
+//     exactly like tuples age out of a batch re-ingest of the last week.
+//   * Late records (timestamp behind the newest epoch) fold into the
+//     newest epoch instead of resurrecting an older one, so the window
+//     never moves backward and expiry stays monotone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/path_table.hpp"
+#include "bgp/route.hpp"
+#include "core/classifier.hpp"
+#include "core/observations.hpp"
+#include "topo/org_map.hpp"
+
+namespace bgpintent::stream {
+
+using core::Community;
+using core::Intent;
+
+struct WindowConfig {
+  /// Width of one expiry bucket, in stream (collector-timestamp) seconds.
+  std::uint32_t epoch_seconds = 3600;
+  /// Epochs retained; 168 hourly epochs = the paper-shaped one-week window.
+  std::uint32_t window_epochs = 168;
+  core::ClassifierConfig classifier;
+  core::ObservationConfig observation;
+};
+
+/// One label transition, emitted by reclassify_dirty().  `previous` is
+/// kUnclassified for a community's first label and `current` is
+/// kUnclassified when expiry (or a flipped exclusion) removed the label.
+struct LabelChange {
+  Community community;
+  Intent previous = Intent::kUnclassified;
+  Intent current = Intent::kUnclassified;
+  std::uint64_t epoch = 0;  ///< window epoch at which the change surfaced
+
+  friend bool operator==(const LabelChange&, const LabelChange&) = default;
+};
+
+class WindowClassifier {
+ public:
+  explicit WindowClassifier(WindowConfig config = {},
+                            const topo::OrgMap* orgs = nullptr)
+      : config_(config), orgs_(orgs) {}
+
+  [[nodiscard]] const WindowConfig& config() const noexcept { return config_; }
+
+  /// Ingests one announcement observed at `timestamp`.  Advances the
+  /// window (possibly expiring epochs), interns the path, and refcounts
+  /// one observation per carried community into the newest epoch.
+  void announce(const bgp::RibEntry& entry, std::uint32_t timestamp);
+
+  /// Ingests one withdrawal: advances the window clock and the counters
+  /// only (see the file comment for why evidence is not removed).
+  void withdraw(const bgp::VantagePointId& peer, const bgp::Prefix& prefix,
+                std::uint32_t timestamp);
+
+  /// Reclassifies every dirty alpha (ascending) and returns the label
+  /// transitions in (alpha, beta) order — deterministic for a given
+  /// evidence state regardless of ingest interleaving.
+  [[nodiscard]] std::vector<LabelChange> reclassify_dirty();
+
+  /// Marks every observed alpha dirty, so the next reclassify_dirty()
+  /// relabels the whole window — the "full reclassify per epoch" baseline
+  /// bench/stream_throughput measures the dirty tracking against.
+  void mark_all_dirty();
+
+  /// Cached label; callers reclassify first (label_of never mutates).
+  [[nodiscard]] Intent label_of(Community community) const noexcept;
+
+  /// Cached per-window counters; callers reclassify first.
+  struct Totals {
+    std::size_t communities = 0;
+    std::size_t information = 0;
+    std::size_t action = 0;
+    std::size_t unclassified = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// All cached labels, ascending by community; callers reclassify first.
+  [[nodiscard]] std::vector<std::pair<Community, Intent>> labels() const;
+
+  // --- The window-vs-batch bridge (property tests, docs/STREAMING.md) ---
+
+  /// Live window contents as deduplicated interned tuples, ascending by
+  /// (path, community) — the exact input a from-scratch batch build over
+  /// this window consumes.
+  [[nodiscard]] std::vector<bgp::InternedTuple> window_tuples() const;
+
+  /// The shared path table window_tuples() ids point into.  Append-only:
+  /// expired paths keep their ids (a PathId is never reused), they just
+  /// stop being referenced by live tuples.
+  [[nodiscard]] const bgp::PathTable& paths() const noexcept { return paths_; }
+
+  // --- Introspection / counters ---
+
+  [[nodiscard]] std::uint64_t announces() const noexcept { return announces_; }
+  [[nodiscard]] std::uint64_t withdraws() const noexcept { return withdraws_; }
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return current_epoch_;
+  }
+  [[nodiscard]] std::uint32_t latest_timestamp() const noexcept {
+    return latest_timestamp_;
+  }
+  /// Non-empty epochs currently retained in the ring.
+  [[nodiscard]] std::size_t window_epoch_count() const noexcept {
+    return ring_.size();
+  }
+  [[nodiscard]] std::uint64_t expired_epochs() const noexcept {
+    return expired_epochs_;
+  }
+  /// Live deduplicated (path, community) observations.
+  [[nodiscard]] std::size_t live_tuple_count() const noexcept {
+    return window_refs_.size();
+  }
+  [[nodiscard]] std::size_t dirty_alpha_count() const noexcept {
+    return dirty_.size();
+  }
+  /// Communities whose counts were re-examined by reclassify_dirty() so
+  /// far (the work-done counter the serve STATS surface reports).
+  [[nodiscard]] std::uint64_t reclassified_communities() const noexcept {
+    return reclassified_communities_;
+  }
+
+  /// Approximate bytes held by the window: path arenas plus every
+  /// refcount/accumulator table (capacity-based, like
+  /// PathTable::memory_bytes).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct OnOff {
+    std::uint32_t on = 0;
+    std::uint32_t off = 0;
+  };
+  struct AlphaCounts {
+    std::unordered_map<std::uint16_t, OnOff> betas;
+    std::unordered_map<std::uint16_t, Intent> labels;
+  };
+  struct Epoch {
+    std::uint64_t id = 0;
+    /// packed (path << 32 | community wire) -> occurrences in this epoch
+    std::unordered_map<std::uint64_t, std::uint32_t> tuples;
+  };
+
+  /// Moves the window clock to `timestamp`'s epoch, expiring old epochs.
+  void advance_to(std::uint32_t timestamp);
+  /// The newest epoch bucket, creating it for current_epoch_ on demand.
+  [[nodiscard]] Epoch& newest_epoch();
+
+  /// 0->1 / 1->0 transition handlers for one (path, community) key.
+  void activate_tuple(std::uint64_t key);
+  void deactivate_tuple(std::uint64_t key);
+  /// Path liveness transitions drive the ASN-on-path universe.
+  void path_became_live(bgp::PathId path);
+  void path_became_dead(bgp::PathId path);
+  /// An ASN entered/left the on-path universe: the alphas whose exclusion
+  /// that may flip (the ASN itself and its org siblings) go dirty.
+  void mark_exclusion_dirty(bgp::Asn asn);
+
+  /// Memoized "alpha (or an org sibling) is on path" — a pure function of
+  /// path content, the org map, and the sibling config, so entries stay
+  /// valid across expiry.
+  [[nodiscard]] bool on_path(bgp::PathId path, std::uint16_t alpha);
+  [[nodiscard]] bool alpha_on_any_path(std::uint16_t alpha) const;
+
+  /// Relabels one alpha into `counts.labels`, appending transitions.
+  void reclassify_alpha(std::uint16_t alpha, AlphaCounts& counts,
+                        std::vector<LabelChange>& out);
+
+  WindowConfig config_;
+  const topo::OrgMap* orgs_ = nullptr;
+
+  bgp::PathTable paths_;
+  std::unordered_map<std::uint64_t, bool> on_path_memo_;
+
+  std::deque<Epoch> ring_;
+  std::unordered_map<std::uint64_t, std::uint32_t> window_refs_;
+  std::unordered_map<bgp::PathId, std::uint32_t> path_refs_;
+  std::unordered_map<bgp::Asn, std::uint32_t> asn_refs_;
+  std::unordered_map<std::uint16_t, AlphaCounts> alphas_;
+  // Ordered so reclassify_dirty walks alphas ascending without a sort.
+  std::set<std::uint16_t> dirty_;
+
+  bool started_ = false;
+  std::uint64_t current_epoch_ = 0;
+  std::uint32_t latest_timestamp_ = 0;
+  std::uint64_t announces_ = 0;
+  std::uint64_t withdraws_ = 0;
+  std::uint64_t expired_epochs_ = 0;
+  std::uint64_t reclassified_communities_ = 0;
+};
+
+}  // namespace bgpintent::stream

@@ -1,0 +1,247 @@
+// Update-stream decode tests: BGP4MP announce/withdraw ordering and
+// timestamps, interleaved RIB rows, state-change skipping, and fault
+// injection over update streams — including that corrupt_mrt treats every
+// record of a peer-table-free stream as a victim candidate while still
+// protecting the PEER_INDEX_TABLE of RIB images.
+#include "mrt/update_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "mrt/fault.hpp"
+#include "mrt/mrt_file.hpp"
+#include "mrt/source.hpp"
+#include "routing/scenario.hpp"
+
+namespace bgpintent::mrt {
+namespace {
+
+bgp::VantagePointId peer(std::uint32_t asn) {
+  bgp::VantagePointId vp;
+  vp.asn = asn;
+  vp.address = asn;
+  return vp;
+}
+
+bgp::Route route(const char* prefix, std::vector<bgp::Asn> path,
+                 std::vector<bgp::Community> communities) {
+  bgp::Route r;
+  r.prefix = *bgp::Prefix::parse(prefix);
+  r.path = bgp::AsPath(std::move(path));
+  r.communities = std::move(communities);
+  return r;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::ostringstream& out) {
+  const std::string str = out.str();
+  return std::vector<std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(str.data()),
+      reinterpret_cast<const std::uint8_t*>(str.data()) + str.size());
+}
+
+struct Seen {
+  bool announce = false;
+  bgp::VantagePointId vp;
+  bgp::Prefix prefix;
+  std::vector<bgp::Community> communities;
+  std::uint32_t timestamp = 0;
+};
+
+class Recorder final : public UpdateSink {
+ public:
+  void on_announce(bgp::RibEntry& entry, std::uint32_t timestamp) override {
+    seen.push_back(Seen{true, entry.vantage_point, entry.route.prefix,
+                        entry.route.communities, timestamp});
+  }
+  void on_withdraw(const bgp::VantagePointId& vp, const bgp::Prefix& prefix,
+                   std::uint32_t timestamp) override {
+    seen.push_back(Seen{false, vp, prefix, {}, timestamp});
+  }
+  std::vector<Seen> seen;
+};
+
+TEST(UpdateStream, AnnounceWithdrawAndStateChangeSemantics) {
+  std::ostringstream out;
+  MrtWriter writer(out);
+  writer.write_update(peer(61), route("10.1.0.0/24", {61, 100, 201},
+                                      {bgp::Community(100, 1)}),
+                      1000);
+  const bgp::Prefix withdrawn[] = {*bgp::Prefix::parse("10.1.0.0/24"),
+                                   *bgp::Prefix::parse("10.2.0.0/24")};
+  writer.write_withdraw(peer(61), withdrawn, 1010);
+  writer.write_state_change(peer(61), 6, 1, 1020);  // must be skipped
+
+  Recorder recorder;
+  DecodeReport report;
+  decode_update_stream(BufferSource{bytes_of(out)}, recorder, {}, &report);
+
+  ASSERT_EQ(recorder.seen.size(), 3u);
+  EXPECT_TRUE(recorder.seen[0].announce);
+  EXPECT_EQ(recorder.seen[0].vp.asn, 61u);
+  EXPECT_EQ(recorder.seen[0].timestamp, 1000u);
+  EXPECT_EQ(recorder.seen[0].communities,
+            std::vector<bgp::Community>{bgp::Community(100, 1)});
+  EXPECT_FALSE(recorder.seen[1].announce);
+  EXPECT_EQ(recorder.seen[1].prefix, withdrawn[0]);
+  EXPECT_FALSE(recorder.seen[2].announce);
+  EXPECT_EQ(recorder.seen[2].prefix, withdrawn[1]);
+  EXPECT_EQ(recorder.seen[2].timestamp, 1010u);
+  EXPECT_EQ(report.records_ok, 3u);  // the state change decodes, emits none
+}
+
+TEST(UpdateStream, WithdrawalsPrecedeAnnouncementsWithinOneMessage) {
+  // A priming RIB dump concatenated in front of BGP4MP updates — the
+  // record mix a real archive replay produces.
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 7;
+  cfg.topology.tier1_count = 4;
+  cfg.topology.tier2_count = 12;
+  cfg.topology.stub_count = 40;
+  cfg.vantage_point_count = 8;
+  const auto scenario = routing::Scenario::build(cfg);
+  const auto entries = scenario.entries();
+
+  std::ostringstream out;
+  MrtWriter writer(out);
+  writer.write_rib_snapshot(entries, 0x7f000001, 900);
+  writer.write_update(peer(61), route("10.9.0.0/24", {61, 100},
+                                      {bgp::Community(100, 2)}),
+                      1000);
+
+  Recorder recorder;
+  decode_update_stream(BufferSource{bytes_of(out)}, recorder);
+  ASSERT_EQ(recorder.seen.size(), entries.size() + 1);
+  // RIB rows surface as announcements stamped with the dump timestamp.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_TRUE(recorder.seen[i].announce);
+    EXPECT_EQ(recorder.seen[i].timestamp, 900u);
+  }
+  EXPECT_EQ(recorder.seen.back().timestamp, 1000u);
+}
+
+TEST(UpdateStream, IstreamStrictMatchesBufferDecode) {
+  std::ostringstream out;
+  MrtWriter writer(out);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    writer.write_update(peer(61 + i),
+                        route("10.1.0.0/24", {61 + i, 100, 201},
+                              {bgp::Community(100, static_cast<std::uint16_t>(
+                                                       i))}),
+                        1000 + i);
+
+  Recorder from_buffer;
+  decode_update_stream(BufferSource{bytes_of(out)}, from_buffer);
+
+  std::istringstream in(out.str());
+  Recorder from_stream;
+  decode_update_stream(in, from_stream);
+  ASSERT_EQ(from_stream.seen.size(), from_buffer.seen.size());
+  for (std::size_t i = 0; i < from_buffer.seen.size(); ++i) {
+    EXPECT_EQ(from_stream.seen[i].timestamp, from_buffer.seen[i].timestamp);
+    EXPECT_EQ(from_stream.seen[i].communities,
+              from_buffer.seen[i].communities);
+  }
+}
+
+// --- fault injection over update streams --------------------------------
+
+std::vector<std::uint8_t> update_only_stream(std::size_t records) {
+  std::ostringstream out;
+  MrtWriter writer(out);
+  for (std::size_t i = 0; i < records; ++i)
+    writer.write_update(
+        peer(61), route("10.1.0.0/24", {61, 100, 201},
+                        {bgp::Community(100, static_cast<std::uint16_t>(i))}),
+        static_cast<std::uint32_t>(1000 + i));
+  return bytes_of(out);
+}
+
+TEST(UpdateStreamFault, EveryRecordOfAPeerTableFreeStreamIsACandidate) {
+  const auto bytes = update_only_stream(6);
+  bool hit_record_zero = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !hit_record_zero; ++seed) {
+    const auto result =
+        corrupt_mrt(bytes, CorruptionKind::kBitFlip, seed);
+    hit_record_zero = std::find(result.touched_records.begin(),
+                                result.touched_records.end(),
+                                0u) != result.touched_records.end();
+  }
+  EXPECT_TRUE(hit_record_zero)
+      << "record 0 of a BGP4MP stream must be corruptible";
+}
+
+TEST(UpdateStreamFault, RibImagesStillProtectThePeerIndexTable) {
+  routing::ScenarioConfig cfg;
+  cfg.topology.seed = 8;
+  cfg.topology.tier1_count = 4;
+  cfg.topology.tier2_count = 12;
+  cfg.topology.stub_count = 40;
+  cfg.vantage_point_count = 8;
+  const auto scenario = routing::Scenario::build(cfg);
+  std::ostringstream out;
+  MrtWriter writer(out);
+  writer.write_rib_snapshot(scenario.entries(), 0x7f000001, 900);
+  const auto bytes = bytes_of(out);
+
+  for (const CorruptionKind kind : kAllCorruptionKinds)
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto result = corrupt_mrt(bytes, kind, seed);
+      EXPECT_EQ(std::find(result.touched_records.begin(),
+                          result.touched_records.end(), 0u),
+                result.touched_records.end())
+          << result.description;
+    }
+}
+
+/// The tolerant-recovery contract extended to update streams: every
+/// record corrupt_mrt did not name decodes to exactly its original
+/// updates, for every corruption kind and several seeds.
+TEST(UpdateStreamFault, TolerantDecodeRecoversEveryUntouchedRecord) {
+  constexpr std::size_t kRecords = 10;
+  const auto bytes = update_only_stream(kRecords);
+  DecodeOptions tolerant;
+  tolerant.mode = DecodeMode::kTolerant;
+
+  for (const CorruptionKind kind : kAllCorruptionKinds)
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto corrupted = corrupt_mrt(bytes, kind, seed);
+      SCOPED_TRACE(corrupted.description);
+
+      Recorder recorder;
+      DecodeReport report;
+      decode_update_stream(BufferSource{corrupted.bytes}, recorder, tolerant,
+                           &report);
+      // One announce per record here; survivors must keep their identity
+      // (the beta encodes the record index).
+      std::vector<std::uint16_t> recovered;
+      for (const Seen& seen : recorder.seen)
+        if (seen.announce && seen.communities.size() == 1)
+          recovered.push_back(seen.communities[0].beta());
+      for (std::uint64_t r = 0; r < kRecords; ++r) {
+        if (std::find(corrupted.touched_records.begin(),
+                      corrupted.touched_records.end(),
+                      r) != corrupted.touched_records.end())
+          continue;
+        EXPECT_NE(std::find(recovered.begin(), recovered.end(),
+                            static_cast<std::uint16_t>(r)),
+                  recovered.end())
+            << "record " << r << " not recovered";
+      }
+      EXPECT_GE(report.records_ok + report.records_skipped, 1u);
+    }
+}
+
+TEST(UpdateStreamFault, StrictDecodeThrowsOnTruncation) {
+  const auto bytes = update_only_stream(6);
+  const auto corrupted = corrupt_mrt(bytes, CorruptionKind::kTruncate, 3);
+  Recorder recorder;
+  EXPECT_THROW(decode_update_stream(BufferSource{corrupted.bytes}, recorder),
+               MrtError);
+}
+
+}  // namespace
+}  // namespace bgpintent::mrt

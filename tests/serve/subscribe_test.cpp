@@ -1,0 +1,191 @@
+// SUBSCRIBE protocol tests over a stream-mode server: the mode split
+// (classic servers ERR, stream servers lose SNAPSHOT), the snapshot
+// block, live EVENT push after an INGEST, and from= resumption with the
+// automatic snapshot resync — docs/STREAMING.md end to end over a real
+// socket.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "stream/engine.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::serve {
+namespace {
+
+constexpr int kPushTimeoutMs = 10000;
+
+bgp::RibEntry entry(std::uint32_t vp, std::vector<bgp::Asn> path,
+                    std::vector<bgp::Community> communities) {
+  bgp::RibEntry e;
+  e.vantage_point.asn = vp;
+  e.vantage_point.address = vp;
+  e.route.prefix = *bgp::Prefix::parse("10.0.0.0/24");
+  e.route.path = bgp::AsPath(std::move(path));
+  e.route.communities = std::move(communities);
+  return e;
+}
+
+ServerConfig loopback_config() {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.threads = 2;
+  return cfg;
+}
+
+/// Reads a full SUBSCRIBE snapshot block after its OK line: DATA lines up
+/// to "END snapshot seq=N".  Returns the DATA lines.
+std::vector<std::string> read_snapshot_block(Client& client) {
+  std::vector<std::string> data;
+  for (;;) {
+    const auto line = client.read_line(kPushTimeoutMs);
+    if (!line) {
+      ADD_FAILURE() << "timed out inside snapshot block";
+      return data;
+    }
+    if (util::starts_with(*line, "END snapshot ")) return data;
+    EXPECT_TRUE(util::starts_with(*line, "DATA ")) << *line;
+    data.push_back(*line);
+  }
+}
+
+TEST(Subscribe, ClassicServerAnswersErr) {
+  Server server(core::IncrementalClassifier(), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  EXPECT_TRUE(util::starts_with(client.request("SUBSCRIBE"), "ERR "));
+  // The connection stays request/response after the rejection.
+  EXPECT_TRUE(util::starts_with(client.request("STATS"), "OK "));
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Subscribe, StreamServerRejectsSnapshotCommandButServesQueries) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.reclassify();
+  Server server(engine, loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  EXPECT_TRUE(util::starts_with(client.request("SNAPSHOT /tmp/x"), "ERR "));
+  EXPECT_EQ(client.label(bgp::Community(100, 1)), dict::Intent::kInformation);
+  const auto totals = client.totals();
+  EXPECT_EQ(totals.information, 1u);
+
+  // STATS carries the stream-mode counters.
+  const auto pairs = parse_ok_response(client.request("STATS"));
+  ASSERT_TRUE(pairs);
+  for (const char* key : {"updates_ok", "updates_errors", "window_epochs",
+                          "reclassified_communities"})
+    EXPECT_TRUE(pairs->contains(key)) << key;
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Subscribe, SnapshotThenLivePush) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.reclassify();
+
+  Server server(engine, loopback_config());
+  server.start();
+  auto subscriber = Client::connect("127.0.0.1", server.port());
+  subscriber.send_line("SUBSCRIBE snapshot");
+  const auto ok = subscriber.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(util::starts_with(*ok, "OK subscribed seq=")) << *ok;
+
+  const auto data = read_snapshot_block(subscriber);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0], "DATA community=100:1 label=information");
+
+  // A second connection ingests a fresh pure-on community: the engine
+  // publishes a label-change event and the accept thread pushes it to the
+  // parked subscriber without any further request.
+  auto producer = Client::connect("127.0.0.1", server.port());
+  const std::string response =
+      producer.request("INGEST 62,300,400 300:7");
+  EXPECT_TRUE(util::starts_with(response, "OK ")) << response;
+
+  const auto event = subscriber.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(event) << "no EVENT pushed";
+  EXPECT_TRUE(util::starts_with(*event, "EVENT seq=")) << *event;
+  EXPECT_NE(event->find("community=300:7"), std::string::npos) << *event;
+  EXPECT_NE(event->find("old=unclassified"), std::string::npos) << *event;
+  EXPECT_NE(event->find("new=information"), std::string::npos) << *event;
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Subscribe, FromResumesTheDelta) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.announce(entry(62, {62, 300, 400}, {bgp::Community(300, 7)}), 11);
+  engine.reclassify();
+  ASSERT_EQ(engine.last_seq(), 2u);
+
+  Server server(engine, loopback_config());
+  server.start();
+
+  // from=1: event 1 was seen, event 2 is the delta.
+  auto client = Client::connect("127.0.0.1", server.port());
+  client.send_line("SUBSCRIBE from=1");
+  const auto ok = client.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, "OK subscribed seq=1");
+  const auto event = client.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(event);
+  EXPECT_TRUE(util::starts_with(*event, "EVENT seq=2 ")) << *event;
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Subscribe, FromBeyondLastSeqResyncsWithSnapshot) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.reclassify();
+
+  Server server(engine, loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  // A subscriber claiming to be ahead of the log is stale (e.g. the
+  // server restarted): it must be resynced with a full snapshot.
+  client.send_line("SUBSCRIBE from=9999");
+  const auto ok = client.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(util::starts_with(*ok, "OK subscribed seq=")) << *ok;
+  const auto data = read_snapshot_block(client);
+  EXPECT_EQ(data.size(), 1u);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Subscribe, MalformedSubscribeArgumentsGetErr) {
+  stream::StreamEngine engine;
+  Server server(engine, loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  for (const char* bad :
+       {"SUBSCRIBE bogus", "SUBSCRIBE from=notanumber",
+        "SUBSCRIBE snapshot extra junk"}) {
+    const std::string response = client.request(bad);
+    EXPECT_TRUE(util::starts_with(response, "ERR ")) << bad << " -> "
+                                                     << response;
+  }
+  server.request_stop();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace bgpintent::serve

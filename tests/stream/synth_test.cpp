@@ -1,0 +1,120 @@
+// Synthetic update-stream generator tests: determinism (bytes, at any
+// pool size), flap-driven withdrawals, timestamp shape, and that the
+// output decodes cleanly in strict mode — the contract `bgpintent
+// synth-stream`, the CI streaming smoke, and bench/stream_throughput
+// rely on.
+#include "stream/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mrt/source.hpp"
+#include "mrt/update_stream.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bgpintent::stream {
+namespace {
+
+SynthStreamConfig small_config() {
+  SynthStreamConfig cfg;
+  cfg.scenario.topology.seed = 20230808;
+  cfg.scenario.topology.tier1_count = 4;
+  cfg.scenario.topology.tier2_count = 12;
+  cfg.scenario.topology.stub_count = 40;
+  cfg.scenario.vantage_point_count = 8;
+  cfg.scenario.day_churn = 0.25;
+  cfg.epochs = 3;
+  cfg.epoch_seconds = 600;
+  return cfg;
+}
+
+/// Counts decoded updates and checks timestamp monotonicity.
+class Counter final : public mrt::UpdateSink {
+ public:
+  void on_announce(bgp::RibEntry&, std::uint32_t timestamp) override {
+    ++announces;
+    note(timestamp);
+  }
+  void on_withdraw(const bgp::VantagePointId&, const bgp::Prefix&,
+                   std::uint32_t timestamp) override {
+    ++withdraws;
+    note(timestamp);
+  }
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  std::uint32_t first_timestamp = 0;
+  std::uint32_t last_timestamp = 0;
+  bool monotone = true;
+
+ private:
+  void note(std::uint32_t timestamp) {
+    if (first_timestamp == 0) first_timestamp = timestamp;
+    if (timestamp < last_timestamp) monotone = false;
+    last_timestamp = timestamp;
+  }
+};
+
+Counter decode(const SynthStream& synth) {
+  Counter counter;
+  mrt::decode_update_stream(
+      mrt::BufferSource{std::vector<std::uint8_t>(synth.bytes)}, counter);
+  return counter;
+}
+
+TEST(SynthStream, DeterministicBytesAtAnyPoolSize) {
+  const auto cfg = small_config();
+  const SynthStream sequential = generate_update_stream(cfg);
+  EXPECT_FALSE(sequential.bytes.empty());
+  EXPECT_EQ(generate_update_stream(cfg).bytes, sequential.bytes);
+
+  for (const unsigned threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(generate_update_stream(cfg, &pool).bytes, sequential.bytes)
+        << threads << " threads";
+  }
+}
+
+TEST(SynthStream, DecodesStrictlyAndStatsMatchTheWire) {
+  const SynthStream synth = generate_update_stream(small_config());
+  const Counter counter = decode(synth);  // strict: throws on a bad record
+  EXPECT_EQ(counter.announces, synth.stats.announcements);
+  EXPECT_EQ(counter.withdraws, synth.stats.withdrawals);
+  EXPECT_TRUE(counter.monotone);
+
+  const auto cfg = small_config();
+  EXPECT_GE(counter.first_timestamp, cfg.start_timestamp);
+  EXPECT_LT(counter.last_timestamp,
+            cfg.start_timestamp + cfg.epochs * cfg.epoch_seconds);
+}
+
+TEST(SynthStream, FlapsProduceWithdrawalRecords) {
+  auto cfg = small_config();
+  cfg.flap_fraction = 0.0;
+  const auto calm = generate_update_stream(cfg);
+
+  cfg.flap_fraction = 0.2;
+  const auto flappy = generate_update_stream(cfg);
+  EXPECT_GT(flappy.stats.withdrawals, calm.stats.withdrawals);
+  EXPECT_GT(flappy.stats.withdrawals, 0u);
+  // A flap withdraws and re-announces, so announcements grow in step.
+  EXPECT_GT(flappy.stats.announcements, calm.stats.announcements);
+}
+
+TEST(SynthStream, EpochZeroCarriesTheFullTable) {
+  auto cfg = small_config();
+  cfg.flap_fraction = 0.0;
+  cfg.epochs = 1;
+  const SynthStream table_only = generate_update_stream(cfg);
+  const Counter counter = decode(table_only);
+  // Every vantage point announces its full RIB once; no churn, no flaps.
+  EXPECT_GT(counter.announces, 100u);
+  EXPECT_EQ(counter.withdraws, 0u);
+
+  cfg.epochs = 3;
+  const SynthStream longer = generate_update_stream(cfg);
+  EXPECT_GT(longer.stats.records, table_only.stats.records);
+}
+
+}  // namespace
+}  // namespace bgpintent::stream
