@@ -1,0 +1,281 @@
+// Durability cost and crash-recovery latency (docs/STREAMING.md §6):
+// write-ahead journal overhead on top of plain engine ingest, cold-replay
+// recovery (no checkpoint) vs checkpoint-bounded recovery, and the
+// torn-tail salvage path.  Doubles as a correctness smoke: every recovered
+// engine must export a state identical to the uninterrupted run, and the
+// process exits non-zero when one does not.
+//
+// BGPINTENT_WORLD_SCALE=smoke shrinks the world for CI;
+// BGPINTENT_BENCH_REPEATS repeats the timed phases (best-of);
+// BGPINTENT_BENCH_JSON writes the machine-readable report compared
+// against the committed BENCH_recovery.json baseline.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "mrt/source.hpp"
+#include "stream/engine.hpp"
+#include "stream/journal.hpp"
+#include "stream/recovery.hpp"
+#include "stream/synth.hpp"
+
+using namespace bgpintent;
+namespace fs = std::filesystem;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+stream::JournalConfig journal_config(const std::string& directory) {
+  stream::JournalConfig cfg;
+  cfg.directory = directory;
+  cfg.fsync = stream::FsyncPolicy::kNever;  // isolate CPU/copy cost from disk
+  return cfg;
+}
+
+/// Journals the full stream into `directory` (wiped first) and returns the
+/// final state.  `checkpoint_interval` 0 = no checkpoints; the journal is
+/// left sealed but checkpoint-less at the tail (the crash shape) unless
+/// `clean_shutdown`.
+stream::EngineState journaled_run(const std::string& directory,
+                                  const stream::SynthStream& synth,
+                                  std::uint64_t checkpoint_interval,
+                                  bool clean_shutdown, double& ms) {
+  fs::remove_all(directory);
+  fs::create_directories(directory);
+  stream::StreamEngine engine;
+  engine.attach_journal(
+      std::make_unique<stream::JournalWriter>(journal_config(directory), 0),
+      checkpoint_interval);
+  const mrt::BufferSource source(synth.bytes);
+  const auto start = std::chrono::steady_clock::now();
+  engine.ingest(source);
+  ms = ms_since(start);
+  const stream::EngineState state = engine.export_state();
+  if (clean_shutdown) engine.detach_journal();
+  return state;
+}
+
+}  // namespace
+
+int main() {
+  const char* mode_env = std::getenv("BGPINTENT_WORLD_SCALE");
+  const bool smoke =
+      mode_env != nullptr && std::strcmp(mode_env, "smoke") == 0;
+  int repeats = 3;
+  if (const char* env = std::getenv("BGPINTENT_BENCH_REPEATS")) {
+    repeats = std::atoi(env);
+    if (repeats < 1) repeats = 1;
+  }
+
+  stream::SynthStreamConfig synth_cfg;
+  synth_cfg.scenario = bench::default_scenario_config(20230511);
+  synth_cfg.scenario.topology.tier1_count = smoke ? 6 : 10;
+  synth_cfg.scenario.topology.tier2_count = smoke ? 60 : 80;
+  synth_cfg.scenario.topology.stub_count = smoke ? 120 : 300;
+  synth_cfg.scenario.vantage_point_count = smoke ? 12 : 40;
+  synth_cfg.epochs = smoke ? 12 : 36;
+  synth_cfg.epoch_seconds = 600;
+
+  bench::print_banner("recovery_time — journal durability and crash recovery",
+                      synth_cfg.scenario);
+  std::printf("stream: %u epochs x %us%s\n", synth_cfg.epochs,
+              synth_cfg.epoch_seconds, smoke ? " (smoke)" : "");
+
+  const stream::SynthStream synth = stream::generate_update_stream(synth_cfg);
+  std::printf("workload: %llu records, %zu MRT bytes\n\n",
+              static_cast<unsigned long long>(synth.stats.records),
+              synth.bytes.size());
+
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("bgpintent_bench_recovery_" + std::to_string(::getpid())))
+          .string();
+  const std::string cold_dir = scratch + "/cold";
+  const std::string ckpt_dir = scratch + "/ckpt";
+  const std::uint64_t checkpoint_interval = smoke ? 2000 : 10000;
+
+  // --- Phase 0: plain ingest (the no-durability baseline). ---
+  double plain_ms = 0.0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    stream::StreamEngine engine;
+    const mrt::BufferSource source(synth.bytes);
+    const auto start = std::chrono::steady_clock::now();
+    engine.ingest(source);
+    const double ms = ms_since(start);
+    if (repeat == 0 || ms < plain_ms) plain_ms = ms;
+  }
+
+  // --- Phase 1: journaled ingest (fsync=never isolates the frame cost).
+  double journaled_ms = 0.0;
+  stream::EngineState reference;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    double ms = 0.0;
+    reference = journaled_run(cold_dir, synth, 0, false, ms);
+    if (repeat == 0 || ms < journaled_ms) journaled_ms = ms;
+  }
+  const stream::ScanSummary scan = stream::scan_journal(cold_dir);
+  const double journal_overhead_pct =
+      plain_ms > 0.0 ? (journaled_ms - plain_ms) / plain_ms * 100.0 : 0.0;
+  std::uint64_t journal_bytes = 0;
+  for (const stream::SegmentInfo& segment : scan.segments)
+    journal_bytes += segment.bytes;
+
+  int exit_code = 0;
+  const auto check = [&](const stream::StreamEngine& engine,
+                         const char* phase) {
+    if (engine.export_state() == reference) return;
+    std::fprintf(stderr, "FAIL: %s diverged from the uninterrupted run\n",
+                 phase);
+    exit_code = 1;
+  };
+
+  // --- Phase 2: cold recovery — full journal replay, no checkpoint. ---
+  double cold_ms = 0.0;
+  std::uint64_t cold_replayed = 0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    // Recovery truncates/compacts in place, so each repeat runs on a copy.
+    const std::string copy = scratch + "/cold_copy";
+    fs::remove_all(copy);
+    fs::copy(cold_dir, copy, fs::copy_options::recursive);
+    stream::RecoveryReport report;
+    const auto start = std::chrono::steady_clock::now();
+    const auto engine =
+        stream::recover_stream(journal_config(copy), {}, &report);
+    const double ms = ms_since(start);
+    if (repeat == 0 || ms < cold_ms) cold_ms = ms;
+    cold_replayed = report.records_replayed;
+    if (repeat == 0) check(*engine, "cold recovery");
+  }
+  const double cold_records_per_sec =
+      cold_ms > 0.0 ? static_cast<double>(cold_replayed) / (cold_ms / 1e3)
+                    : 0.0;
+
+  // --- Phase 3: checkpointed recovery — bounded replay. ---
+  {
+    double ignored = 0.0;
+    (void)journaled_run(ckpt_dir, synth, checkpoint_interval, false, ignored);
+  }
+  double ckpt_ms = 0.0;
+  std::uint64_t ckpt_replayed = 0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    const std::string copy = scratch + "/ckpt_copy";
+    fs::remove_all(copy);
+    fs::copy(ckpt_dir, copy, fs::copy_options::recursive);
+    stream::RecoveryReport report;
+    const auto start = std::chrono::steady_clock::now();
+    const auto engine =
+        stream::recover_stream(journal_config(copy), {}, &report);
+    const double ms = ms_since(start);
+    if (repeat == 0 || ms < ckpt_ms) ckpt_ms = ms;
+    ckpt_replayed = report.records_replayed;
+    if (repeat == 0) {
+      check(*engine, "checkpointed recovery");
+      if (!report.used_checkpoint) {
+        std::fprintf(stderr, "FAIL: checkpointed run recovered cold\n");
+        exit_code = 1;
+      }
+    }
+  }
+  const double ckpt_speedup = ckpt_ms > 0.0 ? cold_ms / ckpt_ms : 0.0;
+
+  // --- Phase 4: torn-tail salvage (correctness gate, timed for free). ---
+  double torn_ms = 0.0;
+  {
+    const std::string copy = scratch + "/torn_copy";
+    fs::remove_all(copy);
+    fs::copy(cold_dir, copy, fs::copy_options::recursive);
+    std::string last_segment;
+    for (const auto& entry : fs::directory_iterator(copy)) {
+      const std::string name = entry.path().filename().string();
+      if (name.starts_with("journal-") && name.ends_with(".seg") &&
+          (last_segment.empty() || entry.path().string() > last_segment))
+        last_segment = entry.path().string();
+    }
+    fs::resize_file(last_segment, fs::file_size(last_segment) - 11);
+    stream::RecoveryReport report;
+    const auto start = std::chrono::steady_clock::now();
+    const auto engine =
+        stream::recover_stream(journal_config(copy), {}, &report);
+    torn_ms = ms_since(start);
+    if (report.torn_tail_truncated == 0) {
+      std::fprintf(stderr, "FAIL: torn tail not detected\n");
+      exit_code = 1;
+    }
+    if (engine->stats().recovered_events == 0) {
+      std::fprintf(stderr, "FAIL: torn recovery salvaged nothing\n");
+      exit_code = 1;
+    }
+  }
+  fs::remove_all(scratch);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"plain ingest ms", util::fixed(plain_ms, 1)});
+  table.add_row({"journaled ingest ms", util::fixed(journaled_ms, 1)});
+  table.add_row({"journal overhead %", util::fixed(journal_overhead_pct, 1)});
+  table.add_row({"journal records", std::to_string(scan.records)});
+  table.add_row(
+      {"journal KiB",
+       util::fixed(static_cast<double>(journal_bytes) / 1024.0, 1)});
+  table.add_row({"cold recovery ms", util::fixed(cold_ms, 1)});
+  table.add_row({"cold replay records/sec",
+                 util::fixed(cold_records_per_sec, 0)});
+  table.add_row({"checkpointed recovery ms", util::fixed(ckpt_ms, 1)});
+  table.add_row({"checkpointed records replayed",
+                 std::to_string(ckpt_replayed)});
+  table.add_row({"checkpoint speedup", util::fixed(ckpt_speedup, 2)});
+  table.add_row({"torn-tail recovery ms", util::fixed(torn_ms, 1)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("correctness: %s\n", exit_code == 0 ? "ok" : "FAILED");
+
+  if (const char* out_path = std::getenv("BGPINTENT_BENCH_JSON")) {
+    if (std::FILE* out = std::fopen(out_path, "w")) {
+      std::fprintf(
+          out,
+          "{\n"
+          "  \"bench\": \"recovery_time\",\n"
+          "  \"workload\": {\"records\": %llu, \"mrt_bytes\": %zu, "
+          "\"journal_records\": %llu, \"journal_bytes\": %llu, "
+          "\"checkpoint_interval\": %llu, \"smoke\": %s},\n"
+          "  \"results\": {\n"
+          "    \"plain_ingest_ms\": %.3f,\n"
+          "    \"journaled_ingest_ms\": %.3f,\n"
+          "    \"journal_overhead_pct\": %.1f,\n"
+          "    \"cold_recovery_ms\": %.3f,\n"
+          "    \"cold_replay_records_per_sec\": %.1f,\n"
+          "    \"checkpointed_recovery_ms\": %.3f,\n"
+          "    \"checkpointed_records_replayed\": %llu,\n"
+          "    \"checkpoint_speedup\": %.2f,\n"
+          "    \"torn_recovery_ms\": %.3f,\n"
+          "    \"identical\": %s\n"
+          "  }\n"
+          "}\n",
+          static_cast<unsigned long long>(synth.stats.records),
+          synth.bytes.size(),
+          static_cast<unsigned long long>(scan.records),
+          static_cast<unsigned long long>(journal_bytes),
+          static_cast<unsigned long long>(checkpoint_interval),
+          smoke ? "true" : "false", plain_ms, journaled_ms,
+          journal_overhead_pct, cold_ms, cold_records_per_sec, ckpt_ms,
+          static_cast<unsigned long long>(ckpt_replayed), ckpt_speedup,
+          torn_ms, exit_code == 0 ? "true" : "false");
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", out_path);
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

@@ -17,6 +17,17 @@
 //     answer ERR to SUBSCRIBE and the watcher falls back to per-community
 //     LABEL polling, so several watchers can share either kind of
 //     long-lived classifier.
+//
+// A third mode watches live label transitions and survives daemon
+// restarts (the CommunityWatch use case a journaled daemon enables):
+//   anomaly_watch <host>:<port> watch [N] — SUBSCRIBE to the event
+//     stream and print label-change transitions until N events were seen
+//     (0 = forever).  On connection loss the watcher reconnects with
+//     Client::connect_with_retry and re-SUBSCRIBEs `from=<last seen
+//     seq>`; a daemon recovered from its journal resumes the sequence
+//     gap-free, and when the resume point is genuinely gone (no journal,
+//     or the ring trimmed past it) the daemon answers with a fresh
+//     snapshot block that rebuilds the label cache before events resume.
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -116,6 +127,119 @@ Labeler remote_labeler(serve::Client& client) {
   };
 }
 
+// Live transition watcher: the restart-surviving SUBSCRIBE loop.  Exits
+// after `max_events` transitions (0 = run until the connection budget is
+// spent).  Every reconnect resumes `from=<last seen seq>`; the daemon
+// decides whether that is servable as a delta (journaled restart) or
+// needs a snapshot resync (lost resume point), and the watcher handles
+// both answers.
+int watch_daemon(const std::string& host, std::uint16_t port,
+                 std::uint64_t max_events) {
+  std::uint64_t last_seq = 0;
+  bool have_seq = false;
+  std::uint64_t seen = 0;
+  std::map<bgp::Community, dict::Intent> labels;
+  bool in_snapshot = false;
+
+  for (;;) {
+    std::optional<serve::Client> client;
+    try {
+      client = serve::Client::connect_with_retry(host, port);
+    } catch (const serve::ServeError& e) {
+      std::fprintf(stderr, "error: daemon unreachable: %s\n", e.what());
+      return 1;
+    }
+    try {
+      client->send_line(have_seq
+                            ? util::format("SUBSCRIBE from=%llu",
+                                           static_cast<unsigned long long>(
+                                               last_seq))
+                            : std::string("SUBSCRIBE snapshot"));
+      auto line = client->read_line(10000);
+      if (!line || !util::starts_with(*line, "OK subscribed")) {
+        std::fprintf(stderr, "error: SUBSCRIBE rejected: %s\n",
+                     line ? line->c_str() : "(timeout)");
+        return 1;
+      }
+      if (have_seq)
+        std::printf("resubscribed from=%llu\n",
+                    static_cast<unsigned long long>(last_seq));
+      while ((line = client->read_line(/*timeout_ms=*/-1))) {
+        if (util::starts_with(*line, "ERR lagged")) {
+          // Dropped as a laggard: the resume point is stale, so the next
+          // SUBSCRIBE from= will be answered with a snapshot resync.
+          std::printf("dropped as laggard; reconnecting\n");
+          break;
+        }
+        if (util::starts_with(*line, "DATA ")) {
+          // First DATA line of a resync block: the delta we asked for is
+          // gone, start the cache over from the fresh snapshot.
+          if (!in_snapshot) {
+            in_snapshot = true;
+            labels.clear();
+          }
+          std::optional<bgp::Community> community;
+          std::optional<dict::Intent> intent;
+          for (const auto field : util::split_whitespace(*line)) {
+            if (field.starts_with("community="))
+              community = bgp::Community::parse(field.substr(10));
+            else if (field.starts_with("label="))
+              intent = dict::parse_intent(field.substr(6));
+          }
+          if (community && intent) labels[*community] = *intent;
+          continue;
+        }
+        if (util::starts_with(*line, "END snapshot seq=")) {
+          in_snapshot = false;
+          if (const auto seq = util::parse_u64(
+                  std::string_view(*line).substr(17))) {
+            last_seq = *seq;
+            have_seq = true;
+          }
+          std::printf("snapshot resync: %zu labels, seq=%llu\n",
+                      labels.size(),
+                      static_cast<unsigned long long>(last_seq));
+          continue;
+        }
+        if (util::starts_with(*line, "EVENT ")) {
+          std::optional<std::uint64_t> seq;
+          std::optional<bgp::Community> community;
+          for (const auto field : util::split_whitespace(*line)) {
+            if (field.starts_with("seq="))
+              seq = util::parse_u64(field.substr(4));
+            else if (field.starts_with("community="))
+              community = bgp::Community::parse(field.substr(10));
+          }
+          if (seq) {
+            last_seq = *seq;
+            have_seq = true;
+          }
+          std::printf("%s\n", line->c_str());
+          if (community) {
+            // Keep the cache current so a resync diff stays meaningful.
+            for (const auto field : util::split_whitespace(*line))
+              if (field.starts_with("new="))
+                if (const auto intent = dict::parse_intent(field.substr(4)))
+                  labels[*community] = *intent;
+          }
+          if (max_events > 0 && ++seen >= max_events) {
+            std::printf("saw %llu events; done\n",
+                        static_cast<unsigned long long>(seen));
+            return 0;
+          }
+        }
+      }
+    } catch (const serve::ServeError&) {
+      // Connection dropped mid-stream: the daemon crashed or restarted.
+      // Loop around: connect_with_retry rides out the restart window and
+      // the re-SUBSCRIBE resumes from last_seq.
+      std::printf("connection lost at seq=%llu; reconnecting\n",
+                  static_cast<unsigned long long>(last_seq));
+      in_snapshot = false;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,8 +284,23 @@ int main(int argc, char** argv) {
                           ? std::nullopt
                           : util::parse_u64(target.substr(colon + 1));
     if (!port || *port > 65535) {
-      std::fprintf(stderr, "usage: %s [host:port]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [host:port [watch [events]]]\n",
+                   argv[0]);
       return 2;
+    }
+    if (argc > 2 && std::string(argv[2]) == "watch") {
+      std::uint64_t max_events = 0;
+      if (argc > 3) {
+        const auto parsed = util::parse_u64(argv[3]);
+        if (!parsed) {
+          std::fprintf(stderr, "usage: %s host:port watch [events]\n",
+                       argv[0]);
+          return 2;
+        }
+        max_events = *parsed;
+      }
+      return watch_daemon(target.substr(0, colon),
+                          static_cast<std::uint16_t>(*port), max_events);
     }
     try {
       // Retry with backoff so the watcher survives the daemon's startup

@@ -19,6 +19,7 @@
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "stream/engine.hpp"
+#include "stream/recovery.hpp"
 #include "stream/synth.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -762,8 +763,10 @@ int cmd_stream(int argc, char** argv) {
   const auto args = Args::parse(
       argc, argv, 2,
       {"listen", "port", "threads", "read-timeout", "epoch-seconds",
-       "window-epochs", "gap", "threshold", "max-errors", "max-error-frac"},
-      {"serve", "no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap"});
+       "window-epochs", "gap", "threshold", "max-errors", "max-error-frac",
+       "journal", "fsync", "checkpoint-interval", "max-segment-bytes"},
+      {"serve", "no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap",
+       "journal-strict"});
   if (!args) return kExitUsage;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
@@ -776,12 +779,43 @@ int cmd_stream(int argc, char** argv) {
   const auto window_epochs = args->value_u64("window-epochs", 168, kMaxU32);
   const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
+  const auto checkpoint_interval =
+      args->value_u64("checkpoint-interval", 100000);
+  const auto max_segment = args->value_u64("max-segment-bytes", 4ull << 20);
   if (!port || !threads || !read_timeout || !epoch_seconds ||
-      !window_epochs || !gap || !threshold)
+      !window_epochs || !gap || !threshold || !checkpoint_interval ||
+      !max_segment)
     return kExitUsage;
   if (*epoch_seconds == 0 || *window_epochs == 0) {
     std::fprintf(stderr,
                  "error: --epoch-seconds and --window-epochs must be >= 1\n");
+    return kExitUsage;
+  }
+  const auto journal_dir = args->value("journal");
+  stream::JournalConfig journal_cfg;
+  if (journal_dir) {
+    journal_cfg.directory = *journal_dir;
+    journal_cfg.max_segment_bytes = *max_segment;
+    if (journal_cfg.max_segment_bytes < stream::kSegmentHeaderBytes + 64) {
+      std::fprintf(stderr, "error: --max-segment-bytes is too small\n");
+      return kExitUsage;
+    }
+    if (const auto fsync_name = args->value("fsync")) {
+      const auto policy = stream::parse_fsync_policy(*fsync_name);
+      if (!policy) {
+        std::fprintf(stderr,
+                     "error: --fsync must be never, interval, or "
+                     "every-record\n");
+        return kExitUsage;
+      }
+      journal_cfg.fsync = *policy;
+    }
+  } else if (args->value("fsync") || args->flag("journal-strict") ||
+             args->value("checkpoint-interval") ||
+             args->value("max-segment-bytes")) {
+    std::fprintf(stderr,
+                 "error: --fsync/--checkpoint-interval/--max-segment-bytes/"
+                 "--journal-strict require --journal\n");
     return kExitUsage;
   }
 
@@ -792,11 +826,51 @@ int cmd_stream(int argc, char** argv) {
   window_cfg.classifier.ratio_threshold = *threshold;
   window_cfg.classifier.mean_of_ratios = args->flag("mean-ratios");
   window_cfg.observation.sibling_aware = !args->flag("no-siblings");
-  stream::StreamEngine engine(window_cfg);
+
+  // With --journal the engine comes out of crash recovery (checkpoint +
+  // replay, stream/recovery.hpp) with a writer attached that resumes the
+  // journal where the last process stopped; without it, a plain transient
+  // engine.
+  std::unique_ptr<stream::StreamEngine> recovered;
+  std::optional<stream::StreamEngine> transient;
+  if (journal_dir) {
+    stream::RecoveryOptions recovery;
+    recovery.strict = args->flag("journal-strict");
+    recovery.config = window_cfg;
+    recovery.checkpoint_interval_updates = *checkpoint_interval;
+    stream::RecoveryReport report;
+    try {
+      recovered = stream::recover_stream(journal_cfg, recovery, &report);
+    } catch (const stream::JournalError& error) {
+      std::fprintf(stderr, "error: journal recovery failed: %s\n",
+                   error.what());
+      return kExitData;
+    }
+    if (report.fresh) {
+      std::fprintf(stderr, "journal: %s is fresh\n", journal_dir->c_str());
+    } else {
+      std::fprintf(
+          stderr,
+          "journal: recovered %llu records (%llu replayed%s%s), last event "
+          "seq %llu\n",
+          static_cast<unsigned long long>(report.journal_records),
+          static_cast<unsigned long long>(report.records_replayed),
+          report.used_checkpoint ? " past checkpoint" : "",
+          report.torn_tail_truncated > 0 ? ", torn tail truncated" : "",
+          static_cast<unsigned long long>(report.recovered_events));
+    }
+    if (report.config_overridden)
+      std::fprintf(stderr,
+                   "journal: persisted window config wins over the flags "
+                   "(docs/STREAMING.md)\n");
+  } else {
+    transient.emplace(window_cfg);
+  }
+  stream::StreamEngine& engine = recovered ? *recovered : *transient;
 
   const bool serving =
       args->flag("serve") || args->value("listen").has_value();
-  if (!serving && args->positional().empty()) {
+  if (!serving && args->positional().empty() && !journal_dir) {
     std::fprintf(stderr,
                  "error: pass BGP4MP update files ('-' reads stdin) and/or "
                  "--serve/--listen\n");
@@ -906,6 +980,22 @@ int cmd_stream(int argc, char** argv) {
                  stats.uptime_seconds,
                  static_cast<unsigned long long>(stats.connections_accepted),
                  static_cast<unsigned long long>(stats.queries_served));
+  }
+  if (engine.has_journal()) {
+    // Clean shutdown: final checkpoint + sealed segment, so the next start
+    // replays nothing.
+    try {
+      engine.detach_journal();
+    } catch (const stream::JournalError& error) {
+      std::fprintf(stderr, "error: journal shutdown failed: %s\n",
+                   error.what());
+      if (code == kExitOk) code = kExitRuntime;
+    }
+    const stream::EngineStats es = engine.stats();
+    std::fprintf(stderr,
+                 "journal: %llu records appended (%llu bytes)\n",
+                 static_cast<unsigned long long>(es.journal_appends),
+                 static_cast<unsigned long long>(es.journal_bytes));
   }
   return code;
 }
@@ -1032,6 +1122,64 @@ int cmd_synth_stream(int argc, char** argv) {
   return kExitOk;
 }
 
+int cmd_recover(int argc, char** argv) {
+  const auto args = Args::parse(argc, argv, 2, {}, {});
+  if (!args) return kExitUsage;
+  if (args->positional().size() != 1) {
+    std::fprintf(stderr, "error: usage: bgpintent recover <journal-dir>\n");
+    return kExitUsage;
+  }
+  const std::string& directory = args->positional().front();
+
+  stream::JournalInspection inspection;
+  try {
+    inspection = stream::inspect_journal(directory);
+  } catch (const stream::JournalError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return kExitData;
+  }
+
+  std::printf("journal %s\n", directory.c_str());
+  std::printf("  segments:   %zu\n", inspection.scan.segments.size());
+  std::printf("  records:    %llu\n",
+              static_cast<unsigned long long>(inspection.scan.records));
+  for (const auto& segment : inspection.scan.segments)
+    std::printf("    %s  first=%llu records=%llu%s\n",
+                segment.path.c_str(),
+                static_cast<unsigned long long>(segment.first_record),
+                static_cast<unsigned long long>(segment.records),
+                segment.sealed ? " sealed" : "");
+  static constexpr const char* kTypeNames[] = {
+      "",           "config",     "announce", "withdraw", "epoch",
+      "event",      "reclassify", "decode-stats", "footer"};
+  for (std::size_t type = 1; type < inspection.type_counts.size(); ++type)
+    if (inspection.type_counts[type] > 0)
+      std::printf("  %-12s %llu\n", kTypeNames[type],
+                  static_cast<unsigned long long>(
+                      inspection.type_counts[type]));
+  if (inspection.undecodable > 0)
+    std::printf("  undecodable: %llu\n",
+                static_cast<unsigned long long>(inspection.undecodable));
+  std::printf("  last event seq: %llu\n",
+              static_cast<unsigned long long>(inspection.last_event_seq));
+  for (const auto& [records, path] : inspection.checkpoints)
+    std::printf("  checkpoint covering %llu records: %s\n",
+                static_cast<unsigned long long>(records), path.c_str());
+  if (inspection.checkpoints.empty())
+    std::printf("  no checkpoints (recovery replays the full journal)\n");
+  if (inspection.scan.torn) {
+    std::printf("  TORN TAIL: %s\n", inspection.scan.torn_detail.c_str());
+    std::printf(
+        "  tolerant recovery (bgpintent stream --journal %s) keeps the "
+        "%llu-record prefix;\n  --journal-strict refuses\n",
+        directory.c_str(),
+        static_cast<unsigned long long>(inspection.scan.records));
+    return kExitData;
+  }
+  std::printf("  clean\n");
+  return kExitOk;
+}
+
 int cmd_help() {
   std::printf(
       "bgpintent — coarse-grained inference of BGP community intent\n"
@@ -1083,6 +1231,12 @@ int cmd_help() {
       "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
       "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"
       "      [--mmap | --no-mmap] [--read-timeout MS]\n"
+      "      [--journal DIR]    write-ahead journal; recovers on start\n"
+      "      [--fsync never|interval|every-record] [--checkpoint-interval "
+      "N]\n"
+      "      [--max-segment-bytes N] [--journal-strict]\n"
+      "  recover <journal-dir>  inspect a stream journal: segments, record\n"
+      "      counts, checkpoints, torn-tail status (read-only)\n"
       "  subscribe              print label-change events from a stream\n"
       "      daemon  [--host ADDR] [--port N] [--snapshot] [--from SEQ]\n"
       "      [--max-events N] [--timeout-ms MS]\n"

@@ -63,6 +63,11 @@ int cmd_subscribe(int argc, char** argv);
 /// and benches).
 int cmd_synth_stream(int argc, char** argv);
 
+/// `bgpintent recover <journal-dir>` — read-only inspection of a stream
+/// journal: segments, per-type record counts, checkpoints, torn-tail
+/// status (docs/STREAMING.md §6).
+int cmd_recover(int argc, char** argv);
+
 /// Prints global usage.
 int cmd_help();
 

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     return cmd_subscribe(argc, argv);
   if (std::strcmp(command, "synth-stream") == 0)
     return cmd_synth_stream(argc, argv);
+  if (std::strcmp(command, "recover") == 0) return cmd_recover(argc, argv);
   if (std::strcmp(command, "help") == 0 ||
       std::strcmp(command, "--help") == 0 || std::strcmp(command, "-h") == 0)
     return cmd_help();

@@ -26,11 +26,18 @@ namespace {
 }
 
 void poke_u32(std::vector<std::uint8_t>& bytes, std::uint64_t pos,
-              std::uint32_t value) noexcept {
-  bytes[pos] = static_cast<std::uint8_t>(value >> 24);
-  bytes[pos + 1] = static_cast<std::uint8_t>(value >> 16);
-  bytes[pos + 2] = static_cast<std::uint8_t>(value >> 8);
-  bytes[pos + 3] = static_cast<std::uint8_t>(value);
+              std::uint32_t value, bool big_endian) noexcept {
+  if (big_endian) {
+    bytes[pos] = static_cast<std::uint8_t>(value >> 24);
+    bytes[pos + 1] = static_cast<std::uint8_t>(value >> 16);
+    bytes[pos + 2] = static_cast<std::uint8_t>(value >> 8);
+    bytes[pos + 3] = static_cast<std::uint8_t>(value);
+  } else {
+    bytes[pos] = static_cast<std::uint8_t>(value);
+    bytes[pos + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes[pos + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes[pos + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
 }
 
 }  // namespace
@@ -71,28 +78,19 @@ std::vector<RecordSpan> index_records(std::span<const std::uint8_t> bytes) {
   return spans;
 }
 
-CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
-                             CorruptionKind kind, std::uint64_t seed) {
-  const std::vector<RecordSpan> spans = index_records(bytes);
-  if (spans.empty()) throw MrtError("corrupt_mrt needs a non-empty image");
-
-  // Protect record 0 only when it is the PEER_INDEX_TABLE of a RIB fixture
-  // — without it no surviving data record is joinable to its peer, so the
-  // touched-set recovery contract would be unprovable.  BGP4MP update
-  // streams carry no peer table, so every record is fair game there.
-  const bool protect_first =
-      peek_u16(bytes, spans[0].offset + 4) == kTypeTableDumpV2 &&
-      peek_u16(bytes, spans[0].offset + 6) == kSubtypePeerIndexTable;
-  if (protect_first && spans.size() < 2)
-    throw MrtError(
-        "corrupt_mrt needs a data record beyond the peer index table");
+CorruptionResult corrupt_spans(std::span<const std::uint8_t> bytes,
+                               std::span<const RecordSpan> spans,
+                               const FrameLayout& layout, CorruptionKind kind,
+                               std::uint64_t seed,
+                               std::uint64_t first_victim) {
+  if (spans.size() <= first_victim)
+    throw MrtError("corrupt_spans needs an eligible victim record");
 
   util::Rng rng(seed);
-  const std::uint64_t first_victim = protect_first ? 1 : 0;
   const std::uint64_t victim =
       first_victim + rng.index(spans.size() - first_victim);
   const RecordSpan& span = spans[victim];
-  const std::uint64_t body_len = span.length - 12;
+  const std::uint64_t body_len = span.length - layout.header_bytes;
 
   CorruptionResult result;
   result.bytes.assign(bytes.begin(), bytes.end());
@@ -100,9 +98,10 @@ CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
   switch (kind) {
     case CorruptionKind::kBitFlip: {
       // Flip a bit inside the victim's body; an empty body (never the case
-      // for RIB rows) falls back to the timestamp, which no reader checks.
+      // for RIB rows) falls back to the header's first word (the MRT
+      // timestamp, which no reader checks).
       const std::uint64_t byte =
-          body_len > 0 ? span.offset + 12 + rng.index(body_len)
+          body_len > 0 ? span.offset + layout.header_bytes + rng.index(body_len)
                        : span.offset + rng.index(4);
       const std::uint8_t bit = static_cast<std::uint8_t>(rng.index(8));
       result.bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
@@ -153,7 +152,8 @@ CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
         // attempt lands mid-record and resyncs at the following boundary.
         const std::uint32_t lie =
             static_cast<std::uint32_t>(rng.index(body_len));
-        poke_u32(result.bytes, span.offset + 8, lie);
+        poke_u32(result.bytes, span.offset + layout.length_offset, lie,
+                 layout.length_big_endian);
         result.touched_records = {victim};
         result.description = util::format(
             "lengthlie shrink record %llu body %llu -> %u",
@@ -164,7 +164,8 @@ CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
         // successor (when one exists), so both are untrusted.
         const std::uint32_t lie = static_cast<std::uint32_t>(
             body_len + 1 + rng.index(64));
-        poke_u32(result.bytes, span.offset + 8, lie);
+        poke_u32(result.bytes, span.offset + layout.length_offset, lie,
+                 layout.length_big_endian);
         result.touched_records = {victim};
         if (victim + 1 < spans.size())
           result.touched_records.push_back(victim + 1);
@@ -177,6 +178,26 @@ CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
     }
   }
   return result;
+}
+
+CorruptionResult corrupt_mrt(std::span<const std::uint8_t> bytes,
+                             CorruptionKind kind, std::uint64_t seed) {
+  const std::vector<RecordSpan> spans = index_records(bytes);
+  if (spans.empty()) throw MrtError("corrupt_mrt needs a non-empty image");
+
+  // Protect record 0 only when it is the PEER_INDEX_TABLE of a RIB fixture
+  // — without it no surviving data record is joinable to its peer, so the
+  // touched-set recovery contract would be unprovable.  BGP4MP update
+  // streams carry no peer table, so every record is fair game there.
+  const bool protect_first =
+      peek_u16(bytes, spans[0].offset + 4) == kTypeTableDumpV2 &&
+      peek_u16(bytes, spans[0].offset + 6) == kSubtypePeerIndexTable;
+  if (protect_first && spans.size() < 2)
+    throw MrtError(
+        "corrupt_mrt needs a data record beyond the peer index table");
+
+  return corrupt_spans(bytes, spans, kMrtFrameLayout, kind, seed,
+                       protect_first ? 1 : 0);
 }
 
 }  // namespace bgpintent::mrt

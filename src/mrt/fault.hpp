@@ -58,6 +58,33 @@ struct CorruptionResult {
   std::string description;  ///< human-readable, e.g. for test failures
 };
 
+/// How a framed byte stream lays out its per-record headers — the only
+/// facts the generic corruptor needs to aim a length lie or pick a body
+/// byte.  MRT records are {12, 8, big-endian}; stream journal frames are
+/// {8, 0, little-endian} (stream/journal.hpp).
+struct FrameLayout {
+  std::uint32_t header_bytes = 12;   ///< bytes before the body
+  std::uint32_t length_offset = 8;   ///< of the u32 body/payload length
+  bool length_big_endian = true;
+};
+
+/// The MRT record layout index_records() frames.
+inline constexpr FrameLayout kMrtFrameLayout{12, 8, true};
+
+/// Applies one seeded corruption of `kind` to a framed image whose record
+/// spans are `spans` (any framing: MRT records, journal frames).  Records
+/// below `first_victim` are never chosen as the victim (they may still be
+/// touched by a splice overrun).  Deterministic: same inputs give the
+/// same result, and the RNG draw sequence is part of the contract — seeds
+/// reproduce across releases.  Throws MrtError when no record is
+/// eligible.
+[[nodiscard]] CorruptionResult corrupt_spans(std::span<const std::uint8_t> bytes,
+                                             std::span<const RecordSpan> spans,
+                                             const FrameLayout& layout,
+                                             CorruptionKind kind,
+                                             std::uint64_t seed,
+                                             std::uint64_t first_victim = 0);
+
 /// Applies one seeded corruption of `kind` to a valid MRT image.  When
 /// record 0 is a PEER_INDEX_TABLE (RIB fixtures) it is never chosen as
 /// the victim, so surviving data records stay joinable to their peer

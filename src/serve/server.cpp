@@ -194,9 +194,16 @@ void Server::handle_connection(int fd) {
       // The connection is a push stream now.  Hand it to the accept
       // thread's subscriber registry and release this pool worker — a
       // parked subscriber must not starve request/response connections
-      // when the pool is small.
+      // when the pool is small.  The SUBSCRIBE snapshot block (when one
+      // was requested) rides along as the first outbox payload so it is
+      // delivered with non-blocking sends like every later event.
+      Subscriber sub;
+      sub.fd = fd;
+      sub.outbox = std::move(state.pending_push);
+      state.pending_push.clear();
+      sub.state = state;
       const std::lock_guard<std::mutex> lock(subscribers_mutex_);
-      subscribers_.push_back(Subscriber{fd, state});
+      subscribers_.push_back(std::move(sub));
       return;
     }
     if (buffer.size() > kMaxLineBytes) {
@@ -244,9 +251,20 @@ void Server::service_subscribers() {
         break;
       }
     }
-    if (ok) ok = push_events(sub.fd, sub.state);
+    bool lagged = false;
+    if (ok) ok = flush_outbox(sub);  // make room before queuing more
+    if (ok) queue_events(sub, lagged);
+    if (ok && !lagged) ok = flush_outbox(sub);
+    if (lagged) {
+      // The outbox is full and the engine's event ring has already cycled
+      // past this peer — it cannot be caught up.  Best-effort final
+      // notice; a peer this far behind may have no socket room for it.
+      (void)::send(sub.fd, "ERR lagged\n", 11, MSG_NOSIGNAL | MSG_DONTWAIT);
+      subscribers_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+    }
     if (ok) {
-      subscribers_[live++] = sub;
+      subscribers_[live++] = std::move(sub);
     } else {
       ::close(sub.fd);
     }
@@ -254,28 +272,60 @@ void Server::service_subscribers() {
   subscribers_.resize(live);
 }
 
-bool Server::push_events(int fd, ConnState& state) {
+void Server::queue_events(Subscriber& sub, bool& lagged) {
   constexpr std::size_t kEventBatch = 1024;
+  const std::size_t cap = config_.max_subscriber_queue_bytes;
   for (;;) {
+    if (sub.outbox.size() - sub.outbox_sent >= cap) {
+      // Outbox full: stop queuing and let the engine's event ring hold the
+      // backlog.  Only when the ring has also trimmed past this peer is it
+      // truly lagged — a delta can no longer be served and a snapshot
+      // would have nowhere to go.
+      bool gap = false;
+      (void)engine_->events_since(sub.state.next_after, 0, gap);
+      lagged = gap;
+      return;
+    }
     bool gap = false;
     const std::vector<stream::Event> events =
-        engine_->events_since(state.next_after, kEventBatch, gap);
+        engine_->events_since(sub.state.next_after, kEventBatch, gap);
     if (gap) {
       // The peer fell more than kMaxBufferedEvents behind: resync it with
       // a fresh full snapshot instead of a silently incomplete delta.
       std::uint64_t seq = 0;
-      const std::string block = snapshot_block(*engine_, seq);
-      if (!send_all(fd, block + "\n")) return false;
-      state.next_after = seq;
+      sub.outbox += snapshot_block(*engine_, seq) + "\n";
+      sub.state.next_after = seq;
       continue;
     }
-    if (events.empty()) return true;
-    std::string payload;
-    for (const stream::Event& event : events) payload += format_event(event) + "\n";
-    if (!send_all(fd, payload)) return false;
-    state.next_after = events.back().seq;
-    if (events.size() < kEventBatch) return true;
+    if (events.empty()) return;
+    for (const stream::Event& event : events)
+      sub.outbox += format_event(event) + "\n";
+    sub.state.next_after = events.back().seq;
+    if (events.size() < kEventBatch) return;
   }
+}
+
+bool Server::flush_outbox(Subscriber& sub) {
+  while (sub.outbox_sent < sub.outbox.size()) {
+    const ssize_t wrote =
+        ::send(sub.fd, sub.outbox.data() + sub.outbox_sent,
+               sub.outbox.size() - sub.outbox_sent,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return false;  // dead socket
+    }
+    if (wrote == 0) break;
+    sub.outbox_sent += static_cast<std::size_t>(wrote);
+  }
+  if (sub.outbox_sent == sub.outbox.size()) {
+    sub.outbox.clear();
+    sub.outbox_sent = 0;
+  } else if (sub.outbox_sent >= 64 * 1024) {
+    sub.outbox.erase(0, sub.outbox_sent);
+    sub.outbox_sent = 0;
+  }
+  return true;
 }
 
 bool Server::handle_command(const std::string& line, std::string& response,
@@ -421,7 +471,9 @@ bool Server::handle_command(const std::string& line, std::string& response,
         "OK uptime_s=%.1f connections=%llu queries=%llu entries=%llu "
         "dirty=%llu decode_ok=%llu decode_errors=%llu p50_us=%.1f "
         "p99_us=%.1f updates_ok=%llu updates_errors=%llu window_epochs=%llu "
-        "reclassified_communities=%llu",
+        "reclassified_communities=%llu subscribers_dropped=%llu "
+        "journal_appends=%llu journal_bytes=%llu recovered_events=%llu "
+        "torn_tail_truncated=%llu",
         s.uptime_seconds,
         static_cast<unsigned long long>(s.connections_accepted),
         static_cast<unsigned long long>(s.queries_served),
@@ -433,7 +485,12 @@ bool Server::handle_command(const std::string& line, std::string& response,
         static_cast<unsigned long long>(s.updates_ok),
         static_cast<unsigned long long>(s.updates_errors),
         static_cast<unsigned long long>(s.window_epochs),
-        static_cast<unsigned long long>(s.reclassified_communities));
+        static_cast<unsigned long long>(s.reclassified_communities),
+        static_cast<unsigned long long>(s.subscribers_dropped),
+        static_cast<unsigned long long>(s.journal_appends),
+        static_cast<unsigned long long>(s.journal_bytes),
+        static_cast<unsigned long long>(s.recovered_events),
+        static_cast<unsigned long long>(s.torn_tail_truncated));
     return true;
   }
 
@@ -473,17 +530,18 @@ bool Server::handle_command(const std::string& line, std::string& response,
       resync = gap || from > engine_->last_seq();
     }
     std::uint64_t seq = 0;
-    std::string block;
     if (want_snapshot || resync) {
-      block = "\n" + snapshot_block(*engine_, seq);
+      // The snapshot block is queued to the subscriber outbox, not sent
+      // inline: it can be large, and the pool worker must not block on a
+      // peer that is slow to read it.
+      state.pending_push = snapshot_block(*engine_, seq) + "\n";
     } else {
       seq = have_from ? from : engine_->last_seq();
     }
     state.subscribed = true;
     state.next_after = seq;
     response = util::format("OK subscribed seq=%llu",
-                            static_cast<unsigned long long>(seq)) +
-               block;
+                            static_cast<unsigned long long>(seq));
     return true;
   }
 
@@ -550,6 +608,7 @@ ServerStats Server::stats() const {
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.subscribers_dropped = subscribers_dropped_.load(std::memory_order_relaxed);
   if (engine_ != nullptr) {
     const stream::EngineStats es = engine_->stats();
     s.entries_ingested = es.announces;
@@ -560,6 +619,10 @@ ServerStats Server::stats() const {
     s.updates_errors = es.updates_errors;
     s.window_epochs = es.window_epochs;
     s.reclassified_communities = es.reclassified_communities;
+    s.journal_appends = es.journal_appends;
+    s.journal_bytes = es.journal_bytes;
+    s.recovered_events = es.recovered_events;
+    s.torn_tail_truncated = es.torn_tail_truncated;
   } else {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
     s.entries_ingested = classifier_.entries_ingested();

@@ -15,15 +15,20 @@
 //     STATS / SNAPSHOT; SUBSCRIBE answers ERR (no event stream exists);
 //   * stream (borrowed stream::StreamEngine, `bgpintent stream --listen`):
 //     the same verbs answer from the sliding window, SNAPSHOT answers ERR
-//     (window state is transient by design), and SUBSCRIBE turns the
-//     connection into a push stream of label-change EVENT lines with
-//     delta/snapshot resumption — the protocol of docs/STREAMING.md.
+//     (stream durability lives in the journal, not snapshot files — see
+//     docs/STREAMING.md §6), and SUBSCRIBE turns the connection into a
+//     push stream of label-change EVENT lines with delta/snapshot
+//     resumption — the protocol of docs/STREAMING.md.
 //
 // Robustness guarantees:
 //   * per-connection idle timeout (poll slices, ServerConfig::
 //     read_timeout_ms) — a dead peer cannot pin a worker forever;
 //   * max-line guard (protocol kMaxLineBytes) — a garbage peer cannot
 //     balloon memory;
+//   * bounded subscriber outboxes flushed with non-blocking sends — a
+//     stalled subscriber cannot block the accept thread, and one that
+//     stays full past the engine's event ring is disconnected with a
+//     final `ERR lagged` (counted as subscribers_dropped in STATS);
 //   * request_stop() is async-signal-safe (one atomic store), so SIGINT/
 //     SIGTERM handlers can trigger a graceful drain: stop accepting,
 //     finish in-flight commands, write a final snapshot if configured.
@@ -59,6 +64,11 @@ struct ServerConfig {
   unsigned snapshot_interval_s = 0;
   /// Snapshot destination; empty disables automatic snapshots.
   std::string snapshot_path;
+  /// Per-subscriber outbox cap: once a subscriber's unsent bytes reach
+  /// this, no further events are queued for it (backpressure falls to the
+  /// engine's event ring); a capped subscriber that also falls off the
+  /// ring is dropped with `ERR lagged`.
+  std::size_t max_subscriber_queue_bytes = 1 << 20;
 };
 
 /// Counters reported by STATS (and readable in-process).
@@ -79,6 +89,12 @@ struct ServerStats {
   std::uint64_t updates_errors = 0;
   std::uint64_t window_epochs = 0;
   std::uint64_t reclassified_communities = 0;
+  std::uint64_t subscribers_dropped = 0;  ///< laggards closed with ERR lagged
+  // Durability counters (docs/STREAMING.md §6); zero without --journal.
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t recovered_events = 0;
+  std::uint64_t torn_tail_truncated = 0;
 };
 
 class Server {
@@ -120,6 +136,10 @@ class Server {
   struct ConnState {
     bool subscribed = false;
     std::uint64_t next_after = 0;
+    /// The snapshot block of the SUBSCRIBE handshake, carried to the
+    /// subscriber outbox instead of being pushed with a blocking send — a
+    /// peer that never reads must not pin the pool worker.
+    std::string pending_push;
   };
 
   void accept_loop();
@@ -133,10 +153,16 @@ class Server {
   /// SUBSCRIBE snapshot); false closes the connection.
   [[nodiscard]] bool handle_command(const std::string& line,
                                     std::string& response, ConnState& state);
-  /// Drains buffered events past state.next_after to a subscribed peer
-  /// (falling back to a full snapshot on a trimmed gap); false on a dead
-  /// socket.
-  [[nodiscard]] bool push_events(int fd, ConnState& state);
+  struct Subscriber;
+  /// Appends buffered events past state.next_after to the subscriber's
+  /// outbox, up to the queue cap (falling back to a full snapshot on a
+  /// trimmed gap).  Sets `lagged` when the outbox is full *and* the
+  /// subscriber has also fallen off the engine's event ring — it can no
+  /// longer be caught up.
+  void queue_events(Subscriber& sub, bool& lagged);
+  /// One non-blocking send of the subscriber's unsent outbox bytes; false
+  /// on a dead socket.  Partial sends leave the remainder queued.
+  [[nodiscard]] bool flush_outbox(Subscriber& sub);
   void record_query_latency(double microseconds);
   void write_snapshot_file(const std::string& path);
 
@@ -149,6 +175,10 @@ class Server {
   struct Subscriber {
     int fd = -1;
     ConnState state;
+    /// Bytes queued but not yet accepted by the socket; `outbox_sent` is
+    /// the already-sent prefix (compacted once it grows large).
+    std::string outbox;
+    std::size_t outbox_sent = 0;
   };
   std::mutex subscribers_mutex_;
   std::vector<Subscriber> subscribers_;
@@ -164,6 +194,7 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> subscribers_dropped_{0};
 
   std::chrono::steady_clock::time_point started_at_;
   int listen_fd_ = -1;

@@ -3,37 +3,31 @@
 #include <algorithm>
 #include <istream>
 
+#include "stream/checkpoint.hpp"
+
 namespace bgpintent::stream {
 
+StreamEngine::~StreamEngine() = default;
+
 /// UpdateSink bridge: locks per record batch-free (the mutex is
-/// uncontended on the hot path) and triggers a reclassification pass every
-/// kReclassifyBatch callbacks so events stream out mid-source.
+/// uncontended on the hot path); announce_locked/withdraw_locked journal,
+/// apply, and run the batch-cadence reclassification tick.
 class StreamEngine::IngestSink final : public mrt::UpdateSink {
  public:
   explicit IngestSink(StreamEngine& engine) noexcept : engine_(&engine) {}
 
   void on_announce(bgp::RibEntry& entry, std::uint32_t timestamp) override {
     std::lock_guard<std::mutex> lock(engine_->mutex_);
-    engine_->window_.announce(entry, timestamp);
-    tick();
+    engine_->announce_locked(entry, timestamp);
   }
   void on_withdraw(const bgp::VantagePointId& peer, const bgp::Prefix& prefix,
                    std::uint32_t timestamp) override {
     std::lock_guard<std::mutex> lock(engine_->mutex_);
-    engine_->window_.withdraw(peer, prefix, timestamp);
-    tick();
+    engine_->withdraw_locked(peer, prefix, timestamp);
   }
 
  private:
-  void tick() {
-    if (++since_reclassify_ >= kReclassifyBatch) {
-      since_reclassify_ = 0;
-      engine_->reclassify_locked();
-    }
-  }
-
   StreamEngine* engine_;
-  std::uint64_t since_reclassify_ = 0;
 };
 
 void StreamEngine::ingest(const mrt::ByteSource& source,
@@ -45,15 +39,13 @@ void StreamEngine::ingest(const mrt::ByteSource& source,
     mrt::decode_update_stream(source, sink, options, &local);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
-    decode_ok_ += local.records_ok;
-    decode_errors_ += local.records_skipped;
+    fold_decode_locked(local.records_ok, local.records_skipped);
     reclassify_locked();
     if (report) *report = std::move(local);
     throw;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  decode_ok_ += local.records_ok;
-  decode_errors_ += local.records_skipped;
+  fold_decode_locked(local.records_ok, local.records_skipped);
   reclassify_locked();
   if (report) *report = std::move(local);
 }
@@ -66,15 +58,13 @@ void StreamEngine::ingest(std::istream& in, const mrt::DecodeOptions& options,
     mrt::decode_update_stream(in, sink, options, &local);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
-    decode_ok_ += local.records_ok;
-    decode_errors_ += local.records_skipped;
+    fold_decode_locked(local.records_ok, local.records_skipped);
     reclassify_locked();
     if (report) *report = std::move(local);
     throw;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  decode_ok_ += local.records_ok;
-  decode_errors_ += local.records_skipped;
+  fold_decode_locked(local.records_ok, local.records_skipped);
   reclassify_locked();
   if (report) *report = std::move(local);
 }
@@ -84,7 +74,74 @@ void StreamEngine::announce(const bgp::RibEntry& entry,
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint32_t at =
       timestamp != 0 ? timestamp : window_.latest_timestamp();
-  window_.announce(entry, at);
+  announce_locked(entry, at);
+}
+
+void StreamEngine::announce_locked(const bgp::RibEntry& entry,
+                                   std::uint32_t timestamp) {
+  // Write-ahead: the update hits the journal before any state it may
+  // change becomes observable.
+  if (journal_) {
+    scratch_.clear();
+    encode_announce_record(scratch_, entry.route.path,
+                           entry.route.communities, timestamp);
+    journal_->append(scratch_);
+  }
+  const bool started_before = window_.started();
+  const std::uint64_t epoch_before = window_.current_epoch();
+  window_.announce(entry, timestamp);
+  if (journal_ &&
+      (!started_before || window_.current_epoch() != epoch_before)) {
+    scratch_.clear();
+    encode_epoch_record(scratch_, window_.current_epoch());
+    journal_->append(scratch_);
+  }
+  tick_locked();
+}
+
+void StreamEngine::withdraw_locked(const bgp::VantagePointId& peer,
+                                   const bgp::Prefix& prefix,
+                                   std::uint32_t timestamp) {
+  if (journal_) {
+    scratch_.clear();
+    encode_withdraw_record(scratch_, timestamp);
+    journal_->append(scratch_);
+  }
+  const bool started_before = window_.started();
+  const std::uint64_t epoch_before = window_.current_epoch();
+  window_.withdraw(peer, prefix, timestamp);
+  if (journal_ &&
+      (!started_before || window_.current_epoch() != epoch_before)) {
+    scratch_.clear();
+    encode_epoch_record(scratch_, window_.current_epoch());
+    journal_->append(scratch_);
+  }
+  tick_locked();
+}
+
+void StreamEngine::tick_locked() {
+  if (++updates_since_reclassify_ >= kReclassifyBatch) {
+    updates_since_reclassify_ = 0;
+    // force_marker: journal the pass even when nothing was dirty, so
+    // replay resets its cadence counter at the same record boundary.
+    reclassify_locked(/*force_marker=*/true);
+  }
+  if (journal_ != nullptr && checkpoint_interval_ != 0 &&
+      ++updates_since_checkpoint_ >= checkpoint_interval_) {
+    updates_since_checkpoint_ = 0;
+    write_checkpoint_locked();
+  }
+}
+
+void StreamEngine::fold_decode_locked(std::uint64_t records_ok,
+                                      std::uint64_t records_skipped) {
+  decode_ok_ += records_ok;
+  decode_errors_ += records_skipped;
+  if (journal_) {
+    scratch_.clear();
+    encode_decode_stats_record(scratch_, records_ok, records_skipped);
+    journal_->append(scratch_);
+  }
 }
 
 void StreamEngine::reclassify() {
@@ -92,8 +149,26 @@ void StreamEngine::reclassify() {
   reclassify_locked();
 }
 
-void StreamEngine::reclassify_locked() {
-  publish_locked(window_.reclassify_dirty());
+void StreamEngine::reclassify_locked(bool force_marker) {
+  // An empty dirty set means reclassify_dirty() would be a pure no-op;
+  // skipping it keeps query paths (label_of, totals, snapshots) from
+  // journaling a marker per call.
+  const bool had_dirty = window_.dirty_alpha_count() > 0;
+  if (!had_dirty && !force_marker) return;
+  std::vector<LabelChange> changes = window_.reclassify_dirty();
+  if (journal_) {
+    const std::uint64_t first_seq = next_seq_;
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      scratch_.clear();
+      encode_event_record(scratch_, first_seq + i, changes[i]);
+      journal_->append(scratch_);
+    }
+    scratch_.clear();
+    encode_reclassify_record(scratch_, first_seq, changes.size(),
+                             updates_since_reclassify_);
+    journal_->append(scratch_);
+  }
+  publish_locked(std::move(changes));
 }
 
 void StreamEngine::publish_locked(std::vector<LabelChange>&& changes) {
@@ -136,7 +211,83 @@ EngineStats StreamEngine::stats() const {
   stats.current_epoch = window_.current_epoch();
   stats.latest_timestamp = window_.latest_timestamp();
   stats.window_memory_bytes = window_.memory_bytes();
+  const JournalWriterStats& journal =
+      journal_ ? journal_->stats() : detached_journal_stats_;
+  stats.journal_appends = journal.appends;
+  stats.journal_bytes = journal.bytes;
+  stats.recovered_events = recovered_events_;
+  stats.torn_tail_truncated = torn_tail_truncated_;
   return stats;
+}
+
+void StreamEngine::attach_journal(std::unique_ptr<JournalWriter> writer,
+                                  std::uint64_t checkpoint_interval_updates) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_ = std::move(writer);
+  checkpoint_interval_ = checkpoint_interval_updates;
+  updates_since_checkpoint_ = 0;
+  if (journal_ && journal_->next_record() == 0) {
+    scratch_.clear();
+    encode_config_record(scratch_, window_.config());
+    journal_->append(scratch_);
+  }
+}
+
+void StreamEngine::detach_journal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!journal_) return;
+  write_checkpoint_locked();  // clean shutdown: recovery replays nothing
+  detached_journal_stats_ = journal_->stats();
+  journal_->close();
+  journal_.reset();
+}
+
+bool StreamEngine::has_journal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_ != nullptr;
+}
+
+void StreamEngine::checkpoint_now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_) write_checkpoint_locked();
+}
+
+void StreamEngine::write_checkpoint_locked() {
+  CheckpointData data;
+  data.config = window_.config();
+  data.state = export_state_locked();
+  // Make the covered journal prefix durable before naming it in the
+  // checkpoint, so a loadable checkpoint never claims records the journal
+  // cannot serve.
+  journal_->sync();
+  save_checkpoint(journal_->config().directory, journal_->next_record(),
+                  data);
+}
+
+EngineState StreamEngine::export_state_locked() const {
+  EngineState state;
+  state.window = window_.export_state();
+  state.events = events_;
+  state.next_seq = next_seq_;
+  state.decode_ok = decode_ok_;
+  state.decode_errors = decode_errors_;
+  state.updates_since_reclassify = updates_since_reclassify_;
+  return state;
+}
+
+EngineState StreamEngine::export_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return export_state_locked();
+}
+
+void StreamEngine::restore_state(const EngineState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_.restore_state(state.window);
+  events_ = state.events;
+  next_seq_ = state.next_seq;
+  decode_ok_ = state.decode_ok;
+  decode_errors_ = state.decode_errors;
+  updates_since_reclassify_ = state.updates_since_reclassify;
 }
 
 std::uint64_t StreamEngine::last_seq() const {

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "mrt/update_stream.hpp"
+#include "stream/journal.hpp"
 #include "stream/window.hpp"
 
 namespace bgpintent::stream {
@@ -47,6 +49,27 @@ struct EngineStats {
   std::uint64_t current_epoch = 0;
   std::uint32_t latest_timestamp = 0;
   std::size_t window_memory_bytes = 0;
+  // Durability counters (zero on a journal-less engine).
+  std::uint64_t journal_appends = 0;  ///< records appended this process
+  std::uint64_t journal_bytes = 0;    ///< journal bytes written this process
+  std::uint64_t recovered_events = 0; ///< events restored by crash recovery
+  std::uint64_t torn_tail_truncated = 0;  ///< torn frames/segments dropped
+};
+
+/// The canonical image of a StreamEngine — window state plus the event log
+/// and the replay-cadence counters — for checkpoints and the crash-recovery
+/// equality harness.  A recovered engine exports a state equal to the
+/// uninterrupted run's.
+struct EngineState {
+  WindowState window;
+  std::vector<Event> events;  ///< buffered tail, oldest first
+  std::uint64_t next_seq = 1;
+  std::uint64_t decode_ok = 0;
+  std::uint64_t decode_errors = 0;
+  /// Updates applied since the last batch-cadence reclassification pass.
+  std::uint64_t updates_since_reclassify = 0;
+
+  friend bool operator==(const EngineState&, const EngineState&) = default;
 };
 
 class StreamEngine {
@@ -60,6 +83,38 @@ class StreamEngine {
   explicit StreamEngine(WindowConfig config = {},
                         const topo::OrgMap* orgs = nullptr)
       : window_(config, orgs) {}
+  ~StreamEngine();
+
+  // --- Durability (stream/journal.hpp, stream/recovery.hpp) ---
+
+  /// Attaches a write-ahead journal: every applied update, epoch advance,
+  /// label-change event, and reclassification pass is appended before the
+  /// events become visible to subscribers.  A fresh journal (next_record
+  /// == 0) gets the WindowConfig as record 0.  When
+  /// `checkpoint_interval_updates` is nonzero, a checkpoint is written
+  /// into the journal directory every that-many applied updates.
+  void attach_journal(std::unique_ptr<JournalWriter> writer,
+                      std::uint64_t checkpoint_interval_updates = 0);
+
+  /// Writes a final checkpoint, seals the active segment, and drops the
+  /// writer (its counters stay visible in stats()).  Clean-shutdown path;
+  /// throws JournalError on IO failure.  No-op without a journal.
+  void detach_journal();
+
+  [[nodiscard]] bool has_journal() const;
+
+  /// Writes a checkpoint now regardless of the interval pacing.  No-op
+  /// without a journal.
+  void checkpoint_now();
+
+  /// Canonical image of the engine (window + event log + cadence).
+  [[nodiscard]] EngineState export_state() const;
+
+  /// Replaces the engine's contents with `state`.  The engine must have
+  /// been constructed with the WindowConfig/OrgMap the state was exported
+  /// under; any attached journal is unaffected (recovery attaches the
+  /// journal after restoring).
+  void restore_state(const EngineState& state);
 
   /// Decodes one update source into the window (strict or tolerant, same
   /// semantics as mrt::decode_update_stream), reclassifying every
@@ -107,10 +162,26 @@ class StreamEngine {
 
  private:
   class IngestSink;
+  /// Replay (stream/recovery.cpp) applies journal records through the
+  /// engine's internals without re-journaling them.
+  friend class JournalReplayer;
 
   /// Callers hold mutex_.
-  void reclassify_locked();
+  void announce_locked(const bgp::RibEntry& entry, std::uint32_t timestamp);
+  void withdraw_locked(const bgp::VantagePointId& peer,
+                       const bgp::Prefix& prefix, std::uint32_t timestamp);
+  /// Post-update bookkeeping: batch-cadence reclassification and
+  /// checkpoint pacing.
+  void tick_locked();
+  /// Runs a reclassification pass when there is dirty state (or
+  /// `force_marker`, which journals a pass marker even for an empty pass —
+  /// the batch cadence does this so replay keeps identical boundaries).
+  void reclassify_locked(bool force_marker = false);
   void publish_locked(std::vector<LabelChange>&& changes);
+  void fold_decode_locked(std::uint64_t records_ok,
+                          std::uint64_t records_skipped);
+  void write_checkpoint_locked();
+  [[nodiscard]] EngineState export_state_locked() const;
 
   mutable std::mutex mutex_;
   WindowClassifier window_;
@@ -118,6 +189,17 @@ class StreamEngine {
   std::uint64_t next_seq_ = 1;
   std::uint64_t decode_ok_ = 0;
   std::uint64_t decode_errors_ = 0;
+  /// Engine-level batch cadence (journaled so replay reproduces it); never
+  /// exceeds kReclassifyBatch outside replay.
+  std::uint64_t updates_since_reclassify_ = 0;
+
+  std::unique_ptr<JournalWriter> journal_;
+  std::vector<std::uint8_t> scratch_;  // record encode buffer
+  std::uint64_t checkpoint_interval_ = 0;  // updates; 0 = disabled
+  std::uint64_t updates_since_checkpoint_ = 0;
+  JournalWriterStats detached_journal_stats_;  // survives detach_journal()
+  std::uint64_t recovered_events_ = 0;
+  std::uint64_t torn_tail_truncated_ = 0;
 };
 
 }  // namespace bgpintent::stream

@@ -1,0 +1,735 @@
+#include "stream/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "stream/wire.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::stream {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'B', 'G', 'P', 'I', 'J', 'S', 'E', 'G'};
+constexpr char kSegmentPrefix[] = "journal-";
+constexpr char kSegmentSuffix[] = ".seg";
+/// Frames larger than this are treated as corruption, not allocations.
+constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+/// Footer payload: type byte + record count u64 + payload FNV-1a-64.
+constexpr std::size_t kFooterPayloadBytes = 17;
+
+[[nodiscard]] std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t crc = n;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    table[n] = crc;
+  }
+  return table;
+}
+
+[[nodiscard]] std::string errno_detail() {
+  return std::strerror(errno) != nullptr ? std::strerror(errno) : "unknown";
+}
+
+/// Reads a whole file; throws JournalError on IO failure.
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JournalError(util::format("cannot open %s", path.c_str()));
+  std::vector<std::uint8_t> bytes;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0)
+    bytes.insert(bytes.end(), buffer, buffer + in.gcount());
+  if (in.bad()) throw JournalError(util::format("failed to read %s", path.c_str()));
+  return bytes;
+}
+
+[[nodiscard]] std::uint32_t peek_u32_le(const std::uint8_t* bytes) noexcept {
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t peek_u64_le(const std::uint8_t* bytes) noexcept {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return value;
+}
+
+/// One segment file parsed frame by frame.  `on_record` (may be null) sees
+/// every non-footer payload in order and returns false to stop the walk.
+struct ParsedSegment {
+  std::uint64_t first_record = 0;  ///< from the header
+  std::uint64_t records = 0;       ///< valid records walked
+  std::uint64_t valid_bytes = 0;   ///< prefix ending after the last valid frame
+  std::uint64_t rolling_fnv = 14695981039346656037ULL;
+  bool sealed = false;
+  bool torn = false;
+  bool stopped = false;  ///< on_record returned false
+  std::string torn_detail;
+};
+
+using FrameSink =
+    std::function<bool(std::uint64_t offset, std::span<const std::uint8_t>)>;
+
+[[nodiscard]] ParsedSegment parse_segment(std::span<const std::uint8_t> bytes,
+                                          const std::string& path,
+                                          const FrameSink& on_record) {
+  ParsedSegment parsed;
+  const auto tear = [&](std::uint64_t offset, std::string detail) {
+    parsed.torn = true;
+    parsed.torn_detail = util::format("%s at byte %llu: %s", path.c_str(),
+                                      static_cast<unsigned long long>(offset),
+                                      detail.c_str());
+  };
+
+  if (bytes.size() < kSegmentHeaderBytes) {
+    tear(0, "segment header truncated");
+    return parsed;
+  }
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof kSegmentMagic) != 0) {
+    tear(0, "not a journal segment (bad magic)");
+    return parsed;
+  }
+  const std::uint32_t version = peek_u32_le(bytes.data() + 8);
+  if (version > kJournalVersion)
+    throw JournalError(util::format(
+        "%s: journal segment version %u is newer than supported version %u",
+        path.c_str(), version, kJournalVersion));
+  if (version != kJournalVersion) {
+    tear(8, util::format("unsupported segment version %u", version));
+    return parsed;
+  }
+  if (journal_crc32(bytes.subspan(8, 12)) != peek_u32_le(bytes.data() + 20)) {
+    tear(20, "segment header checksum mismatch");
+    return parsed;
+  }
+  parsed.first_record = peek_u64_le(bytes.data() + 12);
+  parsed.valid_bytes = kSegmentHeaderBytes;
+
+  std::uint64_t pos = kSegmentHeaderBytes;
+  while (pos < bytes.size()) {
+    if (parsed.sealed) {
+      tear(pos, "bytes after segment footer");
+      return parsed;
+    }
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      tear(pos, "torn frame header");
+      return parsed;
+    }
+    const std::uint64_t length = peek_u32_le(bytes.data() + pos);
+    const std::uint32_t crc = peek_u32_le(bytes.data() + pos + 4);
+    if (length == 0 || length > kMaxFrameBytes) {
+      tear(pos, util::format("implausible frame length %llu",
+                             static_cast<unsigned long long>(length)));
+      return parsed;
+    }
+    if (length > bytes.size() - pos - kFrameHeaderBytes) {
+      tear(pos, "torn frame payload");
+      return parsed;
+    }
+    const auto payload = bytes.subspan(pos + kFrameHeaderBytes,
+                                       static_cast<std::size_t>(length));
+    if (journal_crc32(payload) != crc) {
+      tear(pos, "frame checksum mismatch");
+      return parsed;
+    }
+    if (payload[0] == static_cast<std::uint8_t>(RecordType::kFooter)) {
+      if (payload.size() != kFooterPayloadBytes) {
+        tear(pos, "malformed segment footer");
+        return parsed;
+      }
+      const std::uint64_t count = peek_u64_le(payload.data() + 1);
+      const std::uint64_t fnv = peek_u64_le(payload.data() + 9);
+      if (count != parsed.records) {
+        tear(pos, util::format(
+                      "footer claims %llu records, segment frames %llu",
+                      static_cast<unsigned long long>(count),
+                      static_cast<unsigned long long>(parsed.records)));
+        return parsed;
+      }
+      if (fnv != parsed.rolling_fnv) {
+        tear(pos, "footer payload hash mismatch");
+        return parsed;
+      }
+      parsed.sealed = true;
+      pos += kFrameHeaderBytes + length;
+      parsed.valid_bytes = pos;
+      continue;
+    }
+    if (on_record && !on_record(pos, payload)) {
+      parsed.stopped = true;
+      return parsed;
+    }
+    for (const std::uint8_t byte : payload) {
+      parsed.rolling_fnv ^= byte;
+      parsed.rolling_fnv *= 1099511628211ULL;
+    }
+    ++parsed.records;
+    pos += kFrameHeaderBytes + length;
+    parsed.valid_bytes = pos;
+  }
+  return parsed;
+}
+
+/// journal-*.seg files of `directory` as (name index, path), sorted.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& directory) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix))
+      continue;
+    const auto digits = std::string_view(name).substr(
+        sizeof kSegmentPrefix - 1,
+        name.size() - (sizeof kSegmentPrefix - 1) - (sizeof kSegmentSuffix - 1));
+    const auto index = util::parse_u64(digits);
+    if (!index) continue;  // foreign file; not ours to interpret
+    segments.emplace_back(*index, entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+void fsync_directory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t journal_crc32(std::span<const std::uint8_t> bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : bytes)
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  return crc ^ 0xffffffffu;
+}
+
+std::string_view to_string(FsyncPolicy policy) noexcept {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kEveryRecord:
+      return "every-record";
+  }
+  return "unknown";
+}
+
+std::optional<FsyncPolicy> parse_fsync_policy(std::string_view name) noexcept {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNever, FsyncPolicy::kInterval, FsyncPolicy::kEveryRecord})
+    if (name == to_string(policy)) return policy;
+  return std::nullopt;
+}
+
+std::string_view to_string(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::kConfig:
+      return "config";
+    case RecordType::kAnnounce:
+      return "announce";
+    case RecordType::kWithdraw:
+      return "withdraw";
+    case RecordType::kEpoch:
+      return "epoch";
+    case RecordType::kEvent:
+      return "event";
+    case RecordType::kReclassify:
+      return "reclassify";
+    case RecordType::kDecodeStats:
+      return "decode-stats";
+    case RecordType::kFooter:
+      return "footer";
+  }
+  return "unknown";
+}
+
+// --- Record codec ----------------------------------------------------------
+
+void encode_config_record(std::vector<std::uint8_t>& out,
+                          const WindowConfig& config) {
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordType::kConfig));
+  wire::put_window_config(out, config);
+}
+
+void encode_announce_record(std::vector<std::uint8_t>& out,
+                            const bgp::AsPath& path,
+                            std::span<const Community> communities,
+                            std::uint32_t timestamp) {
+  wire::put<std::uint8_t>(out,
+                          static_cast<std::uint8_t>(RecordType::kAnnounce));
+  wire::put<std::uint32_t>(out, timestamp);
+  wire::put_aspath(out, path);
+  wire::put<std::uint32_t>(out, static_cast<std::uint32_t>(communities.size()));
+  for (const Community community : communities)
+    wire::put<std::uint32_t>(out, community.wire());
+}
+
+void encode_withdraw_record(std::vector<std::uint8_t>& out,
+                            std::uint32_t timestamp) {
+  wire::put<std::uint8_t>(out,
+                          static_cast<std::uint8_t>(RecordType::kWithdraw));
+  wire::put<std::uint32_t>(out, timestamp);
+}
+
+void encode_epoch_record(std::vector<std::uint8_t>& out, std::uint64_t epoch) {
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordType::kEpoch));
+  wire::put<std::uint64_t>(out, epoch);
+}
+
+void encode_event_record(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                         const LabelChange& change) {
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(RecordType::kEvent));
+  wire::put<std::uint64_t>(out, seq);
+  wire::put<std::uint32_t>(out, change.community.wire());
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(change.previous));
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(change.current));
+  wire::put<std::uint64_t>(out, change.epoch);
+}
+
+void encode_reclassify_record(std::vector<std::uint8_t>& out,
+                              std::uint64_t first_seq,
+                              std::uint64_t event_count,
+                              std::uint64_t updates_since_reclassify) {
+  wire::put<std::uint8_t>(out,
+                          static_cast<std::uint8_t>(RecordType::kReclassify));
+  wire::put<std::uint64_t>(out, first_seq);
+  wire::put<std::uint64_t>(out, event_count);
+  wire::put<std::uint64_t>(out, updates_since_reclassify);
+}
+
+void encode_decode_stats_record(std::vector<std::uint8_t>& out,
+                                std::uint64_t decode_ok,
+                                std::uint64_t decode_skipped) {
+  wire::put<std::uint8_t>(out,
+                          static_cast<std::uint8_t>(RecordType::kDecodeStats));
+  wire::put<std::uint64_t>(out, decode_ok);
+  wire::put<std::uint64_t>(out, decode_skipped);
+}
+
+JournalRecord decode_record(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) throw JournalError("empty journal record payload");
+  wire::Cursor cursor(payload);
+  JournalRecord record;
+  const std::uint8_t type = cursor.get<std::uint8_t>();
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kConfig:
+      record.type = RecordType::kConfig;
+      record.config = wire::get_window_config(cursor);
+      break;
+    case RecordType::kAnnounce: {
+      record.type = RecordType::kAnnounce;
+      record.timestamp = cursor.get<std::uint32_t>();
+      record.path = wire::get_aspath(cursor);
+      const std::uint32_t communities = cursor.get<std::uint32_t>();
+      if (communities > cursor.remaining() / sizeof(std::uint32_t))
+        throw JournalError("journal community count exceeds payload");
+      record.communities.reserve(communities);
+      for (std::uint32_t i = 0; i < communities; ++i)
+        record.communities.push_back(
+            Community::from_wire(cursor.get<std::uint32_t>()));
+      break;
+    }
+    case RecordType::kWithdraw:
+      record.type = RecordType::kWithdraw;
+      record.timestamp = cursor.get<std::uint32_t>();
+      break;
+    case RecordType::kEpoch:
+      record.type = RecordType::kEpoch;
+      record.epoch = cursor.get<std::uint64_t>();
+      break;
+    case RecordType::kEvent:
+      record.type = RecordType::kEvent;
+      record.seq = cursor.get<std::uint64_t>();
+      record.change.community =
+          Community::from_wire(cursor.get<std::uint32_t>());
+      record.change.previous = wire::get_intent(cursor);
+      record.change.current = wire::get_intent(cursor);
+      record.change.epoch = cursor.get<std::uint64_t>();
+      break;
+    case RecordType::kReclassify:
+      record.type = RecordType::kReclassify;
+      record.first_seq = cursor.get<std::uint64_t>();
+      record.event_count = cursor.get<std::uint64_t>();
+      record.updates_since_reclassify = cursor.get<std::uint64_t>();
+      break;
+    case RecordType::kDecodeStats:
+      record.type = RecordType::kDecodeStats;
+      record.decode_ok = cursor.get<std::uint64_t>();
+      record.decode_skipped = cursor.get<std::uint64_t>();
+      break;
+    case RecordType::kFooter:
+      throw JournalError("segment footer framed as a record");
+    default:
+      throw JournalError(
+          util::format("unknown journal record type %u", type));
+  }
+  cursor.expect_end(to_string(record.type).data());
+  return record;
+}
+
+// --- Writer ----------------------------------------------------------------
+
+std::string segment_file_name(std::uint64_t first_record) {
+  return util::format("%s%020llu%s", kSegmentPrefix,
+                      static_cast<unsigned long long>(first_record),
+                      kSegmentSuffix);
+}
+
+std::string segment_path(const std::string& directory,
+                         std::uint64_t first_record) {
+  return (fs::path(directory) / segment_file_name(first_record)).string();
+}
+
+JournalWriter::JournalWriter(JournalConfig config, std::uint64_t next_record,
+                             std::optional<std::uint64_t> truncate_segment_to)
+    : config_(std::move(config)), next_record_(next_record) {
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  if (ec)
+    throw JournalError(util::format("cannot create journal directory %s: %s",
+                                    config_.directory.c_str(),
+                                    ec.message().c_str()));
+
+  const auto segments = list_segments(config_.directory);
+  // The active segment is the newest one framing records below next_record;
+  // anything at or past next_record is stale (recovery already decided the
+  // valid prefix) and is deleted or overwritten.
+  const std::pair<std::uint64_t, std::string>* active = nullptr;
+  for (const auto& segment : segments) {
+    if (segment.first <= next_record_) active = &segment;
+  }
+  for (const auto& segment : segments) {
+    if (active != nullptr && segment.first <= active->first) continue;
+    if (std::remove(segment.second.c_str()) != 0)
+      throw JournalError(util::format("cannot remove stale segment %s: %s",
+                                      segment.second.c_str(),
+                                      errno_detail().c_str()));
+  }
+
+  if (active == nullptr) {
+    if (next_record_ != 0)
+      throw JournalError(util::format(
+          "journal %s has no segment covering record %llu",
+          config_.directory.c_str(),
+          static_cast<unsigned long long>(next_record_)));
+    open_segment(0, /*fresh=*/true);
+    return;
+  }
+
+  // Re-parse the active segment to rebuild the rolling footer state, after
+  // applying the recovery-supplied torn-tail truncation.
+  std::vector<std::uint8_t> bytes = read_file(active->second);
+  if (truncate_segment_to && *truncate_segment_to < bytes.size())
+    bytes.resize(static_cast<std::size_t>(*truncate_segment_to));
+  const ParsedSegment parsed = parse_segment(bytes, active->second, nullptr);
+  if (parsed.torn)
+    throw JournalError(util::format(
+        "journal %s is torn (%s); run recovery before appending",
+        config_.directory.c_str(), parsed.torn_detail.c_str()));
+  if (parsed.first_record != active->first)
+    throw JournalError(util::format(
+        "segment %s header frames record %llu but its name claims %llu",
+        active->second.c_str(),
+        static_cast<unsigned long long>(parsed.first_record),
+        static_cast<unsigned long long>(active->first)));
+  if (parsed.first_record + parsed.records != next_record_)
+    throw JournalError(util::format(
+        "segment %s frames records up to %llu, expected %llu",
+        active->second.c_str(),
+        static_cast<unsigned long long>(parsed.first_record + parsed.records),
+        static_cast<unsigned long long>(next_record_)));
+
+  if (parsed.sealed) {
+    open_segment(next_record_, /*fresh=*/true);
+    return;
+  }
+
+  segment_path_ = active->second;
+  fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd_ < 0)
+    throw JournalError(util::format("cannot open %s for append: %s",
+                                    segment_path_.c_str(),
+                                    errno_detail().c_str()));
+  if (::ftruncate(fd_, static_cast<off_t>(parsed.valid_bytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(parsed.valid_bytes), SEEK_SET) < 0) {
+    const std::string detail = errno_detail();
+    ::close(fd_);
+    fd_ = -1;
+    throw JournalError(util::format("cannot truncate %s: %s",
+                                    segment_path_.c_str(), detail.c_str()));
+  }
+  segment_first_record_ = parsed.first_record;
+  segment_bytes_ = parsed.valid_bytes;
+  segment_records_ = parsed.records;
+  rolling_fnv_ = parsed.rolling_fnv;
+}
+
+JournalWriter::~JournalWriter() {
+  if (closed_) return;
+  try {
+    close();
+  } catch (const JournalError&) {
+    // Destructor: a failed seal leaves an unsealed (still recoverable)
+    // segment; nothing useful to do with the error here.
+  }
+}
+
+void JournalWriter::open_segment(std::uint64_t first_record, bool fresh) {
+  segment_path_ = segment_path(config_.directory, first_record);
+  fd_ = ::open(segment_path_.c_str(),
+               O_WRONLY | O_CREAT | (fresh ? O_TRUNC : 0) | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw JournalError(util::format("cannot open %s: %s",
+                                    segment_path_.c_str(),
+                                    errno_detail().c_str()));
+  segment_first_record_ = first_record;
+  segment_records_ = 0;
+  segment_bytes_ = 0;
+  rolling_fnv_ = 14695981039346656037ULL;
+
+  std::vector<std::uint8_t> header;
+  header.reserve(kSegmentHeaderBytes);
+  for (const char c : kSegmentMagic)
+    header.push_back(static_cast<std::uint8_t>(c));
+  wire::put<std::uint32_t>(header, kJournalVersion);
+  wire::put<std::uint64_t>(header, first_record);
+  wire::put<std::uint32_t>(header,
+                           journal_crc32(std::span(header).subspan(8, 12)));
+  write_bytes(header);
+  if (config_.fsync != FsyncPolicy::kNever)
+    fsync_directory(config_.directory);
+}
+
+void JournalWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError(util::format("write to %s failed: %s",
+                                      segment_path_.c_str(),
+                                      errno_detail().c_str()));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  segment_bytes_ += bytes.size();
+  unsynced_bytes_ += bytes.size();
+  stats_.bytes += bytes.size();
+}
+
+void JournalWriter::append(std::span<const std::uint8_t> payload) {
+  if (closed_) throw JournalError("append to a closed journal");
+  if (payload.empty() || payload.size() > kMaxFrameBytes)
+    throw JournalError("journal record payload size out of range");
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  wire::put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  wire::put<std::uint32_t>(frame, journal_crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  write_bytes(frame);
+
+  for (const std::uint8_t byte : payload) {
+    rolling_fnv_ ^= byte;
+    rolling_fnv_ *= 1099511628211ULL;
+  }
+  ++segment_records_;
+  ++next_record_;
+  ++stats_.appends;
+
+  fsync_policy_tick();
+  if (segment_bytes_ >= config_.max_segment_bytes) {
+    seal_segment();
+    ++stats_.rotations;
+    open_segment(next_record_, /*fresh=*/true);
+  }
+}
+
+void JournalWriter::fsync_policy_tick() {
+  switch (config_.fsync) {
+    case FsyncPolicy::kNever:
+      return;
+    case FsyncPolicy::kEveryRecord:
+      sync();
+      return;
+    case FsyncPolicy::kInterval:
+      if (unsynced_bytes_ >= config_.fsync_interval_bytes) sync();
+      return;
+  }
+}
+
+void JournalWriter::sync() {
+  if (fd_ < 0 || unsynced_bytes_ == 0) return;
+  if (::fdatasync(fd_) != 0)
+    throw JournalError(util::format("fdatasync of %s failed: %s",
+                                    segment_path_.c_str(),
+                                    errno_detail().c_str()));
+  unsynced_bytes_ = 0;
+  ++stats_.fsyncs;
+}
+
+void JournalWriter::seal_segment() {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kFooterPayloadBytes);
+  wire::put<std::uint8_t>(payload,
+                          static_cast<std::uint8_t>(RecordType::kFooter));
+  wire::put<std::uint64_t>(payload, segment_records_);
+  wire::put<std::uint64_t>(payload, rolling_fnv_);
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  wire::put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  wire::put<std::uint32_t>(frame, journal_crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  write_bytes(frame);
+
+  if (config_.fsync != FsyncPolicy::kNever) {
+    unsynced_bytes_ = segment_bytes_;  // force the sync below
+    sync();
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw JournalError(util::format("close of %s failed: %s",
+                                    segment_path_.c_str(),
+                                    errno_detail().c_str()));
+  }
+  fd_ = -1;
+  unsynced_bytes_ = 0;
+}
+
+void JournalWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (fd_ < 0) return;
+  seal_segment();
+  if (config_.fsync != FsyncPolicy::kNever)
+    fsync_directory(config_.directory);
+}
+
+// --- Scanner ---------------------------------------------------------------
+
+ScanSummary scan_journal(const std::string& directory,
+                         const ScanOptions& options, const RecordSink& sink) {
+  ScanSummary summary;
+  std::error_code ec;
+  if (!fs::exists(directory, ec)) return summary;
+
+  const auto files = list_segments(directory);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& [name_index, path] = files[i];
+    SegmentInfo info;
+    info.path = path;
+    info.first_record = name_index;
+
+    const auto tear = [&](std::string detail) {
+      summary.torn = true;
+      summary.torn_detail = std::move(detail);
+      if (options.strict) throw JournalError(summary.torn_detail);
+    };
+
+    if (name_index != summary.records) {
+      // A hole in the record space: either a segment went missing or a
+      // stale future segment survived a tear in its predecessor.
+      summary.segments.push_back(info);
+      tear(util::format(
+          "%s frames records from %llu but the journal is valid through %llu",
+          path.c_str(), static_cast<unsigned long long>(name_index),
+          static_cast<unsigned long long>(summary.records)));
+      return summary;
+    }
+
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = read_file(path);
+    } catch (const JournalError& error) {
+      summary.segments.push_back(info);
+      tear(error.what());
+      return summary;
+    }
+    info.bytes = bytes.size();
+
+    std::uint64_t local_records = 0;
+    const ParsedSegment parsed = parse_segment(
+        bytes, path,
+        [&](std::uint64_t offset, std::span<const std::uint8_t> payload) {
+          if (sink == nullptr) {
+            ++local_records;
+            return true;
+          }
+          RecordLocation location;
+          location.index = name_index + local_records;
+          location.segment = i;
+          location.offset = offset;
+          if (!sink(location, payload)) return false;
+          ++local_records;
+          return true;
+        });
+
+    if (parsed.first_record != name_index && !parsed.torn) {
+      summary.segments.push_back(info);
+      tear(util::format(
+          "%s: segment header frames record %llu but its name claims %llu",
+          path.c_str(),
+          static_cast<unsigned long long>(parsed.first_record),
+          static_cast<unsigned long long>(name_index)));
+      return summary;
+    }
+
+    info.records = parsed.records;
+    info.valid_bytes = parsed.valid_bytes;
+    info.sealed = parsed.sealed;
+    summary.records += parsed.records;
+    summary.segments.push_back(info);
+
+    if (parsed.stopped) return summary;  // sink asked to stop; not a tear
+    if (parsed.torn) {
+      tear(parsed.torn_detail);
+      return summary;
+    }
+  }
+  return summary;
+}
+
+std::vector<mrt::RecordSpan> index_segment_frames(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSegmentHeaderBytes)
+    throw JournalError("segment header truncated");
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof kSegmentMagic) != 0)
+    throw JournalError("not a journal segment (bad magic)");
+  std::vector<mrt::RecordSpan> spans;
+  std::uint64_t pos = kSegmentHeaderBytes;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes)
+      throw JournalError("torn frame header");
+    const std::uint64_t length = peek_u32_le(bytes.data() + pos);
+    if (length == 0 || length > kMaxFrameBytes)
+      throw JournalError("implausible frame length");
+    if (length > bytes.size() - pos - kFrameHeaderBytes)
+      throw JournalError("torn frame payload");
+    spans.push_back({pos, kFrameHeaderBytes + length});
+    pos += kFrameHeaderBytes + length;
+  }
+  return spans;
+}
+
+}  // namespace bgpintent::stream

@@ -1,6 +1,7 @@
 #include "stream/window.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "bgp/asn.hpp"
 #include "core/labeling.hpp"
@@ -285,6 +286,97 @@ std::vector<bgp::InternedTuple> WindowClassifier::window_tuples() const {
   for (const std::uint64_t key : keys)
     tuples.push_back(bgp::InternedTuple{key_path(key), key_community(key)});
   return tuples;
+}
+
+WindowState WindowClassifier::export_state() const {
+  WindowState state;
+
+  state.paths.reserve(paths_.size());
+  for (bgp::PathId id = 0; id < paths_.size(); ++id)
+    state.paths.push_back(paths_.materialize(id));
+
+  state.ring.reserve(ring_.size());
+  for (const Epoch& epoch : ring_) {
+    WindowState::EpochState out;
+    out.id = epoch.id;
+    out.tuples.assign(epoch.tuples.begin(), epoch.tuples.end());
+    std::sort(out.tuples.begin(), out.tuples.end());
+    state.ring.push_back(std::move(out));
+  }
+
+  for (const auto& [alpha, counts] : alphas_) {
+    if (counts.labels.empty()) continue;
+    WindowState::AlphaLabels out;
+    out.alpha = alpha;
+    out.labels.assign(counts.labels.begin(), counts.labels.end());
+    std::sort(out.labels.begin(), out.labels.end());
+    state.alphas.push_back(std::move(out));
+  }
+  std::sort(state.alphas.begin(), state.alphas.end(),
+            [](const WindowState::AlphaLabels& a,
+               const WindowState::AlphaLabels& b) { return a.alpha < b.alpha; });
+
+  state.dirty.assign(dirty_.begin(), dirty_.end());  // std::set: ascending
+
+  state.started = started_;
+  state.current_epoch = current_epoch_;
+  state.latest_timestamp = latest_timestamp_;
+  state.announces = announces_;
+  state.withdraws = withdraws_;
+  state.expired_epochs = expired_epochs_;
+  state.reclassified_communities = reclassified_communities_;
+  return state;
+}
+
+void WindowClassifier::restore_state(const WindowState& state) {
+  paths_ = bgp::PathTable{};
+  on_path_memo_.clear();
+  ring_.clear();
+  window_refs_.clear();
+  path_refs_.clear();
+  asn_refs_.clear();
+  alphas_.clear();
+  dirty_.clear();
+
+  // PathIds are dense intern order, so re-interning the exported paths in
+  // order reproduces every id the ring keys reference.
+  for (const bgp::AsPath& path : state.paths) paths_.intern(path);
+
+  for (const WindowState::EpochState& epoch : state.ring) {
+    Epoch rebuilt;
+    rebuilt.id = epoch.id;
+    rebuilt.tuples.reserve(epoch.tuples.size());
+    for (const auto& [key, count] : epoch.tuples) {
+      if (key_path(key) >= paths_.size())
+        throw std::runtime_error(
+            "window state ring references an unknown path");
+      rebuilt.tuples.emplace(key, count);
+      window_refs_[key] += count;
+    }
+    ring_.push_back(std::move(rebuilt));
+  }
+
+  // activate_tuple per live key rebuilds path/asn refcounts and beta
+  // counters; the final state is order-independent (pure increments).
+  for (const auto& [key, count] : window_refs_) activate_tuple(key);
+
+  // Classification history is carried verbatim, not derived: overwrite the
+  // labels and the dirty set activate_tuple just polluted.
+  dirty_.clear();
+  dirty_.insert(state.dirty.begin(), state.dirty.end());
+  for (const WindowState::AlphaLabels& alpha : state.alphas) {
+    auto& labels = alphas_[alpha.alpha].labels;
+    labels.clear();
+    labels.insert(alpha.labels.begin(), alpha.labels.end());
+  }
+
+  started_ = state.started;
+  current_epoch_ = state.current_epoch;
+  latest_timestamp_ = state.latest_timestamp;
+  announces_ = state.announces;
+  withdraws_ = state.withdraws;
+  expired_epochs_ = state.expired_epochs;
+  reclassified_communities_ = state.reclassified_communities;
 }
 
 std::size_t WindowClassifier::memory_bytes() const noexcept {

@@ -65,6 +65,47 @@ struct LabelChange {
   friend bool operator==(const LabelChange&, const LabelChange&) = default;
 };
 
+/// The canonical (sorted, deduplicated) image of a WindowClassifier, for
+/// checkpoints and crash-recovery equality checks.  Everything derivable
+/// from the ring — refcounts, beta counters, the on-path memo — is omitted
+/// and rebuilt by restore_state(); labels and the dirty set are carried
+/// verbatim because they encode classification history, not evidence.
+/// Two observationally identical windows export equal states regardless of
+/// ingest interleaving or whether they were themselves restored.
+struct WindowState {
+  struct EpochState {
+    std::uint64_t id = 0;
+    /// (path << 32 | community wire) -> occurrences, ascending by key.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> tuples;
+
+    friend bool operator==(const EpochState&, const EpochState&) = default;
+  };
+  struct AlphaLabels {
+    std::uint16_t alpha = 0;
+    /// Cached labels, ascending by beta; never empty (alphas without
+    /// cached labels are fully derivable and therefore not exported).
+    std::vector<std::pair<std::uint16_t, Intent>> labels;
+
+    friend bool operator==(const AlphaLabels&, const AlphaLabels&) = default;
+  };
+
+  /// Every interned path in PathId order (ids are dense, so index == id).
+  std::vector<bgp::AsPath> paths;
+  std::vector<EpochState> ring;  ///< oldest epoch first
+  std::vector<AlphaLabels> alphas;  ///< ascending by alpha
+  std::vector<std::uint16_t> dirty;  ///< ascending
+
+  bool started = false;
+  std::uint64_t current_epoch = 0;
+  std::uint32_t latest_timestamp = 0;
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  std::uint64_t expired_epochs = 0;
+  std::uint64_t reclassified_communities = 0;
+
+  friend bool operator==(const WindowState&, const WindowState&) = default;
+};
+
 class WindowClassifier {
  public:
   explicit WindowClassifier(WindowConfig config = {},
@@ -120,7 +161,23 @@ class WindowClassifier {
   /// stop being referenced by live tuples.
   [[nodiscard]] const bgp::PathTable& paths() const noexcept { return paths_; }
 
+  // --- Persistence (stream/checkpoint.hpp, docs/STREAMING.md §6) ---
+
+  /// Canonical image of this window.  Pure; safe to call at any point.
+  [[nodiscard]] WindowState export_state() const;
+
+  /// Replaces this window's contents with `state`, rebuilding every
+  /// derived structure (refcounts, beta counters, path table) from the
+  /// ring.  The classifier must have been constructed with the same
+  /// WindowConfig and OrgMap the state was exported under — neither is
+  /// part of the state.  Throws std::runtime_error on internally
+  /// inconsistent state (a ring tuple naming an unknown path).
+  void restore_state(const WindowState& state);
+
   // --- Introspection / counters ---
+
+  /// False until the first announce/withdraw seeds the window clock.
+  [[nodiscard]] bool started() const noexcept { return started_; }
 
   [[nodiscard]] std::uint64_t announces() const noexcept { return announces_; }
   [[nodiscard]] std::uint64_t withdraws() const noexcept { return withdraws_; }

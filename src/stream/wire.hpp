@@ -1,0 +1,162 @@
+// Little-endian byte-packing helpers shared by the journal record codec
+// (journal.cpp) and the checkpoint codec (checkpoint.cpp).  Internal to
+// src/stream — the public surfaces are journal.hpp and checkpoint.hpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "stream/journal.hpp"
+#include "util/strings.hpp"
+
+namespace bgpintent::stream::wire {
+
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+inline void put_double(std::vector<std::uint8_t>& out, double value) {
+  put(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Bounds-checked little-endian reader over one payload; throws
+/// JournalError instead of reading past the end.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_unsigned_v<T>);
+    if (bytes_.size() - offset_ < sizeof(T))
+      throw JournalError("truncated journal payload");
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+    offset_ += sizeof(T);
+    return static_cast<T>(value);
+  }
+
+  [[nodiscard]] double get_double() {
+    return std::bit_cast<double>(get<std::uint64_t>());
+  }
+
+  /// Reads a count about to drive `element_bytes`-sized reads; rejects
+  /// counts the remaining payload cannot hold (fail fast on corruption
+  /// instead of attempting a huge allocation).
+  [[nodiscard]] std::size_t get_count(std::size_t element_bytes) {
+    const std::uint64_t count = get<std::uint64_t>();
+    if (element_bytes != 0 && count > remaining() / element_bytes)
+      throw JournalError("journal count exceeds payload size");
+    return static_cast<std::size_t>(count);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+  void expect_end(const char* what) {
+    if (remaining() != 0)
+      throw JournalError(
+          util::format("%s has %zu trailing bytes", what, remaining()));
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+/// AS path as segments: count u32, then per segment type u8 + ASN count
+/// u32 + ASNs u32 each.  Shared by kAnnounce records and checkpoints.
+inline void put_aspath(std::vector<std::uint8_t>& out, const bgp::AsPath& path) {
+  const auto& segments = path.segments();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(segments.size()));
+  for (const bgp::PathSegment& segment : segments) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(segment.type));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(segment.asns.size()));
+    for (const bgp::Asn asn : segment.asns) put<std::uint32_t>(out, asn);
+  }
+}
+
+[[nodiscard]] inline bgp::AsPath get_aspath(Cursor& cursor) {
+  const std::uint32_t segment_count = cursor.get<std::uint32_t>();
+  std::vector<bgp::PathSegment> segments;
+  segments.reserve(segment_count);
+  for (std::uint32_t i = 0; i < segment_count; ++i) {
+    bgp::PathSegment segment;
+    const std::uint8_t type = cursor.get<std::uint8_t>();
+    if (type != static_cast<std::uint8_t>(bgp::SegmentType::kSet) &&
+        type != static_cast<std::uint8_t>(bgp::SegmentType::kSequence))
+      throw JournalError(
+          util::format("journal path segment type %u is invalid", type));
+    segment.type = static_cast<bgp::SegmentType>(type);
+    const std::uint32_t asn_count = cursor.get<std::uint32_t>();
+    if (asn_count == 0 || asn_count > cursor.remaining() / sizeof(std::uint32_t))
+      throw JournalError("journal path segment count exceeds payload");
+    segment.asns.reserve(asn_count);
+    for (std::uint32_t a = 0; a < asn_count; ++a)
+      segment.asns.push_back(cursor.get<std::uint32_t>());
+    segments.push_back(std::move(segment));
+  }
+  return bgp::AsPath(std::move(segments));
+}
+
+/// WindowConfig payload: window shape plus the classifier and observation
+/// knobs replay needs to regenerate identical labels.
+inline void put_window_config(std::vector<std::uint8_t>& out,
+                              const WindowConfig& config) {
+  put<std::uint32_t>(out, config.epoch_seconds);
+  put<std::uint32_t>(out, config.window_epochs);
+  put<std::uint32_t>(out, config.classifier.min_gap);
+  put_double(out, config.classifier.ratio_threshold);
+  put<std::uint8_t>(out, config.classifier.mean_of_ratios ? 1 : 0);
+  put<std::uint8_t>(out, config.observation.sibling_aware ? 1 : 0);
+}
+
+[[nodiscard]] inline WindowConfig get_window_config(Cursor& cursor) {
+  WindowConfig config;
+  config.epoch_seconds = cursor.get<std::uint32_t>();
+  config.window_epochs = cursor.get<std::uint32_t>();
+  config.classifier.min_gap = cursor.get<std::uint32_t>();
+  config.classifier.ratio_threshold = cursor.get_double();
+  config.classifier.mean_of_ratios = cursor.get<std::uint8_t>() != 0;
+  config.observation.sibling_aware = cursor.get<std::uint8_t>() != 0;
+  return config;
+}
+
+[[nodiscard]] inline bool same_window_config(const WindowConfig& a,
+                                             const WindowConfig& b) noexcept {
+  return a.epoch_seconds == b.epoch_seconds &&
+         a.window_epochs == b.window_epochs &&
+         a.classifier.min_gap == b.classifier.min_gap &&
+         a.classifier.ratio_threshold == b.classifier.ratio_threshold &&
+         a.classifier.mean_of_ratios == b.classifier.mean_of_ratios &&
+         a.observation.sibling_aware == b.observation.sibling_aware;
+}
+
+[[nodiscard]] inline Intent get_intent(Cursor& cursor) {
+  const std::uint8_t raw = cursor.get<std::uint8_t>();
+  if (raw > static_cast<std::uint8_t>(Intent::kUnclassified))
+    throw JournalError(
+        util::format("journal intent byte %u is not a valid intent", raw));
+  return static_cast<Intent>(raw);
+}
+
+}  // namespace bgpintent::stream::wire

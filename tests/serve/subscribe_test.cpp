@@ -171,6 +171,66 @@ TEST(Subscribe, FromBeyondLastSeqResyncsWithSnapshot) {
   server.wait();
 }
 
+TEST(Subscribe, LaggedSubscriberIsDroppedAndCounted) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.reclassify();
+
+  // Zero queue budget: the outbox counts as full the moment the engine's
+  // event ring trims past the peer, so the laggard path fires
+  // deterministically instead of depending on socket buffer sizes.
+  ServerConfig cfg = loopback_config();
+  cfg.max_subscriber_queue_bytes = 0;
+  Server server(engine, cfg);
+  server.start();
+
+  auto subscriber = Client::connect("127.0.0.1", server.port());
+  subscriber.send_line("SUBSCRIBE snapshot");
+  const auto ok = subscriber.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(util::starts_with(*ok, "OK subscribed seq=")) << *ok;
+  (void)read_snapshot_block(subscriber);
+
+  // Push the event log more than kMaxBufferedEvents past the subscriber
+  // while it reads nothing: its delta position falls off the ring.  Every
+  // announce carries a fresh community, so each pass publishes one event
+  // per announce since the previous pass.
+  // A gap needs first_buffered > next_after + 1 = 2, i.e. the ring must
+  // trim *past* the peer's resume point, not merely reach it.
+  for (std::uint32_t i = 0; engine.first_buffered_seq() <= 2 && i < 90000;
+       ++i) {
+    engine.announce(
+        entry(100000 + i, {100000 + i, 1000 + (i >> 12), 201},
+              {bgp::Community(static_cast<std::uint16_t>(1000 + (i >> 12)),
+                              static_cast<std::uint16_t>(i & 0xFFF))}),
+        10);
+    if ((i & 0xFFF) == 0xFFF) engine.reclassify();
+  }
+  engine.reclassify();
+  ASSERT_GT(engine.first_buffered_seq(), 2u);
+
+  // The push loop notices the gap, sends the final notice, and drops the
+  // connection.
+  bool lagged = false;
+  for (;;) {
+    const auto line = subscriber.read_line(kPushTimeoutMs);
+    if (!line) break;  // connection closed
+    if (*line == "ERR lagged") {
+      lagged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(lagged);
+
+  auto observer = Client::connect("127.0.0.1", server.port());
+  const auto pairs = parse_ok_response(observer.request("STATS"));
+  ASSERT_TRUE(pairs);
+  EXPECT_EQ(pairs->at("subscribers_dropped"), "1");
+
+  server.request_stop();
+  server.wait();
+}
+
 TEST(Subscribe, MalformedSubscribeArgumentsGetErr) {
   stream::StreamEngine engine;
   Server server(engine, loopback_config());
