@@ -122,7 +122,13 @@ void Server::wait() {
   pool_.reset();  // drains every in-flight and queued connection handler
   {
     const std::lock_guard<std::mutex> lock(subscribers_mutex_);
-    for (const Subscriber& sub : subscribers_) ::close(sub.fd);
+    for (Subscriber& sub : subscribers_) {
+      // One best-effort non-blocking flush so a graceful shutdown does not
+      // silently drop queued-but-unsent events; whatever still cannot be
+      // written is recoverable via SUBSCRIBE from=<last seen seq>.
+      (void)flush_outbox(sub);
+      ::close(sub.fd);
+    }
     subscribers_.clear();
   }
   if (listen_fd_ >= 0) {
@@ -264,7 +270,11 @@ void Server::service_subscribers() {
       ok = false;
     }
     if (ok) {
-      subscribers_[live++] = std::move(sub);
+      // Guard against self-move: when no earlier subscriber was dropped the
+      // source and destination alias, and moving a Subscriber onto itself
+      // would empty its outbox while outbox_sent survives.
+      if (&subscribers_[live] != &sub) subscribers_[live] = std::move(sub);
+      ++live;
     } else {
       ::close(sub.fd);
     }

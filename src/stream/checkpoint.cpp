@@ -23,6 +23,13 @@ constexpr char kCheckpointMagic[8] = {'B', 'G', 'P', 'I', 'J', 'C', 'K', 'P'};
 constexpr char kCheckpointPrefix[] = "checkpoint-";
 constexpr char kCheckpointSuffix[] = ".ckpt";
 
+void fsync_directory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
 void put_window_state(std::vector<std::uint8_t>& out,
                       const WindowState& state) {
   wire::put<std::uint64_t>(out, state.paths.size());
@@ -219,6 +226,10 @@ void save_checkpoint(const std::string& directory, std::uint64_t records,
     throw JournalError(util::format("cannot rename %s into place: %s",
                                     tmp.c_str(), detail.c_str()));
   }
+  // Make the rename itself durable: without a directory fsync a power
+  // loss can undo the link and the checkpoint vanishes, weakening the
+  // --checkpoint-interval bounded-replay guarantee.
+  fsync_directory(directory);
 }
 
 CheckpointData load_checkpoint(const std::string& path) {

@@ -34,10 +34,13 @@
 // Segments rotate when they exceed JournalConfig::max_segment_bytes: the
 // writer seals the current file with a footer frame and opens the next one,
 // named after the next record index (so the file name alone orders and
-// frames the record space, and recovery can skip whole segments below a
-// checkpoint).  A segment without a footer is simply the active tail — a
-// crash mid-write leaves a torn final frame, which recovery truncates
-// (tolerant) or refuses (strict).
+// frames the record space).  Recovery scans and CRC-verifies every segment
+// and requires record-index contiguity from 0 — segments must never be
+// pruned by hand, even below a checkpoint: a missing or corrupt early
+// segment reads as a hole, truncating recoverable state at that point.
+// A segment without a footer is simply the active tail — a crash mid-write
+// leaves a torn final frame, which recovery truncates (tolerant) or refuses
+// (strict).
 #pragma once
 
 #include <cstdint>

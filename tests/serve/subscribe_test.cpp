@@ -5,8 +5,19 @@
 // socket.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/incremental.hpp"
@@ -226,6 +237,135 @@ TEST(Subscribe, LaggedSubscriberIsDroppedAndCounted) {
   const auto pairs = parse_ok_response(observer.request("STATS"));
   ASSERT_TRUE(pairs);
   EXPECT_EQ(pairs->at("subscribers_dropped"), "1");
+
+  server.request_stop();
+  server.wait();
+}
+
+/// A line-oriented subscriber over a raw socket with a deliberately tiny
+/// SO_RCVBUF, so the loopback pair holds only a few tens of KB and the
+/// server's per-subscriber outbox genuinely retains unsent bytes across
+/// service passes (serve::Client inherits default buffers large enough to
+/// swallow whole outboxes, which hides partial-flush bugs).
+class TinyBufferSubscriber {
+ public:
+  explicit TinyBufferSubscriber(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    int rcvbuf = 4096;  // kernel doubles it; still far below one outbox
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf) !=
+        0)
+      throw std::runtime_error("setsockopt(SO_RCVBUF) failed");
+    // Advertise a small MSS: loopback's 64 KB segments let the server's
+    // sndbuf auto-tune past the whole outbox, which would make every
+    // flush complete and defeat the partial-flush regime this test needs.
+    int mss = 536;
+    if (::setsockopt(fd_, IPPROTO_TCP, TCP_MAXSEG, &mss, sizeof mss) != 0)
+      throw std::runtime_error("setsockopt(TCP_MAXSEG) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0)
+      throw std::runtime_error("connect to loopback failed");
+  }
+
+  ~TinyBufferSubscriber() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    const std::string message = line + "\n";
+    std::size_t sent = 0;
+    while (sent < message.size()) {
+      const ssize_t n = ::send(fd_, message.data() + sent,
+                               message.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::optional<std::string> read_line(int timeout_ms) {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return std::nullopt;  // timeout or poll error
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return std::nullopt;  // peer closed
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last returned line
+};
+
+TEST(Subscribe, SlowReaderEventuallyReceivesEveryEvent) {
+  stream::StreamEngine engine;
+  engine.announce(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}), 10);
+  engine.reclassify();
+
+  Server server(engine, loopback_config());
+  server.start();
+
+  TinyBufferSubscriber subscriber(server.port());
+  subscriber.send_line("SUBSCRIBE");
+  const auto ok = subscriber.read_line(kPushTimeoutMs);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(util::starts_with(*ok, "OK subscribed seq=")) << *ok;
+  const auto subscribed_at = util::parse_u64(
+      std::string_view(*ok).substr(std::string_view("OK subscribed seq=")
+                                       .size()));
+  ASSERT_TRUE(subscribed_at) << *ok;
+
+  // Publish far more event bytes than the shrunken socket pair can hold
+  // while the subscriber reads nothing, so flushes go partial and the
+  // subscriber survives many service passes with unsent outbox bytes —
+  // the regime where a compaction self-move used to wipe the outbox and
+  // strand the peer.  Stay below the 65536-event ring so the peer is
+  // never genuinely lagged.
+  constexpr std::uint32_t kEvents = 6000;
+  for (std::uint32_t i = 0; i < kEvents; ++i) {
+    engine.announce(
+        entry(100000 + i, {100000 + i, 1000 + (i >> 12), 201},
+              {bgp::Community(static_cast<std::uint16_t>(1000 + (i >> 12)),
+                              static_cast<std::uint16_t>(i & 0xFFF))}),
+        10);
+    if ((i & 0x1FF) == 0x1FF) engine.reclassify();
+  }
+  engine.reclassify();
+  const std::uint64_t last = engine.last_seq();
+  ASSERT_GE(last, kEvents);
+  ASSERT_EQ(engine.first_buffered_seq(), 1u) << "ring trimmed; test invalid";
+
+  // Stay idle across several service passes: the accept thread queues the
+  // backlog, fills the tiny socket, and compacts the registry while most
+  // of the outbox is still unsent — only then start reading.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // A merely-slow subscriber (still on the ring) must receive every event
+  // after its subscription point, in order, with no gap and no ERR lagged.
+  for (std::uint64_t next = *subscribed_at + 1; next <= last; ++next) {
+    const auto line = subscriber.read_line(kPushTimeoutMs);
+    ASSERT_TRUE(line) << "push stream stalled waiting for seq=" << next;
+    ASSERT_TRUE(util::starts_with(*line, "EVENT seq=")) << *line;
+    const std::string_view rest =
+        std::string_view(*line).substr(std::string_view("EVENT seq=").size());
+    const auto seq = util::parse_u64(rest.substr(0, rest.find(' ')));
+    ASSERT_TRUE(seq) << *line;
+    ASSERT_EQ(*seq, next) << *line;
+  }
 
   server.request_stop();
   server.wait();
