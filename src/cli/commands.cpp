@@ -611,7 +611,7 @@ void serve_signal_handler(int) {
 int cmd_serve(int argc, char** argv) {
   const auto args = Args::parse(
       argc, argv, 2,
-      {"listen", "port", "threads", "snapshot", "snapshot-interval",
+      {"listen", "port", "threads", "shards", "snapshot", "snapshot-interval",
        "read-timeout", "gap", "threshold", "max-errors", "max-error-frac"},
       {"no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap"});
   if (!args) return 2;
@@ -619,12 +619,14 @@ int cmd_serve(int argc, char** argv) {
   if (!parse_decode_options(*args, decode)) return kExitUsage;
   const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
   const auto threads = args->value_u64("threads", 0, kMaxThreads);
+  const auto shards = args->value_u64("shards", 0, kMaxThreads);
   const auto interval = args->value_u64("snapshot-interval", 0, 31536000);
   const auto read_timeout =
       args->value_u64("read-timeout", 30000, 86400000);
   const auto gap = args->value_u64("gap", 140, kMaxU32);
   const auto threshold = args->value_double("threshold", 160.0);
-  if (!port || !threads || !interval || !read_timeout || !gap || !threshold)
+  if (!port || !threads || !shards || !interval || !read_timeout || !gap ||
+      !threshold)
     return 2;
   const auto snapshot_path = args->value("snapshot");
   if (*interval > 0 && !snapshot_path) {
@@ -696,6 +698,7 @@ int cmd_serve(int argc, char** argv) {
   cfg.listen_address = args->value("listen").value_or("127.0.0.1");
   cfg.port = static_cast<std::uint16_t>(*port);
   cfg.threads = static_cast<unsigned>(*threads);
+  cfg.shards = static_cast<unsigned>(*shards);
   cfg.read_timeout_ms = static_cast<int>(*read_timeout);
   cfg.snapshot_interval_s = static_cast<unsigned>(*interval);
   if (snapshot_path) cfg.snapshot_path = *snapshot_path;
@@ -710,6 +713,10 @@ int cmd_serve(int argc, char** argv) {
   g_serve_server = &server;
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
+  // Machine-readable readiness line on stdout: scripts started us with
+  // --port 0 and need the resolved port before their first connect.
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
   std::fprintf(stderr, "serving on %s:%u (ctrl-c to drain and exit)\n",
                cfg.listen_address.c_str(), server.port());
   server.wait();
@@ -762,7 +769,7 @@ int cmd_query(int argc, char** argv) {
 int cmd_stream(int argc, char** argv) {
   const auto args = Args::parse(
       argc, argv, 2,
-      {"listen", "port", "threads", "read-timeout", "epoch-seconds",
+      {"listen", "port", "threads", "shards", "read-timeout", "epoch-seconds",
        "window-epochs", "gap", "threshold", "max-errors", "max-error-frac",
        "journal", "fsync", "checkpoint-interval", "max-segment-bytes"},
       {"serve", "no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap",
@@ -774,6 +781,7 @@ int cmd_stream(int argc, char** argv) {
   if (!mmap_mode) return kExitUsage;
   const auto port = args->value_u64("port", kDefaultServePort, kMaxPort);
   const auto threads = args->value_u64("threads", 0, kMaxThreads);
+  const auto shards = args->value_u64("shards", 0, kMaxThreads);
   const auto read_timeout = args->value_u64("read-timeout", 30000, 86400000);
   const auto epoch_seconds = args->value_u64("epoch-seconds", 3600, kMaxU32);
   const auto window_epochs = args->value_u64("window-epochs", 168, kMaxU32);
@@ -782,7 +790,7 @@ int cmd_stream(int argc, char** argv) {
   const auto checkpoint_interval =
       args->value_u64("checkpoint-interval", 100000);
   const auto max_segment = args->value_u64("max-segment-bytes", 4ull << 20);
-  if (!port || !threads || !read_timeout || !epoch_seconds ||
+  if (!port || !threads || !shards || !read_timeout || !epoch_seconds ||
       !window_epochs || !gap || !threshold || !checkpoint_interval ||
       !max_segment)
     return kExitUsage;
@@ -885,6 +893,7 @@ int cmd_stream(int argc, char** argv) {
     cfg.listen_address = args->value("listen").value_or("127.0.0.1");
     cfg.port = static_cast<std::uint16_t>(*port);
     cfg.threads = static_cast<unsigned>(*threads);
+    cfg.shards = static_cast<unsigned>(*shards);
     cfg.read_timeout_ms = static_cast<int>(*read_timeout);
     server.emplace(engine, cfg);
     try {
@@ -896,6 +905,8 @@ int cmd_stream(int argc, char** argv) {
     g_serve_server = &*server;
     std::signal(SIGINT, serve_signal_handler);
     std::signal(SIGTERM, serve_signal_handler);
+    std::printf("LISTENING %u\n", server->port());
+    std::fflush(stdout);
     std::fprintf(stderr, "streaming on %s:%u (ctrl-c to drain and exit)\n",
                  cfg.listen_address.c_str(), server->port());
   }
@@ -1216,7 +1227,8 @@ int cmd_help() {
       "      --out out.mrt [--kind bitflip|truncate|splice|lengthlie] "
       "[--seed N]\n"
       "  serve [rib.mrt]...     run the live query daemon (docs/SERVING.md)\n"
-      "      [--listen ADDR] [--port N] [--threads N]\n"
+      "      [--listen ADDR] [--port N] [--shards N]  (--port 0 prints\n"
+      "      'LISTENING <port>' on stdout once bound)\n"
       "      [--snapshot file.snap] [--snapshot-interval SECONDS]\n"
       "      [--read-timeout MS] [--gap N] [--threshold R]\n"
       "      [--no-siblings] [--mean-ratios]\n"
@@ -1226,7 +1238,7 @@ int cmd_help() {
       "      [--host ADDR] [--port N]   e.g.: query LABEL 1299:2569\n"
       "  stream [updates.mrt]...  sliding-window classification of a BGP4MP\n"
       "      update stream ('-' reads stdin; docs/STREAMING.md)\n"
-      "      [--serve | --listen ADDR] [--port N] [--threads N]\n"
+      "      [--serve | --listen ADDR] [--port N] [--shards N]\n"
       "      [--epoch-seconds N] [--window-epochs N]\n"
       "      [--gap N] [--threshold R] [--no-siblings] [--mean-ratios]\n"
       "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"

@@ -192,6 +192,40 @@ void IncrementalClassifier::restore_state(const State& state) {
   }
 }
 
+std::vector<std::pair<Community, Intent>>
+IncrementalClassifier::label_snapshot() const {
+  std::vector<std::pair<Community, Intent>> out;
+  std::size_t total = 0;
+  for (const auto& [alpha, state] : alphas_) total += state.betas.size();
+  out.reserve(total);
+  for (const auto& [alpha, state] : alphas_) {
+    for (const auto& [beta, acc] : state.betas) {
+      const auto label = state.labels.find(beta);
+      out.emplace_back(Community(alpha, beta),
+                       label == state.labels.end() ? Intent::kUnclassified
+                                                   : label->second);
+    }
+  }
+  return out;
+}
+
+void IncrementalClassifier::settle_dirty(
+    std::vector<std::pair<Community, Intent>>& out) {
+  for (const std::uint16_t alpha : dirty_) {
+    const auto it = alphas_.find(alpha);
+    if (it == alphas_.end()) continue;
+    reclassify(alpha, it->second);
+    for (const auto& [beta, acc] : it->second.betas) {
+      const auto label = it->second.labels.find(beta);
+      out.emplace_back(Community(alpha, beta),
+                       label == it->second.labels.end()
+                           ? Intent::kUnclassified
+                           : label->second);
+    }
+  }
+  dirty_.clear();
+}
+
 IncrementalClassifier::Totals IncrementalClassifier::totals() {
   reclassify_dirty();
   Totals totals;

@@ -84,6 +84,22 @@ class IncrementalClassifier {
   };
   [[nodiscard]] Totals totals();
 
+  /// Returns the cached label of every known (community, intent) pair —
+  /// including kUnclassified for betas with evidence but no settled label
+  /// — so a caller can build a complete lookup table whose misses exactly
+  /// mean "classifier would say unclassified".  Does NOT reclassify:
+  /// dirty alphas report their stale cached labels, and export_state()
+  /// afterwards is byte-identical to before.  Feeds the serve tier's
+  /// initial RCU snapshot; pair with settle_dirty to fold in the rest.
+  [[nodiscard]] std::vector<std::pair<Community, Intent>> label_snapshot()
+      const;
+
+  /// Reclassifies only the currently dirty alphas and appends the settled
+  /// labels of *their* betas to `out` (same completeness contract as
+  /// label_snapshot, restricted to dirty alphas).  The serve tier applies
+  /// these as a delta onto a copy-on-write label epoch after INGEST.
+  void settle_dirty(std::vector<std::pair<Community, Intent>>& out);
+
   [[nodiscard]] std::size_t entries_ingested() const noexcept {
     return entries_ingested_;
   }

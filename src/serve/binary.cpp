@@ -1,0 +1,149 @@
+#include "serve/binary.hpp"
+
+namespace bgpintent::serve::binary {
+
+namespace {
+
+/// Reserves the 4-byte length slot, returns its offset so finish_frame can
+/// backpatch once the payload size is known.  Keeps encoding single-pass.
+std::size_t begin_frame(std::string& out) {
+  const std::size_t at = out.size();
+  out.append(kLengthBytes, '\0');
+  return at;
+}
+
+void finish_frame(std::string& out, std::size_t length_at) {
+  const std::size_t payload = out.size() - length_at - kLengthBytes;
+  for (int i = 0; i < 4; ++i)
+    out[length_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((payload >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+void encode_hello(std::string& out, std::uint16_t version) {
+  out.append(reinterpret_cast<const char*>(kMagic), sizeof kMagic);
+  put_u16(out, version);
+  put_u16(out, 0);
+}
+
+void encode_label_request(std::string& out, bgp::Community community) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Op::kLabel));
+  put_u32(out, community.wire());
+  finish_frame(out, at);
+}
+
+void encode_batch_label_request(std::string& out,
+                                std::span<const bgp::Community> communities) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Op::kBatchLabel));
+  put_u32(out, static_cast<std::uint32_t>(communities.size()));
+  for (const auto& c : communities) put_u32(out, c.wire());
+  finish_frame(out, at);
+}
+
+void encode_stats_request(std::string& out) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Op::kStats));
+  finish_frame(out, at);
+}
+
+void encode_hello_ok(std::string& out, std::uint16_t version) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Status::kOk));
+  out.push_back(static_cast<char>(Op::kHello));
+  put_u16(out, version);
+  finish_frame(out, at);
+}
+
+void encode_label_ok(std::string& out, dict::Intent intent) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Status::kOk));
+  out.push_back(static_cast<char>(intent));
+  finish_frame(out, at);
+}
+
+void encode_batch_label_ok(std::string& out,
+                           std::span<const dict::Intent> intents) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Status::kOk));
+  put_u32(out, static_cast<std::uint32_t>(intents.size()));
+  for (const auto intent : intents)
+    out.push_back(static_cast<char>(intent));
+  finish_frame(out, at);
+}
+
+void encode_stats_ok(std::string& out, const StatsPayload& stats) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Status::kOk));
+  put_u64(out, stats.connections);
+  put_u64(out, stats.queries);
+  put_u64(out, stats.batch_queries);
+  put_u64(out, stats.entries);
+  put_u64(out, stats.label_epochs);
+  put_f64(out, stats.p50_us);
+  put_f64(out, stats.p99_us);
+  finish_frame(out, at);
+}
+
+void encode_err(std::string& out, ErrCode code, std::string_view message) {
+  const std::size_t at = begin_frame(out);
+  out.push_back(static_cast<char>(Status::kErr));
+  put_u16(out, static_cast<std::uint16_t>(code));
+  out.append(message);
+  finish_frame(out, at);
+}
+
+ParseResult parse_frame(std::span<const unsigned char> buffer, Frame& frame) {
+  if (buffer.size() < kLengthBytes) return ParseResult::kNeedMore;
+  const std::uint32_t payload = get_u32(buffer.data());
+  // Reject before waiting for the body: a lying length field must not make
+  // the server sit on (or buffer) megabytes it will never use.
+  if (payload > kMaxFramePayload) return ParseResult::kOversized;
+  if (payload == 0) return ParseResult::kMalformed;
+  if (buffer.size() < kLengthBytes + payload) return ParseResult::kNeedMore;
+  frame.tag = buffer[kLengthBytes];
+  frame.body = buffer.subspan(kLengthBytes + 1, payload - 1);
+  frame.consumed = kLengthBytes + payload;
+  return ParseResult::kFrame;
+}
+
+std::optional<WireError> parse_err_body(std::span<const unsigned char> body) {
+  if (body.size() < 2) return std::nullopt;
+  WireError err;
+  err.code = static_cast<ErrCode>(get_u16(body.data()));
+  err.message.assign(reinterpret_cast<const char*>(body.data()) + 2,
+                     body.size() - 2);
+  return err;
+}
+
+std::optional<StatsPayload> parse_stats_body(
+    std::span<const unsigned char> body) {
+  if (body.size() != kStatsPayloadBytes) return std::nullopt;
+  StatsPayload s;
+  const unsigned char* p = body.data();
+  s.connections = get_u64(p);
+  s.queries = get_u64(p + 8);
+  s.batch_queries = get_u64(p + 16);
+  s.entries = get_u64(p + 24);
+  s.label_epochs = get_u64(p + 32);
+  s.p50_us = get_f64(p + 40);
+  s.p99_us = get_f64(p + 48);
+  return s;
+}
+
+std::optional<dict::Intent> intent_from_wire(std::uint8_t code) noexcept {
+  switch (code) {
+    case static_cast<std::uint8_t>(dict::Intent::kAction):
+      return dict::Intent::kAction;
+    case static_cast<std::uint8_t>(dict::Intent::kInformation):
+      return dict::Intent::kInformation;
+    case static_cast<std::uint8_t>(dict::Intent::kUnclassified):
+      return dict::Intent::kUnclassified;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace bgpintent::serve::binary

@@ -1,0 +1,200 @@
+// Length-prefixed binary protocol of the serve tier (docs/SERVING.md §2).
+//
+// The line protocol costs a text parse, a map of string pairs, and one
+// syscall round-trip per query; at "millions of users" rates the encode/
+// decode dominates the classifier lookup by orders of magnitude.  This
+// module defines the compact framing negotiated *on the same port* as the
+// line protocol: a connection whose first byte is the magic byte 0xB6
+// (never a valid line-protocol character) speaks binary frames from then
+// on, every other connection speaks lines — existing clients keep working
+// unchanged.
+//
+// Negotiation (client -> server, 8 bytes):
+//
+//   offset  size  field
+//   0       4     magic  B6 'B' 'G' 'P'
+//   4       2     protocol version (u16 LE, currently 1)
+//   6       2     reserved, must be 0
+//
+// The server answers a HELLO-OK response frame carrying its version, or a
+// framed error (kVersionSkew / kBadMagic) followed by a close.  After the
+// handshake both directions speak frames:
+//
+//   offset  size  field
+//   0       4     payload length N (u32 LE, bytes after this field)
+//   4       1     request: opcode / response: status (0 OK, 1 ERR)
+//   5       N-1   body
+//
+// Requests                       OK response body
+//   kLabel       u32 community     u8 intent
+//   kBatchLabel  u32 n, n x u32    u32 n, n x u8 intent
+//   kStats       (empty)           StatsPayload (fixed u64/f64 fields)
+// ERR response body: u16 ErrCode + UTF-8 message.
+//
+// Intent codes on the wire are the dict::Intent enum values (0 action,
+// 1 information, 2 unclassified).  Frames never exceed kMaxFramePayload;
+// a length field above it is answered with kOversized and the connection
+// is closed before any body byte is read, so a length lie cannot make the
+// server buffer unbounded input (tests/serve/binary_protocol_test.cpp
+// fuzzes exactly this with mrt::corrupt_spans).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "bgp/community.hpp"
+#include "dict/intent.hpp"
+
+namespace bgpintent::serve::binary {
+
+/// First hello byte; deliberately outside 7-bit ASCII so it can never be
+/// confused with a line-protocol command.
+inline constexpr unsigned char kMagic[4] = {0xB6, 'B', 'G', 'P'};
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHelloBytes = 8;
+
+/// Bytes of the length prefix.
+inline constexpr std::size_t kLengthBytes = 4;
+/// Upper bound on one frame's payload (opcode/status byte + body): a
+/// 64K-community batch.  Anything larger is a protocol error.
+inline constexpr std::size_t kMaxFramePayload = (1u << 18) + 16;
+
+enum class Op : std::uint8_t {
+  kHello = 0x00,  ///< response-only: handshake acknowledgement
+  kLabel = 0x01,
+  kBatchLabel = 0x02,
+  kStats = 0x03,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kErr = 1,
+};
+
+enum class ErrCode : std::uint16_t {
+  kBadMagic = 1,
+  kVersionSkew = 2,
+  kBadOpcode = 3,
+  kMalformed = 4,
+  kOversized = 5,
+};
+
+/// Fixed-layout STATS response body (subset of ServerStats the binary
+/// clients need; the line protocol remains the full ops surface).
+struct StatsPayload {
+  std::uint64_t connections = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t batch_queries = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t label_epochs = 0;  ///< RCU snapshots published
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  friend bool operator==(const StatsPayload&, const StatsPayload&) = default;
+};
+inline constexpr std::size_t kStatsPayloadBytes = 5 * 8 + 2 * 8;
+
+// --- little-endian primitives over a string arena -----------------------
+// Responses are encoded by appending to a per-connection arena buffer that
+// is reused across requests: zero allocations on the warm path.
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+[[nodiscard]] inline std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+[[nodiscard]] inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+[[nodiscard]] inline double get_f64(const unsigned char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// --- frame encode -------------------------------------------------------
+
+/// Appends the 8-byte client hello.
+void encode_hello(std::string& out, std::uint16_t version = kVersion);
+
+/// Appends one request frame.
+void encode_label_request(std::string& out, bgp::Community community);
+void encode_batch_label_request(std::string& out,
+                                std::span<const bgp::Community> communities);
+void encode_stats_request(std::string& out);
+
+/// Appends one response frame.
+void encode_hello_ok(std::string& out, std::uint16_t version = kVersion);
+void encode_label_ok(std::string& out, dict::Intent intent);
+void encode_batch_label_ok(std::string& out,
+                           std::span<const dict::Intent> intents);
+void encode_stats_ok(std::string& out, const StatsPayload& stats);
+void encode_err(std::string& out, ErrCode code, std::string_view message);
+
+// --- frame decode -------------------------------------------------------
+
+/// One frame sliced out of a receive buffer: `tag` is the opcode of a
+/// request or the status byte of a response, `body` the bytes after it.
+struct Frame {
+  std::uint8_t tag = 0;
+  std::span<const unsigned char> body;
+  std::size_t consumed = 0;  ///< total frame bytes (length field included)
+};
+
+enum class ParseResult : std::uint8_t {
+  kNeedMore,   ///< buffer holds a prefix of a valid frame
+  kFrame,      ///< one complete frame extracted
+  kOversized,  ///< length field exceeds kMaxFramePayload — protocol error
+  kMalformed,  ///< zero-length payload (no tag byte)
+};
+
+/// Tries to slice the first frame out of `buffer` without copying.  The
+/// returned Frame's spans alias `buffer` — consume before mutating it.
+[[nodiscard]] ParseResult parse_frame(std::span<const unsigned char> buffer,
+                                      Frame& frame);
+
+/// Decoded ERR body.
+struct WireError {
+  ErrCode code = ErrCode::kMalformed;
+  std::string message;
+};
+[[nodiscard]] std::optional<WireError> parse_err_body(
+    std::span<const unsigned char> body);
+
+[[nodiscard]] std::optional<StatsPayload> parse_stats_body(
+    std::span<const unsigned char> body);
+
+/// Intent <-> wire code; nullopt for out-of-range codes.
+[[nodiscard]] std::optional<dict::Intent> intent_from_wire(
+    std::uint8_t code) noexcept;
+
+}  // namespace bgpintent::serve::binary

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -82,6 +83,10 @@ Client Client::connect(const std::string& host, std::uint16_t port) {
                                     host.c_str(), port, std::strerror(error)),
                        error);
   }
+  // Request/response protocols on loopback want the write out now, not
+  // Nagle-batched with the next one.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return Client(fd);
 }
 
@@ -111,15 +116,127 @@ Client::~Client() {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      binary_(std::exchange(other.binary_, false)),
+      buffer_(std::move(other.buffer_)),
+      scratch_(std::move(other.scratch_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    binary_ = std::exchange(other.binary_, false);
     buffer_ = std::move(other.buffer_);
+    scratch_ = std::move(other.scratch_);
   }
   return *this;
+}
+
+void Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw ServeError("client is not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0)
+      throw ServeError(util::format("send failed: %s", std::strerror(errno)));
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+std::uint8_t Client::read_frame(std::string& body) {
+  namespace bin = binary;
+  for (;;) {
+    bin::Frame frame;
+    const auto result = bin::parse_frame(
+        {reinterpret_cast<const unsigned char*>(buffer_.data()),
+         buffer_.size()},
+        frame);
+    if (result == bin::ParseResult::kFrame) {
+      body.assign(reinterpret_cast<const char*>(frame.body.data()),
+                  frame.body.size());
+      const std::uint8_t tag = frame.tag;
+      buffer_.erase(0, frame.consumed);
+      return tag;
+    }
+    if (result != bin::ParseResult::kNeedMore)
+      throw ServeError("malformed frame from server");
+    char chunk[16384];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got <= 0) throw ServeError("connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+void Client::throw_wire_error(std::string_view body) {
+  const auto error = binary::parse_err_body(
+      {reinterpret_cast<const unsigned char*>(body.data()), body.size()});
+  if (!error) throw ServeError("server error: unparseable ERR frame");
+  throw ServeError(util::format("server error %u: %s",
+                                static_cast<unsigned>(error->code),
+                                error->message.c_str()));
+}
+
+void Client::negotiate_binary() {
+  namespace bin = binary;
+  if (binary_) return;
+  scratch_.clear();
+  bin::encode_hello(scratch_);
+  send_raw(scratch_);
+  std::string body;
+  const std::uint8_t status = read_frame(body);
+  if (status != static_cast<std::uint8_t>(bin::Status::kOk))
+    throw_wire_error(body);
+  if (body.size() != 3 ||
+      body[0] != static_cast<char>(bin::Op::kHello))
+    throw ServeError("unexpected handshake response");
+  binary_ = true;
+}
+
+std::vector<dict::Intent> Client::labels(
+    std::span<const bgp::Community> communities) {
+  namespace bin = binary;
+  std::vector<dict::Intent> out;
+  out.reserve(communities.size());
+  if (!binary_) {
+    for (const bgp::Community community : communities)
+      out.push_back(label(community));
+    return out;
+  }
+  scratch_.clear();
+  bin::encode_batch_label_request(scratch_, communities);
+  send_raw(scratch_);
+  std::string body;
+  const std::uint8_t status = read_frame(body);
+  if (status != static_cast<std::uint8_t>(bin::Status::kOk))
+    throw_wire_error(body);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(body.data());
+  if (body.size() < 4 ||
+      body.size() != 4 + static_cast<std::size_t>(bin::get_u32(bytes)))
+    throw ServeError("malformed batch response");
+  const std::uint32_t count = bin::get_u32(bytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto intent = bin::intent_from_wire(bytes[4 + i]);
+    if (!intent) throw ServeError("unknown intent code in batch response");
+    out.push_back(*intent);
+  }
+  return out;
+}
+
+binary::StatsPayload Client::binary_stats() {
+  namespace bin = binary;
+  if (!binary_) throw ServeError("binary_stats requires negotiate_binary()");
+  scratch_.clear();
+  bin::encode_stats_request(scratch_);
+  send_raw(scratch_);
+  std::string body;
+  const std::uint8_t status = read_frame(body);
+  if (status != static_cast<std::uint8_t>(bin::Status::kOk))
+    throw_wire_error(body);
+  const auto stats = bin::parse_stats_body(
+      {reinterpret_cast<const unsigned char*>(body.data()), body.size()});
+  if (!stats) throw ServeError("malformed stats response");
+  return *stats;
 }
 
 std::string Client::request(const std::string& line) {
@@ -173,6 +290,21 @@ std::optional<std::string> Client::read_line(int timeout_ms) {
 }
 
 dict::Intent Client::label(bgp::Community community) {
+  if (binary_) {
+    namespace bin = binary;
+    scratch_.clear();
+    bin::encode_label_request(scratch_, community);
+    send_raw(scratch_);
+    std::string body;
+    const std::uint8_t status = read_frame(body);
+    if (status != static_cast<std::uint8_t>(bin::Status::kOk))
+      throw_wire_error(body);
+    if (body.size() != 1) throw ServeError("malformed label response");
+    const auto intent =
+        bin::intent_from_wire(static_cast<std::uint8_t>(body[0]));
+    if (!intent) throw ServeError("unknown intent code in label response");
+    return *intent;
+  }
   const std::string response =
       request(util::format("LABEL %s", community.to_string().c_str()));
   const auto intent = dict::parse_intent(require_key(response, "label"));

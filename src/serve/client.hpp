@@ -10,10 +10,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "bgp/aspath.hpp"
 #include "bgp/community.hpp"
 #include "core/incremental.hpp"
+#include "serve/binary.hpp"
 #include "serve/protocol.hpp"
 
 namespace bgpintent::serve {
@@ -91,6 +93,25 @@ class Client {
   /// the connection drops or a line exceeds kMaxLineBytes.
   [[nodiscard]] std::optional<std::string> read_line(int timeout_ms = -1);
 
+  // --- binary protocol (serve/binary.hpp) ---
+
+  /// Upgrades the connection to the binary protocol: sends the magic
+  /// hello and waits for the server's acknowledgement.  Must be the first
+  /// exchange on the connection (the server decides the protocol from the
+  /// first byte).  Throws ServeError on version skew or a line-protocol
+  /// server.  After this, label()/labels() speak frames transparently.
+  void negotiate_binary();
+
+  [[nodiscard]] bool binary() const noexcept { return binary_; }
+
+  /// BATCH-LABEL: one round trip for many communities (binary mode); on a
+  /// line-protocol connection this degrades to one LABEL per community.
+  [[nodiscard]] std::vector<dict::Intent> labels(
+      std::span<const bgp::Community> communities);
+
+  /// Binary STATS frame (requires negotiate_binary()).
+  [[nodiscard]] binary::StatsPayload binary_stats();
+
   // --- typed helpers; each throws ServeError on an ERR response ---
 
   /// LABEL: the server's current intent label for `community`.
@@ -113,8 +134,16 @@ class Client {
  private:
   explicit Client(int fd) noexcept : fd_(fd) {}
 
+  void send_raw(std::string_view bytes);
+  /// Reads one complete binary frame into `frame_buf_` and returns its
+  /// tag (status byte) + body; throws ServeError on close or oversize.
+  [[nodiscard]] std::uint8_t read_frame(std::string& body);
+  [[noreturn]] void throw_wire_error(std::string_view body);
+
   int fd_ = -1;
+  bool binary_ = false;
   std::string buffer_;  // bytes received beyond the last returned line
+  std::string scratch_;  // request encode arena (binary mode)
 };
 
 }  // namespace bgpintent::serve

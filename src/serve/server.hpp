@@ -1,37 +1,54 @@
 // Long-running query daemon over an IncrementalClassifier or a
-// stream::StreamEngine.
+// stream::StreamEngine — the shard-per-core epoll serve tier.
 //
-// A POSIX TCP listener speaking the line protocol of serve/protocol.hpp.
-// One accept thread polls the listening socket (and drives periodic
-// snapshots); each accepted connection becomes a task on a
-// util::ThreadPool worker, so the maximum number of concurrently *served*
-// connections equals the pool size — further connections queue in the
-// pool.  The classifier is guarded by one mutex: queries are sub-
-// microsecond map lookups once labels are clean, so a single lock
-// outperforms anything fancier until profiles say otherwise.
+// Architecture (docs/SERVING.md):
+//
+//   * N shards, each one thread owning an edge-triggered epoll instance,
+//     its own SO_REUSEPORT listener on the shared address, and a private
+//     connection table — the kernel spreads accepts across shards and no
+//     lock is shared on the accept or read path.  When SO_REUSEPORT is
+//     unavailable, shard 0 owns the single listener and hands accepted
+//     fds to the other shards round-robin over eventfd-signalled queues.
+//   * Classification state is published RCU-style (serve/labels.hpp): a
+//     warm LABEL query loads an atomic shared_ptr snapshot and does one
+//     hash lookup — it never touches the classifier mutex.  INGEST (and
+//     stream reclassification) build the next epoch copy-on-write and
+//     publish it with a single pointer swap.
+//   * Two wire protocols share the port: the line protocol of
+//     serve/protocol.hpp (unchanged, first byte is printable ASCII) and
+//     the length-prefixed binary protocol of serve/binary.hpp (first
+//     byte 0xB6), with responses encoded into a per-connection arena
+//     buffer that is reused across requests.
+//   * Idle shards block in epoll_wait indefinitely: periodic snapshots
+//     tick on a timerfd (armed only when configured), stop and stream
+//     publish notifications arrive on per-shard eventfds, and the
+//     loop_wakeups counter in STATS proves an idle server wakes ~never.
 //
 // Two backing modes share the command surface:
 //   * classic (owned IncrementalClassifier): LABEL / INGEST / TOTALS /
 //     STATS / SNAPSHOT; SUBSCRIBE answers ERR (no event stream exists);
 //   * stream (borrowed stream::StreamEngine, `bgpintent stream --listen`):
 //     the same verbs answer from the sliding window, SNAPSHOT answers ERR
-//     (stream durability lives in the journal, not snapshot files — see
-//     docs/STREAMING.md §6), and SUBSCRIBE turns the connection into a
-//     push stream of label-change EVENT lines with delta/snapshot
-//     resumption — the protocol of docs/STREAMING.md.
+//     (stream durability lives in the journal — docs/STREAMING.md §6),
+//     and SUBSCRIBE turns the connection into a push stream of
+//     label-change EVENT lines with delta/snapshot resumption.  The
+//     engine's publish hook wakes every shard, so events reach parked
+//     subscribers without polling.
 //
-// Robustness guarantees:
-//   * per-connection idle timeout (poll slices, ServerConfig::
-//     read_timeout_ms) — a dead peer cannot pin a worker forever;
-//   * max-line guard (protocol kMaxLineBytes) — a garbage peer cannot
-//     balloon memory;
-//   * bounded subscriber outboxes flushed with non-blocking sends — a
-//     stalled subscriber cannot block the accept thread, and one that
-//     stays full past the engine's event ring is disconnected with a
-//     final `ERR lagged` (counted as subscribers_dropped in STATS);
-//   * request_stop() is async-signal-safe (one atomic store), so SIGINT/
-//     SIGTERM handlers can trigger a graceful drain: stop accepting,
-//     finish in-flight commands, write a final snapshot if configured.
+// Robustness guarantees (unchanged from the poll-slice daemon):
+//   * per-connection idle timeout (ServerConfig::read_timeout_ms),
+//     enforced by deadline scans on the shard loop — a dead peer cannot
+//     pin a shard; subscribed push streams are exempt;
+//   * max-line / max-frame guards — a garbage peer cannot balloon memory,
+//     and a lying binary length field is rejected before any body byte
+//     is buffered;
+//   * bounded subscriber outboxes flushed by EPOLLOUT readiness — a
+//     stalled subscriber cannot block its shard, and one that stays full
+//     past the engine's event ring is disconnected with a final
+//     `ERR lagged` (counted as subscribers_dropped in STATS);
+//   * request_stop() is async-signal-safe (atomic store + eventfd
+//     writes), so SIGINT/SIGTERM handlers can trigger a graceful drain:
+//     stop accepting, flush pending responses, write a final snapshot.
 #pragma once
 
 #include <atomic>
@@ -41,12 +58,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/incremental.hpp"
+#include "serve/labels.hpp"
 #include "serve/protocol.hpp"
 #include "stream/engine.hpp"
-#include "util/thread_pool.hpp"
 
 namespace bgpintent::serve {
 
@@ -55,7 +73,11 @@ struct ServerConfig {
   std::string listen_address = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (query it back via port()).
   std::uint16_t port = 0;
-  /// Connection worker threads (ThreadPool convention: 0 = all cores).
+  /// Event-loop shards (0 = one per core).  `threads` below is honored as
+  /// a legacy alias when `shards` is 0 — the old thread-pool knob maps
+  /// onto the shard count, which plays the same capacity role.
+  unsigned shards = 0;
+  /// Legacy knob (pre-shard daemon): connection worker threads.
   unsigned threads = 0;
   /// Close a connection after this long without a complete request line.
   int read_timeout_ms = 30000;
@@ -75,7 +97,8 @@ struct ServerConfig {
 struct ServerStats {
   double uptime_seconds = 0.0;
   std::uint64_t connections_accepted = 0;
-  std::uint64_t queries_served = 0;  ///< LABEL commands answered
+  std::uint64_t queries_served = 0;  ///< LABEL lookups (batch items count)
+  std::uint64_t batch_queries = 0;   ///< binary BATCH-LABEL frames answered
   std::uint64_t entries_ingested = 0;
   std::uint64_t dirty_alphas = 0;
   /// Cumulative decode outcome across every ingest path (MRT priming,
@@ -84,6 +107,12 @@ struct ServerStats {
   std::uint64_t decode_records_skipped = 0;
   double p50_query_us = 0.0;  ///< over a window of recent LABEL queries
   double p99_query_us = 0.0;
+  /// RCU label epochs published so far (serve/labels.hpp version).
+  std::uint64_t label_epochs = 0;
+  /// epoll_wait returns summed over every shard — the idle-burn
+  /// regression counter: an idle server must keep this near zero.
+  std::uint64_t loop_wakeups = 0;
+  std::uint64_t binary_connections = 0;  ///< connections that sent the magic
   // Stream-mode counters (docs/STREAMING.md); zero in classic mode.
   std::uint64_t updates_ok = 0;
   std::uint64_t updates_errors = 0;
@@ -114,93 +143,155 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept thread.  Throws ServeError when
-  /// the address or port cannot be bound.
+  /// Binds the shard listeners, publishes the initial label epoch, and
+  /// spawns the shard threads.  Throws ServeError when the address or
+  /// port cannot be bound.
   void start();
 
   /// The actually bound port (resolves port 0); valid after start().
   [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
 
-  /// Asks the accept loop to drain and exit.  Async-signal-safe.
-  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  /// Asks every shard to drain and exit.  Async-signal-safe: one atomic
+  /// store plus eventfd writes.
+  void request_stop() noexcept;
 
-  /// Blocks until the accept loop exited and every in-flight connection
-  /// finished; writes the final snapshot when one is configured.
+  /// Blocks until every shard exited and every connection is closed;
+  /// writes the final snapshot when one is configured.
   void wait();
 
   [[nodiscard]] ServerStats stats() const;
 
  private:
-  /// Per-connection protocol state: a SUBSCRIBE upgrades the connection to
-  /// a push stream and `next_after` tracks the last event it has seen.
-  struct ConnState {
+  /// Wire protocol of one connection, decided by its first byte.
+  enum class ConnMode : std::uint8_t { kUndecided, kLine, kBinary };
+
+  /// One connection, owned by exactly one shard (no cross-shard access).
+  struct Conn {
+    int fd = -1;
+    ConnMode mode = ConnMode::kUndecided;
+    bool hello_done = false;  ///< binary: handshake frame validated
+    /// SUBSCRIBE upgraded this connection to a push stream; `next_after`
+    /// is the last event sequence it has seen.
     bool subscribed = false;
     std::uint64_t next_after = 0;
-    /// The snapshot block of the SUBSCRIBE handshake, carried to the
-    /// subscriber outbox instead of being pushed with a blocking send — a
-    /// peer that never reads must not pin the pool worker.
-    std::string pending_push;
+    /// Close once `out` drains (framed protocol errors, QUIT, timeouts).
+    bool close_after_flush = false;
+    bool want_epollout = false;  ///< EPOLLOUT currently registered
+    std::string in;   ///< unparsed request bytes
+    /// Response arena: encoded replies append here and `out_sent` marks
+    /// the flushed prefix; the buffer is compacted, never reallocated per
+    /// request, so warm responses allocate nothing.
+    std::string out;
+    std::size_t out_sent = 0;
+    std::chrono::steady_clock::time_point last_activity;
   };
 
-  void accept_loop();
-  void handle_connection(int fd);
-  /// Pushes pending events to every registered subscriber and reaps the
-  /// dead ones.  Runs on the accept thread once per poll slice, so a
-  /// subscribed connection costs no pool worker — with a small pool, a
-  /// parked push stream must not starve request/response connections.
-  void service_subscribers();
+  /// One event-loop shard: thread + epoll + listener + connection table.
+  struct Shard {
+    std::size_t index = 0;
+    int epoll_fd = -1;
+    /// Own SO_REUSEPORT listener, or -1 when running in fd-handoff
+    /// fallback mode (only shard 0 listens then).
+    int listen_fd = -1;
+    /// Wake channel: stop requests, stream publish notifications, and
+    /// handed-off fds all signal this.
+    int event_fd = -1;
+    /// Periodic snapshot tick (shard 0, classic mode, interval set);
+    /// -1 — and the loop blocks forever — otherwise.
+    int timer_fd = -1;
+    std::thread thread;
+    std::unordered_map<int, Conn> conns;
+    /// Fds accepted by shard 0 for this shard (fallback mode only).
+    std::mutex handoff_mutex;
+    std::vector<int> handoff;
+    /// epoll_wait returns on this shard (idle-burn regression counter).
+    std::atomic<std::uint64_t> wakeups{0};
+    /// Recent LABEL latencies, ring-buffered per shard.
+    std::vector<double> latency_us;
+    std::size_t latency_next = 0;
+    mutable std::mutex latency_mutex;
+    /// Scratch for BATCH-LABEL answers, reused across requests.
+    std::vector<dict::Intent> batch_scratch;
+  };
+
+  void shard_loop(Shard& shard);
+  void accept_ready(Shard& shard);
+  void adopt_connection(Shard& shard, int fd);
+  /// Drains readable bytes and serves every complete request buffered;
+  /// returns false when the connection must close now.
+  [[nodiscard]] bool conn_readable(Shard& shard, Conn& conn);
+  [[nodiscard]] bool process_buffered(Shard& shard, Conn& conn);
+  [[nodiscard]] bool process_line_input(Shard& shard, Conn& conn);
+  [[nodiscard]] bool process_binary_input(Shard& shard, Conn& conn);
   /// One request line -> one response (possibly multi-line, e.g. the
-  /// SUBSCRIBE snapshot); false closes the connection.
-  [[nodiscard]] bool handle_command(const std::string& line,
-                                    std::string& response, ConnState& state);
-  struct Subscriber;
-  /// Appends buffered events past state.next_after to the subscriber's
-  /// outbox, up to the queue cap (falling back to a full snapshot on a
-  /// trimmed gap).  Sets `lagged` when the outbox is full *and* the
-  /// subscriber has also fallen off the engine's event ring — it can no
-  /// longer be caught up.
-  void queue_events(Subscriber& sub, bool& lagged);
-  /// One non-blocking send of the subscriber's unsent outbox bytes; false
-  /// on a dead socket.  Partial sends leave the remainder queued.
-  [[nodiscard]] bool flush_outbox(Subscriber& sub);
-  void record_query_latency(double microseconds);
+  /// SUBSCRIBE snapshot); false closes the connection after the flush.
+  [[nodiscard]] bool handle_command(Shard& shard, const std::string& line,
+                                    Conn& conn);
+  void dispatch_binary(Shard& shard, Conn& conn, std::uint8_t op,
+                       std::span<const unsigned char> body);
+  /// The RCU fast path: loads the current epoch, refreshing it first when
+  /// the stream engine published past it (or holds unsettled dirty
+  /// state).  Lock-free whenever the snapshot is warm.
+  [[nodiscard]] std::shared_ptr<const LabelTable> query_snapshot();
+  [[nodiscard]] dict::Intent query_label(bgp::Community community);
+  /// Non-blocking flush of conn.out; updates EPOLLOUT registration.
+  /// Returns false on a dead socket.
+  [[nodiscard]] bool flush_conn(Shard& shard, Conn& conn);
+  void close_conn(Shard& shard, int fd);
+  /// Appends buffered events past conn.next_after to the outbox up to the
+  /// queue cap (snapshot resync on a trimmed gap); sets `lagged` when the
+  /// peer can no longer be caught up.
+  void queue_events(Conn& conn, bool& lagged);
+  /// Pushes pending events to this shard's subscribers (stream mode, on
+  /// publish-hook wakeups) and reaps the dead ones.
+  void service_subscribers(Shard& shard);
+  /// Closes connections idle past read_timeout_ms; returns the epoll
+  /// timeout (ms) until the next deadline, or -1 to block forever.
+  [[nodiscard]] int sweep_idle(Shard& shard);
+  void notify_all_shards() noexcept;
+
+  // --- label epochs (RCU write side) ---
+  /// Classic mode: settles dirty alphas and publishes the next epoch.
+  /// Caller holds classifier_mutex_.
+  void publish_classic_epoch_locked();
+  /// Stream mode: folds engine deltas (or a full snapshot on a gap) into
+  /// a fresh epoch when the current one is stale.
+  void refresh_stream_epoch();
+
+  void record_query_latency(Shard& shard, double microseconds);
   void write_snapshot_file(const std::string& path);
 
   core::IncrementalClassifier classifier_;
   stream::StreamEngine* engine_ = nullptr;  ///< non-null in stream mode
   ServerConfig config_;
 
-  // Subscribed connections, handed off by handle_connection and serviced
-  // by the accept thread (stream mode only).
-  struct Subscriber {
-    int fd = -1;
-    ConnState state;
-    /// Bytes queued but not yet accepted by the socket; `outbox_sent` is
-    /// the already-sent prefix (compacted once it grows large).
-    std::string outbox;
-    std::size_t outbox_sent = 0;
-  };
-  std::mutex subscribers_mutex_;
-  std::vector<Subscriber> subscribers_;
+  /// RCU label publication point shared by every shard (serve/labels.hpp).
+  LabelView labels_;
+  /// Writer-side ordering for refresh_stream_epoch (stream mode);
+  /// classic-mode epochs are ordered by classifier_mutex_.
+  std::mutex refresh_mutex_;
 
   mutable std::mutex classifier_mutex_;
 
-  // Latency window: the last kLatencyWindow LABEL latencies, ring-buffered.
   static constexpr std::size_t kLatencyWindow = 4096;
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_us_;
-  std::size_t latency_next_ = 0;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  /// Classic mode only: true while the published epoch predates dirty
+  /// classifier state handed to the constructor (the first query settles
+  /// it).  INGEST publishes eagerly, so this never re-arms after start().
+  std::atomic<bool> classic_stale_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> batch_queries_{0};
+  std::atomic<std::uint64_t> binary_connections_{0};
   std::atomic<std::uint64_t> subscribers_dropped_{0};
 
   std::chrono::steady_clock::time_point started_at_;
-  int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
-  std::unique_ptr<util::ThreadPool> pool_;
-  std::thread accept_thread_;
+  bool reuseport_ = true;  ///< false: fd-handoff fallback
+  std::size_t handoff_next_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace bgpintent::serve

@@ -97,6 +97,8 @@ void StreamEngine::announce_locked(const bgp::RibEntry& entry,
     journal_->append(scratch_);
   }
   tick_locked();
+  pending_dirty_.store(window_.dirty_alpha_count() > 0,
+                       std::memory_order_release);
 }
 
 void StreamEngine::withdraw_locked(const bgp::VantagePointId& peer,
@@ -117,6 +119,8 @@ void StreamEngine::withdraw_locked(const bgp::VantagePointId& peer,
     journal_->append(scratch_);
   }
   tick_locked();
+  pending_dirty_.store(window_.dirty_alpha_count() > 0,
+                       std::memory_order_release);
 }
 
 void StreamEngine::tick_locked() {
@@ -154,8 +158,12 @@ void StreamEngine::reclassify_locked(bool force_marker) {
   // skipping it keeps query paths (label_of, totals, snapshots) from
   // journaling a marker per call.
   const bool had_dirty = window_.dirty_alpha_count() > 0;
-  if (!had_dirty && !force_marker) return;
+  if (!had_dirty && !force_marker) {
+    pending_dirty_.store(false, std::memory_order_release);
+    return;
+  }
   std::vector<LabelChange> changes = window_.reclassify_dirty();
+  pending_dirty_.store(false, std::memory_order_release);
   if (journal_) {
     const std::uint64_t first_seq = next_seq_;
     for (std::size_t i = 0; i < changes.size(); ++i) {
@@ -172,6 +180,7 @@ void StreamEngine::reclassify_locked(bool force_marker) {
 }
 
 void StreamEngine::publish_locked(std::vector<LabelChange>&& changes) {
+  const bool any = !changes.empty();
   for (LabelChange& change : changes) {
     events_.push_back(Event{next_seq_++, std::move(change)});
   }
@@ -181,6 +190,15 @@ void StreamEngine::publish_locked(std::vector<LabelChange>&& changes) {
                       static_cast<std::ptrdiff_t>(events_.size() -
                                                   kMaxBufferedEvents));
   }
+  if (any) {
+    published_seq_.store(next_seq_ - 1, std::memory_order_release);
+    if (publish_hook_) publish_hook_();
+  }
+}
+
+void StreamEngine::set_publish_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_hook_ = std::move(hook);
 }
 
 Intent StreamEngine::label_of(Community community) {
@@ -288,6 +306,9 @@ void StreamEngine::restore_state(const EngineState& state) {
   decode_ok_ = state.decode_ok;
   decode_errors_ = state.decode_errors;
   updates_since_reclassify_ = state.updates_since_reclassify;
+  published_seq_.store(next_seq_ - 1, std::memory_order_release);
+  pending_dirty_.store(window_.dirty_alpha_count() > 0,
+                       std::memory_order_release);
 }
 
 std::uint64_t StreamEngine::last_seq() const {

@@ -14,7 +14,9 @@
 // docs/STREAMING.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -160,6 +162,30 @@ class StreamEngine {
   [[nodiscard]] std::vector<std::pair<Community, Intent>> label_snapshot(
       std::uint64_t& as_of_seq);
 
+  // --- Lock-free serve-tier signals -------------------------------------
+  // The epoll shards poll these without touching mutex_: a warm LABEL
+  // query compares its RCU snapshot's as_of_seq against published_seq()
+  // and only falls into the locked path when the snapshot is stale or
+  // unsettled dirty state could change the answer.
+
+  /// Sequence of the newest published event; updated under mutex_ but
+  /// readable without it.
+  [[nodiscard]] std::uint64_t published_seq() const noexcept {
+    return published_seq_.load(std::memory_order_acquire);
+  }
+
+  /// True while the window holds dirty alphas whose reclassification has
+  /// not run yet (their labels may change at the next pass).
+  [[nodiscard]] bool has_pending_dirty() const noexcept {
+    return pending_dirty_.load(std::memory_order_acquire);
+  }
+
+  /// Callback invoked (under the engine mutex — keep it tiny and
+  /// non-reentrant, e.g. an eventfd write) every time new events publish.
+  /// The serve tier uses it to wake its shards for subscriber push and
+  /// label-epoch refresh instead of polling.  Pass nullptr to clear.
+  void set_publish_hook(std::function<void()> hook);
+
  private:
   class IngestSink;
   /// Replay (stream/recovery.cpp) applies journal records through the
@@ -192,6 +218,11 @@ class StreamEngine {
   /// Engine-level batch cadence (journaled so replay reproduces it); never
   /// exceeds kReclassifyBatch outside replay.
   std::uint64_t updates_since_reclassify_ = 0;
+  /// Mirrors of next_seq_ - 1 and the window's dirty set, maintained under
+  /// mutex_ for lock-free reading by the serve shards (see published_seq).
+  std::atomic<std::uint64_t> published_seq_{0};
+  std::atomic<bool> pending_dirty_{false};
+  std::function<void()> publish_hook_;
 
   std::unique_ptr<JournalWriter> journal_;
   std::vector<std::uint8_t> scratch_;  // record encode buffer
