@@ -31,6 +31,15 @@ constexpr std::size_t kEventBatch = 1024;
 /// Flushed-prefix size that triggers outbox compaction.
 constexpr std::size_t kCompactThreshold = 64 * 1024;
 
+/// epoll_event.data payload: fd in the low half, the connection
+/// generation in the high half (0 for listener/eventfd/timerfd).  The
+/// generation guards against an fd number closed and recycled within a
+/// single epoll_wait batch — see Server::Conn::gen.
+[[nodiscard]] std::uint64_t epoll_tag(int fd, std::uint32_t gen = 0) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
 void wake_eventfd(int fd) noexcept {
   if (fd < 0) return;
   const std::uint64_t one = 1;
@@ -174,11 +183,11 @@ void Server::start() {
                                     std::strerror(errno)));
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = shard->event_fd;
+    ev.data.u64 = epoll_tag(shard->event_fd);
     ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->event_fd, &ev);
     if (shard->listen_fd >= 0) {
       ev.events = EPOLLIN;
-      ev.data.fd = shard->listen_fd;
+      ev.data.u64 = epoll_tag(shard->listen_fd);
       ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->listen_fd, &ev);
     }
   }
@@ -198,7 +207,7 @@ void Server::start() {
       ::timerfd_settime(shard.timer_fd, 0, &spec, nullptr);
       epoll_event ev{};
       ev.events = EPOLLIN;
-      ev.data.fd = shard.timer_fd;
+      ev.data.u64 = epoll_tag(shard.timer_fd);
       ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, shard.timer_fd, &ev);
     }
   }
@@ -277,7 +286,8 @@ void Server::shard_loop(Shard& shard) {
       break;
     }
     for (int i = 0; i < ready; ++i) {
-      const int fd = events[i].data.fd;
+      const std::uint64_t tag = events[i].data.u64;
+      const int fd = static_cast<int>(static_cast<std::uint32_t>(tag));
       if (fd == shard.listen_fd) {
         accept_ready(shard);
         continue;
@@ -310,7 +320,9 @@ void Server::shard_loop(Shard& shard) {
         continue;
       }
       const auto it = shard.conns.find(fd);
-      if (it == shard.conns.end()) continue;
+      if (it == shard.conns.end() ||
+          it->second.gen != static_cast<std::uint32_t>(tag >> 32))
+        continue;  // stale event for a recycled fd number
       Conn& conn = it->second;
       bool ok = (events[i].events & (EPOLLHUP | EPOLLERR)) == 0;
       if (ok && (events[i].events & EPOLLIN) != 0)
@@ -323,14 +335,15 @@ void Server::shard_loop(Shard& shard) {
         if (ok && conn.subscribed) {
           bool lagged = false;
           queue_events(conn, lagged);
-          if (lagged) {
-            (void)::send(conn.fd, "ERR lagged\n", 11,
-                         MSG_NOSIGNAL | MSG_DONTWAIT);
-            subscribers_dropped_.fetch_add(1, std::memory_order_relaxed);
-            ok = false;
-          } else {
-            ok = flush_conn(shard, conn);
-          }
+          if (lagged) drop_lagged(conn);
+          ok = flush_conn(shard, conn);
+        } else if (ok && !conn.close_after_flush &&
+                   conn.out.size() - conn.out_sent <
+                       config_.max_response_backlog_bytes) {
+          // Backlog drained below the cap: resume the paused request
+          // stream — buffered requests first, then whatever stayed
+          // queued in the kernel while reads were suspended.
+          ok = conn_readable(shard, conn);
         }
       }
       if (ok && conn.close_after_flush && conn.out_sent >= conn.out.size())
@@ -346,6 +359,13 @@ void Server::shard_loop(Shard& shard) {
     ::close(fd);
   }
   shard.conns.clear();
+  // Fallback mode: fds shard 0 dealt to this shard but that were never
+  // adopted (the stop request can beat the eventfd drain) must not leak.
+  {
+    const std::lock_guard<std::mutex> lock(shard.handoff_mutex);
+    for (const int fd : shard.handoff) ::close(fd);
+    shard.handoff.clear();
+  }
 }
 
 void Server::accept_ready(Shard& shard) {
@@ -377,15 +397,18 @@ void Server::accept_ready(Shard& shard) {
 void Server::adopt_connection(Shard& shard, int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  const std::uint32_t gen = shard.next_gen++;
+  if (shard.next_gen == 0) shard.next_gen = 1;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
-  ev.data.fd = fd;
+  ev.data.u64 = epoll_tag(fd, gen);
   if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
     ::close(fd);
     return;
   }
   Conn conn;
   conn.fd = fd;
+  conn.gen = gen;
   conn.last_activity = std::chrono::steady_clock::now();
   shard.conns.emplace(fd, std::move(conn));
 }
@@ -393,23 +416,47 @@ void Server::adopt_connection(Shard& shard, int fd) {
 bool Server::conn_readable(Shard& shard, Conn& conn) {
   bool peer_closed = false;
   for (;;) {
-    char chunk[16384];
-    const ssize_t got = ::recv(conn.fd, chunk, sizeof chunk, 0);
-    if (got > 0) {
-      conn.in.append(chunk, static_cast<std::size_t>(got));
-      conn.last_activity = std::chrono::steady_clock::now();
-      continue;
+    // Drain the socket — unless the peer's unread responses sit at the
+    // backlog cap: then stop pulling requests off the wire, let the
+    // kernel receive buffer fill, and TCP flow control pushes back on
+    // the sender.
+    bool paused = false;
+    while (!peer_closed) {
+      if (!conn.subscribed &&
+          conn.out.size() - conn.out_sent >=
+              config_.max_response_backlog_bytes) {
+        paused = true;
+        break;
+      }
+      char chunk[16384];
+      const ssize_t got = ::recv(conn.fd, chunk, sizeof chunk, 0);
+      if (got > 0) {
+        conn.in.append(chunk, static_cast<std::size_t>(got));
+        conn.last_activity = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (got == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
     }
-    if (got == 0) {
-      peer_closed = true;
+    const std::size_t in_before = conn.in.size();
+    if (!process_buffered(shard, conn)) return false;
+    if (!flush_conn(shard, conn)) return false;
+    if (peer_closed || conn.close_after_flush) break;
+    // A fully successful flush can reopen the response window while
+    // requests are still buffered (or still queued in the kernel during
+    // a pause): keep draining and processing as long as progress is
+    // made.  When the backlog stays at the cap the pause holds, and
+    // EPOLLOUT progress resumes this loop instead (shard_loop).
+    if (conn.out.size() - conn.out_sent >=
+        config_.max_response_backlog_bytes)
       break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;
+    if (conn.in.size() >= in_before && !paused) break;  // no progress
   }
-  if (!process_buffered(shard, conn)) return false;
-  if (!flush_conn(shard, conn)) return false;
   // EOF: answer what was pipelined before the close, then drop.
   return !peer_closed;
 }
@@ -436,6 +483,9 @@ bool Server::process_buffered(Shard& shard, Conn& conn) {
 bool Server::process_line_input(Shard& shard, Conn& conn) {
   std::size_t start = 0;
   while (!conn.close_after_flush) {
+    if (conn.out.size() - conn.out_sent >=
+        config_.max_response_backlog_bytes)
+      break;  // paused: queued responses must drain before more are made
     const std::size_t newline = conn.in.find('\n', start);
     if (newline == std::string::npos) break;
     std::string line = conn.in.substr(start, newline - start);
@@ -449,7 +499,11 @@ bool Server::process_line_input(Shard& shard, Conn& conn) {
     }
   }
   conn.in.erase(0, start);
-  if (!conn.subscribed && !conn.close_after_flush &&
+  // The overlong-line guard applies only to a single unfinished line; a
+  // backlog-paused connection may legitimately hold many complete lines.
+  const bool paused =
+      conn.out.size() - conn.out_sent >= config_.max_response_backlog_bytes;
+  if (!conn.subscribed && !conn.close_after_flush && !paused &&
       conn.in.size() > kMaxLineBytes) {
     conn.out.append("ERR line too long\n");
     conn.close_after_flush = true;
@@ -486,6 +540,9 @@ bool Server::process_binary_input(Shard& shard, Conn& conn) {
     off = bin::kHelloBytes;
   }
   while (!conn.close_after_flush) {
+    if (conn.out.size() - conn.out_sent >=
+        config_.max_response_backlog_bytes)
+      break;  // paused: queued responses must drain before more are made
     const std::span<const unsigned char> rest(
         reinterpret_cast<const unsigned char*>(conn.in.data()) + off,
         conn.in.size() - off);
@@ -672,7 +729,7 @@ bool Server::flush_conn(Shard& shard, Conn& conn) {
   if (want != conn.want_epollout) {
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
-    ev.data.fd = conn.fd;
+    ev.data.u64 = epoll_tag(conn.fd, conn.gen);
     ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
     conn.want_epollout = want;
   }
@@ -717,6 +774,22 @@ void Server::queue_events(Conn& conn, bool& lagged) {
   }
 }
 
+void Server::drop_lagged(Conn& conn) {
+  // The outbox is full and the engine's event ring has already cycled
+  // past this peer — it cannot be caught up.  A partial send can leave
+  // conn.out_sent mid-line, so the notice must not be injected at the
+  // flush point: complete the line currently in flight, drop the rest of
+  // the unsent backlog, and finish with the ERR at that line boundary so
+  // the peer never sees a torn EVENT line spliced with the error.
+  const std::size_t boundary = conn.out.find('\n', conn.out_sent);
+  conn.out.resize(boundary == std::string::npos ? conn.out_sent
+                                                : boundary + 1);
+  conn.out += "ERR lagged\n";
+  conn.subscribed = false;  // no more events; the idle sweep may reap it
+  conn.close_after_flush = true;
+  subscribers_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Server::service_subscribers(Shard& shard) {
   std::vector<int> dead;
   for (auto& [fd, conn] : shard.conns) {
@@ -724,15 +797,10 @@ void Server::service_subscribers(Shard& shard) {
     bool lagged = false;
     bool ok = flush_conn(shard, conn);  // make room before queuing more
     if (ok) queue_events(conn, lagged);
-    if (ok && !lagged) ok = flush_conn(shard, conn);
-    if (lagged) {
-      // The outbox is full and the engine's event ring has already cycled
-      // past this peer — it cannot be caught up.  Best-effort final
-      // notice; a peer this far behind may have no socket room for it.
-      (void)::send(fd, "ERR lagged\n", 11, MSG_NOSIGNAL | MSG_DONTWAIT);
-      subscribers_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (ok && lagged) drop_lagged(conn);
+    if (ok) ok = flush_conn(shard, conn);
+    if (ok && conn.close_after_flush && conn.out_sent >= conn.out.size())
       ok = false;
-    }
     if (!ok) dead.push_back(fd);
   }
   for (const int fd : dead) close_conn(shard, fd);
@@ -890,6 +958,11 @@ bool Server::handle_command(Shard& shard, const std::string& line,
         unclassified = totals.unclassified;
       } else {
         const std::lock_guard<std::mutex> lock(classifier_mutex_);
+        // Settle through the epoch publisher, not classifier_.totals()
+        // alone: totals() consumes the dirty set privately, which would
+        // strand the published RCU epoch on pre-settle labels forever
+        // (classic_stale_ clears with nothing ever published).
+        publish_classic_epoch_locked();
         const core::IncrementalClassifier::Totals totals =
             classifier_.totals();
         communities = totals.communities;
@@ -988,11 +1061,7 @@ bool Server::handle_command(Shard& shard, const std::string& line,
       // delivered without waiting for the next publish wakeup.
       bool lagged = false;
       queue_events(conn, lagged);
-      if (lagged) {
-        conn.out += "ERR lagged\n";
-        subscribers_dropped_.fetch_add(1, std::memory_order_relaxed);
-        return false;
-      }
+      if (lagged) drop_lagged(conn);  // sets close_after_flush itself
       return true;
     }
 

@@ -46,6 +46,11 @@
 //     stalled subscriber cannot block its shard, and one that stays full
 //     past the engine's event ring is disconnected with a final
 //     `ERR lagged` (counted as subscribers_dropped in STATS);
+//   * response-backlog backpressure on request/response connections — a
+//     peer that pipelines requests without reading answers is paused
+//     (its socket stops being drained, so TCP flow control pushes back)
+//     once unsent responses reach max_response_backlog_bytes, instead of
+//     growing the outbox without bound; EPOLLOUT progress resumes it;
 //   * request_stop() is async-signal-safe (atomic store + eventfd
 //     writes), so SIGINT/SIGTERM handlers can trigger a graceful drain:
 //     stop accepting, flush pending responses, write a final snapshot.
@@ -91,6 +96,13 @@ struct ServerConfig {
   /// engine's event ring); a capped subscriber that also falls off the
   /// ring is dropped with `ERR lagged`.
   std::size_t max_subscriber_queue_bytes = 1 << 20;
+  /// Per-connection response-backlog cap for plain request/response
+  /// connections: once unsent response bytes reach this, the server stops
+  /// parsing further requests from the connection (and stops reading its
+  /// socket, so TCP flow control backpressures the peer) until the
+  /// backlog drains below the cap.  A single oversized response (e.g. a
+  /// large BATCH-LABEL answer) may overshoot transiently.
+  std::size_t max_response_backlog_bytes = 4 << 20;
 };
 
 /// Counters reported by STATS (and readable in-process).
@@ -168,6 +180,12 @@ class Server {
   /// One connection, owned by exactly one shard (no cross-shard access).
   struct Conn {
     int fd = -1;
+    /// Generation tag carried in epoll_event.data (fd | gen<<32): a close
+    /// during an epoll batch can recycle the fd number for a fresh accept
+    /// within the same batch, and a still-queued stale event (EPOLLHUP for
+    /// the old connection) must not be applied to the new one.  Never 0 —
+    /// 0 is reserved for the listener/eventfd/timerfd registrations.
+    std::uint32_t gen = 0;
     ConnMode mode = ConnMode::kUndecided;
     bool hello_done = false;  ///< binary: handshake frame validated
     /// SUBSCRIBE upgraded this connection to a push stream; `next_after`
@@ -201,6 +219,8 @@ class Server {
     int timer_fd = -1;
     std::thread thread;
     std::unordered_map<int, Conn> conns;
+    /// Next Conn::gen to hand out; skips 0 (reserved for non-conn fds).
+    std::uint32_t next_gen = 1;
     /// Fds accepted by shard 0 for this shard (fallback mode only).
     std::mutex handoff_mutex;
     std::vector<int> handoff;
@@ -245,6 +265,11 @@ class Server {
   /// Pushes pending events to this shard's subscribers (stream mode, on
   /// publish-hook wakeups) and reaps the dead ones.
   void service_subscribers(Shard& shard);
+  /// Marks a subscriber uncatchable: truncates its unsent backlog at the
+  /// end of the line currently in flight (a partial send can leave the
+  /// peer holding half an EVENT line), appends the final `ERR lagged` at
+  /// that line boundary, and schedules the close once it drains.
+  void drop_lagged(Conn& conn);
   /// Closes connections idle past read_timeout_ms; returns the epoll
   /// timeout (ms) until the next deadline, or -1 to block forever.
   [[nodiscard]] int sweep_idle(Shard& shard);

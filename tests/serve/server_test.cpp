@@ -1,7 +1,13 @@
 #include "serve/server.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -118,6 +124,128 @@ TEST(Server, IngestViaProtocolMatchesDirectIngest) {
   EXPECT_EQ(client.label(bgp::Community(100, 20000)),
             reference.label_of(bgp::Community(100, 20000)));
 
+  server.request_stop();
+  server.wait();
+}
+
+// Regression: a server started with preloaded-but-dirty state publishes
+// its initial RCU epoch from the *cached* labels and settles lazily.  A
+// TOTALS arriving before the first LABEL used to let classifier_.totals()
+// consume the dirty set privately — the settle-on-first-query path then
+// found nothing dirty, published no epoch, and every later LABEL answered
+// from the stale initial epoch forever.
+TEST(Server, TotalsBeforeFirstLabelStillPublishesSettledEpoch) {
+  const std::vector<bgp::RibEntry> feed{
+      entry(61, {61, 100, 201}, {bgp::Community(100, 20000)}),
+      entry(62, {62, 100, 201}, {bgp::Community(100, 20000)}),
+      entry(70, {70, 999, 201}, {bgp::Community(100, 2569)}),
+      entry(71, {71, 999, 201}, {bgp::Community(100, 2569)}),
+      entry(61, {61, 64512, 201}, {bgp::Community(64512, 9)}),
+  };
+  IncrementalClassifier reference;
+  IncrementalClassifier primed;
+  for (const auto& e : feed) {
+    reference.ingest(e);
+    primed.ingest(e);
+  }
+  ASSERT_GT(primed.dirty_alpha_count(), 0u);
+
+  Server server(std::move(primed), loopback_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  // First command is TOTALS: it must settle through the epoch publisher.
+  const auto want = reference.totals();
+  const auto got = client.totals();
+  EXPECT_EQ(got.communities, want.communities);
+  EXPECT_EQ(got.information, want.information);
+  EXPECT_EQ(got.action, want.action);
+  EXPECT_EQ(got.unclassified, want.unclassified);
+
+  // LABEL queries after that TOTALS must see the settled labels, not the
+  // stale initial epoch.
+  std::size_t classified = 0;
+  for (const auto c : {bgp::Community(100, 20000), bgp::Community(100, 2569),
+                       bgp::Community(64512, 9)}) {
+    const Intent want_label = reference.label_of(c);
+    EXPECT_EQ(client.label(c), want_label) << c.to_string();
+    if (want_label != Intent::kUnclassified) ++classified;
+  }
+  EXPECT_GT(classified, 0u);
+
+  client.quit();
+  server.request_stop();
+  server.wait();
+}
+
+// Regression for response-backlog backpressure: a peer that pipelines
+// thousands of requests without reading must not grow the outbox without
+// bound — the server pauses parsing at max_response_backlog_bytes — and
+// once the peer starts draining, every pipelined request must still be
+// answered: pause and resume are lossless across many cycles.
+TEST(Server, PipelinedRequestsSurviveBacklogPauseAndResume) {
+  IncrementalClassifier classifier;
+  classifier.ingest(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}));
+  ServerConfig cfg = loopback_config();
+  cfg.max_response_backlog_bytes = 2048;  // force many pause/resume cycles
+  Server server(std::move(classifier), cfg);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  (void)::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+
+  constexpr std::size_t kRequests = 4000;
+  std::string burst;
+  for (std::size_t i = 0; i < kRequests; ++i) burst += "LABEL 100:1\n";
+
+  // Interleave nonblocking sends with reads: once the server pauses, our
+  // send window closes until we drain responses, so a blocking writer
+  // would deadlock — exactly the flow-control regime under test.
+  std::size_t sent = 0;
+  std::string received;
+  std::size_t answers = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (answers < kRequests) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "pause/resume wedged: sent=" << sent << " answers=" << answers;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = static_cast<short>(
+        POLLIN | (sent < burst.size() ? POLLOUT : 0));
+    if (::poll(&pfd, 1, 1000) <= 0) continue;
+    if (sent < burst.size() && (pfd.revents & POLLOUT) != 0) {
+      const ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      ASSERT_NE(n, 0) << "server closed after " << answers << " answers";
+      if (n > 0) {
+        received.append(chunk, static_cast<std::size_t>(n));
+        answers = static_cast<std::size_t>(
+            std::count(received.begin(), received.end(), '\n'));
+      }
+    }
+  }
+  EXPECT_EQ(answers, kRequests);
+  std::size_t start = 0;
+  while (start < received.size()) {
+    const std::size_t newline = received.find('\n', start);
+    ASSERT_NE(newline, std::string::npos);
+    EXPECT_TRUE(util::starts_with(received.substr(start, newline - start),
+                                  "OK community=100:1 label="))
+        << received.substr(start, newline - start);
+    start = newline + 1;
+  }
+  ::close(fd);
   server.request_stop();
   server.wait();
 }
