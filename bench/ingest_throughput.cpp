@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -161,6 +162,29 @@ bool results_identical(const core::PipelineResult& a,
          a.decode_report.records_skipped == b.decode_report.records_skipped;
 }
 
+/// BGPINTENT_BENCH_SCALE for a workload that is synthesized directly
+/// rather than scenario-built: each preset rung multiplies the default
+/// row count (prefixes x vantage points) and path pool.  Unknown names
+/// exit 2, matching bench::apply_bench_scale.
+std::size_t workload_multiplier(const char*& name) {
+  const char* env = std::getenv("BGPINTENT_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') {
+    name = nullptr;
+    return 1;
+  }
+  name = env;
+  if (std::strcmp(env, "tiny") == 0) return 1;
+  if (std::strcmp(env, "small") == 0) return 2;
+  if (std::strcmp(env, "medium") == 0) return 4;
+  if (std::strcmp(env, "large") == 0) return 8;
+  if (std::strcmp(env, "internet") == 0) return 16;
+  std::fprintf(stderr,
+               "BGPINTENT_BENCH_SCALE=%s: unknown preset (want tiny, "
+               "small, medium, large, or internet)\n",
+               env);
+  std::exit(2);
+}
+
 }  // namespace
 
 int main() {
@@ -169,8 +193,16 @@ int main() {
     return env != nullptr ? std::max(1, std::atoi(env)) : 5;
   }();
 
+  const char* scale = nullptr;
+  const std::size_t multiplier = workload_multiplier(scale);
+  const std::size_t prefixes = 1000 * multiplier;
+  const std::size_t unique_paths = 4000 * multiplier;
+  if (scale != nullptr)
+    std::printf("scale preset %s: %zu prefixes, %zu unique paths\n", scale,
+                prefixes, unique_paths);
+
   const std::string bytes = make_mrt_workload(
-      /*prefixes=*/1000, /*vps=*/30, /*unique_paths=*/4000,
+      prefixes, /*vps=*/30, unique_paths,
       /*communities_per=*/6, /*large_per=*/4, /*ext_per=*/2);
 
   // Both flows read a real file, the way the CLI does: the materializing
@@ -323,10 +355,10 @@ int main() {
         out,
         "{\n"
         "  \"bench\": \"ingest_throughput\",\n"
-        "  \"workload\": {\"prefixes\": 1000, \"vantage_points\": 30, "
-        "\"unique_paths\": 4000, \"communities_per_route\": 6, "
+        "  \"workload\": {\"prefixes\": %zu, \"vantage_points\": 30, "
+        "\"unique_paths\": %zu, \"communities_per_route\": 6, "
         "\"large_communities_per_route\": 4, "
-        "\"ext_communities_per_route\": 2, "
+        "\"ext_communities_per_route\": 2, \"scale\": \"%s\", "
         "\"mrt_bytes\": %zu, \"rows\": %zu},\n"
         "  \"results\": {\n"
         "    \"materialize_ingest_ms\": %.3f,\n"
@@ -344,6 +376,7 @@ int main() {
         "    \"identical\": %s\n"
         "  }\n"
         "}\n",
+        prefixes, unique_paths, scale != nullptr ? scale : "default",
         bytes.size(), streaming_rows, materialize_ms, streaming_ms,
         streaming_parallel_ms, ingest_speedup,
         mb_per_s(bytes.size(), materialize_ms),

@@ -88,11 +88,16 @@ int main() {
   synth_cfg.scenario.vantage_point_count = smoke ? 12 : 40;
   synth_cfg.epochs = smoke ? 12 : 36;
   synth_cfg.epoch_seconds = 600;
+  // BGPINTENT_BENCH_SCALE trades the hand-sized world for a preset rung
+  // (tiny .. internet); it composes with (and overrides) the smoke sizes.
+  const char* scale = bench::apply_bench_scale(synth_cfg.scenario);
 
   bench::print_banner("recovery_time — journal durability and crash recovery",
                       synth_cfg.scenario);
-  std::printf("stream: %u epochs x %us%s\n", synth_cfg.epochs,
-              synth_cfg.epoch_seconds, smoke ? " (smoke)" : "");
+  std::printf("stream: %u epochs x %us%s%s%s\n", synth_cfg.epochs,
+              synth_cfg.epoch_seconds, smoke ? " (smoke)" : "",
+              scale != nullptr ? ", scale preset " : "",
+              scale != nullptr ? scale : "");
 
   const stream::SynthStream synth = stream::generate_update_stream(synth_cfg);
   std::printf("workload: %llu records, %zu MRT bytes\n\n",

@@ -1,6 +1,7 @@
 #include "bgp/path_table.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace bgpintent::bgp {
 
@@ -203,6 +204,88 @@ AsPath PathTable::materialize(PathId id) const {
     slot += seg.count;
   }
   return AsPath(std::move(segments));
+}
+
+PathTable::ExportedColumns PathTable::export_columns() const {
+  ExportedColumns out;
+  out.asn_arena = asn_arena_;
+  out.uniq_arena = uniq_arena_;
+  out.seg_types.reserve(seg_arena_.size());
+  out.seg_counts.reserve(seg_arena_.size());
+  for (const SegmentSpan& seg : seg_arena_) {
+    out.seg_types.push_back(static_cast<std::uint8_t>(seg.type));
+    out.seg_counts.push_back(seg.count);
+  }
+  const std::size_t n = meta_.size();
+  out.asn_begin.reserve(n);
+  out.asn_count.reserve(n);
+  out.seg_begin.reserve(n);
+  out.seg_count.reserve(n);
+  out.uniq_begin.reserve(n);
+  out.uniq_count.reserve(n);
+  out.hashes.reserve(n);
+  for (const Meta& m : meta_) {
+    out.asn_begin.push_back(m.asn_begin);
+    out.asn_count.push_back(m.asn_count);
+    out.seg_begin.push_back(m.seg_begin);
+    out.seg_count.push_back(m.seg_count);
+    out.uniq_begin.push_back(m.uniq_begin);
+    out.uniq_count.push_back(m.uniq_count);
+    out.hashes.push_back(m.hash);
+  }
+  return out;
+}
+
+PathTable PathTable::from_columns(const ImportColumns& columns) {
+  const std::size_t n = columns.hashes.size();
+  if (columns.asn_begin.size() != n || columns.asn_count.size() != n ||
+      columns.seg_begin.size() != n || columns.seg_count.size() != n ||
+      columns.uniq_begin.size() != n || columns.uniq_count.size() != n)
+    throw std::invalid_argument("path columns: per-path column length mismatch");
+  if (columns.seg_types.size() != columns.seg_counts.size())
+    throw std::invalid_argument("path columns: segment column length mismatch");
+
+  PathTable table;
+  table.asn_arena_.assign(columns.asn_arena.begin(), columns.asn_arena.end());
+  table.uniq_arena_.assign(columns.uniq_arena.begin(),
+                           columns.uniq_arena.end());
+  table.seg_arena_.reserve(columns.seg_types.size());
+  for (std::size_t s = 0; s < columns.seg_types.size(); ++s) {
+    const std::uint8_t type = columns.seg_types[s];
+    if (type != static_cast<std::uint8_t>(SegmentType::kSet) &&
+        type != static_cast<std::uint8_t>(SegmentType::kSequence))
+      throw std::invalid_argument("path columns: invalid segment type");
+    table.seg_arena_.push_back(
+        SegmentSpan{static_cast<SegmentType>(type), columns.seg_counts[s]});
+  }
+  table.meta_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Meta m;
+    m.asn_begin = columns.asn_begin[i];
+    m.asn_count = columns.asn_count[i];
+    m.seg_begin = columns.seg_begin[i];
+    m.seg_count = columns.seg_count[i];
+    m.uniq_begin = columns.uniq_begin[i];
+    m.uniq_count = columns.uniq_count[i];
+    m.hash = columns.hashes[i];
+    if (std::uint64_t{m.asn_begin} + m.asn_count > table.asn_arena_.size() ||
+        std::uint64_t{m.seg_begin} + m.seg_count > table.seg_arena_.size() ||
+        std::uint64_t{m.uniq_begin} + m.uniq_count > table.uniq_arena_.size())
+      throw std::invalid_argument("path columns: span outside arena");
+    table.meta_.push_back(m);
+  }
+  // Rebuild the dedup index at the same load factor intern() maintains, so
+  // the first post-import intern() neither rehashes eagerly nor probes an
+  // over-full table.
+  if (n > 0) {
+    // Grow while free slots (capacity - n) would be <= capacity/8, written
+    // without the subtraction so n > capacity cannot underflow and leave
+    // the probe table over-full (a full table makes rehash() spin forever).
+    std::size_t capacity = 64;
+    while (n + capacity / 8 >= capacity) capacity *= 2;
+    table.rehash(capacity);
+  }
+  return table;
 }
 
 std::size_t PathTable::memory_bytes() const noexcept {

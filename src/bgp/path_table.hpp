@@ -98,6 +98,51 @@ class PathTable {
   /// copies (docs/PERFORMANCE.md).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+  // --- arena export / import (snapshot format v3, docs/SERVING.md §3) ---
+  //
+  // The table's backing storage decomposed into flat primitive columns:
+  // the two ASN arenas are borrowed straight from the live vectors, the
+  // per-segment and per-path metadata are flattened into freshly built
+  // parallel columns.  from_columns() is the exact inverse — PathIds,
+  // hashes, spans, and dedup behaviour of the rebuilt table are identical
+  // to the exported one, so evidence keyed by id or hash survives a
+  // snapshot round-trip untouched.
+
+  /// Owned/borrowed mix produced by export_columns(); the spans borrow the
+  /// live arenas and stay valid only while the table is unmodified.
+  struct ExportedColumns {
+    std::span<const Asn> asn_arena;
+    std::span<const Asn> uniq_arena;
+    std::vector<std::uint8_t> seg_types;    ///< SegmentType per segment
+    std::vector<std::uint32_t> seg_counts;  ///< ASN slots per segment
+    // Per-path metadata, one entry per PathId in id order.
+    std::vector<std::uint32_t> asn_begin, asn_count;
+    std::vector<std::uint32_t> seg_begin, seg_count;
+    std::vector<std::uint32_t> uniq_begin, uniq_count;
+    std::vector<std::uint64_t> hashes;
+  };
+  [[nodiscard]] ExportedColumns export_columns() const;
+
+  /// Borrowed views handed to from_columns(); the caller (the snapshot
+  /// reader) owns the backing bytes and has already checksummed them.
+  struct ImportColumns {
+    std::span<const Asn> asn_arena;
+    std::span<const Asn> uniq_arena;
+    std::span<const std::uint8_t> seg_types;
+    std::span<const std::uint32_t> seg_counts;
+    std::span<const std::uint32_t> asn_begin, asn_count;
+    std::span<const std::uint32_t> seg_begin, seg_count;
+    std::span<const std::uint32_t> uniq_begin, uniq_count;
+    std::span<const std::uint64_t> hashes;
+  };
+  /// Rebuilds a table from exported columns: arenas are copied, metadata is
+  /// re-assembled, and the dedup index is reseeded from the persisted
+  /// hashes, so intern() of an already-known path returns its original id.
+  /// Throws std::invalid_argument when the column shapes are inconsistent
+  /// (mismatched per-path column lengths, spans outside the arenas, or an
+  /// invalid segment type byte).
+  [[nodiscard]] static PathTable from_columns(const ImportColumns& columns);
+
  private:
   /// One AS_PATH segment of an interned path: `count` ASN slots of `type`,
   /// consumed in order from the path's flattened ASN span.

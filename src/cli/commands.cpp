@@ -612,8 +612,10 @@ int cmd_serve(int argc, char** argv) {
   const auto args = Args::parse(
       argc, argv, 2,
       {"listen", "port", "threads", "shards", "snapshot", "snapshot-interval",
-       "read-timeout", "gap", "threshold", "max-errors", "max-error-frac"},
-      {"no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap"});
+       "snapshot-format", "read-timeout", "gap", "threshold", "max-errors",
+       "max-error-frac"},
+      {"no-siblings", "mean-ratios", "tolerant", "mmap", "no-mmap",
+       "snapshot-mmap"});
   if (!args) return 2;
   mrt::DecodeOptions decode;
   if (!parse_decode_options(*args, decode)) return kExitUsage;
@@ -634,6 +636,23 @@ int cmd_serve(int argc, char** argv) {
                  "error: --snapshot-interval requires --snapshot <file>\n");
     return 2;
   }
+  const std::string format_name =
+      args->value("snapshot-format").value_or("v2");
+  serve::SnapshotFormat snapshot_format;
+  if (format_name == "v2") {
+    snapshot_format = serve::SnapshotFormat::kV2;
+  } else if (format_name == "v3") {
+    snapshot_format = serve::SnapshotFormat::kV3;
+  } else {
+    std::fprintf(stderr, "error: --snapshot-format must be v2 or v3, got %s\n",
+                 format_name.c_str());
+    return 2;
+  }
+  const bool snapshot_mmap = args->flag("snapshot-mmap");
+  if (snapshot_mmap && !snapshot_path) {
+    std::fprintf(stderr, "error: --snapshot-mmap requires --snapshot <file>\n");
+    return 2;
+  }
 
   core::ClassifierConfig classifier_cfg;
   classifier_cfg.min_gap = static_cast<std::uint32_t>(*gap);
@@ -648,14 +667,24 @@ int cmd_serve(int argc, char** argv) {
   if (snapshot_path) {
     if (std::ifstream probe(*snapshot_path, std::ios::binary); probe) {
       try {
-        classifier = serve::load_snapshot(*snapshot_path);
+        if (snapshot_mmap) {
+          // Near-instant restart: borrow the mapped v3 columns instead of
+          // decoding them into heap state.  The first INGEST detaches.
+          const auto mapped = serve::MappedSnapshot::open(*snapshot_path);
+          classifier = core::IncrementalClassifier(
+              mapped->classifier_config(), mapped->observation_config());
+          classifier.restore_view(mapped->state_view());
+        } else {
+          classifier = serve::load_snapshot(*snapshot_path);
+        }
       } catch (const serve::SnapshotError& error) {
         std::fprintf(stderr, "error: %s: %s\n", snapshot_path->c_str(),
                      error.what());
         return 1;
       }
-      std::fprintf(stderr, "restored %zu ingested entries from %s\n",
-                   classifier.entries_ingested(), snapshot_path->c_str());
+      std::fprintf(stderr, "restored %zu ingested entries from %s%s\n",
+                   classifier.entries_ingested(), snapshot_path->c_str(),
+                   snapshot_mmap ? " (mapped)" : "");
     }
   }
 
@@ -701,6 +730,7 @@ int cmd_serve(int argc, char** argv) {
   cfg.shards = static_cast<unsigned>(*shards);
   cfg.read_timeout_ms = static_cast<int>(*read_timeout);
   cfg.snapshot_interval_s = static_cast<unsigned>(*interval);
+  cfg.snapshot_format = snapshot_format;
   if (snapshot_path) cfg.snapshot_path = *snapshot_path;
 
   serve::Server server(std::move(classifier), cfg);
@@ -1230,6 +1260,8 @@ int cmd_help() {
       "      [--listen ADDR] [--port N] [--shards N]  (--port 0 prints\n"
       "      'LISTENING <port>' on stdout once bound)\n"
       "      [--snapshot file.snap] [--snapshot-interval SECONDS]\n"
+      "      [--snapshot-format v2|v3] [--snapshot-mmap]  (v3 + mmap =\n"
+      "      near-instant restart, pages shared across processes)\n"
       "      [--read-timeout MS] [--gap N] [--threshold R]\n"
       "      [--no-siblings] [--mean-ratios]\n"
       "      [--tolerant] [--max-errors N] [--max-error-frac R]\n"

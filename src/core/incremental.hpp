@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -34,6 +35,8 @@ class ByteSource;
 }
 
 namespace bgpintent::core {
+
+class StateView;
 
 class IncrementalClassifier {
  public:
@@ -161,6 +164,43 @@ class IncrementalClassifier {
   /// re-attach the org map before restoring.
   void restore_state(const State& state);
 
+  /// restore_state plus an imported interned-path table (PathIds
+  /// preserved).  The v3 snapshot decoder uses this so a restored
+  /// classifier skips re-interning the live feed's repeat paths; with an
+  /// empty table behaviour is identical to restore_state(state) alone.
+  void restore_state(const State& state, bgp::PathTable paths);
+
+  // --- borrowed columnar state (snapshot v3, core/state_view.hpp) ---
+  //
+  // restore_view() replaces all owned evidence with a borrowed view: the
+  // read-side API (label_of / totals / label_snapshot / settle_dirty /
+  // export_state) answers straight off the view's columns, with lazily
+  // reclassified alphas kept in a small per-alpha label overlay.  The
+  // first ingest() copies the view (plus overlay) into owned state and
+  // drops the borrow — copy-on-first-INGEST — after which behaviour is
+  // indistinguishable from restore_state() of the same evidence.
+
+  /// Borrow `view` as the complete classifier state.  Clears all owned
+  /// evidence; the view's dirty column seeds the dirty set.  Configs and
+  /// the org map are (as with restore_state) the caller's job and must
+  /// match the ones the snapshot was written under.
+  void restore_view(std::shared_ptr<const StateView> view);
+
+  /// True while state is borrowed from a view (no ingest has detached it).
+  [[nodiscard]] bool is_borrowed() const noexcept { return view_ != nullptr; }
+
+  /// The borrowed view (shared so callers can pin the backing mapping
+  /// beyond a later detach), or nullptr when state is owned.
+  [[nodiscard]] std::shared_ptr<const StateView> view() const noexcept {
+    return view_;
+  }
+
+  /// The interned-path storage decomposed into flat columns (the v3
+  /// snapshot writer persists exactly this).  When borrowed, the arena
+  /// spans alias the view's backing bytes; otherwise they alias the live
+  /// owned table, valid until the next ingest.
+  [[nodiscard]] bgp::PathTable::ExportedColumns path_columns() const;
+
  private:
   struct CommunityAccumulator {
     std::unordered_set<std::uint64_t> on_paths;
@@ -178,11 +218,32 @@ class IncrementalClassifier {
   void reclassify(std::uint16_t alpha, AlphaState& state);
   void reclassify_dirty();
 
+  /// Copies the borrowed view (plus the label overlay) into owned state
+  /// and drops the borrow.  Called by the first ingest after
+  /// restore_view.
+  void detach();
+  /// Reclassifies one borrowed alpha from column begin-diffs into the
+  /// overlay (counts only — no hash sets are materialized).
+  void reclassify_view(std::uint16_t alpha);
+  /// Cached label of a borrowed (alpha, beta): overlay first, then the
+  /// view's label columns; absent means kUnclassified.
+  [[nodiscard]] Intent view_label(std::size_t alpha_slot, std::uint16_t alpha,
+                                  std::uint16_t beta) const;
+
   ClassifierConfig config_;
   ObservationConfig observation_;
   const topo::OrgMap* orgs_ = nullptr;
 
   std::unordered_map<std::uint16_t, AlphaState> alphas_;
+  // Borrowed state: when view_ is set, alphas_/asns_on_paths_/paths_ are
+  // empty and every read answers from the view's columns.  view_labels_
+  // overlays the view's (immutable) cached-label columns with the labels
+  // of alphas reclassified since the snapshot was taken; a present entry
+  // replaces the alpha's whole label set (possibly with an empty vector —
+  // "settled, no labels"), each vector sorted by beta.
+  std::shared_ptr<const StateView> view_;
+  std::unordered_map<std::uint16_t, std::vector<std::pair<std::uint16_t, Intent>>>
+      view_labels_;
   // Interned unique paths + per-(path, alpha) on-path memo.  Not part of
   // the exported State: the table regrows from the live feed, and the memo
   // is a pure function of path content, the org map, and the config.

@@ -1,0 +1,73 @@
+#include "core/state_view.hpp"
+
+#include <algorithm>
+
+namespace bgpintent::core {
+
+std::optional<std::size_t> StateView::find_alpha(
+    std::uint16_t alpha) const noexcept {
+  const auto& ids = columns_.alpha_ids;
+  const auto it = std::lower_bound(ids.begin(), ids.end(), alpha);
+  if (it == ids.end() || *it != alpha) return std::nullopt;
+  return static_cast<std::size_t>(it - ids.begin());
+}
+
+std::optional<Intent> StateView::cached_label(
+    std::size_t alpha_slot, std::uint16_t beta) const noexcept {
+  const auto begin =
+      columns_.label_betas.begin() + columns_.alpha_label_begin[alpha_slot];
+  const auto end =
+      columns_.label_betas.begin() + columns_.alpha_label_begin[alpha_slot + 1];
+  const auto it = std::lower_bound(begin, end, beta);
+  if (it == end || *it != beta) return std::nullopt;
+  return columns_.label_intents[static_cast<std::size_t>(
+      it - columns_.label_betas.begin())];
+}
+
+IncrementalClassifier::State StateView::materialize() const {
+  IncrementalClassifier::State state;
+  state.entries_ingested = columns_.entries_ingested;
+  state.decode_records_ok = columns_.decode_records_ok;
+  state.decode_records_skipped = columns_.decode_records_skipped;
+  state.asns_on_paths.assign(columns_.asns_on_paths.begin(),
+                             columns_.asns_on_paths.end());
+  state.dirty.assign(columns_.dirty.begin(), columns_.dirty.end());
+
+  state.alphas.reserve(columns_.alpha_ids.size());
+  for (std::size_t a = 0; a < columns_.alpha_ids.size(); ++a) {
+    IncrementalClassifier::State::Alpha alpha;
+    alpha.alpha = columns_.alpha_ids[a];
+    const std::uint32_t b0 = columns_.alpha_beta_begin[a];
+    const std::uint32_t b1 = columns_.alpha_beta_begin[a + 1];
+    alpha.betas.reserve(b1 - b0);
+    for (std::uint32_t b = b0; b < b1; ++b) {
+      IncrementalClassifier::State::BetaEvidence evidence;
+      evidence.beta = columns_.beta_ids[b];
+      const auto on0 = static_cast<std::ptrdiff_t>(columns_.beta_on_begin[b]);
+      const auto on1 =
+          static_cast<std::ptrdiff_t>(columns_.beta_on_begin[b + 1]);
+      const auto off0 = static_cast<std::ptrdiff_t>(columns_.beta_off_begin[b]);
+      const auto off1 =
+          static_cast<std::ptrdiff_t>(columns_.beta_off_begin[b + 1]);
+      evidence.on_paths.assign(columns_.on_path_hashes.begin() + on0,
+                               columns_.on_path_hashes.begin() + on1);
+      evidence.off_paths.assign(columns_.off_path_hashes.begin() + off0,
+                                columns_.off_path_hashes.begin() + off1);
+      alpha.betas.push_back(std::move(evidence));
+    }
+    const std::uint32_t l0 = columns_.alpha_label_begin[a];
+    const std::uint32_t l1 = columns_.alpha_label_begin[a + 1];
+    alpha.labels.reserve(l1 - l0);
+    for (std::uint32_t l = l0; l < l1; ++l)
+      alpha.labels.emplace_back(columns_.label_betas[l],
+                                columns_.label_intents[l]);
+    state.alphas.push_back(std::move(alpha));
+  }
+  return state;
+}
+
+bgp::PathTable StateView::materialize_paths() const {
+  return bgp::PathTable::from_columns(columns_.paths);
+}
+
+}  // namespace bgpintent::core

@@ -13,9 +13,11 @@
 // under TSan.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -28,8 +30,21 @@ namespace bgpintent::serve {
 /// community's 32-bit wire form.  Absence means kUnclassified (the
 /// classifier returns kUnclassified for unknown communities too, so a
 /// miss in the snapshot is exact, not approximate).
+///
+/// Two storage shapes share this struct.  The common one is the owned
+/// hash map.  The zero-copy one — the initial epoch of a server started
+/// with --snapshot-mmap — is a pair of sorted parallel columns borrowed
+/// straight from a mapped v3 snapshot (serve::MappedSnapshot), with
+/// `backing` pinning the mapping; `labels` is empty then and lookups
+/// binary-search the columns, so the first query after restart touches
+/// only the pages it needs.
 struct LabelTable {
   std::unordered_map<std::uint32_t, dict::Intent> labels;
+  /// Columnar backing: sorted community wires and their intents, one slot
+  /// per known community.  Only read when `backing` is set.
+  std::span<const std::uint32_t> wires;
+  std::span<const dict::Intent> intents;
+  std::shared_ptr<const void> backing;
   /// Monotonic epoch counter; exported via STATS as label_epochs.
   std::uint64_t version = 0;
   /// Stream mode: last StreamEngine sequence folded into this table.
@@ -56,11 +71,21 @@ class LabelView {
   }
 
   /// Convenience for writers: copy-on-write clone of the current epoch
-  /// with the version already bumped.
+  /// with the version already bumped.  A columnar epoch is materialized
+  /// into the hash map here — the first INGEST pays the decode the mmap
+  /// restart skipped, and the new epoch no longer pins the mapping.
   [[nodiscard]] std::shared_ptr<LabelTable> clone_for_update() const {
     auto cur = load();
-    auto next = std::make_shared<LabelTable>(*cur);
-    ++next->version;
+    auto next = std::make_shared<LabelTable>();
+    next->version = cur->version + 1;
+    next->as_of_seq = cur->as_of_seq;
+    if (cur->backing != nullptr) {
+      next->labels.reserve(cur->wires.size());
+      for (std::size_t i = 0; i < cur->wires.size(); ++i)
+        next->labels.emplace(cur->wires[i], cur->intents[i]);
+    } else {
+      next->labels = cur->labels;
+    }
     return next;
   }
 
@@ -71,6 +96,14 @@ class LabelView {
 /// Looks up one community in an epoch; miss == kUnclassified.
 [[nodiscard]] inline dict::Intent lookup(const LabelTable& table,
                                          bgp::Community community) noexcept {
+  if (table.backing != nullptr) {
+    const auto it = std::lower_bound(table.wires.begin(), table.wires.end(),
+                                     community.wire());
+    return it == table.wires.end() || *it != community.wire()
+               ? dict::Intent::kUnclassified
+               : table.intents[static_cast<std::size_t>(
+                     it - table.wires.begin())];
+  }
   const auto it = table.labels.find(community.wire());
   return it == table.labels.end() ? dict::Intent::kUnclassified : it->second;
 }

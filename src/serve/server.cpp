@@ -220,8 +220,18 @@ void Server::start() {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
     auto table = std::make_shared<LabelTable>();
     table->version = 1;
-    for (const auto& [community, intent] : classifier_.label_snapshot())
-      table->labels.emplace(community.wire(), intent);
+    if (const auto view = classifier_.view()) {
+      // Borrowed columnar state (--snapshot-mmap): the snapshot's serve
+      // columns ARE the epoch — no decode, no hashing, pages fault in as
+      // queries touch them.  The view handle keeps the mapping alive even
+      // if a later INGEST detaches the classifier.
+      table->wires = view->columns().serve_wires;
+      table->intents = view->columns().serve_intents;
+      table->backing = view;
+    } else {
+      for (const auto& [community, intent] : classifier_.label_snapshot())
+        table->labels.emplace(community.wire(), intent);
+    }
     labels_.publish(std::move(table));
     classic_stale_.store(classifier_.dirty_alpha_count() > 0,
                          std::memory_order_release);
@@ -1119,7 +1129,7 @@ void Server::write_snapshot_file(const std::string& path) {
   std::vector<std::uint8_t> bytes;
   {
     const std::lock_guard<std::mutex> lock(classifier_mutex_);
-    bytes = encode_snapshot(classifier_);
+    bytes = encode_snapshot(classifier_, config_.snapshot_format);
   }
   write_snapshot_bytes(bytes, path);
 }

@@ -1,19 +1,31 @@
 #include "serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 
+#include "mrt/buffer.hpp"
 #include "util/strings.hpp"
 
 namespace bgpintent::serve {
 
+// The v3 reader hands out typed spans straight into the file image, so it
+// only works where the in-memory representation *is* the on-disk one.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot v3 mmap reading requires a little-endian host");
+
 namespace {
 
 constexpr char kMagic[8] = {'B', 'G', 'P', 'I', 'S', 'N', 'A', 'P'};
-constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;  // v2 header
 
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
   std::uint64_t hash = 14695981039346656037ULL;
@@ -21,6 +33,44 @@ constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
     hash ^= byte;
     hash *= 1099511628211ULL;
   }
+  return hash;
+}
+
+// v3 segment checksum: a 4-lane multiply-mix over 64-bit words.  The v3
+// reader verifies every segment on open, so the checksum sits directly on
+// the restart-to-first-query path and byte-at-a-time FNV (the v2 payload
+// checksum above) would dominate it — on the committed restart baseline
+// FNV alone cost ~8ms of a 9ms open.  Each lane's odd-constant multiply
+// is bijective, so any single corrupted word changes its lane's value
+// and the final xor-shift mix avalanches it across the digest; bit flips,
+// truncations, and splices all land in a different digest just as they
+// would under FNV.
+[[nodiscard]] std::uint64_t checksum64(std::span<const std::uint8_t> bytes) {
+  constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t lanes[4] = {0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL,
+                            0xa4093822299f31d0ULL, 0x082efa98ec4e6c89ULL};
+  const std::uint8_t* p = bytes.data();
+  std::size_t remaining = bytes.size();
+  while (remaining >= 32) {
+    for (auto& lane : lanes) {
+      std::uint64_t word;
+      std::memcpy(&word, p, 8);
+      lane = (lane ^ word) * kMul;
+      p += 8;
+    }
+    remaining -= 32;
+  }
+  // Tail: fold the leftover bytes (and the total length, so images that
+  // differ only by trailing truncation cannot collide) into lane 0.
+  std::uint64_t tail = bytes.size();
+  for (std::size_t i = 0; i < remaining; ++i)
+    tail = (tail << 8) ^ p[i] ^ (tail >> 56);
+  lanes[0] = (lanes[0] ^ tail) * kMul;
+  std::uint64_t hash =
+      (lanes[0] ^ lanes[1]) * kMul ^ (lanes[2] ^ lanes[3]) * kMul;
+  hash ^= hash >> 32;
+  hash *= kMul;
+  hash ^= hash >> 29;
   return hash;
 }
 
@@ -75,6 +125,9 @@ class Cursor {
   std::span<const std::uint8_t> bytes_;
   std::size_t offset_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// v2: row-oriented payload (byte-identical to what pre-v3 builds wrote).
 
 void encode_payload(std::vector<std::uint8_t>& out,
                     const core::IncrementalClassifier& classifier) {
@@ -170,9 +223,7 @@ void encode_payload(std::vector<std::uint8_t>& out,
   return classifier;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_snapshot(
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_v2(
     const core::IncrementalClassifier& classifier) {
   std::vector<std::uint8_t> payload;
   encode_payload(payload, classifier);
@@ -180,33 +231,571 @@ std::vector<std::uint8_t> encode_snapshot(
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
   for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
-  put<std::uint32_t>(out, kSnapshotVersion);
+  put<std::uint32_t>(out, kSnapshotVersionMin);
   put<std::uint64_t>(out, fnv1a64(payload));
   put<std::uint64_t>(out, payload.size());
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
 
-core::IncrementalClassifier decode_snapshot(
+// ---------------------------------------------------------------------------
+// v3: columnar image (see snapshot.hpp for the byte layout).
+
+constexpr std::size_t kV3HeaderBytes = 16;
+constexpr std::size_t kV3Align = 64;
+constexpr std::size_t kV3EntryBytes = 32;
+constexpr std::size_t kV3FooterBytes = 32;
+constexpr std::size_t kV3MetaBytes = 40;
+constexpr std::uint32_t kV3FooterMagic = 0x33504e53;  // "SNP3" little-endian
+
+// Segment kinds, in the exact order they appear in the file and in the
+// segment table.  The table of one entry per kind is what makes the image
+// self-describing; the reader insists on exactly this set in this order so
+// a corrupt table cannot silently drop or duplicate a column.
+enum V3Kind : std::uint32_t {
+  kSegMeta = 1,
+  kSegAsnsOnPaths,
+  kSegDirtyAlphas,
+  kSegAlphaIds,
+  kSegAlphaBetaBegin,
+  kSegAlphaLabelBegin,
+  kSegBetaIds,
+  kSegBetaOnBegin,
+  kSegBetaOffBegin,
+  kSegOnPathHashes,
+  kSegOffPathHashes,
+  kSegLabelBetas,
+  kSegLabelIntents,
+  kSegServeWires,
+  kSegServeIntents,
+  kSegPathAsnArena,
+  kSegPathUniqArena,
+  kSegPathSegTypes,
+  kSegPathSegCounts,
+  kSegPathAsnBegin,
+  kSegPathAsnCount,
+  kSegPathSegBegin,
+  kSegPathSegCount,
+  kSegPathUniqBegin,
+  kSegPathUniqCount,
+  kSegPathHashes,
+};
+
+struct V3KindInfo {
+  const char* name;
+  std::size_t width;  ///< element width in bytes
+};
+constexpr V3KindInfo kV3Kinds[] = {
+    {"meta", kV3MetaBytes},
+    {"asns_on_paths", 4},
+    {"dirty_alphas", 2},
+    {"alpha_ids", 2},
+    {"alpha_beta_begin", 4},
+    {"alpha_label_begin", 4},
+    {"beta_ids", 2},
+    {"beta_on_begin", 8},
+    {"beta_off_begin", 8},
+    {"on_path_hashes", 8},
+    {"off_path_hashes", 8},
+    {"label_betas", 2},
+    {"label_intents", 1},
+    {"serve_wires", 4},
+    {"serve_intents", 1},
+    {"path_asn_arena", 4},
+    {"path_uniq_arena", 4},
+    {"path_seg_types", 1},
+    {"path_seg_counts", 4},
+    {"path_asn_begin", 4},
+    {"path_asn_count", 4},
+    {"path_seg_begin", 4},
+    {"path_seg_count", 4},
+    {"path_uniq_begin", 4},
+    {"path_uniq_count", 4},
+    {"path_hashes", 8},
+};
+constexpr std::size_t kV3SegmentCount = std::size(kV3Kinds);
+
+[[nodiscard]] SnapshotError region_error(std::size_t kind_index,
+                                         const char* what) {
+  return SnapshotError(util::format("snapshot v3 segment '%s' %s",
+                                    kV3Kinds[kind_index].name, what));
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot_v3(
+    const core::IncrementalClassifier& classifier) {
+  const core::ClassifierConfig& config = classifier.classifier_config();
+  const core::ObservationConfig& observation =
+      classifier.observation_config();
+  const auto state = classifier.export_state();
+  const auto paths = classifier.path_columns();
+
+  // Flatten the sorted owned state into the column builders.  The serve
+  // columns are label_snapshot() precomputed: one slot per evidence beta,
+  // globally sorted by wire because alphas and per-alpha betas are.
+  std::vector<std::uint16_t> alpha_ids;
+  std::vector<std::uint32_t> alpha_beta_begin{0};
+  std::vector<std::uint32_t> alpha_label_begin{0};
+  std::vector<std::uint16_t> beta_ids;
+  std::vector<std::uint64_t> beta_on_begin{0};
+  std::vector<std::uint64_t> beta_off_begin{0};
+  std::vector<std::uint64_t> on_hashes;
+  std::vector<std::uint64_t> off_hashes;
+  std::vector<std::uint16_t> label_betas;
+  std::vector<std::uint8_t> label_intents;
+  std::vector<std::uint32_t> serve_wires;
+  std::vector<std::uint8_t> serve_intents;
+  for (const auto& alpha : state.alphas) {
+    alpha_ids.push_back(alpha.alpha);
+    for (const auto& evidence : alpha.betas) {
+      beta_ids.push_back(evidence.beta);
+      on_hashes.insert(on_hashes.end(), evidence.on_paths.begin(),
+                       evidence.on_paths.end());
+      off_hashes.insert(off_hashes.end(), evidence.off_paths.begin(),
+                        evidence.off_paths.end());
+      beta_on_begin.push_back(on_hashes.size());
+      beta_off_begin.push_back(off_hashes.size());
+      serve_wires.push_back(static_cast<std::uint32_t>(alpha.alpha) << 16 |
+                            evidence.beta);
+      const auto label = std::lower_bound(
+          alpha.labels.begin(), alpha.labels.end(), evidence.beta,
+          [](const std::pair<std::uint16_t, core::Intent>& l,
+             std::uint16_t b) { return l.first < b; });
+      serve_intents.push_back(static_cast<std::uint8_t>(
+          label == alpha.labels.end() || label->first != evidence.beta
+              ? core::Intent::kUnclassified
+              : label->second));
+    }
+    alpha_beta_begin.push_back(static_cast<std::uint32_t>(beta_ids.size()));
+    for (const auto& [beta, intent] : alpha.labels) {
+      label_betas.push_back(beta);
+      label_intents.push_back(static_cast<std::uint8_t>(intent));
+    }
+    alpha_label_begin.push_back(
+        static_cast<std::uint32_t>(label_betas.size()));
+  }
+
+  std::vector<std::uint8_t> meta;
+  meta.reserve(kV3MetaBytes);
+  put<std::uint32_t>(meta, config.min_gap);
+  put<std::uint8_t>(meta, config.mean_of_ratios ? 1 : 0);
+  put<std::uint8_t>(meta, observation.sibling_aware ? 1 : 0);
+  put<std::uint16_t>(meta, 0);  // reserved, must read back zero
+  put_double(meta, config.ratio_threshold);
+  put<std::uint64_t>(meta, state.entries_ingested);
+  put<std::uint64_t>(meta, state.decode_records_ok);
+  put<std::uint64_t>(meta, state.decode_records_skipped);
+
+  std::vector<std::uint8_t> out;
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(SnapshotFormat::kV3));
+  put<std::uint32_t>(out, 0);  // flags, reserved
+
+  struct Entry {
+    std::uint32_t kind = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(kV3SegmentCount);
+  const auto append_segment = [&](V3Kind kind, const void* data,
+                                  std::size_t byte_size) {
+    while (out.size() % kV3Align != 0) out.push_back(0);
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    entries.push_back(Entry{kind, out.size(), byte_size,
+                            checksum64({p, byte_size})});
+    if (byte_size != 0) out.insert(out.end(), p, p + byte_size);
+  };
+  const auto append_column = [&](V3Kind kind, const auto& column) {
+    append_segment(kind, column.data(),
+                   column.size() * sizeof(*column.data()));
+  };
+
+  append_segment(kSegMeta, meta.data(), meta.size());
+  append_column(kSegAsnsOnPaths, state.asns_on_paths);
+  append_column(kSegDirtyAlphas, state.dirty);
+  append_column(kSegAlphaIds, alpha_ids);
+  append_column(kSegAlphaBetaBegin, alpha_beta_begin);
+  append_column(kSegAlphaLabelBegin, alpha_label_begin);
+  append_column(kSegBetaIds, beta_ids);
+  append_column(kSegBetaOnBegin, beta_on_begin);
+  append_column(kSegBetaOffBegin, beta_off_begin);
+  append_column(kSegOnPathHashes, on_hashes);
+  append_column(kSegOffPathHashes, off_hashes);
+  append_column(kSegLabelBetas, label_betas);
+  append_column(kSegLabelIntents, label_intents);
+  append_column(kSegServeWires, serve_wires);
+  append_column(kSegServeIntents, serve_intents);
+  append_column(kSegPathAsnArena, paths.asn_arena);
+  append_column(kSegPathUniqArena, paths.uniq_arena);
+  append_column(kSegPathSegTypes, paths.seg_types);
+  append_column(kSegPathSegCounts, paths.seg_counts);
+  append_column(kSegPathAsnBegin, paths.asn_begin);
+  append_column(kSegPathAsnCount, paths.asn_count);
+  append_column(kSegPathSegBegin, paths.seg_begin);
+  append_column(kSegPathSegCount, paths.seg_count);
+  append_column(kSegPathUniqBegin, paths.uniq_begin);
+  append_column(kSegPathUniqCount, paths.uniq_count);
+  append_column(kSegPathHashes, paths.hashes);
+
+  while (out.size() % 8 != 0) out.push_back(0);
+  const std::uint64_t table_offset = out.size();
+  std::vector<std::uint8_t> table;
+  table.reserve(kV3SegmentCount * kV3EntryBytes);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    put<std::uint32_t>(table, entries[i].kind);
+    put<std::uint32_t>(table,
+                       static_cast<std::uint32_t>(kV3Kinds[i].width));
+    put<std::uint64_t>(table, entries[i].offset);
+    put<std::uint64_t>(table, entries[i].size);
+    put<std::uint64_t>(table, entries[i].checksum);
+  }
+  out.insert(out.end(), table.begin(), table.end());
+
+  put<std::uint64_t>(out, table_offset);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(kV3SegmentCount));
+  put<std::uint32_t>(out, kV3FooterMagic);
+  put<std::uint64_t>(out, checksum64(table));
+  put<std::uint64_t>(out, out.size() + 8);  // total size incl. this field
+  return out;
+}
+
+/// One parsed segment: its table entry plus the mapped byte range.
+struct V3Segment {
+  std::span<const std::uint8_t> bytes;
+  std::size_t count = 0;  ///< element count (bytes / width)
+};
+
+struct ParsedV3 {
+  core::ClassifierConfig config;
+  core::ObservationConfig observation;
+  core::StateColumns columns;
+  std::array<V3Segment, kV3SegmentCount> segments;
+  std::size_t table_offset = 0;
+};
+
+template <typename T>
+[[nodiscard]] std::span<const T> typed(const V3Segment& segment) noexcept {
+  return {reinterpret_cast<const T*>(segment.bytes.data()), segment.count};
+}
+
+/// Validates a begin-offsets column: begin[0] == 0, non-decreasing, and
+/// ending exactly at `total` (the element count of the column it indexes).
+template <typename T>
+void check_begin_column(std::span<const T> begin, std::size_t total,
+                        std::size_t kind_index) {
+  if (begin.empty() || begin.front() != 0)
+    throw region_error(kind_index, "does not start at zero");
+  for (std::size_t i = 1; i < begin.size(); ++i)
+    if (begin[i] < begin[i - 1])
+      throw region_error(kind_index, "offsets decrease");
+  if (static_cast<std::size_t>(begin.back()) != total)
+    throw region_error(kind_index, "does not cover its target column");
+}
+
+template <typename T>
+void check_sorted_unique(std::span<const T> ids, std::size_t kind_index) {
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    if (ids[i] <= ids[i - 1])
+      throw region_error(kind_index, "ids are not sorted");
+}
+
+void check_intent_bytes(std::span<const std::uint8_t> bytes,
+                        std::size_t kind_index) {
+  for (const std::uint8_t raw : bytes)
+    if (raw > static_cast<std::uint8_t>(core::Intent::kUnclassified))
+      throw region_error(kind_index, "holds an invalid intent byte");
+}
+
+/// Full parse + validation of a v3 image (magic and version already
+/// checked by the caller).  The returned columns alias `bytes`.
+[[nodiscard]] ParsedV3 parse_v3(std::span<const std::uint8_t> bytes,
+                                bool verify_segment_checksums) {
+  if (bytes.size() <
+      kV3HeaderBytes + kV3SegmentCount * kV3EntryBytes + kV3FooterBytes)
+    throw SnapshotError(util::format(
+        "snapshot v3 image truncated (%zu bytes)", bytes.size()));
+  {
+    Cursor flags_cursor(bytes.subspan(12, 4));
+    const std::uint32_t flags = flags_cursor.get<std::uint32_t>();
+    if (flags != 0)
+      throw SnapshotError(
+          util::format("snapshot v3 header has unsupported flags 0x%x",
+                       flags));
+  }
+
+  Cursor footer(bytes.subspan(bytes.size() - kV3FooterBytes));
+  const std::uint64_t table_offset = footer.get<std::uint64_t>();
+  const std::uint32_t seg_count = footer.get<std::uint32_t>();
+  const std::uint32_t footer_magic = footer.get<std::uint32_t>();
+  const std::uint64_t table_checksum = footer.get<std::uint64_t>();
+  const std::uint64_t total_size = footer.get<std::uint64_t>();
+  if (footer_magic != kV3FooterMagic)
+    throw SnapshotError("snapshot v3 footer magic mismatch");
+  if (total_size != bytes.size())
+    throw SnapshotError(util::format(
+        "snapshot v3 footer promises %llu bytes but the image has %zu "
+        "(truncated or trailing bytes)",
+        static_cast<unsigned long long>(total_size), bytes.size()));
+  if (seg_count != kV3SegmentCount)
+    throw SnapshotError(util::format(
+        "snapshot v3 footer declares %u segments, expected %zu", seg_count,
+        kV3SegmentCount));
+  if (table_offset < kV3HeaderBytes ||
+      table_offset + kV3SegmentCount * kV3EntryBytes !=
+          bytes.size() - kV3FooterBytes)
+    throw SnapshotError("snapshot v3 segment table offset out of place");
+  const auto table_bytes = bytes.subspan(
+      static_cast<std::size_t>(table_offset), kV3SegmentCount * kV3EntryBytes);
+  if (checksum64(table_bytes) != table_checksum)
+    throw SnapshotError("snapshot v3 segment table checksum mismatch");
+
+  ParsedV3 parsed;
+  parsed.table_offset = static_cast<std::size_t>(table_offset);
+  Cursor table(table_bytes);
+  std::size_t previous_end = kV3HeaderBytes;
+  for (std::size_t i = 0; i < kV3SegmentCount; ++i) {
+    const std::uint32_t kind = table.get<std::uint32_t>();
+    const std::uint32_t width = table.get<std::uint32_t>();
+    const std::uint64_t offset = table.get<std::uint64_t>();
+    const std::uint64_t size = table.get<std::uint64_t>();
+    const std::uint64_t checksum = table.get<std::uint64_t>();
+    if (kind != i + 1)
+      throw region_error(i, "has an unexpected kind in the segment table");
+    if (width != kV3Kinds[i].width)
+      throw region_error(i, "has an unexpected element width");
+    if (offset % kV3Align != 0)
+      throw region_error(i, "is not 64-byte aligned");
+    if (offset < previous_end || offset > table_offset ||
+        size > table_offset - offset)
+      throw region_error(i, "overlaps a neighbouring region");
+    if (size % width != 0)
+      throw region_error(i, "byte size is not a whole element count");
+    // The gaps between regions are alignment padding; insisting they are
+    // zero means no byte of the file escapes validation.
+    for (std::size_t pad = previous_end; pad < offset; ++pad)
+      if (bytes[pad] != 0)
+        throw region_error(i, "has non-zero padding before it");
+    const auto segment_bytes =
+        bytes.subspan(static_cast<std::size_t>(offset),
+                      static_cast<std::size_t>(size));
+    if (verify_segment_checksums && checksum64(segment_bytes) != checksum)
+      throw region_error(i, "checksum mismatch (corrupt file)");
+    parsed.segments[i] =
+        V3Segment{segment_bytes, static_cast<std::size_t>(size / width)};
+    previous_end = static_cast<std::size_t>(offset + size);
+  }
+  for (std::size_t pad = previous_end; pad < table_offset; ++pad)
+    if (bytes[pad] != 0)
+      throw SnapshotError(
+          "snapshot v3 has non-zero padding before the segment table");
+
+  // Meta: fixed-size scalar block.
+  const V3Segment& meta = parsed.segments[kSegMeta - 1];
+  if (meta.count != 1)
+    throw region_error(kSegMeta - 1, "must hold exactly one record");
+  Cursor meta_cursor(meta.bytes);
+  parsed.config.min_gap = meta_cursor.get<std::uint32_t>();
+  parsed.config.mean_of_ratios = meta_cursor.get<std::uint8_t>() != 0;
+  parsed.observation.sibling_aware = meta_cursor.get<std::uint8_t>() != 0;
+  if (meta_cursor.get<std::uint16_t>() != 0)
+    throw region_error(kSegMeta - 1, "has non-zero reserved bytes");
+  parsed.config.ratio_threshold = meta_cursor.get_double();
+
+  core::StateColumns& c = parsed.columns;
+  c.entries_ingested = meta_cursor.get<std::uint64_t>();
+  c.decode_records_ok = meta_cursor.get<std::uint64_t>();
+  c.decode_records_skipped = meta_cursor.get<std::uint64_t>();
+
+  c.asns_on_paths = typed<bgp::Asn>(parsed.segments[kSegAsnsOnPaths - 1]);
+  c.dirty = typed<std::uint16_t>(parsed.segments[kSegDirtyAlphas - 1]);
+  c.alpha_ids = typed<std::uint16_t>(parsed.segments[kSegAlphaIds - 1]);
+  c.alpha_beta_begin =
+      typed<std::uint32_t>(parsed.segments[kSegAlphaBetaBegin - 1]);
+  c.alpha_label_begin =
+      typed<std::uint32_t>(parsed.segments[kSegAlphaLabelBegin - 1]);
+  c.beta_ids = typed<std::uint16_t>(parsed.segments[kSegBetaIds - 1]);
+  c.beta_on_begin =
+      typed<std::uint64_t>(parsed.segments[kSegBetaOnBegin - 1]);
+  c.beta_off_begin =
+      typed<std::uint64_t>(parsed.segments[kSegBetaOffBegin - 1]);
+  c.on_path_hashes =
+      typed<std::uint64_t>(parsed.segments[kSegOnPathHashes - 1]);
+  c.off_path_hashes =
+      typed<std::uint64_t>(parsed.segments[kSegOffPathHashes - 1]);
+  c.label_betas = typed<std::uint16_t>(parsed.segments[kSegLabelBetas - 1]);
+  c.label_intents =
+      typed<core::Intent>(parsed.segments[kSegLabelIntents - 1]);
+  c.serve_wires = typed<std::uint32_t>(parsed.segments[kSegServeWires - 1]);
+  c.serve_intents =
+      typed<core::Intent>(parsed.segments[kSegServeIntents - 1]);
+  c.paths.asn_arena = typed<bgp::Asn>(parsed.segments[kSegPathAsnArena - 1]);
+  c.paths.uniq_arena =
+      typed<bgp::Asn>(parsed.segments[kSegPathUniqArena - 1]);
+  c.paths.seg_types =
+      typed<std::uint8_t>(parsed.segments[kSegPathSegTypes - 1]);
+  c.paths.seg_counts =
+      typed<std::uint32_t>(parsed.segments[kSegPathSegCounts - 1]);
+  c.paths.asn_begin =
+      typed<std::uint32_t>(parsed.segments[kSegPathAsnBegin - 1]);
+  c.paths.asn_count =
+      typed<std::uint32_t>(parsed.segments[kSegPathAsnCount - 1]);
+  c.paths.seg_begin =
+      typed<std::uint32_t>(parsed.segments[kSegPathSegBegin - 1]);
+  c.paths.seg_count =
+      typed<std::uint32_t>(parsed.segments[kSegPathSegCount - 1]);
+  c.paths.uniq_begin =
+      typed<std::uint32_t>(parsed.segments[kSegPathUniqBegin - 1]);
+  c.paths.uniq_count =
+      typed<std::uint32_t>(parsed.segments[kSegPathUniqCount - 1]);
+  c.paths.hashes = typed<std::uint64_t>(parsed.segments[kSegPathHashes - 1]);
+
+  // Cross-column shape validation.  Everything the serve fast path and
+  // the borrowed classifier index into without bounds checks is proven
+  // consistent here, once, so a structurally corrupt file that slipped
+  // past the checksums (or was opened with them off) still cannot cause
+  // out-of-bounds reads — only the sortedness of the hash columns is
+  // taken on faith from the writer (the checksums cover it).
+  const std::size_t n_alpha = c.alpha_ids.size();
+  const std::size_t n_beta = c.beta_ids.size();
+  if (c.alpha_beta_begin.size() != n_alpha + 1)
+    throw region_error(kSegAlphaBetaBegin - 1, "length mismatch");
+  if (c.alpha_label_begin.size() != n_alpha + 1)
+    throw region_error(kSegAlphaLabelBegin - 1, "length mismatch");
+  if (c.beta_on_begin.size() != n_beta + 1)
+    throw region_error(kSegBetaOnBegin - 1, "length mismatch");
+  if (c.beta_off_begin.size() != n_beta + 1)
+    throw region_error(kSegBetaOffBegin - 1, "length mismatch");
+  if (c.label_intents.size() != c.label_betas.size())
+    throw region_error(kSegLabelIntents - 1, "length mismatch");
+  if (c.serve_wires.size() != n_beta)
+    throw region_error(kSegServeWires - 1, "length mismatch");
+  if (c.serve_intents.size() != n_beta)
+    throw region_error(kSegServeIntents - 1, "length mismatch");
+  check_begin_column(c.alpha_beta_begin, n_beta, kSegAlphaBetaBegin - 1);
+  check_begin_column(c.alpha_label_begin, c.label_betas.size(),
+                     kSegAlphaLabelBegin - 1);
+  check_begin_column(c.beta_on_begin, c.on_path_hashes.size(),
+                     kSegBetaOnBegin - 1);
+  check_begin_column(c.beta_off_begin, c.off_path_hashes.size(),
+                     kSegBetaOffBegin - 1);
+  check_sorted_unique(c.asns_on_paths, kSegAsnsOnPaths - 1);
+  check_sorted_unique(c.dirty, kSegDirtyAlphas - 1);
+  check_sorted_unique(c.alpha_ids, kSegAlphaIds - 1);
+  for (std::size_t a = 0; a < n_alpha; ++a) {
+    check_sorted_unique(
+        c.beta_ids.subspan(c.alpha_beta_begin[a],
+                           c.alpha_beta_begin[a + 1] - c.alpha_beta_begin[a]),
+        kSegBetaIds - 1);
+    check_sorted_unique(
+        c.label_betas.subspan(
+            c.alpha_label_begin[a],
+            c.alpha_label_begin[a + 1] - c.alpha_label_begin[a]),
+        kSegLabelBetas - 1);
+  }
+  check_intent_bytes(parsed.segments[kSegLabelIntents - 1].bytes,
+                     kSegLabelIntents - 1);
+  check_intent_bytes(parsed.segments[kSegServeIntents - 1].bytes,
+                     kSegServeIntents - 1);
+  {
+    std::size_t slot = 0;
+    for (std::size_t a = 0; a < n_alpha; ++a)
+      for (std::uint32_t b = c.alpha_beta_begin[a];
+           b < c.alpha_beta_begin[a + 1]; ++b, ++slot)
+        if (c.serve_wires[slot] !=
+            (static_cast<std::uint32_t>(c.alpha_ids[a]) << 16 |
+             c.beta_ids[slot]))
+          throw region_error(kSegServeWires - 1,
+                             "disagrees with the alpha/beta columns");
+  }
+
+  const std::size_t n_path = c.paths.hashes.size();
+  if (c.paths.asn_begin.size() != n_path ||
+      c.paths.asn_count.size() != n_path ||
+      c.paths.seg_begin.size() != n_path ||
+      c.paths.seg_count.size() != n_path ||
+      c.paths.uniq_begin.size() != n_path ||
+      c.paths.uniq_count.size() != n_path)
+    throw region_error(kSegPathHashes - 1,
+                       "disagrees with the per-path columns");
+  if (c.paths.seg_types.size() != c.paths.seg_counts.size())
+    throw region_error(kSegPathSegTypes - 1, "length mismatch");
+  for (std::size_t p = 0; p < n_path; ++p) {
+    if (std::uint64_t{c.paths.asn_begin[p]} + c.paths.asn_count[p] >
+            c.paths.asn_arena.size() ||
+        std::uint64_t{c.paths.seg_begin[p]} + c.paths.seg_count[p] >
+            c.paths.seg_types.size() ||
+        std::uint64_t{c.paths.uniq_begin[p]} + c.paths.uniq_count[p] >
+            c.paths.uniq_arena.size())
+      throw region_error(kSegPathAsnBegin - 1, "spans outside its arena");
+  }
+
+  return parsed;
+}
+
+/// Shared front matter: checks the magic, reads the version, and applies
+/// the version-switch policy.  Returns the version on success (2 or 3).
+[[nodiscard]] std::uint32_t check_header(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kHeaderBytes)
+  if (bytes.size() < 12)
     throw SnapshotError(
         util::format("snapshot header truncated (%zu of %zu bytes)",
                      bytes.size(), kHeaderBytes));
   if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
     throw SnapshotError("not a bgpintent snapshot (bad magic)");
-  Cursor header(bytes.subspan(sizeof kMagic, kHeaderBytes - sizeof kMagic));
-  const std::uint32_t version = header.get<std::uint32_t>();
+  Cursor version_cursor(bytes.subspan(sizeof kMagic, 4));
+  const std::uint32_t version = version_cursor.get<std::uint32_t>();
   if (version > kSnapshotVersion)
     throw SnapshotError(util::format(
         "snapshot format version %u is newer than supported version %u",
         version, kSnapshotVersion));
-  if (version != kSnapshotVersion)
+  if (version < kSnapshotVersionMin)
     throw SnapshotError(util::format(
         "snapshot format version %u is no longer supported (this build "
-        "reads only version %u; re-ingest the source data to produce a "
-        "fresh snapshot)",
-        version, kSnapshotVersion));
+        "reads versions %u through %u; re-ingest the source data to "
+        "produce a fresh snapshot)",
+        version, kSnapshotVersionMin, kSnapshotVersion));
+  return version;
+}
+
+[[nodiscard]] core::IncrementalClassifier decode_snapshot_v3(
+    std::span<const std::uint8_t> bytes) {
+  const ParsedV3 parsed = parse_v3(bytes, /*verify_segment_checksums=*/true);
+  // Heap decode: materialize owned state + the interned-path table from a
+  // throwaway view over the caller's bytes.
+  const core::StateView view(parsed.columns, nullptr);
+  bgp::PathTable paths;
+  try {
+    paths = view.materialize_paths();
+  } catch (const std::invalid_argument& error) {
+    throw SnapshotError(
+        util::format("snapshot v3 path columns are inconsistent: %s",
+                     error.what()));
+  }
+  core::IncrementalClassifier classifier(parsed.config, parsed.observation);
+  classifier.restore_state(view.materialize(), std::move(paths));
+  return classifier;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(
+    const core::IncrementalClassifier& classifier, SnapshotFormat format) {
+  return format == SnapshotFormat::kV3 ? encode_snapshot_v3(classifier)
+                                       : encode_snapshot_v2(classifier);
+}
+
+core::IncrementalClassifier decode_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  const std::uint32_t version = check_header(bytes);
+  if (version == static_cast<std::uint32_t>(SnapshotFormat::kV3))
+    return decode_snapshot_v3(bytes);
+
+  if (bytes.size() < kHeaderBytes)
+    throw SnapshotError(
+        util::format("snapshot header truncated (%zu of %zu bytes)",
+                     bytes.size(), kHeaderBytes));
+  Cursor header(bytes.subspan(12, kHeaderBytes - 12));
   const std::uint64_t checksum = header.get<std::uint64_t>();
   const std::uint64_t payload_size = header.get<std::uint64_t>();
 
@@ -223,8 +812,8 @@ core::IncrementalClassifier decode_snapshot(
 }
 
 void save_snapshot(const core::IncrementalClassifier& classifier,
-                   std::ostream& out) {
-  const auto bytes = encode_snapshot(classifier);
+                   std::ostream& out, SnapshotFormat format) {
+  const auto bytes = encode_snapshot(classifier, format);
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw SnapshotError("failed to write snapshot stream");
@@ -240,8 +829,8 @@ core::IncrementalClassifier load_snapshot(std::istream& in) {
 }
 
 void save_snapshot(const core::IncrementalClassifier& classifier,
-                   const std::string& path) {
-  write_snapshot_bytes(encode_snapshot(classifier), path);
+                   const std::string& path, SnapshotFormat format) {
+  write_snapshot_bytes(encode_snapshot(classifier, format), path);
 }
 
 void write_snapshot_bytes(std::span<const std::uint8_t> bytes,
@@ -259,10 +848,38 @@ void write_snapshot_bytes(std::span<const std::uint8_t> bytes,
       throw SnapshotError(util::format("failed to write %s", tmp.c_str()));
     }
   }
+  // Durability contract (mirrors stream/checkpoint.cpp): the tmp file's
+  // bytes must be on stable storage *before* the rename makes them the
+  // snapshot, and the rename itself must be journaled by fsyncing the
+  // parent directory *after* — otherwise a power cut can leave the path
+  // pointing at a file whose content (or whose directory entry) never hit
+  // the disk.
+  {
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) {
+      std::remove(tmp.c_str());
+      throw SnapshotError(
+          util::format("cannot reopen %s for fsync", tmp.c_str()));
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      std::remove(tmp.c_str());
+      throw SnapshotError(util::format("fsync of %s failed", tmp.c_str()));
+    }
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw SnapshotError(
         util::format("cannot rename %s to %s", tmp.c_str(), path.c_str()));
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd =
+      ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {  // best effort: some filesystems refuse dir fsync
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
 }
 
@@ -270,6 +887,55 @@ core::IncrementalClassifier load_snapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw SnapshotError(util::format("cannot open %s", path.c_str()));
   return load_snapshot(in);
+}
+
+std::shared_ptr<MappedSnapshot> MappedSnapshot::open(
+    const std::string& path, MappedSnapshotOptions options) {
+  std::unique_ptr<const mrt::ByteSource> source;
+  try {
+    source = mrt::open_source(path, /*allow_mmap=*/true);
+  } catch (const mrt::MrtError& error) {
+    throw SnapshotError(util::format("cannot map snapshot %s: %s",
+                                     path.c_str(), error.what()));
+  }
+  const auto bytes = source->data();
+  const std::uint32_t version = check_header(bytes);
+  if (version != static_cast<std::uint32_t>(SnapshotFormat::kV3))
+    throw SnapshotError(util::format(
+        "snapshot %s is format version %u, which cannot be served from a "
+        "mapping; re-save it as v3 (serve --snapshot-format v3) to use "
+        "--snapshot-mmap",
+        path.c_str(), version));
+  ParsedV3 parsed = parse_v3(bytes, options.verify_segment_checksums);
+  return std::make_shared<MappedSnapshot>(Private{}, std::move(source),
+                                          parsed.config, parsed.observation,
+                                          parsed.columns);
+}
+
+std::shared_ptr<const core::StateView> MappedSnapshot::state_view() const {
+  return std::make_shared<core::StateView>(columns_, shared_from_this());
+}
+
+std::vector<SnapshotRegion> snapshot_v3_regions(
+    std::span<const std::uint8_t> bytes) {
+  const std::uint32_t version = check_header(bytes);
+  if (version != static_cast<std::uint32_t>(SnapshotFormat::kV3))
+    throw SnapshotError("snapshot_v3_regions needs a v3 image");
+  const ParsedV3 parsed = parse_v3(bytes, /*verify_segment_checksums=*/true);
+  std::vector<SnapshotRegion> regions;
+  regions.reserve(kV3SegmentCount + 2);
+  for (std::size_t i = 0; i < kV3SegmentCount; ++i) {
+    const V3Segment& segment = parsed.segments[i];
+    regions.push_back(SnapshotRegion{
+        kV3Kinds[i].name,
+        static_cast<std::size_t>(segment.bytes.data() - bytes.data()),
+        segment.bytes.size()});
+  }
+  regions.push_back(SnapshotRegion{"segment_table", parsed.table_offset,
+                                   kV3SegmentCount * kV3EntryBytes});
+  regions.push_back(SnapshotRegion{
+      "footer", bytes.size() - kV3FooterBytes, kV3FooterBytes});
+  return regions;
 }
 
 }  // namespace bgpintent::serve

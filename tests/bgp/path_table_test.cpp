@@ -186,6 +186,38 @@ TEST(PathTable, InternSequenceEmptyMatchesEmptyPath) {
   EXPECT_TRUE(table.asns(a).empty());
 }
 
+TEST(PathTable, ColumnRoundTripPreservesIdsAtEverySize) {
+  // from_columns() once sized its dedup index with an unsigned subtraction
+  // that underflowed past 64 paths, leaving the probe table over-full and
+  // rehash() spinning forever.  Sweep across that boundary and well beyond
+  // it: ids, hashes, spans, and dedup must all survive the round trip.
+  for (const std::size_t n : {1u, 56u, 57u, 64u, 65u, 200u, 500u}) {
+    PathTable table;
+    for (std::uint32_t i = 0; i < n; ++i)
+      table.intern(seq({100 + i, 200, 300 + i}));
+    const auto exported = table.export_columns();
+    const PathTable rebuilt = PathTable::from_columns(PathTable::ImportColumns{
+        exported.asn_arena, exported.uniq_arena, exported.seg_types,
+        exported.seg_counts, exported.asn_begin, exported.asn_count,
+        exported.seg_begin, exported.seg_count, exported.uniq_begin,
+        exported.uniq_count, exported.hashes});
+    ASSERT_EQ(rebuilt.size(), n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const AsPath path = seq({100 + i, 200, 300 + i});
+      EXPECT_EQ(rebuilt.find(path), i) << "n=" << n;
+      EXPECT_EQ(rebuilt.hash(i), path.hash());
+    }
+    // The reseeded index must dedup new interns against imported paths.
+    PathTable fresh = PathTable::from_columns(PathTable::ImportColumns{
+        exported.asn_arena, exported.uniq_arena, exported.seg_types,
+        exported.seg_counts, exported.asn_begin, exported.asn_count,
+        exported.seg_begin, exported.seg_count, exported.uniq_begin,
+        exported.uniq_count, exported.hashes});
+    EXPECT_EQ(fresh.intern(seq({100, 200, 300})), 0u) << "n=" << n;
+    EXPECT_EQ(fresh.intern(seq({1, 2, 3})), n) << "n=" << n;
+  }
+}
+
 TEST(PathTable, InternSequenceDedupesAndGrows) {
   PathTable table;
   std::vector<Asn> path(3);

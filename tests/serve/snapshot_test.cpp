@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 #include <sstream>
@@ -291,6 +292,141 @@ TEST(Snapshot, RejectsTrailingBytes) {
   auto bytes = encode_snapshot(populated_classifier());
   bytes.push_back(0);
   EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+// --- v3 columnar format -------------------------------------------------
+
+TEST(SnapshotV3, DefaultWriteFormatIsStillV2) {
+  // Old builds must keep reading snapshots written with default options.
+  const auto bytes = encode_snapshot(populated_classifier());
+  ASSERT_GT(bytes.size(), 12u);
+  EXPECT_EQ(bytes[8], 2u);  // u32 LE version field
+}
+
+TEST(SnapshotV3, EmptyStateRoundTrips) {
+  IncrementalClassifier empty;
+  auto restored =
+      decode_snapshot(encode_snapshot(empty, SnapshotFormat::kV3));
+  EXPECT_EQ(restored.export_state(), empty.export_state());
+  EXPECT_EQ(restored.label_of(bgp::Community(100, 1)), Intent::kUnclassified);
+}
+
+TEST(SnapshotV3, HeapDecodeRoundTripsLosslessly) {
+  const auto classifier = populated_classifier();
+  const auto bytes = encode_snapshot(classifier, SnapshotFormat::kV3);
+  ASSERT_GT(bytes.size(), 12u);
+  EXPECT_EQ(bytes[8], 3u);
+  auto restored = decode_snapshot(bytes);
+  EXPECT_EQ(restored.export_state(), classifier.export_state());
+  EXPECT_EQ(restored.entries_ingested(), classifier.entries_ingested());
+  EXPECT_EQ(restored.dirty_alpha_count(), classifier.dirty_alpha_count());
+}
+
+TEST(SnapshotV3, ConfigsSurviveRoundTrip) {
+  core::ClassifierConfig cc;
+  cc.min_gap = 9;
+  cc.ratio_threshold = 2.25;
+  cc.mean_of_ratios = true;
+  core::ObservationConfig oc;
+  oc.sibling_aware = false;
+  IncrementalClassifier classifier(cc, oc);
+  classifier.ingest(entry(61, {61, 100, 201}, {bgp::Community(100, 1)}));
+
+  const auto restored =
+      decode_snapshot(encode_snapshot(classifier, SnapshotFormat::kV3));
+  EXPECT_EQ(restored.classifier_config().min_gap, 9u);
+  EXPECT_DOUBLE_EQ(restored.classifier_config().ratio_threshold, 2.25);
+  EXPECT_TRUE(restored.classifier_config().mean_of_ratios);
+  EXPECT_FALSE(restored.observation_config().sibling_aware);
+}
+
+TEST(SnapshotV3, MappedSnapshotServesBorrowedLabels) {
+  auto classifier = populated_classifier();
+  const std::string path = ::testing::TempDir() + "bgpintent_snap_v3.bin";
+  save_snapshot(classifier, path, SnapshotFormat::kV3);
+
+  const auto mapped = MappedSnapshot::open(path);
+  EXPECT_EQ(mapped->classifier_config().min_gap,
+            classifier.classifier_config().min_gap);
+  // The pre-flattened serve columns are label_snapshot(), wire-sorted.
+  auto expected = classifier.label_snapshot();
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.wire() < b.first.wire();
+            });
+  const auto wires = mapped->label_wires();
+  const auto intents = mapped->label_intents();
+  ASSERT_EQ(wires.size(), expected.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    EXPECT_EQ(wires[i], expected[i].first.wire());
+    EXPECT_EQ(intents[i], expected[i].second);
+  }
+
+  // A borrowed classifier answers identically to the original.
+  IncrementalClassifier borrowed(mapped->classifier_config(),
+                                 mapped->observation_config());
+  borrowed.restore_view(mapped->state_view());
+  EXPECT_TRUE(borrowed.is_borrowed());
+  EXPECT_EQ(borrowed.export_state(), classifier.export_state());
+  for (const auto& [community, intent] : expected)
+    EXPECT_EQ(borrowed.label_of(community), classifier.label_of(community))
+        << community.to_string();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV3, FirstIngestDetachesTheBorrow) {
+  auto original = populated_classifier();
+  const std::string path = ::testing::TempDir() + "bgpintent_snap_v3d.bin";
+  save_snapshot(original, path, SnapshotFormat::kV3);
+
+  const auto mapped = MappedSnapshot::open(path);
+  IncrementalClassifier borrowed(mapped->classifier_config(),
+                                 mapped->observation_config());
+  borrowed.restore_view(mapped->state_view());
+
+  const auto extra = entry(91, {91, 555, 201}, {bgp::Community(555, 40)});
+  borrowed.ingest(extra);
+  original.ingest(extra);
+  EXPECT_FALSE(borrowed.is_borrowed());
+  EXPECT_EQ(borrowed.export_state(), original.export_state());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV3, MappedOpenRejectsV2WithResaveGuidance) {
+  const std::string path = ::testing::TempDir() + "bgpintent_snap_v2m.bin";
+  save_snapshot(populated_classifier(), path, SnapshotFormat::kV2);
+  try {
+    (void)MappedSnapshot::open(path);
+    FAIL() << "a v2 file must not open as a mapping";
+  } catch (const SnapshotError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("v3"), std::string::npos) << what;
+    EXPECT_NE(what.find("--snapshot-mmap"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV3, MappedOpenRejectsMissingFile) {
+  EXPECT_THROW((void)MappedSnapshot::open(std::string(::testing::TempDir()) +
+                                          "no_such_snapshot_v3.bin"),
+               SnapshotError);
+}
+
+TEST(SnapshotV3, RegionsCoverTheWholeImage) {
+  const auto bytes =
+      encode_snapshot(populated_classifier(), SnapshotFormat::kV3);
+  const auto regions = snapshot_v3_regions(bytes);
+  ASSERT_EQ(regions.size(), 28u);  // 26 segments + table + footer
+  // Regions are disjoint, in order, and the footer ends the file; the gaps
+  // between them are validated-zero alignment padding.
+  std::size_t previous_end = 0;
+  for (const auto& region : regions) {
+    EXPECT_GE(region.offset, previous_end) << region.name;
+    previous_end = region.offset + region.length;
+  }
+  EXPECT_EQ(previous_end, bytes.size());
+  EXPECT_EQ(regions.back().name, "footer");
+  EXPECT_EQ(regions.back().length, 32u);
 }
 
 }  // namespace
